@@ -1,0 +1,88 @@
+//! The tuple flowing through query plans: an answer candidate with its
+//! three ranking components (paper §3.3) — query score `S`, KOR score `K`,
+//! and the VOR attribute values backing the `≺_V` comparison.
+
+use pimento_index::ElemEntry;
+use pimento_profile::AttrValue;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// VOR-relevant attribute values of an answer, fetched once by the `vor`
+/// operator and shared (answers are cloned into top-k lists).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VorKey {
+    /// The answer element's tag name.
+    pub tag: String,
+    /// Resolved attribute values (missing attributes are absent).
+    pub fields: HashMap<String, AttrValue>,
+}
+
+impl VorKey {
+    /// Field accessor in the shape the VOR comparator wants.
+    pub fn getter(&self) -> impl Fn(&str) -> Option<AttrValue> + '_ {
+        move |attr| self.fields.get(attr).cloned()
+    }
+}
+
+/// One intermediate or final answer.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The binding of the query's distinguished node.
+    pub elem: ElemEntry,
+    /// Query score `S`: sum of keyword-predicate contributions, each in
+    /// [0, 1].
+    pub s: f64,
+    /// KOR score `K`: sum of the weights of satisfied keyword ordering
+    /// rules.
+    pub k: f64,
+    /// VOR attribute values; `None` until the `vor` operator has run.
+    pub vor: Option<Rc<VorKey>>,
+}
+
+impl Answer {
+    /// Fresh answer with base score `s`.
+    pub fn new(elem: ElemEntry, s: f64) -> Self {
+        Answer { elem, s, k: 0.0, vor: None }
+    }
+
+    /// Deterministic identity tiebreak: document order.
+    pub fn tiebreak(&self) -> (u32, u32) {
+        (self.elem.doc.0, self.elem.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::DocId;
+    use pimento_xml::NodeId;
+
+    fn entry(doc: u32, start: u32) -> ElemEntry {
+        ElemEntry { doc: DocId(doc), node: NodeId(0), start, end: start + 10, level: 1 }
+    }
+
+    #[test]
+    fn answer_construction() {
+        let a = Answer::new(entry(0, 5), 0.7);
+        assert_eq!(a.s, 0.7);
+        assert_eq!(a.k, 0.0);
+        assert!(a.vor.is_none());
+        assert_eq!(a.tiebreak(), (0, 5));
+    }
+
+    #[test]
+    fn vor_key_getter() {
+        let mut key = VorKey { tag: "car".into(), fields: HashMap::new() };
+        key.fields.insert("color".into(), AttrValue::Str("red".into()));
+        let get = key.getter();
+        assert_eq!(get("color"), Some(AttrValue::Str("red".into())));
+        assert_eq!(get("missing"), None);
+    }
+
+    #[test]
+    fn tiebreak_orders_document_first() {
+        let a = Answer::new(entry(0, 100), 0.0);
+        let b = Answer::new(entry(1, 5), 0.0);
+        assert!(a.tiebreak() < b.tiebreak());
+    }
+}

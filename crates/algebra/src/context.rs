@@ -1,0 +1,157 @@
+//! Execution context: the indexes every operator reads, plus run counters.
+
+use pimento_index::{Collection, InvertedIndex, Scorer, TagIndex, Tokenizer, ValueIndex};
+
+/// The indexed collection a plan executes against (paper §6.4: "we rely on
+/// inverted indices on keywords and on an index per distinct tag").
+#[derive(Debug)]
+pub struct Database {
+    /// The document store.
+    pub coll: Collection,
+    /// Positional keyword index.
+    pub inverted: InvertedIndex,
+    /// Per-tag element index.
+    pub tags: TagIndex,
+    /// Numeric leaf-value index (range scans for constraint predicates).
+    pub values: ValueIndex,
+    /// Keyword-predicate scorer.
+    pub scorer: Scorer,
+}
+
+impl Database {
+    /// Index `coll` with the given tokenizer.
+    pub fn index(coll: Collection, tokenizer: Tokenizer) -> Self {
+        let inverted = InvertedIndex::build(&coll, tokenizer);
+        let tags = TagIndex::build(&coll);
+        let values = ValueIndex::build(&coll);
+        let scorer = Scorer::new(&inverted);
+        Database { coll, inverted, tags, values, scorer }
+    }
+
+    /// Index with the plain (non-stemming) tokenizer.
+    pub fn index_plain(coll: Collection) -> Self {
+        Self::index(coll, Tokenizer::plain())
+    }
+
+    /// Add one more document, updating the indexes incrementally — new
+    /// postings and element entries append in `(doc, …)` order, so no
+    /// rebuild or re-sort happens; only the scorer's document count
+    /// refreshes.
+    pub fn add_xml(&mut self, xml: &str) -> Result<pimento_index::DocId, pimento_xml::XmlError> {
+        let doc_id = self.coll.add_xml(xml)?;
+        let doc = self.coll.doc(doc_id);
+        self.inverted.index_document(doc_id, doc);
+        self.tags.index_document(doc_id, doc);
+        self.values.index_document(doc_id, doc);
+        self.scorer = Scorer::new(&self.inverted);
+        Ok(doc_id)
+    }
+}
+
+/// Counters accumulated during one plan execution — the observable the
+/// performance experiments (§7.2) reason about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Answers produced by the bottom query-evaluation operator.
+    pub base_answers: u64,
+    /// Answers discarded by `topkPrune` operators.
+    pub pruned: u64,
+    /// Answers cut by bulk pruning (sorted-input early exit).
+    pub bulk_pruned: u64,
+    /// Keyword containment probes performed.
+    pub ft_probes: u64,
+    /// `≺_V` comparator invocations.
+    pub vor_comparisons: u64,
+    /// Answers emitted by the plan root.
+    pub emitted: u64,
+}
+
+impl ExecStats {
+    /// Fold another stats block into this one.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.base_answers += other.base_answers;
+        self.pruned += other.pruned;
+        self.bulk_pruned += other.bulk_pruned;
+        self.ft_probes += other.ft_probes;
+        self.vor_comparisons += other.vor_comparisons;
+        self.emitted += other.emitted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_indexing() {
+        let mut coll = Collection::new();
+        coll.add_xml("<car><color>red</color></car>").unwrap();
+        let db = Database::index_plain(coll);
+        assert_eq!(db.inverted.num_docs(), 1);
+        let car = db.coll.tag("car").unwrap();
+        assert_eq!(db.tags.count(car), 1);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = ExecStats { pruned: 3, ..Default::default() };
+        let b = ExecStats { pruned: 4, emitted: 2, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.pruned, 7);
+        assert_eq!(a.emitted, 2);
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+
+    #[test]
+    fn incremental_add_equals_full_rebuild() {
+        let docs = [
+            "<dealer><car><d>good condition</d><price>100</price></car></dealer>",
+            "<dealer><car><d>rusty</d><price>50</price></car></dealer>",
+            "<dealer><car><d>good condition low mileage</d><price>900</price></car></dealer>",
+        ];
+        // Full build.
+        let mut full_coll = Collection::new();
+        for d in &docs {
+            full_coll.add_xml(d).unwrap();
+        }
+        let full = Database::index_plain(full_coll);
+        // Incremental build.
+        let mut coll = Collection::new();
+        coll.add_xml(docs[0]).unwrap();
+        let mut inc = Database::index_plain(coll);
+        for d in &docs[1..] {
+            inc.add_xml(d).unwrap();
+        }
+        assert_eq!(full.inverted.num_docs(), inc.inverted.num_docs());
+        assert_eq!(full.inverted.vocabulary_size(), inc.inverted.vocabulary_size());
+        for term in ["good", "condition", "rusty", "mileage", "100"] {
+            assert_eq!(full.inverted.postings(term), inc.inverted.postings(term), "{term}");
+            assert_eq!(full.inverted.doc_freq(term), inc.inverted.doc_freq(term), "{term}");
+        }
+        let car = full.coll.tag("car").unwrap();
+        let car_i = inc.coll.tag("car").unwrap();
+        assert_eq!(full.tags.elements(car), inc.tags.elements(car_i));
+    }
+
+    #[test]
+    fn queries_see_incrementally_added_documents() {
+        let mut coll = Collection::new();
+        coll.add_xml("<dealer><car><d>good condition</d></car></dealer>").unwrap();
+        let mut db = Database::index_plain(coll);
+        db.add_xml("<dealer><car><d>good condition in NYC</d></car></dealer>").unwrap();
+        let car = db.coll.tag("car").unwrap();
+        assert_eq!(db.tags.count(car), 2);
+        let nyc = db.inverted.analyze("NYC");
+        let hits: Vec<_> = db
+            .tags
+            .elements(car)
+            .iter()
+            .filter(|e| pimento_index::ft_contains(&db.inverted, e, &nyc))
+            .collect();
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,612 @@
+//! Pattern matching of a personalized TPQ against the indexed collection:
+//! the pipelined, index-backed embedding test at the bottom of every plan
+//! (paper §6.4: indexed nested-loop joins over the tag and keyword
+//! indexes).
+//!
+//! [`Matcher::match_answer`] decides whether a candidate element is an
+//! answer of the **required** part of a [`PersonalizedQuery`] and, if so,
+//! returns its base query score `S` (the sum of the required keyword
+//! predicates' contributions). Optional (SR-contributed) parts are
+//! evaluated by the `SrPredJoin` operators above, via
+//! [`Matcher::eval_pred_near`].
+
+use crate::context::Database;
+use pimento_index::{content_value, ft_contains, ElemEntry, ElemRef, FieldValue};
+use pimento_profile::PersonalizedQuery;
+use pimento_tpq::{Axis, Predicate, RelOp, TagTest, TpqNodeId, Value};
+use pimento_xml::nav;
+use pimento_xml::{NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Analyzed (tokenized) keyword predicate with its exact score ceiling.
+#[derive(Debug, Clone)]
+pub struct PreparedPhrase {
+    /// Pattern node carrying the predicate.
+    pub node: TpqNodeId,
+    /// Predicate index on that node.
+    pub idx: usize,
+    /// What kind of full-text check this is.
+    pub kind: PreparedKind,
+    /// Exact maximum score this predicate can contribute (its `nidf`
+    /// times its weight; the tf component saturates below 1).
+    pub bound: f64,
+    /// Score multiplier from the weighted-SR extension (1.0 by default).
+    pub weight: f64,
+}
+
+/// The analyzed form of a keyword predicate.
+#[derive(Debug, Clone)]
+pub enum PreparedKind {
+    /// `ftcontains`: a single phrase (normalized tokens).
+    Phrase(Vec<String>),
+    /// `ftall`: every term present, optional window/order.
+    All {
+        /// Per-term analyzed tokens.
+        terms: Vec<Vec<String>>,
+        /// Maximum token span.
+        window: Option<u32>,
+        /// Terms must occur in the listed order.
+        ordered: bool,
+    },
+}
+
+impl PreparedPhrase {
+    /// Does the predicate hold on `elem`?
+    pub fn matches(&self, db: &Database, elem: &ElemEntry) -> bool {
+        match &self.kind {
+            PreparedKind::Phrase(tokens) => ft_contains(&db.inverted, elem, tokens),
+            PreparedKind::All { terms, window, ordered } => {
+                pimento_index::ft_all(&db.inverted, elem, terms, *window, *ordered)
+            }
+        }
+    }
+
+    /// Score contribution on `elem` (0.0 when the predicate fails), already
+    /// weighted. For `ftall`, the score is the mean of the per-term phrase
+    /// scores — keeping it within the declared `bound`.
+    pub fn score(&self, db: &Database, elem: &ElemEntry) -> f64 {
+        match &self.kind {
+            PreparedKind::Phrase(tokens) => {
+                self.weight * db.scorer.ft_score(&db.inverted, elem, tokens)
+            }
+            PreparedKind::All { terms, window, ordered } => {
+                if !pimento_index::ft_all(&db.inverted, elem, terms, *window, *ordered) {
+                    return 0.0;
+                }
+                let sum: f64 =
+                    terms.iter().map(|t| db.scorer.ft_score(&db.inverted, elem, t)).sum();
+                self.weight * sum / terms.len() as f64
+            }
+        }
+    }
+
+    /// Display text for explain output.
+    pub fn describe(&self) -> String {
+        match &self.kind {
+            PreparedKind::Phrase(tokens) => tokens.join(" "),
+            PreparedKind::All { terms, window, ordered } => {
+                let mut s = format!(
+                    "all({})",
+                    terms.iter().map(|t| t.join(" ")).collect::<Vec<_>>().join(", ")
+                );
+                if let Some(w) = window {
+                    s.push_str(&format!(" window {w}"));
+                }
+                if *ordered {
+                    s.push_str(" ordered");
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Precompiled matcher for one personalized query.
+#[derive(Debug)]
+pub struct Matcher {
+    pq: PersonalizedQuery,
+    /// Tokens for every keyword predicate, keyed by (node, pred index).
+    kw_tokens: HashMap<(TpqNodeId, usize), PreparedPhrase>,
+    /// Root → distinguished node path.
+    path: Vec<TpqNodeId>,
+}
+
+impl Matcher {
+    /// Analyze `pq` against the database's tokenizer and scorer.
+    pub fn new(db: &Database, pq: PersonalizedQuery) -> Self {
+        let mut kw_tokens = HashMap::new();
+        for id in pq.tpq.node_ids() {
+            for (i, p) in pq.tpq.node(id).predicates.iter().enumerate() {
+                let weight = pq.pred_weight(id, i);
+                let prepared = match p {
+                    Predicate::FtContains { phrase } => {
+                        let tokens = db.inverted.analyze(phrase);
+                        let bound = db.scorer.nidf(&db.inverted, &tokens) * weight;
+                        PreparedPhrase {
+                            node: id,
+                            idx: i,
+                            kind: PreparedKind::Phrase(tokens),
+                            bound,
+                            weight,
+                        }
+                    }
+                    Predicate::FtAll { terms, window, ordered } => {
+                        let term_tokens: Vec<Vec<String>> =
+                            terms.iter().map(|t| db.inverted.analyze(t)).collect();
+                        let bound = weight
+                            * term_tokens
+                                .iter()
+                                .map(|t| db.scorer.nidf(&db.inverted, t))
+                                .sum::<f64>()
+                            / term_tokens.len().max(1) as f64;
+                        PreparedPhrase {
+                            node: id,
+                            idx: i,
+                            kind: PreparedKind::All {
+                                terms: term_tokens,
+                                window: *window,
+                                ordered: *ordered,
+                            },
+                            bound,
+                            weight,
+                        }
+                    }
+                    Predicate::Compare { .. } => continue,
+                };
+                kw_tokens.insert((id, i), prepared);
+            }
+        }
+        let mut path = vec![pq.tpq.distinguished()];
+        while let Some(p) = pq.tpq.node(*path.last().expect("nonempty")).parent {
+            path.push(p);
+        }
+        path.reverse();
+        Matcher { pq, kw_tokens, path }
+    }
+
+    /// The personalized query being matched.
+    pub fn personalized(&self) -> &PersonalizedQuery {
+        &self.pq
+    }
+
+    /// The distinguished node's tag name (what the bottom scan iterates).
+    pub fn distinguished_tag(&self) -> Option<&str> {
+        self.pq.tpq.node(self.pq.tpq.distinguished()).tag.name()
+    }
+
+    /// All *optional* keyword predicates, each a score contributor realized
+    /// as an `SrPredJoin` in the plan.
+    pub fn optional_keywords(&self) -> Vec<PreparedPhrase> {
+        let mut out: Vec<PreparedPhrase> = self
+            .kw_tokens
+            .values()
+            .filter(|p| self.pq.pred_is_optional(p.node, p.idx))
+            .cloned()
+            .collect();
+        out.sort_by_key(|p| (p.node, p.idx));
+        out
+    }
+
+    /// Does `elem` match the required part? Returns the base `S` if so.
+    /// `ft_probes` counts keyword containment checks for the stats.
+    pub fn match_answer(&self, db: &Database, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+        // Downward: the distinguished node's own subtree.
+        let down = self.embed_down(db, self.pq.tpq.distinguished(), elem, ft_probes)?;
+        // Upward: assign the ancestors along the root path.
+        let up = self.match_up(db, self.path.len() - 1, elem, ft_probes)?;
+        Some(down + up)
+    }
+
+    /// Local check of one pattern node at `elem`: tag and required
+    /// predicates; returns the node's own required-keyword score.
+    fn check_local(&self, db: &Database, nid: TpqNodeId, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+        let node = self.pq.tpq.node(nid);
+        let tag_name = db.coll.node(elem.elem_ref()).tag().map(|t| db.coll.symbols().name(t));
+        match (&node.tag, tag_name) {
+            (TagTest::Star, _) => {}
+            (TagTest::Name(want), Some(have)) if want == have => {}
+            _ => return None,
+        }
+        let mut score = 0.0;
+        for (i, pred) in node.predicates.iter().enumerate() {
+            if self.pq.pred_is_optional(nid, i) {
+                continue;
+            }
+            match pred {
+                Predicate::FtContains { .. } | Predicate::FtAll { .. } => {
+                    let prepared = &self.kw_tokens[&(nid, i)];
+                    *ft_probes += 1;
+                    if !prepared.matches(db, elem) {
+                        return None;
+                    }
+                    score += prepared.score(db, elem);
+                }
+                Predicate::Compare { op, value } => {
+                    if !compare_content(db, elem.elem_ref(), *op, value) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(score)
+    }
+
+    /// Embed the required subtree rooted at `nid` with `nid ↦ elem`.
+    fn embed_down(&self, db: &Database, nid: TpqNodeId, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+        let mut score = self.check_local(db, nid, elem, ft_probes)?;
+        for &child in &self.pq.tpq.node(nid).children {
+            if self.pq.optional_nodes.contains(&child) {
+                continue; // optional branch: handled by SrPredJoin above
+            }
+            score += self.find_child_match(db, child, elem, ft_probes)?;
+        }
+        Some(score)
+    }
+
+    /// Best-scoring element for pattern child `child` under `parent_elem`.
+    fn find_child_match(
+        &self,
+        db: &Database,
+        child: TpqNodeId,
+        parent_elem: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> Option<f64> {
+        let axis = self.pq.tpq.node(child).axis;
+        let mut best: Option<f64> = None;
+        let mut consider = |m: &Matcher, cand: ElemEntry, probes: &mut u64| {
+            if let Some(s) = m.embed_down(db, child, &cand, probes) {
+                best = Some(best.map_or(s, |b: f64| b.max(s)));
+            }
+        };
+        match (&self.pq.tpq.node(child).tag, axis) {
+            (TagTest::Name(tag), Axis::Descendant) => {
+                if let Some(sym) = db.coll.symbols().get(tag) {
+                    for cand in
+                        db.tags.elements_within(sym, parent_elem.doc, parent_elem.start, parent_elem.end)
+                    {
+                        consider(self, *cand, ft_probes);
+                    }
+                }
+            }
+            (TagTest::Name(tag), Axis::Child) => {
+                let doc = db.coll.doc(parent_elem.doc);
+                if let Some(sym) = db.coll.symbols().get(tag) {
+                    for c in nav::children_with_tag(doc, parent_elem.node, sym) {
+                        consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
+                    }
+                }
+            }
+            (TagTest::Star, Axis::Child) => {
+                let doc = db.coll.doc(parent_elem.doc);
+                for c in nav::child_elements(doc, parent_elem.node) {
+                    consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
+                }
+            }
+            (TagTest::Star, Axis::Descendant) => {
+                let doc = db.coll.doc(parent_elem.doc);
+                for c in doc.descendant_elements(parent_elem.node) {
+                    consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
+                }
+            }
+        }
+        best
+    }
+
+    /// Assign elements to the root-path ancestors of the distinguished
+    /// node: `path[idx]` is mapped to `elem`; choose matching ancestors for
+    /// `path[..idx]` recursively, maximizing branch scores.
+    fn match_up(&self, db: &Database, idx: usize, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+        // Branch subtrees hanging off path[idx] (its non-path required
+        // children) must embed under `elem`.
+        let nid = self.path[idx];
+        let next_on_path = self.path.get(idx + 1).copied();
+        let mut score = 0.0;
+        for &child in &self.pq.tpq.node(nid).children {
+            if Some(child) == next_on_path || self.pq.optional_nodes.contains(&child) {
+                continue;
+            }
+            score += self.find_child_match(db, child, elem, ft_probes)?;
+        }
+        if idx == 0 {
+            // Root anchoring: Child-anchored root must be the document root.
+            let node = self.pq.tpq.node(nid);
+            if node.axis == Axis::Child && db.coll.doc(elem.doc).root() != elem.node {
+                return None;
+            }
+            return Some(score);
+        }
+        // Choose an element for path[idx - 1] among elem's ancestors.
+        let axis = self.pq.tpq.node(nid).axis; // axis of the edge into path[idx]
+        let doc = db.coll.doc(elem.doc);
+        let parent_nid = self.path[idx - 1];
+        let candidates: Vec<NodeId> = match axis {
+            Axis::Child => doc.node(elem.node).parent.into_iter().collect(),
+            Axis::Descendant => nav::ancestors(doc, elem.node).collect(),
+        };
+        let mut best: Option<f64> = None;
+        for anc in candidates {
+            let cand = entry_of(db, elem.doc, anc);
+            if let Some(local) = self.check_local(db, parent_nid, &cand, ft_probes) {
+                if let Some(up) = self.match_up(db, idx - 1, &cand, ft_probes) {
+                    let total = local + up;
+                    best = Some(best.map_or(total, |b: f64| b.max(total)));
+                }
+            }
+        }
+        best.map(|b| b + score)
+    }
+
+    /// Evaluate an optional keyword predicate "near" an answer: on the
+    /// answer itself when the predicate sits on the distinguished node or
+    /// one of its pattern ancestors (resolved through the answer's element
+    /// ancestors), otherwise on the best-scoring element with the
+    /// predicate-node's tag inside the enclosing scope. Returns the score
+    /// contribution (0.0 when absent — outer-join semantics).
+    pub fn eval_pred_near(
+        &self,
+        db: &Database,
+        phrase: &PreparedPhrase,
+        answer: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> f64 {
+        *ft_probes += 1;
+        let node = phrase.node;
+        let tpq = &self.pq.tpq;
+        let dist = tpq.distinguished();
+        // Case 1: on the distinguished node itself.
+        if node == dist {
+            return phrase.score(db, answer);
+        }
+        // Case 2: on a pattern ancestor of the distinguished node.
+        if self.path.contains(&node) {
+            if let Some(tag) = tpq.node(node).tag.name() {
+                if let Some(sym) = db.coll.symbols().get(tag) {
+                    let doc = db.coll.doc(answer.doc);
+                    if let Some(anc) = nav::ancestor_or_self_with_tag(doc, answer.node, sym) {
+                        let e = entry_of(db, answer.doc, anc);
+                        return phrase.score(db, &e);
+                    }
+                }
+            }
+            return 0.0;
+        }
+        // Case 3: a branch node — search within the scope of its deepest
+        // path ancestor.
+        let scope = self.branch_scope(db, node, answer);
+        let Some(scope) = scope else { return 0.0 };
+        let Some(tag) = tpq.node(node).tag.name() else { return 0.0 };
+        let Some(sym) = db.coll.symbols().get(tag) else { return 0.0 };
+        let mut best = 0.0f64;
+        for cand in db.tags.elements_within(sym, scope.doc, scope.start, scope.end) {
+            best = best.max(phrase.score(db, cand));
+        }
+        // The scope element itself may carry the tag.
+        if db.coll.node(scope.elem_ref()).tag() == Some(sym) {
+            best = best.max(phrase.score(db, &scope));
+        }
+        best
+    }
+
+    /// Element corresponding to the deepest root-path pattern ancestor of
+    /// `node`, resolved against `answer`'s ancestors-or-self by tag.
+    fn branch_scope(&self, db: &Database, node: TpqNodeId, answer: &ElemEntry) -> Option<ElemEntry> {
+        let tpq = &self.pq.tpq;
+        let mut cur = tpq.node(node).parent;
+        let anchor = loop {
+            let c = cur?;
+            if self.path.contains(&c) {
+                break c;
+            }
+            cur = tpq.node(c).parent;
+        };
+        let tag = tpq.node(anchor).tag.name()?;
+        let sym = db.coll.symbols().get(tag)?;
+        let doc = db.coll.doc(answer.doc);
+        let anc = nav::ancestor_or_self_with_tag(doc, answer.node, sym)?;
+        Some(entry_of(db, answer.doc, anc))
+    }
+}
+
+/// Build an [`ElemEntry`] for a node.
+pub fn entry_of(db: &Database, doc: pimento_index::DocId, node: NodeId) -> ElemEntry {
+    let n = db.coll.doc(doc).node(node);
+    debug_assert!(matches!(n.kind, NodeKind::Element { .. }));
+    ElemEntry { doc, node, start: n.start, end: n.end, level: n.level }
+}
+
+/// Evaluate `content relOp value` on the element's text content.
+pub fn compare_content(db: &Database, elem: ElemRef, op: RelOp, value: &Value) -> bool {
+    let content = content_value(&db.coll, elem);
+    match (content, value) {
+        (FieldValue::Num(a), Value::Num(b)) => op.eval_num(a, *b),
+        (FieldValue::Str(a), Value::Str(b)) => match op {
+            RelOp::Eq => a.eq_ignore_ascii_case(b),
+            RelOp::Ne => !a.eq_ignore_ascii_case(b),
+            RelOp::Lt => a.to_lowercase() < b.to_lowercase(),
+            RelOp::Le => a.to_lowercase() <= b.to_lowercase(),
+            RelOp::Gt => a.to_lowercase() > b.to_lowercase(),
+            RelOp::Ge => a.to_lowercase() >= b.to_lowercase(),
+        },
+        (FieldValue::Str(a), Value::Num(b)) => {
+            a.trim().parse::<f64>().map(|n| op.eval_num(n, *b)).unwrap_or(false)
+        }
+        (FieldValue::Num(a), Value::Str(b)) => {
+            b.trim().parse::<f64>().map(|n| op.eval_num(a, n)).unwrap_or(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+    use pimento_profile::PersonalizedQuery;
+    use pimento_tpq::parse_tpq;
+
+    fn db(xml: &str) -> Database {
+        let mut coll = Collection::new();
+        coll.add_xml(xml).unwrap();
+        Database::index_plain(coll)
+    }
+
+    fn matcher(db: &Database, query: &str) -> Matcher {
+        Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(query).unwrap()))
+    }
+
+    fn candidates(db: &Database, m: &Matcher) -> Vec<(ElemEntry, f64)> {
+        let mut probes = 0;
+        let entries: Vec<ElemEntry> = match m.distinguished_tag().and_then(|t| db.coll.tag(t)) {
+            Some(sym) => db.tags.elements(sym).to_vec(),
+            None => db
+                .coll
+                .iter()
+                .flat_map(|(doc_id, doc)| {
+                    let db = &db;
+                    doc.node_ids()
+                        .filter(move |&n| doc.node(n).tag().is_some())
+                        .map(move |n| entry_of(db, doc_id, n))
+                })
+                .collect(),
+        };
+        entries
+            .into_iter()
+            .filter_map(|e| m.match_answer(db, &e, &mut probes).map(|s| (e, s)))
+            .collect()
+    }
+
+    const DEALER: &str = r#"<dealer>
+        <car><description>good condition low mileage</description><price>500</price><color>red</color></car>
+        <car><description>good condition</description><price>3000</price></car>
+        <car><description>needs work</description><price>100</price></car>
+    </dealer>"#;
+
+    #[test]
+    fn paper_query_q_matches_first_car_only() {
+        let db = db(DEALER);
+        let m = matcher(
+            &db,
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+        );
+        let found = candidates(&db, &m);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].1 > 0.0, "keyword predicates contribute to S");
+    }
+
+    #[test]
+    fn price_constraint_filters() {
+        let db = db(DEALER);
+        let m = matcher(&db, "//car[./price < 2000]");
+        assert_eq!(candidates(&db, &m).len(), 2);
+        let m = matcher(&db, "//car[./price >= 3000]");
+        assert_eq!(candidates(&db, &m).len(), 1);
+    }
+
+    #[test]
+    fn descendant_axis_and_upward_path() {
+        let db = db(DEALER);
+        // Distinguished node is price; ancestors must include car & dealer.
+        let m = matcher(&db, "/dealer//car/price[. < 200]");
+        let found = candidates(&db, &m);
+        assert_eq!(found.len(), 1);
+        assert_eq!(db.coll.text_content(found[0].0.elem_ref()), "100");
+    }
+
+    #[test]
+    fn root_anchoring_enforced() {
+        let db = db(DEALER);
+        let m = matcher(&db, "/car");
+        assert!(candidates(&db, &m).is_empty(), "car is not the document root");
+        let m = matcher(&db, "/dealer");
+        assert_eq!(candidates(&db, &m).len(), 1);
+    }
+
+    #[test]
+    fn ancestor_keyword_contributes_score() {
+        let db = db(
+            r#"<j><article><au>Jiawei Han</au><abs>data mining methods</abs></article>
+               <article><au>Someone Else</au><abs>data mining here</abs></article></j>"#,
+        );
+        let m = matcher(&db, r#"//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]"#);
+        let found = candidates(&db, &m);
+        assert_eq!(found.len(), 1, "only Han's abstract qualifies");
+    }
+
+    #[test]
+    fn star_patterns() {
+        let db = db(DEALER);
+        let m = matcher(&db, "//car/*");
+        let found = candidates(&db, &m);
+        assert_eq!(found.len(), 7); // description+price per car, plus one color
+    }
+
+    #[test]
+    fn optional_branch_skipped_in_required_match() {
+        let db = db(DEALER);
+        let q = parse_tpq(r#"//car[./price < 2000]"#).unwrap();
+        let mut pq = PersonalizedQuery::unpersonalized(q);
+        // Add an optional node with an impossible tag — must not filter.
+        let extra = pq.tpq.add_child(pq.tpq.root(), pimento_tpq::Axis::Child, "nonexistent");
+        pq.optional_nodes.insert(extra);
+        let m = Matcher::new(&db, pq);
+        assert_eq!(candidates(&db, &m).len(), 2);
+    }
+
+    #[test]
+    fn optional_pred_skipped_but_scored_nearby() {
+        let db = db(DEALER);
+        let q = parse_tpq(r#"//car[./description[ftcontains(., "good condition")]]"#).unwrap();
+        let mut pq = PersonalizedQuery::unpersonalized(q);
+        let d = pq.tpq.find_by_tag("description").unwrap();
+        pq.tpq.add_predicate(d, Predicate::ft("low mileage"));
+        pq.optional_preds.insert((d, 1));
+        let m = Matcher::new(&db, pq);
+        let found = candidates(&db, &m);
+        assert_eq!(found.len(), 2, "optional predicate does not filter");
+        // Evaluate the optional predicate near each answer.
+        let opt = m.optional_keywords();
+        assert_eq!(opt.len(), 1);
+        let mut probes = 0;
+        let scores: Vec<f64> =
+            found.iter().map(|(e, _)| m.eval_pred_near(&db, &opt[0], e, &mut probes)).collect();
+        assert!(scores[0] > 0.0, "first car has low mileage");
+        assert_eq!(scores[1], 0.0, "second car does not");
+    }
+
+    #[test]
+    fn eval_pred_near_on_distinguished_and_ancestor() {
+        let db = db(r#"<a><b>alpha beta</b></a>"#);
+        // Pred on distinguished:
+        let q = parse_tpq("//b").unwrap();
+        let mut pq = PersonalizedQuery::unpersonalized(q);
+        pq.tpq.add_predicate(pq.tpq.root(), Predicate::ft("alpha"));
+        pq.optional_preds.insert((pq.tpq.root(), 0));
+        let m = Matcher::new(&db, pq);
+        let b = db.coll.tag("b").unwrap();
+        let elem = db.tags.elements(b)[0];
+        let opt = m.optional_keywords();
+        let mut probes = 0;
+        assert!(m.eval_pred_near(&db, &opt[0], &elem, &mut probes) > 0.0);
+        // Pred on an ancestor (a) of distinguished (b):
+        let q2 = parse_tpq("//a/b").unwrap();
+        let mut pq2 = PersonalizedQuery::unpersonalized(q2);
+        pq2.tpq.add_predicate(pq2.tpq.root(), Predicate::ft("beta"));
+        pq2.optional_preds.insert((pq2.tpq.root(), 0));
+        let m2 = Matcher::new(&db, pq2);
+        let opt2 = m2.optional_keywords();
+        assert!(m2.eval_pred_near(&db, &opt2[0], &elem, &mut probes) > 0.0);
+    }
+
+    #[test]
+    fn compare_content_string_and_coercion() {
+        let db = db("<a><x>red</x><y>42</y></a>");
+        let x = db.coll.tag("x").unwrap();
+        let y = db.coll.tag("y").unwrap();
+        let ex = db.tags.elements(x)[0].elem_ref();
+        let ey = db.tags.elements(y)[0].elem_ref();
+        assert!(compare_content(&db, ex, RelOp::Eq, &Value::Str("Red".into())));
+        assert!(compare_content(&db, ex, RelOp::Ne, &Value::Str("blue".into())));
+        assert!(compare_content(&db, ey, RelOp::Lt, &Value::Num(100.0)));
+        assert!(!compare_content(&db, ey, RelOp::Gt, &Value::Num(100.0)));
+        assert!(compare_content(&db, ey, RelOp::Eq, &Value::Str("42".into())));
+    }
+}

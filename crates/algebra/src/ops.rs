@@ -1,0 +1,458 @@
+//! The physical operators of the PIMENTO algebra (paper Fig. 3): the
+//! bottom query-evaluation scan, SR outer-joins, `kor`, `vor`, and
+//! parametric `sort`. `topkPrune` lives in [`crate::topk`].
+
+use crate::answer::{Answer, VorKey};
+use crate::context::{Database, ExecStats};
+use crate::eval::{entry_of, Matcher, PreparedPhrase};
+use crate::plan::EvalMode;
+use crate::rank::RankContext;
+use pimento_index::{field_value, ft_contains, ElemEntry, FieldValue};
+use pimento_profile::{AttrValue, KeywordOrderingRule};
+use std::rc::Rc;
+
+/// A pull-based operator producing answers one at a time.
+pub trait Operator {
+    /// Produce the next answer, or `None` when exhausted.
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer>;
+
+    /// One-line description for explain output.
+    fn describe(&self) -> String;
+}
+
+/// Boxed operator, the unit plans are built from.
+pub type BoxedOp = Box<dyn Operator>;
+
+// ---------------------------------------------------------------------------
+
+/// Bottom of every plan: enumerate candidate bindings of the distinguished
+/// node from the tag index and keep those matching the query's required
+/// part, with their base score `S`.
+pub struct QueryEval {
+    matcher: Rc<Matcher>,
+    mode: EvalMode,
+    candidates: Vec<ElemEntry>,
+    cursor: usize,
+    initialized: bool,
+}
+
+impl QueryEval {
+    /// Create the scan for `matcher`'s query (per-candidate matching).
+    pub fn new(matcher: Rc<Matcher>) -> Self {
+        Self::with_mode(matcher, EvalMode::IndexedNestedLoop)
+    }
+
+    /// Create the scan with an explicit evaluation mode.
+    pub fn with_mode(matcher: Rc<Matcher>, mode: EvalMode) -> Self {
+        QueryEval { matcher, mode, candidates: Vec::new(), cursor: 0, initialized: false }
+    }
+
+    fn init(&mut self, db: &Database) {
+        self.initialized = true;
+        self.candidates = match self.mode {
+            EvalMode::StructuralJoin => crate::structural::prefilter_candidates(db, &self.matcher),
+            EvalMode::IndexedNestedLoop => match self.matcher.distinguished_tag() {
+                Some(tag) => match db.coll.tag(tag) {
+                    Some(sym) => db.tags.elements(sym).to_vec(),
+                    None => Vec::new(),
+                },
+                // Star distinguished node: every element in the collection.
+                None => db
+                    .coll
+                    .iter()
+                    .flat_map(|(doc_id, doc)| {
+                        doc.node_ids()
+                            .filter(move |&n| doc.node(n).tag().is_some())
+                            .map(move |n| (doc_id, n))
+                    })
+                    .map(|(d, n)| entry_of(db, d, n))
+                    .collect(),
+            },
+        };
+    }
+}
+
+impl Operator for QueryEval {
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
+        if !self.initialized {
+            self.init(db);
+        }
+        while self.cursor < self.candidates.len() {
+            let elem = self.candidates[self.cursor];
+            self.cursor += 1;
+            if let Some(s) = self.matcher.match_answer(db, &elem, &mut stats.ft_probes) {
+                stats.base_answers += 1;
+                return Some(Answer::new(elem, s));
+            }
+        }
+        None
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "QueryEval({}{})",
+            self.matcher.distinguished_tag().unwrap_or("*"),
+            match self.mode {
+                EvalMode::IndexedNestedLoop => "",
+                EvalMode::StructuralJoin => ", structural-join",
+            }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Outer-join enforcing one optional (SR-contributed) keyword predicate:
+/// answers satisfying it gain its score, others pass through unchanged —
+/// the paper's encoding of scoping rules in a single plan (§6.2).
+pub struct SrPredJoin {
+    input: BoxedOp,
+    matcher: Rc<Matcher>,
+    phrase: PreparedPhrase,
+}
+
+impl SrPredJoin {
+    /// Wrap `input` with the optional predicate `phrase`.
+    pub fn new(input: BoxedOp, matcher: Rc<Matcher>, phrase: PreparedPhrase) -> Self {
+        SrPredJoin { input, matcher, phrase }
+    }
+
+    /// Exact maximum score this operator can add to any answer.
+    pub fn bound(&self) -> f64 {
+        self.phrase.bound
+    }
+}
+
+impl Operator for SrPredJoin {
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
+        let mut a = self.input.next(db, stats)?;
+        a.s += self.matcher.eval_pred_near(db, &self.phrase, &a.elem, &mut stats.ft_probes);
+        Some(a)
+    }
+
+    fn describe(&self) -> String {
+        format!("SrPredJoin({:?}) -> {}", self.phrase.describe(), self.input.describe())
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The `kor` operator (paper Fig. 3): applies one keyword-based ordering
+/// rule, raising the `K` score of answers containing the keyword.
+pub struct KorJoin {
+    input: BoxedOp,
+    rule: KeywordOrderingRule,
+    tokens: Vec<String>,
+}
+
+impl KorJoin {
+    /// Wrap `input` with `rule` (tokens analyzed against `db`'s index at
+    /// first use would race the pull model, so analysis happens here).
+    pub fn new(input: BoxedOp, db: &Database, rule: KeywordOrderingRule) -> Self {
+        let tokens = db.inverted.analyze(&rule.phrase);
+        KorJoin { input, rule, tokens }
+    }
+
+    /// The rule's weight — its contribution to upstream kor-scorebounds.
+    pub fn weight(&self) -> f64 {
+        self.rule.weight
+    }
+}
+
+impl Operator for KorJoin {
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
+        let mut a = self.input.next(db, stats)?;
+        let tag_matches = match db.coll.node(a.elem.elem_ref()).tag() {
+            Some(t) => {
+                self.rule.tag == "*" || db.coll.symbols().name(t).eq_ignore_ascii_case(&self.rule.tag)
+            }
+            None => false,
+        };
+        if tag_matches {
+            stats.ft_probes += 1;
+            if ft_contains(&db.inverted, &a.elem, &self.tokens) {
+                a.k += self.rule.weight;
+            }
+        }
+        Some(a)
+    }
+
+    fn describe(&self) -> String {
+        format!("kor[{}]({:?}) -> {}", self.rule.id, self.rule.phrase, self.input.describe())
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The `vor` operator (paper Fig. 3): augments answers with the attribute
+/// values the value-based ordering rules compare on.
+pub struct VorFetch {
+    input: BoxedOp,
+    attrs: Vec<String>,
+}
+
+impl VorFetch {
+    /// Fetch every attribute mentioned by the context's VORs.
+    pub fn new(input: BoxedOp, rank: &RankContext) -> Self {
+        let mut attrs: Vec<String> = rank
+            .vors
+            .iter()
+            .flat_map(|r| r.attrs().into_iter().map(str::to_string))
+            .collect();
+        attrs.sort();
+        attrs.dedup();
+        VorFetch { input, attrs }
+    }
+}
+
+impl Operator for VorFetch {
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
+        let mut a = self.input.next(db, stats)?;
+        let tag = db
+            .coll
+            .node(a.elem.elem_ref())
+            .tag()
+            .map(|t| db.coll.symbols().name(t).to_string())
+            .unwrap_or_default();
+        let mut key = VorKey { tag, fields: Default::default() };
+        for attr in &self.attrs {
+            if let Some(v) = field_value(&db.coll, a.elem.elem_ref(), attr) {
+                let v = match v {
+                    FieldValue::Num(n) => AttrValue::Num(n),
+                    FieldValue::Str(s) => AttrValue::Str(s),
+                };
+                key.fields.insert(attr.clone(), v);
+            }
+        }
+        a.vor = Some(Rc::new(key));
+        Some(a)
+    }
+
+    fn describe(&self) -> String {
+        format!("vor({}) -> {}", self.attrs.join(","), self.input.describe())
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The parametric `sort` operator (paper Fig. 3): materializes its input
+/// and emits it in the context's ranking order.
+pub struct Sort {
+    input: BoxedOp,
+    rank: Rc<RankContext>,
+    buffer: Vec<Answer>,
+    cursor: usize,
+    materialized: bool,
+}
+
+impl Sort {
+    /// Sort `input` by `rank`'s order.
+    pub fn new(input: BoxedOp, rank: Rc<RankContext>) -> Self {
+        Sort { input, rank, buffer: Vec::new(), cursor: 0, materialized: false }
+    }
+}
+
+impl Operator for Sort {
+    fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
+        if !self.materialized {
+            self.materialized = true;
+            while let Some(a) = self.input.next(db, stats) {
+                self.buffer.push(a);
+            }
+            self.rank.rank(&mut self.buffer, stats);
+        }
+        let a = self.buffer.get(self.cursor).cloned();
+        self.cursor += 1;
+        a
+    }
+
+    fn describe(&self) -> String {
+        format!("sort -> {}", self.input.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+    use pimento_profile::{PersonalizedQuery, RankOrder};
+    use pimento_tpq::parse_tpq;
+
+    fn db() -> Database {
+        let mut coll = Collection::new();
+        coll.add_xml(
+            r#"<people>
+                <person><name>a</name><profile>male United States</profile><age>33</age></person>
+                <person><name>b</name><profile>female College</profile><age>40</age></person>
+                <person><name>c</name><profile>male Phoenix College</profile><age>33</age></person>
+            </people>"#,
+        )
+        .unwrap();
+        Database::index_plain(coll)
+    }
+
+    fn scan(db: &Database, q: &str) -> BoxedOp {
+        let m = Rc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        Box::new(QueryEval::new(m))
+    }
+
+    fn drain(mut op: BoxedOp, db: &Database) -> (Vec<Answer>, ExecStats) {
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        while let Some(a) = op.next(db, &mut stats) {
+            out.push(a);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn query_eval_produces_matches() {
+        let db = db();
+        let (out, stats) = drain(scan(&db, r#"//person[ftcontains(., "male")]"#), &db);
+        // "female" is a single token, so only persons a and c contain the
+        // token "male".
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.base_answers, 2);
+        assert!(out.iter().all(|a| a.s > 0.0));
+    }
+
+    #[test]
+    fn kor_join_adds_weight() {
+        let db = db();
+        let base = scan(&db, "//person");
+        let kor = KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 2.0);
+        let op = Box::new(KorJoin::new(base, &db, kor));
+        let (out, _) = drain(op, &db);
+        assert_eq!(out.len(), 3);
+        let ks: Vec<f64> = out.iter().map(|a| a.k).collect();
+        assert_eq!(ks.iter().filter(|&&k| k == 2.0).count(), 1);
+        assert_eq!(ks.iter().filter(|&&k| k == 0.0).count(), 2);
+    }
+
+    #[test]
+    fn kor_join_respects_tag() {
+        let db = db();
+        let base = scan(&db, "//person");
+        let kor = KeywordOrderingRule::new("x", "article", "male");
+        let op = Box::new(KorJoin::new(base, &db, kor));
+        let (out, _) = drain(op, &db);
+        assert!(out.iter().all(|a| a.k == 0.0), "tag mismatch never scores");
+    }
+
+    #[test]
+    fn vor_fetch_populates_fields() {
+        let db = db();
+        let rank = RankContext::new(
+            vec![pimento_profile::ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
+            RankOrder::Kvs,
+        );
+        let op = Box::new(VorFetch::new(scan(&db, "//person"), &rank));
+        let (out, _) = drain(op, &db);
+        assert_eq!(out.len(), 3);
+        for a in &out {
+            let key = a.vor.as_ref().unwrap();
+            assert_eq!(key.tag, "person");
+            assert!(key.fields.contains_key("age"));
+        }
+    }
+
+    #[test]
+    fn sort_materializes_and_orders() {
+        let db = db();
+        let base = scan(&db, "//person");
+        let kor = KeywordOrderingRule::new("pi1", "person", "College");
+        let with_k = Box::new(KorJoin::new(base, &db, kor));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let op = Box::new(Sort::new(with_k, rank));
+        let (out, _) = drain(op, &db);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].k >= out[1].k && out[1].k >= out[2].k);
+    }
+
+    #[test]
+    fn sr_pred_join_outer_semantics() {
+        let db = db();
+        let q = parse_tpq("//person").unwrap();
+        let mut pq = PersonalizedQuery::unpersonalized(q);
+        pq.tpq.add_predicate(pq.tpq.root(), pimento_tpq::Predicate::ft("Phoenix"));
+        pq.optional_preds.insert((pq.tpq.root(), 0));
+        let m = Rc::new(Matcher::new(&db, pq));
+        let base: BoxedOp = Box::new(QueryEval::new(Rc::clone(&m)));
+        let phrase = m.optional_keywords().remove(0);
+        let op = Box::new(SrPredJoin::new(base, m, phrase));
+        let (out, _) = drain(op, &db);
+        assert_eq!(out.len(), 3, "outer join keeps all answers");
+        assert_eq!(out.iter().filter(|a| a.s > 0.0).count(), 1, "only Phoenix answer scores");
+    }
+}
+
+#[cfg(test)]
+mod op_edge_tests {
+    use super::*;
+    use crate::eval::Matcher;
+    use pimento_index::Collection;
+    use pimento_profile::{PersonalizedQuery, RankOrder};
+    use pimento_tpq::parse_tpq;
+
+    fn db(xml: &str) -> Database {
+        let mut coll = Collection::new();
+        coll.add_xml(xml).unwrap();
+        Database::index_plain(coll)
+    }
+
+    fn drain(mut op: BoxedOp, db: &Database) -> Vec<Answer> {
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        while let Some(a) = op.next(db, &mut stats) {
+            out.push(a);
+        }
+        out
+    }
+
+    #[test]
+    fn sort_on_empty_input() {
+        let db = db("<a/>");
+        let m = Rc::new(Matcher::new(
+            &db,
+            PersonalizedQuery::unpersonalized(parse_tpq("//missing").unwrap()),
+        ));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let op: BoxedOp = Box::new(Sort::new(Box::new(QueryEval::new(m)), rank));
+        assert!(drain(op, &db).is_empty());
+    }
+
+    #[test]
+    fn kor_star_tag_matches_any_element() {
+        let db = db("<a><b>NYC here</b><c>elsewhere</c></a>");
+        let m = Rc::new(Matcher::new(
+            &db,
+            PersonalizedQuery::unpersonalized(parse_tpq("//a/*").unwrap()),
+        ));
+        let base: BoxedOp = Box::new(QueryEval::new(m));
+        let kor = KeywordOrderingRule::new("any", "*", "NYC");
+        let out = drain(Box::new(KorJoin::new(base, &db, kor)), &db);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.iter().filter(|a| a.k > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn vor_fetch_missing_attributes_leave_fields_absent() {
+        let db = db("<a><car><color>red</color></car><car/></a>");
+        let rank = RankContext::new(
+            vec![pimento_profile::ValueOrderingRule::prefer_value("c", "car", "color", "red")],
+            RankOrder::Kvs,
+        );
+        let m = Rc::new(Matcher::new(
+            &db,
+            PersonalizedQuery::unpersonalized(parse_tpq("//car").unwrap()),
+        ));
+        let op: BoxedOp = Box::new(VorFetch::new(Box::new(QueryEval::new(m)), &rank));
+        let out = drain(op, &db);
+        assert_eq!(out.len(), 2);
+        let keys: Vec<bool> = out
+            .iter()
+            .map(|a| a.vor.as_ref().unwrap().fields.contains_key("color"))
+            .collect();
+        assert_eq!(keys.iter().filter(|&&b| b).count(), 1);
+    }
+}

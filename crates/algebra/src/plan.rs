@@ -1,0 +1,499 @@
+//! Plan generation (paper §6.2, Fig. 4 and §7.2): assembling the operators
+//! into the four evaluated strategies.
+//!
+//! * **NtpkP** (NaiveTopkPrune) — `topkPrune` only at the very top, after
+//!   the final sort.
+//! * **NS-ILtpkP** (InterleaveTopkPrune, unsorted) — additionally prune
+//!   after *each* `kor`.
+//! * **S-ILtpkP** (InterleaveTopkPrune, sorted) — sort before each
+//!   interleaved prune, enabling bulk pruning.
+//! * **PtpkP** (PushTopkPrune) — prune pushed all the way down: directly
+//!   above the query evaluation (using the full `kor-scorebound` and the
+//!   SR score bound) and again after each `kor`.
+//!
+//! All four produce identical top-k answers (the bounds make pruning
+//! safe); they differ only in how much intermediate work survives — which
+//! is exactly what Figures 6 and 7 measure.
+
+use crate::context::{Database, ExecStats};
+use crate::eval::Matcher;
+use crate::ops::{BoxedOp, KorJoin, QueryEval, Sort, SrPredJoin, VorFetch};
+use crate::rank::RankContext;
+use crate::topk::{TopkConfig, TopkPrune};
+use crate::trace::{new_registry, traced, TraceRegistry};
+use pimento_profile::KeywordOrderingRule;
+use std::rc::Rc;
+
+/// Which of the paper's four plans to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// `NtpkP`: prune only at the top.
+    Naive,
+    /// `NS-ILtpkP`: prune after each `kor`, unsorted.
+    InterleaveUnsorted,
+    /// `S-ILtpkP`: sort + prune after each `kor` (bulk pruning).
+    InterleaveSorted,
+    /// `PtpkP`: prune pushed below the `kor`s too.
+    Push,
+}
+
+impl PlanStrategy {
+    /// The paper's abbreviation for the strategy.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            PlanStrategy::Naive => "NtpkP",
+            PlanStrategy::InterleaveUnsorted => "NS-ILtpkP",
+            PlanStrategy::InterleaveSorted => "S-ILtpkP",
+            PlanStrategy::Push => "PtpkP",
+        }
+    }
+
+    /// All four strategies, in the paper's Fig. 7 order.
+    pub fn all() -> [PlanStrategy; 4] {
+        [
+            PlanStrategy::Naive,
+            PlanStrategy::InterleaveUnsorted,
+            PlanStrategy::InterleaveSorted,
+            PlanStrategy::Push,
+        ]
+    }
+}
+
+/// In what order the `kor` operators are applied (§7.2: "applying the KOR
+/// which contributes the highest score first is beneficial as it increases
+/// the pruning threshold").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KorOrder {
+    /// Keep the profile's order.
+    #[default]
+    AsGiven,
+    /// Highest weight first (the paper's recommendation).
+    HighestWeightFirst,
+    /// Lowest weight first (the adversarial baseline for the ablation).
+    LowestWeightFirst,
+}
+
+/// How the bottom query-evaluation operator finds matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Per-candidate indexed nested-loop matching (paper §6.4's pipelined
+    /// indexed nested-loop joins).
+    #[default]
+    IndexedNestedLoop,
+    /// Bulk sort-merge structural-join pre-filter, then exact matching of
+    /// the survivors (see [`crate::structural`]).
+    StructuralJoin,
+}
+
+/// Full plan specification.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanSpec {
+    /// Result size.
+    pub k: usize,
+    /// Pruning strategy.
+    pub strategy: PlanStrategy,
+    /// KOR application order.
+    pub kor_order: KorOrder,
+    /// Bottom evaluation mode.
+    pub eval_mode: EvalMode,
+    /// Collect per-operator row/time traces (`EXPLAIN ANALYZE`).
+    pub trace: bool,
+}
+
+impl PlanSpec {
+    /// Spec with the given `k` and strategy, KORs as given.
+    pub fn new(k: usize, strategy: PlanStrategy) -> Self {
+        PlanSpec {
+            k,
+            strategy,
+            kor_order: KorOrder::AsGiven,
+            eval_mode: EvalMode::IndexedNestedLoop,
+            trace: false,
+        }
+    }
+}
+
+/// An executable plan.
+pub struct Plan {
+    root: BoxedOp,
+    traces: Option<TraceRegistry>,
+}
+
+impl Plan {
+    /// Run to completion, returning the top-k answers and the counters.
+    pub fn execute(mut self, db: &Database) -> (Vec<crate::answer::Answer>, ExecStats) {
+        let mut stats = ExecStats::default();
+        let mut out = Vec::new();
+        while let Some(a) = self.root.next(db, &mut stats) {
+            out.push(a);
+        }
+        stats.emitted = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Like [`Plan::execute`], additionally returning the rendered
+    /// per-operator trace (empty string when the spec disabled tracing).
+    pub fn execute_analyzed(
+        self,
+        db: &Database,
+    ) -> (Vec<crate::answer::Answer>, ExecStats, String) {
+        let traces = self.traces.clone();
+        let (out, stats) = self.execute(db);
+        let report = traces.map(|t| crate::trace::render(&t)).unwrap_or_default();
+        (out, stats, report)
+    }
+
+    /// Operator-tree description, top-down.
+    pub fn explain(&self) -> String {
+        self.root.describe()
+    }
+}
+
+/// Build a plan for the prepared `matcher` under `kors` + `rank` (VORs and
+/// rank order), per `spec`.
+pub fn build_plan(
+    db: &Database,
+    matcher: Rc<Matcher>,
+    kors: &[KeywordOrderingRule],
+    rank: Rc<RankContext>,
+    spec: PlanSpec,
+) -> Plan {
+    let k = spec.k;
+    let registry = spec.trace.then(new_registry);
+    let wrap = |op: BoxedOp, label: String| -> BoxedOp {
+        match &registry {
+            Some(r) => traced(op, label, r),
+            None => op,
+        }
+    };
+    let mut op: BoxedOp = Box::new(QueryEval::with_mode(Rc::clone(&matcher), spec.eval_mode));
+    op = wrap(op, "QueryEval".to_string());
+
+    // Optional (SR-contributed) keyword predicates and their exact bounds.
+    let optional = matcher.optional_keywords();
+    let sr_bound: f64 = optional.iter().map(|p| p.bound).sum();
+    let kor_total: f64 = kors.iter().map(|r| r.weight).sum();
+
+    // Under the V,K,S ranking order, `≺_V` has top priority, so no prune
+    // can fire before the VOR attributes are known: fetch them at the
+    // bottom. Under K,V,S the fetch can wait until after the kors (the
+    // paper's plan shape), because mid-plan prunes decide on K alone.
+    let vor_at_bottom = !rank.vors.is_empty() && rank.order == pimento_profile::RankOrder::Vks;
+    if vor_at_bottom {
+        op = Box::new(VorFetch::new(op, &rank));
+        op = wrap(op, "vor(bottom)".to_string());
+    }
+    let use_v_mid = vor_at_bottom;
+
+    // PtpkP: prune at the very bottom, before the SR joins and kors, with
+    // the full remaining bounds.
+    if spec.strategy == PlanStrategy::Push {
+        op = prune(op, &rank, k, sr_bound, kor_total, use_v_mid, false);
+        op = wrap(op, "topkPrune(bottom)".to_string());
+    }
+
+    for phrase in optional {
+        let label = format!("SrPredJoin({})", phrase.describe());
+        op = Box::new(SrPredJoin::new(op, Rc::clone(&matcher), phrase));
+        op = wrap(op, label);
+    }
+
+    // PtpkP: prune again once all S contributions are in.
+    if spec.strategy == PlanStrategy::Push && sr_bound > 0.0 {
+        op = prune(op, &rank, k, 0.0, kor_total, use_v_mid, false);
+        op = wrap(op, "topkPrune(post-SR)".to_string());
+    }
+
+    // Apply kors in the configured order, interleaving prunes per strategy.
+    let mut ordered: Vec<KeywordOrderingRule> = kors.to_vec();
+    match spec.kor_order {
+        KorOrder::AsGiven => {}
+        KorOrder::HighestWeightFirst => {
+            ordered.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"))
+        }
+        KorOrder::LowestWeightFirst => {
+            ordered.sort_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+        }
+    }
+    let mut remaining = kor_total;
+    for kor in ordered {
+        remaining -= kor.weight;
+        let kor_label = format!("kor[{}]", kor.id);
+        op = Box::new(KorJoin::new(op, db, kor));
+        op = wrap(op, kor_label.clone());
+        match spec.strategy {
+            PlanStrategy::Naive => {}
+            PlanStrategy::InterleaveUnsorted | PlanStrategy::Push => {
+                op = prune(op, &rank, k, 0.0, remaining, use_v_mid, false);
+                op = wrap(op, format!("topkPrune(after {kor_label})"));
+            }
+            PlanStrategy::InterleaveSorted => {
+                op = Box::new(Sort::new(op, Rc::clone(&rank)));
+                op = wrap(op, format!("sort(after {kor_label})"));
+                // Bulk pruning needs a prune-monotone sort order; V
+                // dominance is not monotone, so sorted early-exit is only
+                // claimed when V does not participate mid-plan.
+                op = prune(op, &rank, k, 0.0, remaining, use_v_mid, !use_v_mid);
+                op = wrap(op, format!("topkPrune(sorted, after {kor_label})"));
+            }
+        }
+    }
+
+    // vor (unless fetched at the bottom), final sort, final topkPrune —
+    // common to all strategies.
+    if !rank.vors.is_empty() && !vor_at_bottom {
+        op = Box::new(VorFetch::new(op, &rank));
+        op = wrap(op, "vor".to_string());
+    }
+    op = Box::new(Sort::new(op, Rc::clone(&rank)));
+    op = wrap(op, "sort(final)".to_string());
+    op = Box::new(TopkPrune::new(op, rank, TopkConfig::final_prune(k)));
+    op = wrap(op, "topkPrune(final)".to_string());
+    Plan { root: op, traces: registry }
+}
+
+fn prune(
+    input: BoxedOp,
+    rank: &Rc<RankContext>,
+    k: usize,
+    query_scorebound: f64,
+    kor_scorebound: f64,
+    use_v: bool,
+    sorted_input: bool,
+) -> BoxedOp {
+    Box::new(TopkPrune::new(
+        input,
+        Rc::clone(rank),
+        TopkConfig { k, query_scorebound, kor_scorebound, use_v, sorted_input, last: false },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+    use pimento_profile::{PersonalizedQuery, RankOrder, ValueOrderingRule};
+    use pimento_tpq::parse_tpq;
+
+    fn db() -> Database {
+        let mut coll = Collection::new();
+        let mut xml = String::from("<people>");
+        for i in 0..40 {
+            let gender = if i % 2 == 0 { "male" } else { "female" };
+            let state = if i % 3 == 0 { "United States" } else { "Elsewhere" };
+            let edu = if i % 5 == 0 { "College" } else { "School" };
+            let city = if i % 7 == 0 { "Phoenix" } else { "Springfield" };
+            let age = 20 + (i % 20);
+            xml.push_str(&format!(
+                "<person><profile>{gender} {state} {edu} {city}</profile><age>{age}</age><business>{}</business></person>",
+                if i % 2 == 0 { "Yes" } else { "No" }
+            ));
+        }
+        xml.push_str("</people>");
+        coll.add_xml(&xml).unwrap();
+        Database::index_plain(coll)
+    }
+
+    fn kors() -> Vec<KeywordOrderingRule> {
+        vec![
+            KeywordOrderingRule::weighted("pi1", "person", "male", 1.0),
+            KeywordOrderingRule::weighted("pi2", "person", "United States", 1.0),
+            KeywordOrderingRule::weighted("pi3", "person", "College", 1.0),
+            KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 1.0),
+        ]
+    }
+
+    fn answers_key(answers: &[crate::answer::Answer]) -> Vec<(u32, u32)> {
+        answers.iter().map(|a| a.tiebreak()).collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_topk() {
+        let db = db();
+        let q = parse_tpq(r#"//person[ftcontains(./business, "Yes")]"#).unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(
+            vec![ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
+            RankOrder::Kvs,
+        );
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        for strategy in PlanStrategy::all() {
+            let plan = build_plan(
+                &db,
+                Rc::clone(&matcher),
+                &kors(),
+                Rc::clone(&rank),
+                PlanSpec::new(5, strategy),
+            );
+            let (out, _) = plan.execute(&db);
+            assert_eq!(out.len(), 5, "{}", strategy.paper_name());
+            let key = answers_key(&out);
+            match &reference {
+                Some(r) => assert_eq!(&key, r, "{} differs", strategy.paper_name()),
+                None => reference = Some(key),
+            }
+        }
+    }
+
+    #[test]
+    fn push_prunes_more_than_naive() {
+        let db = db();
+        let q = parse_tpq("//person").unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let naive = build_plan(
+            &db,
+            Rc::clone(&matcher),
+            &kors(),
+            Rc::clone(&rank),
+            PlanSpec::new(3, PlanStrategy::Naive),
+        );
+        let (_, naive_stats) = naive.execute(&db);
+        let push = build_plan(
+            &db,
+            Rc::clone(&matcher),
+            &kors(),
+            Rc::clone(&rank),
+            PlanSpec::new(3, PlanStrategy::Push),
+        );
+        let (_, push_stats) = push.execute(&db);
+        assert_eq!(naive_stats.pruned, 0, "naive never prunes mid-plan");
+        assert!(push_stats.pruned > 0, "push prunes mid-plan");
+    }
+
+    #[test]
+    fn kor_order_affects_plan_shape_not_results() {
+        let db = db();
+        let q = parse_tpq("//person").unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let mut weighted = kors();
+        weighted[3] = KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 5.0);
+        let mut outputs = Vec::new();
+        for order in [KorOrder::AsGiven, KorOrder::HighestWeightFirst, KorOrder::LowestWeightFirst] {
+            let spec = PlanSpec { kor_order: order, ..PlanSpec::new(4, PlanStrategy::Push) };
+            let plan = build_plan(&db, Rc::clone(&matcher), &weighted, Rc::clone(&rank), spec);
+            let (out, _) = plan.execute(&db);
+            outputs.push(answers_key(&out));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn eval_modes_agree() {
+        let db = db();
+        let q = parse_tpq(r#"//person[ftcontains(., "College")]"#).unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let mut outs = Vec::new();
+        for mode in [EvalMode::IndexedNestedLoop, EvalMode::StructuralJoin] {
+            let spec = PlanSpec { eval_mode: mode, ..PlanSpec::new(5, PlanStrategy::Push) };
+            let plan = build_plan(&db, Rc::clone(&matcher), &kors(), Rc::clone(&rank), spec);
+            let (out, _) = plan.execute(&db);
+            outs.push(answers_key(&out));
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn explain_mentions_operators() {
+        let db = db();
+        let q = parse_tpq("//person").unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        let plan = build_plan(
+            &db,
+            matcher,
+            &kors()[..1],
+            rank,
+            PlanSpec::new(2, PlanStrategy::Push),
+        );
+        let text = plan.explain();
+        assert!(text.contains("topkPrune"), "{text}");
+        assert!(text.contains("kor[pi1]"), "{text}");
+        assert!(text.contains("QueryEval"), "{text}");
+    }
+
+    #[test]
+    fn empty_kors_and_vors_degenerates_cleanly() {
+        let db = db();
+        let q = parse_tpq(r#"//person[ftcontains(., "College")]"#).unwrap();
+        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let rank = RankContext::new(vec![], RankOrder::Kvs);
+        for strategy in PlanStrategy::all() {
+            let plan =
+                build_plan(&db, Rc::clone(&matcher), &[], Rc::clone(&rank), PlanSpec::new(3, strategy));
+            let (out, _) = plan.execute(&db);
+            assert_eq!(out.len(), 3);
+            // Ranked by S descending.
+            assert!(out[0].s >= out[1].s && out[1].s >= out[2].s);
+        }
+    }
+}
+
+/// Heuristic plan choice: inspect the query and profile shape and pick the
+/// strategy, evaluation mode, and KOR order a reasonable optimizer would.
+///
+/// * Strategy: `PtpkP` whenever KORs exist (it never lost to the
+///   alternatives in the paper's Fig. 7 or our reproduction); plain
+///   `NtpkP` otherwise — with no kors the interleaved prunes have nothing
+///   to do and the final sorted prune is already exact.
+/// * Evaluation mode: the structural-join pre-filter pays off when the
+///   required pattern has structure to join on (more than one required
+///   node) — a single-node pattern degenerates to the same tag scan.
+/// * KOR order: highest contribution first (§7.2's recommendation).
+pub fn choose_spec(matcher: &Matcher, kors: &[KeywordOrderingRule], k: usize) -> PlanSpec {
+    let pq = matcher.personalized();
+    let required_nodes = pq
+        .tpq
+        .node_ids()
+        .filter(|&n| !pq.node_is_optional(n))
+        .count();
+    PlanSpec {
+        k,
+        strategy: if kors.is_empty() { PlanStrategy::Naive } else { PlanStrategy::Push },
+        kor_order: KorOrder::HighestWeightFirst,
+        eval_mode: if required_nodes > 1 {
+            EvalMode::StructuralJoin
+        } else {
+            EvalMode::IndexedNestedLoop
+        },
+        trace: false,
+    }
+}
+
+#[cfg(test)]
+mod choose_tests {
+    use super::*;
+    use pimento_index::Collection;
+    use pimento_profile::PersonalizedQuery;
+    use pimento_tpq::parse_tpq;
+
+    fn matcher_for(q: &str) -> (Database, Rc<Matcher>) {
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b><c>x</c></b></a>").unwrap();
+        let db = Database::index_plain(coll);
+        let m = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        (db, m)
+    }
+
+    #[test]
+    fn auto_uses_push_only_with_kors() {
+        let (_, m) = matcher_for("//b");
+        let none = choose_spec(&m, &[], 5);
+        assert_eq!(none.strategy, PlanStrategy::Naive);
+        let kors = vec![KeywordOrderingRule::new("k", "b", "x")];
+        let some = choose_spec(&m, &kors, 5);
+        assert_eq!(some.strategy, PlanStrategy::Push);
+        assert_eq!(some.kor_order, KorOrder::HighestWeightFirst);
+    }
+
+    #[test]
+    fn auto_uses_structural_join_for_twigs() {
+        let (_, single) = matcher_for("//b");
+        assert_eq!(choose_spec(&single, &[], 5).eval_mode, EvalMode::IndexedNestedLoop);
+        let (_, twig) = matcher_for("//a/b[./c]");
+        assert_eq!(choose_spec(&twig, &[], 5).eval_mode, EvalMode::StructuralJoin);
+    }
+}

@@ -1,0 +1,296 @@
+//! Answer ranking: the `K, V, S` / `V, K, S` orders of paper §3.3.
+//!
+//! `K` and `S` are numeric (descending). `V` is the strict partial order
+//! `≺_V` induced by the value-based ordering rules; inside a ranking it is
+//! realized by **dominance layering**: within a tie group, answers no
+//! other remaining answer is preferred to form layer 0, then layer 1, and
+//! so on — a deterministic linear extension of `≺_V`. Ties and
+//! incomparabilities fall through to the next component, and `(doc,
+//! start)` breaks final ties so every plan produces the same output.
+
+use crate::answer::Answer;
+use crate::context::ExecStats;
+use pimento_profile::{compare_all, RankOrder, ValueOrderingRule, VorOutcome};
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+/// Shared ranking context: the VOR set and the configured rank order.
+#[derive(Debug, Clone, Default)]
+pub struct RankContext {
+    /// Value-based ordering rules (with priorities).
+    pub vors: Vec<ValueOrderingRule>,
+    /// `K,V,S` or `V,K,S`.
+    pub order: RankOrder,
+}
+
+impl RankContext {
+    /// Context with no VORs (V compares Equal everywhere).
+    pub fn new(vors: Vec<ValueOrderingRule>, order: RankOrder) -> Rc<Self> {
+        Rc::new(RankContext { vors, order })
+    }
+
+    /// `≺_V` on two answers. Answers whose VOR key has not been fetched
+    /// yet compare Equal when there are no rules, Incomparable otherwise.
+    pub fn vor_compare(&self, a: &Answer, b: &Answer, stats: &mut ExecStats) -> VorOutcome {
+        if self.vors.is_empty() {
+            return VorOutcome::Equal;
+        }
+        stats.vor_comparisons += 1;
+        match (&a.vor, &b.vor) {
+            (Some(ka), Some(kb)) => {
+                compare_all(&self.vors, &ka.tag, &kb.tag, &ka.getter(), &kb.getter())
+            }
+            _ => VorOutcome::Incomparable,
+        }
+    }
+
+    /// Full-materialization ranking: order `answers` by the configured
+    /// order, deterministically.
+    pub fn rank(&self, answers: &mut Vec<Answer>, stats: &mut ExecStats) {
+        match self.order {
+            RankOrder::Kvs => {
+                sort_numeric_desc(answers, |a| a.k);
+                // Layer V within K-tie groups, then S within layers.
+                let mut out = Vec::with_capacity(answers.len());
+                for group in split_groups(std::mem::take(answers), |a| a.k) {
+                    out.extend(self.layer_and_sort_s(group, stats));
+                }
+                *answers = out;
+            }
+            RankOrder::Vks => {
+                // Layer V over everything, then K desc, then S desc.
+                let layered = self.layer(std::mem::take(answers), stats);
+                let mut out = Vec::new();
+                for mut layer in layered {
+                    layer.sort_by(|a, b| {
+                        cmp_f64_desc(a.k, b.k)
+                            .then_with(|| cmp_f64_desc(a.s, b.s))
+                            .then_with(|| a.tiebreak().cmp(&b.tiebreak()))
+                    });
+                    out.extend(layer);
+                }
+                *answers = out;
+            }
+        }
+    }
+
+    /// Mid-plan sort by current `(K, V, S)` — what `S-ILtpkP` inserts
+    /// before each interleaved prune.
+    pub fn sort_current(&self, answers: &mut Vec<Answer>, stats: &mut ExecStats) {
+        self.rank(answers, stats);
+    }
+
+    /// Chomicki's **winnow** (paper §2's qualitative-preference operator):
+    /// keep only the `≺_V`-maximal answers — those no other answer is
+    /// strictly preferred to — ordered by the remaining components.
+    pub fn winnow(&self, answers: Vec<Answer>, stats: &mut ExecStats) -> Vec<Answer> {
+        let mut layers = self.layer(answers, stats);
+        let mut top = if layers.is_empty() { Vec::new() } else { layers.swap_remove(0) };
+        top.sort_by(|a, b| {
+            cmp_f64_desc(a.k, b.k)
+                .then_with(|| cmp_f64_desc(a.s, b.s))
+                .then_with(|| a.tiebreak().cmp(&b.tiebreak()))
+        });
+        top
+    }
+
+    fn layer_and_sort_s(&self, group: Vec<Answer>, stats: &mut ExecStats) -> Vec<Answer> {
+        let mut out = Vec::with_capacity(group.len());
+        for mut layer in self.layer(group, stats) {
+            layer.sort_by(|a, b| {
+                cmp_f64_desc(a.s, b.s).then_with(|| a.tiebreak().cmp(&b.tiebreak()))
+            });
+            out.extend(layer);
+        }
+        out
+    }
+
+    /// Dominance layering: repeatedly peel off the answers that no
+    /// remaining answer is strictly preferred to.
+    fn layer(&self, mut pool: Vec<Answer>, stats: &mut ExecStats) -> Vec<Vec<Answer>> {
+        if self.vors.is_empty() || pool.len() <= 1 {
+            return vec![pool];
+        }
+        let mut layers = Vec::new();
+        while !pool.is_empty() {
+            let mut maximal = Vec::new();
+            let mut rest = Vec::new();
+            'next: for i in 0..pool.len() {
+                for j in 0..pool.len() {
+                    if i != j
+                        && self.vor_compare(&pool[j], &pool[i], stats) == VorOutcome::PreferA
+                    {
+                        rest.push(pool[i].clone());
+                        continue 'next;
+                    }
+                }
+                maximal.push(pool[i].clone());
+            }
+            if maximal.is_empty() {
+                // Defensive: a preference cycle (only possible if static
+                // analysis was skipped on an ambiguous profile) — emit the
+                // remainder as one layer rather than looping forever.
+                layers.push(rest);
+                break;
+            }
+            layers.push(maximal);
+            pool = rest;
+        }
+        layers
+    }
+}
+
+/// Descending f64 comparison with total order semantics (NaN never occurs:
+/// scores are sums of bounded non-negative terms).
+pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
+    b.partial_cmp(&a).unwrap_or(Ordering::Equal)
+}
+
+fn sort_numeric_desc(answers: &mut [Answer], key: impl Fn(&Answer) -> f64) {
+    answers.sort_by(|a, b| {
+        cmp_f64_desc(key(a), key(b)).then_with(|| a.tiebreak().cmp(&b.tiebreak()))
+    });
+}
+
+/// Split a sorted-by-key vector into maximal runs of equal key.
+fn split_groups(answers: Vec<Answer>, key: impl Fn(&Answer) -> f64) -> Vec<Vec<Answer>> {
+    let mut groups: Vec<Vec<Answer>> = Vec::new();
+    for a in answers {
+        match groups.last_mut() {
+            Some(g) if key(g.last().expect("nonempty")) == key(&a) => g.push(a),
+            _ => groups.push(vec![a]),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::VorKey;
+    use pimento_index::{DocId, ElemEntry};
+    use pimento_profile::AttrValue;
+    use pimento_xml::NodeId;
+    use std::collections::HashMap;
+
+    fn mk(start: u32, s: f64, k: f64, color: Option<&str>, mileage: Option<f64>) -> Answer {
+        let elem = ElemEntry { doc: DocId(0), node: NodeId(start), start, end: start + 1, level: 1 };
+        let mut fields = HashMap::new();
+        if let Some(c) = color {
+            fields.insert("color".to_string(), AttrValue::Str(c.to_string()));
+        }
+        if let Some(m) = mileage {
+            fields.insert("mileage".to_string(), AttrValue::Num(m));
+        }
+        Answer { elem, s, k, vor: Some(Rc::new(VorKey { tag: "car".into(), fields })) }
+    }
+
+    fn red_rule() -> ValueOrderingRule {
+        ValueOrderingRule::prefer_value("pi1", "car", "color", "red")
+    }
+
+    #[test]
+    fn kvs_orders_k_first() {
+        let ctx = RankContext::new(vec![], RankOrder::Kvs);
+        let mut ans = vec![mk(1, 0.9, 0.0, None, None), mk(2, 0.1, 1.0, None, None)];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 2, "higher K wins despite lower S");
+    }
+
+    #[test]
+    fn kvs_v_breaks_k_ties() {
+        let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
+        let mut ans = vec![
+            mk(1, 0.9, 1.0, Some("blue"), None),
+            mk(2, 0.1, 1.0, Some("red"), None),
+        ];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 2, "red preferred at equal K");
+        assert!(st.vor_comparisons > 0);
+    }
+
+    #[test]
+    fn s_breaks_remaining_ties() {
+        let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
+        let mut ans = vec![
+            mk(1, 0.2, 0.0, Some("red"), None),
+            mk(2, 0.8, 0.0, Some("red"), None),
+        ];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 2);
+    }
+
+    #[test]
+    fn vks_orders_v_before_k() {
+        let ctx = RankContext::new(vec![red_rule()], RankOrder::Vks);
+        let mut ans = vec![
+            mk(1, 0.0, 5.0, Some("blue"), None),
+            mk(2, 0.0, 0.0, Some("red"), None),
+        ];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 2, "V precedes K in V,K,S");
+        // And under K,V,S the blue car with K=5 wins.
+        let ctx2 = RankContext::new(vec![red_rule()], RankOrder::Kvs);
+        ctx2.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 1);
+    }
+
+    #[test]
+    fn layering_handles_incomparables() {
+        // red preferred; two non-red incomparable answers fall in layer 0
+        // together with... no: red dominates nothing? π1: red ≺ non-red,
+        // so red answers dominate non-red ones.
+        let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
+        let mut ans = vec![
+            mk(1, 0.9, 0.0, Some("blue"), None),
+            mk(2, 0.5, 0.0, Some("red"), None),
+            mk(3, 0.7, 0.0, Some("green"), None),
+        ];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 2, "red in layer 0");
+        assert_eq!(ans[1].elem.start, 1, "non-red ordered by S within layer 1");
+        assert_eq!(ans[2].elem.start, 3);
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let ctx = RankContext::new(vec![], RankOrder::Kvs);
+        let mut ans = vec![mk(2, 0.5, 0.0, None, None), mk(1, 0.5, 0.0, None, None)];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 1, "document order breaks exact ties");
+    }
+
+    #[test]
+    fn multi_priority_layering() {
+        // priority 0: lower mileage; priority 1: red.
+        let r1 = ValueOrderingRule::prefer_smaller("m", "car", "mileage").with_priority(0);
+        let r2 = red_rule().with_priority(1);
+        let ctx = RankContext::new(vec![r1, r2], RankOrder::Kvs);
+        let mut ans = vec![
+            mk(1, 0.0, 0.0, Some("red"), Some(90.0)),
+            mk(2, 0.0, 0.0, Some("blue"), Some(10.0)),
+            mk(3, 0.0, 0.0, Some("red"), Some(10.0)),
+        ];
+        let mut st = ExecStats::default();
+        ctx.rank(&mut ans, &mut st);
+        assert_eq!(ans[0].elem.start, 3, "low mileage + red");
+        assert_eq!(ans[1].elem.start, 2, "low mileage blue");
+        assert_eq!(ans[2].elem.start, 1, "high mileage last");
+    }
+
+    #[test]
+    fn unfetched_vor_keys_are_incomparable() {
+        let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
+        let mut a = mk(1, 0.0, 0.0, Some("red"), None);
+        a.vor = None;
+        let b = mk(2, 0.0, 0.0, Some("blue"), None);
+        let mut st = ExecStats::default();
+        assert_eq!(ctx.vor_compare(&a, &b, &mut st), VorOutcome::Incomparable);
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion version of the Fig. 6 experiment: PushTopkPrune query time
+//! as document size and #KORs grow. Uses the smaller sizes so `cargo
+//! bench` stays tractable; the `fig6` binary runs the full 101K-10M sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimento::{Engine, PlanStrategy, SearchOptions};
+use pimento_bench::workloads::{fig5_profile, FIG5_QUERY};
+use pimento_datagen::xmark;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_push_scaling");
+    group.sample_size(10);
+    for (label, bytes) in [("101K", 101 * 1024), ("212K", 212 * 1024), ("468K", 468 * 1024)] {
+        let xml = xmark::generate(2007, bytes);
+        let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
+        for n_kors in [1usize, 4] {
+            let profile = fig5_profile(n_kors, false);
+            let opts = SearchOptions::top(10).with_strategy(PlanStrategy::Push);
+            group.bench_with_input(
+                BenchmarkId::new(label.to_string(), format!("kors{n_kors}")),
+                &n_kors,
+                |b, _| {
+                    b.iter(|| {
+                        let res = engine.search(FIG5_QUERY, &profile, &opts).expect("runs");
+                        assert!(!res.hits.is_empty());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

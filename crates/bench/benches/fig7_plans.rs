@@ -1,0 +1,33 @@
+//! Criterion version of the Fig. 7 experiment: the four plan strategies
+//! (NtpkP / NS-ILtpkP / S-ILtpkP / PtpkP) on one document, 4 KORs. The
+//! `fig7` binary runs the paper-faithful 10 MB x {1..4} KORs grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimento::{Engine, PlanStrategy, SearchOptions};
+use pimento_bench::workloads::{fig5_profile, FIG5_QUERY};
+use pimento_datagen::xmark;
+
+fn bench_fig7(c: &mut Criterion) {
+    let xml = xmark::generate(2007, 512 * 1024);
+    let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
+    let profile = fig5_profile(4, false);
+    let mut group = c.benchmark_group("fig7_plan_comparison");
+    group.sample_size(10);
+    for strategy in PlanStrategy::all() {
+        let opts = SearchOptions::top(10).with_strategy(strategy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.paper_name()),
+            &strategy,
+            |b, _| {
+                b.iter(|| {
+                    let res = engine.search(FIG5_QUERY, &profile, &opts).expect("runs");
+                    assert_eq!(res.hits.len(), 10);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

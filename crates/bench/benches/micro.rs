@@ -1,0 +1,285 @@
+//! Micro-benchmarks of the building blocks: XML parsing + index build,
+//! TPQ containment, SR conflict analysis, VOR ambiguity detection, and a
+//! personalized end-to-end query over the dealer corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimento::algebra::Database;
+use pimento::index::Collection;
+use pimento::profile::{
+    analyze_conflicts, detect_ambiguity, Atom, ScopingRule, ValueOrderingRule,
+};
+use pimento::tpq::{contains, minimized, parse_tpq};
+use pimento_datagen::{carsale, xmark};
+
+fn bench_parse_index(c: &mut Criterion) {
+    let xml = xmark::generate(7, 256 * 1024);
+    c.bench_function("parse_and_index_256K", |b| {
+        b.iter(|| {
+            let mut coll = Collection::new();
+            coll.add_xml(&xml).expect("parses");
+            let db = Database::index_plain(coll);
+            assert!(db.inverted.num_docs() == 1);
+        })
+    });
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let wide = parse_tpq(r#"//car[.//description and ./price < 2000]"#).unwrap();
+    let narrow = parse_tpq(
+        r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 1500 and ./owner]"#,
+    )
+    .unwrap();
+    c.bench_function("tpq_containment", |b| {
+        b.iter(|| {
+            assert!(contains(&wide, &narrow));
+            assert!(!contains(&narrow, &wide));
+        })
+    });
+    let redundant = parse_tpq("//car[./price and ./price and .//price and ./color]").unwrap();
+    c.bench_function("tpq_minimization", |b| {
+        b.iter(|| {
+            let m = minimized(&redundant);
+            assert_eq!(m.len(), 3);
+        })
+    });
+}
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let query = parse_tpq(
+        r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+    )
+    .unwrap();
+    let rules = vec![
+        ScopingRule::delete(
+            "rho1",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![Atom::ft("description", "good condition")],
+        )
+        .with_priority(2),
+        ScopingRule::add(
+            "rho2",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "american")],
+        )
+        .with_priority(1),
+        ScopingRule::delete(
+            "rho3",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "low mileage")],
+        )
+        .with_priority(3),
+    ];
+    c.bench_function("sr_conflict_analysis", |b| {
+        b.iter(|| {
+            let a = analyze_conflicts(&rules, &query).expect("priorities resolve");
+            assert_eq!(a.order.len(), 3);
+        })
+    });
+
+    let vors: Vec<ValueOrderingRule> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                ValueOrderingRule::prefer_value(&format!("v{i}"), "car", &format!("a{i}"), "x")
+            } else {
+                ValueOrderingRule::prefer_smaller(&format!("v{i}"), "car", &format!("a{i}"))
+            }
+        })
+        .collect();
+    c.bench_function("vor_ambiguity_detection", |b| {
+        b.iter(|| {
+            let r = detect_ambiguity(&vors);
+            assert!(r.is_ambiguous());
+        })
+    });
+}
+
+fn bench_end_to_end_dealer(c: &mut Criterion) {
+    let xml = carsale::generate_dealer(3, 2000);
+    let engine = pimento::Engine::from_xml_docs(&[&xml]).expect("parses");
+    let profile = pimento::profile::UserProfile::new()
+        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+        .with_kor(pimento::profile::KeywordOrderingRule::new("pi5", "car", "NYC"));
+    c.bench_function("dealer_personalized_top10", |b| {
+        b.iter(|| {
+            let res = engine
+                .search(
+                    r#"//car[ftcontains(., "good condition") and ./price < 3000]"#,
+                    &profile,
+                    &pimento::SearchOptions::top(10),
+                )
+                .expect("runs");
+            assert!(!res.hits.is_empty());
+        })
+    });
+}
+
+fn bench_eval_modes(c: &mut Criterion) {
+    // Ablation: per-candidate indexed nested loops vs the bulk
+    // structural-join pre-filter, on a selective twig query.
+    let xml = xmark::generate(11, 512 * 1024);
+    let engine = pimento::Engine::from_xml_docs(&[&xml]).expect("parses");
+    let query = r#"//person[ftcontains(.//business, "Yes") and .//city[ftcontains(., "Phoenix")]]"#;
+    let mut group = c.benchmark_group("eval_mode_ablation");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("indexed-nested-loop", pimento::EvalMode::IndexedNestedLoop),
+        ("structural-join", pimento::EvalMode::StructuralJoin),
+    ] {
+        let opts = pimento::SearchOptions::top(10).with_eval_mode(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let res = engine
+                    .search(query, &pimento::profile::UserProfile::new(), &opts)
+                    .expect("runs");
+                assert!(!res.hits.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_io(c: &mut Criterion) {
+    let registry = pimento::profile::PrefRelRegistry::new();
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../profiles/fig2.rules"
+    ))
+    .expect("fig2.rules exists");
+    c.bench_function("rule_language_parse_fig2", |b| {
+        b.iter(|| {
+            let p = pimento::profile::parse_profile(&text, &registry).expect("parses");
+            assert_eq!(p.kors.len(), 2);
+        })
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let xml = xmark::generate(5, 256 * 1024);
+    let mut coll = Collection::new();
+    coll.add_xml(&xml).unwrap();
+    let snapshot = pimento::index::save_collection(&coll);
+    c.bench_function("snapshot_save_256K", |b| {
+        b.iter(|| {
+            let s = pimento::index::save_collection(&coll);
+            assert!(!s.is_empty());
+        })
+    });
+    c.bench_function("snapshot_load_256K", |b| {
+        b.iter(|| {
+            let loaded = pimento::index::load_collection(&snapshot).expect("loads");
+            assert_eq!(loaded.len(), 1);
+        })
+    });
+}
+
+fn bench_parallel_ingest(c: &mut Criterion) {
+    let docs: Vec<String> = (0..16).map(|i| xmark::generate(i, 64 * 1024)).collect();
+    let mut group = c.benchmark_group("parallel_ingest_16x64K");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                let coll =
+                    pimento::index::build_collection_parallel(&docs, threads).expect("parses");
+                assert_eq!(coll.len(), 16);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_prune(c: &mut Criterion) {
+    // §6.3 ablation: the three pruning regimes over a synthetic stream of
+    // 10k answers (Algorithm 1: S only; Algorithm 3: K bound; Algorithm 2:
+    // V comparisons on K ties).
+    use pimento::algebra::{Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune, VorKey};
+    use pimento::index::{DocId, ElemEntry};
+    use pimento::profile::{AttrValue, RankOrder, ValueOrderingRule};
+    use std::rc::Rc;
+
+    struct Stub(Vec<Answer>, usize);
+    impl Operator for Stub {
+        fn next(&mut self, _db: &Database, _s: &mut ExecStats) -> Option<Answer> {
+            let a = self.0.get(self.1).cloned();
+            self.1 += 1;
+            a
+        }
+        fn describe(&self) -> String {
+            "stub".into()
+        }
+    }
+
+    let mut coll = Collection::new();
+    coll.add_xml("<x/>").unwrap();
+    let db = Database::index_plain(coll);
+    let answers: Vec<Answer> = (0..10_000u32)
+        .map(|i| {
+            let elem = ElemEntry {
+                doc: DocId(0),
+                node: pimento::xml::NodeId(0),
+                start: i,
+                end: i + 1,
+                level: 1,
+            };
+            let mut a = Answer::new(elem, ((i * 7919) % 1000) as f64 / 1000.0);
+            a.k = (i % 5) as f64;
+            let mut fields = std::collections::HashMap::new();
+            fields.insert(
+                "color".to_string(),
+                AttrValue::Str(if i % 3 == 0 { "red" } else { "blue" }.into()),
+            );
+            a.vor = Some(Rc::new(VorKey { tag: "car".into(), fields }));
+            a
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("topk_prune_10k");
+    group.sample_size(20);
+    for (label, kor_bound, use_v, vors) in [
+        ("alg1_s_only", 0.0, false, vec![]),
+        ("alg3_k_bound", 2.0, false, vec![]),
+        (
+            "alg2_v_aware",
+            0.0,
+            true,
+            vec![ValueOrderingRule::prefer_value("red", "car", "color", "red")],
+        ),
+    ] {
+        let rank = RankContext::new(vors.clone(), RankOrder::Kvs);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = TopkConfig {
+                    k: 10,
+                    query_scorebound: 0.0,
+                    kor_scorebound: kor_bound,
+                    use_v,
+                    sorted_input: false,
+                    last: false,
+                };
+                let mut op =
+                    TopkPrune::new(Box::new(Stub(answers.clone(), 0)), Rc::clone(&rank), cfg);
+                let mut stats = ExecStats::default();
+                let mut survivors = 0u32;
+                while op.next(&db, &mut stats).is_some() {
+                    survivors += 1;
+                }
+                assert!(survivors >= 10);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse_index,
+    bench_containment,
+    bench_static_analysis,
+    bench_end_to_end_dealer,
+    bench_eval_modes,
+    bench_profile_io,
+    bench_persistence,
+    bench_parallel_ingest,
+    bench_topk_prune
+);
+criterion_main!(benches);

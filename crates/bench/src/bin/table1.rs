@@ -1,0 +1,29 @@
+//! Regenerates **Table 1** (paper §7.1): per-topic effectiveness of
+//! personalization on the synthetic INEX-like collection.
+
+use pimento_bench::table1;
+use pimento_datagen::inex;
+
+fn main() {
+    let stemming = std::env::args().any(|a| a == "--stemming");
+    let seed = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2007);
+    eprintln!("generating INEX-like corpus (seed {seed})...");
+    let corpus = inex::generate(seed);
+    eprintln!(
+        "{} articles, {} topics; running base + personalized queries (best 5 per element type)...",
+        corpus.xml_docs.len(),
+        corpus.topics.len()
+    );
+    let tokenizer = if stemming {
+        eprintln!("(stemming relaxation enabled, §7.1)");
+        pimento::index::Tokenizer::stemming()
+    } else {
+        pimento::index::Tokenizer::plain()
+    };
+    let rows = table1::run_with(&corpus, 5, tokenizer);
+    print!("{}", table1::render(&rows));
+}

@@ -1,0 +1,16 @@
+//! # pimento-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! PIMENTO paper's evaluation (§7):
+//!
+//! * [`table1`] — INEX effectiveness (Table 1):
+//!   `cargo run -p pimento-bench --release --bin table1`
+//! * [`perf`]::run_fig6 — PushTopkPrune scaling (Fig. 6):
+//!   `cargo run -p pimento-bench --release --bin fig6`
+//! * [`perf`]::run_fig7 — plan comparison (Fig. 7) and the §7.2 KOR-order
+//!   ablation: `cargo run -p pimento-bench --release --bin fig7 [-- --ablation]`
+//! * Criterion micro/meso benches: `cargo bench --workspace`.
+
+pub mod perf;
+pub mod table1;
+pub mod workloads;

@@ -1,0 +1,64 @@
+//! The concrete workloads of the paper's evaluation section.
+
+use pimento::profile::{KeywordOrderingRule, UserProfile, ValueOrderingRule};
+
+/// The Fig. 5 XMark query: `ad(person, business) &
+/// ftcontains(business, "Yes")`.
+pub const FIG5_QUERY: &str = r#"//person[ftcontains(.//business, "Yes")]"#;
+
+/// The Fig. 5 keyword ordering rules π1–π4, in the paper's order.
+///
+/// Weights follow keyword rarity in the generated corpus (idf-style:
+/// "male" matches ~50% of persons, "College" 25%, "United States" and
+/// "Phoenix" 10%). The paper's engine contributed *scores* per KOR and
+/// §7.2 reasons about "the KOR which contributes the highest score", so
+/// non-uniform contributions are part of the workload's character — and
+/// they are what lets the pushed prunes below later KORs actually fire.
+pub fn fig5_kors() -> Vec<KeywordOrderingRule> {
+    vec![
+        KeywordOrderingRule::weighted("pi1", "person", "male", 0.7),
+        KeywordOrderingRule::weighted("pi2", "person", "United States", 2.3),
+        KeywordOrderingRule::weighted("pi3", "person", "College", 1.4),
+        KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 2.3),
+    ]
+}
+
+/// The Fig. 5 value-based ordering rule π5: `x.age = 33 & y.age ≠ 33 →
+/// x ≺ y`.
+pub fn fig5_vor() -> ValueOrderingRule {
+    ValueOrderingRule::prefer_value("pi5", "person", "age", "33")
+}
+
+/// The full Fig. 5 profile with the first `n_kors` keyword rules
+/// (the Fig. 6/7 sweeps vary 1..=4) and optionally π5.
+pub fn fig5_profile(n_kors: usize, with_vor: bool) -> UserProfile {
+    let mut profile = UserProfile::new();
+    for kor in fig5_kors().into_iter().take(n_kors) {
+        profile = profile.with_kor(kor);
+    }
+    if with_vor {
+        profile = profile.with_vor(fig5_vor());
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_pieces() {
+        assert_eq!(fig5_kors().len(), 4);
+        let p = fig5_profile(2, true);
+        assert_eq!(p.kors.len(), 2);
+        assert_eq!(p.vors.len(), 1);
+        assert_eq!(p.kors[0].id, "pi1");
+        let p0 = fig5_profile(0, false);
+        assert!(p0.is_empty());
+    }
+
+    #[test]
+    fn fig5_query_parses() {
+        pimento::tpq::parse_tpq(FIG5_QUERY).unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! `pimento` — command-line personalized XML search.
+//!
+//! ```text
+//! pimento --docs cars.xml dealer2.xml \
+//!         --query '//car[ftcontains(., "good condition") and ./price < 2000]' \
+//!         --profile profile.rules --k 10 --strategy push --explain
+//! ```
+//!
+//! The profile file uses the paper's rule language (one rule per line,
+//! `#` comments — see `pimento_profile::parse`):
+//!
+//! ```text
+//! rho3: if ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+//! pi1:  x.tag = car & y.tag = car & x.color = "red" & y.color != "red" -> x < y
+//! pi5:  x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y
+//! ```
+
+use pimento::profile::{parse_profile, PrefRelRegistry, UserProfile};
+use pimento::{Engine, KorOrder, PlanStrategy, SearchOptions};
+use std::process::ExitCode;
+
+struct Args {
+    docs: Vec<String>,
+    query: String,
+    profile: Option<String>,
+    k: usize,
+    strategy: PlanStrategy,
+    explain: bool,
+    analyze: bool,
+    winnow: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pimento --docs FILE... --query QUERY [--profile RULES_FILE] \
+         [--k N] [--strategy naive|il|sil|push] [--explain] [--analyze] [--winnow]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        docs: Vec::new(),
+        query: String::new(),
+        profile: None,
+        k: 10,
+        strategy: PlanStrategy::Push,
+        explain: false,
+        analyze: false,
+        winnow: false,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--docs" => {
+                while let Some(f) = it.peek() {
+                    if f.starts_with("--") {
+                        break;
+                    }
+                    args.docs.push(it.next().expect("peeked"));
+                }
+            }
+            "--query" => args.query = it.next().unwrap_or_else(|| usage()),
+            "--profile" => args.profile = Some(it.next().unwrap_or_else(|| usage())),
+            "--k" => {
+                args.k = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--strategy" => {
+                args.strategy = match it.next().as_deref() {
+                    Some("naive") => PlanStrategy::Naive,
+                    Some("il") => PlanStrategy::InterleaveUnsorted,
+                    Some("sil") => PlanStrategy::InterleaveSorted,
+                    Some("push") => PlanStrategy::Push,
+                    _ => usage(),
+                }
+            }
+            "--explain" => args.explain = true,
+            "--analyze" => args.analyze = true,
+            "--winnow" => args.winnow = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.docs.is_empty() || args.query.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let mut xmls = Vec::new();
+    for path in &args.docs {
+        match std::fs::read_to_string(path) {
+            Ok(s) => xmls.push(s),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let engine = match Engine::from_xml_docs(&xmls) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot parse documents: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let profile = match &args.profile {
+        None => UserProfile::new(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_profile(&text, &PrefRelRegistry::new()) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    if args.analyze {
+        // Corpus summary.
+        let db = engine.db();
+        print!("{}", pimento::index::CorpusStats::compute(&db.coll, &db.inverted, &db.tags).render());
+        // Profile lint.
+        for warning in pimento::profile::validate(&profile) {
+            println!("profile warning: {warning}");
+        }
+        match pimento::analyze(&args.query, &profile) {
+            Ok(report) => print!("{}", report.text),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+
+    let opts = SearchOptions {
+        strategy: args.strategy,
+        eval_mode: pimento::EvalMode::StructuralJoin,
+        trace: args.explain,
+        minimize: true,
+        kor_order: KorOrder::HighestWeightFirst,
+        ..SearchOptions::top(args.k)
+    };
+    let results = if args.winnow {
+        match engine.winnow(&args.query, &profile, args.k) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match engine.search(&args.query, &profile, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if !results.applied_rules.is_empty() || !results.skipped_rules.is_empty() {
+        println!(
+            "scoping rules applied: [{}] skipped: [{}] (flock of {})",
+            results.applied_rules.join(", "),
+            results.skipped_rules.join(", "),
+            results.flock_size
+        );
+    }
+    for hit in &results.hits {
+        println!("#{:<3} K={:<6.2} S={:<6.3} doc{} {}", hit.rank, hit.k, hit.s, hit.elem.doc.0, hit.text);
+        if !hit.satisfied_kors.is_empty() || !hit.satisfied_optional.is_empty() {
+            println!(
+                "     because: kors={:?} optional={:?}",
+                hit.satisfied_kors, hit.satisfied_optional
+            );
+        }
+    }
+    if results.hits.is_empty() {
+        println!("(no answers)");
+    }
+    if args.explain {
+        println!("\nplan: {}", results.explain);
+        if !results.trace.is_empty() {
+            println!("\n{}", results.trace);
+        }
+        println!(
+            "stats: base={} pruned={} bulk={} ft_probes={} vor_cmps={}",
+            results.stats.base_answers,
+            results.stats.pruned,
+            results.stats.bulk_pruned,
+            results.stats.ft_probes,
+            results.stats.vor_comparisons
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,567 @@
+//! The PIMENTO engine: index a collection once, then answer personalized
+//! top-k queries against it.
+
+use crate::error::Error;
+use crate::result::{SearchOptions, SearchResult, SearchResults};
+use pimento_algebra::{build_plan, Database, Matcher, PlanSpec, RankContext};
+use pimento_index::ft_contains;
+use pimento_index::{Collection, Tokenizer};
+use pimento_profile::{PersonalizedQuery, UserProfile};
+use pimento_tpq::{minimized, parse_tpq, simplify_predicates, Tpq};
+use std::rc::Rc;
+
+/// The search engine: an indexed collection plus query-time machinery.
+#[derive(Debug)]
+pub struct Engine {
+    db: Database,
+}
+
+impl Engine {
+    /// Index an existing collection (plain tokenizer).
+    pub fn new(coll: Collection) -> Self {
+        Engine { db: Database::index_plain(coll) }
+    }
+
+    /// Index with an explicit tokenizer (e.g. stemming, §7.1).
+    pub fn with_tokenizer(coll: Collection, tokenizer: Tokenizer) -> Self {
+        Engine { db: Database::index(coll, tokenizer) }
+    }
+
+    /// Convenience: parse and index XML documents.
+    pub fn from_xml_docs<S: AsRef<str>>(docs: &[S]) -> Result<Self, Error> {
+        let mut coll = Collection::new();
+        for d in docs {
+            coll.add_xml(d.as_ref())?;
+        }
+        Ok(Engine::new(coll))
+    }
+
+    /// Parse documents on `threads` worker threads, then index.
+    pub fn from_xml_docs_parallel<S: AsRef<str> + Sync>(
+        docs: &[S],
+        threads: usize,
+    ) -> Result<Self, Error> {
+        let coll = pimento_index::build_collection_parallel(docs, threads)?;
+        Ok(Engine::new(coll))
+    }
+
+    /// Serialize the engine's collection to a binary snapshot (parse once,
+    /// reload instantly with [`Engine::from_snapshot`]).
+    pub fn save_snapshot(&self) -> bytes::Bytes {
+        pimento_index::save_collection(&self.db.coll)
+    }
+
+    /// Rebuild an engine from a snapshot produced by
+    /// [`Engine::save_snapshot`]; indexes are rebuilt on load.
+    pub fn from_snapshot(data: &[u8]) -> Result<Self, Error> {
+        let coll = pimento_index::load_collection(data)?;
+        Ok(Engine::new(coll))
+    }
+
+    /// The underlying indexed database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Add a document to a live engine; indexes update incrementally.
+    pub fn add_xml(&mut self, xml: &str) -> Result<(), Error> {
+        self.db.add_xml(xml)?;
+        Ok(())
+    }
+
+    /// Personalize `query` under `profile`: run the static analyses and
+    /// produce the annotated query (flock encoding) without executing it.
+    pub fn personalize(&self, query: &str, profile: &UserProfile) -> Result<PersonalizedQuery, Error> {
+        let tpq = parse_tpq(query)?;
+        Ok(profile.enforce_scoping(&tpq)?)
+    }
+
+    /// Full personalized search: rewrite, plan, execute, rank, top-k.
+    pub fn search(
+        &self,
+        query: &str,
+        profile: &UserProfile,
+        opts: &SearchOptions,
+    ) -> Result<SearchResults, Error> {
+        let tpq = parse_tpq(query)?;
+        self.search_tpq(&tpq, profile, opts)
+    }
+
+    /// Like [`Engine::search`], for an already-built pattern.
+    pub fn search_tpq(
+        &self,
+        query: &Tpq,
+        profile: &UserProfile,
+        opts: &SearchOptions,
+    ) -> Result<SearchResults, Error> {
+        let prepared = self.prepare_tpq(query, profile, opts.minimize)?;
+        self.run_prepared(&prepared, opts)
+    }
+
+    /// Compile a query + profile into a reusable [`PreparedSearch`]: the
+    /// static analysis, flock encoding, and keyword analysis run once;
+    /// [`Engine::run_prepared`] then executes with different options
+    /// (k, strategy, pagination) without re-preparing.
+    pub fn prepare(&self, query: &str, profile: &UserProfile) -> Result<PreparedSearch, Error> {
+        let tpq = parse_tpq(query)?;
+        self.prepare_tpq(&tpq, profile, false)
+    }
+
+    fn prepare_tpq(
+        &self,
+        query: &Tpq,
+        profile: &UserProfile,
+        minimize: bool,
+    ) -> Result<PreparedSearch, Error> {
+        let query = if minimize {
+            let mut q = minimized(query);
+            // Keyword predicates stay (they contribute to S); implied
+            // comparisons are dead weight.
+            simplify_predicates(&mut q, false);
+            q
+        } else {
+            query.clone()
+        };
+        let pq = profile.enforce_scoping(&query)?;
+        Ok(PreparedSearch {
+            matcher: Rc::new(Matcher::new(&self.db, pq)),
+            kors: profile.kors.clone(),
+            rank: RankContext::new(profile.vors.clone(), profile.rank_order),
+            profile: profile.clone(),
+        })
+    }
+
+    /// Execute a [`PreparedSearch`] with the given options.
+    pub fn run_prepared(
+        &self,
+        prepared: &PreparedSearch,
+        opts: &SearchOptions,
+    ) -> Result<SearchResults, Error> {
+        if opts.k == 0 {
+            return Err(Error::InvalidK);
+        }
+        let matcher = Rc::clone(&prepared.matcher);
+        let rank = Rc::clone(&prepared.rank);
+        let profile = &prepared.profile;
+        let spec = if opts.auto {
+            PlanSpec {
+                trace: opts.trace,
+                ..pimento_algebra::choose_spec(&matcher, &profile.kors, opts.k + opts.offset)
+            }
+        } else {
+            PlanSpec {
+                k: opts.k + opts.offset,
+                strategy: opts.strategy,
+                kor_order: opts.kor_order,
+                eval_mode: opts.eval_mode,
+                trace: opts.trace,
+            }
+        };
+        let plan = build_plan(&self.db, Rc::clone(&matcher), &prepared.kors, rank, spec);
+        let explain = plan.explain();
+        let (answers, stats, trace) = plan.execute_analyzed(&self.db);
+        let hits = answers
+            .into_iter()
+            .skip(opts.offset)
+            .enumerate()
+            .map(|(i, a)| {
+                let mut hit = SearchResult::from_answer(&self.db, opts.offset + i + 1, a);
+                self.annotate_hit(&matcher, profile, &mut hit);
+                hit
+            })
+            .collect();
+        Ok(SearchResults {
+            hits,
+            stats,
+            explain,
+            trace,
+            applied_rules: matcher.personalized().flock.applied_rules.clone(),
+            skipped_rules: matcher.personalized().flock.skipped_rules.clone(),
+            flock_size: matcher.personalized().flock.members.len(),
+        })
+    }
+    /// Chomicki's *winnow* over the personalized answers (paper §2): the
+    /// `≺_V`-maximal answers only — every answer no other answer is
+    /// strictly preferred to — instead of a top-k cut. KOR scores and the
+    /// query score order the winnowed set.
+    pub fn winnow(
+        &self,
+        query: &str,
+        profile: &UserProfile,
+        limit: usize,
+    ) -> Result<SearchResults, Error> {
+        use pimento_algebra::{Answer, ExecStats, VorFetch};
+        use pimento_algebra::{BoxedOp, QueryEval};
+        let tpq = pimento_tpq::parse_tpq(query)?;
+        let pq = profile.enforce_scoping(&tpq)?;
+        let matcher = Rc::new(Matcher::new(&self.db, pq));
+        let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
+        // Materialize all personalized answers (no pruning — winnow needs
+        // the full dominance picture), then layer-0 filter.
+        let mut stats = ExecStats::default();
+        let mut op: BoxedOp = Box::new(QueryEval::new(Rc::clone(&matcher)));
+        for phrase in matcher.optional_keywords() {
+            op = Box::new(pimento_algebra::SrPredJoin::new(op, Rc::clone(&matcher), phrase));
+        }
+        for kor in profile.kors.clone() {
+            op = Box::new(pimento_algebra::KorJoin::new(op, &self.db, kor));
+        }
+        if !rank.vors.is_empty() {
+            op = Box::new(VorFetch::new(op, &rank));
+        }
+        let mut answers: Vec<Answer> = Vec::new();
+        while let Some(a) = op.next(&self.db, &mut stats) {
+            answers.push(a);
+        }
+        let winnowed = rank.winnow(answers, &mut stats);
+        stats.emitted = winnowed.len().min(limit) as u64;
+        let hits = winnowed
+            .into_iter()
+            .take(limit)
+            .enumerate()
+            .map(|(i, a)| {
+                let mut hit = SearchResult::from_answer(&self.db, i + 1, a);
+                self.annotate_hit(&matcher, profile, &mut hit);
+                hit
+            })
+            .collect();
+        Ok(SearchResults {
+            hits,
+            stats,
+            explain: "winnow(≺_V-maximal) -> kor* -> SrPredJoin* -> QueryEval".to_string(),
+            trace: String::new(),
+            applied_rules: matcher.personalized().flock.applied_rules.clone(),
+            skipped_rules: matcher.personalized().flock.skipped_rules.clone(),
+            flock_size: matcher.personalized().flock.members.len(),
+        })
+    }
+
+    /// Post-hoc provenance: which KORs and which SR-contributed optional
+    /// predicates this hit satisfies. Re-evaluating over the top k only is
+    /// far cheaper than threading provenance through every operator.
+    fn annotate_hit(
+        &self,
+        matcher: &Matcher,
+        profile: &UserProfile,
+        hit: &mut SearchResult,
+    ) {
+        let elem = pimento_algebra::entry_of(&self.db, hit.elem.doc, hit.elem.node);
+        let tag = self
+            .db
+            .coll
+            .node(hit.elem)
+            .tag()
+            .map(|t| self.db.coll.symbols().name(t))
+            .unwrap_or("");
+        for kor in &profile.kors {
+            if kor.tag != "*" && !kor.tag.eq_ignore_ascii_case(tag) {
+                continue;
+            }
+            let tokens = self.db.inverted.analyze(&kor.phrase);
+            if ft_contains(&self.db.inverted, &elem, &tokens) {
+                hit.satisfied_kors.push(kor.id.clone());
+            }
+        }
+        let mut probes = 0u64;
+        for pred in matcher.optional_keywords() {
+            if matcher.eval_pred_near(&self.db, &pred, &elem, &mut probes) > 0.0 {
+                hit.satisfied_optional.push(pred.describe());
+            }
+        }
+    }
+}
+
+/// A compiled query + profile pair (see [`Engine::prepare`]). Holds the
+/// analyzed matcher, so it is tied to the engine it was prepared against
+/// and is not `Send` (per-thread preparation is cheap).
+pub struct PreparedSearch {
+    matcher: Rc<Matcher>,
+    kors: Vec<pimento_profile::KeywordOrderingRule>,
+    rank: Rc<RankContext>,
+    profile: UserProfile,
+}
+
+impl PreparedSearch {
+    /// Scoping rules that fired during preparation.
+    pub fn applied_rules(&self) -> &[String] {
+        &self.matcher.personalized().flock.applied_rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_profile::{Atom, KeywordOrderingRule, ScopingRule, ValueOrderingRule};
+
+    const CARS: &str = r#"<dealer>
+        <car><description>Powerful car. I am selling my 2001 car at the best bid. It is in good condition as I was the only driver. I used it to go to work in NYC.</description><date>2001</date><price>500</price><owner>John Smith</owner><horsepower>200</horsepower></car>
+        <car><description>Low mileage. Bought on 11/2005. Eager seller. good condition</description><color>red</color><horsepower>120</horsepower><mileage>50.000</mileage><price>500</price><location>NYC</location></car>
+        <car><description>american classic in good condition</description><price>1500</price><color>blue</color><mileage>90000</mileage></car>
+        <car><description>rusty</description><price>200</price></car>
+    </dealer>"#;
+
+    fn engine() -> Engine {
+        Engine::from_xml_docs(&[CARS]).unwrap()
+    }
+
+    #[test]
+    fn unpersonalized_search_ranks_by_s() {
+        let e = engine();
+        let res = e
+            .search(
+                r#"//car[ftcontains(., "good condition") and ./price < 2000]"#,
+                &UserProfile::new(),
+                &SearchOptions::top(3),
+            )
+            .unwrap();
+        assert_eq!(res.hits.len(), 3);
+        assert!(res.hits[0].s >= res.hits[1].s);
+        assert_eq!(res.flock_size, 1);
+    }
+
+    #[test]
+    fn paper_running_example_end_to_end() {
+        let e = engine();
+        // Profile: ρ2 (add "american"), ρ3 (drop "low mileage"), π1 (red
+        // preferred), π4/π5 (best bid / NYC KORs).
+        let profile = UserProfile::new()
+            .with_scoping(ScopingRule::add(
+                "rho2",
+                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![Atom::ft("description", "american")],
+            ))
+            .with_scoping(ScopingRule::delete(
+                "rho3",
+                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![Atom::ft("description", "low mileage")],
+            ))
+            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_kor(KeywordOrderingRule::new("pi4", "car", "best bid"))
+            .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
+        let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#;
+        let res = e.search(query, &profile, &SearchOptions::top(3)).unwrap();
+        // Without the profile only car 2 matches (good condition + low
+        // mileage + price). With ρ3 the "low mileage" requirement is
+        // optional, so cars 1 and 3 qualify too.
+        assert_eq!(res.hits.len(), 3);
+        assert_eq!(res.applied_rules, vec!["rho2", "rho3"]);
+        // Car 1 satisfies both KORs (best bid + NYC) → ranked first.
+        assert!(res.hits[0].k >= 2.0 - 1e-9, "K of top hit: {}", res.hits[0].k);
+        assert!(res.hits[0].text.contains("best bid"));
+    }
+
+    #[test]
+    fn vor_breaks_kor_ties() {
+        let e = engine();
+        let profile = UserProfile::new()
+            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"));
+        let res = e
+            .search(r#"//car[ftcontains(., "good condition")]"#, &profile, &SearchOptions::top(3))
+            .unwrap();
+        // All tie on K = 0; the red car must beat the blue/colorless ones
+        // in its V layer... among answers with equal K the red one leads.
+        assert!(res.hits[0].text.contains("red") || res.hits[0].xml.contains("red"));
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let e = engine();
+        assert!(matches!(
+            e.search("//car[", &UserProfile::new(), &SearchOptions::top(1)),
+            Err(Error::Query(_))
+        ));
+        assert!(matches!(
+            e.search("//car", &UserProfile::new(), &SearchOptions::top(0)),
+            Err(Error::InvalidK)
+        ));
+        assert!(Engine::from_xml_docs(&["<broken>"]).is_err());
+    }
+
+    #[test]
+    fn explain_is_populated() {
+        let e = engine();
+        let res = e.search("//car", &UserProfile::new(), &SearchOptions::top(1)).unwrap();
+        assert!(res.explain.contains("QueryEval"));
+        assert!(res.explain.contains("topkPrune"));
+    }
+
+    #[test]
+    fn minimize_option_simplifies_query() {
+        let e = engine();
+        let opts = SearchOptions { minimize: true, ..SearchOptions::top(2) };
+        let res = e.search("//car[./price and ./price]", &UserProfile::new(), &opts).unwrap();
+        assert_eq!(res.hits.len(), 2);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let e = engine();
+        let res = e.search("//car", &UserProfile::new(), &SearchOptions::top(2)).unwrap();
+        assert_eq!(res.stats.base_answers, 4);
+        assert_eq!(res.stats.emitted, 2);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use pimento_profile::UserProfile;
+
+    #[test]
+    fn snapshot_roundtrip_preserves_search_results() {
+        let docs: Vec<String> =
+            (0..4).map(|i| pimento_datagen::generate_dealer(i, 15)).collect();
+        let original = Engine::from_xml_docs(&docs).unwrap();
+        let snapshot = original.save_snapshot();
+        let restored = Engine::from_snapshot(&snapshot).unwrap();
+        let q = r#"//car[ftcontains(., "good condition")]"#;
+        let a = original.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        let b = restored.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        assert_eq!(a.elem_refs(), b.elem_refs());
+        assert!(Engine::from_snapshot(&snapshot[..5]).is_err());
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential() {
+        let docs: Vec<String> =
+            (0..8).map(|i| pimento_datagen::generate_dealer(100 + i, 10)).collect();
+        let seq = Engine::from_xml_docs(&docs).unwrap();
+        let par = Engine::from_xml_docs_parallel(&docs, 4).unwrap();
+        let q = r#"//car[./price < 2000]"#;
+        let a = seq.search(q, &UserProfile::new(), &SearchOptions::top(20)).unwrap();
+        let b = par.search(q, &UserProfile::new(), &SearchOptions::top(20)).unwrap();
+        assert_eq!(a.elem_refs().len(), b.elem_refs().len());
+    }
+}
+
+#[cfg(test)]
+mod provenance_tests {
+    use super::*;
+    use pimento_profile::{Atom, KeywordOrderingRule, ScopingRule, UserProfile};
+
+    #[test]
+    fn hits_carry_kor_and_sr_provenance() {
+        let e = Engine::from_xml_docs(&[r#"<dealer>
+            <car><description>good condition in NYC with american flair</description><price>100</price></car>
+            <car><description>good condition</description><price>200</price></car>
+        </dealer>"#])
+        .unwrap();
+        let profile = UserProfile::new()
+            .with_scoping(ScopingRule::add(
+                "rho2",
+                vec![Atom::ft("description", "good condition")],
+                vec![Atom::ft("description", "american")],
+            ))
+            .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
+        let res = e
+            .search(
+                r#"//car[ftcontains(./description, "good condition")]"#,
+                &profile,
+                &SearchOptions::top(2),
+            )
+            .unwrap();
+        assert_eq!(res.applied_rules, vec!["rho2"]);
+        let top = &res.hits[0];
+        assert!(top.text.contains("NYC"));
+        assert_eq!(top.satisfied_kors, vec!["pi5"]);
+        assert_eq!(top.satisfied_optional, vec!["american"]);
+        let second = &res.hits[1];
+        assert!(second.satisfied_kors.is_empty());
+        assert!(second.satisfied_optional.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use pimento_profile::{KeywordOrderingRule, UserProfile};
+
+    #[test]
+    fn trace_reports_per_operator_rows() {
+        let e = Engine::from_xml_docs(&[pimento_datagen::generate_dealer(5, 60)]).unwrap();
+        let profile =
+            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let opts = SearchOptions { trace: true, ..SearchOptions::top(5) };
+        let res = e
+            .search(r#"//car[ftcontains(., "good condition")]"#, &profile, &opts)
+            .unwrap();
+        assert!(res.trace.contains("QueryEval"), "{}", res.trace);
+        assert!(res.trace.contains("kor[nyc]"), "{}", res.trace);
+        assert!(res.trace.contains("topkPrune(final)"), "{}", res.trace);
+        // Untraced runs carry no report.
+        let res2 = e
+            .search(r#"//car"#, &profile, &SearchOptions::top(5))
+            .unwrap();
+        assert!(res2.trace.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod winnow_tests {
+    use super::*;
+    use pimento_profile::{UserProfile, ValueOrderingRule};
+
+    #[test]
+    fn winnow_returns_only_maximal_answers() {
+        let e = Engine::from_xml_docs(&[r#"<dealer>
+            <car><color>red</color><mileage>90000</mileage><price>1</price></car>
+            <car><color>blue</color><mileage>10000</mileage><price>2</price></car>
+            <car><color>red</color><mileage>10000</mileage><price>3</price></car>
+        </dealer>"#])
+        .unwrap();
+        // Priorities: mileage first, then red — car 3 dominates both others.
+        let profile = UserProfile::new()
+            .with_vor(ValueOrderingRule::prefer_smaller("m", "car", "mileage").with_priority(0))
+            .with_vor(ValueOrderingRule::prefer_value("c", "car", "color", "red").with_priority(1));
+        let res = e.winnow("//car", &profile, 10).unwrap();
+        assert_eq!(res.hits.len(), 1, "one dominant answer");
+        assert!(res.hits[0].xml.contains("<price>3</price>"));
+        // Without priorities π1/π2 are ambiguous: red-high-mileage and
+        // blue-low-mileage are mutually unordered, so winnow keeps the
+        // incomparable frontier.
+        let ambiguous = UserProfile::new()
+            .with_vor(ValueOrderingRule::prefer_smaller("m", "car", "mileage"))
+            .with_vor(ValueOrderingRule::prefer_value("c", "car", "color", "red"));
+        let res2 = e.winnow("//car", &ambiguous, 10).unwrap();
+        assert!(!res2.hits.is_empty());
+        assert!(res2.hits.iter().all(|h| !h.xml.contains("<price>1</price>")
+            || res2.hits.len() > 1));
+    }
+
+    #[test]
+    fn winnow_without_vors_keeps_everything() {
+        let e = Engine::from_xml_docs(&["<a><b>x</b><b>y</b></a>"]).unwrap();
+        let res = e.winnow("//b", &UserProfile::new(), 10).unwrap();
+        assert_eq!(res.hits.len(), 2);
+        let limited = e.winnow("//b", &UserProfile::new(), 1).unwrap();
+        assert_eq!(limited.hits.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prepared_tests {
+    use super::*;
+    use pimento_profile::{KeywordOrderingRule, UserProfile};
+
+    #[test]
+    fn prepared_search_reuses_across_options() {
+        let e = Engine::from_xml_docs(&[pimento_datagen::generate_dealer(17, 40)]).unwrap();
+        let profile =
+            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let q = r#"//car[ftcontains(., "good condition")]"#;
+        let prepared = e.prepare(q, &profile).unwrap();
+        let top3 = e.run_prepared(&prepared, &SearchOptions::top(3)).unwrap();
+        let top5 = e.run_prepared(&prepared, &SearchOptions::top(5)).unwrap();
+        assert_eq!(top3.hits.len().min(3), top3.hits.len());
+        assert_eq!(
+            top5.elem_refs()[..top3.hits.len()],
+            top3.elem_refs()[..],
+            "prefix stability across k"
+        );
+        // Same answers as the unprepared path.
+        let direct = e.search(q, &profile, &SearchOptions::top(5)).unwrap();
+        assert_eq!(direct.elem_refs(), top5.elem_refs());
+        // Invalid k still rejected.
+        assert!(e.run_prepared(&prepared, &SearchOptions { k: 0, ..SearchOptions::top(1) }).is_err());
+    }
+}

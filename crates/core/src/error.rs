@@ -1,0 +1,83 @@
+//! Unified error type for the engine facade.
+
+use pimento_index::PersistError;
+use pimento_profile::ConflictError;
+use pimento_tpq::ParseError;
+use pimento_xml::XmlError;
+use std::fmt;
+
+/// Anything that can fail while loading documents or answering a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Document parsing failed.
+    Xml(XmlError),
+    /// Query parsing failed.
+    Query(ParseError),
+    /// Scoping rules form an unresolvable conflict cycle.
+    Conflict(ConflictError),
+    /// A collection snapshot failed to decode.
+    Snapshot(PersistError),
+    /// `k` must be positive.
+    InvalidK,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "XML error: {e}"),
+            Error::Query(e) => write!(f, "query error: {e}"),
+            Error::Conflict(e) => write!(f, "profile error: {e}"),
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::InvalidK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::Conflict(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
+            Error::InvalidK => None,
+        }
+    }
+}
+
+impl From<XmlError> for Error {
+    fn from(e: XmlError) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<ConflictError> for Error {
+    fn from(e: ConflictError) -> Self {
+        Error::Conflict(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = pimento_tpq::parse_tpq("//a[").unwrap_err().into();
+        assert!(matches!(e, Error::Query(_)));
+        assert!(e.to_string().contains("query error"));
+        assert!(Error::InvalidK.to_string().contains("k"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Human-readable reports of the static analyses: what the profile does to
+//! a query before it runs.
+
+use crate::error::Error;
+use pimento_profile::UserProfile;
+use pimento_tpq::parse_tpq;
+use std::fmt::Write as _;
+
+/// A profile/query analysis report (conflicts, flock, ambiguity).
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Rendered multi-line description.
+    pub text: String,
+    /// Whether the VOR set is ambiguous under current priorities.
+    pub ambiguous: bool,
+    /// Whether SR conflicts required priorities (or failed).
+    pub conflict_arcs: usize,
+}
+
+/// Analyze `query` under `profile` without executing anything.
+pub fn analyze(query: &str, profile: &UserProfile) -> Result<AnalysisReport, Error> {
+    let tpq = parse_tpq(query)?;
+    let mut text = String::new();
+    let _ = writeln!(text, "query: {tpq}");
+
+    let conflicts = profile.check_conflicts(&tpq)?;
+    let _ = writeln!(
+        text,
+        "scoping rules: {} (conflict arcs: {}, resolution: {:?})",
+        profile.scoping.len(),
+        conflicts.arcs.len(),
+        conflicts.resolution
+    );
+    for &(a, b) in &conflicts.arcs {
+        let _ = writeln!(
+            text,
+            "  conflict: {} disables {}",
+            profile.scoping[a].id, profile.scoping[b].id
+        );
+    }
+
+    let pq = profile.enforce_scoping(&tpq)?;
+    let _ = writeln!(
+        text,
+        "query flock: {} member(s) ({} distinct); applied: [{}]; skipped: [{}]",
+        pq.flock.members.len(),
+        pq.flock.distinct_members(),
+        pq.flock.applied_rules.join(", "),
+        pq.flock.skipped_rules.join(", ")
+    );
+    for (i, m) in pq.flock.members.iter().enumerate() {
+        let _ = writeln!(text, "  Q{i}: {m}");
+    }
+    let _ = writeln!(
+        text,
+        "plan encoding: {} optional keyword predicate(s) as outer joins",
+        pq.optional_keyword_count()
+    );
+
+    let ambiguity = profile.check_ambiguity();
+    let _ = writeln!(
+        text,
+        "value-based ordering rules: {} — {}",
+        profile.vors.len(),
+        if ambiguity.is_ambiguous() { "AMBIGUOUS" } else { "unambiguous" }
+    );
+    for c in &ambiguity.cycles {
+        let _ = writeln!(text, "  alternating cycle: {}", c.rule_ids.join(" = ≺ = "));
+    }
+    let _ = writeln!(
+        text,
+        "keyword ordering rules: {} (total weight {:.2})",
+        profile.kors.len(),
+        profile.kor_total_weight()
+    );
+
+    Ok(AnalysisReport {
+        text,
+        ambiguous: ambiguity.is_ambiguous(),
+        conflict_arcs: conflicts.arcs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_profile::{Atom, KeywordOrderingRule, ScopingRule, ValueOrderingRule};
+
+    #[test]
+    fn report_covers_all_sections() {
+        let profile = UserProfile::new()
+            .with_scoping(ScopingRule::add(
+                "rho2",
+                vec![Atom::ft("description", "good condition")],
+                vec![Atom::ft("description", "american")],
+            ))
+            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage"))
+            .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
+        let report =
+            analyze(r#"//car[ftcontains(./description, "good condition")]"#, &profile).unwrap();
+        assert!(report.ambiguous, "π1/π2 are ambiguous");
+        assert!(report.text.contains("query flock: 2"));
+        assert!(report.text.contains("AMBIGUOUS"));
+        assert!(report.text.contains("alternating cycle"));
+        assert!(report.text.contains("keyword ordering rules: 1"));
+    }
+
+    #[test]
+    fn unambiguous_empty_profile() {
+        let report = analyze("//car", &UserProfile::new()).unwrap();
+        assert!(!report.ambiguous);
+        assert_eq!(report.conflict_arcs, 0);
+        assert!(report.text.contains("query flock: 1"));
+    }
+
+    #[test]
+    fn bad_query_errors() {
+        assert!(analyze("//[", &UserProfile::new()).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Process-level tests of the `pimento` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pimento-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const CARS: &str = r#"<dealer>
+<car><description>good condition, best bid, NYC</description><price>500</price></car>
+<car><description>good condition, garaged</description><price>900</price><color>red</color></car>
+<car><description>rusty</description><price>100</price></car>
+</dealer>"#;
+
+const RULES: &str = r#"
+pi1: x.tag = car & y.tag = car & x.color = "red" & y.color != "red" -> x < y
+pi5: x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y {weight 2}
+"#;
+
+fn pimento() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pimento"))
+}
+
+#[test]
+fn cli_searches_with_profile() {
+    let docs = write_temp("cars.xml", CARS);
+    let rules = write_temp("profile.rules", RULES);
+    let out = pimento()
+        .args(["--docs"])
+        .arg(&docs)
+        .args(["--query", r#"//car[ftcontains(., "good condition")]"#])
+        .args(["--profile"])
+        .arg(&rules)
+        .args(["--k", "5", "--explain", "--analyze"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("#1"), "{stdout}");
+    assert!(stdout.contains("NYC"), "NYC car first: {stdout}");
+    assert!(stdout.contains("plan:"), "{stdout}");
+    assert!(stdout.contains("QueryEval"), "{stdout}");
+    assert!(stdout.contains("collection: 1 document(s)"), "{stdout}");
+}
+
+#[test]
+fn cli_winnow_mode() {
+    let docs = write_temp("cars2.xml", CARS);
+    let rules = write_temp("profile2.rules", RULES);
+    let out = pimento()
+        .args(["--docs"])
+        .arg(&docs)
+        .args(["--query", "//car"])
+        .args(["--profile"])
+        .arg(&rules)
+        .args(["--winnow", "--k", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Winnow keeps the red car (the only ≺_V-maximal under pi1 among
+    // colored answers) plus incomparable colorless ones.
+    assert!(stdout.contains("#1"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_bad_inputs() {
+    // Missing required args → usage exit code 2.
+    let out = pimento().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    // Unreadable file → failure.
+    let out = pimento()
+        .args(["--docs", "/nonexistent/file.xml", "--query", "//a"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    // Broken query → failure with message.
+    let docs = write_temp("cars3.xml", CARS);
+    let out = pimento()
+        .args(["--docs"])
+        .arg(&docs)
+        .args(["--query", "//car["])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("query error"));
+    // Broken rules file → failure naming the line.
+    let bad_rules = write_temp("bad.rules", "nonsense rule here\n");
+    let out = pimento()
+        .args(["--docs"])
+        .arg(&docs)
+        .args(["--query", "//car", "--profile"])
+        .arg(&bad_rules)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+}

@@ -1,0 +1,100 @@
+//! `pimento-datagen` — dump the synthetic corpora to disk, for use with
+//! the `pimento` CLI or any other XML tool.
+//!
+//! ```text
+//! pimento-datagen dealer --cars 500 --seed 7 --out dealer.xml
+//! pimento-datagen xmark --bytes 1048576 --seed 2007 --out site.xml
+//! pimento-datagen inex --seed 2007 --out-dir inex/     # articles + topics + qrels
+//! ```
+
+use pimento_datagen::{carsale, inex, xmark};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pimento-datagen dealer [--cars N] [--seed S] --out FILE\n  \
+         pimento-datagen xmark [--bytes N] [--seed S] --out FILE\n  \
+         pimento-datagen inex [--seed S] --out-dir DIR"
+    );
+    std::process::exit(2)
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else { usage() };
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2007);
+    match mode.as_str() {
+        "dealer" => {
+            let cars: usize =
+                arg_value(&args, "--cars").and_then(|s| s.parse().ok()).unwrap_or(100);
+            let Some(out) = arg_value(&args, "--out") else { usage() };
+            let xml = carsale::generate_dealer(seed, cars);
+            if let Err(e) = std::fs::write(&out, &xml) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}: {cars} cars, {} bytes", xml.len());
+        }
+        "xmark" => {
+            let bytes: usize =
+                arg_value(&args, "--bytes").and_then(|s| s.parse().ok()).unwrap_or(1024 * 1024);
+            let Some(out) = arg_value(&args, "--out") else { usage() };
+            let xml = xmark::generate(seed, bytes);
+            let persons = xmark::count_persons(&xml);
+            if let Err(e) = std::fs::write(&out, &xml) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}: {} bytes, {persons} persons", xml.len());
+        }
+        "inex" => {
+            let Some(dir) = arg_value(&args, "--out-dir") else { usage() };
+            let dir = PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let corpus = inex::generate(seed);
+            for (i, doc) in corpus.xml_docs.iter().enumerate() {
+                let path = dir.join(format!("article-{i:03}.xml"));
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            for topic in &corpus.topics {
+                let path = dir.join(format!("topic-{}.xml", topic.id));
+                if let Err(e) = std::fs::write(&path, inex::topic_to_xml(topic)) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            // qrels-style assessments: "topic cid" lines.
+            let mut qrels = String::new();
+            let mut topic_ids: Vec<_> = corpus.relevant.keys().copied().collect();
+            topic_ids.sort_unstable();
+            for tid in topic_ids {
+                for cid in &corpus.relevant[&tid] {
+                    qrels.push_str(&format!("{tid} {cid}\n"));
+                }
+            }
+            if let Err(e) = std::fs::write(dir.join("qrels.txt"), qrels) {
+                eprintln!("cannot write qrels: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} articles, {} topics, qrels.txt to {}",
+                corpus.xml_docs.len(),
+                corpus.topics.len(),
+                dir.display()
+            );
+        }
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}

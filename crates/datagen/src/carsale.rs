@@ -1,0 +1,159 @@
+//! The paper's running example: the car-sale database of Fig. 1, plus a
+//! seeded generator for larger dealer documents.
+
+use crate::words::{self, pick};
+use pimento_xml::escape::escape_text;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The (slightly normalized) document of the paper's Fig. 1: three cars
+/// with descriptions, owner info, price, horsepower, mileage, color,
+/// location.
+pub fn paper_figure1() -> &'static str {
+    r#"<dealer>
+  <car>
+    <description>I am selling my 2001 car at the best bid. It is in good condition as I was the only driver. I used it to go to work in NYC.</description>
+    <date>2001</date>
+    <price>500</price>
+    <owner>John Smith</owner>
+    <horsepower>200</horsepower>
+  </car>
+  <car>
+    <description>Powerful car. Eager seller.</description>
+    <price>500</price>
+    <color>red</color>
+    <horsepower>120</horsepower>
+  </car>
+  <car>
+    <description>Low mileage. Bought on 11/2005. goodcar@yahoo.com good condition</description>
+    <mileage>50.000</mileage>
+    <price>500</price>
+    <location>NYC</location>
+    <color>red</color>
+  </car>
+</dealer>"#
+}
+
+/// One synthetic car listing.
+#[derive(Debug, Clone)]
+pub struct CarSpec {
+    /// Sale price in dollars.
+    pub price: u32,
+    /// Odometer miles.
+    pub mileage: u32,
+    /// Horsepower.
+    pub horsepower: u32,
+    /// Exterior color.
+    pub color: &'static str,
+    /// Manufacturer.
+    pub make: &'static str,
+    /// Phrases planted in the description.
+    pub phrases: Vec<&'static str>,
+    /// Sale location.
+    pub location: &'static str,
+}
+
+/// Generate a dealer document with `n` random cars. Deterministic per
+/// seed. Roughly a third of the cars are "good condition", a fifth "low
+/// mileage", a few "best bid" / NYC listings — enough mass for every rule
+/// of the running example to bite.
+pub fn generate_dealer(seed: u64, n: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xml = String::with_capacity(n * 320);
+    xml.push_str("<dealer>");
+    for _ in 0..n {
+        let spec = random_car(&mut rng);
+        write_car(&mut xml, &mut rng, &spec);
+    }
+    xml.push_str("</dealer>");
+    xml
+}
+
+fn random_car(rng: &mut StdRng) -> CarSpec {
+    let mut phrases = Vec::new();
+    if rng.gen_bool(0.35) {
+        phrases.push("good condition");
+    }
+    if rng.gen_bool(0.2) {
+        phrases.push("low mileage");
+    }
+    if rng.gen_bool(0.15) {
+        phrases.push("best bid");
+    }
+    if rng.gen_bool(0.2) {
+        phrases.push("american");
+    }
+    let location = if rng.gen_bool(0.25) { "NYC" } else { pick(rng, words::CITIES) };
+    CarSpec {
+        price: rng.gen_range(100..6000),
+        mileage: rng.gen_range(1000..200_000),
+        horsepower: rng.gen_range(60..400),
+        color: pick(rng, words::COLORS),
+        make: pick(rng, words::MAKES),
+        phrases,
+        location,
+    }
+}
+
+fn write_car(xml: &mut String, rng: &mut StdRng, spec: &CarSpec) {
+    let n_words = rng.gen_range(6..18);
+    let filler = words::filler_with(rng, n_words, &spec.phrases);
+    let owner = format!("{} {}", pick(rng, words::FIRST_NAMES), pick(rng, words::LAST_NAMES));
+    let _ = write!(
+        xml,
+        "<car><description>{}</description><price>{}</price><mileage>{}</mileage>\
+         <horsepower>{}</horsepower><color>{}</color><make>{}</make>\
+         <location>{}</location><owner>{}</owner></car>",
+        escape_text(&filler),
+        spec.price,
+        spec.mileage,
+        spec.horsepower,
+        spec.color,
+        spec.make,
+        spec.location,
+        escape_text(&owner),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+
+    #[test]
+    fn figure1_parses_and_has_three_cars() {
+        let mut coll = Collection::new();
+        coll.add_xml(paper_figure1()).unwrap();
+        let car = coll.tag("car").unwrap();
+        let doc = coll.doc(pimento_index::DocId(0));
+        let count = doc.node_ids().filter(|&n| doc.node(n).tag() == Some(car)).count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(generate_dealer(42, 50), generate_dealer(42, 50));
+        assert_ne!(generate_dealer(42, 50), generate_dealer(43, 50));
+    }
+
+    #[test]
+    fn generated_document_parses_with_expected_cars() {
+        let xml = generate_dealer(7, 200);
+        let mut coll = Collection::new();
+        coll.add_xml(&xml).unwrap();
+        let car = coll.tag("car").unwrap();
+        let doc = coll.doc(pimento_index::DocId(0));
+        let count = doc.node_ids().filter(|&n| doc.node(n).tag() == Some(car)).count();
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn phrase_mass_is_plausible() {
+        let xml = generate_dealer(11, 400);
+        let good = xml.matches("good condition").count();
+        let nyc = xml.matches("NYC").count();
+        assert!(good > 80 && good < 240, "good condition in {good} cars");
+        assert!(nyc > 40, "NYC in {nyc} cars");
+    }
+}

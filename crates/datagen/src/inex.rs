@@ -1,0 +1,501 @@
+//! INEX-like collection, topics, and relevance assessments for the
+//! effectiveness experiment (paper §7.1, Table 1).
+//!
+//! The real INEX collection (IEEE Computer Society articles) is licensed
+//! and unavailable; what Table 1 actually measures is whether profile
+//! rules — keyword ordering rules derived from the topic *narrative*, plus
+//! scoping rules relaxing the query — recover the components an assessor
+//! deems relevant even when they do not contain the literal query phrase.
+//! That mechanism only needs a collection where the narrative vocabulary
+//! strictly extends the query vocabulary, which this generator guarantees
+//! by construction:
+//!
+//! * every assessable component carries a `cid` attribute;
+//! * for each of 8 topics (numbered like the paper's: 130, 131, 132, 140,
+//!   141, 142, 145, 151) relevant components are planted, some containing
+//!   the query phrase, some containing **only narrative terms** (the raw
+//!   query misses those), and the ground-truth assessment records their
+//!   `cid`s;
+//! * distractor articles supply realistic noise.
+
+use crate::words::{self, pick};
+use pimento_xml::escape::escape_text;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// One INEX-like topic: a query phrase plus the narrative's expanded
+/// vocabulary.
+#[derive(Debug, Clone)]
+pub struct InexTopic {
+    /// Topic number (matches Table 1's numbering).
+    pub id: u32,
+    /// Element types the topic requests (and the assessor judges).
+    pub target_tags: &'static [&'static str],
+    /// The phrase the raw query searches for.
+    pub query_phrase: &'static str,
+    /// Narrative terms: related phrases an assessor accepts as relevant.
+    pub related: &'static [&'static str],
+}
+
+/// The 8 topics of the experiment.
+pub fn topics() -> Vec<InexTopic> {
+    vec![
+        InexTopic {
+            id: 130,
+            target_tags: &["p"],
+            query_phrase: "information retrieval",
+            related: &["text search", "ranking function", "relevance feedback"],
+        },
+        InexTopic {
+            id: 131,
+            target_tags: &["abs"],
+            query_phrase: "data mining",
+            related: &["association rules", "data cube", "knowledge discovery"],
+        },
+        InexTopic {
+            id: 132,
+            target_tags: &["sec"],
+            query_phrase: "query optimization",
+            related: &["cost model", "join ordering", "plan enumeration"],
+        },
+        InexTopic {
+            id: 140,
+            target_tags: &["p", "fig"],
+            query_phrase: "neural networks",
+            related: &["backpropagation", "perceptron", "gradient descent"],
+        },
+        InexTopic {
+            id: 141,
+            target_tags: &["p"],
+            query_phrase: "software testing",
+            related: &["unit tests", "fault injection", "test coverage"],
+        },
+        InexTopic {
+            id: 142,
+            target_tags: &["sec"],
+            query_phrase: "distributed systems",
+            related: &["consensus protocol", "fault tolerance", "replication"],
+        },
+        InexTopic {
+            id: 145,
+            target_tags: &["fig"],
+            query_phrase: "computer graphics",
+            related: &["ray tracing", "rendering pipeline", "texture mapping"],
+        },
+        InexTopic {
+            id: 151,
+            target_tags: &["p"],
+            query_phrase: "operating systems",
+            related: &["virtual memory", "process scheduling", "file system"],
+        },
+    ]
+}
+
+/// The generated corpus plus ground truth.
+#[derive(Debug)]
+pub struct InexCorpus {
+    /// One XML string per article.
+    pub xml_docs: Vec<String>,
+    /// The topics.
+    pub topics: Vec<InexTopic>,
+    /// topic id → `cid`s of assessed-relevant components.
+    pub relevant: HashMap<u32, BTreeSet<String>>,
+}
+
+/// Generate the corpus. Deterministic per seed.
+pub fn generate(seed: u64) -> InexCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topics = topics();
+    let mut docs = Vec::new();
+    let mut relevant: HashMap<u32, BTreeSet<String>> = HashMap::new();
+    let mut cid = 0u32;
+
+    for topic in &topics {
+        let rel = relevant.entry(topic.id).or_default();
+        // Core articles: components with the query phrase (sometimes with
+        // narrative terms on top).
+        for a in 0..3 {
+            let n_rel = rng.gen_range(1..=3);
+            docs.push(article(&mut rng, topic, ArticleKind::Core { n_rel }, &mut cid, rel));
+            let _ = a;
+        }
+        // Narrative-only articles: relevant components that the raw query
+        // cannot retrieve (no query phrase inside the component).
+        for _ in 0..2 {
+            let n_rel = rng.gen_range(1..=2);
+            docs.push(article(&mut rng, topic, ArticleKind::RelatedOnly { n_rel }, &mut cid, rel));
+        }
+        // Marginal articles: morphological variants, assessed NOT relevant.
+        if singularized(topic.query_phrase) != topic.query_phrase {
+            let mut dummy = BTreeSet::new();
+            for _ in 0..2 {
+                docs.push(article(&mut rng, topic, ArticleKind::Marginal { n: 2 }, &mut cid, &mut dummy));
+            }
+        }
+    }
+    // Distractors: filler plus off-topic noise.
+    for _ in 0..12 {
+        let mut dummy = BTreeSet::new();
+        let t = &topics[rng.gen_range(0..topics.len())];
+        docs.push(article(&mut rng, t, ArticleKind::Distractor, &mut cid, &mut dummy));
+    }
+
+    InexCorpus { xml_docs: docs, topics, relevant }
+}
+
+enum ArticleKind {
+    /// Contains `n_rel` relevant components, each with the query phrase.
+    Core { n_rel: usize },
+    /// Contains `n_rel` relevant components with narrative terms only.
+    RelatedOnly { n_rel: usize },
+    /// Contains components with a *morphological variant* of the query
+    /// phrase (plural words singularized). These are NOT assessed
+    /// relevant; only stemming-relaxed matching retrieves them — they are
+    /// the "marginally relevant" components behind §7.1's observation
+    /// that relaxation can decrease precision.
+    Marginal { n: usize },
+    /// Irrelevant filler.
+    Distractor,
+}
+
+/// Singularize the plural words of a phrase ("neural networks" →
+/// "neural network") — merged with the original only under stemming.
+fn singularized(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(|w| {
+            if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+                &w[..w.len() - 1]
+            } else {
+                w
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn article(
+    rng: &mut StdRng,
+    topic: &InexTopic,
+    kind: ArticleKind,
+    cid: &mut u32,
+    relevant: &mut BTreeSet<String>,
+) -> String {
+    let mut xml = String::with_capacity(2048);
+    let author = format!("{} {}", pick(rng, words::FIRST_NAMES), pick(rng, words::LAST_NAMES));
+    let title = match kind {
+        ArticleKind::Distractor => words::filler_text(rng, 4),
+        _ => format!("{} studies", topic.query_phrase),
+    };
+    // How many marked components remain to plant, whether they carry the
+    // query phrase, and whether they are the marginal (variant-form,
+    // unassessed) kind.
+    let (mut remaining, with_query_phrase, marginal) = match kind {
+        ArticleKind::Core { n_rel } => (n_rel, true, false),
+        ArticleKind::RelatedOnly { n_rel } => (n_rel, false, false),
+        ArticleKind::Marginal { n } => (n, false, true),
+        ArticleKind::Distractor => (0, false, false),
+    };
+
+    let next_cid = |cid: &mut u32| {
+        *cid += 1;
+        format!("c{}", *cid)
+    };
+
+    xml.push_str("<article><fm><ti>");
+    xml.push_str(&escape_text(&title));
+    let _ = write!(xml, "</ti><au>{}</au>", escape_text(&author));
+
+    // Abstract — assessable when the topic targets `abs`.
+    {
+        let id = next_cid(cid);
+        let is_target = topic.target_tags.contains(&"abs");
+        let rel = is_target && remaining > 0;
+        if rel {
+            remaining -= 1;
+            if !marginal {
+                relevant.insert(id.clone());
+            }
+        }
+        let text = component_text(rng, topic, rel, with_query_phrase, marginal);
+        let _ = write!(xml, "<abs cid=\"{id}\">{}</abs>", escape_text(&text));
+    }
+    xml.push_str("</fm><bdy>");
+
+    for _ in 0..rng.gen_range(2..4) {
+        let sec_id = next_cid(cid);
+        let sec_rel = topic.target_tags.contains(&"sec") && remaining > 0;
+        // A relevant `sec` is made relevant through its own heading
+        // paragraph content.
+        let sec_text = component_text(rng, topic, sec_rel, with_query_phrase, marginal);
+        if sec_rel {
+            remaining -= 1;
+            if !marginal {
+                relevant.insert(sec_id.clone());
+            }
+        }
+        let _ = write!(
+            xml,
+            "<sec cid=\"{sec_id}\"><st>{}</st>",
+            escape_text(&words::filler_text(rng, 3))
+        );
+        let _ = write!(xml, "<p cid=\"{}\">{}</p>", next_cid(cid), escape_text(&sec_text));
+        for _ in 0..rng.gen_range(1..4) {
+            let p_id = next_cid(cid);
+            let p_rel = topic.target_tags.contains(&"p") && remaining > 0 && rng.gen_bool(0.7);
+            if p_rel {
+                remaining -= 1;
+                if !marginal {
+                    relevant.insert(p_id.clone());
+                }
+            }
+            let text = component_text(rng, topic, p_rel, with_query_phrase, marginal);
+            let _ = write!(xml, "<p cid=\"{p_id}\">{}</p>", escape_text(&text));
+        }
+        if rng.gen_bool(0.6) {
+            let f_id = next_cid(cid);
+            let f_rel = topic.target_tags.contains(&"fig") && remaining > 0;
+            if f_rel {
+                remaining -= 1;
+                if !marginal {
+                    relevant.insert(f_id.clone());
+                }
+            }
+            let caption = component_text(rng, topic, f_rel, with_query_phrase, marginal);
+            let _ = write!(xml, "<fig cid=\"{f_id}\"><fgc>{}</fgc></fig>", escape_text(&caption));
+        }
+        xml.push_str("</sec>");
+    }
+    xml.push_str("</bdy></article>");
+    xml
+}
+
+/// A component body for the topic: filler, plus planted phrases when the
+/// component is relevant. Narrative-only components always get at least
+/// one narrative term (that is what makes them assessable).
+fn component_text(
+    rng: &mut StdRng,
+    topic: &InexTopic,
+    rel: bool,
+    with_query_phrase: bool,
+    marginal: bool,
+) -> String {
+    if !rel {
+        let n = rng.gen_range(8..25);
+        return words::filler_text(rng, n);
+    }
+    if marginal {
+        // Repeat the variant form so stemming scores these components
+        // highly (tf) — which is how they displace exact matches.
+        let variant = singularized(topic.query_phrase);
+        let n = rng.gen_range(10..20);
+        let v1 = variant.clone();
+        let refs: Vec<&str> = vec![&v1, &variant];
+        return words::filler_with(rng, n, &refs);
+    }
+    let mut extra: Vec<&str> = Vec::new();
+    if with_query_phrase {
+        extra.push(topic.query_phrase);
+    }
+    extra.push(topic.related[rng.gen_range(0..topic.related.len())]);
+    if rng.gen_bool(0.4) {
+        extra.push(topic.related[rng.gen_range(0..topic.related.len())]);
+    }
+    let n = rng.gen_range(10..25);
+    words::filler_with(rng, n, &extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate(9);
+        let b = generate(9);
+        assert_eq!(a.xml_docs, b.xml_docs);
+        assert_eq!(a.relevant, b.relevant);
+    }
+
+    #[test]
+    fn all_documents_parse() {
+        let corpus = generate(1);
+        let mut coll = Collection::new();
+        for d in &corpus.xml_docs {
+            coll.add_xml(d).unwrap();
+        }
+        assert_eq!(coll.len(), corpus.xml_docs.len());
+        assert!(coll.len() > 8 * 5);
+    }
+
+    #[test]
+    fn every_topic_has_relevant_components() {
+        let corpus = generate(2);
+        for t in &corpus.topics {
+            let rel = &corpus.relevant[&t.id];
+            assert!(rel.len() >= 3, "topic {} has only {} relevant", t.id, rel.len());
+            assert!(rel.len() <= 25, "topic {} has {}", t.id, rel.len());
+        }
+    }
+
+    #[test]
+    fn narrative_only_components_exist() {
+        // For each topic, at least one relevant component must NOT contain
+        // the query phrase (otherwise personalization has nothing to
+        // recover).
+        let corpus = generate(3);
+        let all = corpus.xml_docs.join("\n");
+        for t in &corpus.topics {
+            let mut found_narrative_only = false;
+            for cid in &corpus.relevant[&t.id] {
+                // Extract the component's text crudely from the XML string.
+                let marker = format!("cid=\"{cid}\"");
+                let pos = all.find(&marker).expect("cid present");
+                let after = &all[pos..pos + 600.min(all.len() - pos)];
+                if !after.contains(t.query_phrase) {
+                    found_narrative_only = true;
+                    break;
+                }
+            }
+            assert!(found_narrative_only, "topic {} lacks narrative-only components", t.id);
+        }
+    }
+
+    #[test]
+    fn cids_are_unique_across_corpus() {
+        let corpus = generate(4);
+        let all = corpus.xml_docs.join("\n");
+        let mut seen = std::collections::HashSet::new();
+        for part in all.split("cid=\"").skip(1) {
+            let id = part.split('"').next().unwrap();
+            assert!(seen.insert(id.to_string()), "duplicate cid {id}");
+        }
+    }
+
+    #[test]
+    fn topic_numbers_match_table1() {
+        let ids: Vec<u32> = topics().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![130, 131, 132, 140, 141, 142, 145, 151]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's `<inex-topic>` document format (§7.1 shows topic 131): a NEXI
+// title, a plain-English description, and a narrative whose quoted phrases
+// are what an assessor (and our profile derivation) treats as relevant
+// vocabulary.
+
+/// Render a topic in the paper's `<inex-topic>` format. The target element
+/// type in the title is the topic's first requested tag.
+pub fn topic_to_xml(topic: &InexTopic) -> String {
+    use pimento_xml::escape::escape_text;
+    let tag = topic.target_tags[0];
+    let quoted: Vec<String> = topic.related.iter().map(|r| format!("\"{r}\"")).collect();
+    format!(
+        "<inex-topic topic-id=\"{id}\" query-type=\"CAS\">\
+         <title>//article//{tag}[about(., \"{phrase}\")]</title>\
+         <description>We are looking for {tag} components about {phrase}.</description>\
+         <narrative>To be relevant, the component has to discuss {phrase}. \
+         Any related topics (e.g. {related}) should be considered as relevant.</narrative>\
+         </inex-topic>",
+        id = topic.id,
+        tag = tag,
+        phrase = escape_text(topic.query_phrase),
+        related = escape_text(&quoted.join(", ")),
+    )
+}
+
+/// A topic read back from an `<inex-topic>` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTopic {
+    /// `topic-id` attribute.
+    pub id: u32,
+    /// The NEXI title (the query to run).
+    pub title: String,
+    /// Plain-English description.
+    pub description: String,
+    /// Quoted phrases extracted from the narrative — the vocabulary the
+    /// keyword ordering rules are derived from (§7.1).
+    pub narrative_phrases: Vec<String>,
+}
+
+/// Parse an `<inex-topic>` document (the format [`topic_to_xml`] writes,
+/// which mirrors the paper's excerpt).
+pub fn topic_from_xml(xml: &str) -> Result<ParsedTopic, String> {
+    use pimento_xml::{parse_with, SymbolTable};
+    let mut symbols = SymbolTable::new();
+    let doc = parse_with(xml, &mut symbols).map_err(|e| e.to_string())?;
+    let root = doc.root();
+    let root_node = doc.node(root);
+    if symbols.name(root_node.tag().ok_or("no root tag")?) != "inex-topic" {
+        return Err("not an inex-topic document".to_string());
+    }
+    let id_sym = symbols.get("topic-id").ok_or("missing topic-id attribute")?;
+    let id: u32 = root_node
+        .attr(id_sym)
+        .ok_or("missing topic-id attribute")?
+        .trim()
+        .parse()
+        .map_err(|_| "topic-id is not a number".to_string())?;
+    let field = |name: &str| -> Result<String, String> {
+        let sym = symbols.get(name).ok_or_else(|| format!("missing <{name}>"))?;
+        let node = doc.child_element(root, sym).ok_or_else(|| format!("missing <{name}>"))?;
+        Ok(doc.text_content(node))
+    };
+    let title = field("title")?;
+    let description = field("description")?;
+    let narrative = field("narrative")?;
+    // Quoted phrases in the narrative are the assessor-relevant vocabulary.
+    let narrative_phrases: Vec<String> = narrative
+        .split('"')
+        .skip(1)
+        .step_by(2)
+        .map(str::to_string)
+        .collect();
+    Ok(ParsedTopic { id, title, description, narrative_phrases })
+}
+
+#[cfg(test)]
+mod topic_xml_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_topic_131() {
+        let all = topics();
+        let t131 = all.iter().find(|t| t.id == 131).unwrap();
+        let xml = topic_to_xml(t131);
+        let parsed = topic_from_xml(&xml).unwrap();
+        assert_eq!(parsed.id, 131);
+        assert!(parsed.title.contains("//article//abs"));
+        assert!(parsed.title.contains("data mining"));
+        assert_eq!(
+            parsed.narrative_phrases,
+            vec!["association rules", "data cube", "knowledge discovery"]
+        );
+        // The title is a valid query in our TPQ syntax.
+        pimento_tpq::parse_tpq(&parsed.title).expect("NEXI title parses");
+    }
+
+    #[test]
+    fn all_topics_roundtrip() {
+        for t in topics() {
+            let parsed = topic_from_xml(&topic_to_xml(&t)).unwrap();
+            assert_eq!(parsed.id, t.id);
+            assert_eq!(parsed.narrative_phrases.len(), t.related.len());
+        }
+    }
+
+    #[test]
+    fn malformed_topics_rejected() {
+        assert!(topic_from_xml("<not-a-topic/>").is_err());
+        assert!(topic_from_xml("<inex-topic><title>x</title></inex-topic>").is_err());
+        assert!(topic_from_xml(
+            r#"<inex-topic topic-id="abc"><title>t</title><description>d</description><narrative>n</narrative></inex-topic>"#
+        )
+        .is_err());
+        assert!(topic_from_xml("<broken").is_err());
+    }
+}

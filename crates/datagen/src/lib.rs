@@ -1,0 +1,25 @@
+//! # pimento-datagen
+//!
+//! Seeded synthetic data generators backing the PIMENTO experiments:
+//!
+//! * [`carsale`] — the paper's Fig. 1 running example plus a random
+//!   dealer-document generator;
+//! * [`xmark`] — XMark-like auction-site documents, byte-size
+//!   parameterized for the Fig. 6 scaling axis (101 KB … 10 MB);
+//! * [`inex`] — an INEX-like article collection with 8 topics, narrative
+//!   vocabularies, and ground-truth assessments for Table 1;
+//! * [`words`] — shared vocabulary pools.
+//!
+//! Everything is deterministic per seed (`StdRng::seed_from_u64`), so
+//! experiment tables regenerate bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod carsale;
+pub mod inex;
+pub mod words;
+pub mod xmark;
+
+pub use carsale::{generate_dealer, paper_figure1};
+pub use inex::{generate as generate_inex, topic_from_xml, topic_to_xml, InexCorpus, InexTopic, ParsedTopic};
+pub use xmark::{generate as generate_xmark, FIG6_SIZES};

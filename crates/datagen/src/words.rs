@@ -1,0 +1,104 @@
+//! Deterministic vocabulary pools and filler-text generation shared by the
+//! synthetic corpora.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Common English filler words (function + frequent content words) used to
+//  pad descriptions so keyword statistics look natural.
+pub const FILLER: &[&str] = &[
+    "the", "a", "of", "and", "to", "in", "for", "with", "on", "this", "that", "from", "by",
+    "about", "after", "before", "under", "over", "between", "system", "time", "year", "work",
+    "world", "house", "road", "water", "light", "paper", "point", "place", "market", "group",
+    "offer", "value", "detail", "note", "item", "record", "report", "piece", "order", "service",
+];
+
+/// First names used by the person/owner generators.
+pub const FIRST_NAMES: &[&str] = &[
+    "John", "Mary", "Wei", "Anna", "Luis", "Priya", "Tom", "Sara", "Ivan", "Mina", "Omar",
+    "Julia", "Ken", "Lena", "Paul", "Rita",
+];
+
+/// Last names used by the person/owner generators.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Chen", "Garcia", "Patel", "Muller", "Rossi", "Kim", "Novak", "Brown", "Silva",
+    "Tanaka", "Olsen", "Dubois", "Haddad", "Kovacs", "Walsh",
+];
+
+/// US cities (Phoenix first — π4 of the XMark workload keys on it).
+pub const CITIES: &[&str] = &[
+    "Phoenix", "Springfield", "Riverton", "Lakeside", "Georgetown", "Fairview", "Bristol",
+    "Clinton", "Salem", "Madison",
+];
+
+/// Countries ("United States" first — π2 keys on it).
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Canada", "Germany", "France", "Japan", "Brazil", "India", "Australia",
+    "Spain", "Norway",
+];
+
+/// Education levels ("College" is π3's keyword).
+pub const EDUCATION: &[&str] = &["College", "High School", "Graduate School", "Other"];
+
+/// Car makes for the dealer generator.
+pub const MAKES: &[&str] = &["Honda", "Ford", "Toyota", "Mustang", "Volvo", "Fiat", "Subaru"];
+
+/// Car colors.
+pub const COLORS: &[&str] = &["red", "blue", "black", "white", "silver", "green"];
+
+/// Pick one element of `pool` uniformly.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Produce `n` filler words joined by spaces.
+pub fn filler_text(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 6);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, FILLER));
+    }
+    out
+}
+
+/// Insert `extra` terms into filler text of roughly `n` words at random
+/// positions — used to plant topical keywords into padding.
+pub fn filler_with(rng: &mut StdRng, n: usize, extra: &[&str]) -> String {
+    let mut words: Vec<&str> = (0..n).map(|_| pick(rng, FILLER)).collect();
+    for term in extra {
+        let pos = rng.gen_range(0..=words.len());
+        words.insert(pos, term);
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(filler_text(&mut a, 20), filler_text(&mut b, 20));
+    }
+
+    #[test]
+    fn filler_with_plants_all_terms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = filler_with(&mut rng, 10, &["zebra", "quokka"]);
+        assert!(text.contains("zebra"));
+        assert!(text.contains("quokka"));
+        assert_eq!(text.split(' ').count(), 12);
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_keyed() {
+        assert_eq!(CITIES[0], "Phoenix");
+        assert_eq!(COUNTRIES[0], "United States");
+        assert_eq!(EDUCATION[0], "College");
+    }
+}

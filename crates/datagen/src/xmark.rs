@@ -1,0 +1,158 @@
+//! XMark-like document generator for the performance experiments
+//! (paper §7.2, Figures 5–7).
+//!
+//! The real XMark benchmark generator is a C tool emitting auction sites.
+//! The paper's performance workload only touches `person` records — the
+//! query is `ad(person, business) & ftcontains(business, "Yes")` and the
+//! KORs key on "male" / "United States" / "College" / "Phoenix", with the
+//! VOR `x.age = 33` (Fig. 5). This generator reproduces the relevant
+//! structure (persons with profile, address, business flag) plus item
+//! filler for realistic parse/index mass, and is **byte-size
+//! parameterized** so the document-size axis of Fig. 6
+//! (101 KB … 10 MB) can be regenerated exactly.
+
+use crate::words::{self, pick};
+use pimento_xml::escape::escape_text;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The paper's Fig. 6 document sizes, in bytes.
+pub const FIG6_SIZES: &[(&str, usize)] = &[
+    ("101K", 101 * 1024),
+    ("212K", 212 * 1024),
+    ("468K", 468 * 1024),
+    ("571K", 571 * 1024),
+    ("823K", 823 * 1024),
+    ("1M", 1024 * 1024),
+    ("5.7M", 5 * 1024 * 1024 + 700 * 1024),
+    ("10M", 10 * 1024 * 1024),
+];
+
+/// Generate an XMark-like document of approximately `target_bytes`
+/// (within ~1%, always ≥ the target's person mass). Deterministic per
+/// seed.
+pub fn generate(seed: u64, target_bytes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xml = String::with_capacity(target_bytes + 4096);
+    xml.push_str("<site><people>");
+    let people_budget = target_bytes * 7 / 10; // 70% persons, 30% items
+    let mut pid = 0u32;
+    while xml.len() < people_budget {
+        write_person(&mut xml, &mut rng, pid);
+        pid += 1;
+    }
+    xml.push_str("</people><regions><namerica>");
+    while xml.len() < target_bytes.saturating_sub(40) {
+        write_item(&mut xml, &mut rng);
+    }
+    xml.push_str("</namerica></regions></site>");
+    xml
+}
+
+/// Number of persons a generated document of `target_bytes` will contain
+/// (derived by generation, used by tests).
+pub fn count_persons(xml: &str) -> usize {
+    xml.matches("<person ").count()
+}
+
+fn write_person(xml: &mut String, rng: &mut StdRng, id: u32) {
+    let first = pick(rng, words::FIRST_NAMES);
+    let last = pick(rng, words::LAST_NAMES);
+    let gender = if rng.gen_bool(0.5) { "male" } else { "female" };
+    let age = rng.gen_range(18..70);
+    let education = pick(rng, words::EDUCATION);
+    let business = if rng.gen_bool(0.5) { "Yes" } else { "No" };
+    let country = pick(rng, words::COUNTRIES);
+    let city = pick(rng, words::CITIES);
+    let income = rng.gen_range(20_000..180_000);
+    let bio_words = rng.gen_range(8..24);
+    let bio = words::filler_text(rng, bio_words);
+    let _ = write!(
+        xml,
+        "<person id=\"p{id}\"><name>{first} {last}</name>\
+         <emailaddress>mailto:{f}.{l}@example.com</emailaddress>\
+         <address><street>{n} {street} St</street><city>{city}</city><country>{country}</country></address>\
+         <profile income=\"{income}\"><gender>{gender}</gender><age>{age}</age>\
+         <education>{education}</education><business>{business}</business>\
+         <interest category=\"c{cat}\"/></profile>\
+         <watches><watch open_auction=\"o{w}\"/></watches>\
+         <description>{bio}</description></person>",
+        f = first.to_lowercase(),
+        l = last.to_lowercase(),
+        n = rng.gen_range(1..99),
+        street = pick(rng, words::LAST_NAMES),
+        cat = rng.gen_range(0..20),
+        w = rng.gen_range(0..1000),
+        bio = escape_text(&bio),
+    );
+}
+
+fn write_item(xml: &mut String, rng: &mut StdRng) {
+    let name = words::filler_text(rng, 3);
+    let desc_words = rng.gen_range(10..30);
+    let desc = words::filler_text(rng, desc_words);
+    let _ = write!(
+        xml,
+        "<item id=\"i{}\"><location>{}</location><quantity>{}</quantity>\
+         <name>{}</name><payment>Cash</payment><description><text>{}</text></description></item>",
+        rng.gen_range(0..1_000_000),
+        pick(rng, words::COUNTRIES),
+        rng.gen_range(1..5),
+        escape_text(&name),
+        escape_text(&desc),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+
+    #[test]
+    fn hits_target_size_within_tolerance() {
+        for &target in &[101 * 1024, 512 * 1024] {
+            let xml = generate(1, target);
+            let len = xml.len();
+            assert!(
+                len >= target && len <= target + target / 20,
+                "target {target}, got {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(5, 50_000), generate(5, 50_000));
+        assert_ne!(generate(5, 50_000), generate(6, 50_000));
+    }
+
+    #[test]
+    fn parses_and_contains_workload_fields() {
+        let xml = generate(2, 120_000);
+        let mut coll = Collection::new();
+        coll.add_xml(&xml).unwrap();
+        for tag in ["person", "business", "age", "education", "city", "country"] {
+            assert!(coll.tag(tag).is_some(), "missing tag {tag}");
+        }
+        assert!(xml.contains(">Yes<"));
+        assert!(xml.contains("male"));
+        assert!(xml.contains("Phoenix"));
+        assert!(xml.contains("United States"));
+        assert!(xml.contains("College"));
+    }
+
+    #[test]
+    fn person_count_scales_with_size() {
+        let small = count_persons(&generate(3, 60_000));
+        let large = count_persons(&generate(3, 240_000));
+        assert!(large > small * 3, "small={small} large={large}");
+    }
+
+    #[test]
+    fn fig6_size_table_is_sane() {
+        assert_eq!(FIG6_SIZES.len(), 8);
+        assert!(FIG6_SIZES.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(FIG6_SIZES[7].1, 10 * 1024 * 1024);
+    }
+}

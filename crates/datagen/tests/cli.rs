@@ -1,0 +1,63 @@
+//! Process-level tests of the `pimento-datagen` CLI binary.
+
+use std::process::Command;
+
+fn datagen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pimento-datagen"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pimento-datagen-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn dealer_and_xmark_generation() {
+    let out_file = temp_dir().join("dealer.xml");
+    let out = datagen()
+        .args(["dealer", "--cars", "25", "--seed", "9", "--out"])
+        .arg(&out_file)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let xml = std::fs::read_to_string(&out_file).unwrap();
+    assert_eq!(xml.matches("<car>").count(), 25);
+
+    let xmark_file = temp_dir().join("site.xml");
+    let out = datagen()
+        .args(["xmark", "--bytes", "65536", "--out"])
+        .arg(&xmark_file)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let len = std::fs::metadata(&xmark_file).unwrap().len() as i64;
+    assert!((len - 65536).abs() < 2048, "within ~3% of the target: {len}");
+}
+
+#[test]
+fn inex_corpus_dump() {
+    let dir = temp_dir().join("inex");
+    let out = datagen()
+        .args(["inex", "--seed", "3", "--out-dir"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(entries.len() > 60, "articles + topics + qrels");
+    let qrels = std::fs::read_to_string(dir.join("qrels.txt")).unwrap();
+    assert!(qrels.lines().count() > 30);
+    // Topic files parse back.
+    let topic = std::fs::read_to_string(dir.join("topic-131.xml")).unwrap();
+    let parsed = pimento_datagen::topic_from_xml(&topic).unwrap();
+    assert_eq!(parsed.id, 131);
+}
+
+#[test]
+fn bad_mode_is_usage_error() {
+    let out = datagen().arg("bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = datagen().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

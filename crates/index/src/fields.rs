@@ -1,0 +1,188 @@
+//! Typed field access: resolving `x.attr` references from ordering rules and
+//! constraint predicates against an element.
+//!
+//! The paper's car example treats `color`, `mileage`, `horsepower` (hp),
+//! `price` interchangeably as XML attributes or child elements (Fig. 1 has
+//! them as child elements; the rules in Fig. 2 write `x.color`). The
+//! resolver therefore looks at an XML attribute first, then falls back to
+//! the text content of the first child element of that name.
+
+use crate::store::{Collection, ElemRef};
+use pimento_xml::nav::children_with_tag;
+
+/// A typed value extracted from a document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Numeric content (integers and decimals both normalize to `f64`).
+    Num(f64),
+    /// Everything else, trimmed.
+    Str(String),
+}
+
+impl FieldValue {
+    /// Parse raw text into the most specific type.
+    pub fn parse(raw: &str) -> FieldValue {
+        let t = raw.trim();
+        // Strip common numeric formatting ("50.000" in the paper's figure is
+        // a thousands-formatted 50000; "$500" has a currency marker).
+        let cleaned: String =
+            t.chars().filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if !cleaned.is_empty()
+            && t.chars().all(|c| {
+                c.is_ascii_digit() || matches!(c, '.' | '-' | ',' | '$' | ' ' | '%')
+            })
+        {
+            // Dot disambiguation: several dots are always thousands
+            // separators; a single dot followed by exactly three digits
+            // after two or more leading digits reads as European thousands
+            // formatting ("50.000" in the paper's Fig. 1 is 50000 miles),
+            // anything else as a decimal point ("3.5").
+            let dots = cleaned.matches('.').count();
+            let thousands = dots > 1
+                || (dots == 1 && {
+                    let (head, tail) = cleaned.split_once('.').expect("dot present");
+                    tail.len() == 3 && head.trim_start_matches('-').len() >= 2
+                });
+            let normalized = if thousands { cleaned.replace('.', "") } else { cleaned };
+            if let Ok(n) = normalized.parse::<f64>() {
+                return FieldValue::Num(n);
+            }
+        }
+        FieldValue::Str(t.to_string())
+    }
+
+    /// Numeric view, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            FieldValue::Num(n) => Some(*n),
+            FieldValue::Str(_) => None,
+        }
+    }
+
+    /// String view (numbers render with minimal formatting).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            FieldValue::Num(_) => None,
+        }
+    }
+
+    /// Case-insensitive equality against a constant.
+    pub fn eq_const(&self, c: &str) -> bool {
+        match self {
+            FieldValue::Num(n) => c.trim().parse::<f64>().map(|x| x == *n).unwrap_or(false),
+            FieldValue::Str(s) => s.eq_ignore_ascii_case(c.trim()),
+        }
+    }
+}
+
+/// Resolve `elem.field` to a typed value: XML attribute first, then the
+/// first child element of that name, then the first *descendant* element
+/// (real-world schemas nest fields — XMark keeps `age` inside
+/// `person/profile`, while the rules say `x.age`).
+pub fn field_value(coll: &Collection, elem: ElemRef, field: &str) -> Option<FieldValue> {
+    let doc = coll.doc(elem.doc);
+    let node = doc.node(elem.node);
+    if let Some(sym) = coll.symbols().get(field) {
+        if let Some(v) = node.attr(sym) {
+            return Some(FieldValue::parse(v));
+        }
+        if let Some(child) = children_with_tag(doc, elem.node, sym).next() {
+            return Some(FieldValue::parse(&doc.text_content(child)));
+        }
+        if let Some(desc) = doc
+            .descendant_elements(elem.node)
+            .into_iter()
+            .find(|&n| doc.node(n).tag() == Some(sym))
+        {
+            return Some(FieldValue::parse(&doc.text_content(desc)));
+        }
+    }
+    None
+}
+
+/// Resolve `elem.field` only when it parses as a number.
+pub fn numeric_field(coll: &Collection, elem: ElemRef, field: &str) -> Option<f64> {
+    field_value(coll, elem, field).and_then(|v| v.as_num())
+}
+
+/// The element's own text content as a typed value — used by constraint
+/// predicates like `price < 2000` where the TPQ node *is* the price element.
+pub fn content_value(coll: &Collection, elem: ElemRef) -> FieldValue {
+    FieldValue::parse(&coll.text_content(elem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DocId;
+
+    fn setup() -> (Collection, ElemRef) {
+        let mut c = Collection::new();
+        c.add_xml(
+            r#"<car color="red"><mileage>50.000</mileage><hp>200</hp><price>$500</price><make>Honda</make></car>"#,
+        )
+        .unwrap();
+        let root = c.doc(DocId(0)).root();
+        (c, ElemRef { doc: DocId(0), node: root })
+    }
+
+    #[test]
+    fn attribute_beats_child_element() {
+        let (c, car) = setup();
+        assert_eq!(field_value(&c, car, "color"), Some(FieldValue::Str("red".into())));
+    }
+
+    #[test]
+    fn child_element_text_resolves() {
+        let (c, car) = setup();
+        assert_eq!(field_value(&c, car, "make"), Some(FieldValue::Str("Honda".into())));
+        assert_eq!(numeric_field(&c, car, "hp"), Some(200.0));
+    }
+
+    #[test]
+    fn thousands_formatting_parses() {
+        let (c, car) = setup();
+        assert_eq!(numeric_field(&c, car, "mileage"), Some(50_000.0));
+    }
+
+    #[test]
+    fn currency_marker_parses() {
+        let (c, car) = setup();
+        assert_eq!(numeric_field(&c, car, "price"), Some(500.0));
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        let (c, car) = setup();
+        assert_eq!(field_value(&c, car, "vin"), None);
+        assert_eq!(numeric_field(&c, car, "make"), None);
+    }
+
+    #[test]
+    fn parse_types() {
+        assert_eq!(FieldValue::parse("42"), FieldValue::Num(42.0));
+        assert_eq!(FieldValue::parse(" 3.5 "), FieldValue::Num(3.5));
+        assert_eq!(FieldValue::parse("-7"), FieldValue::Num(-7.0));
+        assert_eq!(FieldValue::parse("red"), FieldValue::Str("red".into()));
+        assert_eq!(FieldValue::parse("1.2.3"), FieldValue::Num(123.0)); // thousands dots
+    }
+
+    #[test]
+    fn eq_const_case_insensitive() {
+        assert!(FieldValue::parse("Red").eq_const("red"));
+        assert!(FieldValue::parse("500").eq_const("500"));
+        assert!(!FieldValue::parse("500").eq_const("501"));
+        assert!(!FieldValue::parse("red").eq_const("blue"));
+    }
+
+    #[test]
+    fn content_value_of_leaf() {
+        let (c, car) = setup();
+        let doc = c.doc(car.doc);
+        let hp = c.tag("hp").unwrap();
+        let hp_node = doc.child_element(doc.root(), hp).unwrap();
+        let v = content_value(&c, ElemRef { doc: car.doc, node: hp_node });
+        assert_eq!(v, FieldValue::Num(200.0));
+    }
+}

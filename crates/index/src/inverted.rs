@@ -1,0 +1,207 @@
+//! Positional inverted index over a [`Collection`].
+//!
+//! For every token we store `(doc, global token position, region label of
+//! the containing text node)`. Global positions run across the whole
+//! document, so phrase matching is "consecutive positions"; region labels
+//! make `ftcontains(e, kw)` a binary-searchable range check against `e`'s
+//! `(start, end)` region. This mirrors the paper's reliance on "inverted
+//! indices on keywords" (§6.4).
+
+use crate::store::{Collection, DocId};
+use crate::tokenize::Tokenizer;
+use pimento_xml::{NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// One occurrence of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document the occurrence is in.
+    pub doc: DocId,
+    /// Global token position within the document (0-based, document order).
+    pub pos: u32,
+    /// Region label (`start == end`) of the containing text node; an element
+    /// `e` contains the occurrence iff `e.start < label && label < e.end`.
+    pub label: u32,
+    /// The text node the occurrence came from.
+    pub text_node: NodeId,
+}
+
+/// Immutable inverted index; build once per collection with
+/// [`InvertedIndex::build`].
+#[derive(Debug)]
+pub struct InvertedIndex {
+    tokenizer: Tokenizer,
+    /// token → postings sorted by (doc, pos).
+    postings: HashMap<String, Vec<Posting>>,
+    /// Per-document token count.
+    doc_tokens: Vec<u32>,
+    /// token → number of documents containing it.
+    doc_freq: HashMap<String, u32>,
+}
+
+impl InvertedIndex {
+    /// Index every text node of every document in `coll`.
+    pub fn build(coll: &Collection, tokenizer: Tokenizer) -> Self {
+        let mut index = InvertedIndex {
+            tokenizer,
+            postings: HashMap::new(),
+            doc_tokens: Vec::with_capacity(coll.len()),
+            doc_freq: HashMap::new(),
+        };
+        for (doc_id, doc) in coll.iter() {
+            index.index_document(doc_id, doc);
+        }
+        index
+    }
+
+    /// Append one document's postings. `doc_id` must be the next id in
+    /// sequence (postings stay `(doc, pos)`-sorted because ids grow) —
+    /// this is what makes incremental collection growth cheap.
+    pub fn index_document(&mut self, doc_id: DocId, doc: &pimento_xml::Document) {
+        assert_eq!(
+            doc_id.0 as usize,
+            self.doc_tokens.len(),
+            "documents must be indexed in id order"
+        );
+        let mut pos = 0u32;
+        let mut doc_terms: Vec<String> = Vec::new();
+        for node_id in doc.node_ids() {
+            let node = doc.node(node_id);
+            if let NodeKind::Text(t) = &node.kind {
+                for token in self.tokenizer.tokenize(t) {
+                    doc_terms.push(token.clone());
+                    let entry = self.postings.entry(token).or_default();
+                    entry.push(Posting { doc: doc_id, pos, label: node.start, text_node: node_id });
+                    debug_assert!(
+                        entry.len() < 2
+                            || (entry[entry.len() - 2].doc, entry[entry.len() - 2].pos)
+                                < (doc_id, pos)
+                    );
+                    pos += 1;
+                }
+            }
+        }
+        self.doc_tokens.push(pos);
+        // Document frequencies: +1 for every distinct term of this doc.
+        doc_terms.sort_unstable();
+        doc_terms.dedup();
+        for t in doc_terms {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// The tokenizer this index was built with (queries must use the same).
+    pub fn tokenizer(&self) -> Tokenizer {
+        self.tokenizer
+    }
+
+    /// All postings of `token` (already normalized), sorted by (doc, pos).
+    pub fn postings(&self, token: &str) -> &[Posting] {
+        self.postings.get(token).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Postings of `token` within document `doc` (slice of the global list).
+    pub fn doc_postings(&self, token: &str, doc: DocId) -> &[Posting] {
+        let all = self.postings(token);
+        let lo = all.partition_point(|p| p.doc < doc);
+        let hi = all.partition_point(|p| p.doc <= doc);
+        &all[lo..hi]
+    }
+
+    /// Number of documents containing `token`.
+    pub fn doc_freq(&self, token: &str) -> u32 {
+        self.doc_freq.get(token).copied().unwrap_or(0)
+    }
+
+    /// Number of documents indexed.
+    pub fn num_docs(&self) -> u32 {
+        self.doc_tokens.len() as u32
+    }
+
+    /// Token count of a document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_tokens[doc.0 as usize]
+    }
+
+    /// Number of distinct tokens in the index.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Normalize a raw query keyword/phrase into index tokens.
+    pub fn analyze(&self, phrase: &str) -> Vec<String> {
+        self.tokenizer.tokenize(phrase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(xmls: &[&str]) -> (Collection, InvertedIndex) {
+        let mut c = Collection::new();
+        for x in xmls {
+            c.add_xml(x).unwrap();
+        }
+        let idx = InvertedIndex::build(&c, Tokenizer::plain());
+        (c, idx)
+    }
+
+    #[test]
+    fn postings_positions_are_global_per_document() {
+        let (_, idx) = index(&["<a><b>good condition</b><c>good car</c></a>"]);
+        let good = idx.postings("good");
+        assert_eq!(good.len(), 2);
+        assert_eq!(good[0].pos, 0);
+        assert_eq!(good[1].pos, 2);
+        assert_eq!(idx.postings("condition")[0].pos, 1);
+    }
+
+    #[test]
+    fn labels_track_text_nodes() {
+        let (c, idx) = index(&["<a><b>alpha</b><c>alpha</c></a>"]);
+        let doc = c.doc(DocId(0));
+        let b = doc.node(doc.root()).children[0];
+        let alpha = idx.postings("alpha");
+        // first occurrence's label falls inside b's region
+        let nb = doc.node(b);
+        assert!(nb.start < alpha[0].label && alpha[0].label < nb.end);
+        assert!(!(nb.start < alpha[1].label && alpha[1].label < nb.end));
+    }
+
+    #[test]
+    fn doc_postings_slices_per_document() {
+        let (_, idx) = index(&["<a>x y</a>", "<a>y z</a>"]);
+        assert_eq!(idx.doc_postings("y", DocId(0)).len(), 1);
+        assert_eq!(idx.doc_postings("y", DocId(1)).len(), 1);
+        assert_eq!(idx.doc_postings("x", DocId(1)).len(), 0);
+        assert_eq!(idx.doc_freq("y"), 2);
+        assert_eq!(idx.doc_freq("x"), 1);
+        assert_eq!(idx.doc_freq("missing"), 0);
+    }
+
+    #[test]
+    fn doc_lengths() {
+        let (_, idx) = index(&["<a>one two three</a>", "<a>four</a>"]);
+        assert_eq!(idx.doc_len(DocId(0)), 3);
+        assert_eq!(idx.doc_len(DocId(1)), 1);
+        assert_eq!(idx.num_docs(), 2);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = Collection::new();
+        let idx = InvertedIndex::build(&c, Tokenizer::plain());
+        assert_eq!(idx.num_docs(), 0);
+        assert!(idx.postings("anything").is_empty());
+    }
+
+    #[test]
+    fn stemming_index_merges_forms() {
+        let mut c = Collection::new();
+        c.add_xml("<a>selling cars</a>").unwrap();
+        let idx = InvertedIndex::build(&c, Tokenizer::stemming());
+        assert_eq!(idx.postings("car").len(), 1);
+        assert_eq!(idx.analyze("Cars"), ["car"]);
+    }
+}

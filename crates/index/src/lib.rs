@@ -1,0 +1,56 @@
+//! # pimento-index
+//!
+//! Indexing substrate for the PIMENTO reproduction: the paper's query
+//! evaluation "relies on inverted indices on keywords and on an index per
+//! distinct tag" (§6.4). This crate provides both, plus the scoring model
+//! and the typed field access that ordering rules need:
+//!
+//! * [`store::Collection`] — documents sharing a symbol table,
+//! * [`inverted::InvertedIndex`] — positional keyword index whose postings
+//!   carry region labels, so `ftcontains` is a range check,
+//! * [`tags::TagIndex`] — per-tag element lists sorted by `(doc, start)`,
+//!   the input streams of the structural joins,
+//! * [`phrase`] — phrase adjacency + containment,
+//! * [`score::Scorer`] — per-predicate scores normalized to [0, 1] so
+//!   top-k pruning bounds are exact,
+//! * [`fields`] — `x.attr` resolution for value-based ordering rules.
+//!
+//! ```
+//! use pimento_index::{Collection, InvertedIndex, TagIndex, Tokenizer, Scorer, ft_contains};
+//!
+//! let mut coll = Collection::new();
+//! coll.add_xml("<car><description>good condition</description></car>").unwrap();
+//! let inv = InvertedIndex::build(&coll, Tokenizer::plain());
+//! let tags = TagIndex::build(&coll);
+//! let car = coll.tag("car").unwrap();
+//! let elem = tags.elements(car)[0];
+//! assert!(ft_contains(&inv, &elem, &inv.analyze("good condition")));
+//! let score = Scorer::new(&inv).ft_score(&inv, &elem, &inv.analyze("good condition"));
+//! assert!(score > 0.0 && score < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fields;
+pub mod inverted;
+pub mod parallel;
+pub mod persist;
+pub mod phrase;
+pub mod score;
+pub mod stats;
+pub mod store;
+pub mod tags;
+pub mod tokenize;
+pub mod values;
+
+pub use fields::{content_value, field_value, numeric_field, FieldValue};
+pub use inverted::{InvertedIndex, Posting};
+pub use parallel::build_collection_parallel;
+pub use persist::{load_collection, save_collection, PersistError};
+pub use phrase::{count_in_element, ft_all, ft_contains, occurrences_in_element, phrase_occurrences, postings_in_element};
+pub use score::Scorer;
+pub use stats::CorpusStats;
+pub use store::{Collection, DocId, ElemRef};
+pub use tags::{ElemEntry, TagIndex};
+pub use tokenize::{stem, Tokenizer};
+pub use values::{RangeOp, ValueIndex};

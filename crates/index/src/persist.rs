@@ -1,0 +1,319 @@
+//! Binary snapshots of a [`Collection`]: parse once, reload instantly.
+//!
+//! Parsing dominates collection load time (the indexes rebuild in a
+//! fraction of the parse cost), so the snapshot stores the parsed arenas —
+//! symbol table, node records, region labels — in a compact little-endian
+//! format:
+//!
+//! ```text
+//! magic   "PIMCOL1\0"                    8 bytes
+//! u32     symbol count                   then len-prefixed UTF-8 names
+//! u32     document count
+//! per document:
+//!   u32   root node id
+//!   u32   node count
+//!   per node:
+//!     u8  kind (0 element / 1 text / 2 comment)
+//!     element: u32 tag, u16 attr count, per attr (u32 sym, str value)
+//!     text/comment: str payload
+//!     u32 parent + 1 (0 = none)
+//!     u32 child count, u32 × children
+//!     u32 start, u32 end, u16 level
+//! u64     FNV-1a checksum of everything above
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. The checksum catches
+//! truncation/corruption; [`Document::from_parts`] re-validates the arena
+//! invariants on load, so a malformed snapshot fails loudly instead of
+//! producing an inconsistent store.
+
+use crate::store::Collection;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pimento_xml::{Document, Node, NodeId, NodeKind, SymbolId, SymbolTable};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"PIMCOL1\0";
+
+/// Snapshot decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing/incorrect magic header.
+    BadMagic,
+    /// Input ended early.
+    Truncated,
+    /// Checksum mismatch (corruption).
+    ChecksumMismatch,
+    /// A string was not valid UTF-8.
+    BadString,
+    /// Arena invariants failed on reconstruction.
+    BadArena(&'static str),
+    /// A symbol id pointed outside the table.
+    BadSymbol,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a PIMENTO collection snapshot"),
+            PersistError::Truncated => write!(f, "snapshot is truncated"),
+            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
+            PersistError::BadArena(why) => write!(f, "snapshot arena invalid: {why}"),
+            PersistError::BadSymbol => write!(f, "snapshot references an unknown symbol"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize `coll` into a snapshot buffer.
+pub fn save_collection(coll: &Collection) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1024);
+    buf.put_slice(MAGIC);
+    let symbols = coll.symbols();
+    buf.put_u32_le(symbols.len() as u32);
+    for i in 0..symbols.len() as u32 {
+        put_str(&mut buf, symbols.name(SymbolId(i)));
+    }
+    buf.put_u32_le(coll.len() as u32);
+    for (_, doc) in coll.iter() {
+        buf.put_u32_le(doc.root().0);
+        buf.put_u32_le(doc.len() as u32);
+        for node in doc.nodes() {
+            match &node.kind {
+                NodeKind::Element { tag, attrs } => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(tag.0);
+                    buf.put_u16_le(attrs.len() as u16);
+                    for (a, v) in attrs.iter() {
+                        buf.put_u32_le(a.0);
+                        put_str(&mut buf, v);
+                    }
+                }
+                NodeKind::Text(t) => {
+                    buf.put_u8(1);
+                    put_str(&mut buf, t);
+                }
+                NodeKind::Comment(c) => {
+                    buf.put_u8(2);
+                    put_str(&mut buf, c);
+                }
+            }
+            buf.put_u32_le(node.parent.map(|p| p.0 + 1).unwrap_or(0));
+            buf.put_u32_le(node.children.len() as u32);
+            for c in &node.children {
+                buf.put_u32_le(c.0);
+            }
+            buf.put_u32_le(node.start);
+            buf.put_u32_le(node.end);
+            buf.put_u16_le(node.level);
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Deserialize a snapshot produced by [`save_collection`].
+pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
+    if data.len() < MAGIC.len() + 8 {
+        return Err(PersistError::Truncated);
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let expected = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != expected {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    let mut buf = body;
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    buf.advance(MAGIC.len());
+
+    let mut symbols = SymbolTable::new();
+    let n_syms = get_u32(&mut buf)?;
+    for _ in 0..n_syms {
+        let name = get_str(&mut buf)?;
+        symbols.intern(&name);
+    }
+    let sym_count = symbols.len() as u32;
+    let check_sym = |id: u32| if id < sym_count { Ok(SymbolId(id)) } else { Err(PersistError::BadSymbol) };
+
+    let mut coll = Collection::new();
+    *coll.symbols_mut() = symbols;
+    let n_docs = get_u32(&mut buf)?;
+    for _ in 0..n_docs {
+        let root = NodeId(get_u32(&mut buf)?);
+        let n_nodes = get_u32(&mut buf)?;
+        let mut nodes = Vec::with_capacity(n_nodes as usize);
+        for _ in 0..n_nodes {
+            let kind = match get_u8(&mut buf)? {
+                0 => {
+                    let tag = check_sym(get_u32(&mut buf)?)?;
+                    let n_attrs = get_u16(&mut buf)?;
+                    let mut attrs = Vec::with_capacity(n_attrs as usize);
+                    for _ in 0..n_attrs {
+                        let a = check_sym(get_u32(&mut buf)?)?;
+                        let v = get_str(&mut buf)?;
+                        attrs.push((a, v));
+                    }
+                    NodeKind::Element { tag, attrs: attrs.into_boxed_slice() }
+                }
+                1 => NodeKind::Text(get_str(&mut buf)?),
+                2 => NodeKind::Comment(get_str(&mut buf)?),
+                _ => return Err(PersistError::BadArena("unknown node kind")),
+            };
+            let parent_raw = get_u32(&mut buf)?;
+            let parent = if parent_raw == 0 { None } else { Some(NodeId(parent_raw - 1)) };
+            let n_children = get_u32(&mut buf)?;
+            if n_children as usize > body.len() {
+                return Err(PersistError::Truncated);
+            }
+            let mut children = Vec::with_capacity(n_children as usize);
+            for _ in 0..n_children {
+                children.push(NodeId(get_u32(&mut buf)?));
+            }
+            let start = get_u32(&mut buf)?;
+            let end = get_u32(&mut buf)?;
+            let level = get_u16(&mut buf)?;
+            nodes.push(Node { kind, parent, children, start, end, level });
+        }
+        let doc = Document::from_parts(nodes, root).map_err(PersistError::BadArena)?;
+        coll.add_document(doc);
+    }
+    Ok(coll)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
+    if buf.remaining() < 1 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, PersistError> {
+    if buf.remaining() < 2 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| PersistError::BadString)?.to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// FNV-1a over the snapshot body.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverted::InvertedIndex;
+    use crate::tags::TagIndex;
+    use crate::tokenize::Tokenizer;
+    use pimento_xml::to_string;
+
+    fn sample() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml(r#"<dealer><car color="red"><price>500</price><note>good &amp; cheap</note></car></dealer>"#)
+            .unwrap();
+        c.add_xml("<dealer><car><!--traded--><price>900</price></car></dealer>").unwrap();
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_documents() {
+        let coll = sample();
+        let snapshot = save_collection(&coll);
+        let loaded = load_collection(&snapshot).unwrap();
+        assert_eq!(loaded.len(), coll.len());
+        for ((_, a), (_, b)) in coll.iter().zip(loaded.iter()) {
+            assert_eq!(to_string(a, coll.symbols()), to_string(b, loaded.symbols()));
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_index_behaviour() {
+        let coll = sample();
+        let loaded = load_collection(&save_collection(&coll)).unwrap();
+        let inv_a = InvertedIndex::build(&coll, Tokenizer::plain());
+        let inv_b = InvertedIndex::build(&loaded, Tokenizer::plain());
+        assert_eq!(inv_a.vocabulary_size(), inv_b.vocabulary_size());
+        assert_eq!(inv_a.postings("good").len(), inv_b.postings("good").len());
+        let tags_a = TagIndex::build(&coll);
+        let tags_b = TagIndex::build(&loaded);
+        assert_eq!(
+            tags_a.count(coll.tag("car").unwrap()),
+            tags_b.count(loaded.tag("car").unwrap())
+        );
+    }
+
+    #[test]
+    fn empty_collection_roundtrips() {
+        let coll = Collection::new();
+        let loaded = load_collection(&save_collection(&coll)).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let coll = sample();
+        let snapshot = save_collection(&coll);
+        let mut bytes = snapshot.to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(load_collection(&bytes), Err(PersistError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let coll = sample();
+        let snapshot = save_collection(&coll);
+        assert!(matches!(load_collection(&snapshot[..10]), Err(PersistError::Truncated)));
+        assert!(matches!(load_collection(&[]), Err(PersistError::Truncated)));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let coll = sample();
+        let mut bytes = save_collection(&coll).to_vec();
+        bytes[0] = b'X';
+        // Fix the checksum so the magic check is what fails.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        assert!(matches!(load_collection(&bytes), Err(PersistError::BadMagic)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PersistError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(PersistError::BadArena("why").to_string().contains("why"));
+    }
+}

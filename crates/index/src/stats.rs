@@ -1,0 +1,130 @@
+//! Corpus statistics: what a user (or the CLI's `--analyze`) wants to know
+//! about an indexed collection before querying it.
+
+use crate::inverted::InvertedIndex;
+use crate::store::Collection;
+use crate::tags::TagIndex;
+use pimento_xml::NodeKind;
+
+/// Aggregate statistics over a collection and its indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of documents.
+    pub documents: usize,
+    /// Total element count.
+    pub elements: usize,
+    /// Total text tokens indexed.
+    pub tokens: u64,
+    /// Distinct element/attribute names.
+    pub distinct_names: usize,
+    /// Distinct indexed tokens.
+    pub vocabulary: usize,
+    /// Maximum element depth seen.
+    pub max_depth: u16,
+    /// The most frequent element tags, `(name, count)`, descending.
+    pub top_tags: Vec<(String, usize)>,
+}
+
+impl CorpusStats {
+    /// Compute statistics (cheap: one pass over tag lists + index sizes).
+    pub fn compute(coll: &Collection, inverted: &InvertedIndex, tags: &TagIndex) -> Self {
+        let mut elements = 0usize;
+        let mut max_depth = 0u16;
+        let mut tag_counts: Vec<(String, usize)> = Vec::new();
+        for (_, doc) in coll.iter() {
+            for id in doc.node_ids() {
+                let n = doc.node(id);
+                if matches!(n.kind, NodeKind::Element { .. }) {
+                    elements += 1;
+                    max_depth = max_depth.max(n.level);
+                }
+            }
+        }
+        for i in 0..coll.symbols().len() as u32 {
+            let sym = pimento_xml::SymbolId(i);
+            let count = tags.count(sym);
+            if count > 0 {
+                tag_counts.push((coll.symbols().name(sym).to_string(), count));
+            }
+        }
+        tag_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        tag_counts.truncate(10);
+        let tokens = (0..coll.len() as u32)
+            .map(|d| inverted.doc_len(crate::store::DocId(d)) as u64)
+            .sum();
+        CorpusStats {
+            documents: coll.len(),
+            elements,
+            tokens,
+            distinct_names: coll.symbols().len(),
+            vocabulary: inverted.vocabulary_size(),
+            max_depth,
+            top_tags: tag_counts,
+        }
+    }
+
+    /// Render a compact human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "collection: {} document(s), {} elements (max depth {}), {} tokens, \
+             {} distinct names, vocabulary {}\n",
+            self.documents, self.elements, self.max_depth, self.tokens, self.distinct_names,
+            self.vocabulary
+        );
+        if !self.top_tags.is_empty() {
+            out.push_str("top tags: ");
+            let parts: Vec<String> =
+                self.top_tags.iter().map(|(t, c)| format!("{t}({c})")).collect();
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Tokenizer;
+
+    fn setup() -> (Collection, InvertedIndex, TagIndex) {
+        let mut c = Collection::new();
+        c.add_xml("<dealer><car><price>one two</price></car><car><price>three</price></car></dealer>")
+            .unwrap();
+        c.add_xml("<dealer><lot/></dealer>").unwrap();
+        let inv = InvertedIndex::build(&c, Tokenizer::plain());
+        let tags = TagIndex::build(&c);
+        (c, inv, tags)
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let (c, inv, tags) = setup();
+        let s = CorpusStats::compute(&c, &inv, &tags);
+        assert_eq!(s.documents, 2);
+        assert_eq!(s.elements, 7); // 2 dealers, 2 cars, 2 prices, 1 lot
+        assert_eq!(s.tokens, 3);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.vocabulary, 3);
+        assert_eq!(s.top_tags[0], ("car".to_string(), 2));
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let (c, inv, tags) = setup();
+        let text = CorpusStats::compute(&c, &inv, &tags).render();
+        assert!(text.contains("2 document(s)"));
+        assert!(text.contains("top tags"));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = Collection::new();
+        let inv = InvertedIndex::build(&c, Tokenizer::plain());
+        let tags = TagIndex::build(&c);
+        let s = CorpusStats::compute(&c, &inv, &tags);
+        assert_eq!(s.documents, 0);
+        assert_eq!(s.elements, 0);
+        assert!(s.top_tags.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! The collection store: a set of parsed documents sharing one symbol table.
+
+use pimento_xml::{parse_content, Document, NodeId, SymbolId, SymbolTable, XmlError};
+
+/// Identifier of a document within a [`Collection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// A node address that is unique across the collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemRef {
+    /// Owning document.
+    pub doc: DocId,
+    /// Node within that document.
+    pub node: NodeId,
+}
+
+/// A set of documents with a shared [`SymbolTable`], the unit over which
+/// indexes are built and queries run.
+#[derive(Debug, Default)]
+pub struct Collection {
+    symbols: SymbolTable,
+    docs: Vec<Document>,
+}
+
+impl Collection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse `input` and add it, returning its id.
+    pub fn add_xml(&mut self, input: &str) -> Result<DocId, XmlError> {
+        let doc = parse_content(input, &mut self.symbols)?;
+        Ok(self.add_document(doc))
+    }
+
+    /// Add an already-built document. The document must have been parsed (or
+    /// generated) against this collection's symbol table.
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(doc);
+        id
+    }
+
+    /// Borrow a document.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.0 as usize]
+    }
+
+    /// The shared symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the symbol table — needed when generators build
+    /// documents directly into the collection.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether there are no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate `(DocId, &Document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.docs.iter().enumerate().map(|(i, d)| (DocId(i as u32), d))
+    }
+
+    /// Intern a tag name (convenience passthrough).
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        self.symbols.intern(name)
+    }
+
+    /// Look up a tag name without interning.
+    pub fn tag(&self, name: &str) -> Option<SymbolId> {
+        self.symbols.get(name)
+    }
+
+    /// Resolve an [`ElemRef`] to its node.
+    pub fn node(&self, r: ElemRef) -> &pimento_xml::Node {
+        self.doc(r.doc).node(r.node)
+    }
+
+    /// Text content of the subtree at `r`.
+    pub fn text_content(&self, r: ElemRef) -> String {
+        self.doc(r.doc).text_content(r.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_documents() {
+        let mut c = Collection::new();
+        let d0 = c.add_xml("<a><b>x</b></a>").unwrap();
+        let d1 = c.add_xml("<a><b>y</b></a>").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(d0, DocId(0));
+        assert_eq!(d1, DocId(1));
+        let b = c.tag("b").unwrap();
+        let n0 = c.doc(d0).child_element(c.doc(d0).root(), b).unwrap();
+        assert_eq!(c.text_content(ElemRef { doc: d0, node: n0 }), "x");
+    }
+
+    #[test]
+    fn symbols_shared_across_documents() {
+        let mut c = Collection::new();
+        c.add_xml("<car/>").unwrap();
+        c.add_xml("<dealer><car/></dealer>").unwrap();
+        let car = c.tag("car").unwrap();
+        let count: usize = c
+            .iter()
+            .map(|(_, d)| {
+                d.node_ids().filter(|&n| d.node(n).tag() == Some(car)).count()
+            })
+            .sum();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut c = Collection::new();
+        assert!(c.add_xml("<a><b></a>").is_err());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Text tokenization for full-text indexing and `ftcontains` predicates.
+//!
+//! The paper (§7.1) reports experimenting with stemming and case folding as
+//! relaxation options for keywords, so the tokenizer exposes both: case
+//! folding is always on (queries and documents meet in lowercase), and a
+//! light suffix stemmer can be toggled per index / per query.
+
+/// Tokenizer configuration shared by index build and query analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tokenizer {
+    /// Apply the light suffix stemmer to every token.
+    pub stemming: bool,
+}
+
+impl Tokenizer {
+    /// Tokenizer without stemming (exact matching modulo case).
+    pub fn plain() -> Self {
+        Tokenizer { stemming: false }
+    }
+
+    /// Tokenizer with light stemming (the paper's relaxed keyword matching).
+    pub fn stemming() -> Self {
+        Tokenizer { stemming: true }
+    }
+
+    /// Split `text` into normalized tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+            } else if !cur.is_empty() {
+                out.push(self.finish(std::mem::take(&mut cur)));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(self.finish(cur));
+        }
+        out
+    }
+
+    fn finish(&self, token: String) -> String {
+        if self.stemming {
+            stem(&token)
+        } else {
+            token
+        }
+    }
+}
+
+/// A light suffix stemmer (s/es/ies, ing, ed) — deliberately simpler than
+/// Porter: it only needs to merge the obvious morphological variants that
+/// the paper's relaxation experiments rely on, and must never map two
+/// clearly unrelated words together.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    // Longest-suffix-first; guard with minimum stem lengths so short words
+    // ("as", "is", "red") pass through untouched.
+    if let Some(stripped) = t.strip_suffix("ies") {
+        if stripped.len() >= 2 {
+            return format!("{stripped}y");
+        }
+    }
+    if let Some(stripped) = t.strip_suffix("ing") {
+        if stripped.len() >= 3 {
+            return stripped.to_string();
+        }
+    }
+    if let Some(stripped) = t.strip_suffix("ed") {
+        if stripped.len() >= 3 {
+            return stripped.to_string();
+        }
+    }
+    if let Some(stripped) = t.strip_suffix("es") {
+        if stripped.len() >= 3 {
+            return stripped.to_string();
+        }
+    }
+    if let Some(stripped) = t.strip_suffix('s') {
+        if stripped.len() >= 3 && !stripped.ends_with('s') && !stripped.ends_with('u') {
+            return stripped.to_string();
+        }
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumerics_and_lowercases() {
+        let t = Tokenizer::plain();
+        assert_eq!(t.tokenize("Good-Condition, LOW mileage!"), ["good", "condition", "low", "mileage"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        let t = Tokenizer::plain();
+        assert_eq!(t.tokenize("bought on 11/2005"), ["bought", "on", "11", "2005"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        let t = Tokenizer::plain();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn stemming_merges_plural_and_gerund() {
+        assert_eq!(stem("cars"), "car");
+        assert_eq!(stem("mining"), "min");
+        assert_eq!(stem("queries"), "query");
+        assert_eq!(stem("matched"), "match");
+        assert_eq!(stem("boxes"), "box");
+    }
+
+    #[test]
+    fn stemming_preserves_short_words() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("us"), "us");
+        assert_eq!(stem("ss"), "ss");
+        assert_eq!(stem("bus"), "bus");
+    }
+
+    #[test]
+    fn stemming_tokenizer_applies_to_all_tokens() {
+        let t = Tokenizer::stemming();
+        assert_eq!(t.tokenize("selling cars"), ["sell", "car"]);
+    }
+
+    #[test]
+    fn unicode_case_folding() {
+        let t = Tokenizer::plain();
+        assert_eq!(t.tokenize("Čar"), ["čar"]);
+    }
+}

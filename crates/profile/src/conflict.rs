@@ -1,0 +1,250 @@
+//! Conflict analysis for scoping rules (paper §5.1).
+//!
+//! Rule `ρ1` **conflicts with** `ρ2` w.r.t. query `Q` when both are
+//! applicable to `Q` but `ρ2` is no longer applicable to `ρ1(Q)`. Conflicts
+//! form a digraph with an arc `ρ1 → ρ2` per such pair. When the graph is
+//! acyclic we apply rules so that whenever `ρ1` would disable `ρ2`, `ρ2`
+//! fires first — i.e. in topological order of the *reversed* arcs — which
+//! lets every rule have its intended effect. When the graph is cyclic, the
+//! paper requires user priorities; we order cycle members by priority
+//! (smaller first) and report an error naming the cycle if any member
+//! lacks one. A fully prioritized rule set bypasses the topology entirely:
+//! the user's order always wins.
+
+use crate::scoping::ScopingRule;
+use pimento_tpq::Tpq;
+use std::fmt;
+
+/// Conflict analysis outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictAnalysis {
+    /// Arcs `(i, j)`: rule `i` conflicts with rule `j` w.r.t. the query.
+    pub arcs: Vec<(usize, usize)>,
+    /// The application order (indices into the input rule slice).
+    pub order: Vec<usize>,
+    /// How the order was obtained.
+    pub resolution: Resolution,
+}
+
+/// How the application order was determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// The conflict graph was acyclic — topological order.
+    Topological,
+    /// Cycles were present but user priorities resolved them.
+    Priorities,
+}
+
+/// Unresolvable conflicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictError {
+    /// Ids of rules forming a conflict cycle without full priorities.
+    pub cycle: Vec<String>,
+}
+
+impl fmt::Display for ConflictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scoping rules form a conflict cycle ({}); assign priorities to fix the order",
+            self.cycle.join(" → ")
+        )
+    }
+}
+
+impl std::error::Error for ConflictError {}
+
+/// Does `a` conflict with `b` w.r.t. `query` (paper definition)?
+pub fn conflicts(a: &ScopingRule, b: &ScopingRule, query: &Tpq) -> bool {
+    a.applicable(query) && b.applicable(query) && !b.applicable(&a.applied(query))
+}
+
+/// Analyze a rule set against `query` and produce an application order.
+///
+/// * If every rule carries a priority, priorities win outright (the paper
+///   lets the user force any order).
+/// * Otherwise, if the conflict graph is acyclic, rules are ordered so
+///   that whenever `a` conflicts with `b`, `b` applies first (reverse
+///   topological order of the conflict arcs) — both rules then get their
+///   intended effect.
+/// * Cyclic conflicts without priorities on every cycle member are an
+///   error naming the cycle.
+pub fn analyze(rules: &[ScopingRule], query: &Tpq) -> Result<ConflictAnalysis, ConflictError> {
+    let n = rules.len();
+    let mut arcs = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && conflicts(&rules[i], &rules[j], query) {
+                arcs.push((i, j));
+            }
+        }
+    }
+
+    if n > 0 && rules.iter().all(|r| r.priority.is_some()) {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (rules[i].priority.expect("checked"), i));
+        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Priorities });
+    }
+
+    // Reverse topological sort: emit rules with no *incoming* reversed
+    // arc... concretely, apply b before a when (a → b) ∈ arcs. Build the
+    // precedence graph b → a and topologically sort it.
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(a, b) in &arcs {
+        out[b].push(a);
+        indeg[a] += 1;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::BinaryHeap::new(); // max-heap of Reverse for stable smallest-first
+    for r in ready {
+        queue.push(std::cmp::Reverse(r));
+    }
+    while let Some(std::cmp::Reverse(v)) = queue.pop() {
+        order.push(v);
+        for &w in &out[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(std::cmp::Reverse(w));
+            }
+        }
+    }
+    if order.len() == n {
+        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Topological });
+    }
+
+    // A cycle exists. If every rule on some cycle has a priority we could
+    // still order; the simple and predictable policy (paper: "we require
+    // the user to assign priorities") is: all cycle members need
+    // priorities; order the cyclic remainder by priority if fully
+    // assigned, else error.
+    let cyclic: Vec<usize> = (0..n).filter(|i| !order.contains(i)).collect();
+    if cyclic.iter().all(|&i| rules[i].priority.is_some()) {
+        let mut rest = cyclic.clone();
+        rest.sort_by_key(|&i| (rules[i].priority.expect("checked"), i));
+        order.extend(rest);
+        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Priorities });
+    }
+    Err(ConflictError { cycle: cyclic.into_iter().map(|i| rules[i].id.clone()).collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoping::Atom;
+    use pimento_tpq::parse_tpq;
+
+    fn query_q() -> Tpq {
+        parse_tpq(
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+        )
+        .unwrap()
+    }
+
+    fn rho1() -> ScopingRule {
+        ScopingRule::delete(
+            "rho1",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![Atom::ft("description", "good condition")],
+        )
+    }
+
+    fn rho2() -> ScopingRule {
+        ScopingRule::add(
+            "rho2",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "american")],
+        )
+    }
+
+    fn rho3() -> ScopingRule {
+        ScopingRule::delete(
+            "rho3",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "low mileage")],
+        )
+    }
+
+    #[test]
+    fn paper_conflict_rho1_rho2() {
+        let q = query_q();
+        assert!(conflicts(&rho1(), &rho2(), &q));
+        assert!(!conflicts(&rho2(), &rho1(), &q));
+    }
+
+    #[test]
+    fn paper_cycle_rho1_rho3() {
+        // ρ1 removes "good condition" (ρ3's condition); ρ3 removes "low
+        // mileage" (ρ1's condition) — they conflict with each other.
+        let q = query_q();
+        assert!(conflicts(&rho1(), &rho3(), &q));
+        assert!(conflicts(&rho3(), &rho1(), &q));
+    }
+
+    #[test]
+    fn acyclic_analysis_orders_victim_first() {
+        // Only ρ1 and ρ2: arc rho1 → rho2, so rho2 must apply first.
+        let q = query_q();
+        let a = analyze(&[rho1(), rho2()], &q).unwrap();
+        assert_eq!(a.resolution, Resolution::Topological);
+        assert_eq!(a.order, vec![1, 0]);
+        assert_eq!(a.arcs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cycle_without_priorities_errors() {
+        let q = query_q();
+        let err = analyze(&[rho1(), rho3()], &q).unwrap_err();
+        assert!(err.cycle.contains(&"rho1".to_string()));
+        assert!(err.cycle.contains(&"rho3".to_string()));
+        assert!(err.to_string().contains("priorities"));
+    }
+
+    #[test]
+    fn cycle_with_priorities_resolves() {
+        let q = query_q();
+        let a = analyze(&[rho1().with_priority(2), rho3().with_priority(1)], &q).unwrap();
+        assert_eq!(a.resolution, Resolution::Priorities);
+        assert_eq!(a.order, vec![1, 0]); // rho3 (prio 1) first
+    }
+
+    #[test]
+    fn full_priorities_override_topology() {
+        let q = query_q();
+        let a = analyze(&[rho1().with_priority(0), rho2().with_priority(1)], &q).unwrap();
+        assert_eq!(a.resolution, Resolution::Priorities);
+        assert_eq!(a.order, vec![0, 1]); // user insists rho1 first
+    }
+
+    #[test]
+    fn inapplicable_rules_do_not_conflict() {
+        let q = parse_tpq("//person").unwrap();
+        assert!(!conflicts(&rho1(), &rho2(), &q));
+        let a = analyze(&[rho1(), rho2(), rho3()], &q).unwrap();
+        assert!(a.arcs.is_empty());
+        assert_eq!(a.order.len(), 3);
+    }
+
+    #[test]
+    fn empty_rule_set() {
+        let a = analyze(&[], &query_q()).unwrap();
+        assert!(a.order.is_empty());
+        assert!(a.arcs.is_empty());
+    }
+
+    #[test]
+    fn three_rules_mixed() {
+        // ρ1 → ρ2 and ρ1 ↔ ρ3: priority on the cycle members only.
+        let q = query_q();
+        let rules = [rho1().with_priority(5), rho2(), rho3().with_priority(4)];
+        let a = analyze(&rules, &q).unwrap();
+        // ρ2 has no incoming precedence issue once cyclic rules are
+        // handled; cycle members ordered by priority after the acyclic
+        // prefix.
+        assert_eq!(a.resolution, Resolution::Priorities);
+        let pos = |id: usize| a.order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(2) < pos(0), "rho3 (prio 4) before rho1 (prio 5): {:?}", a.order);
+    }
+}

@@ -1,0 +1,391 @@
+//! A small constraint system over rule variables, used by the ambiguity
+//! analysis (paper §5.2): computing `local*` closures, checking variable
+//! compatibility (`local*(x) & local*(y) & x = y` consistent), and checking
+//! satisfiability of comparison constraints along an alternating cycle.
+
+use pimento_tpq::RelOp;
+use std::collections::{HashMap, HashSet};
+
+/// A constant in a constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Numeric constant.
+    Num(f64),
+    /// String constant (compared case-insensitively).
+    Str(String),
+}
+
+impl Const {
+    /// Case-normalized equality.
+    pub fn same(&self, other: &Const) -> bool {
+        match (self, other) {
+            (Const::Num(a), Const::Num(b)) => a == b,
+            (Const::Str(a), Const::Str(b)) => a.eq_ignore_ascii_case(b),
+            _ => false,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Const::Num(n) => Some(*n),
+            Const::Str(_) => None,
+        }
+    }
+}
+
+/// Constraints on a single variable: its `local*` set, organized per
+/// attribute for consistency checking.
+#[derive(Debug, Clone, Default)]
+pub struct LocalSet {
+    /// Required tag, if constrained.
+    pub tag: Option<String>,
+    per_attr: HashMap<String, AttrConstraints>,
+}
+
+/// Per-attribute accumulated constraints.
+#[derive(Debug, Clone, Default)]
+struct AttrConstraints {
+    /// `attr = c` (at most one distinct value, else inconsistent).
+    eq: Option<Const>,
+    /// `attr ≠ c` values.
+    ne: Vec<Const>,
+    /// Exclusive upper bound implied by `<`/`<=` constraints: (bound, strict).
+    upper: Option<(f64, bool)>,
+    /// Lower bound: (bound, strict).
+    lower: Option<(f64, bool)>,
+}
+
+/// Why a set of constraints is inconsistent (used in diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// Two different tags required.
+    TagClash(String, String),
+    /// Equality to two different constants.
+    EqClash(String),
+    /// `attr = c` and `attr ≠ c`.
+    EqNeClash(String),
+    /// Empty numeric interval.
+    EmptyInterval(String),
+    /// `attr = c` outside the numeric interval.
+    EqOutsideInterval(String),
+}
+
+impl LocalSet {
+    /// Empty (unconstrained) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Require `tag`.
+    pub fn require_tag(&mut self, tag: &str) -> Result<(), Inconsistency> {
+        match &self.tag {
+            Some(t) if !t.eq_ignore_ascii_case(tag) => {
+                Err(Inconsistency::TagClash(t.clone(), tag.to_string()))
+            }
+            _ => {
+                self.tag = Some(tag.to_lowercase());
+                Ok(())
+            }
+        }
+    }
+
+    /// Add `attr relOp c`.
+    pub fn add(&mut self, attr: &str, op: RelOp, c: Const) -> Result<(), Inconsistency> {
+        let slot = self.per_attr.entry(attr.to_lowercase()).or_default();
+        match op {
+            RelOp::Eq => match &slot.eq {
+                Some(prev) if !prev.same(&c) => {
+                    return Err(Inconsistency::EqClash(attr.to_string()))
+                }
+                _ => slot.eq = Some(c),
+            },
+            RelOp::Ne => slot.ne.push(c),
+            RelOp::Lt | RelOp::Le => {
+                let Some(n) = c.as_num() else { return Ok(()) };
+                let strict = op == RelOp::Lt;
+                slot.upper = Some(match slot.upper {
+                    Some((b, s)) if b < n || (b == n && (s || !strict)) => (b, s),
+                    _ => (n, strict),
+                });
+            }
+            RelOp::Gt | RelOp::Ge => {
+                let Some(n) = c.as_num() else { return Ok(()) };
+                let strict = op == RelOp::Gt;
+                slot.lower = Some(match slot.lower {
+                    Some((b, s)) if b > n || (b == n && (s || !strict)) => (b, s),
+                    _ => (n, strict),
+                });
+            }
+        }
+        self.check_attr(attr)
+    }
+
+    fn check_attr(&self, attr: &str) -> Result<(), Inconsistency> {
+        let Some(slot) = self.per_attr.get(&attr.to_lowercase()) else { return Ok(()) };
+        if let Some(eq) = &slot.eq {
+            if slot.ne.iter().any(|n| n.same(eq)) {
+                return Err(Inconsistency::EqNeClash(attr.to_string()));
+            }
+            if let Some(v) = eq.as_num() {
+                if let Some((u, strict)) = slot.upper {
+                    if v > u || (v == u && strict) {
+                        return Err(Inconsistency::EqOutsideInterval(attr.to_string()));
+                    }
+                }
+                if let Some((l, strict)) = slot.lower {
+                    if v < l || (v == l && strict) {
+                        return Err(Inconsistency::EqOutsideInterval(attr.to_string()));
+                    }
+                }
+            }
+        }
+        if let (Some((u, us)), Some((l, ls))) = (slot.upper, slot.lower) {
+            if l > u || (l == u && (us || ls)) {
+                return Err(Inconsistency::EmptyInterval(attr.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge `other` into `self` (the `x = y` identification step of the
+    /// compatibility test). Errors if the union is inconsistent.
+    pub fn merge(&mut self, other: &LocalSet) -> Result<(), Inconsistency> {
+        if let Some(t) = &other.tag {
+            self.require_tag(t)?;
+        }
+        for (attr, oc) in &other.per_attr {
+            if let Some(eq) = &oc.eq {
+                self.add(attr, RelOp::Eq, eq.clone())?;
+            }
+            for ne in &oc.ne {
+                self.add(attr, RelOp::Ne, ne.clone())?;
+            }
+            if let Some((b, strict)) = oc.upper {
+                self.add(attr, if strict { RelOp::Lt } else { RelOp::Le }, Const::Num(b))?;
+            }
+            if let Some((b, strict)) = oc.lower {
+                self.add(attr, if strict { RelOp::Gt } else { RelOp::Ge }, Const::Num(b))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Are `self` and `other` compatible, i.e. could one element satisfy
+    /// both (`local*(x) & local*(y) & x = y` consistent)?
+    pub fn compatible(&self, other: &LocalSet) -> bool {
+        let mut merged = self.clone();
+        merged.merge(other).is_ok()
+    }
+
+    /// Upper bound on `attr`, if any: `(bound, strict)`.
+    pub fn upper(&self, attr: &str) -> Option<(f64, bool)> {
+        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.upper)
+    }
+
+    /// Lower bound on `attr`, if any.
+    pub fn lower(&self, attr: &str) -> Option<(f64, bool)> {
+        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.lower)
+    }
+
+    /// The `attr = c` constant, if any.
+    pub fn eq_const(&self, attr: &str) -> Option<&Const> {
+        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.eq.as_ref())
+    }
+}
+
+/// A `(variable-class, attribute)` node of the difference graph.
+type DiffNode = (u32, String);
+
+/// A strict/non-strict difference graph used to check satisfiability of the
+/// comparison constraints along an alternating cycle: nodes are
+/// `(variable-class, attribute)` pairs; an edge `a → b` states `a < b`
+/// (strict) or `a <= b`. The system is unsatisfiable iff some cycle
+/// contains a strict edge.
+#[derive(Debug, Default)]
+pub struct DiffGraph {
+    edges: HashMap<DiffNode, Vec<(DiffNode, bool)>>,
+    nodes: HashSet<DiffNode>,
+}
+
+impl DiffGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `less (strict?) greater`.
+    pub fn add_less(&mut self, less: (u32, &str), greater: (u32, &str), strict: bool) {
+        let a = (less.0, less.1.to_lowercase());
+        let b = (greater.0, greater.1.to_lowercase());
+        self.nodes.insert(a.clone());
+        self.nodes.insert(b.clone());
+        self.edges.entry(a).or_default().push((b, strict));
+    }
+
+    /// Is the constraint system satisfiable (no cycle with a strict edge)?
+    pub fn satisfiable(&self) -> bool {
+        // For every strongly-connected pair joined through a strict edge the
+        // system fails. Simple approach for small graphs: for every strict
+        // edge a→b, check whether b reaches a.
+        for (a, outs) in &self.edges {
+            for (b, strict) in outs {
+                if *strict && self.reaches(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn reaches(&self, from: &(u32, String), to: &(u32, String)) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![from.clone()];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(outs) = self.edges.get(&n) {
+                for (m, _) in outs {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m.clone());
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_clash_detected() {
+        let mut s = LocalSet::new();
+        s.require_tag("car").unwrap();
+        assert!(s.require_tag("Car").is_ok());
+        assert!(matches!(s.require_tag("person"), Err(Inconsistency::TagClash(..))));
+    }
+
+    #[test]
+    fn eq_clash_detected() {
+        let mut s = LocalSet::new();
+        s.add("color", RelOp::Eq, Const::Str("red".into())).unwrap();
+        assert!(s.add("color", RelOp::Eq, Const::Str("RED".into())).is_ok());
+        assert!(matches!(
+            s.add("color", RelOp::Eq, Const::Str("blue".into())),
+            Err(Inconsistency::EqClash(_))
+        ));
+    }
+
+    #[test]
+    fn eq_ne_clash_detected() {
+        let mut s = LocalSet::new();
+        s.add("color", RelOp::Eq, Const::Str("red".into())).unwrap();
+        assert!(matches!(
+            s.add("color", RelOp::Ne, Const::Str("red".into())),
+            Err(Inconsistency::EqNeClash(_))
+        ));
+    }
+
+    #[test]
+    fn interval_tightening_and_emptiness() {
+        let mut s = LocalSet::new();
+        s.add("age", RelOp::Lt, Const::Num(40.0)).unwrap();
+        s.add("age", RelOp::Le, Const::Num(35.0)).unwrap();
+        assert_eq!(s.upper("age"), Some((35.0, false)));
+        s.add("age", RelOp::Ge, Const::Num(30.0)).unwrap();
+        assert!(matches!(
+            s.add("age", RelOp::Gt, Const::Num(35.0)),
+            Err(Inconsistency::EmptyInterval(_))
+        ));
+    }
+
+    #[test]
+    fn boundary_strictness() {
+        let mut s = LocalSet::new();
+        s.add("x", RelOp::Le, Const::Num(5.0)).unwrap();
+        s.add("x", RelOp::Ge, Const::Num(5.0)).unwrap(); // x == 5 ok
+        let mut s2 = LocalSet::new();
+        s2.add("x", RelOp::Lt, Const::Num(5.0)).unwrap();
+        assert!(matches!(
+            s2.add("x", RelOp::Ge, Const::Num(5.0)),
+            Err(Inconsistency::EmptyInterval(_))
+        ));
+    }
+
+    #[test]
+    fn eq_outside_interval() {
+        let mut s = LocalSet::new();
+        s.add("age", RelOp::Lt, Const::Num(30.0)).unwrap();
+        assert!(matches!(
+            s.add("age", RelOp::Eq, Const::Num(33.0)),
+            Err(Inconsistency::EqOutsideInterval(_))
+        ));
+    }
+
+    #[test]
+    fn compatibility_paper_example() {
+        // π1's y: tag=car, color ≠ red.  π2's u: tag=car.
+        let mut y = LocalSet::new();
+        y.require_tag("car").unwrap();
+        y.add("color", RelOp::Ne, Const::Str("red".into())).unwrap();
+        let mut u = LocalSet::new();
+        u.require_tag("car").unwrap();
+        assert!(y.compatible(&u));
+        // But y is NOT compatible with π1's x (color = red).
+        let mut x = LocalSet::new();
+        x.require_tag("car").unwrap();
+        x.add("color", RelOp::Eq, Const::Str("red".into())).unwrap();
+        assert!(!y.compatible(&x));
+        assert!(x.compatible(&u));
+    }
+
+    #[test]
+    fn merge_is_commutative_in_outcome() {
+        let mut a = LocalSet::new();
+        a.add("hp", RelOp::Gt, Const::Num(100.0)).unwrap();
+        let mut b = LocalSet::new();
+        b.add("hp", RelOp::Lt, Const::Num(150.0)).unwrap();
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+    }
+
+    #[test]
+    fn diffgraph_strict_cycle_unsat() {
+        let mut g = DiffGraph::new();
+        g.add_less((0, "m"), (1, "m"), true);
+        g.add_less((1, "m"), (0, "m"), true);
+        assert!(!g.satisfiable());
+    }
+
+    #[test]
+    fn diffgraph_nonstrict_cycle_sat() {
+        let mut g = DiffGraph::new();
+        g.add_less((0, "m"), (1, "m"), false);
+        g.add_less((1, "m"), (0, "m"), false);
+        assert!(g.satisfiable()); // all equal works
+    }
+
+    #[test]
+    fn diffgraph_chain_sat() {
+        let mut g = DiffGraph::new();
+        g.add_less((0, "m"), (1, "m"), true);
+        g.add_less((1, "m"), (2, "m"), true);
+        assert!(g.satisfiable());
+    }
+
+    #[test]
+    fn diffgraph_mixed_cycle_with_one_strict_unsat() {
+        let mut g = DiffGraph::new();
+        g.add_less((0, "m"), (1, "m"), false);
+        g.add_less((1, "m"), (0, "m"), true);
+        assert!(!g.satisfiable());
+    }
+}

@@ -1,0 +1,419 @@
+//! Query flocks (paper §5.1) and their single-plan encoding (§6.1–6.2).
+//!
+//! Given a query `Q` and scoping rules ordered by the conflict analysis,
+//! the **flock** is the family `Q, ρ1(Q), ρ2(ρ1(Q)), …`: all of them must
+//! be evaluated, because "the user should not be penalized for having
+//! configured a profile" — if the rewritten query has few answers, answers
+//! of the original must still surface.
+//!
+//! The paper's key implementation insight (§6.1): the flock need not be
+//! evaluated as separate queries. Because `Q` itself is a flock member,
+//! every predicate an SR *adds* is effectively optional (it can only boost
+//! answers that satisfy it), and every predicate an SR *deletes* becomes
+//! optional too (answers without it are still answers of a later member).
+//! So the whole flock compiles into **one pattern** — the union of all
+//! members — whose SR-delta parts are marked optional and realized as
+//! outer-joins that contribute score when present. [`PersonalizedQuery`]
+//! is that annotated pattern.
+//!
+//! One deliberate semantic choice: the encoding accepts the union of *all
+//! subsets* of the SR deltas, which contains the literal flock union and
+//! can exceed it when an `add` is later followed by a `delete` of an
+//! unrelated predicate (an answer matching neither delta is then accepted,
+//! though no literal member matches it exactly). The inclusive side is the
+//! safe one — the paper's own requirement is that "the user should not be
+//! penalized", and extra answers carry no delta score, so they rank below
+//! every true flock answer. The members-vs-encoding relationship is
+//! checked by the `flock_semantics` integration tests.
+
+use crate::conflict::{self, ConflictAnalysis, ConflictError};
+use crate::scoping::{Edit, ScopingRule};
+use pimento_tpq::{Predicate, Tpq, TpqNodeId};
+use std::collections::{HashMap, HashSet};
+
+/// The literal query flock: every member pattern, in rewrite order.
+#[derive(Debug, Clone)]
+pub struct QueryFlock {
+    /// `members[0]` is the original query; each later member applies one
+    /// more rule.
+    pub members: Vec<Tpq>,
+    /// Ids of the rules applied, aligned with `members[1..]`.
+    pub applied_rules: Vec<String>,
+    /// Ids of rules skipped because they were inapplicable at their turn
+    /// (a conflict consumed their condition).
+    pub skipped_rules: Vec<String>,
+}
+
+impl QueryFlock {
+    /// Deduplicated member count (members can coincide when a rule's edit
+    /// is a no-op).
+    pub fn distinct_members(&self) -> usize {
+        let keys: HashSet<String> = self.members.iter().map(Tpq::canonical_key).collect();
+        keys.len()
+    }
+}
+
+/// The flock encoded as one pattern with optionality annotations — the
+/// input to plan generation.
+#[derive(Debug, Clone)]
+pub struct PersonalizedQuery {
+    /// The union pattern: the original query plus every node/predicate any
+    /// SR added. Node ids here are stable (nothing is ever removed).
+    pub tpq: Tpq,
+    /// Nodes whose structural match is optional (outer structural join).
+    pub optional_nodes: HashSet<TpqNodeId>,
+    /// `(node, predicate index)` pairs whose predicate is optional: when it
+    /// holds it contributes score, when it fails the answer survives.
+    pub optional_preds: HashSet<(TpqNodeId, usize)>,
+    /// Per-optional-predicate score weight (§8 weighted-SR extension):
+    /// the weight of the scoping rule that made the predicate optional.
+    /// Absent entries weigh 1.0.
+    pub optional_weights: HashMap<(TpqNodeId, usize), f64>,
+    /// The literal flock, for inspection/explain.
+    pub flock: QueryFlock,
+}
+
+impl PersonalizedQuery {
+    /// A query with no applicable scoping rules: everything required.
+    pub fn unpersonalized(query: Tpq) -> Self {
+        PersonalizedQuery {
+            tpq: query.clone(),
+            optional_nodes: HashSet::new(),
+            optional_preds: HashSet::new(),
+            optional_weights: HashMap::new(),
+            flock: QueryFlock {
+                members: vec![query],
+                applied_rules: Vec::new(),
+                skipped_rules: Vec::new(),
+            },
+        }
+    }
+
+    /// Is this predicate occurrence optional?
+    pub fn pred_is_optional(&self, node: TpqNodeId, idx: usize) -> bool {
+        self.optional_preds.contains(&(node, idx)) || self.node_is_optional(node)
+    }
+
+    /// Is this node's structural match optional (directly or via an
+    /// optional ancestor)?
+    pub fn node_is_optional(&self, node: TpqNodeId) -> bool {
+        if self.optional_nodes.contains(&node) {
+            return true;
+        }
+        let mut cur = self.tpq.node(node).parent;
+        while let Some(p) = cur {
+            if self.optional_nodes.contains(&p) {
+                return true;
+            }
+            cur = self.tpq.node(p).parent;
+        }
+        false
+    }
+
+    /// Weight of an optional predicate occurrence (1.0 unless the scoping
+    /// rule that produced it carried a weight).
+    pub fn pred_weight(&self, node: TpqNodeId, idx: usize) -> f64 {
+        self.optional_weights.get(&(node, idx)).copied().unwrap_or(1.0)
+    }
+
+    /// Number of *optional* keyword predicates (SR-contributed score
+    /// sources).
+    pub fn optional_keyword_count(&self) -> usize {
+        self.keyword_preds().filter(|&(n, i, _)| self.pred_is_optional(n, i)).count()
+    }
+
+    /// All keyword predicates as `(node, index, predicate)` — both
+    /// `ftcontains` phrases and `ftall` groups count (every keyword
+    /// predicate is a score contributor).
+    pub fn keyword_preds(&self) -> impl Iterator<Item = (TpqNodeId, usize, &Predicate)> + '_ {
+        self.tpq.node_ids().flat_map(move |id| {
+            self.tpq
+                .node(id)
+                .predicates
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_keyword())
+                .map(move |(i, p)| (id, i, p))
+        })
+    }
+}
+
+/// Build the flock and its plan encoding for `query` under `rules`,
+/// resolving conflicts first. This is "enforcing SRs" end to end.
+pub fn personalize(query: &Tpq, rules: &[ScopingRule]) -> Result<PersonalizedQuery, ConflictError> {
+    let analysis: ConflictAnalysis = conflict::analyze(rules, query)?;
+    Ok(personalize_ordered(query, rules, &analysis.order))
+}
+
+/// Build the flock applying `rules` in the given `order` (indices into
+/// `rules`). Rules inapplicable at their turn are skipped.
+pub fn personalize_ordered(query: &Tpq, rules: &[ScopingRule], order: &[usize]) -> PersonalizedQuery {
+    let mut literal = query.clone();
+    let mut union = query.clone();
+    let mut optional_nodes: HashSet<TpqNodeId> = HashSet::new();
+    let mut optional_preds: HashSet<(TpqNodeId, usize)> = HashSet::new();
+    let mut optional_weights: HashMap<(TpqNodeId, usize), f64> = HashMap::new();
+    let mut members = vec![query.clone()];
+    let mut applied_rules = Vec::new();
+    let mut skipped_rules = Vec::new();
+
+    for &i in order {
+        let rule = &rules[i];
+        if !rule.applicable(&literal) {
+            skipped_rules.push(rule.id.clone());
+            continue;
+        }
+        let edits = rule.apply(&mut literal);
+        members.push(literal.clone());
+        applied_rules.push(rule.id.clone());
+        for e in &edits {
+            mirror_edit(
+                &mut union,
+                &mut optional_nodes,
+                &mut optional_preds,
+                &mut optional_weights,
+                rule.weight,
+                e,
+            );
+        }
+    }
+
+    PersonalizedQuery {
+        tpq: union,
+        optional_nodes,
+        optional_preds,
+        optional_weights,
+        flock: QueryFlock { members, applied_rules, skipped_rules },
+    }
+}
+
+/// Mirror a literal edit onto the union pattern: additions materialize as
+/// optional parts; removals demote existing parts to optional.
+fn mirror_edit(
+    union: &mut Tpq,
+    optional_nodes: &mut HashSet<TpqNodeId>,
+    optional_preds: &mut HashSet<(TpqNodeId, usize)>,
+    optional_weights: &mut HashMap<(TpqNodeId, usize), f64>,
+    weight: f64,
+    edit: &Edit,
+) {
+    match edit {
+        Edit::AddedNode { tag, under, axis } => {
+            let anchor = union.find_by_tag(under).unwrap_or_else(|| union.distinguished());
+            let id = union.add_child(anchor, *axis, tag.clone());
+            optional_nodes.insert(id);
+        }
+        Edit::AddedPredicate { tag, pred } => {
+            if let Some(id) = union.find_by_tag(tag) {
+                // Reuse an identical predicate if one already exists (e.g.
+                // a delete-then-re-add sequence); otherwise append.
+                let existing = union.node(id).predicates.iter().position(|p| p == pred);
+                let idx = match existing {
+                    Some(i) => i,
+                    None => {
+                        union.add_predicate(id, pred.clone());
+                        union.node(id).predicates.len() - 1
+                    }
+                };
+                optional_preds.insert((id, idx));
+                if weight != 1.0 {
+                    optional_weights.insert((id, idx), weight);
+                }
+            }
+        }
+        Edit::RemovedPredicate { tag, pred } => {
+            for id in union.find_all_by_tag(tag) {
+                for (i, p) in union.node(id).predicates.iter().enumerate() {
+                    if p == pred {
+                        optional_preds.insert((id, i));
+                        if weight != 1.0 {
+                            optional_weights.insert((id, i), weight);
+                        }
+                    }
+                }
+            }
+        }
+        Edit::RelaxedEdge { parent, child } => {
+            // Pure broadening: the union pattern must accept both the
+            // original pc matches and the relaxed ad matches, so the union
+            // edge becomes ad. No optionality annotation is needed (the
+            // structural join contributes no score either way).
+            crate::scoping::relax_edges(union, parent, child);
+        }
+        Edit::RemovedNode { tag } => {
+            if let Some(id) = union
+                .find_all_by_tag(tag)
+                .into_iter()
+                .find(|&id| !optional_nodes.contains(&id))
+                .or_else(|| union.find_by_tag(tag))
+            {
+                optional_nodes.insert(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoping::Atom;
+    use pimento_tpq::parse_tpq;
+
+    fn query_q() -> Tpq {
+        parse_tpq(
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+        )
+        .unwrap()
+    }
+
+    fn rho2() -> ScopingRule {
+        ScopingRule::add(
+            "rho2",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "american")],
+        )
+    }
+
+    fn rho3() -> ScopingRule {
+        ScopingRule::delete(
+            "rho3",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "low mileage")],
+        )
+    }
+
+    #[test]
+    fn paper_plan1_encoding() {
+        // §6.2: with ρ2 (add "american") and ρ3 (remove "low mileage"),
+        // the plan makes "american" and "low mileage" optional while
+        // "good condition" stays required.
+        let pq = personalize(&query_q(), &[rho2(), rho3()]).unwrap();
+        let d = pq.tpq.find_by_tag("description").unwrap();
+        let preds = &pq.tpq.node(d).predicates;
+        assert_eq!(preds.len(), 3);
+        let idx_of = |phrase: &str| {
+            preds
+                .iter()
+                .position(|p| matches!(p, Predicate::FtContains { phrase: ph } if ph == phrase))
+                .unwrap()
+        };
+        assert!(!pq.pred_is_optional(d, idx_of("good condition")));
+        assert!(pq.pred_is_optional(d, idx_of("low mileage")));
+        assert!(pq.pred_is_optional(d, idx_of("american")));
+        assert_eq!(pq.optional_keyword_count(), 2);
+    }
+
+    #[test]
+    fn flock_members_are_cumulative() {
+        let pq = personalize(&query_q(), &[rho2(), rho3()]).unwrap();
+        assert_eq!(pq.flock.members.len(), 3); // Q, then two rewrites
+        assert_eq!(pq.flock.applied_rules.len(), 2);
+        assert!(pq.flock.skipped_rules.is_empty());
+        // Last member: "american" added AND "low mileage" removed.
+        let last = pq.flock.members.last().unwrap();
+        let d = last.find_by_tag("description").unwrap();
+        let phrases: Vec<String> = last
+            .node(d)
+            .predicates
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::FtContains { phrase } => Some(phrase.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(phrases.contains(&"american".to_string()));
+        assert!(phrases.contains(&"good condition".to_string()));
+        assert!(!phrases.contains(&"low mileage".to_string()));
+    }
+
+    #[test]
+    fn skipped_rules_are_recorded() {
+        // ρ1 deletes "good condition", then ρ2's condition fails.
+        let rho1 = ScopingRule::delete(
+            "rho1",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![Atom::ft("description", "good condition")],
+        );
+        let pq = personalize_ordered(&query_q(), &[rho1, rho2()], &[0, 1]);
+        assert_eq!(pq.flock.applied_rules, vec!["rho1"]);
+        assert_eq!(pq.flock.skipped_rules, vec!["rho2"]);
+    }
+
+    #[test]
+    fn conflict_resolution_orders_victim_first() {
+        // personalize() runs the conflict analysis: ρ2 applies before ρ1.
+        let rho1 = ScopingRule::delete(
+            "rho1",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![Atom::ft("description", "good condition")],
+        );
+        let pq = personalize(&query_q(), &[rho1, rho2()]).unwrap();
+        assert_eq!(pq.flock.applied_rules, vec!["rho2", "rho1"]);
+        assert!(pq.flock.skipped_rules.is_empty());
+    }
+
+    #[test]
+    fn structural_addition_is_optional_subtree() {
+        let add_loc = ScopingRule::add(
+            "loc",
+            vec![],
+            vec![Atom::pc("car", "location"), Atom::ft("location", "NYC")],
+        );
+        let pq = personalize(&query_q(), &[add_loc]).unwrap();
+        let l = pq.tpq.find_by_tag("location").unwrap();
+        assert!(pq.node_is_optional(l));
+        // The predicate on the optional node is optional by inheritance.
+        assert!(pq.pred_is_optional(l, 0));
+    }
+
+    #[test]
+    fn unpersonalized_query() {
+        let pq = PersonalizedQuery::unpersonalized(query_q());
+        assert_eq!(pq.flock.members.len(), 1);
+        assert_eq!(pq.optional_keyword_count(), 0);
+        let d = pq.tpq.find_by_tag("description").unwrap();
+        assert!(!pq.pred_is_optional(d, 0));
+    }
+
+    #[test]
+    fn union_node_ids_are_stable() {
+        // Every node of the original query keeps its id in the union.
+        let q = query_q();
+        let pq = personalize(&q, &[rho2(), rho3()]).unwrap();
+        for id in q.node_ids() {
+            assert_eq!(q.node(id).tag, pq.tpq.node(id).tag);
+        }
+    }
+
+    #[test]
+    fn distinct_members_deduplicates() {
+        // A rule whose edit is a no-op (adding an existing structural atom)
+        // produces a duplicate member.
+        let dup = ScopingRule::add("dup", vec![], vec![Atom::pc("car", "price")]);
+        let pq = personalize(&query_q(), &[dup]).unwrap();
+        assert_eq!(pq.flock.members.len(), 2);
+        assert_eq!(pq.flock.distinct_members(), 1);
+    }
+}
+
+#[cfg(test)]
+mod relax_flock_tests {
+    use super::*;
+    use crate::scoping::ScopingRule;
+    use pimento_tpq::{parse_tpq, Axis};
+
+    #[test]
+    fn relaxation_broadens_union_without_optionality() {
+        let q = parse_tpq("//dealer/car[./price < 100]").unwrap();
+        let rel = ScopingRule::relax_edge("rel", vec![], "dealer", "car");
+        let pq = personalize(&q, &[rel]).unwrap();
+        let car = pq.tpq.find_by_tag("car").unwrap();
+        assert_eq!(pq.tpq.node(car).axis, Axis::Descendant);
+        assert!(pq.optional_nodes.is_empty());
+        assert_eq!(pq.flock.members.len(), 2);
+        // The literal flock member is relaxed too.
+        let m1 = &pq.flock.members[1];
+        let car1 = m1.find_by_tag("car").unwrap();
+        assert_eq!(m1.node(car1).axis, Axis::Descendant);
+    }
+}

@@ -1,0 +1,94 @@
+//! Keyword-based ordering rules (KORs), paper §3.2:
+//! `C & ftcontains(x, "k") → x ≺ y` — among answers of the same type,
+//! prefer those containing an occurrence of keyword `k`.
+//!
+//! At runtime a KOR behaves additively: each KOR carries a weight, an
+//! answer's `K` score is the sum of the weights of the KORs it satisfies,
+//! and the *kor-scorebound* of a plan position is the sum of the weights of
+//! the KORs not yet applied — exactly the quantity Algorithm 3 prunes with.
+
+/// One keyword-based ordering rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordOrderingRule {
+    /// Identifier for diagnostics (π4, π5, …).
+    pub id: String,
+    /// Common condition `x.tag = y.tag = tag`.
+    pub tag: String,
+    /// The keyword/phrase whose containment is preferred.
+    pub phrase: String,
+    /// Score contributed when the answer contains the phrase. Must be
+    /// positive; defaults to 1.0.
+    pub weight: f64,
+}
+
+impl KeywordOrderingRule {
+    /// Unit-weight rule.
+    pub fn new(id: &str, tag: &str, phrase: &str) -> Self {
+        Self::weighted(id, tag, phrase, 1.0)
+    }
+
+    /// Rule with an explicit weight.
+    pub fn weighted(id: &str, tag: &str, phrase: &str, weight: f64) -> Self {
+        assert!(weight > 0.0, "KOR weight must be positive");
+        KeywordOrderingRule {
+            id: id.to_string(),
+            tag: tag.to_string(),
+            phrase: phrase.to_string(),
+            weight,
+        }
+    }
+
+    /// Expand the paper's shorthand (§7.1): a rule listing several
+    /// alternative phrases "is just a shorthand" for one KOR per phrase.
+    pub fn multi(id_prefix: &str, tag: &str, phrases: &[&str], weight: f64) -> Vec<Self> {
+        phrases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Self::weighted(&format!("{id_prefix}.{}", i + 1), tag, p, weight))
+            .collect()
+    }
+}
+
+/// Total weight of a KOR set — the kor-scorebound before any is applied.
+pub fn total_weight(rules: &[KeywordOrderingRule]) -> f64 {
+    rules.iter().map(|r| r.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_weights() {
+        let r = KeywordOrderingRule::new("pi4", "car", "best bid");
+        assert_eq!(r.weight, 1.0);
+        let w = KeywordOrderingRule::weighted("pi5", "car", "NYC", 2.5);
+        assert_eq!(w.weight, 2.5);
+        assert_eq!(total_weight(&[r, w]), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = KeywordOrderingRule::weighted("bad", "car", "x", 0.0);
+    }
+
+    #[test]
+    fn multi_expands_shorthand() {
+        let rules = KeywordOrderingRule::multi(
+            "inex131",
+            "abs",
+            &["data cube", "association rule", "data mining"],
+            1.0,
+        );
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].id, "inex131.1");
+        assert_eq!(rules[2].phrase, "data mining");
+        assert!(rules.iter().all(|r| r.tag == "abs"));
+    }
+
+    #[test]
+    fn empty_set_total_weight_zero() {
+        assert_eq!(total_weight(&[]), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The user profile `Π = (Σ, O_v, O_k)` (paper §4): scoping rules,
+//! value-based ordering rules, keyword-based ordering rules, plus the
+//! chosen ranking order.
+
+use crate::ambiguity::{detect_ambiguity_with_priorities, AmbiguityReport};
+use crate::conflict::{self, ConflictError};
+use crate::flock::{personalize, PersonalizedQuery};
+use crate::kor::KeywordOrderingRule;
+use crate::scoping::ScopingRule;
+use crate::vor::ValueOrderingRule;
+use pimento_tpq::Tpq;
+
+/// How the three ranking components combine (paper §3.3): `K` = KOR score,
+/// `V` = VOR preference, `S` = query score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankOrder {
+    /// `K, V, S` — KOR scores first, then VOR preferences, then query
+    /// score (the paper's default focus).
+    #[default]
+    Kvs,
+    /// `V, K, S` — VOR preferences first.
+    Vks,
+}
+
+/// A complete user profile.
+#[derive(Debug, Clone, Default)]
+pub struct UserProfile {
+    /// Scoping rules Σ.
+    pub scoping: Vec<ScopingRule>,
+    /// Value-based ordering rules O_v.
+    pub vors: Vec<ValueOrderingRule>,
+    /// Keyword-based ordering rules O_k.
+    pub kors: Vec<KeywordOrderingRule>,
+    /// Ranking order for answers.
+    pub rank_order: RankOrder,
+}
+
+impl UserProfile {
+    /// Empty profile (personalization becomes the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add a scoping rule.
+    pub fn with_scoping(mut self, rule: ScopingRule) -> Self {
+        self.scoping.push(rule);
+        self
+    }
+
+    /// Builder: add a value-based ordering rule.
+    pub fn with_vor(mut self, rule: ValueOrderingRule) -> Self {
+        self.vors.push(rule);
+        self
+    }
+
+    /// Builder: add a keyword-based ordering rule.
+    pub fn with_kor(mut self, rule: KeywordOrderingRule) -> Self {
+        self.kors.push(rule);
+        self
+    }
+
+    /// Builder: set the ranking order.
+    pub fn with_rank_order(mut self, order: RankOrder) -> Self {
+        self.rank_order = order;
+        self
+    }
+
+    /// Static analysis of the ordering rules: ambiguity under the current
+    /// priorities (§5.2). An ambiguous profile still executes (ambiguous
+    /// pairs become incomparable), but the user should be told.
+    pub fn check_ambiguity(&self) -> AmbiguityReport {
+        detect_ambiguity_with_priorities(&self.vors)
+    }
+
+    /// Static analysis of the scoping rules against a query: conflict
+    /// graph + application order (§5.1).
+    pub fn check_conflicts(&self, query: &Tpq) -> Result<conflict::ConflictAnalysis, ConflictError> {
+        conflict::analyze(&self.scoping, query)
+    }
+
+    /// Enforce the scoping rules on `query`, producing the annotated
+    /// single-plan encoding of the query flock.
+    pub fn enforce_scoping(&self, query: &Tpq) -> Result<PersonalizedQuery, ConflictError> {
+        personalize(query, &self.scoping)
+    }
+
+    /// Total KOR weight — the initial `kor-scorebound` of a plan.
+    pub fn kor_total_weight(&self) -> f64 {
+        crate::kor::total_weight(&self.kors)
+    }
+
+    /// Does the profile personalize anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.scoping.is_empty() && self.vors.is_empty() && self.kors.is_empty()
+    }
+
+    /// Merge `other` into `self` (e.g. a session profile on top of a base
+    /// profile). Rules from `other` whose id collides with an existing
+    /// rule **replace** it — later profiles win; the rank order follows
+    /// `other`.
+    pub fn merge(mut self, other: UserProfile) -> UserProfile {
+        for sr in other.scoping {
+            if let Some(slot) = self.scoping.iter_mut().find(|r| r.id == sr.id) {
+                *slot = sr;
+            } else {
+                self.scoping.push(sr);
+            }
+        }
+        for vor in other.vors {
+            if let Some(slot) = self.vors.iter_mut().find(|r| r.id == vor.id) {
+                *slot = vor;
+            } else {
+                self.vors.push(vor);
+            }
+        }
+        for kor in other.kors {
+            if let Some(slot) = self.kors.iter_mut().find(|r| r.id == kor.id) {
+                *slot = kor;
+            } else {
+                self.kors.push(kor);
+            }
+        }
+        self.rank_order = other.rank_order;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoping::Atom;
+    use crate::vor::ValueOrderingRule as Vor;
+    use pimento_tpq::parse_tpq;
+
+    #[test]
+    fn builder_and_emptiness() {
+        let p = UserProfile::new();
+        assert!(p.is_empty());
+        let p = p
+            .with_kor(KeywordOrderingRule::new("k1", "car", "NYC"))
+            .with_vor(Vor::prefer_value("v1", "car", "color", "red"))
+            .with_scoping(ScopingRule::add("s1", vec![], vec![Atom::ft("car", "clean")]))
+            .with_rank_order(RankOrder::Vks);
+        assert!(!p.is_empty());
+        assert_eq!(p.rank_order, RankOrder::Vks);
+        assert_eq!(p.kor_total_weight(), 1.0);
+    }
+
+    #[test]
+    fn ambiguity_check_through_profile() {
+        let ambiguous = UserProfile::new()
+            .with_vor(Vor::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(Vor::prefer_smaller("pi2", "car", "mileage"));
+        assert!(ambiguous.check_ambiguity().is_ambiguous());
+        let fixed = UserProfile::new()
+            .with_vor(Vor::prefer_value("pi1", "car", "color", "red").with_priority(2))
+            .with_vor(Vor::prefer_smaller("pi2", "car", "mileage").with_priority(1));
+        assert!(!fixed.check_ambiguity().is_ambiguous());
+    }
+
+    #[test]
+    fn scoping_enforcement_through_profile() {
+        let q = parse_tpq(r#"//car[ftcontains(., "good")]"#).unwrap();
+        let p = UserProfile::new()
+            .with_scoping(ScopingRule::add("s1", vec![], vec![Atom::ft("car", "american")]));
+        let pq = p.enforce_scoping(&q).unwrap();
+        assert_eq!(pq.flock.applied_rules, vec!["s1"]);
+        assert_eq!(pq.optional_keyword_count(), 1);
+    }
+
+    #[test]
+    fn default_rank_order_is_kvs() {
+        assert_eq!(RankOrder::default(), RankOrder::Kvs);
+    }
+
+    #[test]
+    fn merge_replaces_by_id_and_appends_new() {
+        let base = UserProfile::new()
+            .with_kor(KeywordOrderingRule::new("k1", "car", "old"))
+            .with_vor(Vor::prefer_smaller("v1", "car", "mileage"));
+        let session = UserProfile::new()
+            .with_kor(KeywordOrderingRule::weighted("k1", "car", "new", 2.0))
+            .with_kor(KeywordOrderingRule::new("k2", "car", "extra"))
+            .with_rank_order(RankOrder::Vks);
+        let merged = base.merge(session);
+        assert_eq!(merged.kors.len(), 2);
+        assert_eq!(merged.kors[0].phrase, "new", "session rule replaced the base rule");
+        assert_eq!(merged.kors[0].weight, 2.0);
+        assert_eq!(merged.vors.len(), 1);
+        assert_eq!(merged.rank_order, RankOrder::Vks);
+    }
+}

@@ -1,0 +1,412 @@
+//! Rendering profiles back to the rule language — the inverse of
+//! [`crate::parse`], so profiles round-trip through text files.
+
+use crate::kor::KeywordOrderingRule;
+use crate::parse::PrefRelRegistry;
+use crate::profile::UserProfile;
+use crate::scoping::{Atom, ScopingRule, SrAction};
+use crate::vor::{PrefOp, ValueOrderingRule, VorForm};
+use pimento_tpq::{Predicate, RelOp, Value};
+use std::fmt;
+
+/// Rendering failure: something in the profile has no textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// A form-(3) VOR uses a preference relation that is not in the
+    /// registry; the rule language refers to relations by name.
+    UnregisteredPrefRel {
+        /// The rule in question.
+        rule_id: String,
+    },
+    /// A rule uses an `ftall`-style predicate atom the rule language does
+    /// not express (atoms carry phrases only).
+    Unrepresentable {
+        /// The rule in question.
+        rule_id: String,
+    },
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::UnregisteredPrefRel { rule_id } => write!(
+                f,
+                "rule {rule_id:?} uses a preference relation with no name in the registry"
+            ),
+            RenderError::Unrepresentable { rule_id } => {
+                write!(f, "rule {rule_id:?} cannot be expressed in the rule language")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Render a whole profile as a rule file (one labeled rule per line).
+pub fn render_profile(
+    profile: &UserProfile,
+    registry: &PrefRelRegistry,
+) -> Result<String, RenderError> {
+    let mut out = String::new();
+    for sr in &profile.scoping {
+        out.push_str(&format!("{}: {}\n", sr.id, render_scoping(sr)?));
+    }
+    for vor in &profile.vors {
+        out.push_str(&format!("{}: {}\n", vor.id, render_vor(vor, registry)?));
+    }
+    for kor in &profile.kors {
+        out.push_str(&format!("{}: {}\n", kor.id, render_kor(kor)));
+    }
+    Ok(out)
+}
+
+/// Render one scoping rule (without its id label).
+pub fn render_scoping(rule: &ScopingRule) -> Result<String, RenderError> {
+    let cond = if rule.condition.is_empty() {
+        "true".to_string()
+    } else {
+        atoms_text(&rule.condition, &rule.id)?
+    };
+    let action = match &rule.action {
+        SrAction::Add(atoms) => format!("add {}", atoms_text(atoms, &rule.id)?),
+        SrAction::Delete(atoms) => format!("remove {}", atoms_text(atoms, &rule.id)?),
+        SrAction::Replace { from, with } => format!(
+            "replace {} with {}",
+            atoms_text(from, &rule.id)?,
+            atoms_text(with, &rule.id)?
+        ),
+        SrAction::RelaxEdge { parent, child } => format!("relax pc({parent}, {child})"),
+    };
+    let mut text = format!("if {cond} then {action}");
+    let mut attrs = Vec::new();
+    if let Some(p) = rule.priority {
+        attrs.push(format!("priority {p}"));
+    }
+    if rule.weight != 1.0 {
+        attrs.push(format!("weight {}", rule.weight));
+    }
+    if !attrs.is_empty() {
+        text.push_str(&format!(" {{{}}}", attrs.join(", ")));
+    }
+    Ok(text)
+}
+
+fn atoms_text(atoms: &[Atom], rule_id: &str) -> Result<String, RenderError> {
+    let parts: Result<Vec<String>, RenderError> =
+        atoms.iter().map(|a| atom_text(a, rule_id)).collect();
+    Ok(parts?.join(" & "))
+}
+
+fn atom_text(atom: &Atom, rule_id: &str) -> Result<String, RenderError> {
+    Ok(match atom {
+        Atom::Pc { parent, child } => format!("pc({parent}, {child})"),
+        Atom::Ad { anc, desc } => format!("ad({anc}, {desc})"),
+        Atom::Ft { tag, phrase } => format!("ftcontains({tag}, {phrase:?})"),
+        Atom::Cmp { tag, pred } => match pred {
+            Predicate::Compare { op, value } => format!("{tag} {op} {}", value_text(value)),
+            _ => return Err(RenderError::Unrepresentable { rule_id: rule_id.to_string() }),
+        },
+    })
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                n.to_string()
+            }
+        }
+        Value::Str(s) => format!("{s:?}"),
+    }
+}
+
+/// Render one value-based ordering rule (without its id label).
+pub fn render_vor(
+    rule: &ValueOrderingRule,
+    registry: &PrefRelRegistry,
+) -> Result<String, RenderError> {
+    let mut conds = vec![
+        format!("x.tag = {}", rule.tag),
+        format!("y.tag = {}", rule.tag),
+    ];
+    for attr in &rule.equal_attrs {
+        conds.push(format!("x.{attr} = y.{attr}"));
+    }
+    for g in &rule.guards {
+        conds.push(format!("x.{} {} {}", g.attr, relop_text(g.op), attr_value_text(&g.value)));
+    }
+    match &rule.form {
+        VorForm::EqConst { attr, value } => {
+            conds.push(format!("x.{attr} = {value:?}"));
+            conds.push(format!("y.{attr} != {value:?}"));
+        }
+        VorForm::AttrCompare { attr, op } => {
+            let sym = match op {
+                PrefOp::Lt => "<",
+                PrefOp::Gt => ">",
+            };
+            conds.push(format!("x.{attr} {sym} y.{attr}"));
+        }
+        VorForm::Preference { attr, order } => {
+            let name = registry
+                .iter()
+                .find(|(_, rel)| *rel == order)
+                .map(|(n, _)| n.clone())
+                .ok_or_else(|| RenderError::UnregisteredPrefRel { rule_id: rule.id.clone() })?;
+            conds.push(format!("{name}(x.{attr}, y.{attr})"));
+        }
+    }
+    let mut text = format!("{} -> x < y", conds.join(" & "));
+    if rule.priority != 0 {
+        text.push_str(&format!(" {{priority {}}}", rule.priority));
+    }
+    Ok(text)
+}
+
+fn relop_text(op: RelOp) -> &'static str {
+    match op {
+        RelOp::Lt => "<",
+        RelOp::Le => "<=",
+        RelOp::Gt => ">",
+        RelOp::Ge => ">=",
+        RelOp::Eq => "=",
+        RelOp::Ne => "!=",
+    }
+}
+
+fn attr_value_text(v: &crate::vor::AttrValue) -> String {
+    match v {
+        crate::vor::AttrValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                n.to_string()
+            }
+        }
+        crate::vor::AttrValue::Str(s) => format!("{s:?}"),
+    }
+}
+
+/// Render one keyword ordering rule (without its id label).
+pub fn render_kor(rule: &KeywordOrderingRule) -> String {
+    let mut text = format!(
+        "x.tag = {tag} & y.tag = {tag} & ftcontains(x, {phrase:?}) -> x < y",
+        tag = rule.tag,
+        phrase = rule.phrase
+    );
+    if rule.weight != 1.0 {
+        text.push_str(&format!(" {{weight {}}}", rule.weight));
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_profile;
+    use crate::prefrel::PrefRel;
+    use pimento_tpq::RelOp;
+
+    fn reg() -> PrefRelRegistry {
+        let mut r = PrefRelRegistry::new();
+        r.insert("colors".into(), PrefRel::chain(&["red", "black"]));
+        r
+    }
+
+    fn fig2_profile() -> UserProfile {
+        UserProfile::new()
+            .with_scoping(ScopingRule::add(
+                "rho2",
+                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![Atom::ft("description", "american")],
+            ))
+            .with_scoping(
+                ScopingRule::delete(
+                    "rho3",
+                    vec![Atom::ft("description", "good condition")],
+                    vec![Atom::ft("description", "low mileage")],
+                )
+                .with_priority(1)
+                .with_weight(0.5),
+            )
+            .with_scoping(ScopingRule::relax_edge("rel", vec![], "car", "description"))
+            .with_scoping(ScopingRule::replace(
+                "loosen",
+                vec![],
+                vec![Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 2000.0))],
+                vec![Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 5000.0))],
+            ))
+            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red").with_priority(2))
+            .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage").with_priority(1))
+            .with_vor(
+                ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"),
+            )
+            .with_vor(ValueOrderingRule::prefer_order(
+                "po",
+                "car",
+                "color",
+                PrefRel::chain(&["red", "black"]),
+            ))
+            .with_kor(KeywordOrderingRule::new("pi4", "car", "best bid"))
+            .with_kor(KeywordOrderingRule::weighted("pi5", "car", "NYC", 2.0))
+    }
+
+    #[test]
+    fn profile_roundtrips_through_rule_language() {
+        let original = fig2_profile();
+        let registry = reg();
+        let text = render_profile(&original, &registry).unwrap();
+        let reparsed = parse_profile(&text, &registry).unwrap();
+        assert_eq!(reparsed.scoping.len(), original.scoping.len());
+        assert_eq!(reparsed.vors.len(), original.vors.len());
+        assert_eq!(reparsed.kors.len(), original.kors.len());
+        // Ids, priorities, and weights survive.
+        for (a, b) in original.scoping.iter().zip(&reparsed.scoping) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.weight, b.weight);
+            assert_eq!(a.condition, b.condition);
+            assert_eq!(a.action, b.action);
+        }
+        for (a, b) in original.vors.iter().zip(&reparsed.vors) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.equal_attrs, b.equal_attrs);
+        }
+        for (a, b) in original.kors.iter().zip(&reparsed.kors) {
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn unregistered_prefrel_errors() {
+        let p = UserProfile::new().with_vor(ValueOrderingRule::prefer_order(
+            "po",
+            "car",
+            "color",
+            PrefRel::chain(&["a", "b", "c"]),
+        ));
+        let err = render_profile(&p, &PrefRelRegistry::new()).unwrap_err();
+        assert!(matches!(err, RenderError::UnregisteredPrefRel { .. }));
+        assert!(err.to_string().contains("po"));
+    }
+
+    #[test]
+    fn individual_renders_look_right() {
+        let sr = ScopingRule::delete(
+            "r",
+            vec![Atom::ft("abs", "data mining")],
+            vec![Atom::ft("abs", "data mining")],
+        );
+        assert_eq!(
+            render_scoping(&sr).unwrap(),
+            r#"if ftcontains(abs, "data mining") then remove ftcontains(abs, "data mining")"#
+        );
+        let kor = KeywordOrderingRule::new("k", "car", "NYC");
+        assert_eq!(render_kor(&kor), r#"x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y"#);
+        let vor = ValueOrderingRule::prefer_smaller("v", "car", "mileage");
+        assert_eq!(
+            render_vor(&vor, &PrefRelRegistry::new()).unwrap(),
+            "x.tag = car & y.tag = car & x.mileage < y.mileage -> x < y"
+        );
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_props {
+    use super::*;
+    use crate::parse::parse_profile;
+    use crate::prefrel::PrefRel;
+    use pimento_tpq::RelOp;
+    use proptest::prelude::*;
+
+    const TAGS: &[&str] = &["car", "person", "abs"];
+    const ATTRS: &[&str] = &["color", "mileage", "hp", "age"];
+    const PHRASES: &[&str] = &["good condition", "NYC", "best bid", "data mining"];
+
+    fn atom_strategy() -> impl Strategy<Value = Atom> {
+        prop_oneof![
+            (0usize..TAGS.len(), 0usize..TAGS.len())
+                .prop_map(|(a, b)| Atom::pc(TAGS[a], TAGS[b])),
+            (0usize..TAGS.len(), 0usize..TAGS.len())
+                .prop_map(|(a, b)| Atom::ad(TAGS[a], TAGS[b])),
+            (0usize..TAGS.len(), 0usize..PHRASES.len())
+                .prop_map(|(t, p)| Atom::ft(TAGS[t], PHRASES[p])),
+            (0usize..ATTRS.len(), 0u32..5000).prop_map(|(a, c)| Atom::cmp(
+                ATTRS[a],
+                Predicate::cmp_num(RelOp::Lt, c as f64)
+            )),
+        ]
+    }
+
+    fn sr_strategy(n: usize) -> impl Strategy<Value = ScopingRule> {
+        (
+            proptest::collection::vec(atom_strategy(), 0..3),
+            proptest::collection::vec(atom_strategy(), 1..3),
+            any::<bool>(),
+            proptest::option::of(0u32..5),
+        )
+            .prop_map(move |(cond, concl, is_add, prio)| {
+                let mut r = if is_add {
+                    ScopingRule::add(&format!("sr{n}"), cond, concl)
+                } else {
+                    ScopingRule::delete(&format!("sr{n}"), cond, concl)
+                };
+                r.priority = prio;
+                r
+            })
+    }
+
+    fn vor_strategy(n: usize) -> impl Strategy<Value = ValueOrderingRule> {
+        (0usize..3, 0usize..TAGS.len(), 0usize..ATTRS.len(), 0u32..4).prop_map(
+            move |(form, tag, attr, prio)| {
+                let id = format!("vor{n}");
+                let r = match form {
+                    0 => ValueOrderingRule::prefer_value(&id, TAGS[tag], ATTRS[attr], "red"),
+                    1 => ValueOrderingRule::prefer_smaller(&id, TAGS[tag], ATTRS[attr]),
+                    _ => ValueOrderingRule::prefer_order(
+                        &id,
+                        TAGS[tag],
+                        ATTRS[attr],
+                        PrefRel::chain(&["red", "black"]),
+                    ),
+                };
+                r.with_priority(prio)
+            },
+        )
+    }
+
+    proptest! {
+        /// render → parse → render is a fixed point for arbitrary profiles.
+        #[test]
+        fn render_parse_render_fixed_point(
+            srs in proptest::collection::vec(sr_strategy(0), 0..3),
+            vors in proptest::collection::vec(vor_strategy(0), 0..3),
+            kor_w in 1u32..5,
+        ) {
+            let mut registry = PrefRelRegistry::new();
+            registry.insert("order0".into(), PrefRel::chain(&["red", "black"]));
+            let mut profile = UserProfile::new();
+            for (i, mut sr) in srs.into_iter().enumerate() {
+                sr.id = format!("sr{i}");
+                profile = profile.with_scoping(sr);
+            }
+            for (i, mut vor) in vors.into_iter().enumerate() {
+                vor.id = format!("vor{i}");
+                profile = profile.with_vor(vor);
+            }
+            profile = profile.with_kor(KeywordOrderingRule::weighted(
+                "kor0", "car", "NYC", kor_w as f64,
+            ));
+            let once = render_profile(&profile, &registry).unwrap();
+            let reparsed = parse_profile(&once, &registry)
+                .unwrap_or_else(|e| panic!("rendered profile must reparse: {e}\n{once}"));
+            let twice = render_profile(&reparsed, &registry).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

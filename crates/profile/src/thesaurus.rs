@@ -1,0 +1,176 @@
+//! Thesaurus-driven keyword expansion — the extension §7.1 sets aside
+//! ("we did not consider thesauri or ontologies to expand the set of
+//! keywords included in the query").
+//!
+//! Expansion composes cleanly with the paper's own machinery: for every
+//! keyword predicate of the query that has synonyms, the thesaurus
+//! produces an `add` scoping rule attaching the synonym as an *optional*
+//! score contributor (the standard SR plan encoding). Answers matching
+//! only a synonym surface, ranked below answers matching the original —
+//! exactly the graceful degradation the paper wants from broadening rules.
+//! Synonym contributions default to half weight (a synonym match is weaker
+//! evidence), using the weighted-SR extension of §8.
+
+use crate::scoping::{Atom, ScopingRule};
+use pimento_tpq::{Predicate, Tpq};
+use std::collections::HashMap;
+
+/// A symmetric-free synonym table: each entry maps a phrase to the
+/// phrases a search may substitute for it (direction matters — "auto" may
+/// expand to "car" without the reverse).
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    synonyms: HashMap<String, Vec<String>>,
+    /// Weight given to generated rules (defaults to 0.5).
+    weight: f64,
+}
+
+impl Thesaurus {
+    /// Empty thesaurus.
+    pub fn new() -> Self {
+        Thesaurus { synonyms: HashMap::new(), weight: 0.5 }
+    }
+
+    /// Builder: set the weight of generated rules (must be positive).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0, "thesaurus weight must be positive");
+        self.weight = weight;
+        self
+    }
+
+    /// Register `synonyms` for `phrase` (case-insensitive keys; appends).
+    pub fn add<S: AsRef<str>>(&mut self, phrase: &str, synonyms: &[S]) -> &mut Self {
+        self.synonyms
+            .entry(phrase.trim().to_lowercase())
+            .or_default()
+            .extend(synonyms.iter().map(|s| s.as_ref().to_string()));
+        self
+    }
+
+    /// Synonyms registered for `phrase`.
+    pub fn lookup(&self, phrase: &str) -> &[String] {
+        self.synonyms
+            .get(&phrase.trim().to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of head phrases.
+    pub fn len(&self) -> usize {
+        self.synonyms.len()
+    }
+
+    /// Whether the thesaurus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.synonyms.is_empty()
+    }
+
+    /// Generate expansion scoping rules for `query`: one `add` rule per
+    /// (keyword predicate, synonym) pair, conditioned on the original
+    /// predicate so the rule only fires for queries that actually ask for
+    /// the expanded phrase.
+    pub fn expansion_rules(&self, query: &Tpq) -> Vec<ScopingRule> {
+        let mut out = Vec::new();
+        for id in query.node_ids() {
+            let node = query.node(id);
+            let Some(tag) = node.tag.name() else { continue };
+            for pred in &node.predicates {
+                let Predicate::FtContains { phrase } = pred else { continue };
+                for (i, syn) in self.lookup(phrase).iter().enumerate() {
+                    out.push(
+                        ScopingRule::add(
+                            &format!("syn-{tag}-{}-{}", sanitize(phrase), i + 1),
+                            vec![Atom::ft(tag, phrase)],
+                            vec![Atom::ft(tag, syn)],
+                        )
+                        .with_weight(self.weight),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sanitize(phrase: &str) -> String {
+    phrase
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flock::personalize;
+    use crate::scoping::SrAction;
+    use pimento_tpq::parse_tpq;
+
+    fn thesaurus() -> Thesaurus {
+        let mut t = Thesaurus::new();
+        t.add("good condition", &["well maintained", "excellent shape"]);
+        t.add("cheap", &["affordable"]);
+        t
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let t = thesaurus();
+        assert_eq!(t.lookup("Good Condition").len(), 2);
+        assert_eq!(t.lookup("unknown").len(), 0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn expansion_rules_match_query_keywords() {
+        let t = thesaurus();
+        let q = parse_tpq(r#"//car[ftcontains(./description, "good condition")]"#).unwrap();
+        let rules = t.expansion_rules(&q);
+        assert_eq!(rules.len(), 2, "two synonyms for the one matching phrase");
+        for r in &rules {
+            assert!(r.applicable(&q));
+            assert_eq!(r.weight, 0.5);
+            assert!(matches!(&r.action, SrAction::Add(atoms)
+                if matches!(&atoms[0], Atom::Ft { tag, .. } if tag == "description")));
+        }
+        // No rules for keywords not in the thesaurus.
+        let q2 = parse_tpq(r#"//car[ftcontains(., "rusty")]"#).unwrap();
+        assert!(t.expansion_rules(&q2).is_empty());
+    }
+
+    #[test]
+    fn expansion_feeds_the_flock_encoding() {
+        let t = thesaurus();
+        let q = parse_tpq(r#"//car[ftcontains(./description, "good condition")]"#).unwrap();
+        let rules = t.expansion_rules(&q);
+        let pq = personalize(&q, &rules).unwrap();
+        assert_eq!(pq.optional_keyword_count(), 2);
+        // Synonym predicates carry the reduced weight.
+        let d = pq.tpq.find_by_tag("description").unwrap();
+        let weighted: Vec<f64> = pq
+            .tpq
+            .node(d)
+            .predicates
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| pq.pred_is_optional(d, i))
+            .map(|(i, _)| pq.pred_weight(d, i))
+            .collect();
+        assert_eq!(weighted, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn custom_weight() {
+        let mut t = Thesaurus::new().with_weight(0.25);
+        t.add("a", &["b"]);
+        let q = parse_tpq(r#"//x[ftcontains(., "a")]"#).unwrap();
+        assert_eq!(t.expansion_rules(&q)[0].weight, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = Thesaurus::new().with_weight(0.0);
+    }
+}

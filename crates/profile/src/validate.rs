@@ -1,0 +1,195 @@
+//! Query-independent profile validation: the lint pass a profile editor
+//! runs before saving. (The query-*dependent* analysis — SR conflicts —
+//! lives in [`crate::conflict`] because applicability depends on the
+//! query.)
+
+use crate::ambiguity::detect_ambiguity_with_priorities;
+use crate::profile::UserProfile;
+use crate::scoping::SrAction;
+use crate::vor::VorForm;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Warning {
+    /// Two rules (of any kind) share an id.
+    DuplicateRuleId(String),
+    /// The VOR set is ambiguous under the current priorities; the payload
+    /// lists one alternating cycle.
+    AmbiguousVors(Vec<String>),
+    /// A KOR's phrase is empty or whitespace.
+    EmptyKorPhrase(String),
+    /// A scoping rule's conclusion is empty (it can never change a query).
+    EmptyScopingAction(String),
+    /// A VOR's preference relation relates nothing.
+    EmptyPreferenceRelation(String),
+    /// An `add` rule adds exactly what its condition requires — a no-op.
+    SelfSatisfyingAdd(String),
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::DuplicateRuleId(id) => write!(f, "duplicate rule id {id:?}"),
+            Warning::AmbiguousVors(cycle) => write!(
+                f,
+                "value-based ordering rules are ambiguous (cycle: {}); assign priorities",
+                cycle.join(" → ")
+            ),
+            Warning::EmptyKorPhrase(id) => write!(f, "keyword rule {id:?} has an empty phrase"),
+            Warning::EmptyScopingAction(id) => {
+                write!(f, "scoping rule {id:?} has an empty conclusion")
+            }
+            Warning::EmptyPreferenceRelation(id) => {
+                write!(f, "ordering rule {id:?} uses an empty preference relation")
+            }
+            Warning::SelfSatisfyingAdd(id) => {
+                write!(f, "scoping rule {id:?} adds what its condition already requires")
+            }
+        }
+    }
+}
+
+/// Validate `profile`, returning every finding (empty = clean).
+pub fn validate(profile: &UserProfile) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+
+    // Duplicate ids across all rule kinds.
+    let mut seen: HashSet<&str> = HashSet::new();
+    let ids = profile
+        .scoping
+        .iter()
+        .map(|r| r.id.as_str())
+        .chain(profile.vors.iter().map(|r| r.id.as_str()))
+        .chain(profile.kors.iter().map(|r| r.id.as_str()));
+    for id in ids {
+        if !seen.insert(id) {
+            let w = Warning::DuplicateRuleId(id.to_string());
+            if !warnings.contains(&w) {
+                warnings.push(w);
+            }
+        }
+    }
+
+    // Ambiguity under the configured priorities.
+    let report = detect_ambiguity_with_priorities(&profile.vors);
+    if let Some(cycle) = report.cycles.first() {
+        warnings.push(Warning::AmbiguousVors(cycle.rule_ids.clone()));
+    }
+
+    for kor in &profile.kors {
+        if kor.phrase.trim().is_empty() {
+            warnings.push(Warning::EmptyKorPhrase(kor.id.clone()));
+        }
+    }
+
+    for vor in &profile.vors {
+        if let VorForm::Preference { order, .. } = &vor.form {
+            if order.is_empty() {
+                warnings.push(Warning::EmptyPreferenceRelation(vor.id.clone()));
+            }
+        }
+    }
+
+    for sr in &profile.scoping {
+        match &sr.action {
+            SrAction::Add(atoms) | SrAction::Delete(atoms) => {
+                if atoms.is_empty() {
+                    warnings.push(Warning::EmptyScopingAction(sr.id.clone()));
+                } else if matches!(sr.action, SrAction::Add(_))
+                    && atoms.iter().all(|a| sr.condition.contains(a))
+                {
+                    warnings.push(Warning::SelfSatisfyingAdd(sr.id.clone()));
+                }
+            }
+            SrAction::Replace { from, with } => {
+                if from.is_empty() && with.is_empty() {
+                    warnings.push(Warning::EmptyScopingAction(sr.id.clone()));
+                }
+            }
+            SrAction::RelaxEdge { .. } => {}
+        }
+    }
+
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kor::KeywordOrderingRule;
+    use crate::prefrel::PrefRel;
+    use crate::scoping::{Atom, ScopingRule};
+    use crate::vor::ValueOrderingRule;
+
+    #[test]
+    fn clean_profile_validates() {
+        let p = UserProfile::new()
+            .with_kor(KeywordOrderingRule::new("k1", "car", "NYC"))
+            .with_vor(ValueOrderingRule::prefer_smaller("v1", "car", "mileage"))
+            .with_scoping(ScopingRule::add(
+                "s1",
+                vec![Atom::ft("car", "good")],
+                vec![Atom::ft("car", "american")],
+            ));
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_flagged_once() {
+        let p = UserProfile::new()
+            .with_kor(KeywordOrderingRule::new("x", "car", "a"))
+            .with_kor(KeywordOrderingRule::new("x", "car", "b"))
+            .with_vor(ValueOrderingRule::prefer_smaller("x", "car", "m"));
+        let ws = validate(&p);
+        assert_eq!(
+            ws.iter().filter(|w| matches!(w, Warning::DuplicateRuleId(_))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ambiguity_flagged_with_cycle() {
+        let p = UserProfile::new()
+            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage"));
+        let ws = validate(&p);
+        assert!(ws.iter().any(|w| matches!(w, Warning::AmbiguousVors(_))));
+        let text = ws[0].to_string();
+        assert!(text.contains("priorities"), "{text}");
+    }
+
+    #[test]
+    fn empty_phrase_and_empty_action_flagged() {
+        let p = UserProfile::new()
+            .with_kor(KeywordOrderingRule::new("k", "car", "  "))
+            .with_scoping(ScopingRule::add("s", vec![], vec![]));
+        let ws = validate(&p);
+        assert!(ws.iter().any(|w| matches!(w, Warning::EmptyKorPhrase(_))));
+        assert!(ws.iter().any(|w| matches!(w, Warning::EmptyScopingAction(_))));
+    }
+
+    #[test]
+    fn self_satisfying_add_flagged() {
+        let p = UserProfile::new().with_scoping(ScopingRule::add(
+            "noop",
+            vec![Atom::ft("car", "good")],
+            vec![Atom::ft("car", "good")],
+        ));
+        assert!(validate(&p).iter().any(|w| matches!(w, Warning::SelfSatisfyingAdd(_))));
+    }
+
+    #[test]
+    fn empty_prefrel_flagged() {
+        let p = UserProfile::new().with_vor(ValueOrderingRule::prefer_order(
+            "po",
+            "car",
+            "color",
+            PrefRel::new(Vec::<(&str, &str)>::new()).unwrap(),
+        ));
+        assert!(validate(&p)
+            .iter()
+            .any(|w| matches!(w, Warning::EmptyPreferenceRelation(_))));
+    }
+}

@@ -1,0 +1,590 @@
+//! Value-based ordering rules (VORs), paper §3.2. A VOR states a pairwise
+//! preference between two answers `x`, `y` of the same type, in one of
+//! three forms:
+//!
+//! 1. `C & x.attr = c & y.attr ≠ c → x ≺ y` (e.g. prefer red cars),
+//! 2. `C & x.attr relOp y.attr → x ≺ y` with `relOp ∈ {<, >}`
+//!    (e.g. prefer lower mileage),
+//! 3. `C & prefRel(x.attr, y.attr) → x ≺ y` with `prefRel` a strict
+//!    partial order on the attribute domain,
+//!
+//! where `C` — the *common conditions* — is a conjunction equating the
+//! common properties of `x` and `y` (e.g. `x.tag = car & y.tag = car &
+//! x.make = y.make`), possibly with extra local constraints.
+
+use crate::constraints::{Const, LocalSet};
+use crate::prefrel::PrefRel;
+use pimento_tpq::RelOp;
+use std::fmt;
+
+/// A typed attribute value handed to the comparator by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Numeric value.
+    Num(f64),
+    /// String value.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Case-insensitive equality.
+    pub fn same(&self, other: &AttrValue) -> bool {
+        match (self, other) {
+            (AttrValue::Num(a), AttrValue::Num(b)) => a == b,
+            (AttrValue::Str(a), AttrValue::Str(b)) => a.eq_ignore_ascii_case(b),
+            (AttrValue::Num(n), AttrValue::Str(s)) | (AttrValue::Str(s), AttrValue::Num(n)) => {
+                s.trim().parse::<f64>().map(|x| x == *n).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Numeric view (strings parse if they look numeric).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(n) => Some(*n),
+            AttrValue::Str(s) => s.trim().parse().ok(),
+        }
+    }
+
+    /// String view.
+    pub fn as_text(&self) -> String {
+        match self {
+            AttrValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    n.to_string()
+                }
+            }
+            AttrValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// The preference head of a VOR (which of the three forms it takes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VorForm {
+    /// Form (1): prefer answers with `attr = value`.
+    EqConst {
+        /// Attribute compared.
+        attr: String,
+        /// The preferred constant.
+        value: String,
+    },
+    /// Form (2): prefer the answer whose `attr` is smaller (`Lt`) or larger
+    /// (`Gt`).
+    AttrCompare {
+        /// Attribute compared.
+        attr: String,
+        /// `Lt` = prefer smaller, `Gt` = prefer larger.
+        op: PrefOp,
+    },
+    /// Form (3): prefer along a strict partial order on the domain.
+    Preference {
+        /// Attribute compared.
+        attr: String,
+        /// The partial order ("better" relates preferred values to worse).
+        order: PrefRel,
+    },
+}
+
+/// Direction of a form-(2) comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefOp {
+    /// Prefer the smaller value (`x.attr < y.attr → x ≺ y`).
+    Lt,
+    /// Prefer the larger value (`x.attr > y.attr → x ≺ y`).
+    Gt,
+}
+
+/// A local (single-variable) guard in the common conditions, constraining
+/// both `x` and `y` symmetrically (they must be "of the same type").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalGuard {
+    /// Attribute constrained.
+    pub attr: String,
+    /// Operator.
+    pub op: RelOp,
+    /// Constant.
+    pub value: AttrValue,
+}
+
+/// One value-based ordering rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueOrderingRule {
+    /// Identifier for diagnostics (π1, π2, …).
+    pub id: String,
+    /// `x.tag = y.tag = tag`.
+    pub tag: String,
+    /// Attributes equated between `x` and `y` (`x.make = y.make`).
+    pub equal_attrs: Vec<String>,
+    /// Symmetric local guards on both variables.
+    pub guards: Vec<LocalGuard>,
+    /// The preference head.
+    pub form: VorForm,
+    /// Priority class: rules with a **smaller** number are consulted first.
+    /// Rules sharing a class must be mutually unambiguous (§5.2).
+    pub priority: u32,
+}
+
+impl ValueOrderingRule {
+    /// Form-(1) rule: prefer `tag` answers with `attr = value` (paper's π1:
+    /// red cars first).
+    pub fn prefer_value(id: &str, tag: &str, attr: &str, value: &str) -> Self {
+        ValueOrderingRule {
+            id: id.to_string(),
+            tag: tag.to_string(),
+            equal_attrs: Vec::new(),
+            guards: Vec::new(),
+            form: VorForm::EqConst { attr: attr.to_string(), value: value.to_string() },
+            priority: 0,
+        }
+    }
+
+    /// Form-(2) rule: prefer smaller `attr` (paper's π2: lower mileage).
+    pub fn prefer_smaller(id: &str, tag: &str, attr: &str) -> Self {
+        ValueOrderingRule {
+            id: id.to_string(),
+            tag: tag.to_string(),
+            equal_attrs: Vec::new(),
+            guards: Vec::new(),
+            form: VorForm::AttrCompare { attr: attr.to_string(), op: PrefOp::Lt },
+            priority: 0,
+        }
+    }
+
+    /// Form-(2) rule: prefer larger `attr` (paper's π3: higher horsepower).
+    pub fn prefer_larger(id: &str, tag: &str, attr: &str) -> Self {
+        ValueOrderingRule {
+            id: id.to_string(),
+            tag: tag.to_string(),
+            equal_attrs: Vec::new(),
+            guards: Vec::new(),
+            form: VorForm::AttrCompare { attr: attr.to_string(), op: PrefOp::Gt },
+            priority: 0,
+        }
+    }
+
+    /// Form-(3) rule: prefer along a partial order on `attr`.
+    pub fn prefer_order(id: &str, tag: &str, attr: &str, order: PrefRel) -> Self {
+        ValueOrderingRule {
+            id: id.to_string(),
+            tag: tag.to_string(),
+            equal_attrs: Vec::new(),
+            guards: Vec::new(),
+            form: VorForm::Preference { attr: attr.to_string(), order },
+            priority: 0,
+        }
+    }
+
+    /// Builder: equate `attr` between the two answers (`x.make = y.make`).
+    pub fn with_equal_attr(mut self, attr: &str) -> Self {
+        self.equal_attrs.push(attr.to_string());
+        self
+    }
+
+    /// Builder: add a symmetric local guard.
+    pub fn with_guard(mut self, attr: &str, op: RelOp, value: AttrValue) -> Self {
+        self.guards.push(LocalGuard { attr: attr.to_string(), op, value });
+        self
+    }
+
+    /// Builder: set the priority class (smaller = consulted earlier).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// `local*` constraints of the rule's `x` variable (used by the
+    /// ambiguity analysis). `x` is the *preferred* side.
+    pub fn local_x(&self) -> LocalSet {
+        self.local_common(true)
+    }
+
+    /// `local*` constraints of the rule's `y` variable.
+    pub fn local_y(&self) -> LocalSet {
+        self.local_common(false)
+    }
+
+    fn local_common(&self, is_x: bool) -> LocalSet {
+        let mut s = LocalSet::new();
+        // Rule construction keeps these consistent; a degenerate rule
+        // (contradictory guards) can never fire, so an inconsistent local
+        // set is represented by keeping whatever merged cleanly.
+        let _ = s.require_tag(&self.tag);
+        for g in &self.guards {
+            let c = match &g.value {
+                AttrValue::Num(n) => Const::Num(*n),
+                AttrValue::Str(t) => Const::Str(t.clone()),
+            };
+            let _ = s.add(&g.attr, g.op, c);
+        }
+        if let VorForm::EqConst { attr, value } = &self.form {
+            let op = if is_x { RelOp::Eq } else { RelOp::Ne };
+            let _ = s.add(attr, op, Const::Str(value.clone()));
+        }
+        s
+    }
+
+    /// The attribute the head inspects (what the runtime must fetch).
+    pub fn head_attr(&self) -> &str {
+        match &self.form {
+            VorForm::EqConst { attr, .. }
+            | VorForm::AttrCompare { attr, .. }
+            | VorForm::Preference { attr, .. } => attr,
+        }
+    }
+
+    /// All attributes the rule touches at runtime.
+    pub fn attrs(&self) -> Vec<&str> {
+        let mut out = vec![self.head_attr()];
+        out.extend(self.equal_attrs.iter().map(String::as_str));
+        out.extend(self.guards.iter().map(|g| g.attr.as_str()));
+        out
+    }
+
+    /// Compare two answers under this rule. `fields` functions resolve
+    /// attribute names to values for each answer; `tag_of` supplies the
+    /// answers' element tags.
+    pub fn compare(
+        &self,
+        a_tag: &str,
+        b_tag: &str,
+        a_fields: &dyn Fn(&str) -> Option<AttrValue>,
+        b_fields: &dyn Fn(&str) -> Option<AttrValue>,
+    ) -> RuleCmp {
+        // Common conditions: same required tag on both sides.
+        if !a_tag.eq_ignore_ascii_case(&self.tag) || !b_tag.eq_ignore_ascii_case(&self.tag) {
+            return RuleCmp::NoInfo;
+        }
+        for attr in &self.equal_attrs {
+            match (a_fields(attr), b_fields(attr)) {
+                (Some(va), Some(vb)) if va.same(&vb) => {}
+                _ => return RuleCmp::NoInfo,
+            }
+        }
+        for g in &self.guards {
+            if !guard_holds(g, a_fields) || !guard_holds(g, b_fields) {
+                return RuleCmp::NoInfo;
+            }
+        }
+        match &self.form {
+            VorForm::EqConst { attr, value } => {
+                let target = AttrValue::Str(value.clone());
+                let a_has = a_fields(attr).map(|v| v.same(&target)).unwrap_or(false);
+                let b_has = b_fields(attr).map(|v| v.same(&target)).unwrap_or(false);
+                match (a_has, b_has) {
+                    (true, false) => RuleCmp::PreferA,
+                    (false, true) => RuleCmp::PreferB,
+                    (true, true) | (false, false) => RuleCmp::Equal,
+                }
+            }
+            VorForm::AttrCompare { attr, op } => {
+                let (Some(va), Some(vb)) = (a_fields(attr), b_fields(attr)) else {
+                    return RuleCmp::NoInfo;
+                };
+                let (Some(na), Some(nb)) = (va.as_num(), vb.as_num()) else {
+                    return RuleCmp::NoInfo;
+                };
+                if na == nb {
+                    return RuleCmp::Equal;
+                }
+                let a_wins = match op {
+                    PrefOp::Lt => na < nb,
+                    PrefOp::Gt => na > nb,
+                };
+                if a_wins {
+                    RuleCmp::PreferA
+                } else {
+                    RuleCmp::PreferB
+                }
+            }
+            VorForm::Preference { attr, order } => {
+                let (Some(va), Some(vb)) = (a_fields(attr), b_fields(attr)) else {
+                    return RuleCmp::NoInfo;
+                };
+                let (sa, sb) = (va.as_text(), vb.as_text());
+                if sa.eq_ignore_ascii_case(&sb) {
+                    RuleCmp::Equal
+                } else if order.prefers(&sa, &sb) {
+                    RuleCmp::PreferA
+                } else if order.prefers(&sb, &sa) {
+                    RuleCmp::PreferB
+                } else {
+                    RuleCmp::NoInfo
+                }
+            }
+        }
+    }
+}
+
+fn guard_holds(g: &LocalGuard, fields: &dyn Fn(&str) -> Option<AttrValue>) -> bool {
+    let Some(v) = fields(&g.attr) else { return false };
+    match g.op {
+        RelOp::Eq => v.same(&g.value),
+        RelOp::Ne => !v.same(&g.value),
+        op => match (v.as_num(), g.value.as_num()) {
+            (Some(a), Some(b)) => op.eval_num(a, b),
+            _ => false,
+        },
+    }
+}
+
+/// Outcome of one rule on a pair of answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleCmp {
+    /// The rule strictly prefers the first answer.
+    PreferA,
+    /// The rule strictly prefers the second answer.
+    PreferB,
+    /// Both answers are equivalent w.r.t. the rule's property.
+    Equal,
+    /// The rule does not apply / cannot decide.
+    NoInfo,
+}
+
+/// Combined outcome of a VOR set on a pair of answers (the `≺_V` relation
+/// used by Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VorOutcome {
+    /// `a ≺_V b`.
+    PreferA,
+    /// `b ≺_V a`.
+    PreferB,
+    /// `a ==_V b`: equivalent on every rule.
+    Equal,
+    /// Incomparable w.r.t. `≺_V`.
+    Incomparable,
+}
+
+impl fmt::Display for VorOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VorOutcome::PreferA => "a ≺ b",
+            VorOutcome::PreferB => "b ≺ a",
+            VorOutcome::Equal => "a == b",
+            VorOutcome::Incomparable => "a ∥ b",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compare two answers under a whole rule set, honoring priority classes:
+/// classes are consulted in ascending priority number; within a class
+/// (which static analysis guarantees unambiguous), any strict preference
+/// decides; a class where every rule says `Equal` falls through to the
+/// next; anything else renders the pair incomparable unless a later class
+/// decides — matching the paper's "assign priorities to break alternating
+/// cycles" semantics (§5.2).
+pub fn compare_all(
+    rules: &[ValueOrderingRule],
+    a_tag: &str,
+    b_tag: &str,
+    a_fields: &dyn Fn(&str) -> Option<AttrValue>,
+    b_fields: &dyn Fn(&str) -> Option<AttrValue>,
+) -> VorOutcome {
+    if rules.is_empty() {
+        return VorOutcome::Equal;
+    }
+    let mut classes: Vec<u32> = rules.iter().map(|r| r.priority).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut saw_noinfo = false;
+    for class in classes {
+        let mut prefer_a = false;
+        let mut prefer_b = false;
+        for rule in rules.iter().filter(|r| r.priority == class) {
+            match rule.compare(a_tag, b_tag, a_fields, b_fields) {
+                RuleCmp::PreferA => prefer_a = true,
+                RuleCmp::PreferB => prefer_b = true,
+                RuleCmp::Equal => {}
+                RuleCmp::NoInfo => saw_noinfo = true,
+            }
+        }
+        match (prefer_a, prefer_b) {
+            (true, false) => return VorOutcome::PreferA,
+            (false, true) => return VorOutcome::PreferB,
+            // Within an unambiguous class this cannot happen on real data;
+            // if it does (user skipped static analysis), the pair is
+            // incomparable rather than arbitrarily ordered.
+            (true, true) => return VorOutcome::Incomparable,
+            (false, false) => {}
+        }
+    }
+    if saw_noinfo {
+        VorOutcome::Incomparable
+    } else {
+        VorOutcome::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn fields(pairs: &[(&str, AttrValue)]) -> HashMap<String, AttrValue> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn getter(m: &HashMap<String, AttrValue>) -> impl Fn(&str) -> Option<AttrValue> + '_ {
+        move |k| m.get(k).cloned()
+    }
+
+    fn s(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+
+    fn n(v: f64) -> AttrValue {
+        AttrValue::Num(v)
+    }
+
+    #[test]
+    fn pi1_red_cars_preferred() {
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+        let red = fields(&[("color", s("red"))]);
+        let blue = fields(&[("color", s("blue"))]);
+        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&blue)), RuleCmp::PreferA);
+        assert_eq!(pi1.compare("car", "car", &getter(&blue), &getter(&red)), RuleCmp::PreferB);
+        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&red)), RuleCmp::Equal);
+        assert_eq!(pi1.compare("car", "car", &getter(&blue), &getter(&blue)), RuleCmp::Equal);
+    }
+
+    #[test]
+    fn missing_attr_counts_as_not_preferred_in_form1() {
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+        let red = fields(&[("color", s("red"))]);
+        let none = fields(&[]);
+        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&none)), RuleCmp::PreferA);
+        assert_eq!(pi1.compare("car", "car", &getter(&none), &getter(&none)), RuleCmp::Equal);
+    }
+
+    #[test]
+    fn pi2_lower_mileage_preferred() {
+        let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+        let lo = fields(&[("mileage", n(10_000.0))]);
+        let hi = fields(&[("mileage", n(90_000.0))]);
+        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&hi)), RuleCmp::PreferA);
+        assert_eq!(pi2.compare("car", "car", &getter(&hi), &getter(&lo)), RuleCmp::PreferB);
+        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&lo)), RuleCmp::Equal);
+        let missing = fields(&[]);
+        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&missing)), RuleCmp::NoInfo);
+    }
+
+    #[test]
+    fn pi3_same_make_higher_hp() {
+        let pi3 = ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make");
+        let strong = fields(&[("make", s("Honda")), ("hp", n(200.0))]);
+        let weak = fields(&[("make", s("honda")), ("hp", n(120.0))]);
+        let other = fields(&[("make", s("Ford")), ("hp", n(500.0))]);
+        assert_eq!(pi3.compare("car", "car", &getter(&strong), &getter(&weak)), RuleCmp::PreferA);
+        // different make: common conditions fail
+        assert_eq!(pi3.compare("car", "car", &getter(&strong), &getter(&other)), RuleCmp::NoInfo);
+    }
+
+    #[test]
+    fn tag_mismatch_is_noinfo() {
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+        let red = fields(&[("color", s("red"))]);
+        assert_eq!(pi1.compare("truck", "car", &getter(&red), &getter(&red)), RuleCmp::NoInfo);
+    }
+
+    #[test]
+    fn preference_order_form() {
+        let order = PrefRel::chain(&["red", "black", "white"]);
+        let r = ValueOrderingRule::prefer_order("po", "car", "color", order);
+        let red = fields(&[("color", s("red"))]);
+        let black = fields(&[("color", s("black"))]);
+        let green = fields(&[("color", s("green"))]);
+        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&black)), RuleCmp::PreferA);
+        assert_eq!(r.compare("car", "car", &getter(&black), &getter(&red)), RuleCmp::PreferB);
+        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&green)), RuleCmp::NoInfo);
+        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&red)), RuleCmp::Equal);
+    }
+
+    #[test]
+    fn guards_must_hold_on_both() {
+        let r = ValueOrderingRule::prefer_smaller("g", "car", "mileage").with_guard(
+            "price",
+            RelOp::Lt,
+            n(1000.0),
+        );
+        let cheap_lo = fields(&[("price", n(500.0)), ("mileage", n(10.0))]);
+        let cheap_hi = fields(&[("price", n(900.0)), ("mileage", n(90.0))]);
+        let pricey = fields(&[("price", n(5000.0)), ("mileage", n(1.0))]);
+        assert_eq!(r.compare("car", "car", &getter(&cheap_lo), &getter(&cheap_hi)), RuleCmp::PreferA);
+        assert_eq!(r.compare("car", "car", &getter(&cheap_lo), &getter(&pricey)), RuleCmp::NoInfo);
+    }
+
+    #[test]
+    fn compare_all_priority_lexicographic() {
+        // priority 0: lower mileage; priority 1: red color.
+        let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage").with_priority(0);
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red").with_priority(1);
+        let rules = vec![pi1, pi2];
+        let red_hi = fields(&[("color", s("red")), ("mileage", n(90.0))]);
+        let blue_lo = fields(&[("color", s("blue")), ("mileage", n(10.0))]);
+        // mileage (higher priority class) decides against the red car
+        assert_eq!(
+            compare_all(&rules, "car", "car", &getter(&red_hi), &getter(&blue_lo)),
+            VorOutcome::PreferB
+        );
+        // equal mileage: color breaks the tie
+        let red_eq = fields(&[("color", s("red")), ("mileage", n(10.0))]);
+        assert_eq!(
+            compare_all(&rules, "car", "car", &getter(&red_eq), &getter(&blue_lo)),
+            VorOutcome::PreferA
+        );
+    }
+
+    #[test]
+    fn compare_all_equal_and_incomparable() {
+        let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+        let rules = vec![pi2];
+        let a = fields(&[("mileage", n(10.0))]);
+        let b = fields(&[("mileage", n(10.0))]);
+        assert_eq!(compare_all(&rules, "car", "car", &getter(&a), &getter(&b)), VorOutcome::Equal);
+        let missing = fields(&[]);
+        assert_eq!(
+            compare_all(&rules, "car", "car", &getter(&a), &getter(&missing)),
+            VorOutcome::Incomparable
+        );
+        assert_eq!(
+            compare_all(&[], "car", "car", &getter(&a), &getter(&b)),
+            VorOutcome::Equal
+        );
+    }
+
+    #[test]
+    fn compare_all_same_class_conflict_is_incomparable() {
+        // Ambiguous pair evaluated without priority separation: red car
+        // with high mileage vs non-red with low mileage.
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+        let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+        let rules = vec![pi1, pi2];
+        let red_hi = fields(&[("color", s("red")), ("mileage", n(90.0))]);
+        let blue_lo = fields(&[("color", s("blue")), ("mileage", n(10.0))]);
+        assert_eq!(
+            compare_all(&rules, "car", "car", &getter(&red_hi), &getter(&blue_lo)),
+            VorOutcome::Incomparable
+        );
+    }
+
+    #[test]
+    fn local_sets_for_ambiguity() {
+        let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+        let x = pi1.local_x();
+        let y = pi1.local_y();
+        assert!(!x.compatible(&y)); // red vs non-red
+        let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+        assert!(y.compatible(&pi2.local_x())); // the paper's y/u pair
+    }
+
+    #[test]
+    fn attr_value_coercions() {
+        assert!(AttrValue::Str("33".into()).same(&AttrValue::Num(33.0)));
+        assert_eq!(AttrValue::Str(" 42 ".into()).as_num(), Some(42.0));
+        assert_eq!(AttrValue::Num(42.0).as_text(), "42");
+        assert_eq!(AttrValue::Num(2.5).as_text(), "2.5");
+    }
+}

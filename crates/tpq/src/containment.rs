@@ -1,0 +1,482 @@
+//! TPQ containment: `Q ⊆ P` (every answer of `Q` is an answer of `P`),
+//! decided by searching for a **homomorphism** from `P` into `Q`.
+//!
+//! The paper (§3.1) delegates subsumption checks to "well-known XPath
+//! containment algorithms [2, 18]". For the fragment the rules use —
+//! conjunctive patterns with `pc`/`ad` edges, tag tests, and node
+//! predicates — homomorphism is sound, and complete in the absence of `*`
+//! wildcards (Miklau & Suciu, PODS 2002). With wildcards it stays sound
+//! (never claims containment that does not hold), which is the safe
+//! direction for rule applicability: a rule is applied only when its
+//! condition provably subsumes the query.
+//!
+//! A homomorphism `h : P → Q` maps pattern nodes to pattern nodes such that
+//! * tags are compatible (`P` star maps to anything; names must be equal),
+//! * a `pc` edge of `P` maps to a `pc` edge of `Q`,
+//! * an `ad` edge of `P` maps to any proper `Q`-tree path,
+//! * every predicate of `h(x)`'s image set **implies** every predicate of
+//!   `x` (see [`implies`]),
+//! * the root anchoring is respected, and `P`'s distinguished node maps to
+//!   `Q`'s distinguished node (answers must coincide).
+
+use crate::ast::{Axis, Predicate, RelOp, TagTest, Tpq, TpqNodeId, Value};
+use std::collections::HashMap;
+
+/// Does satisfying `q` imply satisfying `p` (on the same node content)?
+///
+/// * `FtContains(a)` implies `FtContains(b)` when `b`'s token sequence is a
+///   contiguous subsequence of `a`'s (an occurrence of "good condition"
+///   contains an occurrence of "condition").
+/// * Numeric comparisons follow interval logic (`x < 1500 ⇒ x < 2000`).
+/// * String equality/disequality follow the obvious table.
+pub fn implies(q: &Predicate, p: &Predicate) -> bool {
+    match (q, p) {
+        (Predicate::FtContains { phrase: qp }, Predicate::FtContains { phrase: pp }) => {
+            let qt: Vec<String> = tokens(qp);
+            let pt: Vec<String> = tokens(pp);
+            !pt.is_empty() && contains_contiguous(&qt, &pt)
+        }
+        // A phrase guarantees each of its contiguous sub-sequences occurs
+        // adjacently and in order — so it implies an `ftall` over a term
+        // subset whose window the phrase length already satisfies.
+        (Predicate::FtContains { phrase: qp }, Predicate::FtAll { terms, window, ordered }) => {
+            let qt = tokens(qp);
+            let span_ok = window.is_none_or(|w| qt.len() as u32 <= w);
+            span_ok
+                && !terms.is_empty()
+                && terms.iter().all(|t| {
+                    let tt = tokens(t);
+                    !tt.is_empty() && contains_contiguous(&qt, &tt)
+                })
+                && (!ordered || ordered_as_subsequence(&qt, terms))
+        }
+        (
+            Predicate::FtAll { terms: qt, window: qw, ordered: qo },
+            Predicate::FtAll { terms: pt, window: pw, ordered: po },
+        ) => {
+            // Same-or-tighter window, every required term present, and an
+            // order requirement only satisfied by an ordered guarantee
+            // over a prefix-order-preserving subset. Conservative: require
+            // pt to be a subsequence of qt (ordered) or a subset
+            // (unordered).
+            let window_ok = match (qw, pw) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            };
+            let terms_ok = if *po {
+                *qo && is_subsequence(qt, pt)
+            } else {
+                pt.iter().all(|t| qt.contains(t))
+            };
+            window_ok && terms_ok && !pt.is_empty()
+        }
+        // An `ftall` of a single term with no window is exactly a
+        // containment requirement for that term.
+        (Predicate::FtAll { terms, window: None, .. }, Predicate::FtContains { phrase })
+            if terms.len() == 1 =>
+        {
+            let qt = tokens(&terms[0]);
+            let pt = tokens(phrase);
+            !pt.is_empty() && contains_contiguous(&qt, &pt)
+        }
+        (
+            Predicate::Compare { op: qo, value: Value::Num(qc) },
+            Predicate::Compare { op: po, value: Value::Num(pc) },
+        ) => num_implies(*qo, *qc, *po, *pc),
+        (
+            Predicate::Compare { op: qo, value: Value::Str(qs) },
+            Predicate::Compare { op: po, value: Value::Str(ps) },
+        ) => match (qo, po) {
+            (RelOp::Eq, RelOp::Eq) => qs.eq_ignore_ascii_case(ps),
+            (RelOp::Eq, RelOp::Ne) => !qs.eq_ignore_ascii_case(ps),
+            (RelOp::Ne, RelOp::Ne) => qs.eq_ignore_ascii_case(ps),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn tokens(phrase: &str) -> Vec<String> {
+    phrase
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+fn contains_contiguous(haystack: &[String], needle: &[String]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Do the terms appear in `phrase_tokens` in their listed order (as
+/// non-overlapping contiguous runs)?
+fn ordered_as_subsequence(phrase_tokens: &[String], terms: &[String]) -> bool {
+    let mut from = 0usize;
+    for term in terms {
+        let tt = tokens(term);
+        if tt.is_empty() {
+            return false;
+        }
+        let mut found = None;
+        let hay = &phrase_tokens[from.min(phrase_tokens.len())..];
+        for (i, w) in hay.windows(tt.len()).enumerate() {
+            if w == tt.as_slice() {
+                found = Some(from + i + tt.len());
+                break;
+            }
+        }
+        match found {
+            Some(next) => from = next,
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Is `needle` a subsequence of `haystack` (element-wise)?
+fn is_subsequence(haystack: &[String], needle: &[String]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.any(|h| h == n))
+}
+
+/// `x qo qc` implies `x po pc` for all numeric `x`?
+fn num_implies(qo: RelOp, qc: f64, po: RelOp, pc: f64) -> bool {
+    match (qo, po) {
+        (RelOp::Eq, _) => po.eval_num(qc, pc),
+        (RelOp::Lt, RelOp::Lt) => qc <= pc,
+        (RelOp::Lt, RelOp::Le) => qc <= pc, // x<q ⇒ x<=p when q<=p (x < q <= p)
+        (RelOp::Le, RelOp::Le) => qc <= pc,
+        (RelOp::Le, RelOp::Lt) => qc < pc,
+        (RelOp::Gt, RelOp::Gt) => qc >= pc,
+        (RelOp::Gt, RelOp::Ge) => qc >= pc,
+        (RelOp::Ge, RelOp::Ge) => qc >= pc,
+        (RelOp::Ge, RelOp::Gt) => qc > pc,
+        (RelOp::Lt, RelOp::Ne) => qc <= pc,
+        (RelOp::Le, RelOp::Ne) => qc < pc,
+        (RelOp::Gt, RelOp::Ne) => qc >= pc,
+        (RelOp::Ge, RelOp::Ne) => qc > pc,
+        (RelOp::Ne, RelOp::Ne) => qc == pc,
+        _ => false,
+    }
+}
+
+/// Is there a homomorphism from `p` into `q`? I.e., does `q ⊆ p` hold
+/// (soundly; see module docs)?
+pub fn contains(p: &Tpq, q: &Tpq) -> bool {
+    Matcher { p, q, memo: HashMap::new() }.root_feasible()
+}
+
+/// Two patterns are equivalent when each contains the other.
+pub fn equivalent(a: &Tpq, b: &Tpq) -> bool {
+    contains(a, b) && contains(b, a)
+}
+
+struct Matcher<'a> {
+    p: &'a Tpq,
+    q: &'a Tpq,
+    memo: HashMap<(TpqNodeId, TpqNodeId), bool>,
+}
+
+impl Matcher<'_> {
+    fn root_feasible(&mut self) -> bool {
+        // Candidate images for p's root, honoring the root anchoring: a
+        // Child-anchored p-root must map to q's root and q must also be
+        // Child-anchored; a Descendant-anchored p-root may map anywhere.
+        let p_root = self.p.root();
+        let q_nodes: Vec<TpqNodeId> = match self.p.node(p_root).axis {
+            Axis::Child => {
+                if self.q.node(self.q.root()).axis == Axis::Child {
+                    vec![self.q.root()]
+                } else {
+                    return false;
+                }
+            }
+            Axis::Descendant => self.q.node_ids().collect(),
+        };
+        q_nodes.into_iter().any(|qn| self.can_map_distinguished(p_root, qn))
+    }
+
+    /// Like [`Self::can_map`], but additionally requires that within the
+    /// embedding, p's distinguished node maps exactly onto q's
+    /// distinguished node (answers must coincide). Because homomorphisms
+    /// need not be injective, sibling subtrees embed independently; only
+    /// the child on the path towards p's distinguished node carries the
+    /// distinguished obligation downward.
+    fn can_map_distinguished(&mut self, pn: TpqNodeId, qn: TpqNodeId) -> bool {
+        let pd = self.p.distinguished();
+        let qd = self.q.distinguished();
+        if pn == pd {
+            // The distinguished node itself must land on qd; the rest of
+            // its subtree embeds ordinarily below qd.
+            return qn == qd && self.can_map(pn, qn);
+        }
+        if !self.node_compatible(pn, qn) {
+            return false;
+        }
+        // pd must lie strictly below pn here; find the child on its path.
+        let Some(on_path) = self.child_towards(pn, pd) else {
+            // pd is not in pn's subtree — no embedding from this root can
+            // place it (pn is p's root in practice, which always contains
+            // pd, so this is unreachable; stay safe regardless).
+            return false;
+        };
+        let p_children = self.p.node(pn).children.clone();
+        p_children.into_iter().all(|pc| {
+            let axis = self.p.node(pc).axis;
+            let candidates: Vec<TpqNodeId> = match axis {
+                Axis::Child => self
+                    .q
+                    .node(qn)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&qc| self.q.node(qc).axis == Axis::Child)
+                    .collect(),
+                Axis::Descendant => self.q.descendants(qn),
+            };
+            if pc == on_path {
+                candidates.into_iter().any(|qc| self.can_map_distinguished(pc, qc))
+            } else {
+                candidates.into_iter().any(|qc| self.can_map(pc, qc))
+            }
+        })
+    }
+
+    /// The child of `pn` whose subtree contains `target` (or is `target`).
+    fn child_towards(&self, pn: TpqNodeId, target: TpqNodeId) -> Option<TpqNodeId> {
+        let mut cur = target;
+        loop {
+            let parent = self.p.node(cur).parent?;
+            if parent == pn {
+                return Some(cur);
+            }
+            cur = parent;
+        }
+    }
+
+    /// Tag + predicate compatibility of a single pair (no structure).
+    fn node_compatible(&mut self, pn: TpqNodeId, qn: TpqNodeId) -> bool {
+        let p_node = self.p.node(pn);
+        let q_node = self.q.node(qn);
+        let tag_ok = match (&p_node.tag, &q_node.tag) {
+            (TagTest::Star, _) => true,
+            (TagTest::Name(a), TagTest::Name(b)) => a == b,
+            (TagTest::Name(_), TagTest::Star) => false,
+        };
+        if !tag_ok {
+            return false;
+        }
+        p_node
+            .predicates
+            .iter()
+            .all(|pp| q_node.predicates.iter().any(|qp| implies(qp, pp)))
+    }
+
+    /// Can p-subtree rooted at `pn` embed with `pn ↦ qn`?
+    fn can_map(&mut self, pn: TpqNodeId, qn: TpqNodeId) -> bool {
+        if let Some(&r) = self.memo.get(&(pn, qn)) {
+            return r;
+        }
+        // Seed optimistically to cut (impossible in a tree, but keeps the
+        // memo total); overwritten with the real answer below.
+        let result = self.compute_can_map(pn, qn);
+        self.memo.insert((pn, qn), result);
+        result
+    }
+
+    fn compute_can_map(&mut self, pn: TpqNodeId, qn: TpqNodeId) -> bool {
+        if !self.node_compatible(pn, qn) {
+            return false;
+        }
+        let p_children = self.p.node(pn).children.clone();
+        p_children.into_iter().all(|pc| {
+            let axis = self.p.node(pc).axis;
+            let candidates: Vec<TpqNodeId> = match axis {
+                Axis::Child => self
+                    .q
+                    .node(qn)
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&qc| self.q.node(qc).axis == Axis::Child)
+                    .collect(),
+                Axis::Descendant => self.q.descendants(qn),
+            };
+            candidates.into_iter().any(|qc| self.can_map(pc, qc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tpq;
+
+    fn q(s: &str) -> Tpq {
+        parse_tpq(s).unwrap()
+    }
+
+    #[test]
+    fn identical_patterns_contain_each_other() {
+        let a = q(r#"//car[price < 2000]"#);
+        assert!(contains(&a, &a));
+        assert!(equivalent(&a, &a));
+    }
+
+    #[test]
+    fn fewer_constraints_contain_more() {
+        let general = q("//car");
+        let specific = q(r#"//car[price < 2000]"#);
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn ad_edge_contains_pc_edge() {
+        let ad = q("//car//price");
+        let pc = q("//car/price");
+        assert!(contains(&ad, &pc));
+        assert!(!contains(&pc, &ad));
+    }
+
+    #[test]
+    fn ad_edge_contains_longer_paths() {
+        let short = q("//dealer//price");
+        let long = q("//dealer/car/price");
+        assert!(contains(&short, &long));
+        assert!(!contains(&long, &short));
+    }
+
+    #[test]
+    fn numeric_interval_containment() {
+        let wide = q("//car[price < 2000]");
+        let narrow = q("//car[price < 1500]");
+        assert!(contains(&wide, &narrow));
+        assert!(!contains(&narrow, &wide));
+        let eq = q("//car[price = 1000]");
+        assert!(contains(&wide, &eq));
+        let ge = q("//car[price >= 100]");
+        assert!(!contains(&wide, &ge));
+    }
+
+    #[test]
+    fn keyword_subphrase_containment() {
+        let word = q(r#"//car[ftcontains(., "condition")]"#);
+        let phrase = q(r#"//car[ftcontains(., "good condition")]"#);
+        assert!(contains(&word, &phrase));
+        assert!(!contains(&phrase, &word));
+    }
+
+    #[test]
+    fn star_maps_to_anything() {
+        let star = q("//*[price < 10]");
+        let car = q("//car[price < 10]");
+        assert!(contains(&star, &car));
+        assert!(!contains(&car, &star));
+    }
+
+    #[test]
+    fn distinguished_node_must_align() {
+        // Same tree shape, different answer node.
+        let a = q("//dealer/car"); // answers: car
+        let mut b = q("//dealer/car");
+        b.set_distinguished(b.root()); // answers: dealer
+        assert!(contains(&a, &a));
+        assert!(!contains(&a, &b));
+        assert!(!contains(&b, &a));
+    }
+
+    #[test]
+    fn branching_pattern_containment() {
+        let general = q(r#"//car[.//description]"#);
+        let specific = q(r#"//car[.//description[ftcontains(., "good condition")] and price < 2000]"#);
+        assert!(contains(&general, &specific));
+        assert!(!contains(&specific, &general));
+    }
+
+    #[test]
+    fn sibling_order_is_irrelevant() {
+        let a = q("//car[./x and ./y]");
+        let b = q("//car[./y and ./x]");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn root_anchoring_respected() {
+        let rooted = q("/dealer/car");
+        let floating = q("//dealer/car");
+        // floating contains rooted (every rooted match is a floating match)
+        assert!(contains(&floating, &rooted));
+        assert!(!contains(&rooted, &floating));
+    }
+
+    #[test]
+    fn predicate_implication_table() {
+        use Predicate as P;
+        // numeric
+        assert!(implies(&P::cmp_num(RelOp::Lt, 1500.0), &P::cmp_num(RelOp::Lt, 2000.0)));
+        assert!(implies(&P::cmp_num(RelOp::Eq, 5.0), &P::cmp_num(RelOp::Ge, 5.0)));
+        assert!(implies(&P::cmp_num(RelOp::Eq, 5.0), &P::cmp_num(RelOp::Ne, 6.0)));
+        assert!(implies(&P::cmp_num(RelOp::Gt, 10.0), &P::cmp_num(RelOp::Ge, 10.0)));
+        assert!(implies(&P::cmp_num(RelOp::Le, 9.0), &P::cmp_num(RelOp::Lt, 10.0)));
+        assert!(!implies(&P::cmp_num(RelOp::Le, 10.0), &P::cmp_num(RelOp::Lt, 10.0)));
+        assert!(implies(&P::cmp_num(RelOp::Lt, 10.0), &P::cmp_num(RelOp::Ne, 10.0)));
+        assert!(!implies(&P::cmp_num(RelOp::Lt, 11.0), &P::cmp_num(RelOp::Ne, 10.0)));
+        // strings
+        assert!(implies(&P::cmp_str(RelOp::Eq, "Red"), &P::cmp_str(RelOp::Eq, "red")));
+        assert!(implies(&P::cmp_str(RelOp::Eq, "red"), &P::cmp_str(RelOp::Ne, "blue")));
+        assert!(!implies(&P::cmp_str(RelOp::Eq, "red"), &P::cmp_str(RelOp::Ne, "red")));
+        // keyword vs compare never imply each other
+        assert!(!implies(&P::ft("red"), &P::cmp_str(RelOp::Eq, "red")));
+        assert!(!implies(&P::cmp_str(RelOp::Eq, "red"), &P::ft("red")));
+        // keyword case-insensitive
+        assert!(implies(&P::ft("Good Condition"), &P::ft("good condition")));
+    }
+
+    #[test]
+    fn ftall_implication_table() {
+        use Predicate as P;
+        let all = |t: &[&str], w: Option<u32>, o: bool| P::ft_all(t, w, o);
+        // phrase implies ftall over its words
+        assert!(implies(&P::ft("good condition"), &all(&["good", "condition"], None, false)));
+        assert!(implies(&P::ft("good condition"), &all(&["good", "condition"], Some(2), true)));
+        assert!(implies(&P::ft("good condition"), &all(&["condition", "good"], None, false)));
+        assert!(!implies(&P::ft("good condition"), &all(&["condition", "good"], None, true)));
+        assert!(!implies(&P::ft("good condition"), &all(&["good", "cheap"], None, false)));
+        assert!(!implies(&P::ft("good old condition"), &all(&["good", "condition"], Some(2), false)));
+        // ftall implies weaker ftall
+        assert!(implies(&all(&["a", "b"], Some(3), true), &all(&["a", "b"], Some(5), true)));
+        assert!(implies(&all(&["a", "b"], Some(3), true), &all(&["b"], None, false)));
+        assert!(!implies(&all(&["a", "b"], Some(5), true), &all(&["a", "b"], Some(3), true)));
+        assert!(!implies(&all(&["a", "b"], None, false), &all(&["a", "b"], None, true)));
+        assert!(implies(&all(&["a", "b"], None, true), &all(&["a", "b"], None, false)));
+        // single-term windowless ftall == ftcontains
+        assert!(implies(&all(&["good condition"], None, false), &P::ft("condition")));
+        assert!(!implies(&all(&["good", "condition"], None, false), &P::ft("condition")));
+    }
+
+    #[test]
+    fn ftall_in_pattern_containment() {
+        let loose = q(r#"//car[ftall(., "good", "cheap")]"#);
+        let tight = q(r#"//car[ftall(., "good", "cheap" window 4 ordered)]"#);
+        assert!(contains(&loose, &tight));
+        assert!(!contains(&tight, &loose));
+    }
+
+    #[test]
+    fn deep_query_subsumes_rule_condition() {
+        // The paper's rule ρ1 condition: pc(car, description) &
+        // ftcontains(description, "low mileage") — applicable to query Q.
+        // Note Q in Fig. 2 uses an ad edge in text form `.//description`;
+        // with a pc edge in the query, the pc condition subsumes it.
+        let cond = q(r#"//car[./description[ftcontains(., "low mileage")]]"#);
+        let query = q(
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and price < 2000]"#,
+        );
+        assert!(contains(&cond, &query));
+    }
+}

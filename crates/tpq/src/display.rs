@@ -1,0 +1,107 @@
+//! Rendering a [`Tpq`] back to the textual syntax of [`crate::parse`].
+//!
+//! The main path runs from the root to the distinguished node; all other
+//! branches render as predicates. `parse_tpq(render(q))` is equivalent to
+//! `q` (a property test in the crate checks this).
+
+use crate::ast::{Predicate, Tpq, TpqNodeId};
+use std::fmt;
+
+impl fmt::Display for Tpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Nodes on the root → distinguished path.
+        let mut path = vec![self.distinguished()];
+        while let Some(p) = self.node(*path.last().expect("nonempty")).parent {
+            path.push(p);
+        }
+        path.reverse();
+        for (i, &id) in path.iter().enumerate() {
+            let n = self.node(id);
+            write!(f, "{}{}", n.axis, n.tag)?;
+            let next_on_path = path.get(i + 1).copied();
+            let mut parts: Vec<String> = n.predicates.iter().map(render_pred).collect();
+            for &c in &n.children {
+                if Some(c) != next_on_path {
+                    parts.push(render_branch(self, c));
+                }
+            }
+            if !parts.is_empty() {
+                write!(f, "[{}]", parts.join(" and "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    // All predicate variants render parseably via their Display impl.
+    p.to_string()
+}
+
+/// Render the branch rooted at `id` as a relative-path predicate.
+fn render_branch(t: &Tpq, id: TpqNodeId) -> String {
+    let n = t.node(id);
+    let mut s = format!(".{}{}", n.axis, n.tag);
+    let mut parts: Vec<String> = n.predicates.iter().map(render_pred).collect();
+    parts.extend(n.children.iter().map(|&c| render_branch(t, c)));
+    if !parts.is_empty() {
+        s.push('[');
+        s.push_str(&parts.join(" and "));
+        s.push(']');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::containment::equivalent;
+    use crate::parse::parse_tpq;
+
+    fn roundtrip_equivalent(src: &str) {
+        let q = parse_tpq(src).unwrap();
+        let rendered = q.to_string();
+        let q2 = parse_tpq(&rendered).unwrap_or_else(|e| panic!("rendered {rendered:?}: {e}"));
+        assert!(equivalent(&q, &q2), "{src} → {rendered} not equivalent");
+    }
+
+    #[test]
+    fn renders_single_node() {
+        let q = parse_tpq("//car").unwrap();
+        assert_eq!(q.to_string(), "//car");
+    }
+
+    #[test]
+    fn renders_predicates_and_branches() {
+        let q = parse_tpq(r#"//car[./price < 2000 and ftcontains(., "good")]"#).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("price"), "{s}");
+        assert!(s.contains("good"), "{s}");
+        roundtrip_equivalent(r#"//car[./price < 2000 and ftcontains(., "good")]"#);
+    }
+
+    #[test]
+    fn renders_main_path_to_distinguished() {
+        let q = parse_tpq(r#"//article[about(.//au, "Han")]//abs[about(., "data mining")]"#).unwrap();
+        let s = q.to_string();
+        assert!(s.starts_with("//article"), "{s}");
+        assert!(s.contains("//abs"), "{s}");
+        roundtrip_equivalent(r#"//article[about(.//au, "Han")]//abs[about(., "data mining")]"#);
+    }
+
+    #[test]
+    fn roundtrips_assorted_queries() {
+        for src in [
+            "//car",
+            "/dealer/car/price",
+            r#"//car[color = "red"]"#,
+            "//a[./b[ftcontains(., \"x\")]/c > 5]",
+            "//person[business ftcontains \"Yes\"]",
+            "//*[price < 10]",
+            "//a[.//b and ./c and ftcontains(., \"k w\")]",
+            r#"//car[ftall(., "good", "cheap" window 5 ordered)]"#,
+            r#"//car[ftall(./d, "a", "b")]"#,
+        ] {
+            roundtrip_equivalent(src);
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Textual syntax for extended TPQs: an XPath-like fragment with
+//! `ftcontains` and NEXI's `about` (the paper's INEX topics are NEXI).
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query    := ('/'|'//') step ( ('/'|'//') step )*
+//! step     := (NAME | '*') ( '[' pred ('and' pred)* ']' )?
+//! pred     := target 'ftcontains' STRING
+//!           | 'ftcontains' '(' target ',' STRING ')'
+//!           | 'about' '(' target ',' STRING ')'
+//!           | target relop (NUMBER | STRING)
+//!           | target                               -- existence
+//! target   := '.' | relpath
+//! relpath  := '.'? ('/'|'//')? step ( ('/'|'//') step )*
+//! relop    := '<' | '<=' | '>' | '>=' | '=' | '!='
+//! ```
+//!
+//! The **distinguished node** is the last step of the main path, matching
+//! XPath's result semantics. `about(x, "p")` is sugar for
+//! `ftcontains(x, "p")`. A relpath step inside a predicate grows the
+//! pattern with `pc`/`ad` edges (leading `//` inside a predicate means
+//! descendant, `/` or nothing means child).
+
+use crate::ast::{Axis, Predicate, RelOp, Tpq, TpqNodeId, Value};
+use std::fmt;
+
+/// Parse error with byte offset into the query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query string into a [`Tpq`].
+pub fn parse_tpq(input: &str) -> Result<Tpq, ParseError> {
+    Parser::new(input).parse_query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Slash,
+    DoubleSlash,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    And,
+    Star,
+    Name(String),
+    Str(String),
+    Num(f64),
+    Op(RelOp),
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Self {
+        Parser { toks: lex(input), pos: 0, input_len: input.len() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.offset(), message: message.into() })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn axis(&mut self) -> Option<Axis> {
+        match self.peek() {
+            Some(Tok::DoubleSlash) => {
+                self.pos += 1;
+                Some(Axis::Descendant)
+            }
+            Some(Tok::Slash) => {
+                self.pos += 1;
+                Some(Axis::Child)
+            }
+            _ => None,
+        }
+    }
+
+    fn step_name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Name(n)) => Ok(n),
+            Some(Tok::Star) => Ok("*".to_string()),
+            other => self.err(format!("expected step name, found {other:?}")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Tpq, ParseError> {
+        let axis = match self.axis() {
+            Some(a) => a,
+            None => Axis::Descendant, // allow "car[...]" meaning "//car[...]"
+        };
+        let name = self.step_name()?;
+        let mut tpq = if name == "*" { Tpq::star(axis) } else { Tpq::new(name, axis) };
+        let mut current = tpq.root();
+        self.maybe_predicates(&mut tpq, current)?;
+        while let Some(axis) = self.axis() {
+            let name = self.step_name()?;
+            current = tpq.add_child(current, axis, name);
+            self.maybe_predicates(&mut tpq, current)?;
+        }
+        tpq.set_distinguished(current);
+        if self.peek().is_some() {
+            return self.err("trailing tokens after query");
+        }
+        Ok(tpq)
+    }
+
+    fn maybe_predicates(&mut self, tpq: &mut Tpq, node: TpqNodeId) -> Result<(), ParseError> {
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            loop {
+                self.parse_pred(tpq, node)?;
+                if self.peek() == Some(&Tok::And) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        Ok(())
+    }
+
+    /// Parse one predicate inside `[...]` and attach it at/under `node`.
+    fn parse_pred(&mut self, tpq: &mut Tpq, node: TpqNodeId) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Name(n)) if n == "ftcontains" || n == "about" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "'('")?;
+                let target = self.parse_target(tpq, node)?;
+                self.expect(&Tok::Comma, "','")?;
+                let phrase = self.parse_string()?;
+                self.expect(&Tok::RParen, "')'")?;
+                tpq.add_predicate(target, Predicate::ft(phrase));
+                Ok(())
+            }
+            Some(Tok::Name(n)) if n == "ftall" => {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "'('")?;
+                let target = self.parse_target(tpq, node)?;
+                let mut terms = Vec::new();
+                while self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                    terms.push(self.parse_string()?);
+                }
+                if terms.is_empty() {
+                    return self.err("ftall needs at least one term");
+                }
+                let mut window = None;
+                let mut ordered = false;
+                loop {
+                    match self.peek() {
+                        Some(Tok::Name(w)) if w == "window" => {
+                            self.pos += 1;
+                            match self.bump() {
+                                Some(Tok::Num(n)) if n >= 1.0 => window = Some(n as u32),
+                                other => {
+                                    return self
+                                        .err(format!("expected window size, found {other:?}"))
+                                }
+                            }
+                        }
+                        Some(Tok::Name(o)) if o == "ordered" => {
+                            self.pos += 1;
+                            ordered = true;
+                        }
+                        _ => break,
+                    }
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                tpq.add_predicate(target, Predicate::FtAll { terms, window, ordered });
+                Ok(())
+            }
+            _ => {
+                let target = self.parse_target(tpq, node)?;
+                match self.peek() {
+                    Some(Tok::Op(op)) => {
+                        let op = *op;
+                        self.pos += 1;
+                        let value = match self.bump() {
+                            Some(Tok::Num(n)) => Value::Num(n),
+                            Some(Tok::Str(s)) => Value::Str(s),
+                            other => {
+                                return self
+                                    .err(format!("expected comparison constant, found {other:?}"))
+                            }
+                        };
+                        tpq.add_predicate(target, Predicate::Compare { op, value });
+                        Ok(())
+                    }
+                    Some(Tok::Name(n)) if n == "ftcontains" => {
+                        self.pos += 1;
+                        let phrase = self.parse_string()?;
+                        tpq.add_predicate(target, Predicate::ft(phrase));
+                        Ok(())
+                    }
+                    // bare relpath = existence predicate; the structural
+                    // nodes added while parsing the target are the predicate
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Parse `.` or a relative path, growing the pattern; returns the node
+    /// the path lands on.
+    fn parse_target(&mut self, tpq: &mut Tpq, node: TpqNodeId) -> Result<TpqNodeId, ParseError> {
+        let mut current = node;
+        let mut saw_dot = false;
+        if self.peek() == Some(&Tok::Dot) {
+            self.pos += 1;
+            saw_dot = true;
+        }
+        let mut first = true;
+        loop {
+            let axis = match self.axis() {
+                Some(a) => a,
+                None if first && !saw_dot => {
+                    // bare name: implicit child step
+                    match self.peek() {
+                        Some(Tok::Name(n))
+                            if n != "ftcontains" && n != "about" && n != "ftall" =>
+                        {
+                            Axis::Child
+                        }
+                        _ => break,
+                    }
+                }
+                None => break,
+            };
+            let name = self.step_name()?;
+            current = tpq.add_child(current, axis, name);
+            self.maybe_predicates(tpq, current)?;
+            first = false;
+        }
+        if current == node && !saw_dot {
+            return self.err("expected '.', a path, or a function call");
+        }
+        Ok(current)
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => self.err(format!("expected string literal, found {other:?}")),
+        }
+    }
+}
+
+fn lex(input: &str) -> Vec<(usize, Tok)> {
+    let b = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    toks.push((i, Tok::DoubleSlash));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Slash));
+                    i += 1;
+                }
+            }
+            b'[' => {
+                toks.push((i, Tok::LBracket));
+                i += 1;
+            }
+            b']' => {
+                toks.push((i, Tok::RBracket));
+                i += 1;
+            }
+            b'(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            b'&' => {
+                toks.push((i, Tok::And));
+                i += 1;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Op(RelOp::Le)));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Op(RelOp::Lt)));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Op(RelOp::Ge)));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Op(RelOp::Gt)));
+                    i += 1;
+                }
+            }
+            b'=' => {
+                toks.push((i, Tok::Op(RelOp::Eq)));
+                i += 1;
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Op(RelOp::Ne)));
+                    i += 2;
+                } else {
+                    // Lone '!' is not meaningful; emit as a name to trigger
+                    // a parse error with position info.
+                    toks.push((i, Tok::Name("!".to_string())));
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != quote {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                i += 1; // closing quote (or EOF — parser will catch issues)
+                toks.push((start, Tok::Str(s)));
+            }
+            b'.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            _ if c.is_ascii_digit() || (c == b'-' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = input[start..i].parse().unwrap_or(f64::NAN);
+                toks.push((start, Tok::Num(n)));
+            }
+            _ => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-' || b[i] == b':')
+                {
+                    i += 1;
+                }
+                if i == start {
+                    // Unknown character: emit it whole (full UTF-8 width)
+                    // as a name so the parser reports it with its position.
+                    let width = input[start..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    i += width;
+                }
+                let word = &input[start..i];
+                if word == "and" {
+                    toks.push((start, Tok::And));
+                } else {
+                    toks.push((start, Tok::Name(word.to_string())));
+                }
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TagTest;
+
+    #[test]
+    fn paper_query_q() {
+        let q = parse_tpq(
+            r#"//car[.//description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+        )
+        .unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.distinguished(), q.root());
+        assert_eq!(q.node(q.root()).tag, TagTest::Name("car".into()));
+        let d = q.find_by_tag("description").unwrap();
+        assert_eq!(q.node(d).axis, Axis::Descendant);
+        assert_eq!(q.node(d).predicates.len(), 2);
+        let p = q.find_by_tag("price").unwrap();
+        assert_eq!(q.node(p).axis, Axis::Child);
+        assert!(matches!(q.node(p).predicates[0], Predicate::Compare { op: RelOp::Lt, .. }));
+    }
+
+    #[test]
+    fn nexi_topic_131() {
+        let q = parse_tpq(r#"//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]"#)
+            .unwrap();
+        assert_eq!(q.len(), 3);
+        let abs = q.find_by_tag("abs").unwrap();
+        assert_eq!(q.distinguished(), abs);
+        assert_eq!(q.node(abs).axis, Axis::Descendant);
+        assert!(matches!(&q.node(abs).predicates[0], Predicate::FtContains { phrase } if phrase == "data mining"));
+        let au = q.find_by_tag("au").unwrap();
+        assert_eq!(q.node(au).axis, Axis::Descendant);
+        assert!(!q.node(au).predicates.is_empty());
+    }
+
+    #[test]
+    fn infix_ftcontains_on_bare_name() {
+        let q = parse_tpq(r#"//person[business ftcontains "Yes"]"#).unwrap();
+        let b = q.find_by_tag("business").unwrap();
+        assert_eq!(q.node(b).axis, Axis::Child);
+        assert!(matches!(&q.node(b).predicates[0], Predicate::FtContains { phrase } if phrase == "Yes"));
+    }
+
+    #[test]
+    fn dot_comparison_attaches_to_step() {
+        let q = parse_tpq(r#"//price[. < 2000]"#).unwrap();
+        assert!(matches!(q.node(q.root()).predicates[0], Predicate::Compare { op: RelOp::Lt, .. }));
+    }
+
+    #[test]
+    fn string_comparison() {
+        let q = parse_tpq(r#"//car[color = "red"]"#).unwrap();
+        let c = q.find_by_tag("color").unwrap();
+        assert!(
+            matches!(&q.node(c).predicates[0], Predicate::Compare { op: RelOp::Eq, value: Value::Str(s) } if s == "red")
+        );
+    }
+
+    #[test]
+    fn existence_predicate_grows_pattern() {
+        let q = parse_tpq(r#"//car[.//owner]"#).unwrap();
+        assert_eq!(q.len(), 2);
+        let o = q.find_by_tag("owner").unwrap();
+        assert_eq!(q.node(o).axis, Axis::Descendant);
+        assert!(q.node(o).predicates.is_empty());
+    }
+
+    #[test]
+    fn nested_predicates_in_relpath() {
+        let q = parse_tpq(r#"//a[./b[ftcontains(., "x")]/c > 5]"#).unwrap();
+        assert_eq!(q.len(), 3);
+        let b = q.find_by_tag("b").unwrap();
+        assert!(matches!(&q.node(b).predicates[0], Predicate::FtContains { .. }));
+        let c = q.find_by_tag("c").unwrap();
+        assert!(matches!(&q.node(c).predicates[0], Predicate::Compare { op: RelOp::Gt, .. }));
+        assert_eq!(q.node(c).parent, Some(b));
+    }
+
+    #[test]
+    fn multiple_steps_distinguished_is_last() {
+        let q = parse_tpq("/dealer/car/price").unwrap();
+        assert_eq!(q.len(), 3);
+        let p = q.find_by_tag("price").unwrap();
+        assert_eq!(q.distinguished(), p);
+        assert_eq!(q.node(q.root()).axis, Axis::Child); // anchored at document root
+    }
+
+    #[test]
+    fn star_steps() {
+        let q = parse_tpq("//*[price < 10]").unwrap();
+        assert_eq!(q.node(q.root()).tag, TagTest::Star);
+    }
+
+    #[test]
+    fn implicit_leading_descendant() {
+        let q = parse_tpq("car[price < 10]").unwrap();
+        assert_eq!(q.node(q.root()).axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn ampersand_as_and() {
+        let q = parse_tpq(r#"//car[ftcontains(., "a") & ftcontains(., "b")]"#).unwrap();
+        assert_eq!(q.node(q.root()).predicates.len(), 2);
+    }
+
+    #[test]
+    fn numeric_operators_all_parse() {
+        for (src, op) in [
+            ("//a[b < 1]", RelOp::Lt),
+            ("//a[b <= 1]", RelOp::Le),
+            ("//a[b > 1]", RelOp::Gt),
+            ("//a[b >= 1]", RelOp::Ge),
+            ("//a[b = 1]", RelOp::Eq),
+            ("//a[b != 1]", RelOp::Ne),
+        ] {
+            let q = parse_tpq(src).unwrap();
+            let b = q.find_by_tag("b").unwrap();
+            assert!(
+                matches!(q.node(b).predicates[0], Predicate::Compare { op: o, .. } if o == op),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_number_constant() {
+        let q = parse_tpq("//a[b > -5]").unwrap();
+        let b = q.find_by_tag("b").unwrap();
+        assert!(
+            matches!(q.node(b).predicates[0], Predicate::Compare { value: Value::Num(n), .. } if n == -5.0)
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_tpq("//car[").unwrap_err();
+        assert!(e.offset >= 6);
+        assert!(parse_tpq("//car] junk").is_err());
+        assert!(parse_tpq("//car[price <]").is_err());
+        assert!(parse_tpq(r#"//car[ftcontains(price)]"#).is_err());
+        assert!(parse_tpq("").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_tpq("//car extra").is_err());
+    }
+
+    #[test]
+    fn ftall_basic() {
+        let q = parse_tpq(r#"//car[ftall(., "good", "cheap")]"#).unwrap();
+        assert!(matches!(
+            &q.node(q.root()).predicates[0],
+            Predicate::FtAll { terms, window: None, ordered: false } if terms.len() == 2
+        ));
+    }
+
+    #[test]
+    fn ftall_with_window_and_ordered() {
+        let q = parse_tpq(r#"//car[ftall(., "good", "cheap" window 5 ordered)]"#).unwrap();
+        assert!(matches!(
+            &q.node(q.root()).predicates[0],
+            Predicate::FtAll { window: Some(5), ordered: true, .. }
+        ));
+    }
+
+    #[test]
+    fn ftall_on_relative_target() {
+        let q = parse_tpq(r#"//car[ftall(./description, "a", "b" window 3)]"#).unwrap();
+        let d = q.find_by_tag("description").unwrap();
+        assert!(matches!(&q.node(d).predicates[0], Predicate::FtAll { .. }));
+    }
+
+    #[test]
+    fn ftall_requires_terms_and_valid_window() {
+        assert!(parse_tpq("//car[ftall(.)]").is_err());
+        assert!(parse_tpq(r#"//car[ftall(., "a" window 0)]"#).is_err());
+        assert!(parse_tpq(r#"//car[ftall(., "a" window)]"#).is_err());
+    }
+}

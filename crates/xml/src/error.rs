@@ -1,0 +1,206 @@
+//! Error types for XML lexing and parsing.
+
+use std::fmt;
+
+/// Byte offset plus human-friendly line/column position in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl Pos {
+    /// Position at the very start of an input.
+    pub const fn start() -> Self {
+        Pos { offset: 0, line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Everything that can go wrong while turning bytes into a document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// Where the input ended.
+        pos: Pos,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// Where the character was found.
+        pos: Pos,
+        /// The offending character.
+        found: char,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// `</b>` closing an element opened as `<a>`.
+    MismatchedTag {
+        /// Where the close tag was found.
+        pos: Pos,
+        /// The open tag awaiting closure.
+        expected: String,
+        /// The close tag actually seen.
+        found: String,
+    },
+    /// A close tag with no matching open tag.
+    UnmatchedClose {
+        /// Where the close tag was found.
+        pos: Pos,
+        /// Its tag name.
+        tag: String,
+    },
+    /// Open tags left on the stack at end of input.
+    UnclosedTag {
+        /// Position of the end of input.
+        pos: Pos,
+        /// The innermost unclosed tag.
+        tag: String,
+    },
+    /// `&foo;` with an unknown entity name.
+    UnknownEntity {
+        /// Where the entity started.
+        pos: Pos,
+        /// The entity body.
+        entity: String,
+    },
+    /// A numeric character reference that is not a valid scalar value.
+    InvalidCharRef {
+        /// Where the reference started.
+        pos: Pos,
+        /// The raw reference body.
+        raw: String,
+    },
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute {
+        /// Where the duplicate was found.
+        pos: Pos,
+        /// The attribute name.
+        name: String,
+    },
+    /// Document has no root element, or text outside the root.
+    NoRootElement {
+        /// Where the problem was detected.
+        pos: Pos,
+    },
+    /// More than one top-level element.
+    MultipleRoots {
+        /// Where the second root started.
+        pos: Pos,
+    },
+    /// An element/tag name that is empty or starts with an illegal character.
+    InvalidName {
+        /// Where the name started.
+        pos: Pos,
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl XmlError {
+    /// The input position the error was raised at.
+    pub fn pos(&self) -> Pos {
+        match self {
+            XmlError::UnexpectedEof { pos, .. }
+            | XmlError::UnexpectedChar { pos, .. }
+            | XmlError::MismatchedTag { pos, .. }
+            | XmlError::UnmatchedClose { pos, .. }
+            | XmlError::UnclosedTag { pos, .. }
+            | XmlError::UnknownEntity { pos, .. }
+            | XmlError::InvalidCharRef { pos, .. }
+            | XmlError::DuplicateAttribute { pos, .. }
+            | XmlError::NoRootElement { pos }
+            | XmlError::MultipleRoots { pos }
+            | XmlError::InvalidName { pos, .. } => *pos,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { pos, context } => {
+                write!(f, "{pos}: unexpected end of input while parsing {context}")
+            }
+            XmlError::UnexpectedChar { pos, found, context } => {
+                write!(f, "{pos}: unexpected character {found:?} while parsing {context}")
+            }
+            XmlError::MismatchedTag { pos, expected, found } => {
+                write!(f, "{pos}: mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::UnmatchedClose { pos, tag } => {
+                write!(f, "{pos}: close tag </{tag}> has no matching open tag")
+            }
+            XmlError::UnclosedTag { pos, tag } => {
+                write!(f, "{pos}: element <{tag}> is never closed")
+            }
+            XmlError::UnknownEntity { pos, entity } => {
+                write!(f, "{pos}: unknown entity &{entity};")
+            }
+            XmlError::InvalidCharRef { pos, raw } => {
+                write!(f, "{pos}: invalid character reference &{raw};")
+            }
+            XmlError::DuplicateAttribute { pos, name } => {
+                write!(f, "{pos}: duplicate attribute {name:?}")
+            }
+            XmlError::NoRootElement { pos } => write!(f, "{pos}: document has no root element"),
+            XmlError::MultipleRoots { pos } => {
+                write!(f, "{pos}: document has more than one root element")
+            }
+            XmlError::InvalidName { pos, name } => write!(f, "{pos}: invalid XML name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        let p = Pos { offset: 10, line: 2, col: 5 };
+        assert_eq!(p.to_string(), "2:5");
+    }
+
+    #[test]
+    fn error_display_mentions_position_and_detail() {
+        let e = XmlError::MismatchedTag {
+            pos: Pos { offset: 3, line: 1, col: 4 },
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1:4"));
+        assert!(s.contains("</a>"));
+        assert!(s.contains("</b>"));
+    }
+
+    #[test]
+    fn error_pos_accessor_covers_variants() {
+        let pos = Pos { offset: 1, line: 1, col: 2 };
+        let errs = [
+            XmlError::UnexpectedEof { pos, context: "tag" },
+            XmlError::UnknownEntity { pos, entity: "x".into() },
+            XmlError::NoRootElement { pos },
+        ];
+        for e in errs {
+            assert_eq!(e.pos(), pos);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Entity escaping and unescaping for XML text and attribute values.
+
+use crate::error::{Pos, Result, XmlError};
+use std::borrow::Cow;
+
+/// Escape the five predefined XML entities in `s` for use in text content.
+///
+/// Returns a borrowed `Cow` when nothing needs escaping, which is the common
+/// case on large generated documents.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escape `s` for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && (b == b'"' || b == b'\'')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a single entity body (the part between `&` and `;`).
+///
+/// Supports the five predefined entities plus decimal (`#123`) and
+/// hexadecimal (`#x7B`) character references.
+pub fn resolve_entity(body: &str, pos: Pos) -> Result<char> {
+    match body {
+        "amp" => return Ok('&'),
+        "lt" => return Ok('<'),
+        "gt" => return Ok('>'),
+        "quot" => return Ok('"'),
+        "apos" => return Ok('\''),
+        _ => {}
+    }
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+            u32::from_str_radix(hex, 16)
+        } else {
+            num.parse::<u32>()
+        };
+        return match code.ok().and_then(char::from_u32) {
+            Some(c) => Ok(c),
+            None => Err(XmlError::InvalidCharRef { pos, raw: body.to_string() }),
+        };
+    }
+    Err(XmlError::UnknownEntity { pos, entity: body.to_string() })
+}
+
+/// Unescape all entities in `s`, reporting errors at `pos` (the start of the
+/// string; offsets within the string are not tracked).
+pub fn unescape(s: &str, pos: Pos) -> Result<Cow<'_, str>> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or(XmlError::UnexpectedEof { pos, context: "entity reference" })?;
+        out.push(resolve_entity(&after[..semi], pos)?);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Pos {
+        Pos::start()
+    }
+
+    #[test]
+    fn escape_text_passthrough_is_borrowed() {
+        assert!(matches!(escape_text("plain text"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_escapes_amp_lt_gt() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+
+    #[test]
+    fn escape_attr_escapes_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes_alone() {
+        assert_eq!(escape_text(r#""q""#), r#""q""#);
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;", p()).unwrap(), "<x> & \"y\" 'z'");
+    }
+
+    #[test]
+    fn unescape_decimal_and_hex_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", p()).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors() {
+        assert!(matches!(unescape("&nope;", p()), Err(XmlError::UnknownEntity { .. })));
+    }
+
+    #[test]
+    fn unescape_invalid_char_ref_errors() {
+        assert!(matches!(unescape("&#xD800;", p()), Err(XmlError::InvalidCharRef { .. })));
+        assert!(matches!(unescape("&#99999999;", p()), Err(XmlError::InvalidCharRef { .. })));
+    }
+
+    #[test]
+    fn unescape_missing_semicolon_errors() {
+        assert!(matches!(unescape("a &amp b", p()), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let original = "tricky <text> & \"attrs\" 'here' 100% plain";
+        let esc = escape_attr(original);
+        assert_eq!(unescape(&esc, p()).unwrap(), original);
+    }
+}

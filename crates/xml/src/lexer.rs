@@ -1,0 +1,437 @@
+//! A hand-rolled pull lexer turning XML source text into a token stream.
+//!
+//! The lexer is deliberately permissive where the paper's data needs it
+//! (attribute values in single or double quotes, CDATA, comments, processing
+//! instructions, DOCTYPE skipped) and strict where tree construction needs
+//! it (well-formed names, terminated constructs).
+
+use crate::error::{Pos, Result, XmlError};
+use crate::escape::unescape;
+
+/// One lexical event from the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    StartTag {
+        /// Tag name.
+        name: String,
+        /// Attributes in source order, values unescaped.
+        attrs: Vec<(String, String)>,
+        /// `<name/>` form.
+        self_closing: bool,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Character data between tags, with entities resolved. CDATA sections
+    /// are delivered as `Text` too.
+    Text {
+        /// The (unescaped) text.
+        text: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `<!-- ... -->` contents (without the delimiters).
+    Comment {
+        /// Comment body.
+        text: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `<?target data?>`.
+    Pi {
+        /// Processing-instruction target.
+        target: String,
+        /// Everything after the target, trimmed.
+        data: String,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Token {
+    /// The input position the token started at.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Token::StartTag { pos, .. }
+            | Token::EndTag { pos, .. }
+            | Token::Text { pos, .. }
+            | Token::Comment { pos, .. }
+            | Token::Pi { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Pull lexer over a UTF-8 input string.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, bytes: input.as_bytes(), offset: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    fn peek_at(&self, delta: usize) -> Option<u8> {
+        self.bytes.get(self.offset + delta).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.offset..].starts_with(s)
+    }
+
+    fn advance_str(&mut self, s: &str) {
+        for _ in 0..s.len() {
+            self.bump();
+        }
+    }
+
+    /// Find `needle` at or after the current offset and return everything up
+    /// to it, advancing past the needle. Errors with `context` on EOF.
+    fn take_until(&mut self, needle: &str, context: &'static str) -> Result<&'a str> {
+        let start = self.offset;
+        match self.input[start..].find(needle) {
+            Some(rel) => {
+                let end = start + rel;
+                // Advance (tracking line/col) through the consumed region
+                // and the needle itself.
+                while self.offset < end + needle.len() {
+                    self.bump();
+                }
+                Ok(&self.input[start..end])
+            }
+            None => Err(XmlError::UnexpectedEof { pos: self.pos(), context }),
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self, context: &'static str) -> Result<String> {
+        let start = self.offset;
+        let pos = self.pos();
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {
+                self.bump();
+            }
+            Some(b) => {
+                return Err(XmlError::UnexpectedChar { pos, found: b as char, context });
+            }
+            None => return Err(XmlError::UnexpectedEof { pos, context }),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.offset].to_string())
+    }
+
+    fn read_attrs(&mut self) -> Result<(Vec<(String, String)>, bool)> {
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok((attrs, false));
+                }
+                Some(b'/') => {
+                    let pos = self.pos();
+                    self.bump();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            return Ok((attrs, true));
+                        }
+                        other => {
+                            return Err(XmlError::UnexpectedChar {
+                                pos,
+                                found: other.map(|b| b as char).unwrap_or('\0'),
+                                context: "self-closing tag",
+                            })
+                        }
+                    }
+                }
+                Some(_) => {
+                    let attr_pos = self.pos();
+                    let name = self.read_name("attribute name")?;
+                    if attrs.iter().any(|(n, _)| *n == name) {
+                        return Err(XmlError::DuplicateAttribute { pos: attr_pos, name });
+                    }
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                        }
+                        other => {
+                            return Err(XmlError::UnexpectedChar {
+                                pos: self.pos(),
+                                found: other.map(|b| b as char).unwrap_or('\0'),
+                                context: "attribute '='",
+                            })
+                        }
+                    }
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.bump();
+                            q
+                        }
+                        other => {
+                            return Err(XmlError::UnexpectedChar {
+                                pos: self.pos(),
+                                found: other.map(|b| b as char).unwrap_or('\0'),
+                                context: "attribute value quote",
+                            })
+                        }
+                    };
+                    let vpos = self.pos();
+                    let raw = self.take_until(
+                        if quote == b'"' { "\"" } else { "'" },
+                        "attribute value",
+                    )?;
+                    let value = unescape(raw, vpos)?.into_owned();
+                    attrs.push((name, value));
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof { pos: self.pos(), context: "start tag" })
+                }
+            }
+        }
+    }
+
+    /// Produce the next token, or `None` at clean end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>> {
+        if self.offset >= self.bytes.len() {
+            return Ok(None);
+        }
+        let pos = self.pos();
+        if self.peek() == Some(b'<') {
+            match self.peek_at(1) {
+                Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    let name = self.read_name("close tag name")?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b'>') => Ok(Some(Token::EndTag { name, pos })),
+                        Some(c) => Err(XmlError::UnexpectedChar {
+                            pos: self.pos(),
+                            found: c as char,
+                            context: "close tag",
+                        }),
+                        None => {
+                            Err(XmlError::UnexpectedEof { pos: self.pos(), context: "close tag" })
+                        }
+                    }
+                }
+                Some(b'!') => {
+                    if self.starts_with("<!--") {
+                        self.advance_str("<!--");
+                        let text = self.take_until("-->", "comment")?.to_string();
+                        Ok(Some(Token::Comment { text, pos }))
+                    } else if self.starts_with("<![CDATA[") {
+                        self.advance_str("<![CDATA[");
+                        let text = self.take_until("]]>", "CDATA section")?.to_string();
+                        Ok(Some(Token::Text { text, pos }))
+                    } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                        // Skip the doctype declaration, tolerating one level
+                        // of internal subset brackets.
+                        self.advance_str("<!DOCTYPE");
+                        let mut depth = 0usize;
+                        loop {
+                            match self.bump() {
+                                Some(b'[') => depth += 1,
+                                Some(b']') => depth = depth.saturating_sub(1),
+                                Some(b'>') if depth == 0 => break,
+                                Some(_) => {}
+                                None => {
+                                    return Err(XmlError::UnexpectedEof {
+                                        pos: self.pos(),
+                                        context: "DOCTYPE",
+                                    })
+                                }
+                            }
+                        }
+                        self.next_token()
+                    } else {
+                        Err(XmlError::UnexpectedChar {
+                            pos,
+                            found: '!',
+                            context: "markup declaration",
+                        })
+                    }
+                }
+                Some(b'?') => {
+                    self.advance_str("<?");
+                    let target = self.read_name("processing instruction target")?;
+                    let data = self.take_until("?>", "processing instruction")?.trim().to_string();
+                    Ok(Some(Token::Pi { target, data, pos }))
+                }
+                _ => {
+                    self.bump();
+                    let name = self.read_name("tag name")?;
+                    let (attrs, self_closing) = self.read_attrs()?;
+                    Ok(Some(Token::StartTag { name, attrs, self_closing, pos }))
+                }
+            }
+        } else {
+            // Character data up to the next '<' (or EOF).
+            let start = self.offset;
+            while let Some(b) = self.peek() {
+                if b == b'<' {
+                    break;
+                }
+                self.bump();
+            }
+            let raw = &self.input[start..self.offset];
+            let text = unescape(raw, pos)?.into_owned();
+            Ok(Some(Token::Text { text, pos }))
+        }
+    }
+
+    /// Drain the lexer into a vector of tokens.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = lex("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: false, .. } if name == "a"));
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "hi"));
+        assert!(matches!(&toks[2], Token::EndTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let toks = lex(r#"<car color="red" make='honda'/>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, self_closing, .. } => {
+                assert_eq!(name, "car");
+                assert!(*self_closing);
+                assert_eq!(attrs[0], ("color".to_string(), "red".to_string()));
+                assert_eq!(attrs[1], ("make".to_string(), "honda".to_string()));
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = lex(r#"<a t="x&amp;y">1 &lt; 2</a>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "x&y"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "1 < 2"));
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let toks = lex("<a><![CDATA[<raw> & stuff]]></a>");
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "<raw> & stuff"));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let toks = lex("<?xml version=\"1.0\"?><!-- note --><a/>");
+        assert!(matches!(&toks[0], Token::Pi { target, .. } if target == "xml"));
+        assert!(matches!(&toks[1], Token::Comment { text, .. } if text == " note "));
+        assert!(matches!(&toks[2], Token::StartTag { .. }));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let toks = lex("<!DOCTYPE html [<!ENTITY x \"y\">]><a/>");
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Lexer::new(r#"<a x="1" x="2"/>"#).tokenize().unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn unterminated_comment_is_eof_error() {
+        let err = Lexer::new("<!-- oops").tokenize().unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { context: "comment", .. }));
+    }
+
+    #[test]
+    fn bad_name_start_rejected() {
+        let err = Lexer::new("<1tag/>").tokenize().unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("<a>\n  <b/>\n</a>");
+        let bpos = toks[2].pos();
+        assert_eq!(bpos.line, 2);
+        assert_eq!(bpos.col, 3);
+    }
+
+    #[test]
+    fn names_with_digits_dots_dashes() {
+        let toks = lex("<ns:item-2.x/>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "ns:item-2.x"));
+    }
+}

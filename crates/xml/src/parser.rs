@@ -1,0 +1,241 @@
+//! Tree construction: token stream → [`Document`] with region labels.
+
+use crate::error::{Pos, Result, XmlError};
+use crate::lexer::{Lexer, Token};
+use crate::tree::{Document, Node, NodeId, NodeKind, SymbolTable};
+
+/// Parse `input` into a document, interning names into `symbols`.
+///
+/// Whitespace-only text between elements is dropped (the paper's data model
+/// has no mixed-content semantics that depend on it); other text is kept
+/// verbatim. Comments are kept so serialization round-trips.
+pub fn parse_with(input: &str, symbols: &mut SymbolTable) -> Result<Document> {
+    Builder::new(symbols).run(input, /* keep_comments = */ true)
+}
+
+/// Like [`parse_with`], but drops comments — the right choice when parsing
+/// generated corpora for indexing.
+pub fn parse_content(input: &str, symbols: &mut SymbolTable) -> Result<Document> {
+    Builder::new(symbols).run(input, false)
+}
+
+struct Builder<'s> {
+    symbols: &'s mut SymbolTable,
+    nodes: Vec<Node>,
+    /// Stack of open element node ids.
+    open: Vec<NodeId>,
+    /// Region label counter.
+    counter: u32,
+    root: Option<NodeId>,
+}
+
+impl<'s> Builder<'s> {
+    fn new(symbols: &'s mut SymbolTable) -> Self {
+        Builder { symbols, nodes: Vec::new(), open: Vec::new(), counter: 0, root: None }
+    }
+
+    fn push_node(&mut self, kind: NodeKind, start: u32, end: u32) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let parent = self.open.last().copied();
+        let level = parent.map(|p| self.nodes[p.0 as usize].level + 1).unwrap_or(1);
+        self.nodes.push(Node { kind, parent, children: Vec::new(), start, end, level });
+        if let Some(p) = parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        id
+    }
+
+    fn next_label(&mut self) -> u32 {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn open_element(&mut self, name: &str, attrs: Vec<(String, String)>, pos: Pos) -> Result<NodeId> {
+        if self.open.is_empty() && self.root.is_some() {
+            return Err(XmlError::MultipleRoots { pos });
+        }
+        let tag = self.symbols.intern(name);
+        let attrs: Box<[_]> = attrs
+            .into_iter()
+            .map(|(n, v)| (self.symbols.intern(&n), v))
+            .collect();
+        let start = self.next_label();
+        let id = self.push_node(NodeKind::Element { tag, attrs }, start, 0);
+        if self.open.is_empty() {
+            self.root = Some(id);
+        }
+        self.open.push(id);
+        Ok(id)
+    }
+
+    fn close_element(&mut self, id: NodeId) {
+        let end = self.next_label();
+        self.nodes[id.0 as usize].end = end;
+        let popped = self.open.pop();
+        debug_assert_eq!(popped, Some(id));
+    }
+
+    fn run(mut self, input: &str, keep_comments: bool) -> Result<Document> {
+        let mut lexer = Lexer::new(input);
+        let mut last_pos = Pos::start();
+        while let Some(tok) = lexer.next_token()? {
+            last_pos = tok.pos();
+            match tok {
+                Token::StartTag { name, attrs, self_closing, pos } => {
+                    let id = self.open_element(&name, attrs, pos)?;
+                    if self_closing {
+                        self.close_element(id);
+                    }
+                }
+                Token::EndTag { name, pos } => {
+                    let Some(&top) = self.open.last() else {
+                        return Err(XmlError::UnmatchedClose { pos, tag: name });
+                    };
+                    let top_tag = self.nodes[top.0 as usize]
+                        .tag()
+                        .expect("open stack holds elements only");
+                    let expected = self.symbols.name(top_tag);
+                    if expected != name {
+                        return Err(XmlError::MismatchedTag {
+                            pos,
+                            expected: expected.to_string(),
+                            found: name,
+                        });
+                    }
+                    self.close_element(top);
+                }
+                Token::Text { text, pos } => {
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    if self.open.is_empty() {
+                        return Err(XmlError::NoRootElement { pos });
+                    }
+                    let label = self.next_label();
+                    self.push_node(NodeKind::Text(text), label, label);
+                }
+                Token::Comment { text, .. } => {
+                    if keep_comments && !self.open.is_empty() {
+                        let label = self.next_label();
+                        self.push_node(NodeKind::Comment(text), label, label);
+                    }
+                }
+                Token::Pi { .. } => {
+                    // Processing instructions (incl. the XML declaration) are
+                    // irrelevant to search; skip them.
+                }
+            }
+        }
+        if let Some(&top) = self.open.last() {
+            let tag = self.nodes[top.0 as usize].tag().expect("element");
+            return Err(XmlError::UnclosedTag {
+                pos: last_pos,
+                tag: self.symbols.name(tag).to_string(),
+            });
+        }
+        match self.root {
+            Some(root) => Ok(Document::from_arena(self.nodes, root)),
+            None => Err(XmlError::NoRootElement { pos: last_pos }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Document, SymbolTable) {
+        let mut st = SymbolTable::new();
+        let d = parse_with(s, &mut st).unwrap();
+        (d, st)
+    }
+
+    #[test]
+    fn builds_nested_structure() {
+        let (doc, st) = parse("<dealer><car><price>500</price></car></dealer>");
+        let root = doc.root();
+        assert_eq!(st.name(doc.node(root).tag().unwrap()), "dealer");
+        let car = doc.node(root).children[0];
+        let price = doc.node(car).children[0];
+        assert_eq!(doc.text_content(price), "500");
+        assert_eq!(doc.node(price).level, 3);
+    }
+
+    #[test]
+    fn self_closing_elements_close_immediately() {
+        let (doc, _) = parse("<a><b/><c/></a>");
+        let a = doc.node(doc.root());
+        assert_eq!(a.children.len(), 2);
+        let b = doc.node(a.children[0]);
+        assert!(b.start < b.end);
+        assert!(b.end < doc.node(a.children[1]).start);
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped() {
+        let (doc, _) = parse("<a>\n  <b/>\n  <c/>\n</a>");
+        assert_eq!(doc.node(doc.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let mut st = SymbolTable::new();
+        let err = parse_with("<a><b></a></b>", &mut st).unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unmatched_close_error() {
+        let mut st = SymbolTable::new();
+        let err = parse_with("</a>", &mut st).unwrap_err();
+        assert!(matches!(err, XmlError::UnmatchedClose { .. }));
+    }
+
+    #[test]
+    fn unclosed_tag_error() {
+        let mut st = SymbolTable::new();
+        let err = parse_with("<a><b>", &mut st).unwrap_err();
+        assert!(matches!(err, XmlError::UnclosedTag { .. }));
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        let mut st = SymbolTable::new();
+        let err = parse_with("<a/><b/>", &mut st).unwrap_err();
+        assert!(matches!(err, XmlError::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn empty_input_error() {
+        let mut st = SymbolTable::new();
+        let err = parse_with("   ", &mut st).unwrap_err();
+        assert!(matches!(err, XmlError::NoRootElement { .. }));
+    }
+
+    #[test]
+    fn comments_kept_or_dropped_by_mode() {
+        let mut st = SymbolTable::new();
+        let with = parse_with("<a><!-- hi --><b/></a>", &mut st).unwrap();
+        assert_eq!(with.node(with.root()).children.len(), 2);
+        let without = parse_content("<a><!-- hi --><b/></a>", &mut st).unwrap();
+        assert_eq!(without.node(without.root()).children.len(), 1);
+    }
+
+    #[test]
+    fn region_labels_strictly_increase_in_document_order() {
+        let (doc, _) = parse("<a><b>x</b><c><d/>y</c></a>");
+        let mut last = 0;
+        for id in doc.node_ids() {
+            let n = doc.node(id);
+            assert!(n.start > last, "start labels must increase in arena order");
+            last = n.start;
+            assert!(n.start <= n.end);
+        }
+    }
+
+    #[test]
+    fn xml_declaration_is_ignored() {
+        let (doc, _) = parse("<?xml version=\"1.0\" encoding=\"utf-8\"?><a/>");
+        assert_eq!(doc.len(), 1);
+    }
+}

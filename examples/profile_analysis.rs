@@ -1,0 +1,87 @@
+//! Static analysis showcase (paper §5): detecting and resolving
+//! conflicting scoping rules and ambiguous ordering rules.
+//!
+//! Run with: `cargo run --example profile_analysis`
+
+use pimento::profile::{
+    analyze_conflicts, detect_ambiguity, detect_ambiguity_with_priorities, Atom, PrefRel,
+    ScopingRule, ValueOrderingRule,
+};
+use pimento::tpq::parse_tpq;
+
+fn main() {
+    conflict_demo();
+    ambiguity_demo();
+    prefrel_demo();
+}
+
+/// §5.1: ρ1 and ρ3 conflict with each other on the running example — a
+/// cycle only priorities can break.
+fn conflict_demo() {
+    println!("=== scoping-rule conflicts (paper §5.1) ===");
+    let query = parse_tpq(
+        r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+    )
+    .unwrap();
+    let rho1 = ScopingRule::delete(
+        "rho1",
+        vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+        vec![Atom::ft("description", "good condition")],
+    );
+    let rho3 = ScopingRule::delete(
+        "rho3",
+        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![Atom::ft("description", "low mileage")],
+    );
+
+    match analyze_conflicts(&[rho1.clone(), rho3.clone()], &query) {
+        Ok(_) => unreachable!("rho1/rho3 form a conflict cycle"),
+        Err(e) => println!("without priorities: {e}"),
+    }
+    let fixed = [rho1.with_priority(2), rho3.with_priority(1)];
+    let analysis = analyze_conflicts(&fixed, &query).expect("priorities break the cycle");
+    println!(
+        "with priorities: resolution {:?}, application order {:?}\n",
+        analysis.resolution,
+        analysis.order.iter().map(|&i| fixed[i].id.clone()).collect::<Vec<_>>()
+    );
+}
+
+/// §5.2: π1 (prefer red) and π2 (prefer lower mileage) are ambiguous —
+/// the constraint graph has an alternating cycle.
+fn ambiguity_demo() {
+    println!("=== ordering-rule ambiguity (paper §5.2) ===");
+    let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+    let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+    let report = detect_ambiguity(&[pi1.clone(), pi2.clone()]);
+    println!("pi1 + pi2 ambiguous: {}", report.is_ambiguous());
+    for c in &report.cycles {
+        println!("  alternating cycle through: {:?}", c.rule_ids);
+    }
+    // The paper's fix: priority 1 to π2, priority 2 to π1 — "low mileage
+    // cars preferred; all else equal, red preferred".
+    let fixed = [pi1.with_priority(2), pi2.with_priority(1)];
+    println!(
+        "after priorities: ambiguous = {}",
+        detect_ambiguity_with_priorities(&fixed).is_ambiguous()
+    );
+    // Duplicated rules are NOT ambiguous (no database can realize the
+    // alternating cycle).
+    let dup = [
+        ValueOrderingRule::prefer_smaller("a", "car", "mileage"),
+        ValueOrderingRule::prefer_smaller("b", "car", "mileage"),
+    ];
+    println!("two identical mileage rules ambiguous: {}\n", detect_ambiguity(&dup).is_ambiguous());
+}
+
+/// §3.2 form (3): a user-defined partial order on colors.
+fn prefrel_demo() {
+    println!("=== partial-order preferences (paper §3.2, form 3) ===");
+    let order = PrefRel::new([("red", "black"), ("black", "silver"), ("red", "white")]).unwrap();
+    println!("red over silver (transitive): {}", order.prefers("red", "silver"));
+    println!("white vs silver incomparable: {}", order.incomparable("white", "silver"));
+    match PrefRel::new([("a", "b"), ("b", "a")]) {
+        Err(e) => println!("cyclic preference rejected: {e}"),
+        Ok(_) => unreachable!(),
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Loads the car-sale database of Fig. 1, configures the Fig. 2 profile
+//! (scoping rules ρ2/ρ3, value ordering rule π1, keyword ordering rules
+//! π4/π5), and runs the query
+//! `//car[description about "good condition"/"low mileage" and price < 2000]`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pimento::profile::{
+    Atom, KeywordOrderingRule, ScopingRule, UserProfile, ValueOrderingRule,
+};
+use pimento::{Engine, SearchOptions};
+use pimento_datagen::carsale;
+
+fn main() {
+    // A small dealer corpus: the paper's Fig. 1 document plus 30 random
+    // listings for contrast.
+    let engine = Engine::from_xml_docs(&[
+        carsale::paper_figure1().to_string(),
+        carsale::generate_dealer(7, 30),
+    ])
+    .expect("documents parse");
+
+    let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#;
+
+    // The Fig. 2 profile.
+    let profile = UserProfile::new()
+        // ρ2: if the query asks for good-condition cars, also reward
+        // "american" descriptions.
+        .with_scoping(ScopingRule::add(
+            "rho2",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "american")],
+        ))
+        // ρ3: drop the hard "low mileage" requirement (it becomes an
+        // optional score contributor).
+        .with_scoping(ScopingRule::delete(
+            "rho3",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "low mileage")],
+        ))
+        // π1: prefer red cars.
+        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+        // π4/π5: among all cars, prefer "best bid" offers and NYC listings.
+        .with_kor(KeywordOrderingRule::new("pi4", "car", "best bid"))
+        .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
+
+    // Static analysis first: what will the profile do to this query?
+    let report = pimento::analyze(query, &profile).expect("query parses");
+    println!("=== static analysis ===\n{}", report.text);
+
+    // Baseline: the raw query.
+    let plain = engine
+        .search(query, &UserProfile::new(), &SearchOptions::top(5))
+        .expect("search runs");
+    println!("=== without profile: {} answer(s) ===", plain.hits.len());
+    for h in &plain.hits {
+        println!("  #{} S={:.3} {}", h.rank, h.s, h.text);
+    }
+
+    // Personalized search.
+    let res = engine.search(query, &profile, &SearchOptions::top(5)).expect("search runs");
+    println!("\n=== with profile: {} answer(s) ===", res.hits.len());
+    println!("applied scoping rules: {:?}; flock of {}", res.applied_rules, res.flock_size);
+    for h in &res.hits {
+        println!("  #{} K={:.1} S={:.3} {}", h.rank, h.k, h.s, h.text);
+    }
+    println!("\nplan: {}", res.explain);
+    println!(
+        "stats: {} base answers, {} pruned, {} keyword probes",
+        res.stats.base_answers, res.stats.pruned, res.stats.ft_probes
+    );
+}

@@ -1,0 +1,78 @@
+//! The rule language, thesaurus expansion, and collection snapshots — the
+//! "power user" surface of the library.
+//!
+//! Run with: `cargo run --example rule_language`
+
+use pimento::profile::{parse_profile, PrefRel, PrefRelRegistry, Thesaurus, UserProfile};
+use pimento::tpq::parse_tpq;
+use pimento::{Engine, SearchOptions};
+use pimento_datagen::carsale;
+
+const PROFILE_TEXT: &str = r#"
+# The paper's Fig. 2 profile, written in its own rule language.
+rho2: if pc(car, description) & ftcontains(description, "good condition") then add ftcontains(description, "american")
+rho3: if pc(car, description) & ftcontains(description, "good condition") then remove ftcontains(description, "low mileage")
+
+# pi2 before pi1 (priorities resolve the paper's S5.2 ambiguity).
+pi1: x.tag = car & y.tag = car & colors(x.color, y.color) -> x < y {priority 2}
+pi2: x.tag = car & y.tag = car & x.mileage < y.mileage -> x < y {priority 1}
+
+pi4: x.tag = car & y.tag = car & ftcontains(x, "best bid") -> x < y {weight 2}
+pi5: x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y
+"#;
+
+fn main() {
+    // Named preference relations referenced by the rules.
+    let mut registry = PrefRelRegistry::new();
+    registry.insert(
+        "colors".to_string(),
+        PrefRel::chain(&["red", "black", "silver", "white", "blue", "green"]),
+    );
+    let mut profile: UserProfile =
+        parse_profile(PROFILE_TEXT, &registry).expect("profile parses");
+    println!(
+        "parsed profile: {} scoping rules, {} VORs, {} KORs",
+        profile.scoping.len(),
+        profile.vors.len(),
+        profile.kors.len()
+    );
+    println!("ambiguous after priorities: {}\n", profile.check_ambiguity().is_ambiguous());
+
+    let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2500]"#;
+
+    // Thesaurus expansion adds synonym rules on top.
+    let mut thesaurus = Thesaurus::new();
+    thesaurus.add("good condition", &["well maintained"]);
+    for rule in thesaurus.expansion_rules(&parse_tpq(query).unwrap()) {
+        println!("thesaurus generated: {} (weight {})", rule.id, rule.weight);
+        profile = profile.with_scoping(rule);
+    }
+
+    // Build once, snapshot, reload — the reloaded engine answers
+    // identically without re-parsing the XML.
+    let engine = Engine::from_xml_docs_parallel(
+        &(0..6).map(|i| carsale::generate_dealer(i, 40)).collect::<Vec<_>>(),
+        4,
+    )
+    .expect("corpus parses");
+    let snapshot = engine.save_snapshot();
+    println!("\nsnapshot: {} KiB", snapshot.len() / 1024);
+    let engine = Engine::from_snapshot(&snapshot).expect("snapshot loads");
+
+    let res = engine.search(query, &profile, &SearchOptions::top(5)).expect("search runs");
+    println!(
+        "applied rules: {:?} (flock of {})\n",
+        res.applied_rules, res.flock_size
+    );
+    for h in &res.hits {
+        println!(
+            "#{} K={:<4.1} S={:.3} kors={:?} optional={:?}\n   {}",
+            h.rank,
+            h.k,
+            h.s,
+            h.satisfied_kors,
+            h.satisfied_optional,
+            &h.text[..h.text.len().min(90)]
+        );
+    }
+}

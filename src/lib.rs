@@ -1,0 +1,9 @@
+//! Umbrella crate for the PIMENTO workspace: hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! The library surface lives in the [`pimento`] facade crate; this crate
+//! only re-exports it so the examples and tests have a single import root.
+
+#![warn(missing_docs)]
+
+pub use pimento;

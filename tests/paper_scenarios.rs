@@ -1,0 +1,299 @@
+//! The concrete scenarios of the paper, end to end: Fig. 2's rules and
+//! conflicts, §5.2's ambiguity example, the Fig. 5 XMark workload, and the
+//! §6 plan-equivalence guarantee.
+
+use pimento::profile::{
+    analyze_conflicts, detect_ambiguity, detect_ambiguity_with_priorities, personalize, Atom,
+    KeywordOrderingRule, ScopingRule, UserProfile, ValueOrderingRule,
+};
+use pimento::tpq::parse_tpq;
+use pimento::{Engine, PlanStrategy, SearchOptions};
+use pimento_datagen::{paper_figure1, xmark};
+
+/// The paper's query Q (introduction / Fig. 2).
+fn query_q() -> pimento::tpq::Tpq {
+    parse_tpq(
+        r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+    )
+    .unwrap()
+}
+
+fn rho1() -> ScopingRule {
+    ScopingRule::delete(
+        "rho1",
+        vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+        vec![Atom::ft("description", "good condition")],
+    )
+}
+
+fn rho2() -> ScopingRule {
+    ScopingRule::add(
+        "rho2",
+        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![Atom::ft("description", "american")],
+    )
+}
+
+fn rho3() -> ScopingRule {
+    ScopingRule::delete(
+        "rho3",
+        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![Atom::ft("description", "low mileage")],
+    )
+}
+
+#[test]
+fn section_5_1_rho1_conflicts_with_rho2() {
+    // "Applying ρ2 first will add ftcontains(description, american).
+    //  Applying ρ1 to the result removes ftcontains(description, good
+    //  condition). However, applying ρ1 first renders ρ2 inapplicable."
+    let q = query_q();
+    let analysis = analyze_conflicts(&[rho1(), rho2()], &q).unwrap();
+    assert_eq!(analysis.arcs, vec![(0, 1)], "ρ1 conflicts with ρ2");
+    // The resolved order applies ρ2 before ρ1, so both take effect.
+    let pq = personalize(&q, &[rho1(), rho2()]).unwrap();
+    assert_eq!(pq.flock.applied_rules, vec!["rho2", "rho1"]);
+    assert_eq!(pq.flock.members.len(), 3);
+}
+
+#[test]
+fn section_5_1_rho1_rho3_cycle_needs_priorities() {
+    // "ρ1 and ρ3 conflict with each other" — a conflict-graph cycle.
+    let q = query_q();
+    let err = analyze_conflicts(&[rho1(), rho3()], &q).unwrap_err();
+    assert_eq!(err.cycle.len(), 2);
+    let ok = analyze_conflicts(&[rho1().with_priority(1), rho3().with_priority(2)], &q).unwrap();
+    assert_eq!(ok.order, vec![0, 1]);
+}
+
+#[test]
+fn section_5_2_pi1_pi2_alternating_cycle() {
+    // "the rules {π1, π2} form an ambiguous set" — and the paper's fix:
+    // "priority 1 to π2 and 2 to π1".
+    let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
+    let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
+    assert!(detect_ambiguity(&[pi1.clone(), pi2.clone()]).is_ambiguous());
+    let fixed = [pi1.with_priority(2), pi2.with_priority(1)];
+    assert!(!detect_ambiguity_with_priorities(&fixed).is_ambiguous());
+}
+
+#[test]
+fn section_3_2_pi3_same_make_comparison() {
+    // π3: between cars of the same make, higher horsepower preferred.
+    let e = Engine::from_xml_docs(&[r#"<dealer>
+        <car><make>Honda</make><hp>200</hp><price>1</price></car>
+        <car><make>Honda</make><hp>120</hp><price>2</price></car>
+        <car><make>Mustang</make><hp>500</hp><price>3</price></car>
+    </dealer>"#])
+    .unwrap();
+    let profile = UserProfile::new().with_vor(
+        ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"),
+    );
+    let res = e.search("//car", &profile, &SearchOptions::top(3)).unwrap();
+    // The 200hp Honda must precede the 120hp Honda; the Mustang is
+    // incomparable to both (different make) and falls to the same top
+    // layer, ordered among them by S/tiebreak.
+    let hondas: Vec<usize> = res
+        .hits
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.xml.contains("Honda"))
+        .map(|(i, _)| i)
+        .collect();
+    let strong = res.hits.iter().position(|h| h.xml.contains("200")).unwrap();
+    let weak = res.hits.iter().position(|h| h.xml.contains("120")).unwrap();
+    assert!(strong < weak, "same-make dominance must order the Hondas");
+    assert_eq!(hondas.len(), 2);
+}
+
+#[test]
+fn fig5_workload_on_xmark_all_plans_agree() {
+    let xml = xmark::generate(77, 200 * 1024);
+    let e = Engine::from_xml_docs(&[&xml]).unwrap();
+    let mut profile = UserProfile::new()
+        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"));
+    for (id, kw, w) in [
+        ("pi1", "male", 0.7),
+        ("pi2", "United States", 2.3),
+        ("pi3", "College", 1.4),
+        ("pi4", "Phoenix", 2.3),
+    ] {
+        profile = profile.with_kor(KeywordOrderingRule::weighted(id, "person", kw, w));
+    }
+    let query = r#"//person[ftcontains(.//business, "Yes")]"#;
+    let mut reference: Option<Vec<_>> = None;
+    for strategy in PlanStrategy::all() {
+        let res =
+            e.search(query, &profile, &SearchOptions::top(10).with_strategy(strategy)).unwrap();
+        assert_eq!(res.hits.len(), 10);
+        // Top answers satisfy as many KORs as possible.
+        assert!(res.hits[0].k >= res.hits[9].k);
+        let key: Vec<_> = res.hits.iter().map(|h| h.elem).collect();
+        match &reference {
+            Some(r) => assert_eq!(&key, r, "{} differs", strategy.paper_name()),
+            None => reference = Some(key),
+        }
+    }
+}
+
+#[test]
+fn fig5_vor_pi5_prefers_age_33() {
+    let xml = xmark::generate(31, 150 * 1024);
+    let e = Engine::from_xml_docs(&[&xml]).unwrap();
+    let profile = UserProfile::new()
+        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"));
+    let res = e.search("//person", &profile, &SearchOptions::top(5)).unwrap();
+    // If any 33-year-old exists, the top hit must be one.
+    let any33 = e
+        .search("//person[.//age = 33]", &UserProfile::new(), &SearchOptions::top(1))
+        .unwrap();
+    if !any33.hits.is_empty() {
+        assert!(
+            res.hits[0].xml.contains("<age>33</age>"),
+            "top answer must be age 33: {}",
+            res.hits[0].xml
+        );
+    }
+}
+
+#[test]
+fn flock_encoding_matches_section_6_2() {
+    // Plan 1 in Fig. 4 makes "american" and "low mileage" optional while
+    // keeping "good condition" required.
+    let q = query_q();
+    let pq = personalize(&q, &[rho2(), rho3()]).unwrap();
+    assert_eq!(pq.optional_keyword_count(), 2);
+    let d = pq.tpq.find_by_tag("description").unwrap();
+    let good_idx = pq
+        .tpq
+        .node(d)
+        .predicates
+        .iter()
+        .position(|p| matches!(p, pimento::tpq::Predicate::FtContains { phrase } if phrase == "good condition"))
+        .unwrap();
+    assert!(!pq.pred_is_optional(d, good_idx));
+}
+
+#[test]
+fn inex_topic_documents_drive_personalization_end_to_end() {
+    // §7.1's pipeline, from the topic *document*: parse the NEXI title as
+    // the query, derive KORs from the narrative's quoted phrases, search.
+    use pimento_datagen::inex;
+    let corpus = inex::generate(2024);
+    let engine = Engine::from_xml_docs(&corpus.xml_docs).unwrap();
+    let topic = &corpus.topics[1]; // 131, data mining on abs
+    let parsed = inex::topic_from_xml(&inex::topic_to_xml(topic)).unwrap();
+    assert_eq!(parsed.id, 131);
+    let mut profile = UserProfile::new();
+    for (i, phrase) in parsed.narrative_phrases.iter().enumerate() {
+        profile = profile.with_kor(KeywordOrderingRule::new(
+            &format!("narrative-{i}"),
+            "abs",
+            phrase,
+        ));
+    }
+    // Relax the title phrase so narrative-only components can surface.
+    profile = profile.with_scoping(pimento::profile::ScopingRule::delete(
+        "relax",
+        vec![Atom::ft("abs", topic.query_phrase)],
+        vec![Atom::ft("abs", topic.query_phrase)],
+    ));
+    let res = engine.search(&parsed.title, &profile, &SearchOptions::top(5)).unwrap();
+    assert!(!res.hits.is_empty());
+    // At least one hit satisfies a narrative KOR (the ranking worked).
+    assert!(res.hits.iter().any(|h| !h.satisfied_kors.is_empty()));
+}
+
+#[test]
+fn analyze_report_covers_relaxation_and_ftall() {
+    let profile = UserProfile::new().with_scoping(ScopingRule::relax_edge(
+        "rel",
+        vec![Atom::pc("dealer", "car")],
+        "dealer",
+        "car",
+    ));
+    let report = pimento::analyze(
+        r#"/dealer/car[ftall(., "good", "cheap" window 4)]"#,
+        &profile,
+    )
+    .unwrap();
+    assert!(report.text.contains("applied: [rel]"), "{}", report.text);
+    // The flock's second member shows the relaxed (//) edge.
+    assert!(report.text.contains("Q1"), "{}", report.text);
+    assert!(report.text.contains("ftall"), "{}", report.text);
+    assert!(!report.ambiguous);
+}
+
+#[test]
+fn relax_rule_widens_results_end_to_end() {
+    let e = Engine::from_xml_docs(&[r#"<site>
+        <dealer><car><price>100</price></car></dealer>
+        <dealer><lot><car><price>200</price></car></lot></dealer>
+    </site>"#])
+    .unwrap();
+    let strict = e
+        .search("//dealer/car", &UserProfile::new(), &SearchOptions::top(10))
+        .unwrap();
+    assert_eq!(strict.hits.len(), 1, "only the direct child matches pc");
+    let relaxing = UserProfile::new().with_scoping(ScopingRule::relax_edge(
+        "rel",
+        vec![],
+        "dealer",
+        "car",
+    ));
+    let relaxed = e.search("//dealer/car", &relaxing, &SearchOptions::top(10)).unwrap();
+    assert_eq!(relaxed.hits.len(), 2, "ad edge reaches the nested car");
+    assert_eq!(relaxed.applied_rules, vec!["rel"]);
+}
+
+#[test]
+fn vks_rank_order_via_fig5_vor() {
+    // π5 with V,K,S precedence: age-33 persons outrank higher-K persons.
+    let e = Engine::from_xml_docs(&[r#"<people>
+        <person><age>33</age><profile>female</profile></person>
+        <person><age>40</age><profile>male United States College Phoenix</profile></person>
+    </people>"#])
+    .unwrap();
+    let mut profile = UserProfile::new()
+        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"))
+        .with_rank_order(pimento::profile::RankOrder::Vks);
+    for kw in ["male", "United States", "College", "Phoenix"] {
+        profile = profile.with_kor(KeywordOrderingRule::new(kw, "person", kw));
+    }
+    let res = e.search("//person", &profile, &SearchOptions::top(2)).unwrap();
+    assert!(res.hits[0].xml.contains("<age>33</age>"), "V beats K under V,K,S");
+    assert!(res.hits[1].k >= 4.0 - 1e-9);
+    // Under K,V,S the 4-KOR person wins instead.
+    let kvs = profile.with_rank_order(pimento::profile::RankOrder::Kvs);
+    let res2 = e.search("//person", &kvs, &SearchOptions::top(2)).unwrap();
+    assert!(res2.hits[0].xml.contains("<age>40</age>"));
+}
+
+#[test]
+fn full_fig2_rules_file_resolves_conflicts_as_the_paper_describes() {
+    // The shipped fig2.rules contains all three scoping rules, including
+    // the ρ1↔ρ3 conflict cycle broken by priorities (ρ3 first). Expected
+    // resolution: ρ2 applies (topological prefix), ρ3 applies, and ρ1 is
+    // skipped because ρ3 consumed its "low mileage" condition.
+    use pimento::profile::{parse_profile, PrefRelRegistry};
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/profiles/fig2.rules"
+    ))
+    .unwrap();
+    let profile = parse_profile(&text, &PrefRelRegistry::new()).unwrap();
+    let e = Engine::from_xml_docs(&[paper_figure1()]).unwrap();
+    let res = e
+        .search(
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+            &profile,
+            &SearchOptions::top(3),
+        )
+        .unwrap();
+    assert_eq!(res.applied_rules, vec!["rho2", "rho3"]);
+    assert_eq!(res.skipped_rules, vec!["rho1"]);
+    // All three Fig. 1 cars are under $2000 with "good condition" only on
+    // two of them; the flock widened the result beyond the strict query.
+    assert!(!res.hits.is_empty());
+    assert_eq!(res.flock_size, 3);
+}

@@ -1,0 +1,115 @@
+//! Property-based soundness: on randomized dealer corpora and randomized
+//! profiles, every plan strategy must return exactly the answers of the
+//! pruning-free NaiveTopkPrune plan (which materializes everything, sorts,
+//! and cuts at k).
+
+use pimento::profile::{
+    Atom, KeywordOrderingRule, PrefRel, RankOrder, ScopingRule, UserProfile, ValueOrderingRule,
+};
+use pimento::{Engine, PlanStrategy, SearchOptions};
+use pimento_datagen::carsale;
+use proptest::prelude::*;
+
+/// Build a profile from a compact recipe.
+fn profile_from(recipe: &ProfileRecipe) -> UserProfile {
+    let mut p = UserProfile::new().with_rank_order(if recipe.vks {
+        RankOrder::Vks
+    } else {
+        RankOrder::Kvs
+    });
+    let kor_pool: [(&str, f64); 4] =
+        [("NYC", 1.0), ("best bid", 2.0), ("american", 0.5), ("low mileage", 1.5)];
+    for &i in &recipe.kors {
+        let (kw, w) = kor_pool[i % kor_pool.len()];
+        p = p.with_kor(KeywordOrderingRule::weighted(&format!("k{i}"), "car", kw, w));
+    }
+    if recipe.vor_red {
+        p = p.with_vor(ValueOrderingRule::prefer_value("red", "car", "color", "red").with_priority(0));
+    }
+    if recipe.vor_mileage {
+        p = p.with_vor(ValueOrderingRule::prefer_smaller("m", "car", "mileage").with_priority(1));
+    }
+    if recipe.vor_colors {
+        let order = PrefRel::chain(&["red", "black", "silver"]);
+        p = p.with_vor(ValueOrderingRule::prefer_order("c", "car", "color", order).with_priority(2));
+    }
+    if recipe.sr_relax {
+        p = p.with_scoping(ScopingRule::delete(
+            "relax",
+            vec![Atom::ft("car", "good condition")],
+            vec![Atom::ft("car", "good condition")],
+        ));
+    }
+    if recipe.sr_add {
+        p = p.with_scoping(ScopingRule::add(
+            "addloc",
+            vec![],
+            vec![Atom::ft("car", "NYC")],
+        ));
+    }
+    p
+}
+
+#[derive(Debug, Clone)]
+struct ProfileRecipe {
+    kors: Vec<usize>,
+    vor_red: bool,
+    vor_mileage: bool,
+    vor_colors: bool,
+    sr_relax: bool,
+    sr_add: bool,
+    vks: bool,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = ProfileRecipe> {
+    (
+        proptest::collection::vec(0usize..4, 0..4),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(kors, vor_red, vor_mileage, vor_colors, sr_relax, sr_add, vks)| ProfileRecipe {
+            kors,
+            vor_red,
+            vor_mileage,
+            vor_colors,
+            sr_relax,
+            sr_add,
+            vks,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_strategies_equal_naive(
+        seed in 0u64..1000,
+        n_cars in 5usize..60,
+        k in 1usize..12,
+        recipe in recipe_strategy(),
+    ) {
+        let xml = carsale::generate_dealer(seed, n_cars);
+        let engine = Engine::from_xml_docs(&[&xml]).unwrap();
+        let profile = profile_from(&recipe);
+        let query = r#"//car[ftcontains(., "good condition") and ./price < 4000]"#;
+        let naive = engine
+            .search(query, &profile, &SearchOptions::top(k).with_strategy(PlanStrategy::Naive))
+            .unwrap();
+        let reference: Vec<_> = naive.hits.iter().map(|h| h.elem).collect();
+        for strategy in [
+            PlanStrategy::InterleaveUnsorted,
+            PlanStrategy::InterleaveSorted,
+            PlanStrategy::Push,
+        ] {
+            let res = engine
+                .search(query, &profile, &SearchOptions::top(k).with_strategy(strategy))
+                .unwrap();
+            let got: Vec<_> = res.hits.iter().map(|h| h.elem).collect();
+            prop_assert_eq!(&got, &reference, "{} diverged from Naive", strategy.paper_name());
+        }
+    }
+}

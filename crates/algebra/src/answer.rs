@@ -5,7 +5,7 @@
 use pimento_index::ElemEntry;
 use pimento_profile::AttrValue;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// VOR-relevant attribute values of an answer, fetched once by the `vor`
 /// operator and shared (answers are cloned into top-k lists).
@@ -36,7 +36,7 @@ pub struct Answer {
     /// rules.
     pub k: f64,
     /// VOR attribute values; `None` until the `vor` operator has run.
-    pub vor: Option<Rc<VorKey>>,
+    pub vor: Option<Arc<VorKey>>,
 }
 
 impl Answer {

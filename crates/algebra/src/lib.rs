@@ -12,13 +12,13 @@
 //! use pimento_index::Collection;
 //! use pimento_profile::{KeywordOrderingRule, PersonalizedQuery, RankOrder};
 //! use pimento_tpq::parse_tpq;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut coll = Collection::new();
 //! coll.add_xml("<cars><car><d>red NYC</d></car><car><d>blue</d></car></cars>").unwrap();
 //! let db = Database::index_plain(coll);
 //! let query = parse_tpq("//car").unwrap();
-//! let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(query)));
+//! let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(query)));
 //! let rank = RankContext::new(vec![], RankOrder::Kvs);
 //! let kors = vec![KeywordOrderingRule::new("nyc", "car", "NYC")];
 //! let plan = build_plan(&db, matcher, &kors, rank, PlanSpec::new(1, PlanStrategy::Push));
@@ -33,6 +33,7 @@ pub mod answer;
 pub mod context;
 pub mod eval;
 pub mod ops;
+pub mod par;
 pub mod plan;
 pub mod rank;
 pub mod structural;
@@ -43,7 +44,8 @@ pub use answer::{Answer, VorKey};
 pub use context::{Database, ExecStats};
 pub use eval::{compare_content, entry_of, Matcher, PreparedKind, PreparedPhrase};
 pub use structural::prefilter_candidates;
-pub use ops::{BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch};
+pub use ops::{gather_candidates, BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch};
+pub use par::{execute_parallel, execute_with_workers};
 pub use plan::{build_plan, choose_spec, EvalMode, KorOrder, Plan, PlanSpec, PlanStrategy};
 pub use rank::RankContext;
 pub use topk::{TopkConfig, TopkPrune};
@@ -66,7 +68,7 @@ mod oracle_tests {
     };
     use pimento_tpq::parse_tpq;
     use proptest::prelude::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "epsilon"];
     const COLORS: &[&str] = &["red", "blue", "green"];
@@ -127,7 +129,7 @@ mod oracle_tests {
                     );
                 }
             }
-            a.vor = Some(Rc::new(key));
+            a.vor = Some(Arc::new(key));
             answers.push(a);
         }
         let mut stats = Default::default();
@@ -155,7 +157,7 @@ mod oracle_tests {
             } else {
                 parse_tpq("//item").unwrap()
             };
-            let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(query)));
+            let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(query)));
             let kors: Vec<KeywordOrderingRule> = WORDS[..n_kors]
                 .iter()
                 .enumerate()
@@ -175,9 +177,9 @@ mod oracle_tests {
             for strategy in PlanStrategy::all() {
                 let plan = build_plan(
                     &db,
-                    Rc::clone(&matcher),
+                    Arc::clone(&matcher),
                     &kors,
-                    Rc::clone(&rank),
+                    Arc::clone(&rank),
                     PlanSpec::new(k, strategy),
                 );
                 let (out, _) = plan.execute(&db);
@@ -189,7 +191,7 @@ mod oracle_tests {
                 eval_mode: crate::plan::EvalMode::StructuralJoin,
                 ..PlanSpec::new(k, PlanStrategy::Push)
             };
-            let plan = build_plan(&db, Rc::clone(&matcher), &kors, Rc::clone(&rank), sj_spec);
+            let plan = build_plan(&db, Arc::clone(&matcher), &kors, Arc::clone(&rank), sj_spec);
             let (out, _) = plan.execute(&db);
             let got: Vec<(u32, u32)> = out.iter().map(|a| a.tiebreak()).collect();
             prop_assert_eq!(&got, &expect, "structural-join eval mode");

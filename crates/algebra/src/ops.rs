@@ -9,7 +9,7 @@ use crate::plan::EvalMode;
 use crate::rank::RankContext;
 use pimento_index::{field_value, ft_contains, ElemEntry, FieldValue};
 use pimento_profile::{AttrValue, KeywordOrderingRule};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A pull-based operator producing answers one at a time.
 pub trait Operator {
@@ -29,7 +29,7 @@ pub type BoxedOp = Box<dyn Operator>;
 /// node from the tag index and keep those matching the query's required
 /// part, with their base score `S`.
 pub struct QueryEval {
-    matcher: Rc<Matcher>,
+    matcher: Arc<Matcher>,
     mode: EvalMode,
     candidates: Vec<ElemEntry>,
     cursor: usize,
@@ -38,37 +38,55 @@ pub struct QueryEval {
 
 impl QueryEval {
     /// Create the scan for `matcher`'s query (per-candidate matching).
-    pub fn new(matcher: Rc<Matcher>) -> Self {
+    pub fn new(matcher: Arc<Matcher>) -> Self {
         Self::with_mode(matcher, EvalMode::IndexedNestedLoop)
     }
 
     /// Create the scan with an explicit evaluation mode.
-    pub fn with_mode(matcher: Rc<Matcher>, mode: EvalMode) -> Self {
+    pub fn with_mode(matcher: Arc<Matcher>, mode: EvalMode) -> Self {
         QueryEval { matcher, mode, candidates: Vec::new(), cursor: 0, initialized: false }
+    }
+
+    /// Scan over a precomputed candidate list (the sharded parallel path:
+    /// candidates are gathered once and split across workers).
+    pub fn over_candidates(matcher: Arc<Matcher>, candidates: Vec<ElemEntry>) -> Self {
+        QueryEval {
+            matcher,
+            mode: EvalMode::IndexedNestedLoop,
+            candidates,
+            cursor: 0,
+            initialized: true,
+        }
     }
 
     fn init(&mut self, db: &Database) {
         self.initialized = true;
-        self.candidates = match self.mode {
-            EvalMode::StructuralJoin => crate::structural::prefilter_candidates(db, &self.matcher),
-            EvalMode::IndexedNestedLoop => match self.matcher.distinguished_tag() {
-                Some(tag) => match db.coll.tag(tag) {
-                    Some(sym) => db.tags.elements(sym).to_vec(),
-                    None => Vec::new(),
-                },
-                // Star distinguished node: every element in the collection.
-                None => db
-                    .coll
-                    .iter()
-                    .flat_map(|(doc_id, doc)| {
-                        doc.node_ids()
-                            .filter(move |&n| doc.node(n).tag().is_some())
-                            .map(move |n| (doc_id, n))
-                    })
-                    .map(|(d, n)| entry_of(db, d, n))
-                    .collect(),
+        self.candidates = gather_candidates(db, &self.matcher, self.mode);
+    }
+}
+
+/// The candidate bindings of `matcher`'s distinguished node that
+/// [`QueryEval`] scans under `mode`, in document order.
+pub fn gather_candidates(db: &Database, matcher: &Matcher, mode: EvalMode) -> Vec<ElemEntry> {
+    match mode {
+        EvalMode::StructuralJoin => crate::structural::prefilter_candidates(db, matcher),
+        EvalMode::IndexedNestedLoop => match matcher.distinguished_tag() {
+            Some(tag) => match db.coll.tag(tag) {
+                Some(sym) => db.tags.elements(sym).to_vec(),
+                None => Vec::new(),
             },
-        };
+            // Star distinguished node: every element in the collection.
+            None => db
+                .coll
+                .iter()
+                .flat_map(|(doc_id, doc)| {
+                    doc.node_ids()
+                        .filter(move |&n| doc.node(n).tag().is_some())
+                        .map(move |n| (doc_id, n))
+                })
+                .map(|(d, n)| entry_of(db, d, n))
+                .collect(),
+        },
     }
 }
 
@@ -107,13 +125,13 @@ impl Operator for QueryEval {
 /// the paper's encoding of scoping rules in a single plan (§6.2).
 pub struct SrPredJoin {
     input: BoxedOp,
-    matcher: Rc<Matcher>,
+    matcher: Arc<Matcher>,
     phrase: PreparedPhrase,
 }
 
 impl SrPredJoin {
     /// Wrap `input` with the optional predicate `phrase`.
-    pub fn new(input: BoxedOp, matcher: Rc<Matcher>, phrase: PreparedPhrase) -> Self {
+    pub fn new(input: BoxedOp, matcher: Arc<Matcher>, phrase: PreparedPhrase) -> Self {
         SrPredJoin { input, matcher, phrase }
     }
 
@@ -224,7 +242,7 @@ impl Operator for VorFetch {
                 key.fields.insert(attr.clone(), v);
             }
         }
-        a.vor = Some(Rc::new(key));
+        a.vor = Some(Arc::new(key));
         Some(a)
     }
 
@@ -239,7 +257,7 @@ impl Operator for VorFetch {
 /// and emits it in the context's ranking order.
 pub struct Sort {
     input: BoxedOp,
-    rank: Rc<RankContext>,
+    rank: Arc<RankContext>,
     buffer: Vec<Answer>,
     cursor: usize,
     materialized: bool,
@@ -247,7 +265,7 @@ pub struct Sort {
 
 impl Sort {
     /// Sort `input` by `rank`'s order.
-    pub fn new(input: BoxedOp, rank: Rc<RankContext>) -> Self {
+    pub fn new(input: BoxedOp, rank: Arc<RankContext>) -> Self {
         Sort { input, rank, buffer: Vec::new(), cursor: 0, materialized: false }
     }
 }
@@ -292,7 +310,7 @@ mod tests {
     }
 
     fn scan(db: &Database, q: &str) -> BoxedOp {
-        let m = Rc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        let m = Arc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
         Box::new(QueryEval::new(m))
     }
 
@@ -376,8 +394,8 @@ mod tests {
         let mut pq = PersonalizedQuery::unpersonalized(q);
         pq.tpq.add_predicate(pq.tpq.root(), pimento_tpq::Predicate::ft("Phoenix"));
         pq.optional_preds.insert((pq.tpq.root(), 0));
-        let m = Rc::new(Matcher::new(&db, pq));
-        let base: BoxedOp = Box::new(QueryEval::new(Rc::clone(&m)));
+        let m = Arc::new(Matcher::new(&db, pq));
+        let base: BoxedOp = Box::new(QueryEval::new(Arc::clone(&m)));
         let phrase = m.optional_keywords().remove(0);
         let op = Box::new(SrPredJoin::new(base, m, phrase));
         let (out, _) = drain(op, &db);
@@ -412,7 +430,7 @@ mod op_edge_tests {
     #[test]
     fn sort_on_empty_input() {
         let db = db("<a/>");
-        let m = Rc::new(Matcher::new(
+        let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//missing").unwrap()),
         ));
@@ -424,7 +442,7 @@ mod op_edge_tests {
     #[test]
     fn kor_star_tag_matches_any_element() {
         let db = db("<a><b>NYC here</b><c>elsewhere</c></a>");
-        let m = Rc::new(Matcher::new(
+        let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//a/*").unwrap()),
         ));
@@ -442,7 +460,7 @@ mod op_edge_tests {
             vec![pimento_profile::ValueOrderingRule::prefer_value("c", "car", "color", "red")],
             RankOrder::Kvs,
         );
-        let m = Rc::new(Matcher::new(
+        let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//car").unwrap()),
         ));

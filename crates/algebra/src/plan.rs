@@ -22,7 +22,7 @@ use crate::rank::RankContext;
 use crate::topk::{TopkConfig, TopkPrune};
 use crate::trace::{new_registry, traced, TraceRegistry};
 use pimento_profile::KeywordOrderingRule;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which of the paper's four plans to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,10 +153,32 @@ impl Plan {
 /// rank order), per `spec`.
 pub fn build_plan(
     db: &Database,
-    matcher: Rc<Matcher>,
+    matcher: Arc<Matcher>,
     kors: &[KeywordOrderingRule],
-    rank: Rc<RankContext>,
+    rank: Arc<RankContext>,
     spec: PlanSpec,
+) -> Plan {
+    let source: BoxedOp = Box::new(QueryEval::with_mode(Arc::clone(&matcher), spec.eval_mode));
+    assemble(db, source, matcher, kors, rank, spec, false)
+}
+
+/// Assemble the operator tree above an arbitrary `source` scan.
+///
+/// `merge_safe` builds the per-shard variant of the plan for parallel
+/// execution: when VORs are in play the final prune keeps *every* answer
+/// not certainly outranked by `k` others instead of cutting at position
+/// `k` — `≺_V` layering is set-dependent, so a shard-local positional cut
+/// could drop an answer that belongs to the global top-k. The shard
+/// survivor sets can then be merged and re-cut exactly (see
+/// [`crate::par`]).
+pub(crate) fn assemble(
+    db: &Database,
+    source: BoxedOp,
+    matcher: Arc<Matcher>,
+    kors: &[KeywordOrderingRule],
+    rank: Arc<RankContext>,
+    spec: PlanSpec,
+    merge_safe: bool,
 ) -> Plan {
     let k = spec.k;
     let registry = spec.trace.then(new_registry);
@@ -166,8 +188,7 @@ pub fn build_plan(
             None => op,
         }
     };
-    let mut op: BoxedOp = Box::new(QueryEval::with_mode(Rc::clone(&matcher), spec.eval_mode));
-    op = wrap(op, "QueryEval".to_string());
+    let mut op: BoxedOp = wrap(source, "QueryEval".to_string());
 
     // Optional (SR-contributed) keyword predicates and their exact bounds.
     let optional = matcher.optional_keywords();
@@ -194,7 +215,7 @@ pub fn build_plan(
 
     for phrase in optional {
         let label = format!("SrPredJoin({})", phrase.describe());
-        op = Box::new(SrPredJoin::new(op, Rc::clone(&matcher), phrase));
+        op = Box::new(SrPredJoin::new(op, Arc::clone(&matcher), phrase));
         op = wrap(op, label);
     }
 
@@ -228,7 +249,7 @@ pub fn build_plan(
                 op = wrap(op, format!("topkPrune(after {kor_label})"));
             }
             PlanStrategy::InterleaveSorted => {
-                op = Box::new(Sort::new(op, Rc::clone(&rank)));
+                op = Box::new(Sort::new(op, Arc::clone(&rank)));
                 op = wrap(op, format!("sort(after {kor_label})"));
                 // Bulk pruning needs a prune-monotone sort order; V
                 // dominance is not monotone, so sorted early-exit is only
@@ -245,16 +266,35 @@ pub fn build_plan(
         op = Box::new(VorFetch::new(op, &rank));
         op = wrap(op, "vor".to_string());
     }
-    op = Box::new(Sort::new(op, Rc::clone(&rank)));
+    op = Box::new(Sort::new(op, Arc::clone(&rank)));
     op = wrap(op, "sort(final)".to_string());
-    op = Box::new(TopkPrune::new(op, rank, TopkConfig::final_prune(k)));
+    let final_cfg = if merge_safe && !rank.vors.is_empty() {
+        // Shard-local survivor prune: drop only answers that `k` others
+        // certainly outrank (the pairwise check is set-independent, so
+        // anything dropped here is provably outside the global top-k).
+        // `use_v: true` also disables the sorted bulk-prune early exit,
+        // which a positional argument under `≺_V` cannot justify.
+        TopkConfig {
+            k,
+            query_scorebound: 0.0,
+            kor_scorebound: 0.0,
+            use_v: true,
+            sorted_input: true,
+            last: false,
+        }
+    } else {
+        // Without VORs the final order is total, so a shard's own top-k is
+        // exact and the sequential cut applies unchanged.
+        TopkConfig::final_prune(k)
+    };
+    op = Box::new(TopkPrune::new(op, rank, final_cfg));
     op = wrap(op, "topkPrune(final)".to_string());
     Plan { root: op, traces: registry }
 }
 
 fn prune(
     input: BoxedOp,
-    rank: &Rc<RankContext>,
+    rank: &Arc<RankContext>,
     k: usize,
     query_scorebound: f64,
     kor_scorebound: f64,
@@ -263,7 +303,7 @@ fn prune(
 ) -> BoxedOp {
     Box::new(TopkPrune::new(
         input,
-        Rc::clone(rank),
+        Arc::clone(rank),
         TopkConfig { k, query_scorebound, kor_scorebound, use_v, sorted_input, last: false },
     ))
 }
@@ -311,7 +351,7 @@ mod tests {
     fn all_strategies_agree_on_topk() {
         let db = db();
         let q = parse_tpq(r#"//person[ftcontains(./business, "Yes")]"#).unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(
             vec![ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
             RankOrder::Kvs,
@@ -320,9 +360,9 @@ mod tests {
         for strategy in PlanStrategy::all() {
             let plan = build_plan(
                 &db,
-                Rc::clone(&matcher),
+                Arc::clone(&matcher),
                 &kors(),
-                Rc::clone(&rank),
+                Arc::clone(&rank),
                 PlanSpec::new(5, strategy),
             );
             let (out, _) = plan.execute(&db);
@@ -339,21 +379,21 @@ mod tests {
     fn push_prunes_more_than_naive() {
         let db = db();
         let q = parse_tpq("//person").unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let naive = build_plan(
             &db,
-            Rc::clone(&matcher),
+            Arc::clone(&matcher),
             &kors(),
-            Rc::clone(&rank),
+            Arc::clone(&rank),
             PlanSpec::new(3, PlanStrategy::Naive),
         );
         let (_, naive_stats) = naive.execute(&db);
         let push = build_plan(
             &db,
-            Rc::clone(&matcher),
+            Arc::clone(&matcher),
             &kors(),
-            Rc::clone(&rank),
+            Arc::clone(&rank),
             PlanSpec::new(3, PlanStrategy::Push),
         );
         let (_, push_stats) = push.execute(&db);
@@ -365,14 +405,14 @@ mod tests {
     fn kor_order_affects_plan_shape_not_results() {
         let db = db();
         let q = parse_tpq("//person").unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut weighted = kors();
         weighted[3] = KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 5.0);
         let mut outputs = Vec::new();
         for order in [KorOrder::AsGiven, KorOrder::HighestWeightFirst, KorOrder::LowestWeightFirst] {
             let spec = PlanSpec { kor_order: order, ..PlanSpec::new(4, PlanStrategy::Push) };
-            let plan = build_plan(&db, Rc::clone(&matcher), &weighted, Rc::clone(&rank), spec);
+            let plan = build_plan(&db, Arc::clone(&matcher), &weighted, Arc::clone(&rank), spec);
             let (out, _) = plan.execute(&db);
             outputs.push(answers_key(&out));
         }
@@ -384,12 +424,12 @@ mod tests {
     fn eval_modes_agree() {
         let db = db();
         let q = parse_tpq(r#"//person[ftcontains(., "College")]"#).unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut outs = Vec::new();
         for mode in [EvalMode::IndexedNestedLoop, EvalMode::StructuralJoin] {
             let spec = PlanSpec { eval_mode: mode, ..PlanSpec::new(5, PlanStrategy::Push) };
-            let plan = build_plan(&db, Rc::clone(&matcher), &kors(), Rc::clone(&rank), spec);
+            let plan = build_plan(&db, Arc::clone(&matcher), &kors(), Arc::clone(&rank), spec);
             let (out, _) = plan.execute(&db);
             outs.push(answers_key(&out));
         }
@@ -400,7 +440,7 @@ mod tests {
     fn explain_mentions_operators() {
         let db = db();
         let q = parse_tpq("//person").unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let plan = build_plan(
             &db,
@@ -419,11 +459,11 @@ mod tests {
     fn empty_kors_and_vors_degenerates_cleanly() {
         let db = db();
         let q = parse_tpq(r#"//person[ftcontains(., "College")]"#).unwrap();
-        let matcher = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
+        let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         for strategy in PlanStrategy::all() {
             let plan =
-                build_plan(&db, Rc::clone(&matcher), &[], Rc::clone(&rank), PlanSpec::new(3, strategy));
+                build_plan(&db, Arc::clone(&matcher), &[], Arc::clone(&rank), PlanSpec::new(3, strategy));
             let (out, _) = plan.execute(&db);
             assert_eq!(out.len(), 3);
             // Ranked by S descending.
@@ -470,11 +510,11 @@ mod choose_tests {
     use pimento_profile::PersonalizedQuery;
     use pimento_tpq::parse_tpq;
 
-    fn matcher_for(q: &str) -> (Database, Rc<Matcher>) {
+    fn matcher_for(q: &str) -> (Database, Arc<Matcher>) {
         let mut coll = Collection::new();
         coll.add_xml("<a><b><c>x</c></b></a>").unwrap();
         let db = Database::index_plain(coll);
-        let m = Rc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        let m = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
         (db, m)
     }
 

@@ -12,7 +12,7 @@ use crate::answer::Answer;
 use crate::context::ExecStats;
 use pimento_profile::{compare_all, RankOrder, ValueOrderingRule, VorOutcome};
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared ranking context: the VOR set and the configured rank order.
 #[derive(Debug, Clone, Default)]
@@ -25,8 +25,8 @@ pub struct RankContext {
 
 impl RankContext {
     /// Context with no VORs (V compares Equal everywhere).
-    pub fn new(vors: Vec<ValueOrderingRule>, order: RankOrder) -> Rc<Self> {
-        Rc::new(RankContext { vors, order })
+    pub fn new(vors: Vec<ValueOrderingRule>, order: RankOrder) -> Arc<Self> {
+        Arc::new(RankContext { vors, order })
     }
 
     /// `≺_V` on two answers. Answers whose VOR key has not been fetched
@@ -182,7 +182,7 @@ mod tests {
         if let Some(m) = mileage {
             fields.insert("mileage".to_string(), AttrValue::Num(m));
         }
-        Answer { elem, s, k, vor: Some(Rc::new(VorKey { tag: "car".into(), fields })) }
+        Answer { elem, s, k, vor: Some(Arc::new(VorKey { tag: "car".into(), fields })) }
     }
 
     fn red_rule() -> ValueOrderingRule {

@@ -257,7 +257,7 @@ mod tests {
     use pimento_index::Collection;
     use pimento_profile::PersonalizedQuery;
     use pimento_tpq::parse_tpq;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn db(xml: &str) -> Database {
         let mut coll = Collection::new();
@@ -265,8 +265,8 @@ mod tests {
         Database::index_plain(coll)
     }
 
-    fn matcher(db: &Database, q: &str) -> Rc<Matcher> {
-        Rc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())))
+    fn matcher(db: &Database, q: &str) -> Arc<Matcher> {
+        Arc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())))
     }
 
     const DEALER: &str = r#"<dealer>
@@ -391,7 +391,7 @@ mod value_seed_tests {
     use pimento_index::Collection;
     use pimento_profile::PersonalizedQuery;
     use pimento_tpq::parse_tpq;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn db(xml: &str) -> Database {
         let mut coll = Collection::new();
@@ -405,7 +405,7 @@ mod value_seed_tests {
             "<dealer><car><price>100</price></car><car><price>5000</price></car>\
              <car><price>900</price></car></dealer>",
         );
-        let m = Rc::new(Matcher::new(
+        let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//car/price[. < 1000]").unwrap()),
         ));
@@ -425,7 +425,7 @@ mod value_seed_tests {
         );
         let price = db.coll.tag("price").unwrap();
         assert_eq!(db.values.count(price), 1, "only the leaf price is value-indexed");
-        let m = Rc::new(Matcher::new(
+        let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//car/price[. < 1000]").unwrap()),
         ));

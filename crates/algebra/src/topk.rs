@@ -37,7 +37,7 @@ use crate::ops::{BoxedOp, Operator};
 use crate::rank::{cmp_f64_desc, RankContext};
 use pimento_profile::{RankOrder, VorOutcome};
 use std::cmp::Ordering;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of one `topkPrune` placement.
 #[derive(Debug, Clone)]
@@ -75,7 +75,7 @@ impl TopkConfig {
 pub struct TopkPrune {
     input: BoxedOp,
     cfg: TopkConfig,
-    rank: Rc<RankContext>,
+    rank: Arc<RankContext>,
     /// Current top-k candidates, best first by current values.
     list: Vec<Answer>,
     emitted: u64,
@@ -84,7 +84,7 @@ pub struct TopkPrune {
 
 impl TopkPrune {
     /// Wrap `input`.
-    pub fn new(input: BoxedOp, rank: Rc<RankContext>, cfg: TopkConfig) -> Self {
+    pub fn new(input: BoxedOp, rank: Arc<RankContext>, cfg: TopkConfig) -> Self {
         TopkPrune { input, cfg, rank, list: Vec::new(), emitted: 0, done: false }
     }
 
@@ -293,7 +293,7 @@ mod tests {
         let mut a = mk(start, s, k);
         let mut fields = HashMap::new();
         fields.insert("color".to_string(), AttrValue::Str(color.to_string()));
-        a.vor = Some(Rc::new(VorKey { tag: "car".into(), fields }));
+        a.vor = Some(Arc::new(VorKey { tag: "car".into(), fields }));
         a
     }
 

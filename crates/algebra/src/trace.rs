@@ -97,7 +97,7 @@ mod tests {
         let mut coll = Collection::new();
         coll.add_xml("<a><b/><b/><b/></a>").unwrap();
         let db = Database::index_plain(coll);
-        let m = Rc::new(Matcher::new(
+        let m = std::sync::Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//b").unwrap()),
         ));

@@ -188,6 +188,39 @@ fn bench_parallel_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_par_scan(c: &mut Criterion) {
+    use pimento::algebra::{execute_with_workers, Matcher, PlanSpec, PlanStrategy, RankContext};
+    use pimento::Engine;
+    use pimento_bench::workloads::{fig5_profile, FIG5_QUERY};
+    use std::sync::Arc;
+
+    let xml = xmark::generate(42, 512 * 1024);
+    let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
+    let profile = fig5_profile(4, true);
+    let pq = engine.personalize(FIG5_QUERY, &profile).expect("valid query");
+    let matcher = Arc::new(Matcher::new(engine.db(), pq));
+    let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
+    let spec = PlanSpec::new(10, PlanStrategy::Push);
+    let mut group = c.benchmark_group("par_scan_512K");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("workers{workers}"), |b| {
+            b.iter(|| {
+                let (out, _, _) = execute_with_workers(
+                    engine.db(),
+                    Arc::clone(&matcher),
+                    &profile.kors,
+                    Arc::clone(&rank),
+                    spec,
+                    workers,
+                );
+                assert_eq!(out.len(), 10);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_topk_prune(c: &mut Criterion) {
     // §6.3 ablation: the three pruning regimes over a synthetic stream of
     // 10k answers (Algorithm 1: S only; Algorithm 3: K bound; Algorithm 2:
@@ -195,7 +228,7 @@ fn bench_topk_prune(c: &mut Criterion) {
     use pimento::algebra::{Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune, VorKey};
     use pimento::index::{DocId, ElemEntry};
     use pimento::profile::{AttrValue, RankOrder, ValueOrderingRule};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     struct Stub(Vec<Answer>, usize);
     impl Operator for Stub {
@@ -228,7 +261,7 @@ fn bench_topk_prune(c: &mut Criterion) {
                 "color".to_string(),
                 AttrValue::Str(if i % 3 == 0 { "red" } else { "blue" }.into()),
             );
-            a.vor = Some(Rc::new(VorKey { tag: "car".into(), fields }));
+            a.vor = Some(Arc::new(VorKey { tag: "car".into(), fields }));
             a
         })
         .collect();
@@ -257,7 +290,7 @@ fn bench_topk_prune(c: &mut Criterion) {
                     last: false,
                 };
                 let mut op =
-                    TopkPrune::new(Box::new(Stub(answers.clone(), 0)), Rc::clone(&rank), cfg);
+                    TopkPrune::new(Box::new(Stub(answers.clone(), 0)), Arc::clone(&rank), cfg);
                 let mut stats = ExecStats::default();
                 let mut survivors = 0u32;
                 while op.next(&db, &mut stats).is_some() {
@@ -280,6 +313,7 @@ criterion_group!(
     bench_profile_io,
     bench_persistence,
     bench_parallel_ingest,
+    bench_par_scan,
     bench_topk_prune
 );
 criterion_main!(benches);

@@ -28,12 +28,14 @@ struct Args {
     explain: bool,
     analyze: bool,
     winnow: bool,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pimento --docs FILE... --query QUERY [--profile RULES_FILE] \
-         [--k N] [--strategy naive|il|sil|push] [--explain] [--analyze] [--winnow]"
+         [--k N] [--strategy naive|il|sil|push] [--threads N] [--explain] [--analyze] [--winnow]\n\
+         --threads N   worker threads for query execution (0 = all cores, 1 = sequential)"
     );
     std::process::exit(2)
 }
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
         explain: false,
         analyze: false,
         winnow: false,
+        threads: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -73,6 +76,9 @@ fn parse_args() -> Args {
                     Some("push") => PlanStrategy::Push,
                     _ => usage(),
                 }
+            }
+            "--threads" => {
+                args.threads = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
             "--explain" => args.explain = true,
             "--analyze" => args.analyze = true,
@@ -155,6 +161,7 @@ fn main() -> ExitCode {
         trace: args.explain,
         minimize: true,
         kor_order: KorOrder::HighestWeightFirst,
+        threads: args.threads,
         ..SearchOptions::top(args.k)
     };
     let results = if args.winnow {
@@ -208,6 +215,14 @@ fn main() -> ExitCode {
             results.stats.ft_probes,
             results.stats.vor_comparisons
         );
+        if results.worker_stats.len() > 1 {
+            for (i, w) in results.worker_stats.iter().enumerate() {
+                println!(
+                    "  worker {i}: base={} pruned={} bulk={} ft_probes={} vor_cmps={}",
+                    w.base_answers, w.pruned, w.bulk_pruned, w.ft_probes, w.vor_comparisons
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }

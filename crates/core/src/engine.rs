@@ -8,7 +8,7 @@ use pimento_index::ft_contains;
 use pimento_index::{Collection, Tokenizer};
 use pimento_profile::{PersonalizedQuery, UserProfile};
 use pimento_tpq::{minimized, parse_tpq, simplify_predicates, Tpq};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The search engine: an indexed collection plus query-time machinery.
 #[derive(Debug)]
@@ -124,7 +124,7 @@ impl Engine {
         };
         let pq = profile.enforce_scoping(&query)?;
         Ok(PreparedSearch {
-            matcher: Rc::new(Matcher::new(&self.db, pq)),
+            matcher: Arc::new(Matcher::new(&self.db, pq)),
             kors: profile.kors.clone(),
             rank: RankContext::new(profile.vors.clone(), profile.rank_order),
             profile: profile.clone(),
@@ -140,8 +140,8 @@ impl Engine {
         if opts.k == 0 {
             return Err(Error::InvalidK);
         }
-        let matcher = Rc::clone(&prepared.matcher);
-        let rank = Rc::clone(&prepared.rank);
+        let matcher = Arc::clone(&prepared.matcher);
+        let rank = Arc::clone(&prepared.rank);
         let profile = &prepared.profile;
         let spec = if opts.auto {
             PlanSpec {
@@ -157,9 +157,37 @@ impl Engine {
                 trace: opts.trace,
             }
         };
-        let plan = build_plan(&self.db, Rc::clone(&matcher), &prepared.kors, rank, spec);
-        let explain = plan.explain();
-        let (answers, stats, trace) = plan.execute_analyzed(&self.db);
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            opts.threads
+        };
+        // Tracing registries are single-threaded, so a trace request pins
+        // execution to the sequential plan.
+        let (answers, stats, worker_stats, explain, trace) = if opts.trace || threads <= 1 {
+            let plan = build_plan(&self.db, Arc::clone(&matcher), &prepared.kors, rank, spec);
+            let explain = plan.explain();
+            let (answers, stats, trace) = plan.execute_analyzed(&self.db);
+            (answers, stats, vec![stats], explain, trace)
+        } else {
+            let explain =
+                build_plan(&self.db, Arc::clone(&matcher), &prepared.kors, Arc::clone(&rank), spec)
+                    .explain();
+            let (answers, stats, worker_stats) = pimento_algebra::execute_parallel(
+                &self.db,
+                Arc::clone(&matcher),
+                &prepared.kors,
+                rank,
+                spec,
+                threads,
+            );
+            let explain = if worker_stats.len() > 1 {
+                format!("parallel(workers={}) over {explain}", worker_stats.len())
+            } else {
+                explain
+            };
+            (answers, stats, worker_stats, explain, String::new())
+        };
         let hits = answers
             .into_iter()
             .skip(opts.offset)
@@ -173,6 +201,7 @@ impl Engine {
         Ok(SearchResults {
             hits,
             stats,
+            worker_stats,
             explain,
             trace,
             applied_rules: matcher.personalized().flock.applied_rules.clone(),
@@ -194,14 +223,14 @@ impl Engine {
         use pimento_algebra::{BoxedOp, QueryEval};
         let tpq = pimento_tpq::parse_tpq(query)?;
         let pq = profile.enforce_scoping(&tpq)?;
-        let matcher = Rc::new(Matcher::new(&self.db, pq));
+        let matcher = Arc::new(Matcher::new(&self.db, pq));
         let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
         // Materialize all personalized answers (no pruning — winnow needs
         // the full dominance picture), then layer-0 filter.
         let mut stats = ExecStats::default();
-        let mut op: BoxedOp = Box::new(QueryEval::new(Rc::clone(&matcher)));
+        let mut op: BoxedOp = Box::new(QueryEval::new(Arc::clone(&matcher)));
         for phrase in matcher.optional_keywords() {
-            op = Box::new(pimento_algebra::SrPredJoin::new(op, Rc::clone(&matcher), phrase));
+            op = Box::new(pimento_algebra::SrPredJoin::new(op, Arc::clone(&matcher), phrase));
         }
         for kor in profile.kors.clone() {
             op = Box::new(pimento_algebra::KorJoin::new(op, &self.db, kor));
@@ -228,6 +257,7 @@ impl Engine {
         Ok(SearchResults {
             hits,
             stats,
+            worker_stats: vec![stats],
             explain: "winnow(≺_V-maximal) -> kor* -> SrPredJoin* -> QueryEval".to_string(),
             trace: String::new(),
             applied_rules: matcher.personalized().flock.applied_rules.clone(),
@@ -275,9 +305,9 @@ impl Engine {
 /// analyzed matcher, so it is tied to the engine it was prepared against
 /// and is not `Send` (per-thread preparation is cheap).
 pub struct PreparedSearch {
-    matcher: Rc<Matcher>,
+    matcher: Arc<Matcher>,
     kors: Vec<pimento_profile::KeywordOrderingRule>,
-    rank: Rc<RankContext>,
+    rank: Arc<RankContext>,
     profile: UserProfile,
 }
 

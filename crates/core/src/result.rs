@@ -27,6 +27,10 @@ pub struct SearchOptions {
     /// Let the engine pick strategy, evaluation mode, and KOR order from
     /// the query/profile shape (overrides the explicit settings).
     pub auto: bool,
+    /// Worker threads for the sharded candidate scan: `0` (the default)
+    /// uses the machine's available parallelism, clamped like ingest;
+    /// `1` forces sequential execution. Results are identical either way.
+    pub threads: usize,
 }
 
 impl SearchOptions {
@@ -41,6 +45,7 @@ impl SearchOptions {
             eval_mode: EvalMode::IndexedNestedLoop,
             trace: false,
             auto: false,
+            threads: 0,
         }
     }
 
@@ -65,6 +70,12 @@ impl SearchOptions {
     /// Builder: pick a plan strategy.
     pub fn with_strategy(mut self, strategy: PlanStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Builder: set the worker-thread count (`0` = machine parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -127,8 +138,11 @@ fn truncate_chars(s: &mut String, cap: usize) {
 pub struct SearchResults {
     /// Ranked hits, best first.
     pub hits: Vec<SearchResult>,
-    /// Execution counters.
+    /// Execution counters, summed across workers on the parallel path.
     pub stats: ExecStats,
+    /// Per-worker counter breakdown: one entry per worker the sharded
+    /// scan spawned, a single entry when execution was sequential.
+    pub worker_stats: Vec<ExecStats>,
     /// Operator-tree description of the executed plan.
     pub explain: String,
     /// Per-operator row/time trace (empty unless `SearchOptions::trace`).

@@ -43,7 +43,9 @@ pub fn generate(seed: u64, target_bytes: usize) -> String {
         pid += 1;
     }
     xml.push_str("</people><regions><namerica>");
-    while xml.len() < target_bytes.saturating_sub(40) {
+    // 28 = length of the closing tags below, so the finished document is
+    // always >= target_bytes no matter how short the last item runs.
+    while xml.len() + 28 < target_bytes {
         write_item(&mut xml, &mut rng);
     }
     xml.push_str("</namerica></regions></site>");

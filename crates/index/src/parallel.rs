@@ -11,6 +11,17 @@
 use crate::store::Collection;
 use pimento_xml::{parse_content, Document, SymbolId, SymbolTable, XmlError};
 
+/// The worker count actually used for `requested` threads over `jobs`
+/// units of work: at least one, at most the machine's parallelism, and
+/// never more workers than jobs. The single clamp shared by ingest and
+/// query execution (`0` means "one worker", i.e. inline).
+pub fn effective_workers(requested: usize, jobs: usize) -> usize {
+    // More workers than cores only adds scheduling overhead; clamp to the
+    // machine (and never spawn more workers than units of work).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    requested.max(1).min(cores).min(jobs.max(1))
+}
+
 /// Parse `xmls` into a collection using up to `threads` worker threads
 /// (`0` or `1` parses inline). Document order is preserved. The first
 /// parse error (by document index) is reported.
@@ -18,19 +29,16 @@ pub fn build_collection_parallel<S: AsRef<str> + Sync>(
     xmls: &[S],
     threads: usize,
 ) -> Result<Collection, XmlError> {
-    // More workers than cores only adds scheduling overhead; clamp to the
-    // machine (and never spawn more workers than documents).
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    build_with_workers(xmls, threads.min(cores))
+    build_with_workers(xmls, effective_workers(threads, xmls.len()))
 }
 
 /// The unclamped worker path (tests exercise multi-worker merging even on
-/// single-core machines).
+/// single-core machines). Workers beyond `xmls.len()` are never spawned
+/// (the chunking caps them); `0` parses inline.
 fn build_with_workers<S: AsRef<str> + Sync>(
     xmls: &[S],
     threads: usize,
 ) -> Result<Collection, XmlError> {
-    let threads = threads.max(1).min(xmls.len().max(1));
     if threads <= 1 || xmls.len() <= 1 {
         let mut coll = Collection::new();
         for x in xmls {
@@ -125,6 +133,23 @@ mod tests {
         assert!(build_collection_parallel(&empty, 8).unwrap().is_empty());
         let one = vec!["<a/>".to_string()];
         assert_eq!(build_collection_parallel(&one, 8).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // 0 requested means one inline worker, regardless of jobs.
+        assert_eq!(effective_workers(0, 0), 1);
+        assert_eq!(effective_workers(0, 100), 1);
+        // 1 requested stays 1.
+        assert_eq!(effective_workers(1, 100), 1);
+        // Never more workers than jobs.
+        assert_eq!(effective_workers(8, 1), 1);
+        assert_eq!(effective_workers(8, 3), 3.min(cores));
+        // Zero jobs still yields one worker (the caller's loop is empty).
+        assert_eq!(effective_workers(8, 0), 1);
+        // Huge requests clamp to the machine.
+        assert_eq!(effective_workers(usize::MAX, usize::MAX), cores);
     }
 
     #[test]

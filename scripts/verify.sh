@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 gate (ROADMAP.md) plus the lint gate.
+# Run from the repo root. Any failure aborts with a non-zero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint gate: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"

@@ -1,0 +1,165 @@
+//! Parallel execution equivalence: the sharded candidate scan must return
+//! answers, scores, and order **bit-identical** to the sequential plan —
+//! for every plan strategy, KOR application order, and rank order, on the
+//! paper's running example and on an XMark-like document.
+//!
+//! The algebra-level tests drive `execute_with_workers` directly so real
+//! multi-worker merging is exercised even on single-core CI machines (the
+//! public `threads` knob clamps to the machine).
+
+use pimento::profile::{
+    Atom, KeywordOrderingRule, RankOrder, ScopingRule, UserProfile, ValueOrderingRule,
+};
+use pimento::{Engine, SearchOptions};
+use pimento_algebra::{
+    build_plan, execute_with_workers, Answer, KorOrder, Matcher, PlanSpec, PlanStrategy,
+    RankContext,
+};
+use std::sync::Arc;
+
+const CARS: &str = r#"<dealer>
+    <car><description>Powerful car. I am selling my 2001 car at the best bid. It is in good condition as I was the only driver. I used it to go to work in NYC.</description><date>2001</date><price>500</price><owner>John Smith</owner><horsepower>200</horsepower></car>
+    <car><description>Low mileage. Bought on 11/2005. Eager seller. good condition</description><color>red</color><horsepower>120</horsepower><mileage>50.000</mileage><price>500</price><location>NYC</location></car>
+    <car><description>american classic in good condition</description><price>1500</price><color>blue</color><mileage>90000</mileage></car>
+    <car><description>rusty</description><price>200</price></car>
+</dealer>"#;
+
+/// The paper's running-example profile: ρ2/ρ3 scoping, π1 VOR, π4/π5 KORs.
+fn paper_profile(order: RankOrder) -> UserProfile {
+    UserProfile::new()
+        .with_rank_order(order)
+        .with_scoping(ScopingRule::add(
+            "rho2",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "american")],
+        ))
+        .with_scoping(ScopingRule::delete(
+            "rho3",
+            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![Atom::ft("description", "low mileage")],
+        ))
+        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+        .with_kor(KeywordOrderingRule::weighted("pi4", "car", "best bid", 2.0))
+        .with_kor(KeywordOrderingRule::weighted("pi5", "car", "NYC", 1.0))
+}
+
+/// Everything the equivalence claim covers: identity, both scores, and
+/// position.
+fn full_key(answers: &[Answer]) -> Vec<(u32, u32, u64, u64)> {
+    answers
+        .iter()
+        .map(|a| {
+            let t = a.tiebreak();
+            (t.0, t.1, a.k.to_bits(), a.s.to_bits())
+        })
+        .collect()
+}
+
+fn assert_equivalent(engine: &Engine, query: &str, profile: &UserProfile, k: usize) {
+    let pq = engine.personalize(query, profile).unwrap();
+    let matcher = Arc::new(Matcher::new(engine.db(), pq));
+    let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
+    for strategy in PlanStrategy::all() {
+        for kor_order in
+            [KorOrder::AsGiven, KorOrder::HighestWeightFirst, KorOrder::LowestWeightFirst]
+        {
+            let spec = PlanSpec { kor_order, ..PlanSpec::new(k, strategy) };
+            let (seq, _) = build_plan(
+                engine.db(),
+                Arc::clone(&matcher),
+                &profile.kors,
+                Arc::clone(&rank),
+                spec,
+            )
+            .execute(engine.db());
+            for workers in [2, 4, 8] {
+                let (par, _, _) = execute_with_workers(
+                    engine.db(),
+                    Arc::clone(&matcher),
+                    &profile.kors,
+                    Arc::clone(&rank),
+                    spec,
+                    workers,
+                );
+                assert_eq!(
+                    full_key(&seq),
+                    full_key(&par),
+                    "{} / {kor_order:?} / {workers} workers / {:?}",
+                    strategy.paper_name(),
+                    profile.rank_order,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn running_example_parallel_equals_sequential() {
+    let engine = Engine::from_xml_docs(&[CARS]).unwrap();
+    let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#;
+    for order in [RankOrder::Kvs, RankOrder::Vks] {
+        assert_equivalent(&engine, query, &paper_profile(order), 3);
+    }
+}
+
+#[test]
+fn xmark_parallel_equals_sequential() {
+    let xml = pimento_datagen::xmark::generate(11, 200 * 1024);
+    let engine = Engine::from_xml_docs(&[xml]).unwrap();
+    let query = r#"//person[ftcontains(./profile/business, "Yes")]"#;
+    for order in [RankOrder::Kvs, RankOrder::Vks] {
+        let profile = UserProfile::new()
+            .with_rank_order(order)
+            .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
+            .with_kor(KeywordOrderingRule::weighted("c", "person", "United States", 2.0))
+            .with_kor(KeywordOrderingRule::weighted("e", "person", "College", 0.5))
+            .with_kor(KeywordOrderingRule::weighted("t", "person", "Phoenix", 1.5))
+            .with_vor(ValueOrderingRule::prefer_value("a", "person", "age", "33"));
+        assert_equivalent(&engine, query, &profile, 10);
+    }
+}
+
+/// Multiple same-priority VORs make many answers `≺_V`-incomparable; the
+/// shard merge must not prune across incomparability.
+#[test]
+fn incomparable_vor_frontier_survives_sharding() {
+    let xml = pimento_datagen::xmark::generate(7, 120 * 1024);
+    let engine = Engine::from_xml_docs(&[xml]).unwrap();
+    for order in [RankOrder::Kvs, RankOrder::Vks] {
+        let profile = UserProfile::new()
+            .with_rank_order(order)
+            .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
+            .with_vor(ValueOrderingRule::prefer_value("a33", "person", "age", "33"))
+            .with_vor(ValueOrderingRule::prefer_smaller("inc", "profile", "income"));
+        assert_equivalent(&engine, "//person", &profile, 8);
+    }
+}
+
+/// The public `threads` knob (clamped to the machine) through the whole
+/// engine stack: any setting returns the same hits as forced-sequential.
+#[test]
+fn engine_threads_option_is_transparent() {
+    let xml = pimento_datagen::xmark::generate(3, 150 * 1024);
+    let engine = Engine::from_xml_docs(&[xml]).unwrap();
+    let profile = UserProfile::new()
+        .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
+        .with_kor(KeywordOrderingRule::weighted("t", "person", "Phoenix", 1.5))
+        .with_vor(ValueOrderingRule::prefer_value("a", "person", "age", "33"));
+    let query = r#"//person[ftcontains(./profile/business, "Yes")]"#;
+    let sequential = engine
+        .search(query, &profile, &SearchOptions::top(10).with_threads(1))
+        .unwrap();
+    assert_eq!(sequential.worker_stats.len(), 1);
+    for threads in [0usize, 2, 4, 8] {
+        let par = engine
+            .search(query, &profile, &SearchOptions::top(10).with_threads(threads))
+            .unwrap();
+        assert_eq!(sequential.elem_refs(), par.elem_refs(), "threads={threads}");
+        let ks: Vec<u64> = sequential.hits.iter().map(|h| h.k.to_bits()).collect();
+        let pks: Vec<u64> = par.hits.iter().map(|h| h.k.to_bits()).collect();
+        assert_eq!(ks, pks, "threads={threads}");
+        // The aggregate is the sum of the per-worker breakdown.
+        let base: u64 = par.worker_stats.iter().map(|w| w.base_answers).sum();
+        assert_eq!(par.stats.base_answers, base);
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline vendored subset of the [`criterion`](https://docs.rs/criterion)
+//! API.
+//!
+//! The build environment has no network access to crates-io, so the
+//! workspace path-depends on this shim. It runs each registered bench for
+//! a warm-up pass plus `sample_size` timed samples and prints
+//! median/mean/min wall-clock times — enough to track relative trends
+//! offline, without upstream's statistical machinery, HTML reports, or
+//! CLI filters.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a bench label: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `f`, printing summary statistics to stdout.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, and a cheap calibration of how many calls fit a sample.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1)
+            as usize)
+            .min(1_000_000);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / per_sample as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "    time: median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples x {} iters)",
+            median,
+            mean,
+            samples[0],
+            samples.len(),
+            per_sample
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and immediately run a benchmark.
+    pub fn bench_function<L: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut f: F,
+    ) -> &mut Self {
+        println!("{}/{}", self.name, id.into_label());
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    /// Register and run a benchmark parameterized by `input`.
+    pub fn bench_with_input<L: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: L,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("{}/{}", self.name, id.into_label());
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b, input);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for `criterion_group!` compatibility; no CLI parsing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Register and immediately run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("{name}");
+        let mut b = Bencher { samples: 20 };
+        f(&mut b);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+    }
+}
+
+/// Bundle bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

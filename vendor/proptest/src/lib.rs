@@ -1,0 +1,142 @@
+//! Offline vendored subset of the [`proptest`](https://docs.rs/proptest) API.
+//!
+//! The build environment has no network access to crates-io, so the
+//! workspace path-depends on this shim. It keeps the property suites
+//! *running* offline with the same public surface: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `Just`, `any`,
+//! numeric range strategies, tuple strategies, `prop_map`,
+//! `collection::vec`, `option::of`, and `ProptestConfig`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! generated inputs verbatim), and generation uses a fixed-seed xoshiro
+//! stream rather than upstream's RNG, so regression files are ignored.
+//! Properties still run for `cases` iterations per test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` ~25% of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `proptest::prelude` — the conventional glob import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one property body against a config. The `proptest!` macro expands
+/// each `#[test]` into a loop over this.
+#[doc(hidden)]
+pub fn __run_cases(cases: u32, mut body: impl FnMut(u64, &mut test_runner::TestRng)) {
+    for case in 0..cases {
+        let mut rng = test_runner::TestRng::deterministic(case as u64);
+        body(case as u64, &mut rng);
+    }
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(expr)]` followed by `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::__run_cases(config.cases, |__case, __rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", &$arg));
+                        )+
+                        s
+                    };
+                    // Bodies run in a Result context (upstream allows
+                    // `return Ok(())` for early exits); a tail `()` is
+                    // promoted to Ok by the trailing expression.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            }
+                        )
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reject)) => panic!("proptest case rejected: {reject}"),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case #{} of {} failed with inputs: {}",
+                                __case, stringify!($name), __inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property body. Without shrinking this is `assert!`
+/// plus the input echo provided by the `proptest!` harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

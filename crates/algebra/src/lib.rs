@@ -27,6 +27,7 @@
 //! assert_eq!(top[0].k, 1.0); // the NYC car wins on the KOR score
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer;
@@ -46,7 +47,10 @@ pub use eval::{compare_content, entry_of, Matcher, PreparedKind, PreparedPhrase}
 pub use structural::prefilter_candidates;
 pub use ops::{gather_candidates, BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch};
 pub use par::{execute_parallel, execute_with_workers};
-pub use plan::{build_plan, choose_spec, EvalMode, KorOrder, Plan, PlanSpec, PlanStrategy};
+pub use plan::{
+    build_plan, choose_spec, EvalMode, KorOrder, Plan, PlanShape, PlanSpec, PlanStrategy,
+    PlanVerifyError, Stage,
+};
 pub use rank::RankContext;
 pub use topk::{TopkConfig, TopkPrune};
 pub use trace::{render as render_trace, TraceEntry};

@@ -94,8 +94,12 @@ fn execute_sharded(
     let worker_spec = PlanSpec { trace: false, ..spec };
     let chunk = candidates.len().div_ceil(workers);
     let shard_count = candidates.len().div_ceil(chunk);
-    let mut shards: Vec<Option<(Vec<Answer>, ExecStats)>> =
-        (0..shard_count).map(|_| None).collect();
+    // Slots are pre-filled with the empty result so the merge below never
+    // needs to unwrap: a shard that somehow produced nothing contributes
+    // nothing (scope joins every worker before returning, so in practice
+    // each slot is written exactly once).
+    let mut shards: Vec<(Vec<Answer>, ExecStats)> =
+        (0..shard_count).map(|_| (Vec::new(), ExecStats::default())).collect();
     std::thread::scope(|scope| {
         for (shard, slot) in candidates.chunks(chunk).zip(shards.iter_mut()) {
             let matcher = Arc::clone(&matcher);
@@ -104,7 +108,7 @@ fn execute_sharded(
                 let source: BoxedOp =
                     Box::new(QueryEval::over_candidates(Arc::clone(&matcher), shard.to_vec()));
                 let plan = assemble(db, source, matcher, kors, rank, worker_spec, true);
-                *slot = Some(plan.execute(db));
+                *slot = plan.execute(db);
             });
         }
     });
@@ -115,8 +119,7 @@ fn execute_sharded(
     let mut merged: Vec<Answer> = Vec::new();
     let mut agg = ExecStats::default();
     let mut worker_stats = Vec::with_capacity(shard_count);
-    for slot in shards {
-        let (answers, stats) = slot.expect("every shard slot filled");
+    for (answers, stats) in shards {
         merged.extend(answers);
         agg.absorb(&stats);
         worker_stats.push(stats);

@@ -40,7 +40,7 @@ use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Configuration of one `topkPrune` placement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopkConfig {
     /// How many answers the user wants.
     pub k: usize,

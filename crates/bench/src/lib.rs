@@ -11,6 +11,8 @@
 //!   ablation: `cargo run -p pimento-bench --release --bin fig7 [-- --ablation]`
 //! * Criterion micro/meso benches: `cargo bench --workspace`.
 
+#![forbid(unsafe_code)]
+
 pub mod perf;
 pub mod table1;
 pub mod workloads;

@@ -19,6 +19,127 @@ use pimento::profile::{parse_profile, PrefRelRegistry, UserProfile};
 use pimento::{Engine, KorOrder, PlanStrategy, SearchOptions};
 use std::process::ExitCode;
 
+/// `pimento lint`: statically verify a profile (SR conflict cycles, VOR
+/// alternating cycles, validation warnings) against a query, and — when
+/// documents are supplied — verify the shape of every plan the engine
+/// would assemble. Exits 1 on error-severity findings, 0 otherwise.
+fn lint_usage() -> ! {
+    eprintln!(
+        "usage: pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
+         Runs the static verifiers: Profile::verify (SR conflict graph, VOR\n\
+         alternating cycles, validation warnings) and, with --docs, Plan::verify\n\
+         on each strategy's assembled plan. Exit 1 if any error finding."
+    );
+    std::process::exit(2)
+}
+
+fn run_lint(rest: Vec<String>) -> ExitCode {
+    let mut profile_path: Option<String> = None;
+    let mut query = String::from(r#"//car[ftcontains(., "good condition")]"#);
+    let mut docs: Vec<String> = Vec::new();
+    let mut k = 10usize;
+    let mut it = rest.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => profile_path = Some(it.next().unwrap_or_else(|| lint_usage())),
+            "--query" => query = it.next().unwrap_or_else(|| lint_usage()),
+            "--docs" => {
+                while let Some(f) = it.peek() {
+                    if f.starts_with("--") {
+                        break;
+                    }
+                    docs.push(it.next().expect("peeked"));
+                }
+            }
+            "--k" => k = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| lint_usage()),
+            "--help" | "-h" => lint_usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                lint_usage()
+            }
+        }
+    }
+    let Some(profile_path) = profile_path else { lint_usage() };
+
+    let text = match std::fs::read_to_string(&profile_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match parse_profile(&text, &PrefRelRegistry::new()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{profile_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tpq = match pimento::tpq::parse_tpq(&query) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = profile.verify(&tpq);
+    println!("{report}");
+    let mut failed = report.has_errors();
+
+    if !docs.is_empty() {
+        let mut xmls = Vec::new();
+        for path in &docs {
+            match std::fs::read_to_string(path) {
+                Ok(s) => xmls.push(s),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let engine = match Engine::from_xml_docs(&xmls) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot parse documents: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Plan verification needs a prepared query; an unresolvable SR
+        // cycle makes preparation itself fail, which the report above
+        // already explains.
+        if report.has_sr_cycle() {
+            println!("plan verification skipped: scoping rules cannot be ordered");
+        } else {
+            match engine.prepare(&query, &profile) {
+                Ok(prepared) => {
+                    for (strategy, outcome) in engine.verify_plans(&prepared, k) {
+                        match outcome {
+                            Ok(()) => {
+                                println!("plan {} verifies: ok", strategy.paper_name())
+                            }
+                            Err(err) => {
+                                println!("plan {} UNSOUND: {err}", strategy.paper_name());
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot prepare query: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 struct Args {
     docs: Vec<String>,
     query: String,
@@ -35,7 +156,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: pimento --docs FILE... --query QUERY [--profile RULES_FILE] \
          [--k N] [--strategy naive|il|sil|push] [--threads N] [--explain] [--analyze] [--winnow]\n\
-         --threads N   worker threads for query execution (0 = all cores, 1 = sequential)"
+         --threads N   worker threads for query execution (0 = all cores, 1 = sequential)\n\
+       pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
+         static profile + plan soundness verification (see `pimento lint --help`)"
     );
     std::process::exit(2)
 }
@@ -97,6 +220,11 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        argv.remove(0);
+        return run_lint(argv);
+    }
     let args = parse_args();
 
     let mut xmls = Vec::new();

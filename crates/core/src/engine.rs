@@ -123,6 +123,19 @@ impl Engine {
             query.clone()
         };
         let pq = profile.enforce_scoping(&query)?;
+        // Static-verifier consistency (debug builds): scoping succeeded,
+        // so the combined verifier must not report an unresolvable SR
+        // conflict cycle for the same profile/query pair. (VOR ambiguity
+        // is deliberately not asserted here — `winnow` legitimately
+        // executes ambiguous profiles over the incomparable frontier; the
+        // `pimento lint` subcommand is the gate for those.)
+        if cfg!(debug_assertions) {
+            let report = profile.verify(&query);
+            debug_assert!(
+                !report.has_sr_cycle(),
+                "enforce_scoping succeeded but Profile::verify reports an SR conflict cycle:\n{report}"
+            );
+        }
         Ok(PreparedSearch {
             matcher: Arc::new(Matcher::new(&self.db, pq)),
             kors: profile.kors.clone(),
@@ -166,6 +179,13 @@ impl Engine {
         // execution to the sequential plan.
         let (answers, stats, worker_stats, explain, trace) = if opts.trace || threads <= 1 {
             let plan = build_plan(&self.db, Arc::clone(&matcher), &prepared.kors, rank, spec);
+            // Static plan verification (debug builds): every plan about to
+            // execute must pass its shape verifier.
+            if cfg!(debug_assertions) {
+                if let Err(err) = plan.verify() {
+                    debug_assert!(false, "about to execute an unsound plan: {err}");
+                }
+            }
             let explain = plan.explain();
             let (answers, stats, trace) = plan.execute_analyzed(&self.db);
             (answers, stats, vec![stats], explain, trace)
@@ -209,6 +229,30 @@ impl Engine {
             flock_size: matcher.personalized().flock.members.len(),
         })
     }
+    /// Statically verify the plans [`Engine::run_prepared`] would assemble
+    /// for `prepared` at this `k` — one [`pimento_algebra::PlanShape`]
+    /// verification per strategy, without executing anything. Used by the
+    /// `pimento lint` subcommand.
+    pub fn verify_plans(
+        &self,
+        prepared: &PreparedSearch,
+        k: usize,
+    ) -> Vec<(pimento_algebra::PlanStrategy, Result<(), pimento_algebra::PlanVerifyError>)> {
+        pimento_algebra::PlanStrategy::all()
+            .into_iter()
+            .map(|strategy| {
+                let plan = build_plan(
+                    &self.db,
+                    Arc::clone(&prepared.matcher),
+                    &prepared.kors,
+                    Arc::clone(&prepared.rank),
+                    PlanSpec::new(k, strategy),
+                );
+                (strategy, plan.verify())
+            })
+            .collect()
+    }
+
     /// Chomicki's *winnow* over the personalized answers (paper §2): the
     /// `≺_V`-maximal answers only — every answer no other answer is
     /// strictly preferred to — instead of a top-k cut. KOR scores and the

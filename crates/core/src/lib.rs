@@ -38,6 +38,7 @@
 //! [`tpq`] (tree pattern queries), [`profile`] (rules + static analysis),
 //! [`algebra`] (operators, plans, top-k pruning).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -13,6 +13,7 @@
 //! Everything is deterministic per seed (`StdRng::seed_from_u64`), so
 //! experiment tables regenerate bit-identically.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod carsale;

@@ -39,10 +39,8 @@ impl FieldValue {
             // anything else as a decimal point ("3.5").
             let dots = cleaned.matches('.').count();
             let thousands = dots > 1
-                || (dots == 1 && {
-                    let (head, tail) = cleaned.split_once('.').expect("dot present");
-                    tail.len() == 3 && head.trim_start_matches('-').len() >= 2
-                });
+                || matches!(cleaned.split_once('.'),
+                    Some((head, tail)) if tail.len() == 3 && head.trim_start_matches('-').len() >= 2);
             let normalized = if thousands { cleaned.replace('.', "") } else { cleaned };
             if let Ok(n) = normalized.parse::<f64>() {
                 return FieldValue::Num(n);

@@ -29,6 +29,7 @@
 //! assert!(score > 0.0 && score < 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fields;

@@ -51,14 +51,17 @@ fn build_with_workers<S: AsRef<str> + Sync>(
     // threads: parsing shares nothing, so no synchronization is needed
     // beyond the disjoint output slots).
     let chunk = xmls.len().div_ceil(threads);
-    let mut parsed: Vec<Option<Result<(Document, SymbolTable), XmlError>>> =
-        (0..xmls.len()).map(|_| None).collect();
+    // Each worker owns one output vec and pushes exactly one result per
+    // input, so the flattened merge below sees every document in order
+    // without any "slot not filled" case to handle.
+    let mut parsed: Vec<Vec<Result<(Document, SymbolTable), XmlError>>> =
+        xmls.chunks(chunk).map(|c| Vec::with_capacity(c.len())).collect();
     std::thread::scope(|scope| {
-        for (inputs, outputs) in xmls.chunks(chunk).zip(parsed.chunks_mut(chunk)) {
+        for (inputs, outputs) in xmls.chunks(chunk).zip(parsed.iter_mut()) {
             scope.spawn(move || {
-                for (x, slot) in inputs.iter().zip(outputs.iter_mut()) {
+                for x in inputs {
                     let mut local = SymbolTable::new();
-                    *slot = Some(parse_content(x.as_ref(), &mut local).map(|d| (d, local)));
+                    outputs.push(parse_content(x.as_ref(), &mut local).map(|d| (d, local)));
                 }
             });
         }
@@ -67,8 +70,8 @@ fn build_with_workers<S: AsRef<str> + Sync>(
     // Merge sequentially, preserving document order: intern each worker's
     // names once, then rewrite symbol ids in place (no node copies).
     let mut coll = Collection::new();
-    for slot in parsed {
-        let (mut doc, local) = slot.expect("every slot filled")?;
+    for slot in parsed.into_iter().flatten() {
+        let (mut doc, local) = slot?;
         let mapping: Vec<SymbolId> = (0..local.len() as u32)
             .map(|i| coll.symbols_mut().intern(local.name(SymbolId(i))))
             .collect();

@@ -120,7 +120,10 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
         return Err(PersistError::Truncated);
     }
     let (body, tail) = data.split_at(data.len() - 8);
-    let expected = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let expected = match <[u8; 8]>::try_from(tail) {
+        Ok(bytes) => u64::from_le_bytes(bytes),
+        Err(_) => return Err(PersistError::Truncated),
+    };
     if fnv1a(body) != expected {
         return Err(PersistError::ChecksumMismatch);
     }

@@ -51,7 +51,7 @@ impl ValueIndex {
         let touched = self.collect_document(doc_id, doc);
         for tag in touched {
             if let Some(list) = self.by_tag.get_mut(&tag) {
-                list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN values indexed"));
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
             }
         }
     }
@@ -85,7 +85,7 @@ impl ValueIndex {
 
     fn sort_all(&mut self) {
         for list in self.by_tag.values_mut() {
-            list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN values indexed"));
+            list.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
     }
 

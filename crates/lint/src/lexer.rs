@@ -1,0 +1,331 @@
+//! A minimal Rust token scanner — just enough lexical structure for the
+//! PIMENTO invariant lints (see [`crate::rules`]).
+//!
+//! The scanner understands comments (line, nested block), string-ish
+//! literals (strings, raw strings with arbitrary hash fences, byte
+//! strings, chars vs lifetimes), numbers, identifiers, and multi-char
+//! operators, and discards comment/literal *content* so rule patterns
+//! never match inside prose or test data. It is deliberately not a parser:
+//! the rules only need token adjacency, which survives any formatting.
+
+/// What a token is, with only as much payload as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (payload is the exact text).
+    Ident(String),
+    /// Operator / punctuation, longest-match (`==`, `::`, `..=`, `.`, …).
+    Punct(&'static str),
+    /// Integer literal (`0`, `42usize`, `0xFF`). Distinguished because a
+    /// comparison against one proves the other operand is not an `f64`.
+    Int,
+    /// Any other literal: string, raw string, char, byte string, float.
+    Lit,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// Is this the punctuation `p`?
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(s) if *s == p)
+    }
+}
+
+/// Multi-char operators, longest first so the match below is maximal.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "<", ">", "=", "+", "-", "*", "/", "%",
+    "^", "&", "|", "!", "~", "@", ".", ",", ";", ":", "#", "$", "?", "(", ")", "[", "]", "{", "}",
+];
+
+/// Tokenize `source`. Unrecognized bytes are skipped (the lints only care
+/// about well-formed Rust, which the compiler gate guarantees anyway).
+pub fn lex(source: &str) -> Vec<Tok> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Advance over `n` bytes, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if bytes.get(i + k) == Some(&b'\n') {
+                    line += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also doc comments).
+        if bytes[i..].starts_with(b"//") {
+            let end = bytes[i..].iter().position(|&b| b == b'\n').map(|p| i + p).unwrap_or(bytes.len());
+            bump!(end - i);
+            continue;
+        }
+
+        // Block comment, nested.
+        if bytes[i..].starts_with(b"/*") {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < bytes.len() {
+                if bytes[j..].starts_with(b"/*") {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j..].starts_with(b"*/") {
+                    depth -= 1;
+                    j += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            bump!(j - i);
+            continue;
+        }
+
+        // Raw strings: r"…", r#"…"#, br##"…"##, …
+        if c == 'r' || (c == 'b' && bytes.get(i + 1) == Some(&b'r')) {
+            let start = if c == 'r' { i + 1 } else { i + 2 };
+            let mut hashes = 0;
+            let mut j = start;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                let open_line = line;
+                // Find closing `"` followed by `hashes` hashes.
+                let mut k = j + 1;
+                loop {
+                    match bytes.get(k) {
+                        None => break,
+                        Some(&b'"') if bytes[k + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes => {
+                            k += 1 + hashes;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                bump!(k - i);
+                toks.push(Tok { line: open_line, kind: TokKind::Lit });
+                continue;
+            }
+            // Not a raw string: fall through to identifier handling.
+        }
+
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&b'"')) {
+            let open_line = line;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            bump!(j - i);
+            toks.push(Tok { line: open_line, kind: TokKind::Lit });
+            continue;
+        }
+
+        // Char literal vs lifetime. `'a'` / `'\n'` are literals; `'a` (not
+        // followed by a closing quote) is a lifetime and produces nothing.
+        if c == '\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(n) => bytes.get(i + 2) == Some(&b'\'') || !(n.is_ascii_alphanumeric() || n == b'_'),
+                None => false,
+            };
+            if is_char {
+                let open_line = line;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                bump!(j - i);
+                toks.push(Tok { line: open_line, kind: TokKind::Lit });
+            } else {
+                // Lifetime: skip the quote and the identifier.
+                let mut j = i + 1;
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                bump!(j - i);
+            }
+            continue;
+        }
+
+        // Numbers. A `.` joins the number only when followed by a digit
+        // (so `0..n` stays a range and `a.0` stays a field access).
+        if c.is_ascii_digit() {
+            let open_line = line;
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let b = bytes[j] as char;
+                let continues = b.is_ascii_alphanumeric()
+                    || b == '_'
+                    || (b == '.'
+                        && bytes.get(j + 1).map(|&n| (n as char).is_ascii_digit()).unwrap_or(false))
+                    || ((b == '+' || b == '-')
+                        && matches!(bytes.get(j - 1), Some(&b'e') | Some(&b'E')));
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            let text = &source[i..j];
+            let is_int = !text.contains('.')
+                && !text.ends_with("f32")
+                && !text.ends_with("f64")
+                && (text.starts_with("0x")
+                    || text.starts_with("0o")
+                    || text.starts_with("0b")
+                    || !text.contains(['e', 'E']));
+            bump!(j - i);
+            toks.push(Tok {
+                line: open_line,
+                kind: if is_int { TokKind::Int } else { TokKind::Lit },
+            });
+            continue;
+        }
+
+        // Identifiers / keywords (incl. raw identifiers `r#foo`).
+        if c.is_alphabetic() || c == '_' {
+            let open_line = line;
+            let mut j = i;
+            // `r#ident` raw identifier.
+            if (c == 'r' || c == 'b') && bytes.get(i + 1) == Some(&b'#') {
+                // Only when what follows is an identifier char (raw strings
+                // were handled above).
+                if bytes.get(i + 2).map(|&n| (n as char).is_alphabetic() || n == b'_').unwrap_or(false) {
+                    j = i + 2;
+                }
+            }
+            let word_start = j;
+            while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            let text = source[word_start..j].to_string();
+            bump!(j - i);
+            toks.push(Tok { line: open_line, kind: TokKind::Ident(text) });
+            continue;
+        }
+
+        // Punctuation, longest match.
+        let rest = &source[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            let open_line = line;
+            bump!(p.len());
+            toks.push(Tok { line: open_line, kind: TokKind::Punct(p) });
+            continue;
+        }
+
+        // Unknown byte (non-ASCII punctuation etc.): skip.
+        bump!(1);
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "thread::spawn inside a string";
+            let r = r#"static mut inside a raw string"#;
+            let c = '"';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|s| s == "unwrap" || s == "panic" || s == "spawn"));
+        assert!(!ids.iter().any(|s| s == "mut"));
+    }
+
+    #[test]
+    fn numbers_swallow_decimal_points() {
+        let toks = lex("a.weight != 1.0; let r = 0..n; t.0.partial_cmp(&u.0)");
+        // `1.0` is one literal: no bare `.` between `1` and `0`.
+        let dots = toks.iter().filter(|t| t.is_punct(".")).count();
+        assert_eq!(dots, 4, "a.weight, t.0, .partial_cmp, u.0 — not 1.0: {toks:?}");
+        assert!(toks.iter().any(|t| t.is_punct("..")), "range survives");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 1, "only the char literal: {toks:?}");
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let toks = lex("a <= b << c == d != e");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["<=", "<<", "==", "!="]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,293 @@
+//! `pimento-lint`: dependency-free, token-level invariant lints for the
+//! PIMENTO workspace.
+//!
+//! Two layers of static analysis guard the reproduction (DESIGN.md §9):
+//! this crate checks the *Rust sources* (score-float discipline, hot-path
+//! panic freedom, clamped parallelism, no `static mut`, `forbid(unsafe)`
+//! on crate roots), while `Plan::verify()` / `Profile::verify()` check the
+//! *IR artifacts* at runtime. Both are wired into `scripts/verify.sh` and
+//! the `pimento lint` CLI subcommand.
+//!
+//! The scanner is deliberately self-contained (no `syn`, no crates.io):
+//! the lint gate must not depend on the code it checks, and the build
+//! environment is offline.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_source, Violation};
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories scanned at the workspace root. `vendor/` (shim crates) and
+/// `target/` are deliberately absent: the lints govern our code only.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// One allowlist entry: `rule path-suffix excerpt-substring`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name the entry silences.
+    pub rule: String,
+    /// Suffix of the workspace-relative path (forward slashes).
+    pub path_suffix: String,
+    /// Whitespace-normalized substring of the offending line.
+    pub needle: String,
+    /// 1-based line in the allowlist file (for stale reporting).
+    pub file_line: u32,
+    /// Raw line text (for stale reporting).
+    pub raw: String,
+}
+
+/// Parsed allowlist with per-entry use tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parse the `lint.allow` format: one entry per line,
+    /// `rule path-suffix excerpt-substring…` (the substring is the rest of
+    /// the line and may contain spaces); `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (rule, path_suffix, needle) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(n)) if !n.trim().is_empty() => (r, p, n),
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{}: expected `rule path-suffix excerpt-substring`, got `{line}`",
+                        idx + 1
+                    ))
+                }
+            };
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path_suffix: path_suffix.to_string(),
+                needle: normalize(needle),
+                file_line: idx as u32 + 1,
+                raw: line.to_string(),
+            });
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Load from a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Does an entry cover this violation? Marks the entry used.
+    pub fn covers(&mut self, v: &Violation) -> bool {
+        let excerpt = normalize(&v.excerpt);
+        let mut hit = false;
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.rule == v.rule
+                && v.path.ends_with(&entry.path_suffix)
+                && excerpt.contains(&entry.needle)
+            {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that silenced nothing — they point at code that no longer
+    /// exists and should be deleted.
+    pub fn stale(&self) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .zip(self.used.iter())
+            .filter(|(_, used)| !**used)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Collapse runs of whitespace so allowlist matching survives rustfmt.
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by the allowlist, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Violations silenced by the allowlist (counted, for the summary).
+    pub allowed: usize,
+    /// Allowlist entries that matched nothing (stale; `rule path needle`).
+    pub stale_entries: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Clean scan: no live violations and no stale allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.message)?;
+            writeln!(f, "    {}", v.excerpt)?;
+        }
+        for s in &self.stale_entries {
+            writeln!(f, "lint.allow: stale entry (matches nothing): {s}")?;
+        }
+        write!(
+            f,
+            "pimento-lint: {} file(s), {} violation(s), {} allowlisted, {} stale allowlist entr{}",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed,
+            self.stale_entries.len(),
+            if self.stale_entries.len() == 1 { "y" } else { "ies" }
+        )
+    }
+}
+
+/// Scan the workspace rooted at `root` using the allowlist at
+/// `allow_path` (missing file = empty allowlist).
+pub fn scan_workspace(root: &Path, allow_path: &Path) -> Result<Report, String> {
+    let mut allow = Allowlist::load(allow_path)?;
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    for file in &files {
+        let rel = rel_path(root, file);
+        let source = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        for v in scan_source(&rel, &source) {
+            if allow.covers(&v) {
+                report.allowed += 1;
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+    report.stale_entries = allow
+        .stale()
+        .iter()
+        .map(|e| format!("{} (line {})", e.raw, e.file_line))
+        .collect();
+    Ok(report)
+}
+
+/// Workspace-relative path with forward slashes (rule predicates and the
+/// allowlist both key on this form).
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Recursively collect `.rs` files; absent directories are fine.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_matches_on_rule_path_suffix_and_excerpt() {
+        let mut allow =
+            Allowlist::parse("float-cmp crates/algebra/src/topk.rs let k_win = m.k > a.k + kb;\n")
+                .unwrap();
+        let v = violation("float-cmp", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;");
+        assert!(allow.covers(&v));
+        assert!(allow.stale().is_empty());
+
+        // Different rule or path: no cover.
+        let mut allow2 =
+            Allowlist::parse("float-cmp crates/algebra/src/topk.rs let k_win = m.k > a.k + kb;\n")
+                .unwrap();
+        assert!(!allow2.covers(&violation("hot-path-panic", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;")));
+        assert!(!allow2.covers(&violation("float-cmp", "crates/index/src/values.rs", "let k_win = m.k > a.k + kb;")));
+        assert_eq!(allow2.stale().len(), 1);
+    }
+
+    #[test]
+    fn allowlist_matching_is_whitespace_normalized() {
+        let mut allow =
+            Allowlist::parse("float-cmp topk.rs let  k_win =\tm.k > a.k + kb;\n").unwrap();
+        let v = violation("float-cmp", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;");
+        assert!(allow.covers(&v));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped_and_bad_lines_rejected() {
+        let allow = Allowlist::parse("# comment\n\nfloat-cmp a.rs needle text\n").unwrap();
+        assert_eq!(allow.entries.len(), 1);
+        assert!(Allowlist::parse("float-cmp only-two-fields\n").is_err());
+    }
+
+    #[test]
+    fn report_display_and_cleanliness() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.stale_entries.push("x".into());
+        assert!(!r.is_clean());
+        let mut r2 = Report::default();
+        r2.violations.push(violation("static-mut", "src/lib.rs", "static mut X: u8 = 0;"));
+        assert!(!r2.is_clean());
+        let text = r2.to_string();
+        assert!(text.contains("[static-mut]"));
+        assert!(text.contains("src/lib.rs:1:"));
+    }
+}

@@ -1,0 +1,97 @@
+//! `pimento-lint` CLI: scan the workspace sources for invariant
+//! violations (see DESIGN.md §9 and `lint.allow`).
+//!
+//! Exit codes: 0 clean, 1 violations or stale allowlist entries, 2 usage
+//! or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lint --workspace [--root PATH] [--allowlist PATH]
+
+Scans crates/, src/, tests/, examples/ under the workspace root for
+PIMENTO invariant violations (float-cmp, hot-path-panic, thread-spawn,
+static-mut, forbid-unsafe). --root defaults to the directory containing
+Cargo.toml (found by walking up from the current directory); --allowlist
+defaults to <root>/lint.allow.";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist = Some(PathBuf::from(p)),
+                None => return usage_error("--allowlist needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("missing --workspace");
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: no Cargo.toml found walking up from the current directory; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = allowlist.unwrap_or_else(|| root.join("lint.allow"));
+
+    match lint::scan_workspace(&root, &allow_path) {
+        Ok(report) => {
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the outermost dir containing a
+/// `Cargo.toml` with a `[workspace]` table (so running from a member crate
+/// still scans the whole workspace).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    let mut found: Option<PathBuf> = None;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            // Any manifest is a fallback root; a `[workspace]` manifest
+            // keeps winning so the outermost workspace is preferred.
+            if text.contains("[workspace]") || found.is_none() {
+                found = Some(dir.clone());
+            }
+        }
+        if !dir.pop() {
+            return found;
+        }
+    }
+}

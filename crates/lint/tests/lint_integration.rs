@@ -1,0 +1,188 @@
+//! End-to-end lint runs over synthetic workspaces (one seeded violation
+//! per rule class, plus a clean tree and allowlist round-trips), and the
+//! profile-verifier fixtures shared with the root test suite.
+
+use lint::{scan_workspace, Allowlist, Report};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Build a throwaway workspace tree under the target dir (kept out of the
+/// scanner's own roots) and return its path.
+fn workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, content).unwrap();
+    }
+    root
+}
+
+fn scan(root: &Path) -> Report {
+    scan_workspace(root, &root.join("lint.allow")).unwrap()
+}
+
+const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+#[test]
+fn clean_tree_is_clean() {
+    let root = workspace(
+        "clean",
+        &[(
+            "crates/foo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn add(a: u32, b: u32) -> u32 { a + b }\n",
+        )],
+    );
+    let report = scan(&root);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn float_cmp_violation_found() {
+    let root = workspace(
+        "floatcmp",
+        &[(
+            "crates/foo/src/score.rs",
+            "pub fn best(a: &Answer, b: &Answer) -> bool { a.s == b.s }\n",
+        )],
+    );
+    let report = scan(&root);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "float-cmp");
+    assert_eq!(report.violations[0].line, 1);
+}
+
+#[test]
+fn hot_path_unwrap_found_only_in_hot_paths() {
+    let hot = "pub fn get(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+    let root = workspace(
+        "hotpath",
+        &[
+            ("crates/index/src/store.rs", hot),
+            // Same code outside a hot path: allowed.
+            ("crates/foo/src/lib.rs", &format!("{FORBID}{hot}")[..]),
+        ],
+    );
+    let report = scan(&root);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "hot-path-panic");
+    assert!(report.violations[0].path.ends_with("crates/index/src/store.rs"));
+}
+
+#[test]
+fn thread_spawn_outside_par_modules_found() {
+    let src = "pub fn go() { std::thread::spawn(|| {}); }\n";
+    let root = workspace(
+        "threads",
+        &[
+            ("crates/foo/src/work.rs", src),
+            // The sanctioned module: allowed.
+            ("crates/algebra/src/par.rs", src),
+        ],
+    );
+    let report = scan(&root);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "thread-spawn");
+    assert!(report.violations[0].path.ends_with("crates/foo/src/work.rs"));
+}
+
+#[test]
+fn static_mut_found_even_in_tests() {
+    let root = workspace(
+        "staticmut",
+        &[("tests/helpers.rs", "static mut COUNTER: u32 = 0;\n")],
+    );
+    let report = scan(&root);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "static-mut");
+}
+
+#[test]
+fn missing_forbid_unsafe_found() {
+    let root = workspace(
+        "forbid",
+        &[("crates/foo/src/lib.rs", "pub fn id(x: u32) -> u32 { x }\n")],
+    );
+    let report = scan(&root);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "forbid-unsafe");
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale() {
+    let root = workspace(
+        "allow",
+        &[
+            (
+                "crates/foo/src/score.rs",
+                "pub fn tie(a: &Answer, b: &Answer) -> bool { a.s == b.s }\n",
+            ),
+            (
+                "lint.allow",
+                "# entries\n\
+                 float-cmp crates/foo/src/score.rs a.s == b.s\n\
+                 float-cmp crates/gone/src/old.rs x.weight < y.weight\n",
+            ),
+        ],
+    );
+    let report = scan(&root);
+    assert!(report.violations.is_empty(), "{report}");
+    assert_eq!(report.allowed, 1);
+    // The entry pointing at code that no longer exists fails the run.
+    assert_eq!(report.stale_entries.len(), 1);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    assert!(Allowlist::parse("float-cmp missing-needle-field\n").is_err());
+    assert!(Allowlist::parse("# comment only\n\n").unwrap().stale().is_empty());
+}
+
+/// The shared car-sale fixtures drive the profile verifier from this
+/// crate's tests too: the lint binary and `Profile::verify` must agree on
+/// what an erroneous profile is.
+mod profile_fixtures {
+    use pimento_profile::{parse_profile, FindingKind, PrefRelRegistry};
+    use pimento_tpq::parse_tpq;
+
+    fn fixture(name: &str) -> pimento_profile::UserProfile {
+        let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        parse_profile(&text, &PrefRelRegistry::new()).unwrap()
+    }
+
+    fn query_q() -> pimento_tpq::Tpq {
+        parse_tpq(
+            r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sr_cycle_fixture_errors() {
+        let report = fixture("sr_conflict_cycle.rules").verify(&query_q());
+        assert!(report.has_sr_cycle());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn vor_ambiguous_fixture_errors() {
+        let report = fixture("vor_ambiguous.rules").verify(&query_q());
+        assert!(report.has_errors());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::VorAlternatingCycle { .. })));
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        let report = fixture("clean_profile.rules").verify(&query_q());
+        assert!(!report.has_errors(), "{report}");
+    }
+}

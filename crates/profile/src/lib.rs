@@ -28,6 +28,7 @@
 //! assert!(profile.check_ambiguity().is_ambiguous());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ambiguity;
@@ -54,7 +55,7 @@ pub use profile::{RankOrder, UserProfile};
 pub use render::{render_kor, render_profile, render_scoping, render_vor, RenderError};
 pub use scoping::{Atom, Edit, ScopingRule, SrAction};
 pub use thesaurus::Thesaurus;
-pub use validate::{validate, Warning};
+pub use validate::{validate, Finding, FindingKind, Severity, VerifyReport, Warning};
 pub use vor::{compare_all, AttrValue, PrefOp, RuleCmp, ValueOrderingRule, VorForm, VorOutcome};
 
 #[cfg(test)]

@@ -1,12 +1,16 @@
-//! Query-independent profile validation: the lint pass a profile editor
-//! runs before saving. (The query-*dependent* analysis — SR conflicts —
-//! lives in [`crate::conflict`] because applicability depends on the
-//! query.)
+//! Query-independent profile validation ([`validate`]) and the combined
+//! pre-execution static verifier ([`UserProfile::verify`]): one report
+//! covering the SR conflict-graph analysis (paper §5.1) and the VOR
+//! alternating-cycle check (paper §5.2, Lemma 5.1), with rule and edge
+//! provenance. (The query-*dependent* SR analysis lives in
+//! [`crate::conflict`] because applicability depends on the query.)
 
 use crate::ambiguity::detect_ambiguity_with_priorities;
+use crate::conflict::analyze;
 use crate::profile::UserProfile;
 use crate::scoping::SrAction;
 use crate::vor::VorForm;
+use pimento_tpq::Tpq;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -48,6 +52,182 @@ impl fmt::Display for Warning {
                 write!(f, "scoping rule {id:?} adds what its condition already requires")
             }
         }
+    }
+}
+
+/// Severity of a [`Finding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Provenance detail (e.g. a resolved conflict arc).
+    Info,
+    /// Suspicious but executable.
+    Warning,
+    /// The profile cannot be soundly executed against this query.
+    Error,
+}
+
+/// What a [`Finding`] is about, with rule/edge provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindingKind {
+    /// Conflict arc `from → to`: applying `from` disables `to` w.r.t. the
+    /// query (paper §5.1). Resolved by ordering or priorities; reported as
+    /// provenance for the cycle findings and the chosen order.
+    SrConflictArc {
+        /// Rule whose application disables the other.
+        from: String,
+        /// Rule that would no longer be applicable.
+        to: String,
+    },
+    /// Scoping rules form a conflict cycle and at least one member lacks a
+    /// priority — no application order lets every rule have its intended
+    /// effect (paper §5.1 requires user priorities here).
+    SrConflictCycle {
+        /// Ids of the cycle members.
+        cycle: Vec<String>,
+    },
+    /// VORs admit a satisfiable alternating cycle in the constraint graph
+    /// (paper Lemma 5.1) within one priority class: some database instance
+    /// orders a pair of elements both ways.
+    VorAlternatingCycle {
+        /// Rule ids along the cycle, in order.
+        cycle: Vec<String>,
+    },
+    /// A query-independent [`validate`] finding.
+    ProfileWarning(Warning),
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// How bad it is.
+    pub severity: Severity,
+    /// What it is.
+    pub kind: FindingKind,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        match &self.kind {
+            FindingKind::SrConflictArc { from, to } => {
+                write!(f, "{tag}: scoping rule {from:?} disables {to:?} on this query (conflict arc {from} → {to})")
+            }
+            FindingKind::SrConflictCycle { cycle } => write!(
+                f,
+                "{tag}: scoping rules form a conflict cycle ({}); assign priorities to every member",
+                cycle.join(" → ")
+            ),
+            FindingKind::VorAlternatingCycle { cycle } => write!(
+                f,
+                "{tag}: ordering rules are ambiguous — alternating cycle {} (Lemma 5.1); separate them by priority",
+                cycle.join(" → ")
+            ),
+            FindingKind::ProfileWarning(w) => write!(f, "{tag}: {w}"),
+        }
+    }
+}
+
+/// The combined pre-execution report of [`UserProfile::verify`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// All findings, errors first.
+    pub findings: Vec<Finding>,
+}
+
+impl VerifyReport {
+    /// Any error-severity finding?
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Is there an SR conflict-cycle error? (The one condition
+    /// [`UserProfile::enforce_scoping`] also rejects, so engine debug
+    /// assertions can check the two agree.)
+    pub fn has_sr_cycle(&self) -> bool {
+        self.findings.iter().any(|f| matches!(f.kind, FindingKind::SrConflictCycle { .. }))
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "profile verifies cleanly");
+        }
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        let errors = self.errors().count();
+        write!(f, "{} finding(s), {errors} error(s)", self.findings.len())
+    }
+}
+
+impl UserProfile {
+    /// Statically verify this profile against `query`: SR conflict-graph
+    /// analysis (cycles need priorities) and VOR alternating-cycle
+    /// ambiguity (per priority class), plus every [`validate`] warning —
+    /// one report with rule/edge provenance, before any execution.
+    pub fn verify(&self, query: &Tpq) -> VerifyReport {
+        let mut findings = Vec::new();
+
+        // SR conflict analysis w.r.t. the query (paper §5.1).
+        let arc_findings = |arcs: &[(usize, usize)], findings: &mut Vec<Finding>| {
+            for &(i, j) in arcs {
+                findings.push(Finding {
+                    severity: Severity::Info,
+                    kind: FindingKind::SrConflictArc {
+                        from: self.scoping[i].id.clone(),
+                        to: self.scoping[j].id.clone(),
+                    },
+                });
+            }
+        };
+        match analyze(&self.scoping, query) {
+            Ok(analysis) => arc_findings(&analysis.arcs, &mut findings),
+            Err(err) => {
+                // Re-derive the arcs for provenance (analyze consumed them
+                // in the error path).
+                let arcs: Vec<(usize, usize)> = (0..self.scoping.len())
+                    .flat_map(|i| (0..self.scoping.len()).map(move |j| (i, j)))
+                    .filter(|&(i, j)| {
+                        i != j && crate::conflict::conflicts(&self.scoping[i], &self.scoping[j], query)
+                    })
+                    .collect();
+                arc_findings(&arcs, &mut findings);
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: FindingKind::SrConflictCycle { cycle: err.cycle },
+                });
+            }
+        }
+
+        // VOR alternating cycles surviving priority separation (§5.2).
+        for cycle in detect_ambiguity_with_priorities(&self.vors).cycles {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::VorAlternatingCycle { cycle: cycle.rule_ids },
+            });
+        }
+
+        // Query-independent validation; ambiguity is already reported
+        // above with full cycle provenance, so skip its duplicate.
+        for w in validate(self) {
+            if matches!(w, Warning::AmbiguousVors(_)) {
+                continue;
+            }
+            findings.push(Finding { severity: Severity::Warning, kind: FindingKind::ProfileWarning(w) });
+        }
+
+        findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        VerifyReport { findings }
     }
 }
 

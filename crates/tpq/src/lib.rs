@@ -23,6 +23,7 @@
 //! assert!(contains(&rule_condition, &query));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

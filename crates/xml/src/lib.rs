@@ -24,6 +24,7 @@
 //! assert!(doc.is_ancestor(doc.root(), p));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

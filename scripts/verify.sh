@@ -13,4 +13,10 @@ cargo test -q
 echo "==> lint gate: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> lint gate: pimento-lint workspace invariants"
+cargo run -p lint --release -- --workspace
+
+echo "==> lint gate: cargo test -q -p lint"
+cargo test -q -p lint
+
 echo "==> verify OK"

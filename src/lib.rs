@@ -4,6 +4,7 @@
 //! The library surface lives in the [`pimento`] facade crate; this crate
 //! only re-exports it so the examples and tests have a single import root.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use pimento;

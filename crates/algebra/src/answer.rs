@@ -1,28 +1,16 @@
 //! The tuple flowing through query plans: an answer candidate with its
 //! three ranking components (paper §3.3) — query score `S`, KOR score `K`,
-//! and the VOR attribute values backing the `≺_V` comparison.
+//! and the compiled VOR key backing the `≺_V` comparison.
 
 use pimento_index::ElemEntry;
-use pimento_profile::AttrValue;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// VOR-relevant attribute values of an answer, fetched once by the `vor`
-/// operator and shared (answers are cloned into top-k lists).
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct VorKey {
-    /// The answer element's tag name.
-    pub tag: String,
-    /// Resolved attribute values (missing attributes are absent).
-    pub fields: HashMap<String, AttrValue>,
-}
-
-impl VorKey {
-    /// Field accessor in the shape the VOR comparator wants.
-    pub fn getter(&self) -> impl Fn(&str) -> Option<AttrValue> + '_ {
-        move |attr| self.fields.get(attr).cloned()
-    }
-}
+/// VOR-relevant attribute values of an answer, compiled once by the `vor`
+/// operator into an id-based key and shared (answers are cloned into top-k
+/// lists). Build with [`crate::rank::RankContext::make_key`]; pairwise
+/// `≺_V` over two keys is array lookups and integer/float compares — see
+/// [`pimento_profile::CompiledVors`].
+pub use pimento_profile::CompiledKey as VorKey;
 
 /// One intermediate or final answer.
 #[derive(Debug, Clone)]
@@ -35,7 +23,7 @@ pub struct Answer {
     /// KOR score `K`: sum of the weights of satisfied keyword ordering
     /// rules.
     pub k: f64,
-    /// VOR attribute values; `None` until the `vor` operator has run.
+    /// Compiled VOR key; `None` until the `vor` operator has run.
     pub vor: Option<Arc<VorKey>>,
 }
 
@@ -54,7 +42,9 @@ impl Answer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rank::RankContext;
     use pimento_index::DocId;
+    use pimento_profile::{AttrValue, RankOrder, ValueOrderingRule};
     use pimento_xml::NodeId;
 
     fn entry(doc: u32, start: u32) -> ElemEntry {
@@ -71,12 +61,17 @@ mod tests {
     }
 
     #[test]
-    fn vor_key_getter() {
-        let mut key = VorKey { tag: "car".into(), fields: HashMap::new() };
-        key.fields.insert("color".into(), AttrValue::Str("red".into()));
-        let get = key.getter();
-        assert_eq!(get("color"), Some(AttrValue::Str("red".into())));
-        assert_eq!(get("missing"), None);
+    fn vor_key_compilation() {
+        let ctx = RankContext::new(
+            vec![ValueOrderingRule::prefer_value("pi1", "car", "color", "red")],
+            RankOrder::Kvs,
+        );
+        let key = ctx.make_key("car", |_, attr| {
+            (attr == "color").then(|| AttrValue::Str("red".into()))
+        });
+        assert_eq!(key.tag(), "car");
+        assert!(ctx.key_has(&key, "color"));
+        assert!(!ctx.key_has(&key, "missing"));
     }
 
     #[test]

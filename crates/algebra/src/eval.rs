@@ -15,8 +15,22 @@ use pimento_index::{content_value, ft_contains, ElemEntry, ElemRef, FieldValue};
 use pimento_profile::PersonalizedQuery;
 use pimento_tpq::{Axis, Predicate, RelOp, TagTest, TpqNodeId, Value};
 use pimento_xml::nav;
-use pimento_xml::{NodeId, NodeKind};
+use pimento_xml::{NodeId, NodeKind, SymbolId};
 use std::collections::HashMap;
+
+/// A pattern node's tag test resolved against the collection's symbol
+/// table at matcher build (tag tests are case-sensitive, so resolution is
+/// an exact interning lookup); per candidate, matching is a symbol-id
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledTag {
+    /// `*` — matches every element.
+    Star,
+    /// An interned name: elements match by symbol id.
+    Sym(SymbolId),
+    /// A name the collection never interned: no element can match.
+    Unmatchable,
+}
 
 /// Analyzed (tokenized) keyword predicate with its exact score ceiling.
 #[derive(Debug, Clone)]
@@ -109,6 +123,9 @@ pub struct Matcher {
     kw_tokens: HashMap<(TpqNodeId, usize), PreparedPhrase>,
     /// Root → distinguished node path.
     path: Vec<TpqNodeId>,
+    /// Per pattern node (indexed by [`TpqNodeId`]), its tag test compiled
+    /// to a symbol id.
+    tags: Vec<CompiledTag>,
 }
 
 impl Matcher {
@@ -161,7 +178,18 @@ impl Matcher {
             path.push(p);
         }
         path.reverse();
-        Matcher { pq, kw_tokens, path }
+        let tags = pq
+            .tpq
+            .node_ids()
+            .map(|id| match &pq.tpq.node(id).tag {
+                TagTest::Star => CompiledTag::Star,
+                TagTest::Name(name) => match db.coll.symbols().get(name) {
+                    Some(sym) => CompiledTag::Sym(sym),
+                    None => CompiledTag::Unmatchable,
+                },
+            })
+            .collect();
+        Matcher { pq, kw_tokens, path, tags }
     }
 
     /// The personalized query being matched.
@@ -201,10 +229,9 @@ impl Matcher {
     /// predicates; returns the node's own required-keyword score.
     fn check_local(&self, db: &Database, nid: TpqNodeId, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
         let node = self.pq.tpq.node(nid);
-        let tag_name = db.coll.node(elem.elem_ref()).tag().map(|t| db.coll.symbols().name(t));
-        match (&node.tag, tag_name) {
-            (TagTest::Star, _) => {}
-            (TagTest::Name(want), Some(have)) if want == have => {}
+        match (self.tags[nid.0 as usize], db.coll.node(elem.elem_ref()).tag()) {
+            (CompiledTag::Star, _) => {}
+            (CompiledTag::Sym(want), Some(have)) if want == have => {}
             _ => return None,
         }
         let mut score = 0.0;
@@ -258,36 +285,33 @@ impl Matcher {
                 best = Some(best.map_or(s, |b: f64| b.max(s)));
             }
         };
-        match (&self.pq.tpq.node(child).tag, axis) {
-            (TagTest::Name(tag), Axis::Descendant) => {
-                if let Some(sym) = db.coll.symbols().get(tag) {
-                    for cand in
-                        db.tags.elements_within(sym, parent_elem.doc, parent_elem.start, parent_elem.end)
-                    {
-                        consider(self, *cand, ft_probes);
-                    }
+        match (self.tags[child.0 as usize], axis) {
+            (CompiledTag::Sym(sym), Axis::Descendant) => {
+                for cand in
+                    db.tags.elements_within(sym, parent_elem.doc, parent_elem.start, parent_elem.end)
+                {
+                    consider(self, *cand, ft_probes);
                 }
             }
-            (TagTest::Name(tag), Axis::Child) => {
+            (CompiledTag::Sym(sym), Axis::Child) => {
                 let doc = db.coll.doc(parent_elem.doc);
-                if let Some(sym) = db.coll.symbols().get(tag) {
-                    for c in nav::children_with_tag(doc, parent_elem.node, sym) {
-                        consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
-                    }
+                for c in nav::children_with_tag(doc, parent_elem.node, sym) {
+                    consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
-            (TagTest::Star, Axis::Child) => {
+            (CompiledTag::Star, Axis::Child) => {
                 let doc = db.coll.doc(parent_elem.doc);
                 for c in nav::child_elements(doc, parent_elem.node) {
                     consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
-            (TagTest::Star, Axis::Descendant) => {
+            (CompiledTag::Star, Axis::Descendant) => {
                 let doc = db.coll.doc(parent_elem.doc);
                 for c in doc.descendant_elements(parent_elem.node) {
                     consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
+            (CompiledTag::Unmatchable, _) => {}
         }
         best
     }
@@ -359,13 +383,11 @@ impl Matcher {
         }
         // Case 2: on a pattern ancestor of the distinguished node.
         if self.path.contains(&node) {
-            if let Some(tag) = tpq.node(node).tag.name() {
-                if let Some(sym) = db.coll.symbols().get(tag) {
-                    let doc = db.coll.doc(answer.doc);
-                    if let Some(anc) = nav::ancestor_or_self_with_tag(doc, answer.node, sym) {
-                        let e = entry_of(db, answer.doc, anc);
-                        return phrase.score(db, &e);
-                    }
+            if let CompiledTag::Sym(sym) = self.tags[node.0 as usize] {
+                let doc = db.coll.doc(answer.doc);
+                if let Some(anc) = nav::ancestor_or_self_with_tag(doc, answer.node, sym) {
+                    let e = entry_of(db, answer.doc, anc);
+                    return phrase.score(db, &e);
                 }
             }
             return 0.0;
@@ -374,8 +396,7 @@ impl Matcher {
         // path ancestor.
         let scope = self.branch_scope(db, node, answer);
         let Some(scope) = scope else { return 0.0 };
-        let Some(tag) = tpq.node(node).tag.name() else { return 0.0 };
-        let Some(sym) = db.coll.symbols().get(tag) else { return 0.0 };
+        let CompiledTag::Sym(sym) = self.tags[node.0 as usize] else { return 0.0 };
         let mut best = 0.0f64;
         for cand in db.tags.elements_within(sym, scope.doc, scope.start, scope.end) {
             best = best.max(phrase.score(db, cand));
@@ -399,8 +420,7 @@ impl Matcher {
             }
             cur = tpq.node(c).parent;
         };
-        let tag = tpq.node(anchor).tag.name()?;
-        let sym = db.coll.symbols().get(tag)?;
+        let CompiledTag::Sym(sym) = self.tags[anchor.0 as usize] else { return None };
         let doc = db.coll.doc(answer.doc);
         let anc = nav::ancestor_or_self_with_tag(doc, answer.node, sym)?;
         Some(entry_of(db, answer.doc, anc))

@@ -121,18 +121,12 @@ mod oracle_tests {
                     a.k += kor.weight;
                 }
             }
-            let mut key = crate::answer::VorKey { tag: "item".into(), fields: Default::default() };
-            for attr in ["color", "num"] {
-                if let Some(v) = field_value(&db.coll, e.elem_ref(), attr) {
-                    key.fields.insert(
-                        attr.to_string(),
-                        match v {
-                            FieldValue::Num(n) => AttrValue::Num(n),
-                            FieldValue::Str(s) => AttrValue::Str(s),
-                        },
-                    );
-                }
-            }
+            let key = rank.make_key("item", |_, attr| {
+                field_value(&db.coll, e.elem_ref(), attr).map(|v| match v {
+                    FieldValue::Num(n) => AttrValue::Num(n),
+                    FieldValue::Str(s) => AttrValue::Str(s),
+                })
+            });
             a.vor = Some(Arc::new(key));
             answers.push(a);
         }

@@ -2,13 +2,14 @@
 //! bottom query-evaluation scan, SR outer-joins, `kor`, `vor`, and
 //! parametric `sort`. `topkPrune` lives in [`crate::topk`].
 
-use crate::answer::{Answer, VorKey};
+use crate::answer::Answer;
 use crate::context::{Database, ExecStats};
 use crate::eval::{entry_of, Matcher, PreparedPhrase};
 use crate::plan::EvalMode;
 use crate::rank::RankContext;
-use pimento_index::{field_value, ft_contains, ElemEntry, FieldValue};
+use pimento_index::{field_value_sym, ft_contains, ElemEntry, FieldValue};
 use pimento_profile::{AttrValue, KeywordOrderingRule};
+use pimento_xml::SymbolId;
 use std::sync::Arc;
 
 /// A pull-based operator producing answers one at a time.
@@ -161,6 +162,10 @@ pub struct KorJoin {
     input: BoxedOp,
     rule: KeywordOrderingRule,
     tokens: Vec<String>,
+    /// `tag_match[sym]` ⇔ the rule applies to elements with that interned
+    /// tag — the case-insensitive name comparison runs once per symbol at
+    /// plan build instead of once per answer.
+    tag_match: Box<[bool]>,
 }
 
 impl KorJoin {
@@ -168,7 +173,14 @@ impl KorJoin {
     /// first use would race the pull model, so analysis happens here).
     pub fn new(input: BoxedOp, db: &Database, rule: KeywordOrderingRule) -> Self {
         let tokens = db.inverted.analyze(&rule.phrase);
-        KorJoin { input, rule, tokens }
+        let all = rule.tag == "*";
+        let tag_match = db
+            .coll
+            .symbols()
+            .iter()
+            .map(|name| all || name.eq_ignore_ascii_case(&rule.tag))
+            .collect();
+        KorJoin { input, rule, tokens, tag_match }
     }
 
     /// The rule's weight — its contribution to upstream kor-scorebounds.
@@ -181,9 +193,7 @@ impl Operator for KorJoin {
     fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
         let mut a = self.input.next(db, stats)?;
         let tag_matches = match db.coll.node(a.elem.elem_ref()).tag() {
-            Some(t) => {
-                self.rule.tag == "*" || db.coll.symbols().name(t).eq_ignore_ascii_case(&self.rule.tag)
-            }
+            Some(t) => self.tag_match.get(t.0 as usize).copied().unwrap_or(false),
             None => false,
         };
         if tag_matches {
@@ -202,52 +212,48 @@ impl Operator for KorJoin {
 
 // ---------------------------------------------------------------------------
 
-/// The `vor` operator (paper Fig. 3): augments answers with the attribute
-/// values the value-based ordering rules compare on.
+/// The `vor` operator (paper Fig. 3): augments answers with the compiled
+/// key the value-based ordering rules compare on. Attribute names resolve
+/// to interned symbols once at plan build; per answer the fetch probes by
+/// [`SymbolId`] and compiles the values into slot order.
 pub struct VorFetch {
     input: BoxedOp,
-    attrs: Vec<String>,
+    rank: Arc<RankContext>,
+    /// Interned symbol per slot of [`RankContext::vor_attrs`]; `None`
+    /// when the attribute name never occurs in the collection (the value
+    /// is then absent from every key, as with the string path).
+    attr_syms: Vec<Option<SymbolId>>,
 }
 
 impl VorFetch {
     /// Fetch every attribute mentioned by the context's VORs.
-    pub fn new(input: BoxedOp, rank: &RankContext) -> Self {
-        let mut attrs: Vec<String> = rank
-            .vors
-            .iter()
-            .flat_map(|r| r.attrs().into_iter().map(str::to_string))
-            .collect();
-        attrs.sort();
-        attrs.dedup();
-        VorFetch { input, attrs }
+    pub fn new(input: BoxedOp, db: &Database, rank: &Arc<RankContext>) -> Self {
+        let attr_syms =
+            rank.vor_attrs().iter().map(|a| db.coll.symbols().get(a)).collect();
+        VorFetch { input, rank: Arc::clone(rank), attr_syms }
     }
 }
 
 impl Operator for VorFetch {
     fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
         let mut a = self.input.next(db, stats)?;
-        let tag = db
-            .coll
-            .node(a.elem.elem_ref())
-            .tag()
-            .map(|t| db.coll.symbols().name(t).to_string())
-            .unwrap_or_default();
-        let mut key = VorKey { tag, fields: Default::default() };
-        for attr in &self.attrs {
-            if let Some(v) = field_value(&db.coll, a.elem.elem_ref(), attr) {
-                let v = match v {
+        let elem = a.elem.elem_ref();
+        let tag = db.coll.node(elem).tag().map(|t| db.coll.symbols().name(t)).unwrap_or("");
+        let attr_syms = &self.attr_syms;
+        let key = self.rank.make_key(tag, |slot, _| {
+            attr_syms[slot]
+                .and_then(|sym| field_value_sym(&db.coll, elem, sym))
+                .map(|v| match v {
                     FieldValue::Num(n) => AttrValue::Num(n),
                     FieldValue::Str(s) => AttrValue::Str(s),
-                };
-                key.fields.insert(attr.clone(), v);
-            }
-        }
+                })
+        });
         a.vor = Some(Arc::new(key));
         Some(a)
     }
 
     fn describe(&self) -> String {
-        format!("vor({}) -> {}", self.attrs.join(","), self.input.describe())
+        format!("vor({}) -> {}", self.rank.vor_attrs().join(","), self.input.describe())
     }
 }
 
@@ -258,30 +264,29 @@ impl Operator for VorFetch {
 pub struct Sort {
     input: BoxedOp,
     rank: Arc<RankContext>,
-    buffer: Vec<Answer>,
-    cursor: usize,
-    materialized: bool,
+    /// `Some` once the input has been drained and ranked; answers are
+    /// then moved out one at a time (no per-emit clone).
+    sorted: Option<std::vec::IntoIter<Answer>>,
 }
 
 impl Sort {
     /// Sort `input` by `rank`'s order.
     pub fn new(input: BoxedOp, rank: Arc<RankContext>) -> Self {
-        Sort { input, rank, buffer: Vec::new(), cursor: 0, materialized: false }
+        Sort { input, rank, sorted: None }
     }
 }
 
 impl Operator for Sort {
     fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
-        if !self.materialized {
-            self.materialized = true;
+        if self.sorted.is_none() {
+            let mut buffer = Vec::new();
             while let Some(a) = self.input.next(db, stats) {
-                self.buffer.push(a);
+                buffer.push(a);
             }
-            self.rank.rank(&mut self.buffer, stats);
+            self.rank.rank(&mut buffer, stats);
+            self.sorted = Some(buffer.into_iter());
         }
-        let a = self.buffer.get(self.cursor).cloned();
-        self.cursor += 1;
-        a
+        self.sorted.as_mut()?.next()
     }
 
     fn describe(&self) -> String {
@@ -364,13 +369,13 @@ mod tests {
             vec![pimento_profile::ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
             RankOrder::Kvs,
         );
-        let op = Box::new(VorFetch::new(scan(&db, "//person"), &rank));
+        let op = Box::new(VorFetch::new(scan(&db, "//person"), &db, &rank));
         let (out, _) = drain(op, &db);
         assert_eq!(out.len(), 3);
         for a in &out {
             let key = a.vor.as_ref().unwrap();
-            assert_eq!(key.tag, "person");
-            assert!(key.fields.contains_key("age"));
+            assert_eq!(key.tag(), "person");
+            assert!(rank.key_has(key, "age"));
         }
     }
 
@@ -464,12 +469,12 @@ mod op_edge_tests {
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//car").unwrap()),
         ));
-        let op: BoxedOp = Box::new(VorFetch::new(Box::new(QueryEval::new(m)), &rank));
+        let op: BoxedOp = Box::new(VorFetch::new(Box::new(QueryEval::new(m)), &db, &rank));
         let out = drain(op, &db);
         assert_eq!(out.len(), 2);
         let keys: Vec<bool> = out
             .iter()
-            .map(|a| a.vor.as_ref().unwrap().fields.contains_key("color"))
+            .map(|a| rank.key_has(a.vor.as_ref().unwrap(), "color"))
             .collect();
         assert_eq!(keys.iter().filter(|&&b| b).count(), 1);
     }

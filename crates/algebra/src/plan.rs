@@ -517,7 +517,7 @@ pub(crate) fn assemble(
     // paper's plan shape), because mid-plan prunes decide on K alone.
     let vor_at_bottom = !rank.vors.is_empty() && rank.order == pimento_profile::RankOrder::Vks;
     if vor_at_bottom {
-        op = Box::new(VorFetch::new(op, &rank));
+        op = Box::new(VorFetch::new(op, db, &rank));
         op = wrap(op, "vor(bottom)".to_string());
         stages.push(Stage::VorFetch);
     }
@@ -591,7 +591,7 @@ pub(crate) fn assemble(
     // vor (unless fetched at the bottom), final sort, final topkPrune —
     // common to all strategies.
     if !rank.vors.is_empty() && !vor_at_bottom {
-        op = Box::new(VorFetch::new(op, &rank));
+        op = Box::new(VorFetch::new(op, db, &rank));
         op = wrap(op, "vor".to_string());
         stages.push(Stage::VorFetch);
     }

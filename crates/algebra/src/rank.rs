@@ -8,25 +8,52 @@
 //! incomparabilities fall through to the next component, and `(doc,
 //! start)` breaks final ties so every plan produces the same output.
 
-use crate::answer::Answer;
+use crate::answer::{Answer, VorKey};
 use crate::context::ExecStats;
-use pimento_profile::{compare_all, RankOrder, ValueOrderingRule, VorOutcome};
+use pimento_profile::{AttrValue, CompiledVors, RankOrder, ValueOrderingRule, VorOutcome};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
-/// Shared ranking context: the VOR set and the configured rank order.
+/// Shared ranking context: the VOR set (both as source rules and compiled
+/// into id-based tables) and the configured rank order.
 #[derive(Debug, Clone, Default)]
 pub struct RankContext {
-    /// Value-based ordering rules (with priorities).
+    /// Value-based ordering rules (with priorities) — the source form,
+    /// kept for plan explanation and result annotation.
     pub vors: Vec<ValueOrderingRule>,
     /// `K,V,S` or `V,K,S`.
     pub order: RankOrder,
+    /// The rules compiled for slot/id-based `≺_V` — see
+    /// [`pimento_profile::CompiledVors`].
+    compiled: CompiledVors,
 }
 
 impl RankContext {
     /// Context with no VORs (V compares Equal everywhere).
     pub fn new(vors: Vec<ValueOrderingRule>, order: RankOrder) -> Arc<Self> {
-        Arc::new(RankContext { vors, order })
+        let compiled = CompiledVors::compile(&vors);
+        Arc::new(RankContext { vors, order, compiled })
+    }
+
+    /// Sorted, deduplicated attribute names the VOR set reads; slot `i`
+    /// of a [`VorKey`] holds the value of `vor_attrs()[i]`.
+    pub fn vor_attrs(&self) -> &[String] {
+        self.compiled.attrs()
+    }
+
+    /// Compile an answer's `≺_V` key. `get(slot, attr)` supplies the
+    /// answer's value for each attribute in [`Self::vor_attrs`] order.
+    pub fn make_key(
+        &self,
+        tag: &str,
+        get: impl FnMut(usize, &str) -> Option<AttrValue>,
+    ) -> VorKey {
+        self.compiled.make_key(tag, get)
+    }
+
+    /// Does `key` carry a value for `attr`?
+    pub fn key_has(&self, key: &VorKey, attr: &str) -> bool {
+        self.compiled.key_has(key, attr)
     }
 
     /// `≺_V` on two answers. Answers whose VOR key has not been fetched
@@ -37,9 +64,7 @@ impl RankContext {
         }
         stats.vor_comparisons += 1;
         match (&a.vor, &b.vor) {
-            (Some(ka), Some(kb)) => {
-                compare_all(&self.vors, &ka.tag, &kb.tag, &ka.getter(), &kb.getter())
-            }
+            (Some(ka), Some(kb)) => self.compiled.compare(ka, kb),
             _ => VorOutcome::Incomparable,
         }
     }
@@ -113,18 +138,27 @@ impl RankContext {
         }
         let mut layers = Vec::new();
         while !pool.is_empty() {
-            let mut maximal = Vec::new();
-            let mut rest = Vec::new();
+            // Decide dominance with an immutable pairwise pass, then move
+            // the answers out of the pool — no per-round clones.
+            let mut dominated = vec![false; pool.len()];
             'next: for i in 0..pool.len() {
                 for j in 0..pool.len() {
                     if i != j
                         && self.vor_compare(&pool[j], &pool[i], stats) == VorOutcome::PreferA
                     {
-                        rest.push(pool[i].clone());
+                        dominated[i] = true;
                         continue 'next;
                     }
                 }
-                maximal.push(pool[i].clone());
+            }
+            let mut maximal = Vec::new();
+            let mut rest = Vec::new();
+            for (a, dom) in pool.into_iter().zip(dominated) {
+                if dom {
+                    rest.push(a);
+                } else {
+                    maximal.push(a);
+                }
             }
             if maximal.is_empty() {
                 // Defensive: a preference cycle (only possible if static
@@ -167,13 +201,18 @@ fn split_groups(answers: Vec<Answer>, key: impl Fn(&Answer) -> f64) -> Vec<Vec<A
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::answer::VorKey;
     use pimento_index::{DocId, ElemEntry};
-    use pimento_profile::AttrValue;
     use pimento_xml::NodeId;
     use std::collections::HashMap;
 
-    fn mk(start: u32, s: f64, k: f64, color: Option<&str>, mileage: Option<f64>) -> Answer {
+    fn mk(
+        ctx: &RankContext,
+        start: u32,
+        s: f64,
+        k: f64,
+        color: Option<&str>,
+        mileage: Option<f64>,
+    ) -> Answer {
         let elem = ElemEntry { doc: DocId(0), node: NodeId(start), start, end: start + 1, level: 1 };
         let mut fields = HashMap::new();
         if let Some(c) = color {
@@ -182,7 +221,8 @@ mod tests {
         if let Some(m) = mileage {
             fields.insert("mileage".to_string(), AttrValue::Num(m));
         }
-        Answer { elem, s, k, vor: Some(Arc::new(VorKey { tag: "car".into(), fields })) }
+        let key = ctx.make_key("car", |_, attr| fields.get(attr).cloned());
+        Answer { elem, s, k, vor: Some(Arc::new(key)) }
     }
 
     fn red_rule() -> ValueOrderingRule {
@@ -192,7 +232,8 @@ mod tests {
     #[test]
     fn kvs_orders_k_first() {
         let ctx = RankContext::new(vec![], RankOrder::Kvs);
-        let mut ans = vec![mk(1, 0.9, 0.0, None, None), mk(2, 0.1, 1.0, None, None)];
+        let mut ans =
+            vec![mk(&ctx, 1, 0.9, 0.0, None, None), mk(&ctx, 2, 0.1, 1.0, None, None)];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
         assert_eq!(ans[0].elem.start, 2, "higher K wins despite lower S");
@@ -202,8 +243,8 @@ mod tests {
     fn kvs_v_breaks_k_ties() {
         let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
         let mut ans = vec![
-            mk(1, 0.9, 1.0, Some("blue"), None),
-            mk(2, 0.1, 1.0, Some("red"), None),
+            mk(&ctx, 1, 0.9, 1.0, Some("blue"), None),
+            mk(&ctx, 2, 0.1, 1.0, Some("red"), None),
         ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
@@ -215,8 +256,8 @@ mod tests {
     fn s_breaks_remaining_ties() {
         let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
         let mut ans = vec![
-            mk(1, 0.2, 0.0, Some("red"), None),
-            mk(2, 0.8, 0.0, Some("red"), None),
+            mk(&ctx, 1, 0.2, 0.0, Some("red"), None),
+            mk(&ctx, 2, 0.8, 0.0, Some("red"), None),
         ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
@@ -227,8 +268,8 @@ mod tests {
     fn vks_orders_v_before_k() {
         let ctx = RankContext::new(vec![red_rule()], RankOrder::Vks);
         let mut ans = vec![
-            mk(1, 0.0, 5.0, Some("blue"), None),
-            mk(2, 0.0, 0.0, Some("red"), None),
+            mk(&ctx, 1, 0.0, 5.0, Some("blue"), None),
+            mk(&ctx, 2, 0.0, 0.0, Some("red"), None),
         ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
@@ -246,9 +287,9 @@ mod tests {
         // so red answers dominate non-red ones.
         let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
         let mut ans = vec![
-            mk(1, 0.9, 0.0, Some("blue"), None),
-            mk(2, 0.5, 0.0, Some("red"), None),
-            mk(3, 0.7, 0.0, Some("green"), None),
+            mk(&ctx, 1, 0.9, 0.0, Some("blue"), None),
+            mk(&ctx, 2, 0.5, 0.0, Some("red"), None),
+            mk(&ctx, 3, 0.7, 0.0, Some("green"), None),
         ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
@@ -260,7 +301,8 @@ mod tests {
     #[test]
     fn deterministic_tiebreak() {
         let ctx = RankContext::new(vec![], RankOrder::Kvs);
-        let mut ans = vec![mk(2, 0.5, 0.0, None, None), mk(1, 0.5, 0.0, None, None)];
+        let mut ans =
+            vec![mk(&ctx, 2, 0.5, 0.0, None, None), mk(&ctx, 1, 0.5, 0.0, None, None)];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
         assert_eq!(ans[0].elem.start, 1, "document order breaks exact ties");
@@ -273,9 +315,9 @@ mod tests {
         let r2 = red_rule().with_priority(1);
         let ctx = RankContext::new(vec![r1, r2], RankOrder::Kvs);
         let mut ans = vec![
-            mk(1, 0.0, 0.0, Some("red"), Some(90.0)),
-            mk(2, 0.0, 0.0, Some("blue"), Some(10.0)),
-            mk(3, 0.0, 0.0, Some("red"), Some(10.0)),
+            mk(&ctx, 1, 0.0, 0.0, Some("red"), Some(90.0)),
+            mk(&ctx, 2, 0.0, 0.0, Some("blue"), Some(10.0)),
+            mk(&ctx, 3, 0.0, 0.0, Some("red"), Some(10.0)),
         ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
@@ -287,9 +329,9 @@ mod tests {
     #[test]
     fn unfetched_vor_keys_are_incomparable() {
         let ctx = RankContext::new(vec![red_rule()], RankOrder::Kvs);
-        let mut a = mk(1, 0.0, 0.0, Some("red"), None);
+        let mut a = mk(&ctx, 1, 0.0, 0.0, Some("red"), None);
         a.vor = None;
-        let b = mk(2, 0.0, 0.0, Some("blue"), None);
+        let b = mk(&ctx, 2, 0.0, 0.0, Some("blue"), None);
         let mut st = ExecStats::default();
         assert_eq!(ctx.vor_compare(&a, &b, &mut st), VorOutcome::Incomparable);
     }

@@ -259,11 +259,9 @@ impl Operator for TopkPrune {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::answer::VorKey;
     use pimento_index::{Collection, DocId, ElemEntry};
     use pimento_profile::{AttrValue, RankOrder, ValueOrderingRule};
     use pimento_xml::NodeId;
-    use std::collections::HashMap;
 
     /// A stub source yielding preset answers.
     struct Stub(Vec<Answer>, usize);
@@ -289,11 +287,12 @@ mod tests {
         Answer { elem, s, k, vor: None }
     }
 
-    fn mk_v(start: u32, s: f64, k: f64, color: &str) -> Answer {
+    fn mk_v(ctx: &RankContext, start: u32, s: f64, k: f64, color: &str) -> Answer {
         let mut a = mk(start, s, k);
-        let mut fields = HashMap::new();
-        fields.insert("color".to_string(), AttrValue::Str(color.to_string()));
-        a.vor = Some(Arc::new(VorKey { tag: "car".into(), fields }));
+        let key = ctx.make_key("car", |_, attr| {
+            (attr == "color").then(|| AttrValue::Str(color.to_string()))
+        });
+        a.vor = Some(Arc::new(key));
         a
     }
 
@@ -393,8 +392,11 @@ mod tests {
         // dominated by both → pruned even though S bound alone would not
         // prune it at sb=0 (S: 0.1 < 0.5 prunes anyway; use S equal to
         // isolate V).
-        let answers =
-            vec![mk_v(1, 0.5, 0.0, "red"), mk_v(2, 0.5, 0.0, "red"), mk_v(3, 0.5, 0.0, "blue")];
+        let answers = vec![
+            mk_v(&rank, 1, 0.5, 0.0, "red"),
+            mk_v(&rank, 2, 0.5, 0.0, "red"),
+            mk_v(&rank, 3, 0.5, 0.0, "blue"),
+        ];
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, true));
         let (out, stats) = run(&mut op);
         assert_eq!(out.len(), 2);
@@ -410,7 +412,7 @@ mod tests {
         let rank = RankContext::new(vec![red_rule], RankOrder::Kvs);
         let mut no_key = mk(3, 0.5, 0.0);
         no_key.vor = None;
-        let answers = vec![mk_v(1, 0.5, 0.0, "red"), mk_v(2, 0.5, 0.0, "red"), no_key];
+        let answers = vec![mk_v(&rank, 1, 0.5, 0.0, "red"), mk_v(&rank, 2, 0.5, 0.0, "red"), no_key];
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, true));
         let (out, stats) = run(&mut op);
         assert_eq!(out.len(), 3);
@@ -421,8 +423,11 @@ mod tests {
     fn algorithm2_equal_v_falls_to_s() {
         let red_rule = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
         let rank = RankContext::new(vec![red_rule], RankOrder::Kvs);
-        let answers =
-            vec![mk_v(1, 0.9, 0.0, "red"), mk_v(2, 0.8, 0.0, "red"), mk_v(3, 0.1, 0.0, "red")];
+        let answers = vec![
+            mk_v(&rank, 1, 0.9, 0.0, "red"),
+            mk_v(&rank, 2, 0.8, 0.0, "red"),
+            mk_v(&rank, 3, 0.1, 0.0, "red"),
+        ];
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, true));
         let (out, stats) = run(&mut op);
         assert_eq!(out.len(), 2);

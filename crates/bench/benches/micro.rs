@@ -225,7 +225,7 @@ fn bench_topk_prune(c: &mut Criterion) {
     // §6.3 ablation: the three pruning regimes over a synthetic stream of
     // 10k answers (Algorithm 1: S only; Algorithm 3: K bound; Algorithm 2:
     // V comparisons on K ties).
-    use pimento::algebra::{Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune, VorKey};
+    use pimento::algebra::{Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune};
     use pimento::index::{DocId, ElemEntry};
     use pimento::profile::{AttrValue, RankOrder, ValueOrderingRule};
     use std::sync::Arc;
@@ -245,6 +245,12 @@ fn bench_topk_prune(c: &mut Criterion) {
     let mut coll = Collection::new();
     coll.add_xml("<x/>").unwrap();
     let db = Database::index_plain(coll);
+    // Compile the VOR keys against the rule set the V-aware regime uses
+    // (contexts with no rules never inspect the keys).
+    let key_ctx = RankContext::new(
+        vec![ValueOrderingRule::prefer_value("red", "car", "color", "red")],
+        RankOrder::Kvs,
+    );
     let answers: Vec<Answer> = (0..10_000u32)
         .map(|i| {
             let elem = ElemEntry {
@@ -256,12 +262,11 @@ fn bench_topk_prune(c: &mut Criterion) {
             };
             let mut a = Answer::new(elem, ((i * 7919) % 1000) as f64 / 1000.0);
             a.k = (i % 5) as f64;
-            let mut fields = std::collections::HashMap::new();
-            fields.insert(
-                "color".to_string(),
-                AttrValue::Str(if i % 3 == 0 { "red" } else { "blue" }.into()),
-            );
-            a.vor = Some(Arc::new(VorKey { tag: "car".into(), fields }));
+            let key = key_ctx.make_key("car", |_, attr| {
+                (attr == "color")
+                    .then(|| AttrValue::Str(if i % 3 == 0 { "red" } else { "blue" }.into()))
+            });
+            a.vor = Some(Arc::new(key));
             a
         })
         .collect();

@@ -280,7 +280,7 @@ impl Engine {
             op = Box::new(pimento_algebra::KorJoin::new(op, &self.db, kor));
         }
         if !rank.vors.is_empty() {
-            op = Box::new(VorFetch::new(op, &rank));
+            op = Box::new(VorFetch::new(op, &self.db, &rank));
         }
         let mut answers: Vec<Answer> = Vec::new();
         while let Some(a) = op.next(&self.db, &mut stats) {

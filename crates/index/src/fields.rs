@@ -9,6 +9,7 @@
 
 use crate::store::{Collection, ElemRef};
 use pimento_xml::nav::children_with_tag;
+use pimento_xml::SymbolId;
 
 /// A typed value extracted from a document.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,22 +80,27 @@ impl FieldValue {
 /// (real-world schemas nest fields — XMark keeps `age` inside
 /// `person/profile`, while the rules say `x.age`).
 pub fn field_value(coll: &Collection, elem: ElemRef, field: &str) -> Option<FieldValue> {
+    coll.symbols().get(field).and_then(|sym| field_value_sym(coll, elem, sym))
+}
+
+/// [`field_value`] with the field name already resolved to an interned
+/// symbol — the hot-path form: operators resolve each attribute name to a
+/// [`SymbolId`] once per plan and probe by id per answer.
+pub fn field_value_sym(coll: &Collection, elem: ElemRef, sym: SymbolId) -> Option<FieldValue> {
     let doc = coll.doc(elem.doc);
     let node = doc.node(elem.node);
-    if let Some(sym) = coll.symbols().get(field) {
-        if let Some(v) = node.attr(sym) {
-            return Some(FieldValue::parse(v));
-        }
-        if let Some(child) = children_with_tag(doc, elem.node, sym).next() {
-            return Some(FieldValue::parse(&doc.text_content(child)));
-        }
-        if let Some(desc) = doc
-            .descendant_elements(elem.node)
-            .into_iter()
-            .find(|&n| doc.node(n).tag() == Some(sym))
-        {
-            return Some(FieldValue::parse(&doc.text_content(desc)));
-        }
+    if let Some(v) = node.attr(sym) {
+        return Some(FieldValue::parse(v));
+    }
+    if let Some(child) = children_with_tag(doc, elem.node, sym).next() {
+        return Some(FieldValue::parse(&doc.text_content(child)));
+    }
+    if let Some(desc) = doc
+        .descendant_elements(elem.node)
+        .into_iter()
+        .find(|&n| doc.node(n).tag() == Some(sym))
+    {
+        return Some(FieldValue::parse(&doc.text_content(desc)));
     }
     None
 }

@@ -6,7 +6,8 @@
 //! format:
 //!
 //! ```text
-//! magic   "PIMCOL1\0"                    8 bytes
+//! magic   "PIMCOL2\0"                    8 bytes
+//! u32     format version (currently 2)
 //! u32     symbol count                   then len-prefixed UTF-8 names
 //! u32     document count
 //! per document:
@@ -26,13 +27,27 @@
 //! truncation/corruption; [`Document::from_parts`] re-validates the arena
 //! invariants on load, so a malformed snapshot fails loudly instead of
 //! producing an inconsistent store.
+//!
+//! ## Versioning
+//!
+//! The header is versioned: the magic identifies the family and the `u32`
+//! that follows it is the format version. Snapshots from a different
+//! format — including seed-era `"PIMCOL1\0"` snapshots, which carried no
+//! version field — are rejected with the typed
+//! [`PersistError::SnapshotVersion`] instead of being garbage-decoded.
+//! The serialized symbol table (names in [`SymbolId`] order) is part of
+//! the payload, so reloading reproduces identical interned ids.
 
 use crate::store::Collection;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pimento_xml::{Document, Node, NodeId, NodeKind, SymbolId, SymbolTable};
 use std::fmt;
 
-const MAGIC: &[u8; 8] = b"PIMCOL1\0";
+const MAGIC: &[u8; 8] = b"PIMCOL2\0";
+/// Seed-era magic: format 1 snapshots had no version field after the magic.
+const LEGACY_MAGIC: &[u8; 8] = b"PIMCOL1\0";
+/// Current snapshot format version (the `u32` following the magic).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Snapshot decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +64,14 @@ pub enum PersistError {
     BadArena(&'static str),
     /// A symbol id pointed outside the table.
     BadSymbol,
+    /// The snapshot is from a different format version.
+    SnapshotVersion {
+        /// Version the snapshot declares (1 for seed-era headers, which
+        /// carried no explicit version field).
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -60,6 +83,11 @@ impl fmt::Display for PersistError {
             PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::BadArena(why) => write!(f, "snapshot arena invalid: {why}"),
             PersistError::BadSymbol => write!(f, "snapshot references an unknown symbol"),
+            PersistError::SnapshotVersion { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not supported (expected {expected}); \
+                 re-create the snapshot with this build"
+            ),
         }
     }
 }
@@ -70,6 +98,7 @@ impl std::error::Error for PersistError {}
 pub fn save_collection(coll: &Collection) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024);
     buf.put_slice(MAGIC);
+    buf.put_u32_le(FORMAT_VERSION);
     let symbols = coll.symbols();
     buf.put_u32_le(symbols.len() as u32);
     for i in 0..symbols.len() as u32 {
@@ -128,10 +157,21 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
         return Err(PersistError::ChecksumMismatch);
     }
     let mut buf = body;
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    if buf.len() < MAGIC.len() {
+        return Err(PersistError::Truncated);
+    }
+    if &buf[..MAGIC.len()] == LEGACY_MAGIC {
+        // Seed-era snapshot: same family, pre-versioning header.
+        return Err(PersistError::SnapshotVersion { found: 1, expected: FORMAT_VERSION });
+    }
+    if &buf[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadMagic);
     }
     buf.advance(MAGIC.len());
+    let version = get_u32(&mut buf)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::SnapshotVersion { found: version, expected: FORMAT_VERSION });
+    }
 
     let mut symbols = SymbolTable::new();
     let n_syms = get_u32(&mut buf)?;
@@ -312,6 +352,40 @@ mod tests {
         let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
         bytes[body_len..].copy_from_slice(&sum);
         assert!(matches!(load_collection(&bytes), Err(PersistError::BadMagic)));
+    }
+
+    /// Rewrite a current snapshot into the seed "PIMCOL1\0" layout (legacy
+    /// magic, no version field) with a valid checksum.
+    fn as_seed_format(snapshot: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(snapshot.len() - 4);
+        bytes.extend_from_slice(b"PIMCOL1\0");
+        // Skip the version u32; keep the payload, drop the old checksum.
+        bytes.extend_from_slice(&snapshot[12..snapshot.len() - 8]);
+        let sum = fnv1a(&bytes).to_le_bytes();
+        bytes.extend_from_slice(&sum);
+        bytes
+    }
+
+    #[test]
+    fn seed_format_snapshot_is_rejected_with_typed_error() {
+        let seed = as_seed_format(&save_collection(&sample()));
+        assert!(matches!(
+            load_collection(&seed),
+            Err(PersistError::SnapshotVersion { found: 1, expected: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let mut bytes = save_collection(&sample()).to_vec();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        assert!(matches!(
+            load_collection(&bytes),
+            Err(PersistError::SnapshotVersion { found: 99, expected: FORMAT_VERSION })
+        ));
     }
 
     #[test]

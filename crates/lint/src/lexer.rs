@@ -18,7 +18,10 @@ pub enum TokKind {
     /// Integer literal (`0`, `42usize`, `0xFF`). Distinguished because a
     /// comparison against one proves the other operand is not an `f64`.
     Int,
-    /// Any other literal: string, raw string, char, byte string, float.
+    /// String-ish literal (plain, raw, or byte string). Distinguished
+    /// because an equality against one proves a string comparison.
+    Str,
+    /// Any other literal: char, float.
     Lit,
 }
 
@@ -132,7 +135,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
                     }
                 }
                 bump!(k - i);
-                toks.push(Tok { line: open_line, kind: TokKind::Lit });
+                toks.push(Tok { line: open_line, kind: TokKind::Str });
                 continue;
             }
             // Not a raw string: fall through to identifier handling.
@@ -153,7 +156,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 }
             }
             bump!(j - i);
-            toks.push(Tok { line: open_line, kind: TokKind::Lit });
+            toks.push(Tok { line: open_line, kind: TokKind::Str });
             continue;
         }
 
@@ -307,6 +310,15 @@ mod tests {
         let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
         let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
         assert_eq!(lits, 1, "only the char literal: {toks:?}");
+    }
+
+    #[test]
+    fn string_literals_are_distinguished() {
+        let toks = lex(r##"let a = "s"; let b = r#"raw"#; let c = b"bytes"; let d = 'x'; let e = 1.5;"##);
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 3, "plain, raw, byte strings: {toks:?}");
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 2, "char and float stay Lit: {toks:?}");
     }
 
     #[test]

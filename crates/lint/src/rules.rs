@@ -2,13 +2,14 @@
 //! one source file (see DESIGN.md §9 for the catalog and the failure each
 //! rule prevents).
 //!
-//! | rule              | invariant                                                        |
-//! |-------------------|------------------------------------------------------------------|
-//! | `float-cmp`       | score ordering goes through `rank::cmp_f64_desc` only            |
-//! | `hot-path-panic`  | no `unwrap`/`expect`/`panic!` family in hot-path modules         |
-//! | `thread-spawn`    | all parallelism passes the `effective_workers` clamp             |
-//! | `static-mut`      | no `static mut` anywhere                                         |
-//! | `forbid-unsafe`   | every crate root carries `#![forbid(unsafe_code)]`               |
+//! | rule               | invariant                                                        |
+//! |--------------------|------------------------------------------------------------------|
+//! | `float-cmp`        | score ordering goes through `rank::cmp_f64_desc` only            |
+//! | `hot-path-panic`   | no `unwrap`/`expect`/`panic!` family in hot-path modules         |
+//! | `hot-path-str-cmp` | answer-comparison modules compare interned ids, not strings      |
+//! | `thread-spawn`     | all parallelism passes the `effective_workers` clamp             |
+//! | `static-mut`       | no `static mut` anywhere                                         |
+//! | `forbid-unsafe`    | every crate root carries `#![forbid(unsafe_code)]`               |
 //!
 //! Rules are token-level and skip `#[cfg(test)]` items (and files under
 //! `tests/`, `benches/`, `examples/`), so test scaffolding can use
@@ -51,6 +52,20 @@ pub fn is_hot_path(path: &str) -> bool {
                 | "crates/algebra/src/topk.rs"
                 | "crates/algebra/src/plan.rs"
         )
+}
+
+/// Per-answer comparison modules where string equality is banned: tag
+/// tests and `≺_V` value equality run once per answer (or per answer
+/// pair), so they must go through interned symbols / compiled VOR keys
+/// (DESIGN.md §10) — name comparisons belong at plan build.
+pub fn is_answer_cmp_module(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/algebra/src/eval.rs"
+            | "crates/algebra/src/ops.rs"
+            | "crates/algebra/src/rank.rs"
+            | "crates/algebra/src/topk.rs"
+    )
 }
 
 /// Modules allowed to spawn threads (both sit behind `effective_workers`).
@@ -200,6 +215,35 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                         "hot-path-panic",
                         t.line,
                         format!("`{name}!` in a hot-path module — hot paths must not abort"),
+                    );
+                }
+            }
+        }
+
+        // hot-path-str-cmp (a): `.eq_ignore_ascii_case(` in an
+        // answer-comparison module.
+        if is_answer_cmp_module(path)
+            && t.is_punct(".")
+            && toks.get(i + 1).map(|n| n.is_ident("eq_ignore_ascii_case")).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
+        {
+            push(
+                "hot-path-str-cmp",
+                toks[i + 1].line,
+                "case-insensitive string comparison in an answer-comparison module — resolve names to interned symbols / compiled VOR ids at plan build".into(),
+            );
+        }
+
+        // hot-path-str-cmp (b): `==` / `!=` against a string literal.
+        if is_answer_cmp_module(path) {
+            if let TokKind::Punct(op) = &t.kind {
+                let str_operand = (i > 0 && matches!(toks[i - 1].kind, TokKind::Str))
+                    || matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Str));
+                if matches!(*op, "==" | "!=") && str_operand {
+                    push(
+                        "hot-path-str-cmp",
+                        t.line,
+                        format!("string-literal `{op}` comparison in an answer-comparison module — intern the name and compare ids"),
                     );
                 }
             }
@@ -417,6 +461,41 @@ mod tests {
     fn cfg_not_test_is_not_skipped() {
         let src = "#[cfg(not(test))] pub fn g(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(rules_hit(HOT, src), vec!["hot-path-panic"]);
+    }
+
+    #[test]
+    fn seeded_hot_path_str_cmp_is_caught() {
+        let src = r#"fn f(have: &str, want: &str) -> bool { have.eq_ignore_ascii_case(want) }"#;
+        assert_eq!(rules_hit("crates/algebra/src/eval.rs", src), vec!["hot-path-str-cmp"]);
+        let src2 = r#"fn f(tag: &str) -> bool { tag == "*" }"#;
+        assert_eq!(rules_hit("crates/algebra/src/ops.rs", src2), vec!["hot-path-str-cmp"]);
+        let src3 = r#"fn f(tag: &str) -> bool { "car" != tag }"#;
+        assert_eq!(rules_hit("crates/algebra/src/topk.rs", src3), vec!["hot-path-str-cmp"]);
+    }
+
+    #[test]
+    fn str_cmp_outside_answer_modules_passes() {
+        let src = r#"fn f(tag: &str) -> bool { tag == "*" || tag.eq_ignore_ascii_case("car") }"#;
+        assert!(rules_hit("crates/core/src/engine.rs", src).is_empty());
+        assert!(rules_hit("crates/profile/src/vor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn symbol_id_comparison_passes_in_answer_modules() {
+        let src = "fn f(want: SymbolId, have: SymbolId) -> bool { want == have }";
+        assert!(rules_hit("crates/algebra/src/eval.rs", src).is_empty());
+    }
+
+    #[test]
+    fn str_cmp_in_answer_module_tests_passes() {
+        let src = r#"
+            pub fn fine() {}
+            #[cfg(test)]
+            mod tests {
+                fn t(key: &Key) { assert!(key.tag() == "car"); }
+            }
+        "#;
+        assert!(rules_hit("crates/algebra/src/ops.rs", src).is_empty());
     }
 
     #[test]

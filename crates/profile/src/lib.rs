@@ -44,19 +44,21 @@ pub mod scoping;
 pub mod thesaurus;
 pub mod validate;
 pub mod vor;
+pub mod vor_table;
 
 pub use ambiguity::{detect_ambiguity, detect_ambiguity_with_priorities, AmbiguityReport};
 pub use conflict::{analyze as analyze_conflicts, conflicts, ConflictAnalysis, ConflictError};
 pub use flock::{personalize, personalize_ordered, PersonalizedQuery, QueryFlock};
 pub use kor::KeywordOrderingRule;
 pub use parse::{parse_profile, parse_rule, ParsedRule, PrefRelRegistry, RuleParseError};
-pub use prefrel::PrefRel;
+pub use prefrel::{PrefRel, PrefTable};
 pub use profile::{RankOrder, UserProfile};
 pub use render::{render_kor, render_profile, render_scoping, render_vor, RenderError};
 pub use scoping::{Atom, Edit, ScopingRule, SrAction};
 pub use thesaurus::Thesaurus;
 pub use validate::{validate, Finding, FindingKind, Severity, VerifyReport, Warning};
 pub use vor::{compare_all, AttrValue, PrefOp, RuleCmp, ValueOrderingRule, VorForm, VorOutcome};
+pub use vor_table::{CompiledKey, CompiledVors};
 
 #[cfg(test)]
 mod proptests {

@@ -628,7 +628,7 @@ impl<'r> Parser<'r> {
             if op != RelOp::Eq {
                 return self.err("tag conditions must use '='");
             }
-            let tag = value.as_text();
+            let tag = value.as_text().into_owned();
             let slot = if var == "x" { &mut parts.x_tag } else { &mut parts.y_tag };
             if slot.replace(tag).is_some() {
                 return self.err(format!("duplicate {var}.tag condition"));
@@ -649,7 +649,8 @@ impl<'r> Parser<'r> {
                 if x_attr != attr || !x_val.same(&value) {
                     return self.err("x.attr = v and y.attr != v must use the same attribute and value");
                 }
-                let head = VorForm::EqConst { attr: attr.to_string(), value: x_val.as_text() };
+                let head =
+                    VorForm::EqConst { attr: attr.to_string(), value: x_val.as_text().into_owned() };
                 if parts.form.replace(head).is_some() {
                     return self.err("only one preference head per rule");
                 }

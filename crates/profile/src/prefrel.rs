@@ -103,6 +103,57 @@ impl PrefRel {
     pub fn is_empty(&self) -> bool {
         self.below.values().all(HashSet::is_empty)
     }
+
+    /// Precompile into a dense id-indexed table: every domain value gets a
+    /// dense id, and `prefers` becomes a bit lookup. Values outside the
+    /// domain have no id and are never preferred — exactly the behavior of
+    /// the map-backed [`PrefRel::prefers`].
+    pub fn compile(&self) -> PrefTable {
+        let mut values: Vec<&str> = self.values().into_iter().collect();
+        values.sort_unstable();
+        let n = values.len();
+        let ids: HashMap<String, u32> =
+            values.iter().enumerate().map(|(i, v)| (v.to_string(), i as u32)).collect();
+        let mut bits = vec![false; n * n].into_boxed_slice();
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                bits[i * n + j] = self.prefers(a, b);
+            }
+        }
+        PrefTable { ids, n, bits }
+    }
+}
+
+/// A [`PrefRel`] precompiled into a dense id-indexed lookup table: domain
+/// values map to dense ids once (at key-construction time), after which a
+/// `≺_V` preference check is a single array lookup.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrefTable {
+    /// normalized value → dense id.
+    ids: HashMap<String, u32>,
+    /// Domain size.
+    n: usize,
+    /// `bits[a * n + b]` ⇔ value `a` is strictly preferred to value `b`.
+    bits: Box<[bool]>,
+}
+
+impl PrefTable {
+    /// Dense id of `value` (normalized like [`PrefRel::prefers`] operands),
+    /// or `None` when the value is outside the relation's domain.
+    pub fn id(&self, value: &str) -> Option<u32> {
+        self.ids.get(&norm(value)).copied()
+    }
+
+    /// Is the value with id `a` strictly preferred to the value with id
+    /// `b`? Ids must come from [`PrefTable::id`] on this table.
+    pub fn prefers_ids(&self, a: u32, b: u32) -> bool {
+        self.bits[a as usize * self.n + b as usize]
+    }
+
+    /// Number of domain values.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
 }
 
 fn norm(s: &str) -> String {
@@ -162,6 +213,36 @@ mod tests {
         let r = PrefRel::new(Vec::<(&str, &str)>::new()).unwrap();
         assert!(r.is_empty());
         assert!(r.incomparable("x", "y"));
+    }
+
+    #[test]
+    fn compiled_table_agrees_on_full_domain() {
+        // The paper's car-sale color ordering (§3.2): red ≻ black ≻ white,
+        // with an extra branch red ≻ silver.
+        let r = PrefRel::new([
+            ("red", "black"),
+            ("black", "white"),
+            ("Red", "silver"),
+        ])
+        .unwrap();
+        let t = r.compile();
+        let mut domain: Vec<&str> = r.values().into_iter().collect();
+        domain.sort_unstable();
+        assert_eq!(t.domain_size(), domain.len());
+        for a in &domain {
+            for b in &domain {
+                let (ia, ib) = (t.id(a).unwrap(), t.id(b).unwrap());
+                assert_eq!(
+                    t.prefers_ids(ia, ib),
+                    r.prefers(a, b),
+                    "table disagrees with prefRel on ({a}, {b})"
+                );
+            }
+        }
+        // Out-of-domain values have no id (map-backed prefers is false).
+        assert_eq!(t.id("green"), None);
+        // Normalization matches prefers' operand handling.
+        assert_eq!(t.id(" RED "), t.id("red"));
     }
 
     #[test]

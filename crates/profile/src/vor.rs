@@ -46,17 +46,12 @@ impl AttrValue {
         }
     }
 
-    /// String view.
-    pub fn as_text(&self) -> String {
+    /// String view. Borrows for `Str` values; only numeric values allocate
+    /// (they must be formatted).
+    pub fn as_text(&self) -> std::borrow::Cow<'_, str> {
         match self {
-            AttrValue::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
-                    format!("{}", *n as i64)
-                } else {
-                    n.to_string()
-                }
-            }
-            AttrValue::Str(s) => s.clone(),
+            AttrValue::Num(n) => std::borrow::Cow::Owned(format_num(*n)),
+            AttrValue::Str(s) => std::borrow::Cow::Borrowed(s),
         }
     }
 }
@@ -315,6 +310,17 @@ impl ValueOrderingRule {
                 }
             }
         }
+    }
+}
+
+/// The canonical text rendering of a numeric attribute value (integral
+/// values print without a fractional part). Shared with the compiled-key
+/// path in [`crate::vor_table`], which must render identically.
+pub(crate) fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        n.to_string()
     }
 }
 

@@ -1,0 +1,139 @@
+//! # pimento-sym
+//!
+//! The workspace-wide symbol interner. Tag names, attribute names, and
+//! other recurring strings are interned once at parse/ingest time into
+//! dense [`SymbolId`]s; every downstream layer (index, query evaluation,
+//! ranking) then carries and compares `u32` ids instead of heap strings.
+//!
+//! Ids are assigned in first-intern order and are stable for the lifetime
+//! of the table, which makes them directly usable as indexes into dense
+//! side tables (tag → element lists, id-indexed preference tables). The
+//! table also round-trips through collection snapshots: names serialize in
+//! id order, so re-interning them in order reproduces identical ids.
+//!
+//! ```
+//! use pimento_sym::SymbolTable;
+//!
+//! let mut st = SymbolTable::new();
+//! let car = st.intern("car");
+//! assert_eq!(st.intern("car"), car);   // idempotent
+//! assert_eq!(st.name(car), "car");     // resolvable
+//! assert_eq!(st.get("absent"), None);  // lookup without insertion
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Interned element/attribute name. Shared across all documents of a
+/// collection via [`SymbolTable`], so tag comparisons are integer compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+/// Interner mapping names to [`SymbolId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate the interned names in id order (`SymbolId(0)` first). This
+    /// is the serialization order: re-interning the yielded names into an
+    /// empty table reproduces identical ids.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut st = SymbolTable::new();
+        let a = st.intern("car");
+        let b = st.intern("price");
+        assert_eq!(st.intern("car"), a);
+        assert_ne!(a, b);
+        assert_eq!(st.name(a), "car");
+        assert_eq!(st.get("price"), Some(b));
+        assert_eq!(st.get("absent"), None);
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+        assert!(SymbolTable::new().is_empty());
+    }
+
+    #[test]
+    fn iter_yields_id_order() {
+        let mut st = SymbolTable::new();
+        for n in ["b", "a", "c"] {
+            st.intern(n);
+        }
+        let names: Vec<&str> = st.iter().collect();
+        assert_eq!(names, ["b", "a", "c"]);
+    }
+
+    proptest! {
+        /// intern → resolve → re-intern is the identity, and rebuilding a
+        /// table from `iter()` order (the snapshot path) preserves ids.
+        #[test]
+        fn intern_resolve_reintern_roundtrip(seeds in proptest::collection::vec(any::<u16>(), 0..32)) {
+            // Small name space so duplicate interning is exercised too.
+            let names: Vec<String> = seeds.iter().map(|s| format!("sym{}", s % 40)).collect();
+            let mut st = SymbolTable::new();
+            let ids: Vec<SymbolId> = names.iter().map(|n| st.intern(n)).collect();
+            for (name, &id) in names.iter().zip(&ids) {
+                prop_assert_eq!(st.name(id), name.as_str());
+                prop_assert_eq!(st.intern(name), id);
+                prop_assert_eq!(st.get(name), Some(id));
+            }
+            // Serialization order reproduces identical ids.
+            let mut rebuilt = SymbolTable::new();
+            let reids: Vec<SymbolId> = st.iter().map(|n| rebuilt.intern(n)).collect();
+            prop_assert_eq!(reids, (0..st.len() as u32).map(SymbolId).collect::<Vec<_>>());
+            for (name, &id) in names.iter().zip(&ids) {
+                prop_assert_eq!(rebuilt.get(name), Some(id));
+            }
+        }
+    }
+}

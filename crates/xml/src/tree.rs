@@ -9,58 +9,12 @@
 //! what makes `ftcontains` containment checks and the structural joins in
 //! `pimento-algebra` cheap.
 
-use std::collections::HashMap;
 use std::fmt;
 
-/// Interned element/attribute name. Shared across all documents of a
-/// collection via [`SymbolTable`], so tag comparisons are integer compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SymbolId(pub u32);
-
-/// Interner mapping names to [`SymbolId`]s.
-#[derive(Debug, Default, Clone)]
-pub struct SymbolTable {
-    names: Vec<String>,
-    by_name: HashMap<String, SymbolId>,
-}
-
-impl SymbolTable {
-    /// Create an empty table.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Intern `name`, returning its stable id.
-    pub fn intern(&mut self, name: &str) -> SymbolId {
-        if let Some(&id) = self.by_name.get(name) {
-            return id;
-        }
-        let id = SymbolId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.by_name.insert(name.to_string(), id);
-        id
-    }
-
-    /// Look up an already-interned name without inserting.
-    pub fn get(&self, name: &str) -> Option<SymbolId> {
-        self.by_name.get(name).copied()
-    }
-
-    /// Resolve an id back to its name.
-    pub fn name(&self, id: SymbolId) -> &str {
-        &self.names[id.0 as usize]
-    }
-
-    /// Number of interned symbols.
-    pub fn len(&self) -> usize {
-        self.names.len()
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
-    }
-}
+// The interner lives in `pimento-sym` so non-XML layers (profiles, the
+// query algebra) can depend on symbols without pulling in the XML
+// substrate; re-exported here because documents are where ids originate.
+pub use pimento_sym::{SymbolId, SymbolTable};
 
 /// Index of a node within its [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

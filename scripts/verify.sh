@@ -10,6 +10,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> tier-1: cargo bench --no-run (criterion harnesses compile)"
+cargo bench --no-run
+
 echo "==> lint gate: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,266 @@
+//! Load generator for `pimento serve`: measures cold-cache vs warm-cache
+//! request latency over the real loopback protocol and writes
+//! `BENCH_serve.json`. The cold phase issues each (user, query) pair for
+//! the first time (every request compiles its plan); the warm phase
+//! replays the same pairs from concurrent clients (every request hits
+//! the compiled-profile cache). The gap is the serving layer's headline
+//! number: what `Engine::prepare` reuse buys per request.
+//!
+//! Modes: default (full corpus), `--quick` (smaller corpus, fewer
+//! repeats), `--smoke` (tiny corpus; register → search → stats-identity
+//! check → shutdown; nonzero exit on any failure — used by verify.sh).
+
+use pimento::Engine;
+use pimento_serve::json::Value;
+use pimento_serve::{Client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distinct per-user profile: everyone prefers NYC; even users also
+/// boost "best bid", odd users prefer red cars.
+fn rules_for(user: usize) -> String {
+    let mut r = String::from(
+        "pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n",
+    );
+    if user.is_multiple_of(2) {
+        r.push_str("pi4: x.tag = car & y.tag = car & ftcontains(x, \"best bid\") -> x < y {weight 2}\n");
+    } else {
+        r.push_str("pi1: x.tag = car & y.tag = car & x.color = \"red\" & y.color != \"red\" -> x < y\n");
+    }
+    r
+}
+
+const QUERIES: &[&str] = &[
+    r#"//car[ftcontains(., "good condition")]"#,
+    r#"//car[ftcontains(., "good condition") and ./price < 2000]"#,
+    r#"//car[./price < 1000]"#,
+    r#"//car[ftcontains(., "low mileage")]"#,
+];
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+struct Phase {
+    label: &'static str,
+    latencies_us: Vec<u64>,
+}
+
+impl Phase {
+    fn json(&self) -> String {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p95_us\": {}, \"mean_us\": {:.1}}}",
+            sorted.len(),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.95),
+            mean(&sorted)
+        )
+    }
+    fn p50(&self) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, 0.50)
+    }
+}
+
+fn timed_search(c: &mut Client, user: &str, query: &str) -> Result<u64, String> {
+    let t = Instant::now();
+    c.search(Some(user), query, 10).map_err(|e| e.to_string())?;
+    Ok(t.elapsed().as_micros() as u64)
+}
+
+/// `--smoke`: start a tiny server, register, search, check the stats
+/// identities, shut down. Exercises the full loopback path in well under
+/// a second; any failure is a nonzero exit for verify.sh.
+fn smoke() -> Result<(), String> {
+    let docs = vec![pimento_datagen::generate_dealer(1, 30)];
+    let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
+    let server =
+        Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    c.register_profile("smoke", &rules_for(0)).map_err(|e| e.to_string())?;
+    let body = c.search(Some("smoke"), QUERIES[0], 5).map_err(|e| e.to_string())?;
+    let hits = body.get("hits").and_then(Value::as_arr).ok_or("no hits array")?;
+    if hits.is_empty() {
+        return Err("smoke search returned no hits".to_string());
+    }
+    let stats = c.shutdown().map_err(|e| e.to_string())?;
+    check_identities(&stats)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    eprintln!("serve smoke: ok ({} hits, identities hold)", hits.len());
+    Ok(())
+}
+
+fn check_identities(stats: &Value) -> Result<(), String> {
+    let g = |k: &str| {
+        stats.get(k).and_then(Value::as_u64).ok_or_else(|| format!("stats missing `{k}`"))
+    };
+    let answered =
+        g("responses_ok")? + g("responses_err")? + g("rejected_overload")? + g("rejected_deadline")?;
+    if g("requests")? != answered {
+        return Err(format!("identity broken: requests {} != answered {answered}", g("requests")?));
+    }
+    let cache = stats.get("cache").ok_or("stats missing `cache`")?;
+    let c = |k: &str| {
+        cache.get(k).and_then(Value::as_u64).ok_or_else(|| format!("cache missing `{k}`"))
+    };
+    if c("lookups")? != c("hits")? + c("misses")? {
+        return Err("identity broken: cache lookups != hits + misses".to_string());
+    }
+    Ok(())
+}
+
+fn run_clients(
+    addr: SocketAddr,
+    clients: usize,
+    users: usize,
+    repeats: usize,
+) -> Result<Vec<u64>, String> {
+    let mut handles = Vec::new();
+    for client_id in 0..clients {
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+            let mut lats = Vec::new();
+            // Deterministic round-robin over (user, query) pairs, offset
+            // per client so the cache sees interleaved users.
+            for i in 0..repeats {
+                let user = (client_id + i) % users;
+                let query = QUERIES[(client_id + i) % QUERIES.len()];
+                lats.push(timed_search(&mut c, &format!("u{user}"), query)?);
+            }
+            Ok(lats)
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    Ok(all)
+}
+
+fn run(quick: bool) -> Result<(), String> {
+    let (dealers, cars, users, clients, repeats) =
+        if quick { (4, 100, 4, 4, 25) } else { (12, 250, 8, 8, 60) };
+    eprintln!("loadgen: building {dealers} dealer docs x {cars} cars...");
+    let docs: Vec<String> =
+        (0..dealers).map(|i| pimento_datagen::generate_dealer(i as u64 + 1, cars)).collect();
+    let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
+    let server =
+        Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    for u in 0..users {
+        c.register_profile(&format!("u{u}"), &rules_for(u)).map_err(|e| e.to_string())?;
+    }
+
+    // Cold phase: first touch of every (user, query) pair, serially —
+    // each request pays parse + scoping enforcement + VOR compilation
+    // (`Engine::prepare`) before executing.
+    eprintln!("loadgen: cold phase ({} pairs, serial)...", users * QUERIES.len());
+    let mut cold = Phase { label: "cold", latencies_us: Vec::new() };
+    for u in 0..users {
+        for q in QUERIES {
+            cold.latencies_us.push(timed_search(&mut c, &format!("u{u}"), q)?);
+        }
+    }
+
+    // Warm phase: the identical pairs replayed serially — same client,
+    // same machine state, the only difference is the compiled-plan cache
+    // hit. cold/warm p50 is therefore the per-request cost of `prepare`.
+    eprintln!("loadgen: warm phase (same pairs, serial)...");
+    let mut warm = Phase { label: "warm", latencies_us: Vec::new() };
+    for round in 0..3 {
+        let _ = round;
+        for u in 0..users {
+            for q in QUERIES {
+                warm.latencies_us.push(timed_search(&mut c, &format!("u{u}"), q)?);
+            }
+        }
+    }
+
+    // Concurrent phase: the same cached pairs under parallel load —
+    // reported separately (its latencies include queueing delay, so it
+    // measures service capacity, not cache effect).
+    eprintln!("loadgen: concurrent phase ({clients} clients x {repeats} requests)...");
+    let concurrent_start = Instant::now();
+    let concurrent = Phase {
+        label: "concurrent",
+        latencies_us: run_clients(addr, clients, users, repeats)?,
+    };
+    let concurrent_wall = concurrent_start.elapsed();
+
+    let stats = c.shutdown().map_err(|e| e.to_string())?;
+    check_identities(&stats)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+
+    let cache = stats.get("cache").ok_or("stats missing cache")?;
+    let hits = cache.get("hits").and_then(Value::as_u64).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Value::as_u64).unwrap_or(0);
+    let cold_p50 = cold.p50().max(1);
+    let warm_p50 = warm.p50();
+    let throughput = concurrent.latencies_us.len() as f64 / concurrent_wall.as_secs_f64();
+    let json = format!(
+        "{{\n  \"workload\": \"serve-loadgen\",\n  \"dealers\": {dealers},\n  \"cars_per_dealer\": {cars},\n  \
+         \"users\": {users},\n  \"queries\": {},\n  \"clients\": {clients},\n  \
+         \"cold\": {},\n  \"warm\": {},\n  \"warm_speedup_p50\": {:.2},\n  \
+         \"concurrent\": {},\n  \"concurrent_rps\": {:.0},\n  \
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses}\n}}\n",
+        QUERIES.len(),
+        cold.json(),
+        warm.json(),
+        cold_p50 as f64 / warm_p50.max(1) as f64,
+        concurrent.json(),
+        throughput,
+    );
+    for phase in [&cold, &warm, &concurrent] {
+        eprintln!("  {}: {}", phase.label, phase.json());
+    }
+    eprintln!(
+        "  warm p50 speedup over cold: {:.2}x (cache {hits} hits / {misses} misses); \
+         concurrent throughput {throughput:.0} req/s",
+        cold_p50 as f64 / warm_p50.max(1) as f64
+    );
+    std::fs::write("BENCH_serve.json", &json).map_err(|e| e.to_string())?;
+    eprintln!("wrote BENCH_serve.json");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let outcome = if smoke_mode { smoke() } else { run(quick) };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

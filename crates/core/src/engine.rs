@@ -156,25 +156,10 @@ impl Engine {
         let matcher = Arc::clone(&prepared.matcher);
         let rank = Arc::clone(&prepared.rank);
         let profile = &prepared.profile;
-        let spec = if opts.auto {
-            PlanSpec {
-                trace: opts.trace,
-                ..pimento_algebra::choose_spec(&matcher, &profile.kors, opts.k + opts.offset)
-            }
-        } else {
-            PlanSpec {
-                k: opts.k + opts.offset,
-                strategy: opts.strategy,
-                kor_order: opts.kor_order,
-                eval_mode: opts.eval_mode,
-                trace: opts.trace,
-            }
-        };
-        let threads = if opts.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            opts.threads
-        };
+        let spec = Self::plan_spec(prepared, opts);
+        // `0` = machine parallelism, via the same knob resolution as
+        // ingest and the serve worker pool (see `index::resolve_threads`).
+        let threads = pimento_index::resolve_threads(opts.threads);
         // Tracing registries are single-threaded, so a trace request pins
         // execution to the sequential plan.
         let (answers, stats, worker_stats, explain, trace) = if opts.trace || threads <= 1 {
@@ -229,6 +214,61 @@ impl Engine {
             flock_size: matcher.personalized().flock.members.len(),
         })
     }
+    /// The plan spec `opts` selects for `prepared`: either the heuristic
+    /// choice (`opts.auto`) or the explicit settings, always targeting
+    /// the top `k + offset` so pruning bounds stay exact under
+    /// pagination. Shared by [`Engine::run_prepared`] and
+    /// [`Engine::explain_prepared`] so what EXPLAIN shows is what runs.
+    fn plan_spec(prepared: &PreparedSearch, opts: &SearchOptions) -> PlanSpec {
+        if opts.auto {
+            PlanSpec {
+                trace: opts.trace,
+                ..pimento_algebra::choose_spec(
+                    &prepared.matcher,
+                    &prepared.profile.kors,
+                    opts.k + opts.offset,
+                )
+            }
+        } else {
+            PlanSpec {
+                k: opts.k + opts.offset,
+                strategy: opts.strategy,
+                kor_order: opts.kor_order,
+                eval_mode: opts.eval_mode,
+                trace: opts.trace,
+            }
+        }
+    }
+
+    /// The operator-tree description of the plan [`Engine::run_prepared`]
+    /// would execute for `prepared` under `opts`, without executing it.
+    /// Backs the `explain` protocol command and `--explain` on the CLI's
+    /// prepared path.
+    pub fn explain_prepared(
+        &self,
+        prepared: &PreparedSearch,
+        opts: &SearchOptions,
+    ) -> Result<String, Error> {
+        if opts.k == 0 {
+            return Err(Error::InvalidK);
+        }
+        let spec = Self::plan_spec(prepared, opts);
+        let explain = build_plan(
+            &self.db,
+            Arc::clone(&prepared.matcher),
+            &prepared.kors,
+            Arc::clone(&prepared.rank),
+            spec,
+        )
+        .explain();
+        let threads = pimento_index::resolve_threads(opts.threads);
+        Ok(if !opts.trace && threads > 1 {
+            format!("parallel(workers<={threads}) over {explain}")
+        } else {
+            explain
+        })
+    }
+
     /// Statically verify the plans [`Engine::run_prepared`] would assemble
     /// for `prepared` at this `k` — one [`pimento_algebra::PlanShape`]
     /// verification per strategy, without executing anything. Used by the
@@ -345,9 +385,11 @@ impl Engine {
     }
 }
 
-/// A compiled query + profile pair (see [`Engine::prepare`]). Holds the
-/// analyzed matcher, so it is tied to the engine it was prepared against
-/// and is not `Send` (per-thread preparation is cheap).
+/// A compiled query + profile pair (see [`Engine::prepare`]). Tied to
+/// the engine it was prepared against, and `Send + Sync`: the serve
+/// layer caches one `Arc<PreparedSearch>` per (user, query) and executes
+/// it from many worker threads concurrently (a compile-time assertion in
+/// the tests pins this guarantee).
 pub struct PreparedSearch {
     matcher: Arc<Matcher>,
     kors: Vec<pimento_profile::KeywordOrderingRule>,
@@ -376,6 +418,17 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::from_xml_docs(&[CARS]).unwrap()
+    }
+
+    /// Compile-time pin: the serve layer shares `Arc<PreparedSearch>`
+    /// (and `Arc<Engine>`) across worker threads. If a future change
+    /// introduces a non-`Send`/non-`Sync` field (an `Rc`, a `RefCell`),
+    /// this stops compiling instead of the server subtly breaking.
+    #[test]
+    fn prepared_search_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedSearch>();
+        assert_send_sync::<Engine>();
     }
 
     #[test]

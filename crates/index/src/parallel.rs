@@ -22,6 +22,22 @@ pub fn effective_workers(requested: usize, jobs: usize) -> usize {
     requested.max(1).min(cores).min(jobs.max(1))
 }
 
+/// Resolve a user-facing thread-count knob: `0` means "use the machine's
+/// available parallelism", anything else is taken literally. This is the
+/// single place the `0` convention is interpreted — callers then clamp
+/// the resolved count with [`effective_workers`], so the two compose as
+/// `effective_workers(resolve_threads(requested), jobs)`. (`--threads`
+/// on the search CLI, `SearchOptions::threads`, and `pimento serve
+/// --threads` all route through here; precedence is per-request override
+/// → server/CLI flag → `0` = machine parallelism.)
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
 /// Parse `xmls` into a collection using up to `threads` worker threads
 /// (`0` or `1` parses inline). Document order is preserved. The first
 /// parse error (by document index) is reported.
@@ -85,6 +101,18 @@ fn build_with_workers<S: AsRef<str> + Sync>(
 mod tests {
     use super::*;
     use crate::inverted::InvertedIndex;
+
+    #[test]
+    fn resolve_then_clamp_is_the_canonical_pipeline() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(resolve_threads(0), cores, "0 resolves to machine parallelism");
+        assert_eq!(resolve_threads(3), 3, "explicit counts pass through unclamped");
+        // The composition clamps exactly once: resolve interprets the `0`
+        // convention, effective_workers applies the core/job bounds.
+        assert_eq!(effective_workers(resolve_threads(0), usize::MAX), cores);
+        assert_eq!(effective_workers(resolve_threads(1), usize::MAX), 1);
+        assert_eq!(effective_workers(resolve_threads(cores + 64), 2), 2.min(cores));
+    }
     use crate::tokenize::Tokenizer;
     use pimento_xml::to_string;
 

@@ -5,7 +5,7 @@
 //! | rule               | invariant                                                        |
 //! |--------------------|------------------------------------------------------------------|
 //! | `float-cmp`        | score ordering goes through `rank::cmp_f64_desc` only            |
-//! | `hot-path-panic`   | no `unwrap`/`expect`/`panic!` family in hot-path modules         |
+//! | `hot-path-panic`   | no `unwrap`/`expect`/`panic!` family in hot-path modules (incl. the serve request path) |
 //! | `hot-path-str-cmp` | answer-comparison modules compare interned ids, not strings      |
 //! | `thread-spawn`     | all parallelism passes the `effective_workers` clamp             |
 //! | `static-mut`       | no `static mut` anywhere                                         |
@@ -42,9 +42,13 @@ const SCORE_FIELDS: &[&str] = &["s", "k", "weight", "bound"];
 const CMP_OPS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
 
 /// Hot-path modules where panicking is banned (every answer-flow operator
-/// plus the whole index layer).
+/// plus the whole index layer, plus the serve request path: everything
+/// between `accept` and the response frame must degrade to a typed
+/// protocol error, never a worker-thread panic). The serve CLI bin is
+/// excluded — process startup may exit loudly.
 pub fn is_hot_path(path: &str) -> bool {
     path.starts_with("crates/index/src/")
+        || (path.starts_with("crates/serve/src/") && !path.starts_with("crates/serve/src/bin/"))
         || matches!(
             path,
             "crates/algebra/src/ops.rs"
@@ -68,9 +72,16 @@ pub fn is_answer_cmp_module(path: &str) -> bool {
     )
 }
 
-/// Modules allowed to spawn threads (both sit behind `effective_workers`).
+/// Modules allowed to spawn threads (all sit behind the
+/// `resolve_threads` + `effective_workers` clamp: the sharded scan, the
+/// parallel ingest, and the serve worker pool / per-connection readers).
 pub fn may_spawn_threads(path: &str) -> bool {
-    matches!(path, "crates/algebra/src/par.rs" | "crates/index/src/parallel.rs")
+    matches!(
+        path,
+        "crates/algebra/src/par.rs"
+            | "crates/index/src/parallel.rs"
+            | "crates/serve/src/server.rs"
+    )
 }
 
 /// The one module allowed to compare score floats directly.
@@ -504,6 +515,24 @@ mod tests {
         assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["thread-spawn"]);
         let src2 = "fn f() { std::thread::scope(|s| {}); }";
         assert_eq!(rules_hit("crates/index/src/inverted.rs", src2), vec!["thread-spawn"]);
+    }
+
+    #[test]
+    fn serve_request_path_is_hot() {
+        // Everything between accept and the response frame is hot-path
+        // covered: an unwrap in the server is a worker-thread panic that
+        // silently drops a request.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["hot-path-panic"]);
+        assert_eq!(rules_hit("crates/serve/src/json.rs", src), vec!["hot-path-panic"]);
+        assert_eq!(rules_hit("crates/serve/src/cache.rs", src), vec!["hot-path-panic"]);
+        // The CLI bin may exit loudly at startup; benches/tests are exempt.
+        assert!(rules_hit("crates/serve/src/bin/pimento.rs", src).is_empty());
+        assert!(rules_hit("crates/serve/tests/serve_integration.rs", src).is_empty());
+        // The worker pool / reader spawns live in server.rs only.
+        let spawn = "fn f() { std::thread::Builder::new() }";
+        assert!(rules_hit("crates/serve/src/server.rs", spawn).is_empty());
+        assert_eq!(rules_hit("crates/serve/src/client.rs", spawn), vec!["thread-spawn"]);
     }
 
     #[test]

@@ -17,7 +17,116 @@
 
 use pimento::profile::{parse_profile, PrefRelRegistry, UserProfile};
 use pimento::{Engine, KorOrder, PlanStrategy, SearchOptions};
+use pimento_serve::{ServeConfig, Server};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `pimento serve`: load documents once and answer queries over TCP
+/// (length-delimited JSON frames — see `pimento_serve::protocol`).
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: pimento serve --docs FILE... [--addr HOST:PORT] [--threads N]\n\
+         \x20        [--queue-capacity N] [--cache-capacity N] [--query-threads N] [--timeout-ms N]\n\
+         --addr           listen address (default 127.0.0.1:7654; port 0 = pick a free port)\n\
+         --threads N      worker pool size (0 = all cores; same clamp as search --threads)\n\
+         --queue-capacity bounded request queue; full = typed `overloaded` error (default 64)\n\
+         --cache-capacity compiled (user, query) plan cache entries (default 256; 0 disables)\n\
+         --query-threads  execution threads per query (default 1: the pool is the parallelism)\n\
+         --timeout-ms     default per-request deadline (default: none)\n\
+         The server prints `listening on ADDR` once ready and runs until a\n\
+         `shutdown` command arrives, then drains in-flight requests and\n\
+         prints the final metrics snapshot."
+    );
+    std::process::exit(2)
+}
+
+fn run_serve(rest: Vec<String>) -> ExitCode {
+    let mut docs: Vec<String> = Vec::new();
+    let mut cfg = ServeConfig { addr: "127.0.0.1:7654".to_string(), ..ServeConfig::default() };
+    let mut it = rest.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--docs" => {
+                while let Some(f) = it.peek() {
+                    if f.starts_with("--") {
+                        break;
+                    }
+                    docs.push(it.next().expect("peeked"));
+                }
+            }
+            "--addr" => cfg.addr = it.next().unwrap_or_else(|| serve_usage()),
+            "--threads" => {
+                cfg.workers =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+            }
+            "--queue-capacity" => {
+                cfg.queue_capacity =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+            }
+            "--query-threads" => {
+                cfg.query_threads =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+            }
+            "--timeout-ms" => {
+                let ms: u64 =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.default_timeout = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                serve_usage()
+            }
+        }
+    }
+    if docs.is_empty() {
+        serve_usage()
+    }
+    let mut xmls = Vec::new();
+    for path in &docs {
+        match std::fs::read_to_string(path) {
+            Ok(s) => xmls.push(s),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let engine = match Engine::from_xml_docs_parallel(&xmls, 0) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot parse documents: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(Arc::new(engine), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts (the verify.sh smoke test among them) parse this line for
+    // the resolved port, so it goes out before the first accept.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(snapshot) => {
+            println!("{}", snapshot.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// `pimento lint`: statically verify a profile (SR conflict cycles, VOR
 /// alternating cycles, validation warnings) against a query, and — when
@@ -158,7 +267,9 @@ fn usage() -> ! {
          [--k N] [--strategy naive|il|sil|push] [--threads N] [--explain] [--analyze] [--winnow]\n\
          --threads N   worker threads for query execution (0 = all cores, 1 = sequential)\n\
        pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
-         static profile + plan soundness verification (see `pimento lint --help`)"
+         static profile + plan soundness verification (see `pimento lint --help`)\n\
+       pimento serve --docs FILE... [--addr HOST:PORT] [--threads N] ...\n\
+         resident TCP query service (see `pimento serve --help`)"
     );
     std::process::exit(2)
 }
@@ -224,6 +335,10 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("lint") {
         argv.remove(0);
         return run_lint(argv);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        argv.remove(0);
+        return run_serve(argv);
     }
     let args = parse_args();
 

@@ -1,0 +1,159 @@
+//! LRU cache of compiled per-(user, query) state.
+//!
+//! Values are [`Arc<PreparedSearch>`] — the output of
+//! [`pimento::Engine::prepare`], i.e. the SR conflict resolution, flock
+//! encoding, VOR compilation and keyword analysis for one (profile,
+//! query) pair. PIMENTO's premise is that profiles are long-lived
+//! per-user state reused across many queries, so this work is paid once
+//! per pair instead of per request.
+//!
+//! Keys carry the profile **generation** ([`crate::registry`]): a
+//! `register_profile` bumps the user's generation, so entries compiled
+//! against the old profile can never be returned again. The server also
+//! purges them eagerly via [`PreparedCache::invalidate_user`].
+//!
+//! The cache itself is a plain `HashMap` + logical clock; eviction
+//! scans for the least-recently-used entry, which is O(capacity) but
+//! only runs on insert-over-capacity — capacities are small (hundreds)
+//! and the scan touches no locks beyond the one the caller holds.
+
+use pimento::PreparedSearch;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: one compiled plan per (user session, profile generation,
+/// query text) triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Session key (empty string for the unpersonalized profile).
+    pub user: String,
+    /// Profile generation the entry was compiled against.
+    pub generation: u64,
+    /// Verbatim query text.
+    pub query: String,
+}
+
+struct Entry {
+    prepared: Arc<PreparedSearch>,
+    last_used: u64,
+}
+
+/// The LRU cache. Not internally synchronized — the server wraps it in
+/// one mutex and keeps `prepare` calls outside the critical section.
+pub struct PreparedCache {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<CacheKey, Entry>,
+}
+
+impl PreparedCache {
+    /// Cache holding at most `capacity` entries (`0` disables caching:
+    /// every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> PreparedCache {
+        PreparedCache { capacity, clock: 0, map: HashMap::new() }
+    }
+
+    /// Look up a compiled entry, refreshing its recency on hit.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<PreparedSearch>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.prepared)
+        })
+    }
+
+    /// Insert a compiled entry; returns how many entries were evicted
+    /// (0 or 1 — capacity shrinks by at most one per insert).
+    pub fn insert(&mut self, key: CacheKey, prepared: Arc<PreparedSearch>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.clock += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                evicted = 1;
+            }
+        }
+        self.map.insert(key, Entry { prepared, last_used: self.clock });
+        evicted
+    }
+
+    /// Drop every entry belonging to `user` (all generations); returns
+    /// how many were purged.
+    pub fn invalidate_user(&mut self, user: &str) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.user != user);
+        before - self.map.len()
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento::profile::UserProfile;
+    use pimento::Engine;
+
+    fn prepared(e: &Engine, q: &str) -> Arc<PreparedSearch> {
+        Arc::new(e.prepare(q, &UserProfile::new()).unwrap())
+    }
+
+    fn key(user: &str, generation: u64, query: &str) -> CacheKey {
+        CacheKey { user: user.into(), generation, query: query.into() }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let e = Engine::from_xml_docs(&["<a><b>x</b><c>y</c></a>"]).unwrap();
+        let mut cache = PreparedCache::new(2);
+        assert!(cache.lookup(&key("u", 1, "//b")).is_none());
+        cache.insert(key("u", 1, "//b"), prepared(&e, "//b"));
+        cache.insert(key("u", 1, "//c"), prepared(&e, "//c"));
+        // Touch //b so //c becomes the LRU victim.
+        assert!(cache.lookup(&key("u", 1, "//b")).is_some());
+        assert_eq!(cache.insert(key("u", 1, "//a"), prepared(&e, "//a")), 1);
+        assert!(cache.lookup(&key("u", 1, "//b")).is_some());
+        assert!(cache.lookup(&key("u", 1, "//c")).is_none(), "LRU entry gone");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn generation_and_user_invalidation() {
+        let e = Engine::from_xml_docs(&["<a><b>x</b></a>"]).unwrap();
+        let mut cache = PreparedCache::new(8);
+        cache.insert(key("u1", 1, "//b"), prepared(&e, "//b"));
+        cache.insert(key("u1", 1, "//a"), prepared(&e, "//a"));
+        cache.insert(key("u2", 1, "//b"), prepared(&e, "//b"));
+        // A generation bump misses even before the purge.
+        assert!(cache.lookup(&key("u1", 2, "//b")).is_none());
+        assert_eq!(cache.invalidate_user("u1"), 2);
+        assert!(cache.lookup(&key("u1", 1, "//b")).is_none());
+        assert!(cache.lookup(&key("u2", 1, "//b")).is_some(), "other users untouched");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let e = Engine::from_xml_docs(&["<a><b>x</b></a>"]).unwrap();
+        let mut cache = PreparedCache::new(0);
+        assert_eq!(cache.insert(key("u", 1, "//b"), prepared(&e, "//b")), 0);
+        assert!(cache.lookup(&key("u", 1, "//b")).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # pimento-serve
+//!
+//! A resident, concurrent query service over a [`pimento::Engine`]
+//! (DESIGN.md §11). PIMENTO's cost model assumes profiles are long-lived
+//! state reused across many queries; a per-process CLI re-pays parsing,
+//! scoping enforcement, and VOR compilation on every invocation. This
+//! crate keeps the engine warm behind a TCP endpoint and caches compiled
+//! per-(user, query) state across requests.
+//!
+//! Dependency-free by design: `std::net` sockets, a vendored JSON module
+//! ([`json`]), and a 4-byte length-delimited frame protocol
+//! ([`protocol`]). Layers:
+//!
+//! * [`registry`] — per-user profile sessions with generation stamps;
+//! * [`cache`] — LRU of `Arc<PreparedSearch>` keyed by
+//!   (user, generation, query);
+//! * [`metrics`] — lock-cheap counters + latency histograms;
+//! * [`server`] — acceptor / reader / worker-pool topology with bounded
+//!   queueing, deadlines, and draining shutdown;
+//! * [`client`] — a small blocking client for tests and tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheKey, PreparedCache};
+pub use client::{Client, ClientError};
+pub use json::Value;
+pub use metrics::Metrics;
+pub use protocol::{err_kind, Request};
+pub use registry::ProfileRegistry;
+pub use server::{ServeConfig, ServeError, Server};

@@ -1,0 +1,219 @@
+//! Lock-cheap service metrics (DESIGN.md §11).
+//!
+//! All counters are relaxed atomics — the registry sits on the request
+//! path, so it must never contend. Two identities tie the registry
+//! together, asserted by the integration tests and checkable from any
+//! `stats` snapshot:
+//!
+//! * `requests == responses_ok + responses_err + rejected_overload +
+//!   rejected_deadline` — every decoded request is answered exactly once;
+//! * `cache_lookups == cache_hits + cache_misses`.
+
+use crate::json::{obj, Value};
+use pimento::algebra::ExecStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Upper bounds (µs) of the fixed latency histogram buckets; one
+/// implicit `+Inf` bucket follows.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000];
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// The service metrics registry.
+        #[derive(Debug)]
+        pub struct Metrics {
+            start: Instant,
+            $($(#[$doc])* pub $name: AtomicU64,)*
+            /// Latency histogram bucket counts (`LATENCY_BUCKETS_US` + `+Inf`).
+            pub lat_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+            /// Total observed latency, µs.
+            pub lat_sum_us: AtomicU64,
+            /// Observations in the histogram.
+            pub lat_count: AtomicU64,
+        }
+
+        impl Metrics {
+            /// Fresh registry; `start` anchors the uptime report.
+            pub fn new() -> Metrics {
+                Metrics {
+                    start: Instant::now(),
+                    $($name: AtomicU64::new(0),)*
+                    lat_buckets: Default::default(),
+                    lat_sum_us: AtomicU64::new(0),
+                    lat_count: AtomicU64::new(0),
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Connections the acceptor admitted.
+    conns_accepted,
+    /// Connections turned away (connection limit or draining).
+    conns_rejected,
+    /// Requests decoded off an admitted connection.
+    requests,
+    /// Requests answered with `{"ok": …}`.
+    responses_ok,
+    /// Requests answered with a typed error other than a rejection.
+    responses_err,
+    /// Requests rejected because the bounded queue was full.
+    rejected_overload,
+    /// Requests rejected because their deadline expired while queued.
+    rejected_deadline,
+    /// Compiled-profile cache probes.
+    cache_lookups,
+    /// Cache probes that found a live entry.
+    cache_hits,
+    /// Cache probes that missed (a `prepare` followed).
+    cache_misses,
+    /// Entries evicted by LRU capacity pressure.
+    cache_evictions,
+    /// Entries purged by `register_profile` generation bumps.
+    cache_invalidations,
+    /// Sum of `ExecStats::base_answers` across served searches.
+    exec_base_answers,
+    /// Sum of `ExecStats::pruned`.
+    exec_pruned,
+    /// Sum of `ExecStats::bulk_pruned`.
+    exec_bulk_pruned,
+    /// Sum of `ExecStats::ft_probes`.
+    exec_ft_probes,
+    /// Sum of `ExecStats::vor_comparisons`.
+    exec_vor_comparisons,
+    /// Sum of `ExecStats::emitted`.
+    exec_emitted,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Bump a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one request latency (decode → response written).
+    pub fn observe_latency_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US.iter().position(|&le| us <= le).unwrap_or(LATENCY_BUCKETS_US.len());
+        self.lat_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.lat_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.lat_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one search's execution counters into the aggregates.
+    pub fn absorb_exec(&self, stats: &ExecStats) {
+        self.add(&self.exec_base_answers, stats.base_answers);
+        self.add(&self.exec_pruned, stats.pruned);
+        self.add(&self.exec_bulk_pruned, stats.bulk_pruned);
+        self.add(&self.exec_ft_probes, stats.ft_probes);
+        self.add(&self.exec_vor_comparisons, stats.vor_comparisons);
+        self.add(&self.exec_emitted, stats.emitted);
+    }
+
+    /// Snapshot everything as the `stats` response body. `cache_entries`
+    /// and `profiles` are point-in-time gauges supplied by the server.
+    pub fn snapshot(&self, cache_entries: usize, profiles: usize) -> Value {
+        let g = |c: &AtomicU64| -> Value { c.load(Ordering::Relaxed).into() };
+        let buckets: Vec<Value> = self
+            .lat_buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let le: Value = match LATENCY_BUCKETS_US.get(i) {
+                    Some(&us) => us.into(),
+                    None => "inf".into(),
+                };
+                obj([("le_us", le), ("count", g(c))])
+            })
+            .collect();
+        obj([
+            ("uptime_ms", (self.start.elapsed().as_millis() as u64).into()),
+            ("conns_accepted", g(&self.conns_accepted)),
+            ("conns_rejected", g(&self.conns_rejected)),
+            ("requests", g(&self.requests)),
+            ("responses_ok", g(&self.responses_ok)),
+            ("responses_err", g(&self.responses_err)),
+            ("rejected_overload", g(&self.rejected_overload)),
+            ("rejected_deadline", g(&self.rejected_deadline)),
+            (
+                "cache",
+                obj([
+                    ("lookups", g(&self.cache_lookups)),
+                    ("hits", g(&self.cache_hits)),
+                    ("misses", g(&self.cache_misses)),
+                    ("evictions", g(&self.cache_evictions)),
+                    ("invalidations", g(&self.cache_invalidations)),
+                    ("entries", cache_entries.into()),
+                ]),
+            ),
+            ("profiles", profiles.into()),
+            (
+                "latency_us",
+                obj([
+                    ("count", g(&self.lat_count)),
+                    ("sum", g(&self.lat_sum_us)),
+                    ("buckets", Value::Arr(buckets)),
+                ]),
+            ),
+            (
+                "exec",
+                obj([
+                    ("base_answers", g(&self.exec_base_answers)),
+                    ("pruned", g(&self.exec_pruned)),
+                    ("bulk_pruned", g(&self.exec_bulk_pruned)),
+                    ("ft_probes", g(&self.exec_ft_probes)),
+                    ("vor_comparisons", g(&self.exec_vor_comparisons)),
+                    ("emitted", g(&self.exec_emitted)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let m = Metrics::new();
+        m.observe_latency_us(10); // -> le 50
+        m.observe_latency_us(50); // -> le 50 (inclusive)
+        m.observe_latency_us(51); // -> le 100
+        m.observe_latency_us(2_000_000); // -> +Inf
+        assert_eq!(m.lat_buckets[0].load(Ordering::Relaxed), 2);
+        assert_eq!(m.lat_buckets[1].load(Ordering::Relaxed), 1);
+        assert_eq!(m.lat_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed), 1);
+        assert_eq!(m.lat_count.load(Ordering::Relaxed), 4);
+        assert_eq!(m.lat_sum_us.load(Ordering::Relaxed), 10 + 50 + 51 + 2_000_000);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let m = Metrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.responses_ok);
+        m.absorb_exec(&ExecStats { base_answers: 4, emitted: 2, ..Default::default() });
+        let snap = m.snapshot(3, 1);
+        assert_eq!(snap.get("requests").and_then(Value::as_u64), Some(1));
+        let cache = snap.get("cache").expect("cache block");
+        assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(3));
+        let exec = snap.get("exec").expect("exec block");
+        assert_eq!(exec.get("base_answers").and_then(Value::as_u64), Some(4));
+        // Renders as valid JSON.
+        assert!(Value::parse(&snap.render()).is_ok());
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-user profile sessions.
+//!
+//! `register_profile` installs a parsed [`UserProfile`] under a session
+//! key; searches resolve the key to an `Arc` snapshot, so a concurrent
+//! re-registration never mutates a profile mid-query — in-flight
+//! requests keep the `Arc` they resolved. Each registration gets a
+//! fresh **generation** from a process-wide counter; the generation is
+//! part of the compiled-plan cache key ([`crate::cache`]), which is what
+//! makes re-registration a cache invalidation.
+
+use pimento_profile::UserProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A registered profile and the generation it was installed at.
+#[derive(Debug, Clone)]
+pub struct ProfileSession {
+    /// The immutable profile snapshot.
+    pub profile: Arc<UserProfile>,
+    /// Monotonic installation stamp (unique across all users).
+    pub generation: u64,
+}
+
+/// Thread-safe user → profile map.
+#[derive(Debug, Default)]
+pub struct ProfileRegistry {
+    sessions: RwLock<HashMap<String, ProfileSession>>,
+    next_generation: AtomicU64,
+}
+
+impl ProfileRegistry {
+    /// Empty registry.
+    pub fn new() -> ProfileRegistry {
+        ProfileRegistry::default()
+    }
+
+    /// Install (or replace) `user`'s profile; returns the new generation.
+    pub fn register(&self, user: &str, profile: UserProfile) -> u64 {
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let session = ProfileSession { profile: Arc::new(profile), generation };
+        write_guard(&self.sessions).insert(user.to_string(), session);
+        generation
+    }
+
+    /// Resolve a session key to its current profile snapshot.
+    pub fn get(&self, user: &str) -> Option<ProfileSession> {
+        read_guard(&self.sessions).get(user).cloned()
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        read_guard(&self.sessions).len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// A poisoned registry lock only means another thread panicked while
+// holding it; the map itself is always in a consistent state (single
+// `insert` calls), so recover the guard instead of propagating panics
+// across the whole server.
+fn read_guard<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_guard<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_profile::KeywordOrderingRule;
+
+    #[test]
+    fn generations_are_monotonic_and_snapshots_stable() {
+        let r = ProfileRegistry::new();
+        assert!(r.get("u1").is_none());
+        let g1 = r.register("u1", UserProfile::new());
+        let s1 = r.get("u1").expect("registered");
+        let profile2 =
+            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let g2 = r.register("u1", profile2);
+        assert!(g2 > g1);
+        // The old snapshot is unaffected by re-registration.
+        assert!(s1.profile.kors.is_empty());
+        assert_eq!(r.get("u1").expect("registered").profile.kors.len(), 1);
+        let g3 = r.register("u2", UserProfile::new());
+        assert!(g3 > g2, "generations unique across users");
+        assert_eq!(r.len(), 2);
+    }
+}

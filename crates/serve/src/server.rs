@@ -1,0 +1,712 @@
+//! The resident query server (DESIGN.md §11).
+//!
+//! Topology: one **acceptor** (the thread that called [`Server::run`]),
+//! one lightweight **reader** thread per admitted connection (I/O-bound:
+//! it decodes frames and enqueues), and a **fixed worker pool** (CPU
+//! side: it evaluates queries and writes responses). Sizing goes through
+//! the same `resolve_threads` / `effective_workers` clamp as the
+//! parallel scan, so one knob family governs all parallelism.
+//!
+//! Robustness invariants, asserted by the loopback integration tests:
+//!
+//! * the request queue is **bounded** — a full queue rejects with a
+//!   typed `overloaded` error instead of buffering without limit;
+//! * every decoded request is answered **exactly once** (`requests ==
+//!   responses_ok + responses_err + rejected_overload +
+//!   rejected_deadline`);
+//! * per-request **deadlines** are enforced at dispatch: a request whose
+//!   budget expired while queued is abandoned before evaluation starts
+//!   (evaluation itself is never preempted — determinism);
+//! * `shutdown` **drains**: requests admitted to the queue before the
+//!   drain began are all answered, then the pool exits and the final
+//!   metrics snapshot is returned from [`Server::run`].
+
+use crate::cache::{CacheKey, PreparedCache};
+use crate::json::{obj, Value};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    err_kind, err_payload, ok_payload, parse_request, write_frame, QuerySpec, Request,
+    FRAME_HARD_CAP,
+};
+use crate::registry::ProfileRegistry;
+use pimento::profile::{parse_profile, validate, PrefRelRegistry, UserProfile};
+use pimento::{Engine, Error, SearchOptions, SearchResults};
+use pimento_index::{effective_workers, resolve_threads};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Server configuration. `Default` is suitable for tests and loopback
+/// benches; production deployments override the capacities.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker pool size: `0` = machine parallelism. Routed through
+    /// `index::resolve_threads` + `index::effective_workers`, the same
+    /// clamp as `--threads` on the search path.
+    pub workers: usize,
+    /// Bounded request queue capacity; a full queue rejects with
+    /// `overloaded` (`0` rejects everything — useful for tests).
+    pub queue_capacity: usize,
+    /// Compiled-profile cache capacity, in (user, generation, query)
+    /// entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Maximum concurrent connections; excess connections receive one
+    /// `overloaded` error frame and are closed.
+    pub max_connections: usize,
+    /// Largest request frame accepted (hard-capped at 16 MiB).
+    pub max_frame_bytes: usize,
+    /// Idle connections are closed after this long without a frame.
+    pub idle_timeout: Duration,
+    /// Default per-request deadline when a request carries no
+    /// `timeout_ms` (`None` = no deadline).
+    pub default_timeout: Option<Duration>,
+    /// Execution threads per query when the request doesn't override
+    /// (`1` = sequential; the pool provides the concurrency, so this
+    /// stays at 1 unless workers outnumber concurrent requests).
+    pub query_threads: usize,
+    /// Artificial per-job delay before processing — a determinism lever
+    /// for the drain/overload tests and the load generator. Always
+    /// `None` in production use.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            max_connections: 256,
+            max_frame_bytes: 1024 * 1024,
+            idle_timeout: Duration::from_secs(30),
+            default_timeout: None,
+            query_threads: 1,
+            worker_delay: None,
+        }
+    }
+}
+
+/// Server-level failure (binding, thread spawning, fatal accept).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind {
+        /// The address that failed.
+        addr: String,
+        /// The underlying error.
+        err: io::Error,
+    },
+    /// Could not spawn a pool thread.
+    Spawn(io::Error),
+    /// Listener configuration failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, err } => write!(f, "cannot bind {addr}: {err}"),
+            ServeError::Spawn(e) => write!(f, "cannot spawn server thread: {e}"),
+            ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// State shared by the acceptor, readers, and workers.
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+    registry: ProfileRegistry,
+    cache: Mutex<PreparedCache>,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    live_conns: AtomicUsize,
+    addr: SocketAddr,
+    empty_profile: Arc<UserProfile>,
+}
+
+/// One admitted request, waiting in the queue.
+struct Job {
+    req: Request,
+    conn: Arc<Conn>,
+    /// When the frame was decoded (latency + deadline anchor).
+    arrival: Instant,
+    /// Deadline budget measured from `arrival`.
+    budget: Option<Duration>,
+}
+
+/// The response half of a connection, shared between its reader and
+/// whichever worker answers its requests.
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Write one response frame; a dead client is not an error (the
+    /// response is still accounted — it was produced).
+    fn respond(&self, payload: &[u8]) {
+        let mut w = lock(&self.writer);
+        let _ = write_frame(&mut *w, payload);
+    }
+}
+
+impl Server {
+    /// Bind `cfg.addr` and prepare the shared state. The server starts
+    /// serving when [`Server::run`] is called.
+    pub fn bind(engine: Arc<Engine>, cfg: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|err| ServeError::Bind { addr: cfg.addr.clone(), err })?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(PreparedCache::new(cfg.cache_capacity)),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            registry: ProfileRegistry::new(),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            live_conns: AtomicUsize::new(0),
+            addr,
+            empty_profile: Arc::new(UserProfile::new()),
+            engine,
+            cfg,
+        });
+        Ok(Server { listener, addr, shared })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `shutdown` command arrives, then drain and return
+    /// the final metrics snapshot. Blocks the calling thread (the
+    /// acceptor runs here; spawn `run` onto a thread to serve in the
+    /// background).
+    pub fn run(self) -> Result<Value, ServeError> {
+        let shared = self.shared;
+        let pool_size =
+            effective_workers(resolve_threads(shared.cfg.workers), usize::MAX);
+        let mut workers = Vec::with_capacity(pool_size);
+        for i in 0..pool_size {
+            let s = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("pimento-serve-worker-{i}"))
+                .spawn(move || worker_loop(&s))
+                .map_err(ServeError::Spawn)?;
+            workers.push(handle);
+        }
+
+        let mut readers: Vec<thread::JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut stream = match incoming {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Finished readers are joined opportunistically so the
+            // handle list stays proportional to live connections.
+            readers.retain(|h| !h.is_finished());
+            if shared.live_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                shared.metrics.inc(&shared.metrics.conns_rejected);
+                let _ = write_frame(
+                    &mut stream,
+                    &err_payload(err_kind::OVERLOADED, "connection limit reached"),
+                );
+                continue;
+            }
+            shared.metrics.inc(&shared.metrics.conns_accepted);
+            shared.live_conns.fetch_add(1, Ordering::SeqCst);
+            let s = Arc::clone(&shared);
+            match thread::Builder::new()
+                .name("pimento-serve-reader".to_string())
+                .spawn(move || {
+                    reader_loop(stream, &s);
+                    s.live_conns.fetch_sub(1, Ordering::SeqCst);
+                }) {
+                Ok(h) => readers.push(h),
+                Err(_) => {
+                    shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        // Drain: readers stop admitting within one read tick, then the
+        // queue is closed so workers finish everything already admitted.
+        for h in readers {
+            let _ = h.join();
+        }
+        shared.queue.close();
+        for h in workers {
+            let _ = h.join();
+        }
+        let cache_entries = lock(&shared.cache).len();
+        Ok(shared.metrics.snapshot(cache_entries, shared.registry.len()))
+    }
+}
+
+/// Recover a mutex guard even if a panicking thread poisoned it: every
+/// critical section leaves the protected structure consistent, and the
+/// server must keep answering.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue
+
+/// Mutex + condvar MPMC queue with a hard capacity. `try_push` never
+/// blocks (backpressure surfaces as an error, not as buffering); `pop`
+/// blocks until an item or close-and-empty.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit an item unless the queue is full or closed.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = lock(&self.inner);
+        if q.closed || q.items.len() >= self.capacity {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Next item; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.inner);
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = match self.ready.wait(q) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Close the queue; blocked `pop`s drain what remains, then end.
+    fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader side
+
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    TooLarge(usize),
+    Closed,
+}
+
+/// Read one length-delimited frame, waking every [`READ_TICK`] to check
+/// the shutdown flag and the idle budget.
+fn read_frame_ticking(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
+    let started = Instant::now();
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                if started.elapsed() >= shared.cfg.idle_timeout {
+                    return ReadOutcome::Closed;
+                }
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > shared.cfg.max_frame_bytes.min(FRAME_HARD_CAP) {
+        return ReadOutcome::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        if shared.shutdown.load(Ordering::SeqCst)
+            || started.elapsed() >= shared.cfg.idle_timeout
+        {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Frame(payload)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Per-connection loop: decode frames, admit them to the queue, reject
+/// with typed errors on overload / malformed input.
+fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    // Responses are single small frames; waiting for ACKs to batch them
+    // (Nagle) only adds latency.
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // A client that stops reading must not wedge a worker forever.
+    let _ = writer.set_write_timeout(Some(Duration::from_secs(5)));
+    let conn = Arc::new(Conn { writer: Mutex::new(writer) });
+    let metrics = &shared.metrics;
+    loop {
+        match read_frame_ticking(&mut stream, shared) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge(len) => {
+                // The oversized frame counts as one accepted-and-errored
+                // request; the connection cannot be resynchronized, so it
+                // closes after the reply.
+                metrics.inc(&metrics.requests);
+                metrics.inc(&metrics.responses_err);
+                conn.respond(&err_payload(
+                    err_kind::BAD_REQUEST,
+                    &format!("frame of {len} bytes exceeds the limit"),
+                ));
+                return;
+            }
+            ReadOutcome::Frame(bytes) => {
+                metrics.inc(&metrics.requests);
+                let arrival = Instant::now();
+                let parsed = std::str::from_utf8(&bytes)
+                    .map_err(|_| "frame is not UTF-8".to_string())
+                    .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
+                    .and_then(|v| parse_request(&v));
+                let req = match parsed {
+                    Ok(req) => req,
+                    Err(msg) => {
+                        metrics.inc(&metrics.responses_err);
+                        conn.respond(&err_payload(err_kind::BAD_REQUEST, &msg));
+                        continue;
+                    }
+                };
+                let budget = request_budget(&req, &shared.cfg);
+                let job = Job { req, conn: Arc::clone(&conn), arrival, budget };
+                if shared.queue.try_push(job).is_err() {
+                    metrics.inc(&metrics.rejected_overload);
+                    let (kind, msg) = if shared.shutdown.load(Ordering::SeqCst) {
+                        (err_kind::SHUTTING_DOWN, "server is draining")
+                    } else {
+                        (err_kind::OVERLOADED, "request queue is full")
+                    };
+                    conn.respond(&err_payload(kind, msg));
+                }
+            }
+        }
+    }
+}
+
+/// The deadline budget a request runs under: its own `timeout_ms` if
+/// present, else the server default. Control commands carry no deadline.
+fn request_budget(req: &Request, cfg: &ServeConfig) -> Option<Duration> {
+    match req {
+        Request::Search(spec) | Request::Explain(spec) => {
+            spec.timeout_ms.map(Duration::from_millis).or(cfg.default_timeout)
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let metrics = &shared.metrics;
+    while let Some(job) = shared.queue.pop() {
+        if let Some(delay) = shared.cfg.worker_delay {
+            thread::sleep(delay);
+        }
+        // Deadline gate: work that can no longer be useful is abandoned
+        // before evaluation starts, never mid-operator.
+        if let Some(budget) = job.budget {
+            if job.arrival.elapsed() >= budget {
+                metrics.inc(&metrics.rejected_deadline);
+                job.conn.respond(&err_payload(
+                    err_kind::DEADLINE,
+                    "deadline expired before evaluation started",
+                ));
+                metrics.observe_latency_us(job.arrival.elapsed().as_micros() as u64);
+                continue;
+            }
+        }
+        if matches!(job.req, Request::Stats | Request::Shutdown) {
+            // Snapshot-answering requests count their own response first,
+            // so the snapshot they return already satisfies the
+            // `requests == responses + rejections` identity.
+            metrics.inc(&metrics.responses_ok);
+            let cache_entries = lock(&shared.cache).len();
+            let snapshot = metrics.snapshot(cache_entries, shared.registry.len());
+            job.conn.respond(&ok_payload(snapshot));
+            metrics.observe_latency_us(job.arrival.elapsed().as_micros() as u64);
+            if matches!(job.req, Request::Shutdown) {
+                begin_shutdown(shared);
+            }
+            continue; // on shutdown: keep draining until the queue closes
+        }
+        match handle_request(shared, &job.req) {
+            Ok(body) => {
+                metrics.inc(&metrics.responses_ok);
+                job.conn.respond(&ok_payload(body));
+            }
+            Err((kind, msg)) => {
+                metrics.inc(&metrics.responses_err);
+                job.conn.respond(&err_payload(kind, &msg));
+            }
+        }
+        metrics.observe_latency_us(job.arrival.elapsed().as_micros() as u64);
+    }
+}
+
+/// Flip the drain flag and poke the acceptor awake (its blocking
+/// `accept` only observes the flag on wakeup).
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(shared.addr);
+}
+
+type RequestError = (&'static str, String);
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Result<Value, RequestError> {
+    match req {
+        Request::RegisterProfile { user, rules } => register_profile(shared, user, rules),
+        Request::Search(spec) => run_query(shared, spec, false),
+        Request::Explain(spec) => run_query(shared, spec, true),
+        // Handled in `worker_loop` (self-counting snapshots + drain).
+        Request::Stats | Request::Shutdown => Ok(Value::Null),
+    }
+}
+
+fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Value, RequestError> {
+    let profile = parse_profile(rules, &PrefRelRegistry::new())
+        .map_err(|e| (err_kind::PROFILE, e.to_string()))?;
+    let warnings: Vec<Value> =
+        validate(&profile).into_iter().map(|w| w.to_string().into()).collect();
+    let counts = (profile.scoping.len(), profile.vors.len(), profile.kors.len());
+    let generation = shared.registry.register(user, profile);
+    let invalidated = lock(&shared.cache).invalidate_user(user);
+    let metrics = &shared.metrics;
+    metrics.add(&metrics.cache_invalidations, invalidated as u64);
+    Ok(obj([
+        ("user", user.into()),
+        ("generation", generation.into()),
+        ("scoping", counts.0.into()),
+        ("vors", counts.1.into()),
+        ("kors", counts.2.into()),
+        ("warnings", Value::Arr(warnings)),
+        ("invalidated", invalidated.into()),
+    ]))
+}
+
+/// Resolve the profile session, fetch-or-compile the prepared state,
+/// then execute (or explain) under the request's options.
+fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Result<Value, RequestError> {
+    let metrics = &shared.metrics;
+    let (profile, user_key, generation) = match &spec.user {
+        None => (Arc::clone(&shared.empty_profile), String::new(), 0),
+        Some(user) => {
+            let session = shared.registry.get(user).ok_or_else(|| {
+                (err_kind::UNKNOWN_USER, format!("no profile registered for `{user}`"))
+            })?;
+            (session.profile, user.clone(), session.generation)
+        }
+    };
+    let key = CacheKey { user: user_key, generation, query: spec.query.clone() };
+    metrics.inc(&metrics.cache_lookups);
+    let cached = lock(&shared.cache).lookup(&key);
+    let (prepared, cache_state) = match cached {
+        Some(p) => {
+            metrics.inc(&metrics.cache_hits);
+            (p, "hit")
+        }
+        None => {
+            metrics.inc(&metrics.cache_misses);
+            // `prepare` runs outside the cache lock: compilation is the
+            // expensive part, and a racing duplicate insert is harmless
+            // (both compile identical state).
+            let prepared = Arc::new(
+                shared.engine.prepare(&spec.query, &profile).map_err(map_engine_err)?,
+            );
+            let evicted = lock(&shared.cache).insert(key, Arc::clone(&prepared));
+            metrics.add(&metrics.cache_evictions, evicted as u64);
+            (prepared, "miss")
+        }
+    };
+    let mut opts = SearchOptions::top(spec.k.max(1));
+    opts.k = spec.k; // k == 0 surfaces as the engine's typed InvalidK
+    opts.offset = spec.offset;
+    opts.threads = spec.threads.unwrap_or(shared.cfg.query_threads);
+    if let Some(strategy) = spec.strategy {
+        opts.strategy = strategy;
+    }
+    if explain_only {
+        let plan = shared
+            .engine
+            .explain_prepared(&prepared, &opts)
+            .map_err(map_engine_err)?;
+        return Ok(obj([
+            ("plan", plan.into()),
+            ("cache", cache_state.into()),
+            ("applied_rules", str_arr(prepared.applied_rules())),
+        ]));
+    }
+    let results =
+        shared.engine.run_prepared(&prepared, &opts).map_err(map_engine_err)?;
+    metrics.absorb_exec(&results.stats);
+    Ok(results_body(&results, cache_state))
+}
+
+fn map_engine_err(e: Error) -> RequestError {
+    match e {
+        Error::Query(_) => (err_kind::QUERY, e.to_string()),
+        Error::Conflict(_) => (err_kind::PROFILE, e.to_string()),
+        Error::InvalidK => (err_kind::BAD_REQUEST, e.to_string()),
+        Error::Xml(_) | Error::Snapshot(_) => (err_kind::INTERNAL, e.to_string()),
+    }
+}
+
+fn str_arr(items: &[String]) -> Value {
+    Value::Arr(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+fn results_body(results: &SearchResults, cache_state: &str) -> Value {
+    let hits: Vec<Value> = results
+        .hits
+        .iter()
+        .map(|h| {
+            obj([
+                ("rank", h.rank.into()),
+                ("doc", (h.elem.doc.0 as u64).into()),
+                ("node", (h.elem.node.0 as u64).into()),
+                ("s", h.s.into()),
+                ("k", h.k.into()),
+                ("kors", str_arr(&h.satisfied_kors)),
+                ("optional", str_arr(&h.satisfied_optional)),
+                ("text", h.text.as_str().into()),
+            ])
+        })
+        .collect();
+    let stats = &results.stats;
+    obj([
+        ("hits", Value::Arr(hits)),
+        ("cache", cache_state.into()),
+        ("applied_rules", str_arr(&results.applied_rules)),
+        ("skipped_rules", str_arr(&results.skipped_rules)),
+        ("flock_size", results.flock_size.into()),
+        (
+            "stats",
+            obj([
+                ("base_answers", stats.base_answers.into()),
+                ("pruned", stats.pruned.into()),
+                ("bulk_pruned", stats.bulk_pruned.into()),
+                ("ft_probes", stats.ft_probes.into()),
+                ("vor_comparisons", stats.vor_comparisons.into()),
+                ("emitted", stats.emitted.into()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_backpressure_and_drain() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue rejects");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue rejects");
+        assert_eq!(q.pop(), Some(2), "drains after close");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1), Err(1));
+    }
+
+    #[test]
+    fn budget_resolution() {
+        let cfg = ServeConfig { default_timeout: Some(Duration::from_millis(7)), ..ServeConfig::default() };
+        let spec = QuerySpec {
+            user: None,
+            query: "//a".into(),
+            k: 1,
+            offset: 0,
+            strategy: None,
+            threads: None,
+            timeout_ms: Some(3),
+        };
+        assert_eq!(request_budget(&Request::Search(spec.clone()), &cfg), Some(Duration::from_millis(3)));
+        let spec_no = QuerySpec { timeout_ms: None, ..spec };
+        assert_eq!(request_budget(&Request::Search(spec_no), &cfg), Some(Duration::from_millis(7)));
+        assert_eq!(request_budget(&Request::Stats, &cfg), None);
+    }
+}

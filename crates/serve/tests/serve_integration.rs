@@ -1,0 +1,394 @@
+//! Loopback integration tests for the serve subsystem (ISSUE 4
+//! acceptance criteria): concurrent clients are bit-identical to serial
+//! `Engine::search`, overload and deadlines produce typed errors,
+//! `register_profile` invalidates the compiled cache, graceful shutdown
+//! drains in-flight requests, and the `stats` identities hold.
+
+use pimento::profile::{parse_profile, PrefRelRegistry, UserProfile};
+use pimento::{Engine, SearchOptions};
+use pimento_serve::json::{obj, Value};
+use pimento_serve::{Client, ClientError, ServeConfig, ServeError, Server};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const FIG2_RULES: &str = include_str!("../../../profiles/fig2.rules");
+
+const CARS_QUERY: &str = r#"//car[ftcontains(., "good condition") and ./price < 2000]"#;
+
+fn cars_engine() -> Arc<Engine> {
+    // The paper's running example corpus, plus generated dealers for bulk.
+    let mut docs = vec![pimento_datagen::paper_figure1().to_string()];
+    docs.push(pimento_datagen::generate_dealer(7, 120));
+    docs.push(pimento_datagen::generate_dealer(13, 120));
+    Arc::new(Engine::from_xml_docs(&docs).expect("corpus parses"))
+}
+
+fn fig2_profile() -> UserProfile {
+    parse_profile(FIG2_RULES, &PrefRelRegistry::new()).expect("fig2 profile parses")
+}
+
+/// Start a server on a free port; returns its address and the handle
+/// that yields the final metrics snapshot after shutdown.
+fn start(engine: Arc<Engine>, cfg: ServeConfig) -> (SocketAddr, thread::JoinHandle<Result<Value, ServeError>>) {
+    let server = Server::bind(engine, cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// The wire-visible fingerprint of one hit: ids exactly, scores by bit
+/// pattern (JSON uses shortest-round-trip formatting, so `f64` bits
+/// survive the loopback).
+fn fingerprint(hits: &Value) -> Vec<(u64, u64, u64, u64)> {
+    hits.as_arr()
+        .expect("hits array")
+        .iter()
+        .map(|h| {
+            (
+                h.get("doc").and_then(Value::as_u64).expect("doc"),
+                h.get("node").and_then(Value::as_u64).expect("node"),
+                h.get("s").and_then(Value::as_f64).expect("s").to_bits(),
+                h.get("k").and_then(Value::as_f64).expect("k").to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// The same fingerprint computed engine-side, bypassing the server.
+fn serial_fingerprint(engine: &Engine, profile: &UserProfile, query: &str, k: usize) -> Vec<(u64, u64, u64, u64)> {
+    let results = engine.search(query, profile, &SearchOptions::top(k)).expect("serial search");
+    results
+        .hits
+        .iter()
+        .map(|h| (u64::from(h.elem.doc.0), u64::from(h.elem.node.0), h.s.to_bits(), h.k.to_bits()))
+        .collect()
+}
+
+fn assert_stats_identities(stats: &Value) {
+    let g = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("counter {k}"));
+    assert_eq!(
+        g("requests"),
+        g("responses_ok") + g("responses_err") + g("rejected_overload") + g("rejected_deadline"),
+        "every decoded request answered exactly once: {stats:?}"
+    );
+    let cache = stats.get("cache").expect("cache block");
+    let c = |k: &str| cache.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("cache {k}"));
+    assert_eq!(c("lookups"), c("hits") + c("misses"), "cache identity: {stats:?}");
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_serial_search() {
+    let engine = cars_engine();
+    let (addr, handle) = start(Arc::clone(&engine), ServeConfig::default());
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.register_profile("u1", FIG2_RULES).expect("register");
+    let profile = fig2_profile();
+    let expected_personalized = serial_fingerprint(&engine, &profile, CARS_QUERY, 10);
+    let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
+    assert_ne!(expected_personalized, expected_plain, "personalization changes the ranking");
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let expected_personalized = expected_personalized.clone();
+            let expected_plain = expected_plain.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for round in 0..10 {
+                    let user = if (i + round) % 2 == 0 { Some("u1") } else { None };
+                    let body = c.search(user, CARS_QUERY, 10).expect("search");
+                    let expected =
+                        if user.is_some() { &expected_personalized } else { &expected_plain };
+                    assert_eq!(&fingerprint(body.get("hits").expect("hits")), expected);
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().expect("client thread");
+    }
+
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let cache = stats.get("cache").expect("cache");
+    assert!(
+        cache.get("hits").and_then(Value::as_u64).expect("hits") >= 70,
+        "repeat queries hit the compiled cache: {stats:?}"
+    );
+    let final_stats = handle.join().expect("server thread").expect("server ran");
+    assert_stats_identities(&final_stats);
+}
+
+#[test]
+fn concurrent_clients_bit_identical_under_cache_eviction() {
+    // capacity 1 → every alternation between (user, plain) evicts; the
+    // recompiled state must still produce identical bits.
+    let engine = cars_engine();
+    let cfg = ServeConfig { cache_capacity: 1, ..ServeConfig::default() };
+    let (addr, handle) = start(Arc::clone(&engine), cfg);
+
+    Client::connect(addr).expect("connect").register_profile("u1", FIG2_RULES).expect("register");
+    let expected_personalized = serial_fingerprint(&engine, &fig2_profile(), CARS_QUERY, 10);
+    let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let expected_personalized = expected_personalized.clone();
+            let expected_plain = expected_plain.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for round in 0..6 {
+                    let user = if (i + round) % 2 == 0 { Some("u1") } else { None };
+                    let body = c.search(user, CARS_QUERY, 10).expect("search");
+                    let expected =
+                        if user.is_some() { &expected_personalized } else { &expected_plain };
+                    assert_eq!(&fingerprint(body.get("hits").expect("hits")), expected);
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().expect("client thread");
+    }
+
+    let mut c = Client::connect(addr).expect("connect");
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let cache = stats.get("cache").expect("cache");
+    assert!(
+        cache.get("evictions").and_then(Value::as_u64).expect("evictions") > 0,
+        "capacity-1 cache must have churned: {stats:?}"
+    );
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn xmark_corpus_bit_identical() {
+    let engine = Arc::new(
+        Engine::from_xml_docs(&[pimento_datagen::generate_xmark(42, 64 * 1024)])
+            .expect("xmark parses"),
+    );
+    let (addr, handle) = start(Arc::clone(&engine), ServeConfig::default());
+    // The paper's XMark workload shape: business buyers, KOR boosts.
+    let rules = r#"
+kor1: x.tag = person & y.tag = person & ftcontains(x, "United States") -> x < y
+kor2: x.tag = person & y.tag = person & ftcontains(x, "College") -> x < y
+"#;
+    let query = r#"//person[ftcontains(., "Yes")]"#;
+    let mut c = Client::connect(addr).expect("connect");
+    c.register_profile("buyer", rules).expect("register");
+    let profile = parse_profile(rules, &PrefRelRegistry::new()).expect("rules parse");
+    let expected = serial_fingerprint(&engine, &profile, query, 12);
+    assert!(!expected.is_empty(), "xmark query matches");
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for _ in 0..5 {
+                    let body = c.search(Some("buyer"), query, 12).expect("search");
+                    assert_eq!(fingerprint(body.get("hits").expect("hits")), expected);
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().expect("client thread");
+    }
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn overload_is_a_typed_error() {
+    // queue_capacity 0: every request is rejected with `overloaded`.
+    let engine = cars_engine();
+    let cfg = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+    let (addr, handle) = start(engine, cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let err = c.search(None, "//car", 5).expect_err("must overload");
+    assert_eq!(err.kind(), Some("overloaded"), "{err}");
+
+    // Shutdown can't get through a zero queue either; stop via drop of
+    // the listener is impossible, so assert the metrics then abandon the
+    // server thread (the process exits at test end).
+    let err = c.shutdown().expect_err("shutdown rejected too");
+    assert_eq!(err.kind(), Some("overloaded"));
+    drop(handle);
+}
+
+#[test]
+fn expired_deadline_is_rejected_before_evaluation() {
+    let engine = cars_engine();
+    // A small worker delay guarantees the deadline check observes an
+    // expired budget even on a fast machine.
+    let cfg = ServeConfig { worker_delay: Some(Duration::from_millis(20)), ..ServeConfig::default() };
+    let (addr, handle) = start(engine, cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let req = obj([
+        ("cmd", "search".into()),
+        ("query", "//car".into()),
+        ("k", 5u64.into()),
+        ("timeout_ms", 0u64.into()),
+    ]);
+    match c.request(&req).expect_err("deadline must reject") {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "deadline"),
+        other => panic!("wrong error: {other}"),
+    }
+    // An un-deadlined request on the same connection still works.
+    let body = c.search(None, "//car", 5).expect("search");
+    assert!(!fingerprint(body.get("hits").expect("hits")).is_empty());
+    let stats = c.shutdown().expect("shutdown");
+    assert_eq!(stats.get("rejected_deadline").and_then(Value::as_u64), Some(1), "{stats:?}");
+    assert_stats_identities(&stats);
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn register_profile_invalidates_cached_plans() {
+    let engine = cars_engine();
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    c.register_profile("u1", FIG2_RULES).expect("register");
+
+    let first = c.search(Some("u1"), CARS_QUERY, 5).expect("search");
+    assert_eq!(first.get("cache").and_then(Value::as_str), Some("miss"));
+    let second = c.search(Some("u1"), CARS_QUERY, 5).expect("search");
+    assert_eq!(second.get("cache").and_then(Value::as_str), Some("hit"));
+
+    // Re-registering bumps the generation: the cached plan is stale.
+    let reg = c.register_profile("u1", "pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n").expect("re-register");
+    assert!(reg.get("invalidated").and_then(Value::as_u64).expect("invalidated") >= 1, "{reg:?}");
+    let third = c.search(Some("u1"), CARS_QUERY, 5).expect("search");
+    assert_eq!(third.get("cache").and_then(Value::as_str), Some("miss"));
+    assert_ne!(
+        fingerprint(first.get("hits").expect("hits")),
+        fingerprint(third.get("hits").expect("hits")),
+        "new profile actually changes the ranking"
+    );
+
+    let stats = c.shutdown().expect("shutdown");
+    assert!(
+        stats.get("cache").and_then(|c| c.get("invalidations")).and_then(Value::as_u64).expect("invalidations") >= 1
+    );
+    assert_stats_identities(&stats);
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_requests() {
+    let engine = cars_engine();
+    // One slow worker: pipelined requests stack up in the queue, then a
+    // second client's shutdown lands behind them. All of them must still
+    // be answered (drain), and run() must return.
+    let cfg = ServeConfig {
+        workers: 1,
+        worker_delay: Some(Duration::from_millis(40)),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(engine, cfg);
+
+    // Pipeline 6 requests on one connection up front (raw frames, no
+    // reply reads): the reader decodes and queues all of them behind the
+    // slow worker before the shutdown lands.
+    let pipeliner = thread::spawn(move || {
+        use pimento_serve::protocol::{read_frame, write_frame, FRAME_HARD_CAP};
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        let req = obj([("cmd", "search".into()), ("query", CARS_QUERY.into()), ("k", 5u64.into())]);
+        for _ in 0..6 {
+            write_frame(&mut raw, req.render().as_bytes()).expect("pipelined write");
+        }
+        let mut fingerprints = Vec::new();
+        for _ in 0..6 {
+            let reply = read_frame(&mut raw, FRAME_HARD_CAP)
+                .expect("read")
+                .expect("queued search answered");
+            let v = Value::parse(std::str::from_utf8(&reply).expect("utf8")).expect("json");
+            let body = v.get("ok").expect("ok reply");
+            fingerprints.push(fingerprint(body.get("hits").expect("hits")));
+        }
+        fingerprints
+    });
+    // Give the pipeliner time to enqueue behind the slow worker, then
+    // shut down from a second connection.
+    thread::sleep(Duration::from_millis(80));
+    let mut c = Client::connect(addr).expect("connect");
+    let _ = c.shutdown().expect("shutdown replies");
+
+    let fingerprints = pipeliner.join().expect("pipeliner");
+    assert_eq!(fingerprints.len(), 6, "every pre-shutdown request answered");
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "answers identical");
+    let final_stats = handle.join().expect("server thread").expect("run() returned");
+    assert_stats_identities(&final_stats);
+    // After run() returns, the port no longer accepts work.
+    assert!(
+        Client::connect_timeout(addr, Duration::from_millis(200))
+            .and_then(|mut c| c.stats())
+            .is_err(),
+        "server is really gone"
+    );
+}
+
+#[test]
+fn malformed_and_unknown_inputs_get_typed_errors() {
+    let engine = cars_engine();
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+
+    let err = c.request(&obj([("cmd", "warp".into())])).expect_err("unknown cmd");
+    assert_eq!(err.kind(), Some("bad_request"), "{err}");
+    let err = c.search(Some("nobody"), "//car", 5).expect_err("unknown user");
+    assert_eq!(err.kind(), Some("unknown_user"), "{err}");
+    let err = c.search(None, "//car[", 5).expect_err("bad query");
+    assert_eq!(err.kind(), Some("query"), "{err}");
+    let err = c.search(None, "//car", 0).expect_err("k = 0");
+    assert_eq!(err.kind(), Some("bad_request"), "{err}");
+    let err = c
+        .request(&obj([("cmd", "register_profile".into()), ("user", "u".into()), ("rules", "gibberish\n".into())]))
+        .expect_err("bad rules");
+    assert_eq!(err.kind(), Some("profile"), "{err}");
+
+    // Raw non-JSON bytes → bad_request (framing survives).
+    {
+        use pimento_serve::protocol::{read_frame, write_frame, FRAME_HARD_CAP};
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        write_frame(&mut raw, b"not json at all").expect("write");
+        let reply = read_frame(&mut raw, FRAME_HARD_CAP).expect("read").expect("reply");
+        let v = Value::parse(std::str::from_utf8(&reply).expect("utf8")).expect("json");
+        assert_eq!(
+            v.get("err").and_then(|e| e.get("kind")).and_then(Value::as_str),
+            Some("bad_request")
+        );
+    }
+
+    let stats = c.stats().expect("stats");
+    assert_stats_identities(&stats);
+    assert_eq!(stats.get("responses_err").and_then(Value::as_u64), Some(6), "{stats:?}");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn explain_reports_the_plan_without_executing() {
+    let engine = cars_engine();
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    let body = c
+        .request(&obj([
+            ("cmd", "explain".into()),
+            ("query", CARS_QUERY.into()),
+            ("k", 5u64.into()),
+        ]))
+        .expect("explain");
+    let plan = body.get("plan").and_then(Value::as_str).expect("plan string");
+    assert!(plan.contains("QueryEval"), "{plan}");
+    // Explain compiles (and caches) but does not execute: a subsequent
+    // search hits the cache.
+    let searched = c.search(None, CARS_QUERY, 5).expect("search");
+    assert_eq!(searched.get("cache").and_then(Value::as_str), Some("hit"));
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+}

@@ -22,4 +22,10 @@ cargo run -p lint --release -- --workspace
 echo "==> lint gate: cargo test -q -p lint"
 cargo test -q -p lint
 
+echo "==> serve gate: cargo test -q -p pimento-serve (loopback integration)"
+cargo test -q -p pimento-serve
+
+echo "==> serve gate: loadgen --smoke (start server, search, clean shutdown)"
+cargo run -q -p pimento-bench --release --bin loadgen -- --smoke
+
 echo "==> verify OK"

@@ -6,8 +6,8 @@
 //! format:
 //!
 //! ```text
-//! magic   "PIMCOL2\0"                    8 bytes
-//! u32     format version (currently 2)
+//! magic   "PIMCOL3\0"                    8 bytes
+//! u32     format version (currently 3)
 //! u32     symbol count                   then len-prefixed UTF-8 names
 //! u32     document count
 //! per document:
@@ -20,34 +20,44 @@
 //!     u32 parent + 1 (0 = none)
 //!     u32 child count, u32 × children
 //!     u32 start, u32 end, u16 level
-//! u64     FNV-1a checksum of everything above
+//! u32     CRC32 (IEEE) of everything above
 //! ```
 //!
-//! Strings are `u32` length + UTF-8 bytes. The checksum catches
-//! truncation/corruption; [`Document::from_parts`] re-validates the arena
-//! invariants on load, so a malformed snapshot fails loudly instead of
-//! producing an inconsistent store.
+//! Strings are `u32` length + UTF-8 bytes. The CRC32 footer (table-based,
+//! dependency-free — see [`crc32`]) rejects bit flips and truncation with
+//! the typed [`PersistError::SnapshotCorrupt`] before any decoding runs;
+//! [`Document::from_parts`] re-validates the arena invariants on load, so
+//! a malformed snapshot fails loudly instead of producing an inconsistent
+//! store. (Format 2 used a 64-bit FNV-1a footer; FNV is a fine hash but a
+//! weak integrity check — CRC32 detects all single-bit and all 2-bit
+//! errors within its span, which is the failure model for at-rest
+//! snapshots.)
 //!
 //! ## Versioning
 //!
 //! The header is versioned: the magic identifies the family and the `u32`
-//! that follows it is the format version. Snapshots from a different
-//! format — including seed-era `"PIMCOL1\0"` snapshots, which carried no
-//! version field — are rejected with the typed
-//! [`PersistError::SnapshotVersion`] instead of being garbage-decoded.
-//! The serialized symbol table (names in [`SymbolId`] order) is part of
-//! the payload, so reloading reproduces identical interned ids.
+//! that follows it is the format version. Version triage happens *before*
+//! the integrity check — a snapshot from another format has a different
+//! footer layout, and the useful report is "wrong version", not
+//! "corrupt". Snapshots from older formats — `"PIMCOL2\0"` (v2, FNV-1a
+//! footer) and seed-era `"PIMCOL1\0"` (no version field) — are rejected
+//! with the typed [`PersistError::SnapshotVersion`] instead of being
+//! garbage-decoded. The serialized symbol table (names in [`SymbolId`]
+//! order) is part of the payload, so reloading reproduces identical
+//! interned ids.
 
 use crate::store::Collection;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pimento_xml::{Document, Node, NodeId, NodeKind, SymbolId, SymbolTable};
 use std::fmt;
 
-const MAGIC: &[u8; 8] = b"PIMCOL2\0";
+const MAGIC: &[u8; 8] = b"PIMCOL3\0";
+/// Format 2 magic: same layout, but a 64-bit FNV-1a footer.
+const V2_MAGIC: &[u8; 8] = b"PIMCOL2\0";
 /// Seed-era magic: format 1 snapshots had no version field after the magic.
 const LEGACY_MAGIC: &[u8; 8] = b"PIMCOL1\0";
 /// Current snapshot format version (the `u32` following the magic).
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Snapshot decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,8 +66,8 @@ pub enum PersistError {
     BadMagic,
     /// Input ended early.
     Truncated,
-    /// Checksum mismatch (corruption).
-    ChecksumMismatch,
+    /// The CRC32 footer does not match the body (bit corruption).
+    SnapshotCorrupt,
     /// A string was not valid UTF-8.
     BadString,
     /// Arena invariants failed on reconstruction.
@@ -79,7 +89,9 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => write!(f, "not a PIMENTO collection snapshot"),
             PersistError::Truncated => write!(f, "snapshot is truncated"),
-            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::SnapshotCorrupt => {
+                write!(f, "snapshot failed its CRC32 integrity check (bit corruption)")
+            }
             PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::BadArena(why) => write!(f, "snapshot arena invalid: {why}"),
             PersistError::BadSymbol => write!(f, "snapshot references an unknown symbol"),
@@ -138,36 +150,46 @@ pub fn save_collection(coll: &Collection) -> Bytes {
             buf.put_u16_le(node.level);
         }
     }
-    let checksum = fnv1a(&buf);
-    buf.put_u64_le(checksum);
+    let checksum = crc32(&buf);
+    buf.put_u32_le(checksum);
     buf.freeze()
 }
 
 /// Deserialize a snapshot produced by [`save_collection`].
 pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
-    if data.len() < MAGIC.len() + 8 {
+    if data.len() < MAGIC.len() {
         return Err(PersistError::Truncated);
     }
-    let (body, tail) = data.split_at(data.len() - 8);
-    let expected = match <[u8; 8]>::try_from(tail) {
-        Ok(bytes) => u64::from_le_bytes(bytes),
-        Err(_) => return Err(PersistError::Truncated),
-    };
-    if fnv1a(body) != expected {
-        return Err(PersistError::ChecksumMismatch);
-    }
-    let mut buf = body;
-    if buf.len() < MAGIC.len() {
-        return Err(PersistError::Truncated);
-    }
-    if &buf[..MAGIC.len()] == LEGACY_MAGIC {
+    // Version triage first: older formats carry a different footer layout,
+    // so running the v3 CRC over them would mislabel every old snapshot as
+    // corrupt instead of naming the real problem.
+    if &data[..MAGIC.len()] == LEGACY_MAGIC {
         // Seed-era snapshot: same family, pre-versioning header.
         return Err(PersistError::SnapshotVersion { found: 1, expected: FORMAT_VERSION });
     }
-    if &buf[..MAGIC.len()] != MAGIC {
+    if &data[..MAGIC.len()] == V2_MAGIC {
+        return Err(PersistError::SnapshotVersion { found: 2, expected: FORMAT_VERSION });
+    }
+    if &data[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    buf.advance(MAGIC.len());
+    // Integrity next: nothing past this point decodes unverified bytes.
+    if data.len() < MAGIC.len() + 4 + 4 {
+        return Err(PersistError::Truncated);
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    let expected = match <[u8; 4]>::try_from(tail) {
+        Ok(bytes) => u32::from_le_bytes(bytes),
+        Err(_) => return Err(PersistError::Truncated),
+    };
+    if crc32(body) != expected {
+        return Err(PersistError::SnapshotCorrupt);
+    }
+    #[cfg(feature = "fault-injection")]
+    if pimento_faults::should_fire("index.persist.load") {
+        return Err(PersistError::SnapshotCorrupt);
+    }
+    let mut buf = &body[MAGIC.len()..];
     let version = get_u32(&mut buf)?;
     if version != FORMAT_VERSION {
         return Err(PersistError::SnapshotVersion { found: version, expected: FORMAT_VERSION });
@@ -263,14 +285,32 @@ fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
     Ok(s)
 }
 
-/// FNV-1a over the snapshot body.
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+/// The 256-entry CRC32 (IEEE 802.3, polynomial `0xEDB88320`) lookup
+/// table, built at compile time — no dependency, no runtime init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
     }
-    h
+    table
+};
+
+/// CRC32 (IEEE) over `data` — the snapshot footer checksum, also reused
+/// by the serve layer's durable profile store.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -324,14 +364,44 @@ mod tests {
         assert!(loaded.is_empty());
     }
 
+    /// FNV-1a as the v1/v2 formats used for their footer (test-only: the
+    /// fixtures below rebuild old-format snapshots byte for byte).
+    fn fnv1a(data: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     #[test]
     fn corruption_is_detected() {
         let coll = sample();
         let snapshot = save_collection(&coll);
+        // Flip every single bit position past the magic in turn: each one
+        // must surface as the typed corruption error, never as garbage
+        // decode output (sampled stride keeps the test fast).
+        for pos in (MAGIC.len()..snapshot.len()).step_by(97) {
+            let mut bytes = snapshot.to_vec();
+            bytes[pos] ^= 0x01;
+            assert!(
+                matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt)),
+                "flip at {pos} undetected"
+            );
+        }
         let mut bytes = snapshot.to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
-        assert!(matches!(load_collection(&bytes), Err(PersistError::ChecksumMismatch)));
+        assert!(matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt)));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check values (RFC 3720 appendix / zlib `crc32`).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
     }
 
     #[test]
@@ -346,21 +416,31 @@ mod tests {
     fn bad_magic_is_detected() {
         let coll = sample();
         let mut bytes = save_collection(&coll).to_vec();
+        // Magic triage runs before the integrity check, so no checksum
+        // fix-up is needed for this to be a BadMagic (not corruption).
         bytes[0] = b'X';
-        // Fix the checksum so the magic check is what fails.
-        let body_len = bytes.len() - 8;
-        let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
-        bytes[body_len..].copy_from_slice(&sum);
         assert!(matches!(load_collection(&bytes), Err(PersistError::BadMagic)));
     }
 
     /// Rewrite a current snapshot into the seed "PIMCOL1\0" layout (legacy
-    /// magic, no version field) with a valid checksum.
+    /// magic, no version field, FNV-1a u64 footer).
     fn as_seed_format(snapshot: &[u8]) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(snapshot.len() - 4);
+        let mut bytes = Vec::with_capacity(snapshot.len());
         bytes.extend_from_slice(b"PIMCOL1\0");
-        // Skip the version u32; keep the payload, drop the old checksum.
-        bytes.extend_from_slice(&snapshot[12..snapshot.len() - 8]);
+        // Skip the version u32; keep the payload, drop the CRC32 footer.
+        bytes.extend_from_slice(&snapshot[12..snapshot.len() - 4]);
+        let sum = fnv1a(&bytes).to_le_bytes();
+        bytes.extend_from_slice(&sum);
+        bytes
+    }
+
+    /// Rewrite a current snapshot into the v2 "PIMCOL2\0" layout (version
+    /// word 2, FNV-1a u64 footer) — the format the previous release wrote.
+    fn as_v2_format(snapshot: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(snapshot.len() + 4);
+        bytes.extend_from_slice(b"PIMCOL2\0");
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&snapshot[12..snapshot.len() - 4]);
         let sum = fnv1a(&bytes).to_le_bytes();
         bytes.extend_from_slice(&sum);
         bytes
@@ -376,11 +456,20 @@ mod tests {
     }
 
     #[test]
+    fn v2_format_snapshot_is_rejected_with_typed_error() {
+        let v2 = as_v2_format(&save_collection(&sample()));
+        assert!(matches!(
+            load_collection(&v2),
+            Err(PersistError::SnapshotVersion { found: 2, expected: FORMAT_VERSION })
+        ));
+    }
+
+    #[test]
     fn future_format_version_is_rejected() {
         let mut bytes = save_collection(&sample()).to_vec();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
-        let body_len = bytes.len() - 8;
-        let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
+        let body_len = bytes.len() - 4;
+        let sum = crc32(&bytes[..body_len]).to_le_bytes();
         bytes[body_len..].copy_from_slice(&sum);
         assert!(matches!(
             load_collection(&bytes),
@@ -390,7 +479,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PersistError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(PersistError::SnapshotCorrupt.to_string().contains("CRC32"));
         assert!(PersistError::BadArena("why").to_string().contains("why"));
     }
 }

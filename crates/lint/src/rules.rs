@@ -10,6 +10,7 @@
 //! | `thread-spawn`     | all parallelism passes the `effective_workers` clamp             |
 //! | `static-mut`       | no `static mut` anywhere                                         |
 //! | `forbid-unsafe`    | every crate root carries `#![forbid(unsafe_code)]`               |
+//! | `lock-poison`      | no `unwrap`/`expect` on lock results — recover poisoned guards   |
 //!
 //! Rules are token-level and skip `#[cfg(test)]` items (and files under
 //! `tests/`, `benches/`, `examples/`), so test scaffolding can use
@@ -255,6 +256,34 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                         "hot-path-str-cmp",
                         t.line,
                         format!("string-literal `{op}` comparison in an answer-comparison module — intern the name and compare ids"),
+                    );
+                }
+            }
+        }
+
+        // lock-poison: `.lock().unwrap()` / `.read().expect(…)` /
+        // `.write().unwrap()` anywhere in product code. A poisoned lock
+        // only means another thread panicked while holding it; every
+        // critical section in this workspace leaves its structure
+        // consistent, so the guard must be recovered
+        // (`poisoned.into_inner()`), not used as a panic amplifier that
+        // turns one bad request into a dead server.
+        if t.is_punct(".") {
+            if let Some(TokKind::Ident(acq)) = toks.get(i + 1).map(|t| &t.kind) {
+                if matches!(acq.as_str(), "lock" | "read" | "write")
+                    && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
+                    && toks.get(i + 3).map(|n| n.is_punct(")")).unwrap_or(false)
+                    && toks.get(i + 4).map(|n| n.is_punct(".")).unwrap_or(false)
+                    && toks
+                        .get(i + 5)
+                        .map(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+                        .unwrap_or(false)
+                    && toks.get(i + 6).map(|n| n.is_punct("(")).unwrap_or(false)
+                {
+                    push(
+                        "lock-poison",
+                        toks[i + 5].line,
+                        format!("`.{acq}().unwrap()`-style lock acquisition — recover the poisoned guard with `into_inner()` instead of propagating panics across threads"),
                     );
                 }
             }
@@ -546,6 +575,30 @@ mod tests {
     fn available_parallelism_is_not_spawning() {
         let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
         assert!(rules_hit("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_lock_unwrap_is_caught_workspace_wide() {
+        // Mutex, RwLock read side, RwLock write side; expect too.
+        let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }";
+        assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["lock-poison"]);
+        let src2 = "fn f(l: &RwLock<u32>) -> u32 { *l.read().expect(\"poisoned\") }";
+        assert_eq!(rules_hit("crates/profile/src/vor.rs", src2), vec!["lock-poison"]);
+        let src3 = "fn f(l: &RwLock<u32>) { *l.write().unwrap() = 1; }";
+        assert_eq!(rules_hit("crates/tpq/src/parse.rs", src3), vec!["lock-poison"]);
+    }
+
+    #[test]
+    fn recovered_lock_acquisition_passes() {
+        let src = "fn f(m: &Mutex<u32>) -> u32 { match m.lock() { Ok(g) => *g, Err(p) => *p.into_inner() } }";
+        assert!(rules_hit("crates/core/src/engine.rs", src).is_empty());
+        // `read()` on a file (no `()`-then-unwrap chain shape) passes.
+        let io = "fn f(mut r: impl Read, buf: &mut [u8]) { let n = r.read(buf).unwrap(); }";
+        assert!(rules_hit("crates/core/src/engine.rs", io).is_empty());
+        // Tests may unwrap locks freely.
+        let test_src = "#[cfg(test)] mod tests { fn t(m: &Mutex<u32>) { m.lock().unwrap(); } }";
+        assert!(rules_hit("crates/core/src/engine.rs", test_src).is_empty());
+        assert!(rules_hit("tests/end_to_end.rs", "fn t(m: &Mutex<u32>) { m.lock().unwrap(); }").is_empty());
     }
 
     #[test]

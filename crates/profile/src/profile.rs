@@ -81,6 +81,15 @@ impl UserProfile {
     /// Enforce the scoping rules on `query`, producing the annotated
     /// single-plan encoding of the query flock.
     pub fn enforce_scoping(&self, query: &Tpq) -> Result<PersonalizedQuery, ConflictError> {
+        // Fault point `profile.enforce_scoping`: simulate a rule set whose
+        // application order cannot be resolved. Gated on a non-empty rule
+        // set — an empty Σ has no rules to conflict, and the serve layer's
+        // degraded fallback re-prepares under the empty profile, which
+        // must stay injection-free for the fallback to succeed.
+        #[cfg(feature = "fault-injection")]
+        if !self.scoping.is_empty() && pimento_faults::should_fire("profile.enforce_scoping") {
+            return Err(ConflictError { cycle: vec!["<fault-injected>".to_string()] });
+        }
         personalize(query, &self.scoping)
     }
 

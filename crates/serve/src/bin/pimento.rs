@@ -28,12 +28,17 @@ fn serve_usage() -> ! {
     eprintln!(
         "usage: pimento serve --docs FILE... [--addr HOST:PORT] [--threads N]\n\
          \x20        [--queue-capacity N] [--cache-capacity N] [--query-threads N] [--timeout-ms N]\n\
+         \x20        [--conn-timeout-ms N] [--profile-dir DIR]\n\
          --addr           listen address (default 127.0.0.1:7654; port 0 = pick a free port)\n\
          --threads N      worker pool size (0 = all cores; same clamp as search --threads)\n\
          --queue-capacity bounded request queue; full = typed `overloaded` error (default 64)\n\
          --cache-capacity compiled (user, query) plan cache entries (default 256; 0 disables)\n\
          --query-threads  execution threads per query (default 1: the pool is the parallelism)\n\
          --timeout-ms     default per-request deadline (default: none)\n\
+         --conn-timeout-ms  socket write timeout: a client that stops reading\n\
+         \x20                cannot wedge a worker or the acceptor (default 5000)\n\
+         --profile-dir    durable profile store: registrations persist here and\n\
+         \x20                are recovered on restart; corrupt files are quarantined\n\
          The server prints `listening on ADDR` once ready and runs until a\n\
          `shutdown` command arrives, then drains in-flight requests and\n\
          prints the final metrics snapshot."
@@ -76,6 +81,15 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
                 let ms: u64 =
                     it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage());
                 cfg.default_timeout = Some(Duration::from_millis(ms));
+            }
+            "--conn-timeout-ms" => {
+                let ms: u64 =
+                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.conn_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--profile-dir" => {
+                cfg.profile_dir =
+                    Some(it.next().unwrap_or_else(|| serve_usage()).into());
             }
             "--help" | "-h" => serve_usage(),
             other => {

@@ -16,8 +16,15 @@
 //!   (user, generation, query);
 //! * [`metrics`] — lock-cheap counters + latency histograms;
 //! * [`server`] — acceptor / reader / worker-pool topology with bounded
-//!   queueing, deadlines, and draining shutdown;
-//! * [`client`] — a small blocking client for tests and tooling.
+//!   queueing, deadlines, per-request panic isolation, and draining
+//!   shutdown;
+//! * [`store`] — crash-safe durable profile persistence (write-temp +
+//!   fsync + atomic rename, checksummed, quarantine-on-corrupt);
+//! * [`client`] — a small blocking client with bounded-backoff retry for
+//!   tests and tooling.
+//!
+//! The failure model — which fault can fire where, and what typed error
+//! or degradation each one maps to — is cataloged in DESIGN.md §12.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,11 +36,19 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod store;
+
+/// The deterministic fault-injection registry, re-exported so the chaos
+/// suite can install seeded [`pimento_faults::FaultPlan`]s against the
+/// named fault points this crate compiles in.
+#[cfg(feature = "fault-injection")]
+pub use pimento_faults as faults;
 
 pub use cache::{CacheKey, PreparedCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Value;
 pub use metrics::Metrics;
 pub use protocol::{err_kind, Request};
 pub use registry::ProfileRegistry;
 pub use server::{ServeConfig, ServeError, Server};
+pub use store::{ProfileStore, Recovered, StoreError};

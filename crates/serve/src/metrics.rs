@@ -64,6 +64,21 @@ counters! {
     rejected_overload,
     /// Requests rejected because their deadline expired while queued.
     rejected_deadline,
+    /// Request handlers that panicked; each also counts one
+    /// `responses_err` (the caller gets a typed `internal` error).
+    panics,
+    /// Worker threads respawned after their loop panicked outside a
+    /// request handler.
+    worker_respawns,
+    /// `ok` responses served in degraded (unpersonalized-fallback) mode;
+    /// a subset of `responses_ok`.
+    degraded,
+    /// Profile persistence failures (registration stayed live in memory).
+    store_errors,
+    /// Profiles recovered intact from the durable store at startup.
+    profiles_recovered,
+    /// Corrupt store files quarantined at startup.
+    profiles_quarantined,
     /// Compiled-profile cache probes.
     cache_lookups,
     /// Cache probes that found a live entry.
@@ -148,6 +163,17 @@ impl Metrics {
             ("responses_err", g(&self.responses_err)),
             ("rejected_overload", g(&self.rejected_overload)),
             ("rejected_deadline", g(&self.rejected_deadline)),
+            ("panics", g(&self.panics)),
+            ("worker_respawns", g(&self.worker_respawns)),
+            ("degraded", g(&self.degraded)),
+            (
+                "store",
+                obj([
+                    ("errors", g(&self.store_errors)),
+                    ("profiles_recovered", g(&self.profiles_recovered)),
+                    ("profiles_quarantined", g(&self.profiles_quarantined)),
+                ]),
+            ),
             (
                 "cache",
                 obj([

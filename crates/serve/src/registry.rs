@@ -20,6 +20,11 @@ pub struct ProfileSession {
     pub profile: Arc<UserProfile>,
     /// Monotonic installation stamp (unique across all users).
     pub generation: u64,
+    /// `Some(reason)` when this session is a degraded placeholder: the
+    /// user is known but their persisted profile could not be recovered
+    /// (DESIGN.md §12), so searches run unpersonalized and stamp
+    /// `degraded: true`. A fresh `register_profile` clears it.
+    pub degraded: Option<String>,
 }
 
 /// Thread-safe user → profile map.
@@ -38,7 +43,22 @@ impl ProfileRegistry {
     /// Install (or replace) `user`'s profile; returns the new generation.
     pub fn register(&self, user: &str, profile: UserProfile) -> u64 {
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
-        let session = ProfileSession { profile: Arc::new(profile), generation };
+        let session = ProfileSession { profile: Arc::new(profile), generation, degraded: None };
+        write_guard(&self.sessions).insert(user.to_string(), session);
+        generation
+    }
+
+    /// Install a degraded placeholder for `user`: an empty profile marked
+    /// with `reason`. Used by startup recovery when a persisted profile
+    /// is corrupt — the user keeps getting (unpersonalized, explicitly
+    /// flagged) answers instead of `unknown_user` errors.
+    pub fn register_degraded(&self, user: &str, reason: &str) -> u64 {
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let session = ProfileSession {
+            profile: Arc::new(UserProfile::new()),
+            generation,
+            degraded: Some(reason.to_string()),
+        };
         write_guard(&self.sessions).insert(user.to_string(), session);
         generation
     }
@@ -98,5 +118,18 @@ mod tests {
         let g3 = r.register("u2", UserProfile::new());
         assert!(g3 > g2, "generations unique across users");
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn degraded_sessions_are_flagged_and_cleared_by_reregistration() {
+        let r = ProfileRegistry::new();
+        let g1 = r.register_degraded("victim", "profile snapshot corrupt");
+        let s = r.get("victim").expect("registered");
+        assert_eq!(s.generation, g1);
+        assert_eq!(s.degraded.as_deref(), Some("profile snapshot corrupt"));
+        assert!(s.profile.is_empty(), "degraded placeholder is the empty profile");
+        let g2 = r.register("victim", UserProfile::new());
+        assert!(g2 > g1);
+        assert!(r.get("victim").expect("registered").degraded.is_none());
     }
 }

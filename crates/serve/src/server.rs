@@ -19,7 +19,18 @@
 //!   (evaluation itself is never preempted — determinism);
 //! * `shutdown` **drains**: requests admitted to the queue before the
 //!   drain began are all answered, then the pool exits and the final
-//!   metrics snapshot is returned from [`Server::run`].
+//!   metrics snapshot is returned from [`Server::run`];
+//! * request handlers are **panic-isolated**: a panic while evaluating
+//!   one request becomes that request's typed `internal` error (and a
+//!   `panics` metric), never a dead worker or a dead server; a panic
+//!   outside any handler respawns the worker loop (`worker_respawns`);
+//! * personalization **degrades before it fails**: a user whose profile
+//!   cannot be applied (conflict at prepare time, or corrupt persisted
+//!   profile at recovery) gets the unpersonalized base answers with
+//!   `degraded: true` and a reason, not an error.
+//!
+//! The full failure model — which fault can fire where and what each one
+//! maps to — is cataloged in DESIGN.md §12.
 
 use crate::cache::{CacheKey, PreparedCache};
 use crate::json::{obj, Value};
@@ -29,12 +40,15 @@ use crate::protocol::{
     FRAME_HARD_CAP,
 };
 use crate::registry::ProfileRegistry;
+use crate::store::{ProfileStore, Recovered, StoreError};
 use pimento::profile::{parse_profile, validate, PrefRelRegistry, UserProfile};
 use pimento::{Engine, Error, SearchOptions, SearchResults};
 use pimento_index::{effective_workers, resolve_threads};
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
@@ -78,6 +92,13 @@ pub struct ServeConfig {
     /// for the drain/overload tests and the load generator. Always
     /// `None` in production use.
     pub worker_delay: Option<Duration>,
+    /// Write timeout on connection sockets (both response writers and
+    /// the acceptor's rejection frames): a client that stops reading
+    /// must not wedge a worker — or the acceptor — forever.
+    pub conn_timeout: Duration,
+    /// Directory for the durable profile store. `None` disables
+    /// persistence; profiles live only in memory.
+    pub profile_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +114,8 @@ impl Default for ServeConfig {
             default_timeout: None,
             query_threads: 1,
             worker_delay: None,
+            conn_timeout: Duration::from_secs(5),
+            profile_dir: None,
         }
     }
 }
@@ -111,6 +134,9 @@ pub enum ServeError {
     Spawn(io::Error),
     /// Listener configuration failed.
     Io(io::Error),
+    /// The durable profile store failed at the filesystem level
+    /// (corrupt *files* never produce this — they are quarantined).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -119,6 +145,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Bind { addr, err } => write!(f, "cannot bind {addr}: {err}"),
             ServeError::Spawn(e) => write!(f, "cannot spawn server thread: {e}"),
             ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+            ServeError::Store(e) => write!(f, "profile store: {e}"),
         }
     }
 }
@@ -144,6 +171,7 @@ struct Shared {
     live_conns: AtomicUsize,
     addr: SocketAddr,
     empty_profile: Arc<UserProfile>,
+    store: Option<ProfileStore>,
 }
 
 /// One admitted request, waiting in the queue.
@@ -172,12 +200,19 @@ impl Conn {
 }
 
 impl Server {
-    /// Bind `cfg.addr` and prepare the shared state. The server starts
-    /// serving when [`Server::run`] is called.
+    /// Bind `cfg.addr`, prepare the shared state, and — when
+    /// `cfg.profile_dir` is set — recover persisted profiles. Corrupt
+    /// store files are quarantined and their users registered as
+    /// degraded sessions; only filesystem-level store failures abort the
+    /// bind. The server starts serving when [`Server::run`] is called.
     pub fn bind(engine: Arc<Engine>, cfg: ServeConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|err| ServeError::Bind { addr: cfg.addr.clone(), err })?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let store = match &cfg.profile_dir {
+            Some(dir) => Some(ProfileStore::open(dir.clone()).map_err(ServeError::Store)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: Mutex::new(PreparedCache::new(cfg.cache_capacity)),
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -187,9 +222,15 @@ impl Server {
             live_conns: AtomicUsize::new(0),
             addr,
             empty_profile: Arc::new(UserProfile::new()),
+            store,
             engine,
             cfg,
         });
+        if let Some(store) = &shared.store {
+            for outcome in store.recover().map_err(ServeError::Store)? {
+                recover_one(&shared, outcome);
+            }
+        }
         Ok(Server { listener, addr, shared })
     }
 
@@ -211,7 +252,20 @@ impl Server {
             let s = Arc::clone(&shared);
             let handle = thread::Builder::new()
                 .name(format!("pimento-serve-worker-{i}"))
-                .spawn(move || worker_loop(&s))
+                .spawn(move || {
+                    // Self-healing: a panic that escapes the per-request
+                    // isolation (e.g. the `serve.worker.loop` fault
+                    // point) ends one loop iteration, not the worker —
+                    // the loop re-enters until the queue closes. No job
+                    // is lost: the loop only panics outside `pop`, and a
+                    // panic *inside* a handler is caught per-request.
+                    loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&s))) {
+                            Ok(()) => break,
+                            Err(_) => s.metrics.inc(&s.metrics.worker_respawns),
+                        }
+                    }
+                })
                 .map_err(ServeError::Spawn)?;
             workers.push(handle);
         }
@@ -230,6 +284,9 @@ impl Server {
             readers.retain(|h| !h.is_finished());
             if shared.live_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
                 shared.metrics.inc(&shared.metrics.conns_rejected);
+                // The rejection write runs on the acceptor thread: a
+                // stalled client must not pin it past the timeout.
+                let _ = stream.set_write_timeout(Some(shared.cfg.conn_timeout));
                 let _ = write_frame(
                     &mut stream,
                     &err_payload(err_kind::OVERLOADED, "connection limit reached"),
@@ -263,6 +320,40 @@ impl Server {
         }
         let cache_entries = lock(&shared.cache).len();
         Ok(shared.metrics.snapshot(cache_entries, shared.registry.len()))
+    }
+}
+
+/// Fold one store-recovery outcome into the registry + metrics. Corrupt
+/// rules with an intact header still name the user, so the user gets a
+/// degraded session (unpersonalized answers flagged `degraded: true`)
+/// instead of vanishing into `unknown_user` errors.
+fn recover_one(shared: &Shared, outcome: Recovered) {
+    let metrics = &shared.metrics;
+    match outcome {
+        Recovered::Profile { user, rules } => {
+            match parse_profile(&rules, &PrefRelRegistry::new()) {
+                Ok(profile) => {
+                    shared.registry.register(&user, profile);
+                    metrics.inc(&metrics.profiles_recovered);
+                }
+                Err(e) => {
+                    // The bytes verified but no longer parse (e.g. the
+                    // rule grammar moved on): degrade, don't die.
+                    shared.registry.register_degraded(
+                        &user,
+                        &format!("persisted profile no longer parses: {e}"),
+                    );
+                }
+            }
+        }
+        Recovered::CorruptRules { user, detail, .. } => {
+            shared.registry.register_degraded(
+                &user,
+                &format!("persisted profile corrupt: {detail}"),
+            );
+            metrics.inc(&metrics.profiles_quarantined);
+        }
+        Recovered::CorruptFile { .. } => metrics.inc(&metrics.profiles_quarantined),
     }
 }
 
@@ -408,7 +499,7 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         Err(_) => return,
     };
     // A client that stops reading must not wedge a worker forever.
-    let _ = writer.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = writer.set_write_timeout(Some(shared.cfg.conn_timeout));
     let conn = Arc::new(Conn { writer: Mutex::new(writer) });
     let metrics = &shared.metrics;
     loop {
@@ -473,7 +564,15 @@ fn request_budget(req: &Request, cfg: &ServeConfig) -> Option<Duration> {
 
 fn worker_loop(shared: &Arc<Shared>) {
     let metrics = &shared.metrics;
-    while let Some(job) = shared.queue.pop() {
+    loop {
+        // Fault point `serve.worker.loop`: a panic *outside* any request
+        // handler. It fires before `pop`, so no admitted job is held when
+        // the loop dies; the respawn wrapper in `run` re-enters.
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("serve.worker.loop") {
+            panic!("fault injected: serve.worker.loop");
+        }
+        let Some(job) = shared.queue.pop() else { return };
         if let Some(delay) = shared.cfg.worker_delay {
             thread::sleep(delay);
         }
@@ -504,17 +603,48 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue; // on shutdown: keep draining until the queue closes
         }
-        match handle_request(shared, &job.req) {
-            Ok(body) => {
+        // Per-request panic isolation: whatever happens inside the
+        // handler — including the `serve.worker.job` fault point — this
+        // job gets exactly one response, so the `requests == responses`
+        // identity survives injected and genuine panics alike.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-injection")]
+            if pimento_faults::should_fire("serve.worker.job") {
+                panic!("fault injected: serve.worker.job");
+            }
+            handle_request(shared, &job.req)
+        }));
+        match outcome {
+            Ok(Ok(body)) => {
                 metrics.inc(&metrics.responses_ok);
                 job.conn.respond(&ok_payload(body));
             }
-            Err((kind, msg)) => {
+            Ok(Err((kind, msg))) => {
                 metrics.inc(&metrics.responses_err);
                 job.conn.respond(&err_payload(kind, &msg));
             }
+            Err(payload) => {
+                metrics.inc(&metrics.panics);
+                metrics.inc(&metrics.responses_err);
+                job.conn.respond(&err_payload(
+                    err_kind::INTERNAL,
+                    &format!("request handler panicked: {}", panic_message(&payload)),
+                ));
+            }
         }
         metrics.observe_latency_us(job.arrival.elapsed().as_micros() as u64);
+    }
+}
+
+/// Best-effort human-readable text from a panic payload (`panic!` with a
+/// string literal or a formatted message covers practically everything).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -547,50 +677,100 @@ fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Val
     let invalidated = lock(&shared.cache).invalidate_user(user);
     let metrics = &shared.metrics;
     metrics.add(&metrics.cache_invalidations, invalidated as u64);
-    Ok(obj([
-        ("user", user.into()),
-        ("generation", generation.into()),
-        ("scoping", counts.0.into()),
-        ("vors", counts.1.into()),
-        ("kors", counts.2.into()),
-        ("warnings", Value::Arr(warnings)),
-        ("invalidated", invalidated.into()),
-    ]))
+    let mut fields = vec![
+        ("user".to_string(), user.into()),
+        ("generation".to_string(), generation.into()),
+        ("scoping".to_string(), counts.0.into()),
+        ("vors".to_string(), counts.1.into()),
+        ("kors".to_string(), counts.2.into()),
+        ("warnings".to_string(), Value::Arr(warnings)),
+        ("invalidated".to_string(), invalidated.into()),
+    ];
+    if let Some(store) = &shared.store {
+        // Persistence failure degrades durability, not availability: the
+        // registration is already live in memory, so report the failure
+        // in-band and keep serving.
+        match store.persist(user, rules) {
+            Ok(_) => fields.push(("persisted".to_string(), true.into())),
+            Err(e) => {
+                metrics.inc(&metrics.store_errors);
+                fields.push(("persisted".to_string(), false.into()));
+                fields.push(("persist_error".to_string(), e.to_string().into()));
+            }
+        }
+    }
+    Ok(Value::Obj(fields))
 }
 
-/// Resolve the profile session, fetch-or-compile the prepared state,
-/// then execute (or explain) under the request's options.
-fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Result<Value, RequestError> {
+/// Cache probe + compile for one (profile, user, generation, query)
+/// binding. Engine errors surface untyped so the caller can decide
+/// between propagating and degrading.
+fn fetch_or_prepare(
+    shared: &Arc<Shared>,
+    profile: &Arc<UserProfile>,
+    user_key: String,
+    generation: u64,
+    query: &str,
+) -> Result<(Arc<pimento::PreparedSearch>, &'static str), Error> {
     let metrics = &shared.metrics;
-    let (profile, user_key, generation) = match &spec.user {
-        None => (Arc::clone(&shared.empty_profile), String::new(), 0),
-        Some(user) => {
-            let session = shared.registry.get(user).ok_or_else(|| {
-                (err_kind::UNKNOWN_USER, format!("no profile registered for `{user}`"))
-            })?;
-            (session.profile, user.clone(), session.generation)
-        }
-    };
-    let key = CacheKey { user: user_key, generation, query: spec.query.clone() };
+    let key = CacheKey { user: user_key, generation, query: query.to_string() };
     metrics.inc(&metrics.cache_lookups);
     let cached = lock(&shared.cache).lookup(&key);
-    let (prepared, cache_state) = match cached {
+    match cached {
         Some(p) => {
             metrics.inc(&metrics.cache_hits);
-            (p, "hit")
+            Ok((p, "hit"))
         }
         None => {
             metrics.inc(&metrics.cache_misses);
             // `prepare` runs outside the cache lock: compilation is the
             // expensive part, and a racing duplicate insert is harmless
             // (both compile identical state).
-            let prepared = Arc::new(
-                shared.engine.prepare(&spec.query, &profile).map_err(map_engine_err)?,
-            );
+            let prepared = Arc::new(shared.engine.prepare(query, profile)?);
             let evicted = lock(&shared.cache).insert(key, Arc::clone(&prepared));
             metrics.add(&metrics.cache_evictions, evicted as u64);
-            (prepared, "miss")
+            Ok((prepared, "miss"))
         }
+    }
+}
+
+/// Resolve the profile session, fetch-or-compile the prepared state,
+/// then execute (or explain) under the request's options. Personalized
+/// requests whose profile cannot be applied — a degraded session from
+/// startup recovery, or a scoping conflict at prepare time — fall back
+/// to the unpersonalized base query and stamp `degraded: true` plus a
+/// reason on the response instead of failing.
+fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Result<Value, RequestError> {
+    let metrics = &shared.metrics;
+    let (profile, user_key, generation, mut degraded) = match &spec.user {
+        None => (Arc::clone(&shared.empty_profile), String::new(), 0, None),
+        Some(user) => {
+            let session = shared.registry.get(user).ok_or_else(|| {
+                (err_kind::UNKNOWN_USER, format!("no profile registered for `{user}`"))
+            })?;
+            match session.degraded {
+                // A degraded session runs under the anonymous cache slot:
+                // its placeholder profile IS the empty profile, so the
+                // compiled state is shared with anonymous queries.
+                Some(reason) => (Arc::clone(&shared.empty_profile), String::new(), 0, Some(reason)),
+                None => (session.profile, user.clone(), session.generation, None),
+            }
+        }
+    };
+    let attempt = fetch_or_prepare(shared, &profile, user_key, generation, &spec.query);
+    let (prepared, cache_state) = match attempt {
+        Ok(ready) => ready,
+        Err(Error::Conflict(e)) if degraded.is_none() && spec.user.is_some() => {
+            // Graceful degradation: the profile cannot be applied to
+            // *this* query. Unpersonalized answers now beat a hard error;
+            // the empty profile prepares deterministically (its fault
+            // point is gated on a non-empty rule set).
+            degraded = Some(format!("profile not applicable to this query: {e}"));
+            let empty = Arc::clone(&shared.empty_profile);
+            fetch_or_prepare(shared, &empty, String::new(), 0, &spec.query)
+                .map_err(map_engine_err)?
+        }
+        Err(e) => return Err(map_engine_err(e)),
     };
     let mut opts = SearchOptions::top(spec.k.max(1));
     opts.k = spec.k; // k == 0 surfaces as the engine's typed InvalidK
@@ -604,16 +784,32 @@ fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Resu
             .engine
             .explain_prepared(&prepared, &opts)
             .map_err(map_engine_err)?;
-        return Ok(obj([
+        let body = obj([
             ("plan", plan.into()),
             ("cache", cache_state.into()),
             ("applied_rules", str_arr(prepared.applied_rules())),
-        ]));
+        ]);
+        return Ok(stamp_degraded(body, &degraded, metrics));
     }
     let results =
         shared.engine.run_prepared(&prepared, &opts).map_err(map_engine_err)?;
     metrics.absorb_exec(&results.stats);
-    Ok(results_body(&results, cache_state))
+    Ok(stamp_degraded(results_body(&results, cache_state), &degraded, metrics))
+}
+
+/// Mark a successful response as degraded (and count it) when the
+/// request fell back to unpersonalized evaluation.
+fn stamp_degraded(body: Value, degraded: &Option<String>, metrics: &Metrics) -> Value {
+    let Some(reason) = degraded else { return body };
+    metrics.inc(&metrics.degraded);
+    match body {
+        Value::Obj(mut fields) => {
+            fields.push(("degraded".to_string(), true.into()));
+            fields.push(("degraded_reason".to_string(), reason.as_str().into()));
+            Value::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 fn map_engine_err(e: Error) -> RequestError {

@@ -1,0 +1,436 @@
+//! Crash-safe durable profile persistence (DESIGN.md §12).
+//!
+//! `register_profile` keeps profiles in memory ([`crate::registry`]); when
+//! the server is started with `--profile-dir`, each registration is also
+//! persisted so profiles survive restarts. Durability discipline:
+//!
+//! * **write-temp → fsync → atomic rename** — a crash mid-write leaves a
+//!   stale `.tmp` file (ignored on recovery), never a torn `.profile`;
+//! * **two checksums** — the user-name header and the whole body carry
+//!   independent CRC32s (reusing [`pimento_index::crc32`]). A bit flip in
+//!   the rules region leaves the header verifiable, so recovery still
+//!   knows *which user* lost their profile and can register a degraded
+//!   session for them instead of silently forgetting the user;
+//! * **quarantine, don't abort** — a corrupt file is renamed to
+//!   `<name>.quarantined` and reported as a typed [`Recovered`] outcome;
+//!   startup recovery never panics and never deletes evidence.
+//!
+//! ```text
+//! magic   "PIMPROF1"                        8 bytes
+//! u32le   user length; user (UTF-8)
+//! u32le   CRC32 of everything above         — header checksum
+//! u32le   rules length; rules (UTF-8)
+//! u32le   CRC32 of everything above         — body checksum
+//! ```
+
+use pimento_index::crc32;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"PIMPROF1";
+
+/// A typed profile-store failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure (create/write/fsync/rename/list).
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        err: io::Error,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, err } => {
+                write!(f, "profile store I/O error at {}: {err}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of recovering one persisted file at startup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovered {
+    /// The file verified; the profile is ready to re-register.
+    Profile {
+        /// The session key the profile was persisted under.
+        user: String,
+        /// The profile rule text, exactly as registered.
+        rules: String,
+    },
+    /// The rules region is corrupt but the header verified: the user is
+    /// known, their profile is not. The file was quarantined.
+    CorruptRules {
+        /// The user whose profile was lost.
+        user: String,
+        /// Where the corrupt file now lives.
+        quarantined: PathBuf,
+        /// What failed (checksum mismatch, truncation, bad UTF-8).
+        detail: String,
+    },
+    /// The header itself is corrupt — not even the user name is
+    /// trustworthy. The file was quarantined.
+    CorruptFile {
+        /// Where the corrupt file now lives.
+        quarantined: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+}
+
+/// A directory of durably persisted profiles, one file per user.
+#[derive(Debug)]
+pub struct ProfileStore {
+    dir: PathBuf,
+}
+
+impl ProfileStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ProfileStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|err| StoreError::Io { path: dir.clone(), err })?;
+        Ok(ProfileStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a user's profile persists to. The name embeds a sanitized
+    /// prefix (readability) and an FNV-1a hash of the exact user string
+    /// (uniqueness: distinct users never share a file).
+    pub fn path_for(&self, user: &str) -> PathBuf {
+        let sanitized: String = user
+            .chars()
+            .take(40)
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in user.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.dir.join(format!("u-{sanitized}-{h:016x}.profile"))
+    }
+
+    /// Durably persist one (user, rules) pair: encode, write to a temp
+    /// file, fsync, atomically rename into place, then fsync the
+    /// directory so the rename itself survives a crash.
+    pub fn persist(&self, user: &str, rules: &str) -> Result<PathBuf, StoreError> {
+        let path = self.path_for(user);
+        let tmp = path.with_extension("tmp");
+        let bytes = encode(user, rules);
+        let io_err = |path: &Path, err: io::Error| StoreError::Io { path: path.to_path_buf(), err };
+
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("serve.store.write") {
+            return Err(io_err(&tmp, io::Error::other("fault injected: serve.store.write")));
+        }
+        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("serve.store.fsync") {
+            return Err(io_err(&tmp, io::Error::other("fault injected: serve.store.fsync")));
+        }
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("serve.store.rename") {
+            return Err(io_err(&path, io::Error::other("fault injected: serve.store.rename")));
+        }
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        // Make the rename durable. Directory fsync is best-effort: some
+        // filesystems refuse to open a directory for reading, and the
+        // data file itself is already safe on disk.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(path)
+    }
+
+    /// Scan the directory and decode every `.profile` file, quarantining
+    /// corrupt ones. Stale `.tmp` leftovers from a crashed `persist` are
+    /// ignored. Files are visited in name order, so recovery (and the
+    /// chaos suite) is deterministic.
+    pub fn recover(&self) -> Result<Vec<Recovered>, StoreError> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|err| StoreError::Io { path: self.dir.clone(), err })?;
+        let mut files: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|err| StoreError::Io { path: self.dir.clone(), err })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("profile") {
+                files.push(path);
+            }
+        }
+        files.sort();
+
+        let mut out = Vec::with_capacity(files.len());
+        for path in files {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    let quarantined = self.quarantine(&path)?;
+                    out.push(Recovered::CorruptFile {
+                        quarantined,
+                        detail: format!("unreadable: {e}"),
+                    });
+                    continue;
+                }
+            };
+            #[cfg(feature = "fault-injection")]
+            let forced = pimento_faults::should_fire("serve.store.load");
+            #[cfg(not(feature = "fault-injection"))]
+            let forced = false;
+            match decode(&bytes) {
+                Ok((user, rules)) if !forced => out.push(Recovered::Profile { user, rules }),
+                Ok((user, _)) => {
+                    let quarantined = self.quarantine(&path)?;
+                    out.push(Recovered::CorruptRules {
+                        user,
+                        quarantined,
+                        detail: "fault injected: serve.store.load".to_string(),
+                    });
+                }
+                Err(DecodeFail::Rules { user, detail }) => {
+                    let quarantined = self.quarantine(&path)?;
+                    out.push(Recovered::CorruptRules { user, quarantined, detail });
+                }
+                Err(DecodeFail::Header(detail)) => {
+                    let quarantined = self.quarantine(&path)?;
+                    out.push(Recovered::CorruptFile { quarantined, detail });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Move a corrupt file out of the scan set, keeping it for forensics.
+    fn quarantine(&self, path: &Path) -> Result<PathBuf, StoreError> {
+        let mut name = path.as_os_str().to_owned();
+        name.push(".quarantined");
+        let target = PathBuf::from(name);
+        fs::rename(path, &target)
+            .map_err(|err| StoreError::Io { path: path.to_path_buf(), err })?;
+        Ok(target)
+    }
+}
+
+/// Why one persisted file failed to decode.
+enum DecodeFail {
+    /// The header (magic + user + header CRC) is untrustworthy.
+    Header(String),
+    /// The header verified; the rules region did not.
+    Rules {
+        /// User recovered from the intact header.
+        user: String,
+        /// What failed.
+        detail: String,
+    },
+}
+
+fn encode(user: &str, rules: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + user.len() + 4 + 4 + rules.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(user.len() as u32).to_le_bytes());
+    out.extend_from_slice(user.as_bytes());
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out.extend_from_slice(&(rules.len() as u32).to_le_bytes());
+    out.extend_from_slice(rules.as_bytes());
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out
+}
+
+fn decode(bytes: &[u8]) -> Result<(String, String), DecodeFail> {
+    let header = |d: &str| DecodeFail::Header(d.to_string());
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(header("truncated header"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(header("bad magic"));
+    }
+    let ulen = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let user_end = 12usize.saturating_add(ulen);
+    if bytes.len() < user_end.saturating_add(4) {
+        return Err(header("truncated user record"));
+    }
+    let hcrc = u32::from_le_bytes([
+        bytes[user_end],
+        bytes[user_end + 1],
+        bytes[user_end + 2],
+        bytes[user_end + 3],
+    ]);
+    if crc32(&bytes[..user_end]) != hcrc {
+        return Err(header("header checksum mismatch"));
+    }
+    let user = match std::str::from_utf8(&bytes[12..user_end]) {
+        Ok(u) => u.to_string(),
+        Err(_) => return Err(header("user is not valid UTF-8")),
+    };
+    // Header verified: every later failure still names the user.
+    let rules_fail = |user: &str, d: &str| DecodeFail::Rules {
+        user: user.to_string(),
+        detail: d.to_string(),
+    };
+    let rl_off = user_end + 4;
+    if bytes.len() < rl_off + 4 {
+        return Err(rules_fail(&user, "truncated rules length"));
+    }
+    let rlen = u32::from_le_bytes([
+        bytes[rl_off],
+        bytes[rl_off + 1],
+        bytes[rl_off + 2],
+        bytes[rl_off + 3],
+    ]) as usize;
+    let rules_end = (rl_off + 4).saturating_add(rlen);
+    if bytes.len() < rules_end.saturating_add(4) {
+        return Err(rules_fail(&user, "truncated rules record"));
+    }
+    if bytes.len() != rules_end + 4 {
+        return Err(rules_fail(&user, "trailing bytes after footer"));
+    }
+    let footer = u32::from_le_bytes([
+        bytes[rules_end],
+        bytes[rules_end + 1],
+        bytes[rules_end + 2],
+        bytes[rules_end + 3],
+    ]);
+    if crc32(&bytes[..rules_end]) != footer {
+        return Err(rules_fail(&user, "body checksum mismatch"));
+    }
+    match std::str::from_utf8(&bytes[rl_off + 4..rules_end]) {
+        Ok(r) => Ok((user, r.to_string())),
+        Err(_) => Err(rules_fail(&user, "rules are not valid UTF-8")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory per test (no tempfile crate offline).
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("pimento-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_persist_and_recover() {
+        let dir = scratch("roundtrip");
+        let store = ProfileStore::open(&dir).expect("open");
+        store.persist("alice", "pi1: x.tag = car -> x < y\n").expect("persist");
+        store.persist("bob", "").expect("empty rules persist");
+        store.persist("weird user/../name", "rule text").expect("hostile name persists");
+        let recovered = store.recover().expect("recover");
+        assert_eq!(recovered.len(), 3);
+        assert!(recovered.iter().all(|r| matches!(r, Recovered::Profile { .. })));
+        assert!(recovered.contains(&Recovered::Profile {
+            user: "alice".to_string(),
+            rules: "pi1: x.tag = car -> x < y\n".to_string(),
+        }));
+        assert!(recovered.contains(&Recovered::Profile {
+            user: "weird user/../name".to_string(),
+            rules: "rule text".to_string(),
+        }));
+        // Re-persisting overwrites in place (same path per user).
+        store.persist("alice", "changed\n").expect("re-persist");
+        assert_eq!(store.recover().expect("recover").len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_user_names_stay_inside_the_store_dir() {
+        let dir = scratch("paths");
+        let store = ProfileStore::open(&dir).expect("open");
+        for user in ["../../etc/passwd", "a/b/c", "", ".", "..", "名前"] {
+            let p = store.path_for(user);
+            assert_eq!(p.parent(), Some(dir.as_path()), "{user:?} escaped: {p:?}");
+        }
+        // Distinct users, even with identical sanitized prefixes, get
+        // distinct files.
+        assert_ne!(store.path_for("a/b"), store.path_for("a?b"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_rules_keep_the_user_and_quarantine_the_file() {
+        let dir = scratch("corrupt-rules");
+        let store = ProfileStore::open(&dir).expect("open");
+        let path = store.persist("victim", "pi1: x.tag = car -> x < y\n").expect("persist");
+        let mut bytes = fs::read(&path).expect("read");
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xff; // inside the rules region, before the footer
+        fs::write(&path, &bytes).expect("rewrite");
+
+        let recovered = store.recover().expect("recover");
+        assert_eq!(recovered.len(), 1);
+        match &recovered[0] {
+            Recovered::CorruptRules { user, quarantined, detail } => {
+                assert_eq!(user, "victim");
+                assert!(quarantined.exists(), "quarantined file kept");
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("wrong outcome: {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt file moved out of the scan set");
+        // A second recovery pass sees a clean (empty) store.
+        assert!(store.recover().expect("recover again").is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_header_quarantines_without_a_user() {
+        let dir = scratch("corrupt-header");
+        let store = ProfileStore::open(&dir).expect("open");
+        let path = store.persist("victim", "rules\n").expect("persist");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[9] ^= 0xff; // user-length field: header checksum now fails
+        fs::write(&path, &bytes).expect("rewrite");
+        match &store.recover().expect("recover")[0] {
+            Recovered::CorruptFile { quarantined, .. } => assert!(quarantined.exists()),
+            other => panic!("wrong outcome: {other:?}"),
+        }
+        // Unrelated garbage is also quarantined, not crashed on.
+        fs::write(dir.join("junk.profile"), b"\x00\x01notaprofile").expect("write junk");
+        assert!(matches!(
+            store.recover().expect("recover")[0],
+            Recovered::CorruptFile { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_ignored() {
+        let dir = scratch("tmp");
+        let store = ProfileStore::open(&dir).expect("open");
+        store.persist("alice", "rules\n").expect("persist");
+        // A crash between write and rename leaves a .tmp behind.
+        fs::write(store.path_for("ghost").with_extension("tmp"), b"partial").expect("write tmp");
+        let recovered = store.recover().expect("recover");
+        assert_eq!(recovered.len(), 1, "{recovered:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() {
+        let full = encode("user", "some rules text");
+        for cut in 0..full.len() {
+            let err = decode(&full[..cut]);
+            assert!(err.is_err(), "truncation at {cut} accepted");
+        }
+        assert!(decode(&full).is_ok());
+        // Trailing garbage is rejected too (a concatenated write).
+        let mut extended = full.clone();
+        extended.push(0);
+        assert!(decode(&extended).is_err());
+    }
+}

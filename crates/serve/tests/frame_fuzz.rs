@@ -1,0 +1,157 @@
+//! Adversarial frame fuzzing (ISSUE 5 satellite): the wire layer must
+//! turn hostile bytes into typed `bad_request` errors — never a panic,
+//! never a wedged server. Deterministic hostile cases cover each decode
+//! stage (framing, UTF-8, JSON, command shape); the property tests throw
+//! arbitrary payloads at `read_frame` and at a live server.
+
+use pimento_serve::json::Value;
+use pimento_serve::protocol::{read_frame, write_frame};
+use pimento_serve::{Client, ServeConfig, Server};
+use proptest::prelude::*;
+use std::io::{Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const CARS_QUERY: &str = r#"//car[ftcontains(., "good condition") and ./price < 2000]"#;
+
+/// One long-lived server shared by every case in this file. It is never
+/// shut down (the test process exits under it), which is exactly the
+/// posture under test: hostile connections must not require a restart.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let docs = vec![pimento_datagen::paper_figure1().to_string()];
+        let engine = Arc::new(pimento::Engine::from_xml_docs(&docs).expect("corpus parses"));
+        let cfg = ServeConfig { max_frame_bytes: 64 * 1024, ..ServeConfig::default() };
+        let server = Server::bind(engine, cfg).expect("bind");
+        let addr = server.local_addr();
+        std::thread::spawn(move || server.run());
+        addr
+    })
+}
+
+fn raw_connect() -> TcpStream {
+    let s = TcpStream::connect(server_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    s.set_write_timeout(Some(Duration::from_secs(10))).expect("write timeout");
+    s
+}
+
+/// Send one framed payload and decode the single reply frame.
+fn roundtrip(stream: &mut TcpStream, payload: &[u8]) -> Value {
+    write_frame(stream, payload).expect("send frame");
+    let reply = read_frame(stream, usize::MAX).expect("read reply").expect("server replied");
+    Value::parse(std::str::from_utf8(&reply).expect("reply is UTF-8")).expect("reply is JSON")
+}
+
+fn assert_err_kind(reply: &Value, kind: &str) {
+    let err = reply.get("err").unwrap_or_else(|| panic!("expected err reply, got {reply:?}"));
+    assert_eq!(err.get("kind").and_then(Value::as_str), Some(kind), "reply: {reply:?}");
+}
+
+/// The server must still answer a well-formed search — proof the hostile
+/// traffic left it serving, not merely alive.
+fn assert_still_serving() {
+    let mut c = Client::connect(server_addr()).expect("connect");
+    let body = c.search(None, CARS_QUERY, 10).expect("search after hostile traffic");
+    assert!(
+        !body.get("hits").and_then(Value::as_arr).expect("hits").is_empty(),
+        "paper corpus yields hits"
+    );
+}
+
+#[test]
+fn hostile_frames_get_typed_errors_on_a_surviving_connection() {
+    let mut s = raw_connect();
+    // Every decode stage, one hostile case each; all on ONE connection —
+    // a bad_request must leave the connection usable.
+    assert_err_kind(&roundtrip(&mut s, b""), "bad_request"); // empty payload
+    assert_err_kind(&roundtrip(&mut s, &[0xFF, 0xFE, 0x80]), "bad_request"); // not UTF-8
+    assert_err_kind(&roundtrip(&mut s, b"not json"), "bad_request"); // not JSON
+    assert_err_kind(&roundtrip(&mut s, b"[1,2,3]"), "bad_request"); // not an object
+    assert_err_kind(&roundtrip(&mut s, b"{}"), "bad_request"); // no cmd
+    assert_err_kind(&roundtrip(&mut s, br#"{"cmd":"frobnicate"}"#), "bad_request");
+    assert_err_kind(&roundtrip(&mut s, br#"{"cmd":"search"}"#), "bad_request"); // no query
+    // The connection survived all of it: a valid request still works.
+    let ok = roundtrip(&mut s, format!(r#"{{"cmd":"search","query":{:?}}}"#, CARS_QUERY).as_bytes());
+    assert!(ok.get("ok").is_some(), "valid request after hostile ones: {ok:?}");
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_then_closed() {
+    let mut s = raw_connect();
+    // A 3 GiB declared length: the server must reply bad_request without
+    // allocating, then close (the stream can't be resynchronized).
+    s.write_all(&(3u32 << 30).to_be_bytes()).expect("send header");
+    let reply = read_frame(&mut s, usize::MAX).expect("read reply").expect("server replied");
+    let reply = Value::parse(std::str::from_utf8(&reply).expect("utf8")).expect("json");
+    assert_err_kind(&reply, "bad_request");
+    assert!(
+        read_frame(&mut s, usize::MAX).expect("clean close").is_none(),
+        "connection closes after an unresynchronizable frame"
+    );
+    assert_still_serving();
+}
+
+#[test]
+fn truncated_header_and_truncated_payload_are_dropped_quietly() {
+    // Half a header, then hang up.
+    let mut s = raw_connect();
+    s.write_all(&[0x00, 0x00]).expect("partial header");
+    drop(s);
+    // A full header promising more payload than ever arrives.
+    let mut s = raw_connect();
+    s.write_all(&64u32.to_be_bytes()).expect("header");
+    s.write_all(b"only sixteen byte").expect("partial payload");
+    drop(s);
+    assert_still_serving();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The frame decoder itself never panics on arbitrary bytes — every
+    /// input is `Ok(frame)`, `Ok(None)` (clean EOF), or a typed error.
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame(&mut Cursor::new(&bytes[..]), 1024);
+    }
+
+    /// A live server answers every correctly-framed arbitrary payload
+    /// with exactly one reply frame (ok or typed err) and keeps serving.
+    #[test]
+    fn arbitrary_payloads_always_get_exactly_one_reply(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut s = raw_connect();
+        let reply = roundtrip(&mut s, &payload);
+        prop_assert!(
+            reply.get("ok").is_some() || reply.get("err").is_some(),
+            "reply is a protocol envelope: {reply:?}"
+        );
+    }
+}
+
+/// Run after the properties in source order, but test order is not
+/// guaranteed — `assert_still_serving` is its own proof regardless.
+#[test]
+fn server_survives_the_whole_fuzzing_gauntlet() {
+    // A few raw writes that exercise the reader's ticking path: bytes
+    // dribbled one at a time across the header boundary.
+    let mut s = raw_connect();
+    let frame = {
+        let mut f = Vec::new();
+        write_frame(&mut f, br#"{"cmd":"stats"}"#).expect("encode");
+        f
+    };
+    for b in &frame {
+        s.write_all(std::slice::from_ref(b)).expect("dribble");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 256];
+    // Read the single stats reply (length-prefixed, small).
+    let n = s.read(&mut buf).expect("reply bytes");
+    reply.extend_from_slice(&buf[..n]);
+    assert!(n >= 4, "got a frame header back");
+    assert_still_serving();
+}

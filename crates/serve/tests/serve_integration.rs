@@ -372,6 +372,76 @@ fn malformed_and_unknown_inputs_get_typed_errors() {
 }
 
 #[test]
+fn conflicting_profile_degrades_to_unpersonalized_answers() {
+    // The §5.1 conflict pair parses (and registers) fine — the cycle only
+    // materializes on a query asking for BOTH phrases. Instead of a hard
+    // `profile` error, the server falls back to the base query and stamps
+    // `degraded: true` with the reason.
+    let conflict_rules = include_str!("../../../tests/fixtures/sr_conflict_cycle.rules");
+    // The §5.1 shape: both phrases asked of the description child, so
+    // each rule's trigger matches and each deletes the other's condition.
+    let both_query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")]]"#;
+    let engine = cars_engine();
+    let (addr, handle) = start(Arc::clone(&engine), ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    c.register_profile("picky", conflict_rules).expect("conflict pair registers fine");
+
+    // A one-phrase query applies cleanly — personalized, not degraded.
+    let one = c.search(Some("picky"), CARS_QUERY, 10).expect("one-phrase search");
+    assert_eq!(one.get("degraded"), None, "{one:?}");
+
+    // The both-phrases query degrades to the unpersonalized base answers.
+    let body = c.search(Some("picky"), both_query, 10).expect("degraded search succeeds");
+    assert_eq!(body.get("degraded").and_then(Value::as_bool), Some(true), "{body:?}");
+    let reason = body.get("degraded_reason").and_then(Value::as_str).expect("reason");
+    assert!(reason.contains("conflict") || reason.contains("not applicable"), "{reason}");
+    let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), both_query, 10);
+    assert_eq!(fingerprint(body.get("hits").expect("hits")), expected_plain);
+
+    // Anonymous callers get the same bits without the degraded stamp.
+    let anon = c.search(None, both_query, 10).expect("anonymous search");
+    assert_eq!(anon.get("degraded"), None);
+    assert_eq!(fingerprint(anon.get("hits").expect("hits")), expected_plain);
+
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    assert_eq!(stats.get("degraded").and_then(Value::as_u64), Some(1), "{stats:?}");
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn profiles_persist_across_restart_via_profile_dir() {
+    let dir = std::env::temp_dir()
+        .join(format!("pimento-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = cars_engine();
+    let expected = serial_fingerprint(&engine, &fig2_profile(), CARS_QUERY, 10);
+
+    // First server life: register, search, shut down.
+    let cfg = ServeConfig { profile_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let (addr, handle) = start(Arc::clone(&engine), cfg.clone());
+    let mut c = Client::connect(addr).expect("connect");
+    let reg = c.register_profile("u1", FIG2_RULES).expect("register");
+    assert_eq!(reg.get("persisted").and_then(Value::as_bool), Some(true), "{reg:?}");
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+
+    // Second life, same directory: the profile is already there.
+    let (addr, handle) = start(Arc::clone(&engine), cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let body = c.search(Some("u1"), CARS_QUERY, 10).expect("recovered-profile search");
+    assert_eq!(body.get("degraded"), None, "{body:?}");
+    assert_eq!(fingerprint(body.get("hits").expect("hits")), expected);
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let store = stats.get("store").expect("store block");
+    assert_eq!(store.get("profiles_recovered").and_then(Value::as_u64), Some(1), "{stats:?}");
+    assert_eq!(store.get("profiles_quarantined").and_then(Value::as_u64), Some(0), "{stats:?}");
+    handle.join().expect("server thread").expect("server ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn explain_reports_the_plan_without_executing() {
     let engine = cars_engine();
     let (addr, handle) = start(engine, ServeConfig::default());

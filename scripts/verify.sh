@@ -25,6 +25,12 @@ cargo test -q -p lint
 echo "==> serve gate: cargo test -q -p pimento-serve (loopback integration)"
 cargo test -q -p pimento-serve
 
+echo "==> chaos gate: cargo test -q -p pimento-serve --features fault-injection"
+cargo test -q -p pimento-serve --features fault-injection
+
+echo "==> chaos gate: clippy over the fault-injection configuration"
+cargo clippy -p pimento-serve --features fault-injection --all-targets -- -D warnings
+
 echo "==> serve gate: loadgen --smoke (start server, search, clean shutdown)"
 cargo run -q -p pimento-bench --release --bin loadgen -- --smoke
 

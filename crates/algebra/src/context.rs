@@ -33,6 +33,20 @@ impl Database {
         Self::index(coll, Tokenizer::plain())
     }
 
+    /// Assemble a database from already-constructed parts — the columnar
+    /// snapshot open path, where the indexes are packed zero-copy views
+    /// instead of heap rebuilds. Only the scorer (a handful of corpus
+    /// aggregates) is computed here.
+    pub fn from_parts(
+        coll: Collection,
+        inverted: InvertedIndex,
+        tags: TagIndex,
+        values: ValueIndex,
+    ) -> Self {
+        let scorer = Scorer::new(&inverted);
+        Database { coll, inverted, tags, values, scorer }
+    }
+
     /// Add one more document, updating the indexes incrementally — new
     /// postings and element entries append in `(doc, …)` order, so no
     /// rebuild or re-sort happens; only the scorer's document count

@@ -1,0 +1,38 @@
+//! Criterion benches for the snapshot formats: columnar v4 save and
+//! zero-copy open vs the legacy v3 save and rebuild-on-load open, on one
+//! 256K XMark document — the microscope view behind `snapcold`'s
+//! subprocess-isolated cold-start numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pimento::Engine;
+
+fn bench_snapshot_formats(c: &mut Criterion) {
+    let xml = pimento_datagen::generate_xmark(7, 256 * 1024);
+    let engine = Engine::from_xml_docs(&[xml]).expect("corpus parses");
+    let v4 = engine.save_snapshot();
+    let v3 = engine.save_snapshot_v3();
+    let v4_bytes = bytes::Bytes::from(v4.to_vec());
+    let v3_bytes = bytes::Bytes::from(v3.to_vec());
+
+    c.bench_function("snapshot_save_v4_256K", |b| {
+        b.iter(|| {
+            let s = engine.save_snapshot();
+            assert!(!s.is_empty());
+        })
+    });
+    c.bench_function("snapshot_open_v4_256K", |b| {
+        b.iter(|| {
+            let e = Engine::from_snapshot_bytes(v4_bytes.clone()).expect("v4 opens");
+            assert_eq!(e.snapshot_format(), Some(4));
+        })
+    });
+    c.bench_function("snapshot_open_v3_rebuild_256K", |b| {
+        b.iter(|| {
+            let e = Engine::from_snapshot_bytes(v3_bytes.clone()).expect("v3 opens");
+            assert_eq!(e.snapshot_format(), Some(3));
+        })
+    });
+}
+
+criterion_group!(benches, bench_snapshot_formats);
+criterion_main!(benches);

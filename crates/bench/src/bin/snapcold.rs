@@ -1,0 +1,194 @@
+//! `snapcold` — cold-start comparison of the snapshot formats: legacy v3
+//! (collection only, indexes rebuilt on load) vs columnar v4 (packed
+//! sections opened as zero-copy views). Writes `BENCH_snapshot.json`.
+//!
+//! ```text
+//! cargo run -p pimento-bench --release --bin snapcold [-- --bytes N --docs N --runs N]
+//! ```
+//!
+//! Honesty notes baked into the harness:
+//!
+//! * `VmHWM` is process-global and monotonic, so each format is measured
+//!   in a **fresh subprocess** (`--measure`, self-spawned): the reported
+//!   peak RSS is that variant's alone, not whichever ran first.
+//! * The open is timed with the file bytes already in memory, so the
+//!   numbers isolate deserialization/rebuild cost from disk I/O.
+//! * Both variants answer the Fig. 5 query after opening and report a
+//!   bit-level fingerprint; the parent refuses to write the report if
+//!   the formats disagree.
+
+use pimento::profile::UserProfile;
+use pimento::{Engine, SearchOptions};
+use pimento_bench::perf::{peak_rss_kb, time_median};
+use pimento_bench::workloads::{fig5_profile, FIG5_QUERY};
+use pimento_datagen::xmark;
+use pimento_serve::json::Value;
+use std::process::{Command, ExitCode};
+
+/// Fold the ranked hits into one order-sensitive 64-bit fingerprint:
+/// equal fingerprints mean identical answers and identical score bits.
+fn fingerprint(engine: &Engine, profile: &UserProfile) -> u64 {
+    let results =
+        engine.search(FIG5_QUERY, profile, &SearchOptions::top(10)).expect("fig5 query runs");
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for h in &results.hits {
+        for part in [u64::from(h.elem.doc.0), u64::from(h.elem.node.0), h.s.to_bits(), h.k.to_bits()]
+        {
+            acc = (acc ^ part).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    acc ^ (results.hits.len() as u64)
+}
+
+/// Child mode: open `path` `runs` times, report the median open time,
+/// answer quality fingerprint, and this process's peak RSS as one JSON
+/// object on stdout.
+fn measure(path: &str, runs: usize) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file_bytes = data.len();
+    let bytes = bytes::Bytes::from(data);
+    let open_median = time_median(runs, || {
+        let engine = Engine::from_snapshot_bytes(bytes.clone()).expect("snapshot opens");
+        std::hint::black_box(&engine);
+    });
+    let engine = Engine::from_snapshot_bytes(bytes).expect("snapshot opens");
+    let profile = fig5_profile(4, true);
+    let fp = fingerprint(&engine, &profile);
+    println!(
+        "{{\"format\": {}, \"file_bytes\": {file_bytes}, \"open_median_ms\": {:.4}, \
+         \"open_runs\": {runs}, \"docs\": {}, \"packed\": {}, \"fingerprint\": \"{fp:016x}\", \
+         \"peak_rss_kb\": {}}}",
+        engine.snapshot_format().unwrap_or(0),
+        open_median.as_secs_f64() * 1000.0,
+        engine.db().coll.len(),
+        engine.db().tags.is_packed()
+            && engine.db().values.is_packed()
+            && engine.db().inverted.is_packed(),
+        match peak_rss_kb() {
+            Some(kb) => kb.to_string(),
+            None => "null".to_string(),
+        },
+    );
+    Ok(())
+}
+
+/// Run one `--measure` child and parse its JSON report.
+fn spawn_measure(path: &str, runs: usize) -> Result<Value, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out = Command::new(exe)
+        .args(["--measure", path, &runs.to_string()])
+        .output()
+        .map_err(|e| format!("cannot spawn measurement child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "measurement child failed for {path}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    Value::parse(text.trim()).map_err(|e| format!("child output not JSON: {e}: {text}"))
+}
+
+fn field_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn run(doc_bytes: usize, n_docs: usize, runs: usize) -> Result<(), String> {
+    eprintln!("generating {n_docs} XMark document(s) of ~{doc_bytes} bytes each");
+    let docs: Vec<String> = (0..n_docs as u64).map(|i| xmark::generate(i, doc_bytes)).collect();
+    let engine = Engine::from_xml_docs(&docs).map_err(|e| format!("corpus parses: {e}"))?;
+    let profile = fig5_profile(4, true);
+    let baseline_fp = fingerprint(&engine, &profile);
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let v3_path = dir.join(format!("pimento-snapcold-{pid}.v3.snap"));
+    let v4_path = dir.join(format!("pimento-snapcold-{pid}.v4.snap"));
+    std::fs::write(&v3_path, engine.save_snapshot_v3()).map_err(|e| e.to_string())?;
+    std::fs::write(&v4_path, engine.save_snapshot()).map_err(|e| e.to_string())?;
+
+    let v3 = spawn_measure(&v3_path.to_string_lossy(), runs);
+    let v4 = spawn_measure(&v4_path.to_string_lossy(), runs);
+    let _ = std::fs::remove_file(&v3_path);
+    let _ = std::fs::remove_file(&v4_path);
+    let (v3, v4) = (v3?, v4?);
+
+    // Bit-identity gate: a fast cold start that changes answers is a bug,
+    // not a result.
+    let fp = |v: &Value| v.get("fingerprint").and_then(Value::as_str).unwrap_or("").to_string();
+    let expected = format!("{baseline_fp:016x}");
+    if fp(&v3) != expected || fp(&v4) != expected {
+        return Err(format!(
+            "query fingerprints diverge: built={expected} v3={} v4={}",
+            fp(&v3),
+            fp(&v4)
+        ));
+    }
+    if v4.get("packed").and_then(Value::as_bool) != Some(true) {
+        return Err("v4 open did not produce packed (zero-copy) indexes".to_string());
+    }
+
+    let v3_ms = field_f64(&v3, "open_median_ms");
+    let v4_ms = field_f64(&v4, "open_median_ms");
+    let speedup = v3_ms / v4_ms.max(f64::MIN_POSITIVE);
+    let json = format!(
+        "{{\n  \"workload\": \"fig5-xmark\",\n  \"docs\": {n_docs},\n  \"doc_bytes\": {doc_bytes},\n  \
+         \"query\": {},\n  \"runs\": {runs},\n  \"v3\": {},\n  \"v4\": {},\n  \
+         \"cold_open_speedup\": {speedup:.2}\n}}\n",
+        Value::Str(FIG5_QUERY.to_string()).render(),
+        v3.render().replace('\n', " "),
+        v4.render().replace('\n', " "),
+    );
+    Value::parse(&json).map_err(|e| format!("report is not valid JSON: {e}"))?;
+    std::fs::write("BENCH_snapshot.json", &json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "v3 open {v3_ms:.2} ms, v4 open {v4_ms:.2} ms ({speedup:.2}x); \
+         rss v3 {} kB, v4 {} kB",
+        field_f64(&v3, "peak_rss_kb"),
+        field_f64(&v4, "peak_rss_kb")
+    );
+    eprintln!("wrote BENCH_snapshot.json");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--measure") {
+        let (Some(path), Some(runs)) =
+            (args.get(1), args.get(2).and_then(|s| s.parse::<usize>().ok()))
+        else {
+            eprintln!("usage: snapcold --measure PATH RUNS");
+            return ExitCode::from(2);
+        };
+        return match measure(path, runs.max(1)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut doc_bytes = 256 * 1024;
+    let mut n_docs = 4usize;
+    let mut runs = 5usize;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bytes" => doc_bytes = it.next().and_then(|s| s.parse().ok()).unwrap_or(doc_bytes),
+            "--docs" => n_docs = it.next().and_then(|s| s.parse().ok()).unwrap_or(n_docs),
+            "--runs" => runs = it.next().and_then(|s| s.parse().ok()).unwrap_or(runs),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: snapcold [--bytes N] [--docs N] [--runs N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run(doc_bytes, n_docs.max(1), runs.max(1)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,17 +14,21 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct Engine {
     db: Database,
+    /// Snapshot format version this engine was opened from (`Some(3)` for
+    /// a legacy rebuild-on-load snapshot, `Some(4)` for a zero-copy
+    /// columnar one), or `None` when built by parsing XML.
+    snapshot_format: Option<u32>,
 }
 
 impl Engine {
     /// Index an existing collection (plain tokenizer).
     pub fn new(coll: Collection) -> Self {
-        Engine { db: Database::index_plain(coll) }
+        Engine { db: Database::index_plain(coll), snapshot_format: None }
     }
 
     /// Index with an explicit tokenizer (e.g. stemming, §7.1).
     pub fn with_tokenizer(coll: Collection, tokenizer: Tokenizer) -> Self {
-        Engine { db: Database::index(coll, tokenizer) }
+        Engine { db: Database::index(coll, tokenizer), snapshot_format: None }
     }
 
     /// Convenience: parse and index XML documents.
@@ -45,17 +49,50 @@ impl Engine {
         Ok(Engine::new(coll))
     }
 
-    /// Serialize the engine's collection to a binary snapshot (parse once,
-    /// reload instantly with [`Engine::from_snapshot`]).
+    /// Serialize the engine to a columnar (v4) binary snapshot: documents
+    /// plus the already-built indexes, laid out so that
+    /// [`Engine::from_snapshot`] opens them as zero-copy views instead of
+    /// rebuilding them.
     pub fn save_snapshot(&self) -> bytes::Bytes {
+        pimento_index::save_index(&self.db.coll, &self.db.inverted, &self.db.tags, &self.db.values)
+    }
+
+    /// Serialize only the collection in the legacy v3 format (indexes are
+    /// rebuilt on load). Kept for format-migration tests and benchmarks.
+    pub fn save_snapshot_v3(&self) -> bytes::Bytes {
         pimento_index::save_collection(&self.db.coll)
     }
 
-    /// Rebuild an engine from a snapshot produced by
-    /// [`Engine::save_snapshot`]; indexes are rebuilt on load.
+    /// Reopen an engine from a snapshot. Columnar (v4) snapshots back the
+    /// indexes with packed views over the buffer — no per-posting heap
+    /// rebuild; legacy v3 snapshots fall back to a full index rebuild.
     pub fn from_snapshot(data: &[u8]) -> Result<Self, Error> {
-        let coll = pimento_index::load_collection(data)?;
-        Ok(Engine::new(coll))
+        Self::from_snapshot_bytes(bytes::Bytes::copy_from_slice(data))
+    }
+
+    /// Like [`Engine::from_snapshot`], but takes ownership of the buffer so
+    /// the columnar open path is zero-copy end to end.
+    pub fn from_snapshot_bytes(data: bytes::Bytes) -> Result<Self, Error> {
+        if pimento_index::is_columnar(&data) {
+            let opened = pimento_index::open_index(data)?;
+            let db = Database::from_parts(
+                opened.collection,
+                opened.inverted,
+                opened.tags,
+                opened.values,
+            );
+            Ok(Engine { db, snapshot_format: Some(pimento_index::COLUMNAR_VERSION) })
+        } else {
+            let coll = pimento_index::load_collection(&data)?;
+            let mut engine = Engine::new(coll);
+            engine.snapshot_format = Some(pimento_index::FORMAT_VERSION);
+            Ok(engine)
+        }
+    }
+
+    /// Snapshot format version this engine was opened from, if any.
+    pub fn snapshot_format(&self) -> Option<u32> {
+        self.snapshot_format
     }
 
     /// The underlying indexed database.
@@ -546,6 +583,37 @@ mod persistence_tests {
         let b = restored.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
         assert_eq!(a.elem_refs(), b.elem_refs());
         assert!(Engine::from_snapshot(&snapshot[..5]).is_err());
+    }
+
+    #[test]
+    fn columnar_snapshot_opens_packed_and_reports_format() {
+        let docs: Vec<String> = (0..3).map(|i| pimento_datagen::generate_dealer(i, 8)).collect();
+        let original = Engine::from_xml_docs(&docs).unwrap();
+        assert_eq!(original.snapshot_format(), None);
+
+        let v4 = original.save_snapshot();
+        let opened = Engine::from_snapshot_bytes(bytes::Bytes::from(v4.to_vec())).unwrap();
+        assert_eq!(opened.snapshot_format(), Some(pimento_index::COLUMNAR_VERSION));
+        assert!(opened.db().tags.is_packed());
+        assert!(opened.db().values.is_packed());
+        assert!(opened.db().inverted.is_packed());
+
+        let v3 = original.save_snapshot_v3();
+        let legacy = Engine::from_snapshot(&v3).unwrap();
+        assert_eq!(legacy.snapshot_format(), Some(pimento_index::FORMAT_VERSION));
+        assert!(!legacy.db().tags.is_packed());
+
+        let q = r#"//car[ftcontains(., "good condition")]"#;
+        let a = original.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        let b = opened.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        let c = legacy.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        assert_eq!(a.elem_refs(), b.elem_refs());
+        assert_eq!(a.elem_refs(), c.elem_refs());
+        let bits = |r: &SearchResults| -> Vec<(u64, u64)> {
+            r.hits.iter().map(|h| (h.s.to_bits(), h.k.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(bits(&a), bits(&c));
     }
 
     #[test]

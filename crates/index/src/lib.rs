@@ -23,7 +23,7 @@
 //! let inv = InvertedIndex::build(&coll, Tokenizer::plain());
 //! let tags = TagIndex::build(&coll);
 //! let car = coll.tag("car").unwrap();
-//! let elem = tags.elements(car)[0];
+//! let elem = tags.elements(car).at(0);
 //! assert!(ft_contains(&inv, &elem, &inv.analyze("good condition")));
 //! let score = Scorer::new(&inv).ft_score(&inv, &elem, &inv.analyze("good condition"));
 //! assert!(score > 0.0 && score < 1.0);
@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod fields;
 pub mod inverted;
 pub mod parallel;
@@ -43,15 +44,20 @@ pub mod store;
 pub mod tags;
 pub mod tokenize;
 pub mod values;
+pub mod varint;
 
+pub use columnar::{
+    inspect, is_columnar, open_index, save_index, OpenedIndex, SectionReport, SnapshotReport,
+    COLUMNAR_VERSION,
+};
 pub use fields::{content_value, field_value, field_value_sym, numeric_field, FieldValue};
-pub use inverted::{InvertedIndex, Posting};
+pub use inverted::{InvertedIndex, Posting, PostingsRef};
 pub use parallel::{build_collection_parallel, effective_workers, resolve_threads};
 pub use persist::{crc32, load_collection, save_collection, PersistError, FORMAT_VERSION};
 pub use phrase::{count_in_element, ft_all, ft_contains, occurrences_in_element, phrase_occurrences, postings_in_element};
 pub use score::Scorer;
 pub use stats::CorpusStats;
 pub use store::{Collection, DocId, ElemRef};
-pub use tags::{ElemEntry, TagIndex};
+pub use tags::{ElemEntry, ElemsView, TagIndex};
 pub use tokenize::{stem, Tokenizer};
 pub use values::{RangeOp, ValueIndex};

@@ -51,12 +51,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pimento_xml::{Document, Node, NodeId, NodeKind, SymbolId, SymbolTable};
 use std::fmt;
 
-const MAGIC: &[u8; 8] = b"PIMCOL3\0";
+/// v3 magic: the legacy heap-rebuild format this module reads and writes.
+pub(crate) const MAGIC: &[u8; 8] = b"PIMCOL3\0";
 /// Format 2 magic: same layout, but a 64-bit FNV-1a footer.
 const V2_MAGIC: &[u8; 8] = b"PIMCOL2\0";
 /// Seed-era magic: format 1 snapshots had no version field after the magic.
 const LEGACY_MAGIC: &[u8; 8] = b"PIMCOL1\0";
-/// Current snapshot format version (the `u32` following the magic).
+/// Legacy (v3) snapshot format version (the `u32` following the magic).
+/// The current columnar format is [`crate::columnar::COLUMNAR_VERSION`].
 pub const FORMAT_VERSION: u32 = 3;
 
 /// Snapshot decoding failure.
@@ -66,8 +68,13 @@ pub enum PersistError {
     BadMagic,
     /// Input ended early.
     Truncated,
-    /// The CRC32 footer does not match the body (bit corruption).
-    SnapshotCorrupt,
+    /// A CRC mismatch (bit corruption), naming the failing region: a v4
+    /// section (`"directory"`, `"meta"`, `"symtab"`, `"docs"`, `"tags"`,
+    /// `"vals"`, `"inv"`) or `"body"` for the v3 whole-file footer.
+    SnapshotCorrupt {
+        /// The section whose integrity check failed.
+        section: &'static str,
+    },
     /// A string was not valid UTF-8.
     BadString,
     /// Arena invariants failed on reconstruction.
@@ -89,8 +96,11 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => write!(f, "not a PIMENTO collection snapshot"),
             PersistError::Truncated => write!(f, "snapshot is truncated"),
-            PersistError::SnapshotCorrupt => {
-                write!(f, "snapshot failed its CRC32 integrity check (bit corruption)")
+            PersistError::SnapshotCorrupt { section } => {
+                write!(
+                    f,
+                    "snapshot failed its CRC32 integrity check in section `{section}` (bit corruption)"
+                )
             }
             PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::BadArena(why) => write!(f, "snapshot arena invalid: {why}"),
@@ -118,41 +128,91 @@ pub fn save_collection(coll: &Collection) -> Bytes {
     }
     buf.put_u32_le(coll.len() as u32);
     for (_, doc) in coll.iter() {
-        buf.put_u32_le(doc.root().0);
-        buf.put_u32_le(doc.len() as u32);
-        for node in doc.nodes() {
-            match &node.kind {
-                NodeKind::Element { tag, attrs } => {
-                    buf.put_u8(0);
-                    buf.put_u32_le(tag.0);
-                    buf.put_u16_le(attrs.len() as u16);
-                    for (a, v) in attrs.iter() {
-                        buf.put_u32_le(a.0);
-                        put_str(&mut buf, v);
-                    }
-                }
-                NodeKind::Text(t) => {
-                    buf.put_u8(1);
-                    put_str(&mut buf, t);
-                }
-                NodeKind::Comment(c) => {
-                    buf.put_u8(2);
-                    put_str(&mut buf, c);
-                }
-            }
-            buf.put_u32_le(node.parent.map(|p| p.0 + 1).unwrap_or(0));
-            buf.put_u32_le(node.children.len() as u32);
-            for c in &node.children {
-                buf.put_u32_le(c.0);
-            }
-            buf.put_u32_le(node.start);
-            buf.put_u32_le(node.end);
-            buf.put_u16_le(node.level);
-        }
+        put_document(&mut buf, doc);
     }
     let checksum = crc32(&buf);
     buf.put_u32_le(checksum);
     buf.freeze()
+}
+
+/// Encode one document's node arena (shared by the v3 body and the v4
+/// `docs` section — the per-node record layout is identical).
+pub(crate) fn put_document<B: BufMut>(buf: &mut B, doc: &Document) {
+    buf.put_u32_le(doc.root().0);
+    buf.put_u32_le(doc.len() as u32);
+    for node in doc.nodes() {
+        match &node.kind {
+            NodeKind::Element { tag, attrs } => {
+                buf.put_u8(0);
+                buf.put_u32_le(tag.0);
+                buf.put_u16_le(attrs.len() as u16);
+                for (a, v) in attrs.iter() {
+                    buf.put_u32_le(a.0);
+                    put_str(buf, v);
+                }
+            }
+            NodeKind::Text(t) => {
+                buf.put_u8(1);
+                put_str(buf, t);
+            }
+            NodeKind::Comment(c) => {
+                buf.put_u8(2);
+                put_str(buf, c);
+            }
+        }
+        buf.put_u32_le(node.parent.map(|p| p.0 + 1).unwrap_or(0));
+        buf.put_u32_le(node.children.len() as u32);
+        for c in &node.children {
+            buf.put_u32_le(c.0);
+        }
+        buf.put_u32_le(node.start);
+        buf.put_u32_le(node.end);
+        buf.put_u16_le(node.level);
+    }
+}
+
+/// Decode one document encoded by [`put_document`]. `sym_count` bounds
+/// the symbol ids the arena may reference.
+pub(crate) fn read_document(buf: &mut &[u8], sym_count: u32) -> Result<Document, PersistError> {
+    let check_sym =
+        |id: u32| if id < sym_count { Ok(SymbolId(id)) } else { Err(PersistError::BadSymbol) };
+    let input_len = buf.len();
+    let root = NodeId(get_u32(buf)?);
+    let n_nodes = get_u32(buf)?;
+    let mut nodes = Vec::with_capacity((n_nodes as usize).min(input_len));
+    for _ in 0..n_nodes {
+        let kind = match get_u8(buf)? {
+            0 => {
+                let tag = check_sym(get_u32(buf)?)?;
+                let n_attrs = get_u16(buf)?;
+                let mut attrs = Vec::with_capacity(n_attrs as usize);
+                for _ in 0..n_attrs {
+                    let a = check_sym(get_u32(buf)?)?;
+                    let v = get_str(buf)?;
+                    attrs.push((a, v));
+                }
+                NodeKind::Element { tag, attrs: attrs.into_boxed_slice() }
+            }
+            1 => NodeKind::Text(get_str(buf)?),
+            2 => NodeKind::Comment(get_str(buf)?),
+            _ => return Err(PersistError::BadArena("unknown node kind")),
+        };
+        let parent_raw = get_u32(buf)?;
+        let parent = if parent_raw == 0 { None } else { Some(NodeId(parent_raw - 1)) };
+        let n_children = get_u32(buf)?;
+        if n_children as usize > input_len {
+            return Err(PersistError::Truncated);
+        }
+        let mut children = Vec::with_capacity(n_children as usize);
+        for _ in 0..n_children {
+            children.push(NodeId(get_u32(buf)?));
+        }
+        let start = get_u32(buf)?;
+        let end = get_u32(buf)?;
+        let level = get_u16(buf)?;
+        nodes.push(Node { kind, parent, children, start, end, level });
+    }
+    Document::from_parts(nodes, root).map_err(PersistError::BadArena)
 }
 
 /// Deserialize a snapshot produced by [`save_collection`].
@@ -170,6 +230,14 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
     if &data[..MAGIC.len()] == V2_MAGIC {
         return Err(PersistError::SnapshotVersion { found: 2, expected: FORMAT_VERSION });
     }
+    if &data[..MAGIC.len()] == crate::columnar::COLUMNAR_MAGIC {
+        // A v4 columnar snapshot reached the legacy loader; point the
+        // caller at the right open path instead of mislabeling it corrupt.
+        return Err(PersistError::SnapshotVersion {
+            found: crate::columnar::COLUMNAR_VERSION,
+            expected: FORMAT_VERSION,
+        });
+    }
     if &data[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadMagic);
     }
@@ -183,11 +251,11 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
         Err(_) => return Err(PersistError::Truncated),
     };
     if crc32(body) != expected {
-        return Err(PersistError::SnapshotCorrupt);
+        return Err(PersistError::SnapshotCorrupt { section: "body" });
     }
     #[cfg(feature = "fault-injection")]
     if pimento_faults::should_fire("index.persist.load") {
-        return Err(PersistError::SnapshotCorrupt);
+        return Err(PersistError::SnapshotCorrupt { section: "body" });
     }
     let mut buf = &body[MAGIC.len()..];
     let version = get_u32(&mut buf)?;
@@ -202,80 +270,44 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
         symbols.intern(&name);
     }
     let sym_count = symbols.len() as u32;
-    let check_sym = |id: u32| if id < sym_count { Ok(SymbolId(id)) } else { Err(PersistError::BadSymbol) };
 
     let mut coll = Collection::new();
     *coll.symbols_mut() = symbols;
     let n_docs = get_u32(&mut buf)?;
     for _ in 0..n_docs {
-        let root = NodeId(get_u32(&mut buf)?);
-        let n_nodes = get_u32(&mut buf)?;
-        let mut nodes = Vec::with_capacity(n_nodes as usize);
-        for _ in 0..n_nodes {
-            let kind = match get_u8(&mut buf)? {
-                0 => {
-                    let tag = check_sym(get_u32(&mut buf)?)?;
-                    let n_attrs = get_u16(&mut buf)?;
-                    let mut attrs = Vec::with_capacity(n_attrs as usize);
-                    for _ in 0..n_attrs {
-                        let a = check_sym(get_u32(&mut buf)?)?;
-                        let v = get_str(&mut buf)?;
-                        attrs.push((a, v));
-                    }
-                    NodeKind::Element { tag, attrs: attrs.into_boxed_slice() }
-                }
-                1 => NodeKind::Text(get_str(&mut buf)?),
-                2 => NodeKind::Comment(get_str(&mut buf)?),
-                _ => return Err(PersistError::BadArena("unknown node kind")),
-            };
-            let parent_raw = get_u32(&mut buf)?;
-            let parent = if parent_raw == 0 { None } else { Some(NodeId(parent_raw - 1)) };
-            let n_children = get_u32(&mut buf)?;
-            if n_children as usize > body.len() {
-                return Err(PersistError::Truncated);
-            }
-            let mut children = Vec::with_capacity(n_children as usize);
-            for _ in 0..n_children {
-                children.push(NodeId(get_u32(&mut buf)?));
-            }
-            let start = get_u32(&mut buf)?;
-            let end = get_u32(&mut buf)?;
-            let level = get_u16(&mut buf)?;
-            nodes.push(Node { kind, parent, children, start, end, level });
-        }
-        let doc = Document::from_parts(nodes, root).map_err(PersistError::BadArena)?;
+        let doc = read_document(&mut buf, sym_count)?;
         coll.add_document(doc);
     }
     Ok(coll)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
     if buf.remaining() < 1 {
         return Err(PersistError::Truncated);
     }
     Ok(buf.get_u8())
 }
 
-fn get_u16(buf: &mut &[u8]) -> Result<u16, PersistError> {
+pub(crate) fn get_u16(buf: &mut &[u8]) -> Result<u16, PersistError> {
     if buf.remaining() < 2 {
         return Err(PersistError::Truncated);
     }
     Ok(buf.get_u16_le())
 }
 
-fn get_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
     if buf.remaining() < 4 {
         return Err(PersistError::Truncated);
     }
     Ok(buf.get_u32_le())
 }
 
-fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
     let len = get_u32(buf)? as usize;
     if buf.remaining() < len {
         return Err(PersistError::Truncated);
@@ -386,14 +418,14 @@ mod tests {
             let mut bytes = snapshot.to_vec();
             bytes[pos] ^= 0x01;
             assert!(
-                matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt)),
+                matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt { .. })),
                 "flip at {pos} undetected"
             );
         }
         let mut bytes = snapshot.to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
-        assert!(matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt)));
+        assert!(matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt { .. })));
     }
 
     #[test]
@@ -479,7 +511,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PersistError::SnapshotCorrupt.to_string().contains("CRC32"));
+        assert!(PersistError::SnapshotCorrupt { section: "tags" }.to_string().contains("tags"));
         assert!(PersistError::BadArena("why").to_string().contains("why"));
     }
 }

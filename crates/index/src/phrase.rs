@@ -1,7 +1,7 @@
 //! Phrase matching: finding occurrences of multi-token phrases and testing
 //! `ftcontains(element, "phrase")` against region labels.
 
-use crate::inverted::{InvertedIndex, Posting};
+use crate::inverted::{InvertedIndex, Posting, PostingsRef};
 use crate::store::DocId;
 use crate::tags::ElemEntry;
 
@@ -20,11 +20,16 @@ pub fn phrase_occurrences(index: &InvertedIndex, doc: DocId, tokens: &[String]) 
         [single] => index.doc_postings(single, doc).to_vec(),
         [first, rest @ ..] => {
             let firsts = index.doc_postings(first, doc);
+            // Fetch each continuation token's postings once, outside the
+            // candidate loop — on a packed index every doc_postings call
+            // decodes a varint run, so this turns O(candidates × tokens)
+            // decodes into O(tokens).
+            let rest_lists: Vec<PostingsRef<'_>> =
+                rest.iter().map(|tok| index.doc_postings(tok, doc)).collect();
             let mut hits = Vec::new();
-            'outer: for p in firsts {
-                for (i, tok) in rest.iter().enumerate() {
+            'outer: for p in firsts.iter() {
+                for (i, list) in rest_lists.iter().enumerate() {
                     let want = p.pos + 1 + i as u32;
-                    let list = index.doc_postings(tok, doc);
                     if list.binary_search_by_key(&want, |q| q.pos).is_err() {
                         continue 'outer;
                     }
@@ -45,12 +50,12 @@ pub fn postings_in_element<'a>(
     index: &'a InvertedIndex,
     elem: &ElemEntry,
     token: &str,
-) -> &'a [Posting] {
+) -> PostingsRef<'a> {
     let in_doc = index.doc_postings(token, elem.doc);
     debug_assert!(in_doc.windows(2).all(|w| w[0].label <= w[1].label));
     let lo = in_doc.partition_point(|p| p.label <= elem.start);
     let hi = in_doc.partition_point(|p| p.label < elem.end);
-    &in_doc[lo..hi]
+    in_doc.sliced(lo, hi)
 }
 
 /// Count occurrences of `tokens` strictly inside element `elem`
@@ -68,11 +73,14 @@ pub fn occurrences_in_element(
 ) -> Vec<PhraseHit> {
     let [first, rest @ ..] = tokens else { return Vec::new() };
     let firsts = postings_in_element(index, elem, first);
+    // One postings fetch per continuation token (not per candidate): on a
+    // packed index each fetch decodes a varint run.
+    let rest_lists: Vec<PostingsRef<'_>> =
+        rest.iter().map(|tok| index.doc_postings(tok, elem.doc)).collect();
     let mut hits = Vec::new();
-    'outer: for p in firsts {
-        for (i, tok) in rest.iter().enumerate() {
+    'outer: for p in firsts.iter() {
+        for (i, list) in rest_lists.iter().enumerate() {
             let want = p.pos + 1 + i as u32;
-            let list = index.doc_postings(tok, elem.doc);
             match list.binary_search_by_key(&want, |q| q.pos) {
                 // The continuation must also fall inside the element — a
                 // phrase straddling the element boundary is not contained.
@@ -143,28 +151,28 @@ mod tests {
         let car = c.tag("car").unwrap();
         let cars = tags.elements(car);
         let good = toks(&inv, "good condition");
-        assert!(ft_contains(&inv, &cars[0], &good));
-        assert!(!ft_contains(&inv, &cars[1], &good));
+        assert!(ft_contains(&inv, &cars.at(0), &good));
+        assert!(!ft_contains(&inv, &cars.at(1), &good));
         let low = toks(&inv, "low mileage");
-        assert!(!ft_contains(&inv, &cars[0], &low));
-        assert!(ft_contains(&inv, &cars[1], &low));
+        assert!(!ft_contains(&inv, &cars.at(0), &low));
+        assert!(ft_contains(&inv, &cars.at(1), &low));
     }
 
     #[test]
     fn count_in_element_counts_tf() {
         let (c, inv, tags) = setup("<a><b>red red red</b><c>red</c></a>");
         let b = c.tag("b").unwrap();
-        let elem = tags.elements(b)[0];
+        let elem = tags.elements(b).at(0);
         assert_eq!(count_in_element(&inv, &elem, &toks(&inv, "red")), 3);
         let a = c.tag("a").unwrap();
-        assert_eq!(count_in_element(&inv, &tags.elements(a)[0], &toks(&inv, "red")), 4);
+        assert_eq!(count_in_element(&inv, &tags.elements(a).at(0), &toks(&inv, "red")), 4);
     }
 
     #[test]
     fn phrase_does_not_cross_text_node_boundary_with_markup() {
         let (c, inv, tags) = setup("<a><b>good</b><b>condition</b></a>");
         let a = c.tag("a").unwrap();
-        let elem = tags.elements(a)[0];
+        let elem = tags.elements(a).at(0);
         // positions are adjacent globally (0,1) so this matches: markup
         // between text runs does not break adjacency in our encoding.
         assert!(ft_contains(&inv, &elem, &toks(&inv, "good condition")));
@@ -174,15 +182,15 @@ mod tests {
     fn empty_phrase_never_matches() {
         let (c, inv, tags) = setup("<a>x</a>");
         let a = c.tag("a").unwrap();
-        assert!(!ft_contains(&inv, &tags.elements(a)[0], &[]));
+        assert!(!ft_contains(&inv, &tags.elements(a).at(0), &[]));
     }
 
     #[test]
     fn case_insensitive_matching() {
         let (c, inv, tags) = setup("<a>United States</a>");
         let a = c.tag("a").unwrap();
-        assert!(ft_contains(&inv, &tags.elements(a)[0], &toks(&inv, "united states")));
-        assert!(ft_contains(&inv, &tags.elements(a)[0], &toks(&inv, "UNITED STATES")));
+        assert!(ft_contains(&inv, &tags.elements(a).at(0), &toks(&inv, "united states")));
+        assert!(ft_contains(&inv, &tags.elements(a).at(0), &toks(&inv, "UNITED STATES")));
     }
 }
 
@@ -277,7 +285,7 @@ mod ft_all_tests {
     }
 
     fn elem(c: &Collection, tags: &TagIndex, tag: &str) -> ElemEntry {
-        tags.elements(c.tag(tag).unwrap())[0]
+        tags.elements(c.tag(tag).unwrap()).at(0)
     }
 
     #[test]

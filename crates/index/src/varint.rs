@@ -1,0 +1,208 @@
+//! Shared LEB128 varint + delta-pack codec for the columnar snapshot.
+//!
+//! Posting runs in the `PIMCOL4` snapshot (see [`crate::columnar`]) are
+//! stored as delta-encoded varints: within one `(token, document)` run,
+//! positions strictly increase and region labels / text-node ids are
+//! nondecreasing (all three follow document order), so consecutive
+//! differences are nonnegative and mostly tiny — one or two bytes each
+//! instead of twelve. The codec is deliberately boring: unsigned LEB128
+//! (7 payload bits per byte, high bit = continuation), no zigzag, because
+//! no caller ever encodes a negative delta.
+//!
+//! Decoding is infallible-by-construction only on bytes this module
+//! produced; everything here returns `Option`/`Result`-shaped outcomes so
+//! corrupt snapshots surface as typed errors, never panics (the index
+//! crate is a hot-path module).
+
+/// Maximum encoded size of one `u32` varint (⌈32/7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 5;
+
+/// Append `v` to `out` as an unsigned LEB128 varint (1–5 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Decode one varint from the front of `buf`, returning the value and the
+/// remaining bytes. `None` on truncation, overlong encodings past 5
+/// bytes, or a final byte that overflows `u32`.
+pub fn get_varint(buf: &[u8]) -> Option<(u32, &[u8])> {
+    let mut v: u32 = 0;
+    for (i, &b) in buf.iter().enumerate().take(MAX_VARINT_LEN) {
+        let payload = (b & 0x7F) as u32;
+        // The 5th byte may only carry the top 4 bits of a u32.
+        if i == MAX_VARINT_LEN - 1 && payload > 0x0F {
+            return None;
+        }
+        v |= payload << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, &buf[i + 1..]));
+        }
+    }
+    None
+}
+
+/// Delta-pack a nondecreasing run: the first element absolute, each
+/// subsequent element as its difference from the predecessor.
+///
+/// Panics in debug builds if `run` is not nondecreasing (the snapshot
+/// writer's invariant); release builds would produce bytes that fail the
+/// round-trip property, which the corruption tests catch.
+pub fn put_delta_run(out: &mut Vec<u8>, run: &[u32]) {
+    let mut prev = 0u32;
+    for (i, &v) in run.iter().enumerate() {
+        debug_assert!(i == 0 || v >= prev, "delta runs must be nondecreasing");
+        put_varint(out, if i == 0 { v } else { v - prev });
+        prev = v;
+    }
+}
+
+/// Decode `count` delta-packed values from the front of `buf`, appending
+/// the reconstructed absolutes to `into`. Returns the remaining bytes, or
+/// `None` on truncation/overflow (a corrupt run).
+pub fn get_delta_run<'a>(buf: &'a [u8], count: usize, into: &mut Vec<u32>) -> Option<&'a [u8]> {
+    let mut rest = buf;
+    let mut prev = 0u32;
+    for i in 0..count {
+        let (d, r) = get_varint(rest)?;
+        rest = r;
+        prev = if i == 0 { d } else { prev.checked_add(d)? };
+        into.push(prev);
+    }
+    Some(rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn enc(v: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(enc(0), [0x00]);
+        assert_eq!(enc(1), [0x01]);
+        assert_eq!(enc(127), [0x7F]);
+        assert_eq!(enc(128), [0x80, 0x01]);
+        assert_eq!(enc(300), [0xAC, 0x02]);
+        assert_eq!(enc(16_383), [0xFF, 0x7F]);
+        assert_eq!(enc(16_384), [0x80, 0x80, 0x01]);
+        assert_eq!(enc(u32::MAX), [0xFF, 0xFF, 0xFF, 0xFF, 0x0F]);
+        assert_eq!(enc(u32::MAX).len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn decode_leaves_tail_untouched() {
+        let mut buf = enc(300);
+        buf.extend_from_slice(b"tail");
+        let (v, rest) = get_varint(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(rest, b"tail");
+    }
+
+    #[test]
+    fn truncated_and_overlong_inputs_rejected() {
+        assert_eq!(get_varint(&[]), None);
+        assert_eq!(get_varint(&[0x80]), None, "continuation bit with no next byte");
+        assert_eq!(get_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]), None, "6-byte varint");
+        // 5th byte carrying more than the top 4 bits of a u32 overflows.
+        assert_eq!(get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x10]), None);
+        // u32::MAX itself stays decodable.
+        assert_eq!(get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).map(|(v, _)| v), Some(u32::MAX));
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let mut out = Vec::new();
+        put_delta_run(&mut out, &[]);
+        assert!(out.is_empty());
+        let mut decoded = Vec::new();
+        let rest = get_delta_run(&out, 0, &mut decoded).unwrap();
+        assert!(rest.is_empty() && decoded.is_empty());
+    }
+
+    #[test]
+    fn single_element_run_roundtrips() {
+        for v in [0, 1, 127, 128, u32::MAX] {
+            let mut out = Vec::new();
+            put_delta_run(&mut out, &[v]);
+            let mut decoded = Vec::new();
+            get_delta_run(&out, 1, &mut decoded).unwrap();
+            assert_eq!(decoded, [v]);
+        }
+    }
+
+    #[test]
+    fn max_delta_run_roundtrips() {
+        // 0 → u32::MAX is the largest possible delta.
+        let run = [0, u32::MAX, u32::MAX, u32::MAX];
+        let mut out = Vec::new();
+        put_delta_run(&mut out, &run);
+        let mut decoded = Vec::new();
+        get_delta_run(&out, run.len(), &mut decoded).unwrap();
+        assert_eq!(decoded, run);
+    }
+
+    #[test]
+    fn overflowing_delta_sum_rejected() {
+        // Absolute u32::MAX followed by a delta of 1 overflows on decode.
+        let mut out = Vec::new();
+        put_varint(&mut out, u32::MAX);
+        put_varint(&mut out, 1);
+        let mut decoded = Vec::new();
+        assert!(get_delta_run(&out, 2, &mut decoded).is_none());
+    }
+
+    #[test]
+    fn truncated_run_rejected() {
+        let mut out = Vec::new();
+        put_delta_run(&mut out, &[5, 10, 500]);
+        let mut decoded = Vec::new();
+        assert!(get_delta_run(&out[..out.len() - 1], 3, &mut decoded).is_none());
+    }
+
+    proptest! {
+        /// Any u32 round-trips through the varint codec, and the encoded
+        /// length matches the 7-bits-per-byte schedule.
+        #[test]
+        fn varint_roundtrip(v in any::<u32>()) {
+            let bytes = enc(v);
+            prop_assert!(bytes.len() <= MAX_VARINT_LEN);
+            let expected_len = (32 - v.leading_zeros()).div_ceil(7).max(1) as usize;
+            prop_assert_eq!(bytes.len(), expected_len);
+            let (decoded, rest) = get_varint(&bytes).unwrap();
+            prop_assert_eq!(decoded, v);
+            prop_assert!(rest.is_empty());
+        }
+
+        /// Any nondecreasing run — empty, single-element, and runs with
+        /// u32::MAX-sized deltas included — round-trips through the delta
+        /// pack, and concatenated runs decode independently.
+        #[test]
+        fn delta_run_roundtrip(raw in proptest::collection::vec(any::<u32>(), 0..64)) {
+            // Sort to satisfy the nondecreasing invariant; duplicates stay
+            // (delta 0 is a valid encoding).
+            let mut run = raw;
+            run.sort_unstable();
+            let mut out = Vec::new();
+            put_delta_run(&mut out, &run);
+            // A second run directly after the first must not disturb it.
+            put_delta_run(&mut out, &run);
+            let mut decoded = Vec::new();
+            let rest = get_delta_run(&out, run.len(), &mut decoded).unwrap();
+            prop_assert_eq!(&decoded, &run);
+            let mut decoded2 = Vec::new();
+            let rest2 = get_delta_run(rest, run.len(), &mut decoded2).unwrap();
+            prop_assert_eq!(&decoded2, &run);
+            prop_assert!(rest2.is_empty());
+        }
+    }
+}

@@ -26,9 +26,11 @@ use std::time::Duration;
 /// (length-delimited JSON frames — see `pimento_serve::protocol`).
 fn serve_usage() -> ! {
     eprintln!(
-        "usage: pimento serve --docs FILE... [--addr HOST:PORT] [--threads N]\n\
+        "usage: pimento serve (--docs FILE... | --snapshot FILE) [--addr HOST:PORT] [--threads N]\n\
          \x20        [--queue-capacity N] [--cache-capacity N] [--query-threads N] [--timeout-ms N]\n\
          \x20        [--conn-timeout-ms N] [--profile-dir DIR]\n\
+         --snapshot FILE  open a binary index snapshot instead of parsing XML\n\
+         \x20                (columnar v4 opens zero-copy; legacy v3 rebuilds indexes)\n\
          --addr           listen address (default 127.0.0.1:7654; port 0 = pick a free port)\n\
          --threads N      worker pool size (0 = all cores; same clamp as search --threads)\n\
          --queue-capacity bounded request queue; full = typed `overloaded` error (default 64)\n\
@@ -48,6 +50,7 @@ fn serve_usage() -> ! {
 
 fn run_serve(rest: Vec<String>) -> ExitCode {
     let mut docs: Vec<String> = Vec::new();
+    let mut snapshot_path: Option<String> = None;
     let mut cfg = ServeConfig { addr: "127.0.0.1:7654".to_string(), ..ServeConfig::default() };
     let mut it = rest.into_iter().peekable();
     while let Some(a) = it.next() {
@@ -60,6 +63,7 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
                     docs.push(it.next().expect("peeked"));
                 }
             }
+            "--snapshot" => snapshot_path = Some(it.next().unwrap_or_else(|| serve_usage())),
             "--addr" => cfg.addr = it.next().unwrap_or_else(|| serve_usage()),
             "--threads" => {
                 cfg.workers =
@@ -98,26 +102,59 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             }
         }
     }
-    if docs.is_empty() {
+    if docs.is_empty() == snapshot_path.is_none() {
+        // Exactly one source: either XML documents or a snapshot.
         serve_usage()
     }
-    let mut xmls = Vec::new();
-    for path in &docs {
-        match std::fs::read_to_string(path) {
-            Ok(s) => xmls.push(s),
+    let started = std::time::Instant::now();
+    let engine = if let Some(path) = &snapshot_path {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        match Engine::from_snapshot_bytes(bytes::Bytes::from(data)) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot open snapshot {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    }
-    let engine = match Engine::from_xml_docs_parallel(&xmls, 0) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("cannot parse documents: {e}");
-            return ExitCode::FAILURE;
+    } else {
+        let mut xmls = Vec::new();
+        for path in &docs {
+            match std::fs::read_to_string(path) {
+                Ok(s) => xmls.push(s),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match Engine::from_xml_docs_parallel(&xmls, 0) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot parse documents: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+    cfg.startup_load_ms = started.elapsed().as_millis() as u64;
+    cfg.startup_snapshot_format = engine.snapshot_format();
+    match cfg.startup_snapshot_format {
+        Some(v) => eprintln!(
+            "opened snapshot format v{v} in {} ms ({} docs)",
+            cfg.startup_load_ms,
+            engine.db().coll.len()
+        ),
+        None => eprintln!(
+            "indexed {} document(s) in {} ms",
+            engine.db().coll.len(),
+            cfg.startup_load_ms
+        ),
+    }
     let server = match Server::bind(Arc::new(engine), cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -139,6 +176,116 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `pimento snapshot`: build and inspect binary index snapshots.
+fn snapshot_usage() -> ! {
+    eprintln!(
+        "usage: pimento snapshot build --docs FILE... --out FILE [--v3]\n\
+         \x20      pimento snapshot inspect FILE\n\
+         build    parse + index the documents, write a snapshot (columnar v4 by\n\
+         \x20        default; --v3 writes the legacy collection-only format)\n\
+         inspect  print the header, section directory, and per-section CRC\n\
+         \x20        verdicts of a v3 or v4 snapshot; exit 1 if any check fails"
+    );
+    std::process::exit(2)
+}
+
+fn run_snapshot(rest: Vec<String>) -> ExitCode {
+    let mut it = rest.into_iter().peekable();
+    match it.next().as_deref() {
+        Some("build") => {
+            let mut docs: Vec<String> = Vec::new();
+            let mut out: Option<String> = None;
+            let mut legacy = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--docs" => {
+                        while let Some(f) = it.peek() {
+                            if f.starts_with("--") {
+                                break;
+                            }
+                            docs.push(it.next().expect("peeked"));
+                        }
+                    }
+                    "--out" => out = Some(it.next().unwrap_or_else(|| snapshot_usage())),
+                    "--v3" => legacy = true,
+                    _ => snapshot_usage(),
+                }
+            }
+            let (Some(out), false) = (out, docs.is_empty()) else { snapshot_usage() };
+            let mut xmls = Vec::new();
+            for path in &docs {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => xmls.push(s),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let engine = match Engine::from_xml_docs(&xmls) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot parse documents: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let data =
+                if legacy { engine.save_snapshot_v3() } else { engine.save_snapshot() };
+            if let Err(e) = std::fs::write(&out, &data) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {out}: format v{}, {} docs, {} bytes",
+                if legacy { pimento_index::FORMAT_VERSION } else { pimento_index::COLUMNAR_VERSION },
+                engine.db().coll.len(),
+                data.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("inspect") => {
+            let Some(path) = it.next() else { snapshot_usage() };
+            let data = match std::fs::read(&path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match pimento_index::inspect(&data) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{path}: format v{}, {} bytes, directory {}",
+                report.version,
+                report.file_len,
+                if report.directory_ok { "ok" } else { "BAD" }
+            );
+            println!("{:<8} {:>10} {:>10} {:>10}  crc", "section", "offset", "len", "crc32");
+            for s in &report.sections {
+                println!(
+                    "{:<8} {:>10} {:>10} {:>10}  {}",
+                    s.name,
+                    s.offset,
+                    s.len,
+                    format!("{:08x}", s.crc),
+                    if s.crc_ok { "ok" } else { "BAD" }
+                );
+            }
+            if report.directory_ok && report.sections.iter().all(|s| s.crc_ok) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => snapshot_usage(),
     }
 }
 
@@ -282,8 +429,10 @@ fn usage() -> ! {
          --threads N   worker threads for query execution (0 = all cores, 1 = sequential)\n\
        pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
          static profile + plan soundness verification (see `pimento lint --help`)\n\
-       pimento serve --docs FILE... [--addr HOST:PORT] [--threads N] ...\n\
-         resident TCP query service (see `pimento serve --help`)"
+       pimento serve (--docs FILE... | --snapshot FILE) [--addr HOST:PORT] [--threads N] ...\n\
+         resident TCP query service (see `pimento serve --help`)\n\
+       pimento snapshot build|inspect ...\n\
+         build and inspect binary index snapshots (see `pimento snapshot --help`)"
     );
     std::process::exit(2)
 }
@@ -353,6 +502,10 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("serve") {
         argv.remove(0);
         return run_serve(argv);
+    }
+    if argv.first().map(String::as_str) == Some("snapshot") {
+        argv.remove(0);
+        return run_snapshot(argv);
     }
     let args = parse_args();
 

@@ -89,6 +89,12 @@ counters! {
     cache_evictions,
     /// Entries purged by `register_profile` generation bumps.
     cache_invalidations,
+    /// Milliseconds spent building or opening the engine before the
+    /// server was bound (a gauge, set once at startup).
+    startup_load_ms,
+    /// Snapshot format version the engine was opened from (`3` legacy,
+    /// `4` columnar, `0` = built from XML; set once at startup).
+    startup_snapshot_format,
     /// Sum of `ExecStats::base_answers` across served searches.
     exec_base_answers,
     /// Sum of `ExecStats::pruned`.
@@ -128,6 +134,14 @@ impl Metrics {
         self.lat_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the startup gauges: how long the engine took to build or
+    /// open, and which snapshot format (if any) it came from.
+    pub fn set_startup(&self, load_ms: u64, snapshot_format: Option<u32>) {
+        self.startup_load_ms.store(load_ms, Ordering::Relaxed);
+        self.startup_snapshot_format
+            .store(u64::from(snapshot_format.unwrap_or(0)), Ordering::Relaxed);
+    }
+
     /// Fold one search's execution counters into the aggregates.
     pub fn absorb_exec(&self, stats: &ExecStats) {
         self.add(&self.exec_base_answers, stats.base_answers);
@@ -156,6 +170,13 @@ impl Metrics {
             .collect();
         obj([
             ("uptime_ms", (self.start.elapsed().as_millis() as u64).into()),
+            (
+                "startup",
+                obj([
+                    ("load_ms", g(&self.startup_load_ms)),
+                    ("snapshot_format", g(&self.startup_snapshot_format)),
+                ]),
+            ),
             ("conns_accepted", g(&self.conns_accepted)),
             ("conns_rejected", g(&self.conns_rejected)),
             ("requests", g(&self.requests)),
@@ -233,8 +254,12 @@ mod tests {
         m.inc(&m.requests);
         m.inc(&m.responses_ok);
         m.absorb_exec(&ExecStats { base_answers: 4, emitted: 2, ..Default::default() });
+        m.set_startup(17, Some(4));
         let snap = m.snapshot(3, 1);
         assert_eq!(snap.get("requests").and_then(Value::as_u64), Some(1));
+        let startup = snap.get("startup").expect("startup block");
+        assert_eq!(startup.get("load_ms").and_then(Value::as_u64), Some(17));
+        assert_eq!(startup.get("snapshot_format").and_then(Value::as_u64), Some(4));
         let cache = snap.get("cache").expect("cache block");
         assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(3));
         let exec = snap.get("exec").expect("exec block");

@@ -99,6 +99,13 @@ pub struct ServeConfig {
     /// Directory for the durable profile store. `None` disables
     /// persistence; profiles live only in memory.
     pub profile_dir: Option<PathBuf>,
+    /// How long the engine took to build or open before `bind`, in
+    /// milliseconds — reported in the `stats` startup block.
+    pub startup_load_ms: u64,
+    /// Snapshot format version the engine was opened from (`None` when
+    /// it was built by parsing XML) — reported in the `stats` startup
+    /// block.
+    pub startup_snapshot_format: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -116,6 +123,8 @@ impl Default for ServeConfig {
             worker_delay: None,
             conn_timeout: Duration::from_secs(5),
             profile_dir: None,
+            startup_load_ms: 0,
+            startup_snapshot_format: None,
         }
     }
 }
@@ -226,6 +235,9 @@ impl Server {
             engine,
             cfg,
         });
+        shared
+            .metrics
+            .set_startup(shared.cfg.startup_load_ms, shared.cfg.startup_snapshot_format);
         if let Some(store) = &shared.store {
             for outcome in store.recover().map_err(ServeError::Store)? {
                 recover_one(&shared, outcome);

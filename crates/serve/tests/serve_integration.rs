@@ -76,6 +76,12 @@ fn assert_stats_identities(stats: &Value) {
     let cache = stats.get("cache").expect("cache block");
     let c = |k: &str| cache.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("cache {k}"));
     assert_eq!(c("lookups"), c("hits") + c("misses"), "cache identity: {stats:?}");
+    // Startup gauges are always present and well-formed: the snapshot
+    // format is 0 (built from XML), 3 (legacy), or 4 (columnar).
+    let startup = stats.get("startup").expect("startup block");
+    startup.get("load_ms").and_then(Value::as_u64).expect("startup.load_ms");
+    let fmt = startup.get("snapshot_format").and_then(Value::as_u64).expect("startup.snapshot_format");
+    assert!(fmt == 0 || fmt == 3 || fmt == 4, "snapshot_format {fmt}");
 }
 
 #[test]
@@ -460,5 +466,30 @@ fn explain_reports_the_plan_without_executing() {
     let searched = c.search(None, CARS_QUERY, 5).expect("search");
     assert_eq!(searched.get("cache").and_then(Value::as_str), Some("hit"));
     c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn snapshot_backed_server_is_bit_identical_and_reports_format() {
+    let engine = cars_engine();
+    let expected = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
+
+    // Reopen the same corpus through a columnar (v4) snapshot and serve
+    // from the packed views.
+    let snapshot = engine.save_snapshot();
+    let reopened = Arc::new(Engine::from_snapshot(&snapshot).expect("v4 snapshot opens"));
+    let cfg = ServeConfig {
+        startup_load_ms: 1,
+        startup_snapshot_format: reopened.snapshot_format(),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(reopened, cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let body = c.search(None, CARS_QUERY, 10).expect("search");
+    assert_eq!(fingerprint(body.get("hits").expect("hits")), expected);
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let startup = stats.get("startup").expect("startup block");
+    assert_eq!(startup.get("snapshot_format").and_then(Value::as_u64), Some(4), "{stats:?}");
     handle.join().expect("server thread").expect("server ran");
 }

@@ -81,6 +81,63 @@ impl SymbolTable {
     pub fn iter(&self) -> impl Iterator<Item = &str> {
         self.names.iter().map(String::as_str)
     }
+
+    /// Serialize the table as one dense column (the `symtab` section of
+    /// the columnar snapshot): a `u32` count, `count + 1` little-endian
+    /// `u32` offsets into a trailing UTF-8 name heap. Name `i` occupies
+    /// heap bytes `offsets[i]..offsets[i + 1]`, so the column is directly
+    /// indexable without decoding — and [`SymbolTable::from_column_bytes`]
+    /// reproduces identical ids because the column is in id order.
+    pub fn column_bytes(&self) -> Vec<u8> {
+        let heap_len: usize = self.names.iter().map(String::len).sum();
+        let mut out = Vec::with_capacity(4 * (self.names.len() + 2) + heap_len);
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        let mut off = 0u32;
+        for name in &self.names {
+            out.extend_from_slice(&off.to_le_bytes());
+            off += name.len() as u32;
+        }
+        out.extend_from_slice(&off.to_le_bytes());
+        for name in &self.names {
+            out.extend_from_slice(name.as_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a table from a [`SymbolTable::column_bytes`] column.
+    /// Returns a static description of the first structural violation on
+    /// malformed input (truncated column, non-monotone offsets, invalid
+    /// UTF-8, duplicate names) instead of panicking.
+    pub fn from_column_bytes(data: &[u8]) -> Result<SymbolTable, &'static str> {
+        let read_u32 = |at: usize| -> Result<u32, &'static str> {
+            data.get(at..at + 4)
+                .and_then(|b| <[u8; 4]>::try_from(b).ok())
+                .map(u32::from_le_bytes)
+                .ok_or("symbol column truncated")
+        };
+        let count = read_u32(0)? as usize;
+        let heap_base = 4 * (count + 2);
+        let heap_len = data.len().checked_sub(heap_base).ok_or("symbol column truncated")?;
+        let mut table = SymbolTable::new();
+        let mut prev = 0u32;
+        for i in 0..count {
+            let lo = read_u32(4 * (i + 1))?;
+            let hi = read_u32(4 * (i + 2))?;
+            if lo != prev || hi < lo || hi as usize > heap_len {
+                return Err("symbol column offsets not monotone");
+            }
+            prev = hi;
+            let bytes = &data[heap_base + lo as usize..heap_base + hi as usize];
+            let name = std::str::from_utf8(bytes).map_err(|_| "symbol name not UTF-8")?;
+            if table.intern(name).0 as usize != i {
+                return Err("duplicate symbol name in column");
+            }
+        }
+        if prev as usize != heap_len {
+            return Err("symbol column heap length mismatch");
+        }
+        Ok(table)
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +170,73 @@ mod tests {
         assert_eq!(names, ["b", "a", "c"]);
     }
 
+    #[test]
+    fn column_roundtrip_preserves_ids() {
+        let mut st = SymbolTable::new();
+        for n in ["dealer", "car", "", "price", "日本語"] {
+            st.intern(n);
+        }
+        let col = st.column_bytes();
+        let back = SymbolTable::from_column_bytes(&col).unwrap();
+        assert_eq!(back.len(), st.len());
+        for (i, name) in st.iter().enumerate() {
+            assert_eq!(back.name(SymbolId(i as u32)), name);
+            assert_eq!(back.get(name), Some(SymbolId(i as u32)));
+        }
+        // Empty table: count word + one offset word.
+        let empty = SymbolTable::new().column_bytes();
+        assert_eq!(empty.len(), 8);
+        assert!(SymbolTable::from_column_bytes(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_columns_rejected() {
+        let mut st = SymbolTable::new();
+        st.intern("ab");
+        st.intern("cd");
+        let col = st.column_bytes();
+        assert!(SymbolTable::from_column_bytes(&col[..col.len() - 1]).is_err(), "short heap");
+        assert!(SymbolTable::from_column_bytes(&col[..6]).is_err(), "short offsets");
+        assert!(SymbolTable::from_column_bytes(&[]).is_err(), "empty input");
+        // Non-monotone offsets: swap the two name offsets.
+        let mut bad = col.clone();
+        bad[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(SymbolTable::from_column_bytes(&bad).is_err());
+        // Invalid UTF-8 in the heap.
+        let mut bad_utf8 = col.clone();
+        let heap = bad_utf8.len() - 4;
+        bad_utf8[heap] = 0xFF;
+        assert!(SymbolTable::from_column_bytes(&bad_utf8).is_err());
+        // Duplicate names collapse under interning → id mismatch.
+        let mut dup = SymbolTable::new();
+        dup.intern("x");
+        let mut two = dup.column_bytes();
+        // Hand-build a column claiming two identical names.
+        two.clear();
+        two.extend_from_slice(&2u32.to_le_bytes());
+        for off in [0u32, 1, 2] {
+            two.extend_from_slice(&off.to_le_bytes());
+        }
+        two.extend_from_slice(b"xx");
+        assert!(SymbolTable::from_column_bytes(&two).is_err());
+    }
+
     proptest! {
+        /// Any interned table round-trips through the dense column with
+        /// identical ids.
+        #[test]
+        fn column_roundtrip_prop(seeds in proptest::collection::vec(any::<u16>(), 0..48)) {
+            let mut st = SymbolTable::new();
+            for s in &seeds {
+                st.intern(&format!("n{}", s % 60));
+            }
+            let back = SymbolTable::from_column_bytes(&st.column_bytes()).unwrap();
+            prop_assert_eq!(back.len(), st.len());
+            for (i, name) in st.iter().enumerate() {
+                prop_assert_eq!(back.name(SymbolId(i as u32)), name);
+            }
+        }
+
         /// intern → resolve → re-intern is the identity, and rebuilding a
         /// table from `iter()` order (the snapshot path) preserves ids.
         #[test]

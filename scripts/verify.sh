@@ -34,4 +34,19 @@ cargo clippy -p pimento-serve --features fault-injection --all-targets -- -D war
 echo "==> serve gate: loadgen --smoke (start server, search, clean shutdown)"
 cargo run -q -p pimento-bench --release --bin loadgen -- --smoke
 
+echo "==> snapshot gate: persistence + columnar round-trip tests"
+cargo test -q -p pimento-index
+cargo test -q -p pimento-suite --test snapshot_equivalence
+
+echo "==> snapshot gate: build + inspect a fresh v4 fixture"
+SNAP_DIR="$(mktemp -d)"
+trap 'rm -rf "$SNAP_DIR"' EXIT
+cat > "$SNAP_DIR/fixture.xml" <<'XML'
+<dealer><car><description>good condition low mileage</description><price>1500</price></car></dealer>
+XML
+cargo run -q -p pimento-serve --release --bin pimento -- \
+  snapshot build --docs "$SNAP_DIR/fixture.xml" --out "$SNAP_DIR/fixture.v4.snap"
+cargo run -q -p pimento-serve --release --bin pimento -- \
+  snapshot inspect "$SNAP_DIR/fixture.v4.snap"
+
 echo "==> verify OK"

@@ -124,7 +124,7 @@ proptest! {
         // Every posting's label lies inside the root region.
         let root = doc.node(doc.root());
         for w in WORDS {
-            for p in inv.postings(&w.to_lowercase()) {
+            for p in inv.postings(&w.to_lowercase()).iter() {
                 prop_assert!(root.start < p.label && p.label < root.end);
             }
         }
@@ -143,7 +143,7 @@ proptest! {
         for tag in TAGS {
             let Some(sym) = coll.tag(tag) else { continue };
             for e in tags.elements(sym) {
-                let by_index = pimento::index::ft_contains(&inv, e, std::slice::from_ref(&word));
+                let by_index = pimento::index::ft_contains(&inv, &e, std::slice::from_ref(&word));
                 let by_scan = doc
                     .text_content(e.node)
                     .to_lowercase()

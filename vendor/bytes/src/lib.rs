@@ -4,47 +4,80 @@
 //! workspace path-depends on this shim instead. It implements exactly the
 //! surface pimento uses: `BytesMut` as an append-only build buffer
 //! (`BufMut` little-endian writers, `freeze`), `Bytes` as a cheaply
-//! clonable immutable buffer deref-ing to `[u8]`, and `Buf` reads over
-//! `&[u8]` cursors. Semantics match the real crate for this subset; the
-//! zero-copy slicing machinery is intentionally absent.
+//! clonable immutable buffer deref-ing to `[u8]` with zero-copy
+//! [`Bytes::slice`] sub-views (refcounted windows over one shared
+//! allocation — what the columnar snapshot's packed index sections hang
+//! off), and `Buf` reads over `&[u8]` cursors. Semantics match the real
+//! crate for this subset.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable, cheaply clonable byte buffer.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Immutable, cheaply clonable byte buffer: a `(offset, len)` window over
+/// a shared allocation, so [`Bytes::slice`] is O(1) and copy-free.
+#[derive(Clone, Debug, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::from(&[][..]), offset: 0, len: 0 }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        let len = data.len();
+        Bytes { data: Arc::from(data), offset: 0, len }
+    }
+
+    /// A zero-copy sub-view of this buffer: the returned `Bytes` shares
+    /// the same allocation, narrowed to `range`. Panics when the range is
+    /// out of bounds (same contract as the real crate).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(lo <= hi && hi <= self.len, "slice {lo}..{hi} out of range for len {}", self.len);
+        Bytes { data: Arc::clone(&self.data), offset: self.offset + lo, len: hi - lo }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), offset: 0, len }
     }
 }
 
@@ -215,5 +248,25 @@ mod tests {
         assert!(!b.is_empty());
         let c = b.clone();
         assert_eq!(c.to_vec(), b"hello");
+    }
+
+    #[test]
+    fn slice_is_a_window_over_the_same_allocation() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let w = b.slice(6..);
+        assert_eq!(&*w, b"world");
+        let l = w.slice(..3);
+        assert_eq!(&*l, b"wor");
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(0..0).len(), 0);
+        assert_eq!(b.slice(11..11).len(), 0);
+        // Equality is by content, independent of the window position.
+        assert_eq!(b.slice(0..5), Bytes::copy_from_slice(b"hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::copy_from_slice(b"abc").slice(1..5);
     }
 }

@@ -30,7 +30,12 @@ pub struct Answer {
 impl Answer {
     /// Fresh answer with base score `s`.
     pub fn new(elem: ElemEntry, s: f64) -> Self {
-        Answer { elem, s, k: 0.0, vor: None }
+        Answer {
+            elem,
+            s,
+            k: 0.0,
+            vor: None,
+        }
     }
 
     /// Deterministic identity tiebreak: document order.
@@ -48,7 +53,13 @@ mod tests {
     use pimento_xml::NodeId;
 
     fn entry(doc: u32, start: u32) -> ElemEntry {
-        ElemEntry { doc: DocId(doc), node: NodeId(0), start, end: start + 10, level: 1 }
+        ElemEntry {
+            doc: DocId(doc),
+            node: NodeId(0),
+            start,
+            end: start + 10,
+            level: 1,
+        }
     }
 
     #[test]
@@ -63,7 +74,9 @@ mod tests {
     #[test]
     fn vor_key_compilation() {
         let ctx = RankContext::new(
-            vec![ValueOrderingRule::prefer_value("pi1", "car", "color", "red")],
+            vec![ValueOrderingRule::prefer_value(
+                "pi1", "car", "color", "red",
+            )],
             RankOrder::Kvs,
         );
         let key = ctx.make_key("car", |_, attr| {

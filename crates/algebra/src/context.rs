@@ -25,7 +25,13 @@ impl Database {
         let tags = TagIndex::build(&coll);
         let values = ValueIndex::build(&coll);
         let scorer = Scorer::new(&inverted);
-        Database { coll, inverted, tags, values, scorer }
+        Database {
+            coll,
+            inverted,
+            tags,
+            values,
+            scorer,
+        }
     }
 
     /// Index with the plain (non-stemming) tokenizer.
@@ -44,7 +50,13 @@ impl Database {
         values: ValueIndex,
     ) -> Self {
         let scorer = Scorer::new(&inverted);
-        Database { coll, inverted, tags, values, scorer }
+        Database {
+            coll,
+            inverted,
+            tags,
+            values,
+            scorer,
+        }
     }
 
     /// Add one more document, updating the indexes incrementally — new
@@ -108,8 +120,15 @@ mod tests {
 
     #[test]
     fn stats_absorb() {
-        let mut a = ExecStats { pruned: 3, ..Default::default() };
-        let b = ExecStats { pruned: 4, emitted: 2, ..Default::default() };
+        let mut a = ExecStats {
+            pruned: 3,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            pruned: 4,
+            emitted: 2,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.pruned, 7);
         assert_eq!(a.emitted, 2);
@@ -141,10 +160,21 @@ mod incremental_tests {
             inc.add_xml(d).unwrap();
         }
         assert_eq!(full.inverted.num_docs(), inc.inverted.num_docs());
-        assert_eq!(full.inverted.vocabulary_size(), inc.inverted.vocabulary_size());
+        assert_eq!(
+            full.inverted.vocabulary_size(),
+            inc.inverted.vocabulary_size()
+        );
         for term in ["good", "condition", "rusty", "mileage", "100"] {
-            assert_eq!(full.inverted.postings(term), inc.inverted.postings(term), "{term}");
-            assert_eq!(full.inverted.doc_freq(term), inc.inverted.doc_freq(term), "{term}");
+            assert_eq!(
+                full.inverted.postings(term),
+                inc.inverted.postings(term),
+                "{term}"
+            );
+            assert_eq!(
+                full.inverted.doc_freq(term),
+                inc.inverted.doc_freq(term),
+                "{term}"
+            );
         }
         let car = full.coll.tag("car").unwrap();
         let car_i = inc.coll.tag("car").unwrap();
@@ -154,9 +184,11 @@ mod incremental_tests {
     #[test]
     fn queries_see_incrementally_added_documents() {
         let mut coll = Collection::new();
-        coll.add_xml("<dealer><car><d>good condition</d></car></dealer>").unwrap();
+        coll.add_xml("<dealer><car><d>good condition</d></car></dealer>")
+            .unwrap();
         let mut db = Database::index_plain(coll);
-        db.add_xml("<dealer><car><d>good condition in NYC</d></car></dealer>").unwrap();
+        db.add_xml("<dealer><car><d>good condition in NYC</d></car></dealer>")
+            .unwrap();
         let car = db.coll.tag("car").unwrap();
         assert_eq!(db.tags.count(car), 2);
         let nyc = db.inverted.analyze("NYC");

@@ -69,9 +69,11 @@ impl PreparedPhrase {
     pub fn matches(&self, db: &Database, elem: &ElemEntry) -> bool {
         match &self.kind {
             PreparedKind::Phrase(tokens) => ft_contains(&db.inverted, elem, tokens),
-            PreparedKind::All { terms, window, ordered } => {
-                pimento_index::ft_all(&db.inverted, elem, terms, *window, *ordered)
-            }
+            PreparedKind::All {
+                terms,
+                window,
+                ordered,
+            } => pimento_index::ft_all(&db.inverted, elem, terms, *window, *ordered),
         }
     }
 
@@ -83,12 +85,18 @@ impl PreparedPhrase {
             PreparedKind::Phrase(tokens) => {
                 self.weight * db.scorer.ft_score(&db.inverted, elem, tokens)
             }
-            PreparedKind::All { terms, window, ordered } => {
+            PreparedKind::All {
+                terms,
+                window,
+                ordered,
+            } => {
                 if !pimento_index::ft_all(&db.inverted, elem, terms, *window, *ordered) {
                     return 0.0;
                 }
-                let sum: f64 =
-                    terms.iter().map(|t| db.scorer.ft_score(&db.inverted, elem, t)).sum();
+                let sum: f64 = terms
+                    .iter()
+                    .map(|t| db.scorer.ft_score(&db.inverted, elem, t))
+                    .sum();
                 self.weight * sum / terms.len() as f64
             }
         }
@@ -98,10 +106,18 @@ impl PreparedPhrase {
     pub fn describe(&self) -> String {
         match &self.kind {
             PreparedKind::Phrase(tokens) => tokens.join(" "),
-            PreparedKind::All { terms, window, ordered } => {
+            PreparedKind::All {
+                terms,
+                window,
+                ordered,
+            } => {
                 let mut s = format!(
                     "all({})",
-                    terms.iter().map(|t| t.join(" ")).collect::<Vec<_>>().join(", ")
+                    terms
+                        .iter()
+                        .map(|t| t.join(" "))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 if let Some(w) = window {
                     s.push_str(&format!(" window {w}"));
@@ -147,7 +163,11 @@ impl Matcher {
                             weight,
                         }
                     }
-                    Predicate::FtAll { terms, window, ordered } => {
+                    Predicate::FtAll {
+                        terms,
+                        window,
+                        ordered,
+                    } => {
                         let term_tokens: Vec<Vec<String>> =
                             terms.iter().map(|t| db.inverted.analyze(t)).collect();
                         let bound = weight
@@ -174,8 +194,10 @@ impl Matcher {
             }
         }
         let mut path = vec![pq.tpq.distinguished()];
-        while let Some(p) = pq.tpq.node(*path.last().expect("nonempty")).parent {
+        let mut cursor = pq.tpq.distinguished();
+        while let Some(p) = pq.tpq.node(cursor).parent {
             path.push(p);
+            cursor = p;
         }
         path.reverse();
         let tags = pq
@@ -189,7 +211,12 @@ impl Matcher {
                 },
             })
             .collect();
-        Matcher { pq, kw_tokens, path, tags }
+        Matcher {
+            pq,
+            kw_tokens,
+            path,
+            tags,
+        }
     }
 
     /// The personalized query being matched.
@@ -217,7 +244,12 @@ impl Matcher {
 
     /// Does `elem` match the required part? Returns the base `S` if so.
     /// `ft_probes` counts keyword containment checks for the stats.
-    pub fn match_answer(&self, db: &Database, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+    pub fn match_answer(
+        &self,
+        db: &Database,
+        elem: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> Option<f64> {
         // Downward: the distinguished node's own subtree.
         let down = self.embed_down(db, self.pq.tpq.distinguished(), elem, ft_probes)?;
         // Upward: assign the ancestors along the root path.
@@ -227,11 +259,20 @@ impl Matcher {
 
     /// Local check of one pattern node at `elem`: tag and required
     /// predicates; returns the node's own required-keyword score.
-    fn check_local(&self, db: &Database, nid: TpqNodeId, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+    fn check_local(
+        &self,
+        db: &Database,
+        nid: TpqNodeId,
+        elem: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> Option<f64> {
         let node = self.pq.tpq.node(nid);
-        match (self.tags[nid.0 as usize], db.coll.node(elem.elem_ref()).tag()) {
-            (CompiledTag::Star, _) => {}
-            (CompiledTag::Sym(want), Some(have)) if want == have => {}
+        match (
+            self.tags.get(nid.0 as usize).copied(),
+            db.coll.node(elem.elem_ref()).tag(),
+        ) {
+            (Some(CompiledTag::Star), _) => {}
+            (Some(CompiledTag::Sym(want)), Some(have)) if want == have => {}
             _ => return None,
         }
         let mut score = 0.0;
@@ -241,7 +282,9 @@ impl Matcher {
             }
             match pred {
                 Predicate::FtContains { .. } | Predicate::FtAll { .. } => {
-                    let prepared = &self.kw_tokens[&(nid, i)];
+                    // Compiled for every required keyword predicate; a miss
+                    // means the node can't satisfy it.
+                    let prepared = self.kw_tokens.get(&(nid, i))?;
                     *ft_probes += 1;
                     if !prepared.matches(db, elem) {
                         return None;
@@ -259,7 +302,13 @@ impl Matcher {
     }
 
     /// Embed the required subtree rooted at `nid` with `nid ↦ elem`.
-    fn embed_down(&self, db: &Database, nid: TpqNodeId, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+    fn embed_down(
+        &self,
+        db: &Database,
+        nid: TpqNodeId,
+        elem: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> Option<f64> {
         let mut score = self.check_local(db, nid, elem, ft_probes)?;
         for &child in &self.pq.tpq.node(nid).children {
             if self.pq.optional_nodes.contains(&child) {
@@ -285,33 +334,36 @@ impl Matcher {
                 best = Some(best.map_or(s, |b: f64| b.max(s)));
             }
         };
-        match (self.tags[child.0 as usize], axis) {
-            (CompiledTag::Sym(sym), Axis::Descendant) => {
-                for cand in
-                    db.tags.elements_within(sym, parent_elem.doc, parent_elem.start, parent_elem.end)
-                {
+        match (self.tags.get(child.0 as usize).copied(), axis) {
+            (Some(CompiledTag::Sym(sym)), Axis::Descendant) => {
+                for cand in db.tags.elements_within(
+                    sym,
+                    parent_elem.doc,
+                    parent_elem.start,
+                    parent_elem.end,
+                ) {
                     consider(self, cand, ft_probes);
                 }
             }
-            (CompiledTag::Sym(sym), Axis::Child) => {
+            (Some(CompiledTag::Sym(sym)), Axis::Child) => {
                 let doc = db.coll.doc(parent_elem.doc);
                 for c in nav::children_with_tag(doc, parent_elem.node, sym) {
                     consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
-            (CompiledTag::Star, Axis::Child) => {
+            (Some(CompiledTag::Star), Axis::Child) => {
                 let doc = db.coll.doc(parent_elem.doc);
                 for c in nav::child_elements(doc, parent_elem.node) {
                     consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
-            (CompiledTag::Star, Axis::Descendant) => {
+            (Some(CompiledTag::Star), Axis::Descendant) => {
                 let doc = db.coll.doc(parent_elem.doc);
                 for c in doc.descendant_elements(parent_elem.node) {
                     consider(self, entry_of(db, parent_elem.doc, c), ft_probes);
                 }
             }
-            (CompiledTag::Unmatchable, _) => {}
+            (Some(CompiledTag::Unmatchable) | None, _) => {}
         }
         best
     }
@@ -319,10 +371,16 @@ impl Matcher {
     /// Assign elements to the root-path ancestors of the distinguished
     /// node: `path[idx]` is mapped to `elem`; choose matching ancestors for
     /// `path[..idx]` recursively, maximizing branch scores.
-    fn match_up(&self, db: &Database, idx: usize, elem: &ElemEntry, ft_probes: &mut u64) -> Option<f64> {
+    fn match_up(
+        &self,
+        db: &Database,
+        idx: usize,
+        elem: &ElemEntry,
+        ft_probes: &mut u64,
+    ) -> Option<f64> {
         // Branch subtrees hanging off path[idx] (its non-path required
         // children) must embed under `elem`.
-        let nid = self.path[idx];
+        let nid = *self.path.get(idx)?;
         let next_on_path = self.path.get(idx + 1).copied();
         let mut score = 0.0;
         for &child in &self.pq.tpq.node(nid).children {
@@ -342,7 +400,7 @@ impl Matcher {
         // Choose an element for path[idx - 1] among elem's ancestors.
         let axis = self.pq.tpq.node(nid).axis; // axis of the edge into path[idx]
         let doc = db.coll.doc(elem.doc);
-        let parent_nid = self.path[idx - 1];
+        let parent_nid = *self.path.get(idx - 1)?;
         let candidates: Vec<NodeId> = match axis {
             Axis::Child => doc.node(elem.node).parent.into_iter().collect(),
             Axis::Descendant => nav::ancestors(doc, elem.node).collect(),
@@ -383,7 +441,7 @@ impl Matcher {
         }
         // Case 2: on a pattern ancestor of the distinguished node.
         if self.path.contains(&node) {
-            if let CompiledTag::Sym(sym) = self.tags[node.0 as usize] {
+            if let Some(CompiledTag::Sym(sym)) = self.tags.get(node.0 as usize).copied() {
                 let doc = db.coll.doc(answer.doc);
                 if let Some(anc) = nav::ancestor_or_self_with_tag(doc, answer.node, sym) {
                     let e = entry_of(db, answer.doc, anc);
@@ -396,9 +454,14 @@ impl Matcher {
         // path ancestor.
         let scope = self.branch_scope(db, node, answer);
         let Some(scope) = scope else { return 0.0 };
-        let CompiledTag::Sym(sym) = self.tags[node.0 as usize] else { return 0.0 };
+        let Some(CompiledTag::Sym(sym)) = self.tags.get(node.0 as usize).copied() else {
+            return 0.0;
+        };
         let mut best = 0.0f64;
-        for cand in db.tags.elements_within(sym, scope.doc, scope.start, scope.end) {
+        for cand in db
+            .tags
+            .elements_within(sym, scope.doc, scope.start, scope.end)
+        {
             best = best.max(phrase.score(db, &cand));
         }
         // The scope element itself may carry the tag.
@@ -410,7 +473,12 @@ impl Matcher {
 
     /// Element corresponding to the deepest root-path pattern ancestor of
     /// `node`, resolved against `answer`'s ancestors-or-self by tag.
-    fn branch_scope(&self, db: &Database, node: TpqNodeId, answer: &ElemEntry) -> Option<ElemEntry> {
+    fn branch_scope(
+        &self,
+        db: &Database,
+        node: TpqNodeId,
+        answer: &ElemEntry,
+    ) -> Option<ElemEntry> {
         let tpq = &self.pq.tpq;
         let mut cur = tpq.node(node).parent;
         let anchor = loop {
@@ -420,7 +488,9 @@ impl Matcher {
             }
             cur = tpq.node(c).parent;
         };
-        let CompiledTag::Sym(sym) = self.tags[anchor.0 as usize] else { return None };
+        let Some(CompiledTag::Sym(sym)) = self.tags.get(anchor.0 as usize).copied() else {
+            return None;
+        };
         let doc = db.coll.doc(answer.doc);
         let anc = nav::ancestor_or_self_with_tag(doc, answer.node, sym)?;
         Some(entry_of(db, answer.doc, anc))
@@ -431,7 +501,13 @@ impl Matcher {
 pub fn entry_of(db: &Database, doc: pimento_index::DocId, node: NodeId) -> ElemEntry {
     let n = db.coll.doc(doc).node(node);
     debug_assert!(matches!(n.kind, NodeKind::Element { .. }));
-    ElemEntry { doc, node, start: n.start, end: n.end, level: n.level }
+    ElemEntry {
+        doc,
+        node,
+        start: n.start,
+        end: n.end,
+        level: n.level,
+    }
 }
 
 /// Evaluate `content relOp value` on the element's text content.
@@ -447,12 +523,16 @@ pub fn compare_content(db: &Database, elem: ElemRef, op: RelOp, value: &Value) -
             RelOp::Gt => a.to_lowercase() > b.to_lowercase(),
             RelOp::Ge => a.to_lowercase() >= b.to_lowercase(),
         },
-        (FieldValue::Str(a), Value::Num(b)) => {
-            a.trim().parse::<f64>().map(|n| op.eval_num(n, *b)).unwrap_or(false)
-        }
-        (FieldValue::Num(a), Value::Str(b)) => {
-            b.trim().parse::<f64>().map(|n| op.eval_num(a, n)).unwrap_or(false)
-        }
+        (FieldValue::Str(a), Value::Num(b)) => a
+            .trim()
+            .parse::<f64>()
+            .map(|n| op.eval_num(n, *b))
+            .unwrap_or(false),
+        (FieldValue::Num(a), Value::Str(b)) => b
+            .trim()
+            .parse::<f64>()
+            .map(|n| op.eval_num(a, n))
+            .unwrap_or(false),
     }
 }
 
@@ -470,7 +550,10 @@ mod tests {
     }
 
     fn matcher(db: &Database, query: &str) -> Matcher {
-        Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(query).unwrap()))
+        Matcher::new(
+            db,
+            PersonalizedQuery::unpersonalized(parse_tpq(query).unwrap()),
+        )
     }
 
     fn candidates(db: &Database, m: &Matcher) -> Vec<(ElemEntry, f64)> {
@@ -535,7 +618,10 @@ mod tests {
     fn root_anchoring_enforced() {
         let db = db(DEALER);
         let m = matcher(&db, "/car");
-        assert!(candidates(&db, &m).is_empty(), "car is not the document root");
+        assert!(
+            candidates(&db, &m).is_empty(),
+            "car is not the document root"
+        );
         let m = matcher(&db, "/dealer");
         assert_eq!(candidates(&db, &m).len(), 1);
     }
@@ -546,7 +632,10 @@ mod tests {
             r#"<j><article><au>Jiawei Han</au><abs>data mining methods</abs></article>
                <article><au>Someone Else</au><abs>data mining here</abs></article></j>"#,
         );
-        let m = matcher(&db, r#"//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]"#);
+        let m = matcher(
+            &db,
+            r#"//article[about(.//au, "Jiawei Han")]//abs[about(., "data mining")]"#,
+        );
         let found = candidates(&db, &m);
         assert_eq!(found.len(), 1, "only Han's abstract qualifies");
     }
@@ -565,7 +654,9 @@ mod tests {
         let q = parse_tpq(r#"//car[./price < 2000]"#).unwrap();
         let mut pq = PersonalizedQuery::unpersonalized(q);
         // Add an optional node with an impossible tag — must not filter.
-        let extra = pq.tpq.add_child(pq.tpq.root(), pimento_tpq::Axis::Child, "nonexistent");
+        let extra = pq
+            .tpq
+            .add_child(pq.tpq.root(), pimento_tpq::Axis::Child, "nonexistent");
         pq.optional_nodes.insert(extra);
         let m = Matcher::new(&db, pq);
         assert_eq!(candidates(&db, &m).len(), 2);
@@ -586,8 +677,10 @@ mod tests {
         let opt = m.optional_keywords();
         assert_eq!(opt.len(), 1);
         let mut probes = 0;
-        let scores: Vec<f64> =
-            found.iter().map(|(e, _)| m.eval_pred_near(&db, &opt[0], e, &mut probes)).collect();
+        let scores: Vec<f64> = found
+            .iter()
+            .map(|(e, _)| m.eval_pred_near(&db, &opt[0], e, &mut probes))
+            .collect();
         assert!(scores[0] > 0.0, "first car has low mileage");
         assert_eq!(scores[1], 0.0, "second car does not");
     }
@@ -623,10 +716,25 @@ mod tests {
         let y = db.coll.tag("y").unwrap();
         let ex = db.tags.elements(x).at(0).elem_ref();
         let ey = db.tags.elements(y).at(0).elem_ref();
-        assert!(compare_content(&db, ex, RelOp::Eq, &Value::Str("Red".into())));
-        assert!(compare_content(&db, ex, RelOp::Ne, &Value::Str("blue".into())));
+        assert!(compare_content(
+            &db,
+            ex,
+            RelOp::Eq,
+            &Value::Str("Red".into())
+        ));
+        assert!(compare_content(
+            &db,
+            ex,
+            RelOp::Ne,
+            &Value::Str("blue".into())
+        ));
         assert!(compare_content(&db, ey, RelOp::Lt, &Value::Num(100.0)));
         assert!(!compare_content(&db, ey, RelOp::Gt, &Value::Num(100.0)));
-        assert!(compare_content(&db, ey, RelOp::Eq, &Value::Str("42".into())));
+        assert!(compare_content(
+            &db,
+            ey,
+            RelOp::Eq,
+            &Value::Str("42".into())
+        ));
     }
 }

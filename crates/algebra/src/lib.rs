@@ -44,14 +44,16 @@ pub mod trace;
 pub use answer::{Answer, VorKey};
 pub use context::{Database, ExecStats};
 pub use eval::{compare_content, entry_of, Matcher, PreparedKind, PreparedPhrase};
-pub use structural::prefilter_candidates;
-pub use ops::{gather_candidates, BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch};
+pub use ops::{
+    gather_candidates, BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch,
+};
 pub use par::{execute_parallel, execute_with_workers};
 pub use plan::{
     build_plan, choose_spec, EvalMode, KorOrder, Plan, PlanShape, PlanSpec, PlanStrategy,
     PlanVerifyError, Stage,
 };
 pub use rank::RankContext;
+pub use structural::prefilter_candidates;
 pub use topk::{TopkConfig, TopkPrune};
 pub use trace::{render as render_trace, TraceEntry};
 
@@ -67,9 +69,7 @@ mod oracle_tests {
     use crate::plan::{build_plan, PlanSpec, PlanStrategy};
     use crate::rank::RankContext;
     use pimento_index::Collection;
-    use pimento_profile::{
-        KeywordOrderingRule, PersonalizedQuery, RankOrder, ValueOrderingRule,
-    };
+    use pimento_profile::{KeywordOrderingRule, PersonalizedQuery, RankOrder, ValueOrderingRule};
     use pimento_tpq::parse_tpq;
     use proptest::prelude::*;
     use std::sync::Arc;
@@ -110,7 +110,9 @@ mod oracle_tests {
         let mut probes = 0u64;
         let mut answers: Vec<Answer> = Vec::new();
         for e in db.tags.elements(sym) {
-            let Some(mut s) = matcher.match_answer(db, &e, &mut probes) else { continue };
+            let Some(mut s) = matcher.match_answer(db, &e, &mut probes) else {
+                continue;
+            };
             for p in matcher.optional_keywords() {
                 s += matcher.eval_pred_near(db, &p, &e, &mut probes);
             }

@@ -45,7 +45,13 @@ impl QueryEval {
 
     /// Create the scan with an explicit evaluation mode.
     pub fn with_mode(matcher: Arc<Matcher>, mode: EvalMode) -> Self {
-        QueryEval { matcher, mode, candidates: Vec::new(), cursor: 0, initialized: false }
+        QueryEval {
+            matcher,
+            mode,
+            candidates: Vec::new(),
+            cursor: 0,
+            initialized: false,
+        }
     }
 
     /// Scan over a precomputed candidate list (the sharded parallel path:
@@ -96,8 +102,7 @@ impl Operator for QueryEval {
         if !self.initialized {
             self.init(db);
         }
-        while self.cursor < self.candidates.len() {
-            let elem = self.candidates[self.cursor];
+        while let Some(&elem) = self.candidates.get(self.cursor) {
             self.cursor += 1;
             if let Some(s) = self.matcher.match_answer(db, &elem, &mut stats.ft_probes) {
                 stats.base_answers += 1;
@@ -133,7 +138,11 @@ pub struct SrPredJoin {
 impl SrPredJoin {
     /// Wrap `input` with the optional predicate `phrase`.
     pub fn new(input: BoxedOp, matcher: Arc<Matcher>, phrase: PreparedPhrase) -> Self {
-        SrPredJoin { input, matcher, phrase }
+        SrPredJoin {
+            input,
+            matcher,
+            phrase,
+        }
     }
 
     /// Exact maximum score this operator can add to any answer.
@@ -145,12 +154,18 @@ impl SrPredJoin {
 impl Operator for SrPredJoin {
     fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
         let mut a = self.input.next(db, stats)?;
-        a.s += self.matcher.eval_pred_near(db, &self.phrase, &a.elem, &mut stats.ft_probes);
+        a.s += self
+            .matcher
+            .eval_pred_near(db, &self.phrase, &a.elem, &mut stats.ft_probes);
         Some(a)
     }
 
     fn describe(&self) -> String {
-        format!("SrPredJoin({:?}) -> {}", self.phrase.describe(), self.input.describe())
+        format!(
+            "SrPredJoin({:?}) -> {}",
+            self.phrase.describe(),
+            self.input.describe()
+        )
     }
 }
 
@@ -180,7 +195,12 @@ impl KorJoin {
             .iter()
             .map(|name| all || name.eq_ignore_ascii_case(&rule.tag))
             .collect();
-        KorJoin { input, rule, tokens, tag_match }
+        KorJoin {
+            input,
+            rule,
+            tokens,
+            tag_match,
+        }
     }
 
     /// The rule's weight — its contribution to upstream kor-scorebounds.
@@ -206,7 +226,12 @@ impl Operator for KorJoin {
     }
 
     fn describe(&self) -> String {
-        format!("kor[{}]({:?}) -> {}", self.rule.id, self.rule.phrase, self.input.describe())
+        format!(
+            "kor[{}]({:?}) -> {}",
+            self.rule.id,
+            self.rule.phrase,
+            self.input.describe()
+        )
     }
 }
 
@@ -228,9 +253,16 @@ pub struct VorFetch {
 impl VorFetch {
     /// Fetch every attribute mentioned by the context's VORs.
     pub fn new(input: BoxedOp, db: &Database, rank: &Arc<RankContext>) -> Self {
-        let attr_syms =
-            rank.vor_attrs().iter().map(|a| db.coll.symbols().get(a)).collect();
-        VorFetch { input, rank: Arc::clone(rank), attr_syms }
+        let attr_syms = rank
+            .vor_attrs()
+            .iter()
+            .map(|a| db.coll.symbols().get(a))
+            .collect();
+        VorFetch {
+            input,
+            rank: Arc::clone(rank),
+            attr_syms,
+        }
     }
 }
 
@@ -238,10 +270,18 @@ impl Operator for VorFetch {
     fn next(&mut self, db: &Database, stats: &mut ExecStats) -> Option<Answer> {
         let mut a = self.input.next(db, stats)?;
         let elem = a.elem.elem_ref();
-        let tag = db.coll.node(elem).tag().map(|t| db.coll.symbols().name(t)).unwrap_or("");
+        let tag = db
+            .coll
+            .node(elem)
+            .tag()
+            .map(|t| db.coll.symbols().name(t))
+            .unwrap_or("");
         let attr_syms = &self.attr_syms;
         let key = self.rank.make_key(tag, |slot, _| {
-            attr_syms[slot]
+            attr_syms
+                .get(slot)
+                .copied()
+                .flatten()
                 .and_then(|sym| field_value_sym(&db.coll, elem, sym))
                 .map(|v| match v {
                     FieldValue::Num(n) => AttrValue::Num(n),
@@ -253,7 +293,11 @@ impl Operator for VorFetch {
     }
 
     fn describe(&self) -> String {
-        format!("vor({}) -> {}", self.rank.vor_attrs().join(","), self.input.describe())
+        format!(
+            "vor({}) -> {}",
+            self.rank.vor_attrs().join(","),
+            self.input.describe()
+        )
     }
 }
 
@@ -272,7 +316,11 @@ pub struct Sort {
 impl Sort {
     /// Sort `input` by `rank`'s order.
     pub fn new(input: BoxedOp, rank: Arc<RankContext>) -> Self {
-        Sort { input, rank, sorted: None }
+        Sort {
+            input,
+            rank,
+            sorted: None,
+        }
     }
 }
 
@@ -315,7 +363,10 @@ mod tests {
     }
 
     fn scan(db: &Database, q: &str) -> BoxedOp {
-        let m = Arc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        let m = Arc::new(Matcher::new(
+            db,
+            PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap()),
+        ));
         Box::new(QueryEval::new(m))
     }
 
@@ -366,7 +417,9 @@ mod tests {
     fn vor_fetch_populates_fields() {
         let db = db();
         let rank = RankContext::new(
-            vec![pimento_profile::ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
+            vec![pimento_profile::ValueOrderingRule::prefer_value(
+                "pi5", "person", "age", "33",
+            )],
             RankOrder::Kvs,
         );
         let op = Box::new(VorFetch::new(scan(&db, "//person"), &db, &rank));
@@ -397,7 +450,8 @@ mod tests {
         let db = db();
         let q = parse_tpq("//person").unwrap();
         let mut pq = PersonalizedQuery::unpersonalized(q);
-        pq.tpq.add_predicate(pq.tpq.root(), pimento_tpq::Predicate::ft("Phoenix"));
+        pq.tpq
+            .add_predicate(pq.tpq.root(), pimento_tpq::Predicate::ft("Phoenix"));
         pq.optional_preds.insert((pq.tpq.root(), 0));
         let m = Arc::new(Matcher::new(&db, pq));
         let base: BoxedOp = Box::new(QueryEval::new(Arc::clone(&m)));
@@ -405,7 +459,11 @@ mod tests {
         let op = Box::new(SrPredJoin::new(base, m, phrase));
         let (out, _) = drain(op, &db);
         assert_eq!(out.len(), 3, "outer join keeps all answers");
-        assert_eq!(out.iter().filter(|a| a.s > 0.0).count(), 1, "only Phoenix answer scores");
+        assert_eq!(
+            out.iter().filter(|a| a.s > 0.0).count(),
+            1,
+            "only Phoenix answer scores"
+        );
     }
 }
 
@@ -462,7 +520,9 @@ mod op_edge_tests {
     fn vor_fetch_missing_attributes_leave_fields_absent() {
         let db = db("<a><car><color>red</color></car><car/></a>");
         let rank = RankContext::new(
-            vec![pimento_profile::ValueOrderingRule::prefer_value("c", "car", "color", "red")],
+            vec![pimento_profile::ValueOrderingRule::prefer_value(
+                "c", "car", "color", "red",
+            )],
             RankOrder::Kvs,
         );
         let m = Arc::new(Matcher::new(

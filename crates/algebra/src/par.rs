@@ -91,22 +91,28 @@ fn execute_sharded(
         return (out, stats, vec![stats]);
     }
 
-    let worker_spec = PlanSpec { trace: false, ..spec };
+    let worker_spec = PlanSpec {
+        trace: false,
+        ..spec
+    };
     let chunk = candidates.len().div_ceil(workers);
     let shard_count = candidates.len().div_ceil(chunk);
     // Slots are pre-filled with the empty result so the merge below never
     // needs to unwrap: a shard that somehow produced nothing contributes
     // nothing (scope joins every worker before returning, so in practice
     // each slot is written exactly once).
-    let mut shards: Vec<(Vec<Answer>, ExecStats)> =
-        (0..shard_count).map(|_| (Vec::new(), ExecStats::default())).collect();
+    let mut shards: Vec<(Vec<Answer>, ExecStats)> = (0..shard_count)
+        .map(|_| (Vec::new(), ExecStats::default()))
+        .collect();
     std::thread::scope(|scope| {
         for (shard, slot) in candidates.chunks(chunk).zip(shards.iter_mut()) {
             let matcher = Arc::clone(&matcher);
             let rank = Arc::clone(&rank);
             scope.spawn(move || {
-                let source: BoxedOp =
-                    Box::new(QueryEval::over_candidates(Arc::clone(&matcher), shard.to_vec()));
+                let source: BoxedOp = Box::new(QueryEval::over_candidates(
+                    Arc::clone(&matcher),
+                    shard.to_vec(),
+                ));
                 let plan = assemble(db, source, matcher, kors, rank, worker_spec, true);
                 *slot = plan.execute(db);
             });
@@ -143,7 +149,11 @@ mod tests {
         let mut xml = String::from("<people>");
         for i in 0..60 {
             let gender = if i % 2 == 0 { "male" } else { "female" };
-            let state = if i % 3 == 0 { "United States" } else { "Elsewhere" };
+            let state = if i % 3 == 0 {
+                "United States"
+            } else {
+                "Elsewhere"
+            };
             let edu = if i % 5 == 0 { "College" } else { "School" };
             let city = if i % 7 == 0 { "Phoenix" } else { "Springfield" };
             let age = 20 + (i % 20);
@@ -183,7 +193,9 @@ mod tests {
         let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         for rank_order in [RankOrder::Kvs, RankOrder::Vks] {
             let rank = RankContext::new(
-                vec![ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
+                vec![ValueOrderingRule::prefer_value(
+                    "pi5", "person", "age", "33",
+                )],
                 rank_order,
             );
             for strategy in PlanStrategy::all() {
@@ -222,10 +234,10 @@ mod tests {
             kor_order: KorOrder::HighestWeightFirst,
             ..PlanSpec::new(5, PlanStrategy::Push)
         };
-        let seq =
-            build_plan(&db, Arc::clone(&matcher), &kors(), Arc::clone(&rank), spec).execute(&db).0;
-        let (par, _, workers) =
-            execute_with_workers(&db, matcher, &kors(), rank, spec, 4);
+        let seq = build_plan(&db, Arc::clone(&matcher), &kors(), Arc::clone(&rank), spec)
+            .execute(&db)
+            .0;
+        let (par, _, workers) = execute_with_workers(&db, matcher, &kors(), rank, spec, 4);
         assert_eq!(full_key(&seq), full_key(&par));
         assert!(workers.len() > 1, "sharded run expected");
     }
@@ -236,8 +248,14 @@ mod tests {
         let q = parse_tpq("//person").unwrap();
         let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
-        let (out, agg, workers) =
-            execute_with_workers(&db, matcher, &kors(), rank, PlanSpec::new(5, PlanStrategy::Push), 4);
+        let (out, agg, workers) = execute_with_workers(
+            &db,
+            matcher,
+            &kors(),
+            rank,
+            PlanSpec::new(5, PlanStrategy::Push),
+            4,
+        );
         assert_eq!(out.len(), 5);
         assert_eq!(agg.emitted, 5);
         let base: u64 = workers.iter().map(|w| w.base_answers).sum();

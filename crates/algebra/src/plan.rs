@@ -269,10 +269,22 @@ impl std::fmt::Display for PlanVerifyError {
             E::AdjacentPrunes { index } => {
                 write!(f, "stage {index}: prune directly above another prune")
             }
-            E::WrongK { index, found, expected } => {
-                write!(f, "stage {index}: prune cuts at k={found}, plan wants k={expected}")
+            E::WrongK {
+                index,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "stage {index}: prune cuts at k={found}, plan wants k={expected}"
+                )
             }
-            E::BoundTooLow { index, which, have, need } => write!(
+            E::BoundTooLow {
+                index,
+                which,
+                have,
+                need,
+            } => write!(
                 f,
                 "stage {index}: {which}={have} admits less than the {need} still addable above"
             ),
@@ -281,13 +293,22 @@ impl std::fmt::Display for PlanVerifyError {
                 "stage {index}: Algorithm-3 K-prune (kor_scorebound=0) below an unapplied KOR"
             ),
             E::SortedClaimWithoutSort { index } => {
-                write!(f, "stage {index}: prune claims sorted input without a sort below it")
+                write!(
+                    f,
+                    "stage {index}: prune claims sorted input without a sort below it"
+                )
             }
             E::UseVWithoutFetchBelow { index } => {
-                write!(f, "stage {index}: prune compares ≺_V but no vor fetch runs below it")
+                write!(
+                    f,
+                    "stage {index}: prune compares ≺_V but no vor fetch runs below it"
+                )
             }
             E::PruneIgnoresV { index } => {
-                write!(f, "stage {index}: prune ignores ≺_V although VORs outrank its key")
+                write!(
+                    f,
+                    "stage {index}: prune ignores ≺_V although VORs outrank its key"
+                )
             }
         }
     }
@@ -316,12 +337,22 @@ impl PlanShape {
             return Err(E::MultipleScans);
         }
 
-        let fetches = self.stages.iter().filter(|s| matches!(s, Stage::VorFetch)).count();
+        let fetches = self
+            .stages
+            .iter()
+            .filter(|s| matches!(s, Stage::VorFetch))
+            .count();
         let expected_fetches = usize::from(self.vors > 0);
         if fetches != expected_fetches {
-            return Err(E::VorFetchCount { expected: expected_fetches, found: fetches });
+            return Err(E::VorFetchCount {
+                expected: expected_fetches,
+                found: fetches,
+            });
         }
-        let vor_pos = self.stages.iter().position(|s| matches!(s, Stage::VorFetch));
+        let vor_pos = self
+            .stages
+            .iter()
+            .position(|s| matches!(s, Stage::VorFetch));
 
         // Top stage: the final prune (positional cut, or the survivor
         // prune for merge-safe worker plans with VORs).
@@ -354,11 +385,21 @@ impl PlanShape {
         for i in (0..n).rev() {
             match &self.stages[i] {
                 Stage::Prune(cfg) => {
-                    let TopkConfig { k, query_scorebound, kor_scorebound, use_v, sorted_input, last } =
-                        cfg.clone();
+                    let TopkConfig {
+                        k,
+                        query_scorebound,
+                        kor_scorebound,
+                        use_v,
+                        sorted_input,
+                        last,
+                    } = cfg.clone();
                     let expected = self.k;
                     if k != expected {
-                        return Err(E::WrongK { index: i, found: k, expected });
+                        return Err(E::WrongK {
+                            index: i,
+                            found: k,
+                            expected,
+                        });
                     }
                     if i < top && last {
                         return Err(E::MidPruneLast { index: i });
@@ -502,9 +543,15 @@ pub(crate) fn assemble(
     // The stage list mirrors the operator chain bottom-to-top; it is the
     // IR that `PlanShape::verify` checks before execution.
     let mut stages: Vec<Stage> = vec![Stage::Scan];
-    let mid_cfg = |query_scorebound: f64, kor_scorebound: f64, use_v: bool, sorted_input: bool| {
-        TopkConfig { k, query_scorebound, kor_scorebound, use_v, sorted_input, last: false }
-    };
+    let mid_cfg =
+        |query_scorebound: f64, kor_scorebound: f64, use_v: bool, sorted_input: bool| TopkConfig {
+            k,
+            query_scorebound,
+            kor_scorebound,
+            use_v,
+            sorted_input,
+            last: false,
+        };
 
     // Optional (SR-contributed) keyword predicates and their exact bounds.
     let optional = matcher.optional_keywords();
@@ -534,7 +581,9 @@ pub(crate) fn assemble(
 
     for phrase in optional {
         let label = format!("SrPredJoin({})", phrase.describe());
-        stages.push(Stage::SrJoin { bound: phrase.bound });
+        stages.push(Stage::SrJoin {
+            bound: phrase.bound,
+        });
         op = Box::new(SrPredJoin::new(op, Arc::clone(&matcher), phrase));
         op = wrap(op, label);
     }
@@ -635,7 +684,11 @@ pub(crate) fn assemble(
     }
     op = Box::new(TopkPrune::new(op, rank, final_cfg));
     op = wrap(op, "topkPrune(final)".to_string());
-    Plan { root: op, traces: registry, shape }
+    Plan {
+        root: op,
+        traces: registry,
+        shape,
+    }
 }
 
 fn prune(input: BoxedOp, rank: &Arc<RankContext>, cfg: TopkConfig) -> BoxedOp {
@@ -654,7 +707,11 @@ mod tests {
         let mut xml = String::from("<people>");
         for i in 0..40 {
             let gender = if i % 2 == 0 { "male" } else { "female" };
-            let state = if i % 3 == 0 { "United States" } else { "Elsewhere" };
+            let state = if i % 3 == 0 {
+                "United States"
+            } else {
+                "Elsewhere"
+            };
             let edu = if i % 5 == 0 { "College" } else { "School" };
             let city = if i % 7 == 0 { "Phoenix" } else { "Springfield" };
             let age = 20 + (i % 20);
@@ -687,7 +744,9 @@ mod tests {
         let q = parse_tpq(r#"//person[ftcontains(./business, "Yes")]"#).unwrap();
         let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(
-            vec![ValueOrderingRule::prefer_value("pi5", "person", "age", "33")],
+            vec![ValueOrderingRule::prefer_value(
+                "pi5", "person", "age", "33",
+            )],
             RankOrder::Kvs,
         );
         let mut reference: Option<Vec<(u32, u32)>> = None;
@@ -744,9 +803,22 @@ mod tests {
         let mut weighted = kors();
         weighted[3] = KeywordOrderingRule::weighted("pi4", "person", "Phoenix", 5.0);
         let mut outputs = Vec::new();
-        for order in [KorOrder::AsGiven, KorOrder::HighestWeightFirst, KorOrder::LowestWeightFirst] {
-            let spec = PlanSpec { kor_order: order, ..PlanSpec::new(4, PlanStrategy::Push) };
-            let plan = build_plan(&db, Arc::clone(&matcher), &weighted, Arc::clone(&rank), spec);
+        for order in [
+            KorOrder::AsGiven,
+            KorOrder::HighestWeightFirst,
+            KorOrder::LowestWeightFirst,
+        ] {
+            let spec = PlanSpec {
+                kor_order: order,
+                ..PlanSpec::new(4, PlanStrategy::Push)
+            };
+            let plan = build_plan(
+                &db,
+                Arc::clone(&matcher),
+                &weighted,
+                Arc::clone(&rank),
+                spec,
+            );
             let (out, _) = plan.execute(&db);
             outputs.push(answers_key(&out));
         }
@@ -762,7 +834,10 @@ mod tests {
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut outs = Vec::new();
         for mode in [EvalMode::IndexedNestedLoop, EvalMode::StructuralJoin] {
-            let spec = PlanSpec { eval_mode: mode, ..PlanSpec::new(5, PlanStrategy::Push) };
+            let spec = PlanSpec {
+                eval_mode: mode,
+                ..PlanSpec::new(5, PlanStrategy::Push)
+            };
             let plan = build_plan(&db, Arc::clone(&matcher), &kors(), Arc::clone(&rank), spec);
             let (out, _) = plan.execute(&db);
             outs.push(answers_key(&out));
@@ -796,8 +871,13 @@ mod tests {
         let matcher = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(q)));
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         for strategy in PlanStrategy::all() {
-            let plan =
-                build_plan(&db, Arc::clone(&matcher), &[], Arc::clone(&rank), PlanSpec::new(3, strategy));
+            let plan = build_plan(
+                &db,
+                Arc::clone(&matcher),
+                &[],
+                Arc::clone(&rank),
+                PlanSpec::new(3, strategy),
+            );
             let (out, _) = plan.execute(&db);
             assert_eq!(out.len(), 3);
             // Ranked by S descending.
@@ -826,7 +906,11 @@ pub fn choose_spec(matcher: &Matcher, kors: &[KeywordOrderingRule], k: usize) ->
         .count();
     PlanSpec {
         k,
-        strategy: if kors.is_empty() { PlanStrategy::Naive } else { PlanStrategy::Push },
+        strategy: if kors.is_empty() {
+            PlanStrategy::Naive
+        } else {
+            PlanStrategy::Push
+        },
         kor_order: KorOrder::HighestWeightFirst,
         eval_mode: if required_nodes > 1 {
             EvalMode::StructuralJoin
@@ -848,7 +932,10 @@ mod choose_tests {
         let mut coll = Collection::new();
         coll.add_xml("<a><b><c>x</c></b></a>").unwrap();
         let db = Database::index_plain(coll);
-        let m = Arc::new(Matcher::new(&db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())));
+        let m = Arc::new(Matcher::new(
+            &db,
+            PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap()),
+        ));
         (db, m)
     }
 
@@ -866,8 +953,14 @@ mod choose_tests {
     #[test]
     fn auto_uses_structural_join_for_twigs() {
         let (_, single) = matcher_for("//b");
-        assert_eq!(choose_spec(&single, &[], 5).eval_mode, EvalMode::IndexedNestedLoop);
+        assert_eq!(
+            choose_spec(&single, &[], 5).eval_mode,
+            EvalMode::IndexedNestedLoop
+        );
         let (_, twig) = matcher_for("//a/b[./c]");
-        assert_eq!(choose_spec(&twig, &[], 5).eval_mode, EvalMode::StructuralJoin);
+        assert_eq!(
+            choose_spec(&twig, &[], 5).eval_mode,
+            EvalMode::StructuralJoin
+        );
     }
 }

@@ -32,7 +32,11 @@ impl RankContext {
     /// Context with no VORs (V compares Equal everywhere).
     pub fn new(vors: Vec<ValueOrderingRule>, order: RankOrder) -> Arc<Self> {
         let compiled = CompiledVors::compile(&vors);
-        Arc::new(RankContext { vors, order, compiled })
+        Arc::new(RankContext {
+            vors,
+            order,
+            compiled,
+        })
     }
 
     /// Sorted, deduplicated attribute names the VOR set reads; slot `i`
@@ -43,11 +47,7 @@ impl RankContext {
 
     /// Compile an answer's `≺_V` key. `get(slot, attr)` supplies the
     /// answer's value for each attribute in [`Self::vor_attrs`] order.
-    pub fn make_key(
-        &self,
-        tag: &str,
-        get: impl FnMut(usize, &str) -> Option<AttrValue>,
-    ) -> VorKey {
+    pub fn make_key(&self, tag: &str, get: impl FnMut(usize, &str) -> Option<AttrValue>) -> VorKey {
         self.compiled.make_key(tag, get)
     }
 
@@ -110,7 +110,11 @@ impl RankContext {
     /// strictly preferred to — ordered by the remaining components.
     pub fn winnow(&self, answers: Vec<Answer>, stats: &mut ExecStats) -> Vec<Answer> {
         let mut layers = self.layer(answers, stats);
-        let mut top = if layers.is_empty() { Vec::new() } else { layers.swap_remove(0) };
+        let mut top = if layers.is_empty() {
+            Vec::new()
+        } else {
+            layers.swap_remove(0)
+        };
         top.sort_by(|a, b| {
             cmp_f64_desc(a.k, b.k)
                 .then_with(|| cmp_f64_desc(a.s, b.s))
@@ -143,10 +147,13 @@ impl RankContext {
             let mut dominated = vec![false; pool.len()];
             'next: for i in 0..pool.len() {
                 for j in 0..pool.len() {
-                    if i != j
-                        && self.vor_compare(&pool[j], &pool[i], stats) == VorOutcome::PreferA
-                    {
-                        dominated[i] = true;
+                    let (Some(pj), Some(pi)) = (pool.get(j), pool.get(i)) else {
+                        continue;
+                    };
+                    if i != j && self.vor_compare(pj, pi, stats) == VorOutcome::PreferA {
+                        if let Some(d) = dominated.get_mut(i) {
+                            *d = true;
+                        }
                         continue 'next;
                     }
                 }
@@ -181,9 +188,8 @@ pub fn cmp_f64_desc(a: f64, b: f64) -> Ordering {
 }
 
 fn sort_numeric_desc(answers: &mut [Answer], key: impl Fn(&Answer) -> f64) {
-    answers.sort_by(|a, b| {
-        cmp_f64_desc(key(a), key(b)).then_with(|| a.tiebreak().cmp(&b.tiebreak()))
-    });
+    answers
+        .sort_by(|a, b| cmp_f64_desc(key(a), key(b)).then_with(|| a.tiebreak().cmp(&b.tiebreak())));
 }
 
 /// Split a sorted-by-key vector into maximal runs of equal key.
@@ -191,7 +197,7 @@ fn split_groups(answers: Vec<Answer>, key: impl Fn(&Answer) -> f64) -> Vec<Vec<A
     let mut groups: Vec<Vec<Answer>> = Vec::new();
     for a in answers {
         match groups.last_mut() {
-            Some(g) if key(g.last().expect("nonempty")) == key(&a) => g.push(a),
+            Some(g) if g.last().is_some_and(|last| key(last) == key(&a)) => g.push(a),
             _ => groups.push(vec![a]),
         }
     }
@@ -213,7 +219,13 @@ mod tests {
         color: Option<&str>,
         mileage: Option<f64>,
     ) -> Answer {
-        let elem = ElemEntry { doc: DocId(0), node: NodeId(start), start, end: start + 1, level: 1 };
+        let elem = ElemEntry {
+            doc: DocId(0),
+            node: NodeId(start),
+            start,
+            end: start + 1,
+            level: 1,
+        };
         let mut fields = HashMap::new();
         if let Some(c) = color {
             fields.insert("color".to_string(), AttrValue::Str(c.to_string()));
@@ -222,7 +234,12 @@ mod tests {
             fields.insert("mileage".to_string(), AttrValue::Num(m));
         }
         let key = ctx.make_key("car", |_, attr| fields.get(attr).cloned());
-        Answer { elem, s, k, vor: Some(Arc::new(key)) }
+        Answer {
+            elem,
+            s,
+            k,
+            vor: Some(Arc::new(key)),
+        }
     }
 
     fn red_rule() -> ValueOrderingRule {
@@ -232,8 +249,10 @@ mod tests {
     #[test]
     fn kvs_orders_k_first() {
         let ctx = RankContext::new(vec![], RankOrder::Kvs);
-        let mut ans =
-            vec![mk(&ctx, 1, 0.9, 0.0, None, None), mk(&ctx, 2, 0.1, 1.0, None, None)];
+        let mut ans = vec![
+            mk(&ctx, 1, 0.9, 0.0, None, None),
+            mk(&ctx, 2, 0.1, 1.0, None, None),
+        ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
         assert_eq!(ans[0].elem.start, 2, "higher K wins despite lower S");
@@ -301,8 +320,10 @@ mod tests {
     #[test]
     fn deterministic_tiebreak() {
         let ctx = RankContext::new(vec![], RankOrder::Kvs);
-        let mut ans =
-            vec![mk(&ctx, 2, 0.5, 0.0, None, None), mk(&ctx, 1, 0.5, 0.0, None, None)];
+        let mut ans = vec![
+            mk(&ctx, 2, 0.5, 0.0, None, None),
+            mk(&ctx, 1, 0.5, 0.0, None, None),
+        ];
         let mut st = ExecStats::default();
         ctx.rank(&mut ans, &mut st);
         assert_eq!(ans[0].elem.start, 1, "document order breaks exact ties");

@@ -40,7 +40,7 @@ pub fn prefilter_candidates(db: &Database, matcher: &Matcher) -> Vec<ElemEntry> 
         node: TpqNodeId,
         memo: &mut Vec<Option<Vec<ElemEntry>>>,
     ) -> Vec<ElemEntry> {
-        if let Some(v) = &memo[node.0 as usize] {
+        if let Some(Some(v)) = memo.get(node.0 as usize) {
             return v.clone();
         }
         let pq = matcher.personalized();
@@ -59,26 +59,33 @@ pub fn prefilter_candidates(db: &Database, matcher: &Matcher) -> Vec<ElemEntry> 
                 break;
             }
         }
-        memo[node.0 as usize] = Some(list.clone());
+        if let Some(slot) = memo.get_mut(node.0 as usize) {
+            *slot = Some(list.clone());
+        }
         list
     }
 
     let mut memo: Vec<Option<Vec<ElemEntry>>> = vec![None; tpq.len()];
     // Root-to-distinguished path.
     let mut path = vec![tpq.distinguished()];
-    while let Some(p) = tpq.node(*path.last().expect("nonempty")).parent {
+    let mut cursor = tpq.distinguished();
+    while let Some(p) = tpq.node(cursor).parent {
         path.push(p);
+        cursor = p;
     }
     path.reverse();
+    let Some(&root) = path.first() else {
+        return Vec::new();
+    };
 
     // Top-down chain filtering.
-    let mut current = sat(db, matcher, path[0], &mut memo);
+    let mut current = sat(db, matcher, root, &mut memo);
     // Root anchoring: a Child-anchored root must be the document root.
-    if tpq.node(path[0]).axis == Axis::Child {
+    if tpq.node(root).axis == Axis::Child {
         current.retain(|e| db.coll.doc(e.doc).root() == e.node);
     }
     for pair in path.windows(2) {
-        let child_node = pair[1];
+        let &[_, child_node] = pair else { continue };
         let child_sat = sat(db, matcher, child_node, &mut memo);
         current = match tpq.node(child_node).axis {
             Axis::Descendant => keep_descendants_of(&child_sat, &current),
@@ -104,7 +111,13 @@ fn base_list(db: &Database, matcher: &Matcher, node: TpqNodeId) -> Vec<ElemEntry
                     if pq.pred_is_optional(node, i) {
                         return None;
                     }
-                    let Predicate::Compare { op, value: Value::Num(c) } = p else { return None };
+                    let Predicate::Compare {
+                        op,
+                        value: Value::Num(c),
+                    } = p
+                    else {
+                        return None;
+                    };
                     let op = match op {
                         RelOp::Lt => RangeOp::Lt,
                         RelOp::Le => RangeOp::Le,
@@ -144,8 +157,7 @@ fn base_list(db: &Database, matcher: &Matcher, node: TpqNodeId) -> Vec<ElemEntry
             all
         }
     };
-    base
-        .into_iter()
+    base.into_iter()
         .filter(|e| {
             tpq_node.predicates.iter().enumerate().all(|(i, p)| {
                 if pq.pred_is_optional(node, i) {
@@ -156,7 +168,11 @@ fn base_list(db: &Database, matcher: &Matcher, node: TpqNodeId) -> Vec<ElemEntry
                         let tokens = db.inverted.analyze(phrase);
                         ft_contains(&db.inverted, e, &tokens)
                     }
-                    Predicate::FtAll { terms, window, ordered } => {
+                    Predicate::FtAll {
+                        terms,
+                        window,
+                        ordered,
+                    } => {
                         let tt: Vec<Vec<String>> =
                             terms.iter().map(|t| db.inverted.analyze(t)).collect();
                         ft_all(&db.inverted, e, &tt, *window, *ordered)
@@ -179,12 +195,16 @@ pub fn keep_ancestors_of(parents: &[ElemEntry], descs: &[ElemEntry]) -> Vec<Elem
     for p in parents {
         // Advance to the first descendant candidate starting after p.start
         // in p's document.
-        while di < descs.len()
-            && (descs[di].doc < p.doc || (descs[di].doc == p.doc && descs[di].start <= p.start))
+        while descs
+            .get(di)
+            .is_some_and(|d| d.doc < p.doc || (d.doc == p.doc && d.start <= p.start))
         {
             di += 1;
         }
-        if di < descs.len() && descs[di].doc == p.doc && descs[di].start < p.end {
+        if descs
+            .get(di)
+            .is_some_and(|d| d.doc == p.doc && d.start < p.end)
+        {
             out.push(*p);
         }
         // `di` must not advance past candidates needed by later parents:
@@ -202,10 +222,10 @@ pub fn keep_descendants_of(descs: &[ElemEntry], ancs: &[ElemEntry]) -> Vec<ElemE
     let mut ai = 0usize;
     let mut max_end: Option<(pimento_index::DocId, u32)> = None;
     for e in descs {
-        while ai < ancs.len()
-            && (ancs[ai].doc < e.doc || (ancs[ai].doc == e.doc && ancs[ai].start < e.start))
-        {
-            let a = ancs[ai];
+        while let Some(a) = ancs.get(ai) {
+            if !(a.doc < e.doc || (a.doc == e.doc && a.start < e.start)) {
+                break;
+            }
             max_end = match max_end {
                 Some((doc, end)) if doc == a.doc => Some((doc, end.max(a.end))),
                 _ => Some((a.doc, a.end)),
@@ -223,21 +243,36 @@ pub fn keep_descendants_of(descs: &[ElemEntry], ancs: &[ElemEntry]) -> Vec<ElemE
 
 /// Parent-side `pc` semijoin: the elements of `parents` that are the XML
 /// parent of at least one element of `children`.
-pub fn keep_parents_of(db: &Database, parents: &[ElemEntry], children: &[ElemEntry]) -> Vec<ElemEntry> {
+pub fn keep_parents_of(
+    db: &Database,
+    parents: &[ElemEntry],
+    children: &[ElemEntry],
+) -> Vec<ElemEntry> {
     let parent_keys: HashSet<(u32, u32)> = children
         .iter()
         .filter_map(|c| {
-            db.coll.doc(c.doc).node(c.node).parent.map(|p| (c.doc.0, p.0))
+            db.coll
+                .doc(c.doc)
+                .node(c.node)
+                .parent
+                .map(|p| (c.doc.0, p.0))
         })
         .collect();
-    parents.iter().filter(|p| parent_keys.contains(&(p.doc.0, p.node.0))).copied().collect()
+    parents
+        .iter()
+        .filter(|p| parent_keys.contains(&(p.doc.0, p.node.0)))
+        .copied()
+        .collect()
 }
 
 /// Child-side `pc` semijoin: the elements of `children` whose XML parent is
 /// in `parents`.
-pub fn keep_children_of(db: &Database, children: &[ElemEntry], parents: &[ElemEntry]) -> Vec<ElemEntry> {
-    let parent_keys: HashSet<(u32, u32)> =
-        parents.iter().map(|p| (p.doc.0, p.node.0)).collect();
+pub fn keep_children_of(
+    db: &Database,
+    children: &[ElemEntry],
+    parents: &[ElemEntry],
+) -> Vec<ElemEntry> {
+    let parent_keys: HashSet<(u32, u32)> = parents.iter().map(|p| (p.doc.0, p.node.0)).collect();
     children
         .iter()
         .filter(|c| {
@@ -266,7 +301,10 @@ mod tests {
     }
 
     fn matcher(db: &Database, q: &str) -> Arc<Matcher> {
-        Arc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap())))
+        Arc::new(Matcher::new(
+            db,
+            PersonalizedQuery::unpersonalized(parse_tpq(q).unwrap()),
+        ))
     }
 
     const DEALER: &str = r#"<dealer>
@@ -364,8 +402,16 @@ mod tests {
         let c = db.coll.tag("c").unwrap();
         let bs = db.tags.elements(b).to_vec();
         let cs = db.tags.elements(c).to_vec();
-        assert_eq!(keep_ancestors_of(&bs, &cs).len(), 1, "ad: c is a descendant");
-        assert_eq!(keep_parents_of(&db, &bs, &cs).len(), 0, "pc: c is not a direct child");
+        assert_eq!(
+            keep_ancestors_of(&bs, &cs).len(),
+            1,
+            "ad: c is a descendant"
+        );
+        assert_eq!(
+            keep_parents_of(&db, &bs, &cs).len(),
+            0,
+            "pc: c is not a direct child"
+        );
     }
 
     #[test]
@@ -411,7 +457,9 @@ mod value_seed_tests {
         ));
         let pre = prefilter_candidates(&db, &m);
         assert_eq!(pre.len(), 2, "range scan keeps only prices below 1000");
-        assert!(pre.windows(2).all(|w| (w[0].doc, w[0].start) < (w[1].doc, w[1].start)));
+        assert!(pre
+            .windows(2)
+            .all(|w| (w[0].doc, w[0].start) < (w[1].doc, w[1].start)));
     }
 
     #[test]
@@ -419,20 +467,28 @@ mod value_seed_tests {
         // One price has an element child: the value index does not cover
         // every price element, so the seed must be disabled — the
         // pre-filter still finds the nested-content answer.
-        let db = db(
-            "<dealer><car><price>500</price></car>\
-             <car><price><amount>700</amount></price></car></dealer>",
-        );
+        let db = db("<dealer><car><price>500</price></car>\
+             <car><price><amount>700</amount></price></car></dealer>");
         let price = db.coll.tag("price").unwrap();
-        assert_eq!(db.values.count(price), 1, "only the leaf price is value-indexed");
+        assert_eq!(
+            db.values.count(price),
+            1,
+            "only the leaf price is value-indexed"
+        );
         let m = Arc::new(Matcher::new(
             &db,
             PersonalizedQuery::unpersonalized(parse_tpq("//car/price[. < 1000]").unwrap()),
         ));
         let pre = prefilter_candidates(&db, &m);
         let mut probes = 0;
-        let verified: Vec<_> =
-            pre.iter().filter(|e| m.match_answer(&db, e, &mut probes).is_some()).collect();
-        assert_eq!(verified.len(), 2, "both prices (leaf and nested) are answers");
+        let verified: Vec<_> = pre
+            .iter()
+            .filter(|e| m.match_answer(&db, e, &mut probes).is_some())
+            .collect();
+        assert_eq!(
+            verified.len(),
+            2,
+            "both prices (leaf and nested) are answers"
+        );
     }
 }

@@ -85,7 +85,14 @@ pub struct TopkPrune {
 impl TopkPrune {
     /// Wrap `input`.
     pub fn new(input: BoxedOp, rank: Arc<RankContext>, cfg: TopkConfig) -> Self {
-        TopkPrune { input, cfg, rank, list: Vec::new(), emitted: 0, done: false }
+        TopkPrune {
+            input,
+            cfg,
+            rank,
+            list: Vec::new(),
+            emitted: 0,
+            done: false,
+        }
     }
 
     /// Current-value comparator used to keep the threshold list ordered,
@@ -172,7 +179,10 @@ impl TopkPrune {
             return;
         }
         let kth_idx = self.cfg.k - 1;
-        let cmp = self.current_cmp(a, &self.list[kth_idx], stats);
+        let Some(kth) = self.list.get(kth_idx) else {
+            return;
+        };
+        let cmp = self.current_cmp(a, kth, stats);
         if cmp == Ordering::Less {
             // a ranks above the current kth: insert, drop the kth from the
             // list (it stays in the flow — Algorithms 1–3, lines "kth
@@ -283,8 +293,19 @@ mod tests {
     }
 
     fn mk(start: u32, s: f64, k: f64) -> Answer {
-        let elem = ElemEntry { doc: DocId(0), node: NodeId(0), start, end: start + 1, level: 1 };
-        Answer { elem, s, k, vor: None }
+        let elem = ElemEntry {
+            doc: DocId(0),
+            node: NodeId(0),
+            start,
+            end: start + 1,
+            level: 1,
+        };
+        Answer {
+            elem,
+            s,
+            k,
+            vor: None,
+        }
     }
 
     fn mk_v(ctx: &RankContext, start: u32, s: f64, k: f64, color: &str) -> Answer {
@@ -320,7 +341,12 @@ mod tests {
     #[test]
     fn algorithm1_prunes_on_s_bound() {
         // k=2, no bounds: third-best and worse get pruned.
-        let answers = vec![mk(1, 0.9, 0.0), mk(2, 0.8, 0.0), mk(3, 0.1, 0.0), mk(4, 0.05, 0.0)];
+        let answers = vec![
+            mk(1, 0.9, 0.0),
+            mk(2, 0.8, 0.0),
+            mk(3, 0.1, 0.0),
+            mk(4, 0.05, 0.0),
+        ];
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, false));
         let (out, stats) = run(&mut op);
@@ -412,7 +438,11 @@ mod tests {
         let rank = RankContext::new(vec![red_rule], RankOrder::Kvs);
         let mut no_key = mk(3, 0.5, 0.0);
         no_key.vor = None;
-        let answers = vec![mk_v(&rank, 1, 0.5, 0.0, "red"), mk_v(&rank, 2, 0.5, 0.0, "red"), no_key];
+        let answers = vec![
+            mk_v(&rank, 1, 0.5, 0.0, "red"),
+            mk_v(&rank, 2, 0.5, 0.0, "red"),
+            no_key,
+        ];
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, true));
         let (out, stats) = run(&mut op);
         assert_eq!(out.len(), 3);
@@ -436,7 +466,9 @@ mod tests {
 
     #[test]
     fn bulk_pruning_on_sorted_input() {
-        let answers: Vec<Answer> = (0..100).map(|i| mk(i, 1.0 - i as f64 / 100.0, 0.0)).collect();
+        let answers: Vec<Answer> = (0..100)
+            .map(|i| mk(i, 1.0 - i as f64 / 100.0, 0.0))
+            .collect();
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut c = cfg(5, 0.0, 0.0, false);
         c.sorted_input = true;
@@ -461,7 +493,11 @@ mod tests {
     fn final_prune_with_fewer_answers_than_k() {
         let answers = vec![mk(1, 0.5, 0.0)];
         let rank = RankContext::new(vec![], RankOrder::Kvs);
-        let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, TopkConfig::final_prune(10));
+        let mut op = TopkPrune::new(
+            Box::new(Stub(answers, 0)),
+            rank,
+            TopkConfig::final_prune(10),
+        );
         let (out, _) = run(&mut op);
         assert_eq!(out.len(), 1);
     }
@@ -474,6 +510,10 @@ mod tests {
         let rank = RankContext::new(vec![], RankOrder::Kvs);
         let mut op = TopkPrune::new(Box::new(Stub(answers, 0)), rank, cfg(2, 0.0, 0.0, false));
         let (out, _) = run(&mut op);
-        assert_eq!(out.len(), 3, "nothing prunable here; list just tracks the threshold");
+        assert_eq!(
+            out.len(),
+            3,
+            "nothing prunable here; list just tracks the threshold"
+        );
     }
 }

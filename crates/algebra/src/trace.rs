@@ -34,7 +34,10 @@ pub fn new_registry() -> TraceRegistry {
 
 /// Wrap `inner` with a tracing shim registered under `label`.
 pub fn traced(inner: BoxedOp, label: impl Into<String>, registry: &TraceRegistry) -> BoxedOp {
-    let entry = Rc::new(RefCell::new(TraceEntry { label: label.into(), ..Default::default() }));
+    let entry = Rc::new(RefCell::new(TraceEntry {
+        label: label.into(),
+        ..Default::default()
+    }));
     registry.borrow_mut().push(Rc::clone(&entry));
     Box::new(Traced { inner, entry })
 }
@@ -115,9 +118,10 @@ mod tests {
     #[test]
     fn render_contains_labels() {
         let registry = new_registry();
-        registry
-            .borrow_mut()
-            .push(Rc::new(RefCell::new(TraceEntry { label: "kor[pi4]".into(), ..Default::default() })));
+        registry.borrow_mut().push(Rc::new(RefCell::new(TraceEntry {
+            label: "kor[pi4]".into(),
+            ..Default::default()
+        })));
         let text = render(&registry);
         assert!(text.contains("kor[pi4]"));
         assert!(text.contains("rows out"));

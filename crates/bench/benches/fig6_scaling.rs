@@ -10,7 +10,11 @@ use pimento_datagen::xmark;
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_push_scaling");
     group.sample_size(10);
-    for (label, bytes) in [("101K", 101 * 1024), ("212K", 212 * 1024), ("468K", 468 * 1024)] {
+    for (label, bytes) in [
+        ("101K", 101 * 1024),
+        ("212K", 212 * 1024),
+        ("468K", 468 * 1024),
+    ] {
         let xml = xmark::generate(2007, bytes);
         let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
         for n_kors in [1usize, 4] {

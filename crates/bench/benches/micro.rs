@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pimento::algebra::Database;
 use pimento::index::Collection;
-use pimento::profile::{
-    analyze_conflicts, detect_ambiguity, Atom, ScopingRule, ValueOrderingRule,
-};
+use pimento::profile::{analyze_conflicts, detect_ambiguity, Atom, ScopingRule, ValueOrderingRule};
 use pimento::tpq::{contains, minimized, parse_tpq};
 use pimento_datagen::{carsale, xmark};
 
@@ -52,19 +50,28 @@ fn bench_static_analysis(c: &mut Criterion) {
     let rules = vec![
         ScopingRule::delete(
             "rho1",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "low mileage"),
+            ],
             vec![Atom::ft("description", "good condition")],
         )
         .with_priority(2),
         ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         )
         .with_priority(1),
         ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         )
         .with_priority(3),
@@ -97,8 +104,12 @@ fn bench_end_to_end_dealer(c: &mut Criterion) {
     let xml = carsale::generate_dealer(3, 2000);
     let engine = pimento::Engine::from_xml_docs(&[&xml]).expect("parses");
     let profile = pimento::profile::UserProfile::new()
-        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
-        .with_kor(pimento::profile::KeywordOrderingRule::new("pi5", "car", "NYC"));
+        .with_vor(ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        ))
+        .with_kor(pimento::profile::KeywordOrderingRule::new(
+            "pi5", "car", "NYC",
+        ));
     c.bench_function("dealer_personalized_top10", |b| {
         b.iter(|| {
             let res = engine
@@ -197,7 +208,9 @@ fn bench_par_scan(c: &mut Criterion) {
     let xml = xmark::generate(42, 512 * 1024);
     let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
     let profile = fig5_profile(4, true);
-    let pq = engine.personalize(FIG5_QUERY, &profile).expect("valid query");
+    let pq = engine
+        .personalize(FIG5_QUERY, &profile)
+        .expect("valid query");
     let matcher = Arc::new(Matcher::new(engine.db(), pq));
     let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
     let spec = PlanSpec::new(10, PlanStrategy::Push);
@@ -225,7 +238,9 @@ fn bench_topk_prune(c: &mut Criterion) {
     // §6.3 ablation: the three pruning regimes over a synthetic stream of
     // 10k answers (Algorithm 1: S only; Algorithm 3: K bound; Algorithm 2:
     // V comparisons on K ties).
-    use pimento::algebra::{Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune};
+    use pimento::algebra::{
+        Answer, Database, ExecStats, Operator, RankContext, TopkConfig, TopkPrune,
+    };
     use pimento::index::{DocId, ElemEntry};
     use pimento::profile::{AttrValue, RankOrder, ValueOrderingRule};
     use std::sync::Arc;
@@ -248,7 +263,9 @@ fn bench_topk_prune(c: &mut Criterion) {
     // Compile the VOR keys against the rule set the V-aware regime uses
     // (contexts with no rules never inspect the keys).
     let key_ctx = RankContext::new(
-        vec![ValueOrderingRule::prefer_value("red", "car", "color", "red")],
+        vec![ValueOrderingRule::prefer_value(
+            "red", "car", "color", "red",
+        )],
         RankOrder::Kvs,
     );
     let answers: Vec<Answer> = (0..10_000u32)
@@ -280,7 +297,9 @@ fn bench_topk_prune(c: &mut Criterion) {
             "alg2_v_aware",
             0.0,
             true,
-            vec![ValueOrderingRule::prefer_value("red", "car", "color", "red")],
+            vec![ValueOrderingRule::prefer_value(
+                "red", "car", "color", "red",
+            )],
         ),
     ] {
         let rank = RankContext::new(vors.clone(), RankOrder::Kvs);

@@ -7,9 +7,15 @@ use pimento_datagen::xmark::FIG6_SIZES;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: Vec<(&str, usize)> =
-        if quick { FIG6_SIZES[..4].to_vec() } else { FIG6_SIZES.to_vec() };
-    eprintln!("running Fig. 6 sweep over {} document sizes (k=10)...", sizes.len());
+    let sizes: Vec<(&str, usize)> = if quick {
+        FIG6_SIZES[..4].to_vec()
+    } else {
+        FIG6_SIZES.to_vec()
+    };
+    eprintln!(
+        "running Fig. 6 sweep over {} document sizes (k=10)...",
+        sizes.len()
+    );
     let cells = perf::run_fig6(2007, &sizes, 10, 3);
     print!("{}", perf::render_fig6(&cells));
     // The paper's headline observation: sub-linear growth between 1M and
@@ -24,7 +30,11 @@ fn main() {
         println!(
             "\n1M -> 5.7M size ratio 5.7x; time ratio {:.2}x ({})",
             t57 / t1m,
-            if t57 / t1m < 5.7 { "sub-linear, as in the paper" } else { "NOT sub-linear" }
+            if t57 / t1m < 5.7 {
+                "sub-linear, as in the paper"
+            } else {
+                "NOT sub-linear"
+            }
         );
     }
 

@@ -9,7 +9,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let ablation = std::env::args().any(|a| a == "--ablation");
     let bytes = if quick { 1024 * 1024 } else { 10 * 1024 * 1024 };
-    eprintln!("running Fig. 7 plan comparison on a {} MB document (k=10)...", bytes / (1024 * 1024));
+    eprintln!(
+        "running Fig. 7 plan comparison on a {} MB document (k=10)...",
+        bytes / (1024 * 1024)
+    );
     let cells = perf::run_fig7(2007, bytes, 10, 3);
     print!("{}", perf::render_fig7(&cells, bytes));
 
@@ -47,7 +50,10 @@ fn main() {
     if ablation {
         println!("\n§7.2 ablation — KOR application order (PtpkP, skewed weights):");
         for (label, time, probes) in perf::run_kor_order_ablation(2007, bytes, 10, 5) {
-            println!("  {label:<14} {:.2} ms   keyword probes {probes}", time.as_secs_f64() * 1e3);
+            println!(
+                "  {label:<14} {:.2} ms   keyword probes {probes}",
+                time.as_secs_f64() * 1e3
+            );
         }
     }
 

@@ -21,13 +21,15 @@ use std::time::Instant;
 /// Distinct per-user profile: everyone prefers NYC; even users also
 /// boost "best bid", odd users prefer red cars.
 fn rules_for(user: usize) -> String {
-    let mut r = String::from(
-        "pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n",
-    );
+    let mut r = String::from("pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n");
     if user.is_multiple_of(2) {
-        r.push_str("pi4: x.tag = car & y.tag = car & ftcontains(x, \"best bid\") -> x < y {weight 2}\n");
+        r.push_str(
+            "pi4: x.tag = car & y.tag = car & ftcontains(x, \"best bid\") -> x < y {weight 2}\n",
+        );
     } else {
-        r.push_str("pi1: x.tag = car & y.tag = car & x.color = \"red\" & y.color != \"red\" -> x < y\n");
+        r.push_str(
+            "pi1: x.tag = car & y.tag = car & x.color = \"red\" & y.color != \"red\" -> x < y\n",
+        );
     }
     r
 }
@@ -91,15 +93,20 @@ fn timed_search(c: &mut Client, user: &str, query: &str) -> Result<u64, String> 
 fn smoke() -> Result<(), String> {
     let docs = vec![pimento_datagen::generate_dealer(1, 30)];
     let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
-    let server =
-        Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+    let server = Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
 
     let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
-    c.register_profile("smoke", &rules_for(0)).map_err(|e| e.to_string())?;
-    let body = c.search(Some("smoke"), QUERIES[0], 5).map_err(|e| e.to_string())?;
-    let hits = body.get("hits").and_then(Value::as_arr).ok_or("no hits array")?;
+    c.register_profile("smoke", &rules_for(0))
+        .map_err(|e| e.to_string())?;
+    let body = c
+        .search(Some("smoke"), QUERIES[0], 5)
+        .map_err(|e| e.to_string())?;
+    let hits = body
+        .get("hits")
+        .and_then(Value::as_arr)
+        .ok_or("no hits array")?;
     if hits.is_empty() {
         return Err("smoke search returned no hits".to_string());
     }
@@ -115,16 +122,27 @@ fn smoke() -> Result<(), String> {
 
 fn check_identities(stats: &Value) -> Result<(), String> {
     let g = |k: &str| {
-        stats.get(k).and_then(Value::as_u64).ok_or_else(|| format!("stats missing `{k}`"))
+        stats
+            .get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("stats missing `{k}`"))
     };
-    let answered =
-        g("responses_ok")? + g("responses_err")? + g("rejected_overload")? + g("rejected_deadline")?;
+    let answered = g("responses_ok")?
+        + g("responses_err")?
+        + g("rejected_overload")?
+        + g("rejected_deadline")?;
     if g("requests")? != answered {
-        return Err(format!("identity broken: requests {} != answered {answered}", g("requests")?));
+        return Err(format!(
+            "identity broken: requests {} != answered {answered}",
+            g("requests")?
+        ));
     }
     let cache = stats.get("cache").ok_or("stats missing `cache`")?;
     let c = |k: &str| {
-        cache.get(k).and_then(Value::as_u64).ok_or_else(|| format!("cache missing `{k}`"))
+        cache
+            .get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("cache missing `{k}`"))
     };
     if c("lookups")? != c("hits")? + c("misses")? {
         return Err("identity broken: cache lookups != hits + misses".to_string());
@@ -155,36 +173,50 @@ fn run_clients(
     }
     let mut all = Vec::new();
     for h in handles {
-        all.extend(h.join().map_err(|_| "client thread panicked".to_string())??);
+        all.extend(
+            h.join()
+                .map_err(|_| "client thread panicked".to_string())??,
+        );
     }
     Ok(all)
 }
 
 fn run(quick: bool) -> Result<(), String> {
-    let (dealers, cars, users, clients, repeats) =
-        if quick { (4, 100, 4, 4, 25) } else { (12, 250, 8, 8, 60) };
+    let (dealers, cars, users, clients, repeats) = if quick {
+        (4, 100, 4, 4, 25)
+    } else {
+        (12, 250, 8, 8, 60)
+    };
     eprintln!("loadgen: building {dealers} dealer docs x {cars} cars...");
-    let docs: Vec<String> =
-        (0..dealers).map(|i| pimento_datagen::generate_dealer(i as u64 + 1, cars)).collect();
+    let docs: Vec<String> = (0..dealers)
+        .map(|i| pimento_datagen::generate_dealer(i as u64 + 1, cars))
+        .collect();
     let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
-    let server =
-        Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+    let server = Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
 
     let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
     for u in 0..users {
-        c.register_profile(&format!("u{u}"), &rules_for(u)).map_err(|e| e.to_string())?;
+        c.register_profile(&format!("u{u}"), &rules_for(u))
+            .map_err(|e| e.to_string())?;
     }
 
     // Cold phase: first touch of every (user, query) pair, serially —
     // each request pays parse + scoping enforcement + VOR compilation
     // (`Engine::prepare`) before executing.
-    eprintln!("loadgen: cold phase ({} pairs, serial)...", users * QUERIES.len());
-    let mut cold = Phase { label: "cold", latencies_us: Vec::new() };
+    eprintln!(
+        "loadgen: cold phase ({} pairs, serial)...",
+        users * QUERIES.len()
+    );
+    let mut cold = Phase {
+        label: "cold",
+        latencies_us: Vec::new(),
+    };
     for u in 0..users {
         for q in QUERIES {
-            cold.latencies_us.push(timed_search(&mut c, &format!("u{u}"), q)?);
+            cold.latencies_us
+                .push(timed_search(&mut c, &format!("u{u}"), q)?);
         }
     }
 
@@ -192,12 +224,16 @@ fn run(quick: bool) -> Result<(), String> {
     // same machine state, the only difference is the compiled-plan cache
     // hit. cold/warm p50 is therefore the per-request cost of `prepare`.
     eprintln!("loadgen: warm phase (same pairs, serial)...");
-    let mut warm = Phase { label: "warm", latencies_us: Vec::new() };
+    let mut warm = Phase {
+        label: "warm",
+        latencies_us: Vec::new(),
+    };
     for round in 0..3 {
         let _ = round;
         for u in 0..users {
             for q in QUERIES {
-                warm.latencies_us.push(timed_search(&mut c, &format!("u{u}"), q)?);
+                warm.latencies_us
+                    .push(timed_search(&mut c, &format!("u{u}"), q)?);
             }
         }
     }

@@ -28,12 +28,17 @@ use std::process::{Command, ExitCode};
 /// Fold the ranked hits into one order-sensitive 64-bit fingerprint:
 /// equal fingerprints mean identical answers and identical score bits.
 fn fingerprint(engine: &Engine, profile: &UserProfile) -> u64 {
-    let results =
-        engine.search(FIG5_QUERY, profile, &SearchOptions::top(10)).expect("fig5 query runs");
+    let results = engine
+        .search(FIG5_QUERY, profile, &SearchOptions::top(10))
+        .expect("fig5 query runs");
     let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
     for h in &results.hits {
-        for part in [u64::from(h.elem.doc.0), u64::from(h.elem.node.0), h.s.to_bits(), h.k.to_bits()]
-        {
+        for part in [
+            u64::from(h.elem.doc.0),
+            u64::from(h.elem.node.0),
+            h.s.to_bits(),
+            h.k.to_bits(),
+        ] {
             acc = (acc ^ part).wrapping_mul(0x100_0000_01b3);
         }
     }
@@ -95,7 +100,9 @@ fn field_f64(v: &Value, key: &str) -> f64 {
 
 fn run(doc_bytes: usize, n_docs: usize, runs: usize) -> Result<(), String> {
     eprintln!("generating {n_docs} XMark document(s) of ~{doc_bytes} bytes each");
-    let docs: Vec<String> = (0..n_docs as u64).map(|i| xmark::generate(i, doc_bytes)).collect();
+    let docs: Vec<String> = (0..n_docs as u64)
+        .map(|i| xmark::generate(i, doc_bytes))
+        .collect();
     let engine = Engine::from_xml_docs(&docs).map_err(|e| format!("corpus parses: {e}"))?;
     let profile = fig5_profile(4, true);
     let baseline_fp = fingerprint(&engine, &profile);
@@ -115,7 +122,12 @@ fn run(doc_bytes: usize, n_docs: usize, runs: usize) -> Result<(), String> {
 
     // Bit-identity gate: a fast cold start that changes answers is a bug,
     // not a result.
-    let fp = |v: &Value| v.get("fingerprint").and_then(Value::as_str).unwrap_or("").to_string();
+    let fp = |v: &Value| {
+        v.get("fingerprint")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
     let expected = format!("{baseline_fp:016x}");
     if fp(&v3) != expected || fp(&v4) != expected {
         return Err(format!(
@@ -154,9 +166,10 @@ fn run(doc_bytes: usize, n_docs: usize, runs: usize) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--measure") {
-        let (Some(path), Some(runs)) =
-            (args.get(1), args.get(2).and_then(|s| s.parse::<usize>().ok()))
-        else {
+        let (Some(path), Some(runs)) = (
+            args.get(1),
+            args.get(2).and_then(|s| s.parse::<usize>().ok()),
+        ) else {
             eprintln!("usage: snapcold --measure PATH RUNS");
             return ExitCode::from(2);
         };

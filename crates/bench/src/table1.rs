@@ -73,12 +73,9 @@ pub fn topic_profile(topic: &InexTopic, tag: &str) -> UserProfile {
         vec![Atom::ft(tag, topic.query_phrase)],
         vec![Atom::ft(tag, topic.query_phrase)],
     ));
-    for kor in KeywordOrderingRule::multi(
-        &format!("narrative-{}", topic.id),
-        tag,
-        topic.related,
-        1.0,
-    ) {
+    for kor in
+        KeywordOrderingRule::multi(&format!("narrative-{}", topic.id), tag, topic.related, 1.0)
+    {
         profile = profile.with_kor(kor);
     }
     profile
@@ -118,7 +115,12 @@ fn run_topic(
     for tag in retrieval_tags(topic) {
         let query = format!(r#"//article//{tag}[about(., "{}")]"#, topic.query_phrase);
         // Baseline: the raw query, no profile.
-        baseline.extend(retrieve_cids(engine, &query, &UserProfile::new(), per_type_k));
+        baseline.extend(retrieve_cids(
+            engine,
+            &query,
+            &UserProfile::new(),
+            per_type_k,
+        ));
         // Personalized: relax the phrase + rank by narrative KORs.
         let profile = topic_profile(topic, tag);
         personalized.extend(retrieve_cids(engine, &query, &profile, per_type_k));
@@ -160,7 +162,12 @@ pub fn render(rows: &[Table1Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<7} {:<7} {:<9} {:<10} {:<12} ({}/{})\n",
-            r.topic, r.missed, r.out_of, r.retrieved, r.instead_of, r.baseline_missed,
+            r.topic,
+            r.missed,
+            r.out_of,
+            r.retrieved,
+            r.instead_of,
+            r.baseline_missed,
             r.baseline_retrieved,
         ));
     }
@@ -190,8 +197,7 @@ mod tests {
             "personalization must miss fewer components: {total_missed} vs {base_missed}"
         );
         // Good precision on average (the paper's qualitative claim).
-        let avg: f64 =
-            rows.iter().map(Table1Row::found_fraction).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(Table1Row::found_fraction).sum::<f64>() / rows.len() as f64;
         assert!(avg > 0.6, "average found fraction {avg}");
         // Recall-style over-retrieval: we retrieve more than assessed.
         assert!(rows.iter().any(|r| r.retrieved > r.instead_of));

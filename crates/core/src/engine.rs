@@ -23,12 +23,18 @@ pub struct Engine {
 impl Engine {
     /// Index an existing collection (plain tokenizer).
     pub fn new(coll: Collection) -> Self {
-        Engine { db: Database::index_plain(coll), snapshot_format: None }
+        Engine {
+            db: Database::index_plain(coll),
+            snapshot_format: None,
+        }
     }
 
     /// Index with an explicit tokenizer (e.g. stemming, §7.1).
     pub fn with_tokenizer(coll: Collection, tokenizer: Tokenizer) -> Self {
-        Engine { db: Database::index(coll, tokenizer), snapshot_format: None }
+        Engine {
+            db: Database::index(coll, tokenizer),
+            snapshot_format: None,
+        }
     }
 
     /// Convenience: parse and index XML documents.
@@ -54,7 +60,12 @@ impl Engine {
     /// [`Engine::from_snapshot`] opens them as zero-copy views instead of
     /// rebuilding them.
     pub fn save_snapshot(&self) -> bytes::Bytes {
-        pimento_index::save_index(&self.db.coll, &self.db.inverted, &self.db.tags, &self.db.values)
+        pimento_index::save_index(
+            &self.db.coll,
+            &self.db.inverted,
+            &self.db.tags,
+            &self.db.values,
+        )
     }
 
     /// Serialize only the collection in the legacy v3 format (indexes are
@@ -81,7 +92,10 @@ impl Engine {
                 opened.tags,
                 opened.values,
             );
-            Ok(Engine { db, snapshot_format: Some(pimento_index::COLUMNAR_VERSION) })
+            Ok(Engine {
+                db,
+                snapshot_format: Some(pimento_index::COLUMNAR_VERSION),
+            })
         } else {
             let coll = pimento_index::load_collection(&data)?;
             let mut engine = Engine::new(coll);
@@ -108,7 +122,11 @@ impl Engine {
 
     /// Personalize `query` under `profile`: run the static analyses and
     /// produce the annotated query (flock encoding) without executing it.
-    pub fn personalize(&self, query: &str, profile: &UserProfile) -> Result<PersonalizedQuery, Error> {
+    pub fn personalize(
+        &self,
+        query: &str,
+        profile: &UserProfile,
+    ) -> Result<PersonalizedQuery, Error> {
         let tpq = parse_tpq(query)?;
         Ok(profile.enforce_scoping(&tpq)?)
     }
@@ -212,9 +230,14 @@ impl Engine {
             let (answers, stats, trace) = plan.execute_analyzed(&self.db);
             (answers, stats, vec![stats], explain, trace)
         } else {
-            let explain =
-                build_plan(&self.db, Arc::clone(&matcher), &prepared.kors, Arc::clone(&rank), spec)
-                    .explain();
+            let explain = build_plan(
+                &self.db,
+                Arc::clone(&matcher),
+                &prepared.kors,
+                Arc::clone(&rank),
+                spec,
+            )
+            .explain();
             let (answers, stats, worker_stats) = pimento_algebra::execute_parallel(
                 &self.db,
                 Arc::clone(&matcher),
@@ -314,7 +337,10 @@ impl Engine {
         &self,
         prepared: &PreparedSearch,
         k: usize,
-    ) -> Vec<(pimento_algebra::PlanStrategy, Result<(), pimento_algebra::PlanVerifyError>)> {
+    ) -> Vec<(
+        pimento_algebra::PlanStrategy,
+        Result<(), pimento_algebra::PlanVerifyError>,
+    )> {
         pimento_algebra::PlanStrategy::all()
             .into_iter()
             .map(|strategy| {
@@ -351,7 +377,11 @@ impl Engine {
         let mut stats = ExecStats::default();
         let mut op: BoxedOp = Box::new(QueryEval::new(Arc::clone(&matcher)));
         for phrase in matcher.optional_keywords() {
-            op = Box::new(pimento_algebra::SrPredJoin::new(op, Arc::clone(&matcher), phrase));
+            op = Box::new(pimento_algebra::SrPredJoin::new(
+                op,
+                Arc::clone(&matcher),
+                phrase,
+            ));
         }
         for kor in profile.kors.clone() {
             op = Box::new(pimento_algebra::KorJoin::new(op, &self.db, kor));
@@ -390,12 +420,7 @@ impl Engine {
     /// Post-hoc provenance: which KORs and which SR-contributed optional
     /// predicates this hit satisfies. Re-evaluating over the top k only is
     /// far cheaper than threading provenance through every operator.
-    fn annotate_hit(
-        &self,
-        matcher: &Matcher,
-        profile: &UserProfile,
-        hit: &mut SearchResult,
-    ) {
+    fn annotate_hit(&self, matcher: &Matcher, profile: &UserProfile, hit: &mut SearchResult) {
         let elem = pimento_algebra::entry_of(&self.db, hit.elem.doc, hit.elem.node);
         let tag = self
             .db
@@ -491,15 +516,23 @@ mod tests {
         let profile = UserProfile::new()
             .with_scoping(ScopingRule::add(
                 "rho2",
-                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![
+                    Atom::pc("car", "description"),
+                    Atom::ft("description", "good condition"),
+                ],
                 vec![Atom::ft("description", "american")],
             ))
             .with_scoping(ScopingRule::delete(
                 "rho3",
-                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![
+                    Atom::pc("car", "description"),
+                    Atom::ft("description", "good condition"),
+                ],
                 vec![Atom::ft("description", "low mileage")],
             ))
-            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(ValueOrderingRule::prefer_value(
+                "pi1", "car", "color", "red",
+            ))
             .with_kor(KeywordOrderingRule::new("pi4", "car", "best bid"))
             .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
         let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#;
@@ -510,17 +543,26 @@ mod tests {
         assert_eq!(res.hits.len(), 3);
         assert_eq!(res.applied_rules, vec!["rho2", "rho3"]);
         // Car 1 satisfies both KORs (best bid + NYC) → ranked first.
-        assert!(res.hits[0].k >= 2.0 - 1e-9, "K of top hit: {}", res.hits[0].k);
+        assert!(
+            res.hits[0].k >= 2.0 - 1e-9,
+            "K of top hit: {}",
+            res.hits[0].k
+        );
         assert!(res.hits[0].text.contains("best bid"));
     }
 
     #[test]
     fn vor_breaks_kor_ties() {
         let e = engine();
-        let profile = UserProfile::new()
-            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"));
+        let profile = UserProfile::new().with_vor(ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        ));
         let res = e
-            .search(r#"//car[ftcontains(., "good condition")]"#, &profile, &SearchOptions::top(3))
+            .search(
+                r#"//car[ftcontains(., "good condition")]"#,
+                &profile,
+                &SearchOptions::top(3),
+            )
             .unwrap();
         // All tie on K = 0; the red car must beat the blue/colorless ones
         // in its V layer... among answers with equal K the red one leads.
@@ -544,7 +586,9 @@ mod tests {
     #[test]
     fn explain_is_populated() {
         let e = engine();
-        let res = e.search("//car", &UserProfile::new(), &SearchOptions::top(1)).unwrap();
+        let res = e
+            .search("//car", &UserProfile::new(), &SearchOptions::top(1))
+            .unwrap();
         assert!(res.explain.contains("QueryEval"));
         assert!(res.explain.contains("topkPrune"));
     }
@@ -552,15 +596,22 @@ mod tests {
     #[test]
     fn minimize_option_simplifies_query() {
         let e = engine();
-        let opts = SearchOptions { minimize: true, ..SearchOptions::top(2) };
-        let res = e.search("//car[./price and ./price]", &UserProfile::new(), &opts).unwrap();
+        let opts = SearchOptions {
+            minimize: true,
+            ..SearchOptions::top(2)
+        };
+        let res = e
+            .search("//car[./price and ./price]", &UserProfile::new(), &opts)
+            .unwrap();
         assert_eq!(res.hits.len(), 2);
     }
 
     #[test]
     fn stats_populated() {
         let e = engine();
-        let res = e.search("//car", &UserProfile::new(), &SearchOptions::top(2)).unwrap();
+        let res = e
+            .search("//car", &UserProfile::new(), &SearchOptions::top(2))
+            .unwrap();
         assert_eq!(res.stats.base_answers, 4);
         assert_eq!(res.stats.emitted, 2);
     }
@@ -573,44 +624,66 @@ mod persistence_tests {
 
     #[test]
     fn snapshot_roundtrip_preserves_search_results() {
-        let docs: Vec<String> =
-            (0..4).map(|i| pimento_datagen::generate_dealer(i, 15)).collect();
+        let docs: Vec<String> = (0..4)
+            .map(|i| pimento_datagen::generate_dealer(i, 15))
+            .collect();
         let original = Engine::from_xml_docs(&docs).unwrap();
         let snapshot = original.save_snapshot();
         let restored = Engine::from_snapshot(&snapshot).unwrap();
         let q = r#"//car[ftcontains(., "good condition")]"#;
-        let a = original.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
-        let b = restored.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        let a = original
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap();
+        let b = restored
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap();
         assert_eq!(a.elem_refs(), b.elem_refs());
         assert!(Engine::from_snapshot(&snapshot[..5]).is_err());
     }
 
     #[test]
     fn columnar_snapshot_opens_packed_and_reports_format() {
-        let docs: Vec<String> = (0..3).map(|i| pimento_datagen::generate_dealer(i, 8)).collect();
+        let docs: Vec<String> = (0..3)
+            .map(|i| pimento_datagen::generate_dealer(i, 8))
+            .collect();
         let original = Engine::from_xml_docs(&docs).unwrap();
         assert_eq!(original.snapshot_format(), None);
 
         let v4 = original.save_snapshot();
         let opened = Engine::from_snapshot_bytes(bytes::Bytes::from(v4.to_vec())).unwrap();
-        assert_eq!(opened.snapshot_format(), Some(pimento_index::COLUMNAR_VERSION));
+        assert_eq!(
+            opened.snapshot_format(),
+            Some(pimento_index::COLUMNAR_VERSION)
+        );
         assert!(opened.db().tags.is_packed());
         assert!(opened.db().values.is_packed());
         assert!(opened.db().inverted.is_packed());
 
         let v3 = original.save_snapshot_v3();
         let legacy = Engine::from_snapshot(&v3).unwrap();
-        assert_eq!(legacy.snapshot_format(), Some(pimento_index::FORMAT_VERSION));
+        assert_eq!(
+            legacy.snapshot_format(),
+            Some(pimento_index::FORMAT_VERSION)
+        );
         assert!(!legacy.db().tags.is_packed());
 
         let q = r#"//car[ftcontains(., "good condition")]"#;
-        let a = original.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
-        let b = opened.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
-        let c = legacy.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+        let a = original
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap();
+        let b = opened
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap();
+        let c = legacy
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap();
         assert_eq!(a.elem_refs(), b.elem_refs());
         assert_eq!(a.elem_refs(), c.elem_refs());
         let bits = |r: &SearchResults| -> Vec<(u64, u64)> {
-            r.hits.iter().map(|h| (h.s.to_bits(), h.k.to_bits())).collect::<Vec<_>>()
+            r.hits
+                .iter()
+                .map(|h| (h.s.to_bits(), h.k.to_bits()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(bits(&a), bits(&b));
         assert_eq!(bits(&a), bits(&c));
@@ -618,13 +691,18 @@ mod persistence_tests {
 
     #[test]
     fn parallel_ingest_matches_sequential() {
-        let docs: Vec<String> =
-            (0..8).map(|i| pimento_datagen::generate_dealer(100 + i, 10)).collect();
+        let docs: Vec<String> = (0..8)
+            .map(|i| pimento_datagen::generate_dealer(100 + i, 10))
+            .collect();
         let seq = Engine::from_xml_docs(&docs).unwrap();
         let par = Engine::from_xml_docs_parallel(&docs, 4).unwrap();
         let q = r#"//car[./price < 2000]"#;
-        let a = seq.search(q, &UserProfile::new(), &SearchOptions::top(20)).unwrap();
-        let b = par.search(q, &UserProfile::new(), &SearchOptions::top(20)).unwrap();
+        let a = seq
+            .search(q, &UserProfile::new(), &SearchOptions::top(20))
+            .unwrap();
+        let b = par
+            .search(q, &UserProfile::new(), &SearchOptions::top(20))
+            .unwrap();
         assert_eq!(a.elem_refs().len(), b.elem_refs().len());
     }
 }
@@ -674,9 +752,11 @@ mod trace_tests {
     #[test]
     fn trace_reports_per_operator_rows() {
         let e = Engine::from_xml_docs(&[pimento_datagen::generate_dealer(5, 60)]).unwrap();
-        let profile =
-            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
-        let opts = SearchOptions { trace: true, ..SearchOptions::top(5) };
+        let profile = UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let opts = SearchOptions {
+            trace: true,
+            ..SearchOptions::top(5)
+        };
         let res = e
             .search(r#"//car[ftcontains(., "good condition")]"#, &profile, &opts)
             .unwrap();
@@ -719,8 +799,10 @@ mod winnow_tests {
             .with_vor(ValueOrderingRule::prefer_value("c", "car", "color", "red"));
         let res2 = e.winnow("//car", &ambiguous, 10).unwrap();
         assert!(!res2.hits.is_empty());
-        assert!(res2.hits.iter().all(|h| !h.xml.contains("<price>1</price>")
-            || res2.hits.len() > 1));
+        assert!(res2
+            .hits
+            .iter()
+            .all(|h| !h.xml.contains("<price>1</price>") || res2.hits.len() > 1));
     }
 
     #[test]
@@ -741,8 +823,7 @@ mod prepared_tests {
     #[test]
     fn prepared_search_reuses_across_options() {
         let e = Engine::from_xml_docs(&[pimento_datagen::generate_dealer(17, 40)]).unwrap();
-        let profile =
-            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let profile = UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
         let q = r#"//car[ftcontains(., "good condition")]"#;
         let prepared = e.prepare(q, &profile).unwrap();
         let top3 = e.run_prepared(&prepared, &SearchOptions::top(3)).unwrap();
@@ -757,6 +838,14 @@ mod prepared_tests {
         let direct = e.search(q, &profile, &SearchOptions::top(5)).unwrap();
         assert_eq!(direct.elem_refs(), top5.elem_refs());
         // Invalid k still rejected.
-        assert!(e.run_prepared(&prepared, &SearchOptions { k: 0, ..SearchOptions::top(1) }).is_err());
+        assert!(e
+            .run_prepared(
+                &prepared,
+                &SearchOptions {
+                    k: 0,
+                    ..SearchOptions::top(1)
+                }
+            )
+            .is_err());
     }
 }

@@ -62,7 +62,11 @@ pub fn analyze(query: &str, profile: &UserProfile) -> Result<AnalysisReport, Err
         text,
         "value-based ordering rules: {} — {}",
         profile.vors.len(),
-        if ambiguity.is_ambiguous() { "AMBIGUOUS" } else { "unambiguous" }
+        if ambiguity.is_ambiguous() {
+            "AMBIGUOUS"
+        } else {
+            "unambiguous"
+        }
     );
     for c in &ambiguity.cycles {
         let _ = writeln!(text, "  alternating cycle: {}", c.rule_ids.join(" = ≺ = "));
@@ -94,11 +98,16 @@ mod tests {
                 vec![Atom::ft("description", "good condition")],
                 vec![Atom::ft("description", "american")],
             ))
-            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(ValueOrderingRule::prefer_value(
+                "pi1", "car", "color", "red",
+            ))
             .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage"))
             .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
-        let report =
-            analyze(r#"//car[ftcontains(./description, "good condition")]"#, &profile).unwrap();
+        let report = analyze(
+            r#"//car[ftcontains(./description, "good condition")]"#,
+            &profile,
+        )
+        .unwrap();
         assert!(report.ambiguous, "π1/π2 are ambiguous");
         assert!(report.text.contains("query flock: 2"));
         assert!(report.text.contains("AMBIGUOUS"));

@@ -52,7 +52,10 @@ impl SearchOptions {
     /// Top-`k` with heuristic plan choice (see
     /// [`pimento_algebra::choose_spec`]).
     pub fn auto(k: usize) -> Self {
-        SearchOptions { auto: true, ..Self::top(k) }
+        SearchOptions {
+            auto: true,
+            ..Self::top(k)
+        }
     }
 
     /// Builder: skip the first `offset` answers (pagination).

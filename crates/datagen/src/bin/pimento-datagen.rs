@@ -21,18 +21,25 @@ fn usage() -> ! {
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(mode) = args.first() else { usage() };
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2007);
     match mode.as_str() {
         "dealer" => {
-            let cars: usize =
-                arg_value(&args, "--cars").and_then(|s| s.parse().ok()).unwrap_or(100);
-            let Some(out) = arg_value(&args, "--out") else { usage() };
+            let cars: usize = arg_value(&args, "--cars")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(100);
+            let Some(out) = arg_value(&args, "--out") else {
+                usage()
+            };
             let xml = carsale::generate_dealer(seed, cars);
             if let Err(e) = std::fs::write(&out, &xml) {
                 eprintln!("cannot write {out}: {e}");
@@ -41,9 +48,12 @@ fn main() -> ExitCode {
             eprintln!("wrote {out}: {cars} cars, {} bytes", xml.len());
         }
         "xmark" => {
-            let bytes: usize =
-                arg_value(&args, "--bytes").and_then(|s| s.parse().ok()).unwrap_or(1024 * 1024);
-            let Some(out) = arg_value(&args, "--out") else { usage() };
+            let bytes: usize = arg_value(&args, "--bytes")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1024 * 1024);
+            let Some(out) = arg_value(&args, "--out") else {
+                usage()
+            };
             let xml = xmark::generate(seed, bytes);
             let persons = xmark::count_persons(&xml);
             if let Err(e) = std::fs::write(&out, &xml) {
@@ -53,7 +63,9 @@ fn main() -> ExitCode {
             eprintln!("wrote {out}: {} bytes, {persons} persons", xml.len());
         }
         "inex" => {
-            let Some(dir) = arg_value(&args, "--out-dir") else { usage() };
+            let Some(dir) = arg_value(&args, "--out-dir") else {
+                usage()
+            };
             let dir = PathBuf::from(dir);
             if let Err(e) = std::fs::create_dir_all(&dir) {
                 eprintln!("cannot create {}: {e}", dir.display());

@@ -84,7 +84,11 @@ fn random_car(rng: &mut StdRng) -> CarSpec {
     if rng.gen_bool(0.2) {
         phrases.push("american");
     }
-    let location = if rng.gen_bool(0.25) { "NYC" } else { pick(rng, words::CITIES) };
+    let location = if rng.gen_bool(0.25) {
+        "NYC"
+    } else {
+        pick(rng, words::CITIES)
+    };
     CarSpec {
         price: rng.gen_range(100..6000),
         mileage: rng.gen_range(1000..200_000),
@@ -99,7 +103,11 @@ fn random_car(rng: &mut StdRng) -> CarSpec {
 fn write_car(xml: &mut String, rng: &mut StdRng, spec: &CarSpec) {
     let n_words = rng.gen_range(6..18);
     let filler = words::filler_with(rng, n_words, &spec.phrases);
-    let owner = format!("{} {}", pick(rng, words::FIRST_NAMES), pick(rng, words::LAST_NAMES));
+    let owner = format!(
+        "{} {}",
+        pick(rng, words::FIRST_NAMES),
+        pick(rng, words::LAST_NAMES)
+    );
     let _ = write!(
         xml,
         "<car><description>{}</description><price>{}</price><mileage>{}</mileage>\
@@ -127,7 +135,10 @@ mod tests {
         coll.add_xml(paper_figure1()).unwrap();
         let car = coll.tag("car").unwrap();
         let doc = coll.doc(pimento_index::DocId(0));
-        let count = doc.node_ids().filter(|&n| doc.node(n).tag() == Some(car)).count();
+        let count = doc
+            .node_ids()
+            .filter(|&n| doc.node(n).tag() == Some(car))
+            .count();
         assert_eq!(count, 3);
     }
 
@@ -144,7 +155,10 @@ mod tests {
         coll.add_xml(&xml).unwrap();
         let car = coll.tag("car").unwrap();
         let doc = coll.doc(pimento_index::DocId(0));
-        let count = doc.node_ids().filter(|&n| doc.node(n).tag() == Some(car)).count();
+        let count = doc
+            .node_ids()
+            .filter(|&n| doc.node(n).tag() == Some(car))
+            .count();
         assert_eq!(count, 200);
     }
 

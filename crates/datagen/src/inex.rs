@@ -118,20 +118,38 @@ pub fn generate(seed: u64) -> InexCorpus {
         // narrative terms on top).
         for a in 0..3 {
             let n_rel = rng.gen_range(1..=3);
-            docs.push(article(&mut rng, topic, ArticleKind::Core { n_rel }, &mut cid, rel));
+            docs.push(article(
+                &mut rng,
+                topic,
+                ArticleKind::Core { n_rel },
+                &mut cid,
+                rel,
+            ));
             let _ = a;
         }
         // Narrative-only articles: relevant components that the raw query
         // cannot retrieve (no query phrase inside the component).
         for _ in 0..2 {
             let n_rel = rng.gen_range(1..=2);
-            docs.push(article(&mut rng, topic, ArticleKind::RelatedOnly { n_rel }, &mut cid, rel));
+            docs.push(article(
+                &mut rng,
+                topic,
+                ArticleKind::RelatedOnly { n_rel },
+                &mut cid,
+                rel,
+            ));
         }
         // Marginal articles: morphological variants, assessed NOT relevant.
         if singularized(topic.query_phrase) != topic.query_phrase {
             let mut dummy = BTreeSet::new();
             for _ in 0..2 {
-                docs.push(article(&mut rng, topic, ArticleKind::Marginal { n: 2 }, &mut cid, &mut dummy));
+                docs.push(article(
+                    &mut rng,
+                    topic,
+                    ArticleKind::Marginal { n: 2 },
+                    &mut cid,
+                    &mut dummy,
+                ));
             }
         }
     }
@@ -139,10 +157,20 @@ pub fn generate(seed: u64) -> InexCorpus {
     for _ in 0..12 {
         let mut dummy = BTreeSet::new();
         let t = &topics[rng.gen_range(0..topics.len())];
-        docs.push(article(&mut rng, t, ArticleKind::Distractor, &mut cid, &mut dummy));
+        docs.push(article(
+            &mut rng,
+            t,
+            ArticleKind::Distractor,
+            &mut cid,
+            &mut dummy,
+        ));
     }
 
-    InexCorpus { xml_docs: docs, topics, relevant }
+    InexCorpus {
+        xml_docs: docs,
+        topics,
+        relevant,
+    }
 }
 
 enum ArticleKind {
@@ -184,7 +212,11 @@ fn article(
     relevant: &mut BTreeSet<String>,
 ) -> String {
     let mut xml = String::with_capacity(2048);
-    let author = format!("{} {}", pick(rng, words::FIRST_NAMES), pick(rng, words::LAST_NAMES));
+    let author = format!(
+        "{} {}",
+        pick(rng, words::FIRST_NAMES),
+        pick(rng, words::LAST_NAMES)
+    );
     let title = match kind {
         ArticleKind::Distractor => words::filler_text(rng, 4),
         _ => format!("{} studies", topic.query_phrase),
@@ -241,7 +273,12 @@ fn article(
             "<sec cid=\"{sec_id}\"><st>{}</st>",
             escape_text(&words::filler_text(rng, 3))
         );
-        let _ = write!(xml, "<p cid=\"{}\">{}</p>", next_cid(cid), escape_text(&sec_text));
+        let _ = write!(
+            xml,
+            "<p cid=\"{}\">{}</p>",
+            next_cid(cid),
+            escape_text(&sec_text)
+        );
         for _ in 0..rng.gen_range(1..4) {
             let p_id = next_cid(cid);
             let p_rel = topic.target_tags.contains(&"p") && remaining > 0 && rng.gen_bool(0.7);
@@ -264,7 +301,11 @@ fn article(
                 }
             }
             let caption = component_text(rng, topic, f_rel, with_query_phrase, marginal);
-            let _ = write!(xml, "<fig cid=\"{f_id}\"><fgc>{}</fgc></fig>", escape_text(&caption));
+            let _ = write!(
+                xml,
+                "<fig cid=\"{f_id}\"><fgc>{}</fgc></fig>",
+                escape_text(&caption)
+            );
         }
         xml.push_str("</sec>");
     }
@@ -336,7 +377,12 @@ mod tests {
         let corpus = generate(2);
         for t in &corpus.topics {
             let rel = &corpus.relevant[&t.id];
-            assert!(rel.len() >= 3, "topic {} has only {} relevant", t.id, rel.len());
+            assert!(
+                rel.len() >= 3,
+                "topic {} has only {} relevant",
+                t.id,
+                rel.len()
+            );
             assert!(rel.len() <= 25, "topic {} has {}", t.id, rel.len());
         }
     }
@@ -360,7 +406,11 @@ mod tests {
                     break;
                 }
             }
-            assert!(found_narrative_only, "topic {} lacks narrative-only components", t.id);
+            assert!(
+                found_narrative_only,
+                "topic {} lacks narrative-only components",
+                t.id
+            );
         }
     }
 
@@ -433,7 +483,9 @@ pub fn topic_from_xml(xml: &str) -> Result<ParsedTopic, String> {
     if symbols.name(root_node.tag().ok_or("no root tag")?) != "inex-topic" {
         return Err("not an inex-topic document".to_string());
     }
-    let id_sym = symbols.get("topic-id").ok_or("missing topic-id attribute")?;
+    let id_sym = symbols
+        .get("topic-id")
+        .ok_or("missing topic-id attribute")?;
     let id: u32 = root_node
         .attr(id_sym)
         .ok_or("missing topic-id attribute")?
@@ -441,8 +493,12 @@ pub fn topic_from_xml(xml: &str) -> Result<ParsedTopic, String> {
         .parse()
         .map_err(|_| "topic-id is not a number".to_string())?;
     let field = |name: &str| -> Result<String, String> {
-        let sym = symbols.get(name).ok_or_else(|| format!("missing <{name}>"))?;
-        let node = doc.child_element(root, sym).ok_or_else(|| format!("missing <{name}>"))?;
+        let sym = symbols
+            .get(name)
+            .ok_or_else(|| format!("missing <{name}>"))?;
+        let node = doc
+            .child_element(root, sym)
+            .ok_or_else(|| format!("missing <{name}>"))?;
         Ok(doc.text_content(node))
     };
     let title = field("title")?;
@@ -455,7 +511,12 @@ pub fn topic_from_xml(xml: &str) -> Result<ParsedTopic, String> {
         .step_by(2)
         .map(str::to_string)
         .collect();
-    Ok(ParsedTopic { id, title, description, narrative_phrases })
+    Ok(ParsedTopic {
+        id,
+        title,
+        description,
+        narrative_phrases,
+    })
 }
 
 #[cfg(test)]

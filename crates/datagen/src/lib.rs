@@ -22,5 +22,7 @@ pub mod words;
 pub mod xmark;
 
 pub use carsale::{generate_dealer, paper_figure1};
-pub use inex::{generate as generate_inex, topic_from_xml, topic_to_xml, InexCorpus, InexTopic, ParsedTopic};
+pub use inex::{
+    generate as generate_inex, topic_from_xml, topic_to_xml, InexCorpus, InexTopic, ParsedTopic,
+};
 pub use xmark::{generate as generate_xmark, FIG6_SIZES};

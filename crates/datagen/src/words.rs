@@ -15,8 +15,8 @@ pub const FILLER: &[&str] = &[
 
 /// First names used by the person/owner generators.
 pub const FIRST_NAMES: &[&str] = &[
-    "John", "Mary", "Wei", "Anna", "Luis", "Priya", "Tom", "Sara", "Ivan", "Mina", "Omar",
-    "Julia", "Ken", "Lena", "Paul", "Rita",
+    "John", "Mary", "Wei", "Anna", "Luis", "Priya", "Tom", "Sara", "Ivan", "Mina", "Omar", "Julia",
+    "Ken", "Lena", "Paul", "Rita",
 ];
 
 /// Last names used by the person/owner generators.
@@ -27,21 +27,39 @@ pub const LAST_NAMES: &[&str] = &[
 
 /// US cities (Phoenix first — π4 of the XMark workload keys on it).
 pub const CITIES: &[&str] = &[
-    "Phoenix", "Springfield", "Riverton", "Lakeside", "Georgetown", "Fairview", "Bristol",
-    "Clinton", "Salem", "Madison",
+    "Phoenix",
+    "Springfield",
+    "Riverton",
+    "Lakeside",
+    "Georgetown",
+    "Fairview",
+    "Bristol",
+    "Clinton",
+    "Salem",
+    "Madison",
 ];
 
 /// Countries ("United States" first — π2 keys on it).
 pub const COUNTRIES: &[&str] = &[
-    "United States", "Canada", "Germany", "France", "Japan", "Brazil", "India", "Australia",
-    "Spain", "Norway",
+    "United States",
+    "Canada",
+    "Germany",
+    "France",
+    "Japan",
+    "Brazil",
+    "India",
+    "Australia",
+    "Spain",
+    "Norway",
 ];
 
 /// Education levels ("College" is π3's keyword).
 pub const EDUCATION: &[&str] = &["College", "High School", "Graduate School", "Other"];
 
 /// Car makes for the dealer generator.
-pub const MAKES: &[&str] = &["Honda", "Ford", "Toyota", "Mustang", "Volvo", "Fiat", "Subaru"];
+pub const MAKES: &[&str] = &[
+    "Honda", "Ford", "Toyota", "Mustang", "Volvo", "Fiat", "Subaru",
+];
 
 /// Car colors.
 pub const COLORS: &[&str] = &["red", "blue", "black", "white", "silver", "green"];

@@ -32,7 +32,10 @@ fn dealer_and_xmark_generation() {
         .expect("binary runs");
     assert!(out.status.success());
     let len = std::fs::metadata(&xmark_file).unwrap().len() as i64;
-    assert!((len - 65536).abs() < 2048, "within ~3% of the target: {len}");
+    assert!(
+        (len - 65536).abs() < 2048,
+        "within ~3% of the target: {len}"
+    );
 }
 
 #[test]

@@ -58,7 +58,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan under `seed` (no point fires until rules are added).
     pub fn new(seed: u64) -> FaultPlan {
-        FaultPlan { seed, rules: Vec::new() }
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
     }
 
     /// Fire `point` on a seed-selected ~1-in-`n` subset of its hits.
@@ -108,7 +111,10 @@ fn registry() -> MutexGuard<'static, Option<Active>> {
 
 /// Install `plan`, replacing any previous one and zeroing all counters.
 pub fn install(plan: FaultPlan) {
-    *registry() = Some(Active { plan, ..Active::default() });
+    *registry() = Some(Active {
+        plan,
+        ..Active::default()
+    });
 }
 
 /// Remove the installed plan; every point stops firing.
@@ -125,7 +131,9 @@ pub fn is_active() -> bool {
 /// installed plan. Always `false` when no plan is installed.
 pub fn should_fire(point: &str) -> bool {
     let mut guard = registry();
-    let Some(active) = guard.as_mut() else { return false };
+    let Some(active) = guard.as_mut() else {
+        return false;
+    };
     let hit = active.hits.entry(point.to_string()).or_insert(0);
     *hit += 1;
     let hit = *hit;
@@ -144,12 +152,18 @@ pub fn should_fire(point: &str) -> bool {
 
 /// How many times `point` has been hit since the plan was installed.
 pub fn hits(point: &str) -> u64 {
-    registry().as_ref().and_then(|a| a.hits.get(point).copied()).unwrap_or(0)
+    registry()
+        .as_ref()
+        .and_then(|a| a.hits.get(point).copied())
+        .unwrap_or(0)
 }
 
 /// How many of those hits actually fired.
 pub fn fired(point: &str) -> u64 {
-    registry().as_ref().and_then(|a| a.fired.get(point).copied()).unwrap_or(0)
+    registry()
+        .as_ref()
+        .and_then(|a| a.fired.get(point).copied())
+        .unwrap_or(0)
 }
 
 /// splitmix64 over `(seed, fnv1a(point), hit)` — the per-hit decision

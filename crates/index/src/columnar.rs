@@ -84,7 +84,7 @@ const SECTIONS: [&str; 6] = ["meta", "symtab", "docs", "tags", "vals", "inv"];
 /// True when `data` starts with the v4 columnar magic — the cheap sniff
 /// the engine uses to pick an open path.
 pub fn is_columnar(data: &[u8]) -> bool {
-    data.len() >= COLUMNAR_MAGIC.len() && &data[..COLUMNAR_MAGIC.len()] == COLUMNAR_MAGIC
+    data.get(..COLUMNAR_MAGIC.len()) == Some(COLUMNAR_MAGIC.as_slice())
 }
 
 /// Everything a columnar snapshot opens into: the decoded document store
@@ -255,7 +255,10 @@ pub fn save_index(
     let sym_count = coll.symbols().len() as u32;
     let doc_count = coll.len() as u32;
     let sections: [(&str, Vec<u8>); 6] = [
-        ("meta", meta_section(inverted.tokenizer(), doc_count, sym_count)),
+        (
+            "meta",
+            meta_section(inverted.tokenizer(), doc_count, sym_count),
+        ),
         ("symtab", coll.symbols().column_bytes()),
         ("docs", docs_section(coll)),
         ("tags", tags_section(tags, sym_count)),
@@ -311,10 +314,24 @@ struct DirEntry {
 /// corruption errors can carry `&'static str`).
 fn section_name(raw: &[u8]) -> Option<&'static str> {
     let trimmed: &[u8] = match raw.iter().position(|&b| b == 0) {
-        Some(n) => &raw[..n],
+        Some(n) => raw.get(..n)?,
         None => raw,
     };
     SECTIONS.into_iter().find(|s| s.as_bytes() == trimmed)
+}
+
+/// Checked slice of `data[off..off + len]`: directory-supplied offsets are
+/// untrusted, so overflow and out-of-bounds both land on `Truncated`
+/// instead of wrapping or panicking.
+fn slice_at(data: &[u8], off: usize, len: usize) -> Result<&[u8], PersistError> {
+    off.checked_add(len)
+        .and_then(|end| data.get(off..end))
+        .ok_or(PersistError::Truncated)
+}
+
+/// The byte window a directory entry describes.
+fn section_bytes<'a>(data: &'a [u8], e: &DirEntry) -> Result<&'a [u8], PersistError> {
+    slice_at(data, e.offset, e.len)
 }
 
 /// Triage the header: magic family and version. Shared by the opener and
@@ -323,17 +340,24 @@ fn check_header(data: &[u8]) -> Result<u32, PersistError> {
     if data.len() < HEADER_LEN {
         return Err(PersistError::Truncated);
     }
-    for (magic, found) in [(b"PIMCOL1\0", 1u32), (b"PIMCOL2\0", 2), (b"PIMCOL3\0", 3)] {
-        if &data[..8] == magic {
-            return Err(PersistError::SnapshotVersion { found, expected: COLUMNAR_VERSION });
+    let magic = data.get(..8).ok_or(PersistError::Truncated)?;
+    for (old, found) in [(b"PIMCOL1\0", 1u32), (b"PIMCOL2\0", 2), (b"PIMCOL3\0", 3)] {
+        if magic == old.as_slice() {
+            return Err(PersistError::SnapshotVersion {
+                found,
+                expected: COLUMNAR_VERSION,
+            });
         }
     }
-    if &data[..8] != COLUMNAR_MAGIC {
+    if magic != COLUMNAR_MAGIC.as_slice() {
         return Err(PersistError::BadMagic);
     }
     let version = u32_at(data, 8);
     if version != COLUMNAR_VERSION {
-        return Err(PersistError::SnapshotVersion { found: version, expected: COLUMNAR_VERSION });
+        return Err(PersistError::SnapshotVersion {
+            found: version,
+            expected: COLUMNAR_VERSION,
+        });
     }
     Ok(u32_at(data, 12))
 }
@@ -341,28 +365,33 @@ fn check_header(data: &[u8]) -> Result<u32, PersistError> {
 /// Parse and CRC-verify the section directory.
 fn read_directory(data: &[u8]) -> Result<Vec<DirEntry>, PersistError> {
     let section_count = check_header(data)? as usize;
-    let dir_end = HEADER_LEN + DIR_ROW * section_count;
-    if data.len() < dir_end {
-        return Err(PersistError::Truncated);
-    }
-    let dir_bytes = &data[HEADER_LEN..dir_end];
+    let dir_len = DIR_ROW
+        .checked_mul(section_count)
+        .ok_or(PersistError::Truncated)?;
+    let dir_bytes = slice_at(data, HEADER_LEN, dir_len)?;
     if crc32(dir_bytes) != u32_at(data, 16) {
-        return Err(PersistError::SnapshotCorrupt { section: "directory" });
+        return Err(PersistError::SnapshotCorrupt {
+            section: "directory",
+        });
     }
     let mut entries = Vec::with_capacity(section_count);
-    for i in 0..section_count {
-        let at = i * DIR_ROW;
-        let Some(name) = section_name(&dir_bytes[at..at + 8]) else {
+    for row in dir_bytes.chunks_exact(DIR_ROW) {
+        let Some(name) = row.get(..8).and_then(section_name) else {
             // Unknown sections from a future minor revision are skipped;
             // their bytes are simply never referenced.
             continue;
         };
-        let offset = u64_at(dir_bytes, at + 8) as usize;
-        let len = u64_at(dir_bytes, at + 16) as usize;
+        let offset = u64_at(row, 8) as usize;
+        let len = u64_at(row, 16) as usize;
         if offset.checked_add(len).is_none_or(|end| end > data.len()) {
             return Err(PersistError::Truncated);
         }
-        entries.push(DirEntry { name, offset, len, crc: u32_at(dir_bytes, at + 24) });
+        entries.push(DirEntry {
+            name,
+            offset,
+            len,
+            crc: u32_at(row, 24),
+        });
     }
     Ok(entries)
 }
@@ -384,11 +413,13 @@ pub fn open_index(data: Bytes) -> Result<OpenedIndex, PersistError> {
     let entries = read_directory(&data)?;
     #[cfg(feature = "fault-injection")]
     if pimento_faults::should_fire("index.persist.load") {
-        return Err(PersistError::SnapshotCorrupt { section: "directory" });
+        return Err(PersistError::SnapshotCorrupt {
+            section: "directory",
+        });
     }
     // Per-section integrity before any decoding.
     for e in &entries {
-        if crc32(&data[e.offset..e.offset + e.len]) != e.crc {
+        if crc32(section_bytes(&data, e)?) != e.crc {
             return Err(PersistError::SnapshotCorrupt { section: e.name });
         }
     }
@@ -398,7 +429,7 @@ pub fn open_index(data: Bytes) -> Result<OpenedIndex, PersistError> {
     if meta.len < 16 {
         return Err(PersistError::SnapshotCorrupt { section: "meta" });
     }
-    let m = &data[meta.offset..meta.offset + meta.len];
+    let m = section_bytes(&data, meta)?;
     let tokenizer = match u32_at(m, 0) {
         0 => Tokenizer::plain(),
         1 => Tokenizer::stemming(),
@@ -409,7 +440,7 @@ pub fn open_index(data: Bytes) -> Result<OpenedIndex, PersistError> {
 
     // symtab
     let symtab = find(&entries, "symtab")?;
-    let symbols = SymbolTable::from_column_bytes(&data[symtab.offset..symtab.offset + symtab.len])
+    let symbols = SymbolTable::from_column_bytes(section_bytes(&data, symtab)?)
         .map_err(PersistError::BadArena)?;
     if symbols.len() as u32 != sym_count {
         return Err(PersistError::BadArena("symbol count mismatch"));
@@ -419,7 +450,7 @@ pub fn open_index(data: Bytes) -> Result<OpenedIndex, PersistError> {
     let docs = find(&entries, "docs")?;
     let mut coll = Collection::new();
     *coll.symbols_mut() = symbols;
-    let mut buf = &data[docs.offset..docs.offset + docs.len];
+    let mut buf = section_bytes(&data, docs)?;
     for _ in 0..doc_count {
         let doc = read_document(&mut buf, sym_count)?;
         coll.add_document(doc);
@@ -458,7 +489,7 @@ fn split_rowed(
     section: &'static str,
 ) -> Result<(Bytes, Bytes), PersistError> {
     let corrupt = || PersistError::SnapshotCorrupt { section };
-    let b = &data[e.offset..e.offset + e.len];
+    let b = section_bytes(data, e).map_err(|_| corrupt())?;
     if b.len() < 8 {
         return Err(corrupt());
     }
@@ -469,27 +500,40 @@ fn split_rowed(
     }
     let dir_len = domain.checked_mul(8).ok_or_else(corrupt)?;
     let rows_len = total.checked_mul(row).ok_or_else(corrupt)?;
-    if 8 + dir_len + rows_len != b.len() {
+    let body_len = dir_len
+        .checked_add(rows_len)
+        .and_then(|v| v.checked_add(8))
+        .ok_or_else(corrupt)?;
+    if body_len != b.len() {
         return Err(corrupt());
     }
     // Every directory span must stay inside the row region, and spans must
     // tile it in order (start rows nondecreasing), so accessors can slice
     // without panicking.
+    let dir_bytes = slice_at(b, 8, dir_len).map_err(|_| corrupt())?;
     let mut prev_end = 0usize;
-    for s in 0..domain {
-        let start = u32_at(b, 8 + s * 8) as usize;
-        let count = u32_at(b, 8 + s * 8 + 4) as usize;
-        if start != prev_end || start.checked_add(count).is_none_or(|end| end > total) {
+    for span in dir_bytes.chunks_exact(8) {
+        let start = u32_at(span, 0) as usize;
+        let count = u32_at(span, 4) as usize;
+        let end = start
+            .checked_add(count)
+            .filter(|&end| end <= total)
+            .ok_or_else(corrupt)?;
+        if start != prev_end {
             return Err(corrupt());
         }
-        prev_end = start + count;
+        prev_end = end;
     }
     if prev_end != total {
         return Err(corrupt());
     }
-    let dir = data.slice(e.offset + 8..e.offset + 8 + dir_len);
-    let rows = data.slice(e.offset + 8 + dir_len..e.offset + e.len);
-    Ok((dir, rows))
+    let dir_start = e.offset.checked_add(8).ok_or_else(corrupt)?;
+    let rows_start = dir_start.checked_add(dir_len).ok_or_else(corrupt)?;
+    let end = e.offset.checked_add(e.len).ok_or_else(corrupt)?;
+    Ok((
+        data.slice(dir_start..rows_start),
+        data.slice(rows_start..end),
+    ))
 }
 
 /// Validate and slice the `inv` section into its four windows.
@@ -499,7 +543,7 @@ fn split_inv(
     expect_docs: u32,
 ) -> Result<(Bytes, Bytes, Bytes, Bytes), PersistError> {
     let corrupt = || PersistError::SnapshotCorrupt { section: "inv" };
-    let b = &data[e.offset..e.offset + e.len];
+    let b = section_bytes(data, e).map_err(|_| corrupt())?;
     if b.len() < 16 {
         return Err(corrupt());
     }
@@ -519,37 +563,47 @@ fn split_inv(
     if total != b.len() {
         return Err(corrupt());
     }
-    let tr_base = 16 + dt_len;
-    let names_base = tr_base + tr_len;
-    let runs_base = names_base + names_len;
+    let tr_base = dt_len.checked_add(16).ok_or_else(corrupt)?;
+    let names_base = tr_base.checked_add(tr_len).ok_or_else(corrupt)?;
+    let runs_base = names_base.checked_add(names_len).ok_or_else(corrupt)?;
     // Structural bounds per token row: the name must live inside the name
     // heap, the run table inside the runs blob, and names must be strictly
     // sorted (the lookup binary-searches them).
-    let mut prev_name: &[u8] = &[];
-    for t in 0..token_count {
-        let at = tr_base + t * TOKEN_ROW;
-        let name_off = u32_at(b, at) as usize;
-        let name_len = u32_at(b, at + 4) as usize;
-        let run_count = u32_at(b, at + 12) as usize;
-        let runs_off = u32_at(b, at + 16) as usize;
-        if name_off.checked_add(name_len).is_none_or(|end| end > names_len) {
-            return Err(corrupt());
-        }
+    let token_rows = b.get(tr_base..names_base).ok_or_else(corrupt)?;
+    let names_heap = b.get(names_base..runs_base).ok_or_else(corrupt)?;
+    let mut prev_name: Option<&[u8]> = None;
+    for trow in token_rows.chunks_exact(TOKEN_ROW) {
+        let name_off = u32_at(trow, 0) as usize;
+        let name_len = u32_at(trow, 4) as usize;
+        let run_count = u32_at(trow, 12) as usize;
+        let runs_off = u32_at(trow, 16) as usize;
+        let name_end = name_off
+            .checked_add(name_len)
+            .filter(|&end| end <= names_len)
+            .ok_or_else(corrupt)?;
         let table_len = run_count.checked_mul(RUN_ROW).ok_or_else(corrupt)?;
-        if runs_off.checked_add(table_len).is_none_or(|end| end > runs_len) {
+        if runs_off
+            .checked_add(table_len)
+            .is_none_or(|end| end > runs_len)
+        {
             return Err(corrupt());
         }
-        let name = &b[names_base + name_off..names_base + name_off + name_len];
-        if t > 0 && name <= prev_name {
+        let name = names_heap.get(name_off..name_end).ok_or_else(corrupt)?;
+        if prev_name.is_some_and(|p| name <= p) {
             return Err(corrupt());
         }
-        prev_name = name;
+        prev_name = Some(name);
     }
+    let window = |rel_start: usize, rel_end: usize| -> Result<Bytes, PersistError> {
+        let s = e.offset.checked_add(rel_start).ok_or_else(corrupt)?;
+        let t = e.offset.checked_add(rel_end).ok_or_else(corrupt)?;
+        Ok(data.slice(s..t))
+    };
     Ok((
-        data.slice(e.offset + 16..e.offset + tr_base),
-        data.slice(e.offset + tr_base..e.offset + names_base),
-        data.slice(e.offset + names_base..e.offset + runs_base),
-        data.slice(e.offset + runs_base..e.offset + e.len),
+        window(16, tr_base)?,
+        window(tr_base, names_base)?,
+        window(names_base, runs_base)?,
+        window(runs_base, e.len)?,
     ))
 }
 
@@ -592,13 +646,14 @@ pub struct SnapshotReport {
 /// return the typed version error. CRC mismatches are *reported*, not
 /// errors — this is the diagnostic path for damaged files.
 pub fn inspect(data: &[u8]) -> Result<SnapshotReport, PersistError> {
-    if data.len() >= 8 && &data[..8] == b"PIMCOL3\0" {
+    if data.get(..8) == Some(b"PIMCOL3\0".as_slice()) {
         // v3: magic + version word, body, u32 CRC footer.
         if data.len() < 16 {
             return Err(PersistError::Truncated);
         }
-        let body = &data[..data.len() - 4];
-        let stored = u32_at(data, data.len() - 4);
+        let body_len = data.len().saturating_sub(4);
+        let body = data.get(..body_len).ok_or(PersistError::Truncated)?;
+        let stored = u32_at(data, body_len);
         return Ok(SnapshotReport {
             version: 3,
             file_len: data.len() as u64,
@@ -613,28 +668,37 @@ pub fn inspect(data: &[u8]) -> Result<SnapshotReport, PersistError> {
         });
     }
     let section_count = check_header(data)? as usize;
-    let dir_end = HEADER_LEN + DIR_ROW * section_count;
-    if data.len() < dir_end {
-        return Err(PersistError::Truncated);
-    }
-    let dir_bytes = &data[HEADER_LEN..dir_end];
+    let dir_len = DIR_ROW
+        .checked_mul(section_count)
+        .ok_or(PersistError::Truncated)?;
+    let dir_bytes = slice_at(data, HEADER_LEN, dir_len)?;
     let directory_ok = crc32(dir_bytes) == u32_at(data, 16);
     let mut sections = Vec::with_capacity(section_count);
-    for i in 0..section_count {
-        let at = i * DIR_ROW;
-        let raw_name = &dir_bytes[at..at + 8];
-        let name = match raw_name.iter().position(|&b| b == 0) {
-            Some(n) => String::from_utf8_lossy(&raw_name[..n]).into_owned(),
-            None => String::from_utf8_lossy(raw_name).into_owned(),
-        };
-        let offset = u64_at(dir_bytes, at + 8);
-        let len = u64_at(dir_bytes, at + 16);
-        let crc = u32_at(dir_bytes, at + 24);
-        let in_bounds = offset
+    for row in dir_bytes.chunks_exact(DIR_ROW) {
+        let raw_name = row.get(..8).unwrap_or(&[]);
+        let nul = raw_name
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(raw_name.len());
+        let name = String::from_utf8_lossy(raw_name.get(..nul).unwrap_or(raw_name)).into_owned();
+        let offset = u64_at(row, 8);
+        let len = u64_at(row, 16);
+        let crc = u32_at(row, 24);
+        // Out-of-bounds or overflowing spans are *reported* (crc_ok false),
+        // not errors — this is the diagnostic path for damaged files.
+        let window = offset
             .checked_add(len)
-            .is_some_and(|end| usize::try_from(end).is_ok_and(|end| end <= data.len()));
-        let crc_ok = in_bounds && crc32(&data[offset as usize..(offset + len) as usize]) == crc;
-        sections.push(SectionReport { name, offset, len, crc, crc_ok });
+            .and_then(|end| usize::try_from(end).ok())
+            .and_then(|end| usize::try_from(offset).ok().map(|start| (start, end)))
+            .and_then(|(start, end)| data.get(start..end));
+        let crc_ok = window.is_some_and(|w| crc32(w) == crc);
+        sections.push(SectionReport {
+            name,
+            offset,
+            len,
+            crc,
+            crc_ok,
+        });
     }
     Ok(SnapshotReport {
         version: COLUMNAR_VERSION,
@@ -687,7 +751,11 @@ mod tests {
         assert_eq!(opened.inverted.vocabulary_size(), inv.vocabulary_size());
         assert_eq!(opened.inverted.num_docs(), inv.num_docs());
         for token in inv.dump_token_names() {
-            assert_eq!(opened.inverted.postings(&token), inv.postings(&token), "{token}");
+            assert_eq!(
+                opened.inverted.postings(&token),
+                inv.postings(&token),
+                "{token}"
+            );
             assert_eq!(opened.inverted.doc_freq(&token), inv.doc_freq(&token));
             for d in 0..inv.num_docs() {
                 assert_eq!(
@@ -708,15 +776,27 @@ mod tests {
             assert_eq!(opened.tags.elements(sym), tags.elements(sym));
             assert_eq!(opened.tags.count(sym), tags.count(sym));
             for d in 0..c.len() as u32 {
-                assert_eq!(opened.tags.doc_elements(sym, DocId(d)), tags.doc_elements(sym, DocId(d)));
+                assert_eq!(
+                    opened.tags.doc_elements(sym, DocId(d)),
+                    tags.doc_elements(sym, DocId(d))
+                );
             }
         }
         assert_eq!(opened.tags.num_tags(), tags.num_tags());
 
         // Values: identical range scans.
         let price = c.tag("price").unwrap();
-        for op in [RangeOp::Lt, RangeOp::Le, RangeOp::Gt, RangeOp::Ge, RangeOp::Eq] {
-            assert_eq!(opened.values.range(price, op, 900.0), vals.range(price, op, 900.0));
+        for op in [
+            RangeOp::Lt,
+            RangeOp::Le,
+            RangeOp::Gt,
+            RangeOp::Ge,
+            RangeOp::Eq,
+        ] {
+            assert_eq!(
+                opened.values.range(price, op, 900.0),
+                vals.range(price, op, 900.0)
+            );
         }
         assert_eq!(opened.values.count(price), vals.count(price));
     }
@@ -757,7 +837,9 @@ mod tests {
         };
         let mut opened = open_index(snap).unwrap();
         // Grow the collection after opening packed: every index thaws.
-        let d = c.add_xml("<dealer><car><price>100</price><note>good</note></car></dealer>").unwrap();
+        let d = c
+            .add_xml("<dealer><car><price>100</price><note>good</note></car></dealer>")
+            .unwrap();
         let doc = c.doc(d).clone();
         opened.collection.add_document(doc.clone());
         opened.inverted.index_document(d, &doc);
@@ -801,14 +883,24 @@ mod tests {
         bytes[HEADER_LEN + 9] ^= 0x01;
         assert!(matches!(
             open_index(Bytes::from(bytes)),
-            Err(PersistError::SnapshotCorrupt { section: "directory" })
+            Err(PersistError::SnapshotCorrupt {
+                section: "directory"
+            })
         ));
     }
 
     #[test]
     fn truncation_is_detected() {
         let (.., snap) = snapshot();
-        for cut in [0, 4, 12, HEADER_LEN - 1, HEADER_LEN + 3, snap.len() / 2, snap.len() - 1] {
+        for cut in [
+            0,
+            4,
+            12,
+            HEADER_LEN - 1,
+            HEADER_LEN + 3,
+            snap.len() / 2,
+            snap.len() - 1,
+        ] {
             let bytes = Bytes::copy_from_slice(&snap[..cut]);
             assert!(open_index(bytes).is_err(), "cut at {cut} accepted");
         }
@@ -829,13 +921,19 @@ mod tests {
         // Unknown magic.
         let mut bytes = snap.to_vec();
         bytes[0] = b'X';
-        assert!(matches!(open_index(Bytes::from(bytes)), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            open_index(Bytes::from(bytes)),
+            Err(PersistError::BadMagic)
+        ));
         // Future version word.
         let mut bytes = snap.to_vec();
         bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
         assert!(matches!(
             open_index(Bytes::from(bytes)),
-            Err(PersistError::SnapshotVersion { found: 9, expected: COLUMNAR_VERSION })
+            Err(PersistError::SnapshotVersion {
+                found: 9,
+                expected: COLUMNAR_VERSION
+            })
         ));
     }
 
@@ -844,7 +942,10 @@ mod tests {
         let (.., snap) = snapshot();
         assert!(matches!(
             crate::persist::load_collection(&snap),
-            Err(PersistError::SnapshotVersion { found: COLUMNAR_VERSION, expected: 3 })
+            Err(PersistError::SnapshotVersion {
+                found: COLUMNAR_VERSION,
+                expected: 3
+            })
         ));
         assert!(is_columnar(&snap));
         assert!(!is_columnar(b"PIMCOL3\0rest"));
@@ -873,8 +974,12 @@ mod tests {
         let tags = report.sections.iter().find(|s| s.name == "tags").unwrap();
         bytes[tags.offset as usize + 1] ^= 0x80;
         let damaged = inspect(&bytes).unwrap();
-        let bad: Vec<&str> =
-            damaged.sections.iter().filter(|s| !s.crc_ok).map(|s| s.name.as_str()).collect();
+        let bad: Vec<&str> = damaged
+            .sections
+            .iter()
+            .filter(|s| !s.crc_ok)
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(bad, ["tags"]);
         // v3 files inspect as a single body region.
         let v3 = crate::persist::save_collection(&c);
@@ -889,7 +994,10 @@ mod tests {
         // v1/v2 magics: typed version error.
         let mut v2 = v3.to_vec();
         v2[..8].copy_from_slice(b"PIMCOL2\0");
-        assert!(matches!(inspect(&v2), Err(PersistError::SnapshotVersion { found: 2, .. })));
+        assert!(matches!(
+            inspect(&v2),
+            Err(PersistError::SnapshotVersion { found: 2, .. })
+        ));
         let _ = inv;
     }
 }

@@ -26,12 +26,13 @@ impl FieldValue {
         let t = raw.trim();
         // Strip common numeric formatting ("50.000" in the paper's figure is
         // a thousands-formatted 50000; "$500" has a currency marker).
-        let cleaned: String =
-            t.chars().filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        let cleaned: String = t
+            .chars()
+            .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
         if !cleaned.is_empty()
-            && t.chars().all(|c| {
-                c.is_ascii_digit() || matches!(c, '.' | '-' | ',' | '$' | ' ' | '%')
-            })
+            && t.chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | ',' | '$' | ' ' | '%'))
         {
             // Dot disambiguation: several dots are always thousands
             // separators; a single dot followed by exactly three digits
@@ -42,7 +43,11 @@ impl FieldValue {
             let thousands = dots > 1
                 || matches!(cleaned.split_once('.'),
                     Some((head, tail)) if tail.len() == 3 && head.trim_start_matches('-').len() >= 2);
-            let normalized = if thousands { cleaned.replace('.', "") } else { cleaned };
+            let normalized = if thousands {
+                cleaned.replace('.', "")
+            } else {
+                cleaned
+            };
             if let Ok(n) = normalized.parse::<f64>() {
                 return FieldValue::Num(n);
             }
@@ -80,7 +85,9 @@ impl FieldValue {
 /// (real-world schemas nest fields — XMark keeps `age` inside
 /// `person/profile`, while the rules say `x.age`).
 pub fn field_value(coll: &Collection, elem: ElemRef, field: &str) -> Option<FieldValue> {
-    coll.symbols().get(field).and_then(|sym| field_value_sym(coll, elem, sym))
+    coll.symbols()
+        .get(field)
+        .and_then(|sym| field_value_sym(coll, elem, sym))
 }
 
 /// [`field_value`] with the field name already resolved to an interned
@@ -128,19 +135,31 @@ mod tests {
         )
         .unwrap();
         let root = c.doc(DocId(0)).root();
-        (c, ElemRef { doc: DocId(0), node: root })
+        (
+            c,
+            ElemRef {
+                doc: DocId(0),
+                node: root,
+            },
+        )
     }
 
     #[test]
     fn attribute_beats_child_element() {
         let (c, car) = setup();
-        assert_eq!(field_value(&c, car, "color"), Some(FieldValue::Str("red".into())));
+        assert_eq!(
+            field_value(&c, car, "color"),
+            Some(FieldValue::Str("red".into()))
+        );
     }
 
     #[test]
     fn child_element_text_resolves() {
         let (c, car) = setup();
-        assert_eq!(field_value(&c, car, "make"), Some(FieldValue::Str("Honda".into())));
+        assert_eq!(
+            field_value(&c, car, "make"),
+            Some(FieldValue::Str("Honda".into()))
+        );
         assert_eq!(numeric_field(&c, car, "hp"), Some(200.0));
     }
 
@@ -186,7 +205,13 @@ mod tests {
         let doc = c.doc(car.doc);
         let hp = c.tag("hp").unwrap();
         let hp_node = doc.child_element(doc.root(), hp).unwrap();
-        let v = content_value(&c, ElemRef { doc: car.doc, node: hp_node });
+        let v = content_value(
+            &c,
+            ElemRef {
+                doc: car.doc,
+                node: hp_node,
+            },
+        );
         assert_eq!(v, FieldValue::Num(200.0));
     }
 }

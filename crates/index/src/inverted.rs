@@ -57,24 +57,31 @@ enum PostingsRepr<'a> {
 impl<'a> PostingsRef<'a> {
     /// An empty postings list.
     pub fn empty() -> Self {
-        PostingsRef { repr: PostingsRepr::Borrowed(&[]) }
+        PostingsRef {
+            repr: PostingsRepr::Borrowed(&[]),
+        }
     }
 
     pub(crate) fn borrowed(s: &'a [Posting]) -> Self {
-        PostingsRef { repr: PostingsRepr::Borrowed(s) }
+        PostingsRef {
+            repr: PostingsRepr::Borrowed(s),
+        }
     }
 
     pub(crate) fn owned(v: Vec<Posting>) -> Self {
-        PostingsRef { repr: PostingsRepr::Owned(v) }
+        PostingsRef {
+            repr: PostingsRepr::Owned(v),
+        }
     }
 
     /// Narrow to postings `lo..hi` without copying the borrowed case.
+    /// A range past the end yields the empty window.
     pub fn sliced(self, lo: usize, hi: usize) -> PostingsRef<'a> {
         match self.repr {
-            PostingsRepr::Borrowed(s) => PostingsRef::borrowed(&s[lo..hi]),
+            PostingsRepr::Borrowed(s) => PostingsRef::borrowed(s.get(lo..hi).unwrap_or(&[])),
             PostingsRepr::Owned(mut v) => {
                 v.truncate(hi);
-                v.drain(..lo);
+                v.drain(..lo.min(v.len()));
                 PostingsRef::owned(v)
             }
         }
@@ -150,7 +157,12 @@ impl PackedInverted {
     }
 
     fn name(&self, row: TokenRow) -> &[u8] {
-        &self.names[row.name_off..row.name_off + row.name_len]
+        // Name spans are validated against the heap when the snapshot
+        // opens; an out-of-window row reads as the empty name.
+        row.name_off
+            .checked_add(row.name_len)
+            .and_then(|end| self.names.get(row.name_off..end))
+            .unwrap_or(&[])
     }
 
     /// Binary search the name-sorted directory.
@@ -171,7 +183,14 @@ impl PackedInverted {
     /// Decode one `(token, doc)` varint run. Bounds were validated at
     /// open; a malformed payload (writer bug) yields a short/empty list
     /// rather than a panic — this is a hot path.
-    fn decode_run(&self, payload_base: usize, off: usize, count: usize, doc: DocId, out: &mut Vec<Posting>) {
+    fn decode_run(
+        &self,
+        payload_base: usize,
+        off: usize,
+        count: usize,
+        doc: DocId,
+        out: &mut Vec<Posting>,
+    ) {
         let Some(mut buf) = self.runs.get(payload_base + off..) else {
             debug_assert!(false, "run payload offset out of bounds");
             return;
@@ -196,7 +215,12 @@ impl PackedInverted {
                 label = label.saturating_add(dl);
                 text = text.saturating_add(dt);
             }
-            out.push(Posting { doc, pos, label, text_node: NodeId(text) });
+            out.push(Posting {
+                doc,
+                pos,
+                label,
+                text_node: NodeId(text),
+            });
         }
     }
 
@@ -292,7 +316,12 @@ impl InvertedIndex {
     ) -> Self {
         InvertedIndex {
             tokenizer,
-            repr: InvRepr::Packed(PackedInverted { doc_tokens, token_rows, names, runs }),
+            repr: InvRepr::Packed(PackedInverted {
+                doc_tokens,
+                token_rows,
+                names,
+                runs,
+            }),
         }
     }
 
@@ -308,7 +337,9 @@ impl InvertedIndex {
         }
         let mut heap = HeapInverted::default();
         if let InvRepr::Packed(p) = &self.repr {
-            heap.doc_tokens = (0..p.doc_tokens.len() / 4).map(|i| u32_at(&p.doc_tokens, i * 4)).collect();
+            heap.doc_tokens = (0..p.doc_tokens.len() / 4)
+                .map(|i| u32_at(&p.doc_tokens, i * 4))
+                .collect();
             for i in 0..p.token_count() {
                 let row = p.row(i);
                 let name = String::from_utf8_lossy(p.name(row)).into_owned();
@@ -326,7 +357,9 @@ impl InvertedIndex {
     pub fn index_document(&mut self, doc_id: DocId, doc: &pimento_xml::Document) {
         self.ensure_heap();
         let tokenizer = self.tokenizer;
-        let InvRepr::Heap(heap) = &mut self.repr else { return };
+        let InvRepr::Heap(heap) = &mut self.repr else {
+            return;
+        };
         assert_eq!(
             doc_id.0 as usize,
             heap.doc_tokens.len(),
@@ -340,7 +373,12 @@ impl InvertedIndex {
                 for token in tokenizer.tokenize(t) {
                     doc_terms.push(token.clone());
                     let entry = heap.postings.entry(token).or_default();
-                    entry.push(Posting { doc: doc_id, pos, label: node.start, text_node: node_id });
+                    entry.push(Posting {
+                        doc: doc_id,
+                        pos,
+                        label: node.start,
+                        text_node: node_id,
+                    });
                     debug_assert!(
                         entry.len() < 2
                             || (entry[entry.len() - 2].doc, entry[entry.len() - 2].pos)
@@ -386,7 +424,7 @@ impl InvertedIndex {
                 let all = h.postings.get(token).map(Vec::as_slice).unwrap_or(&[]);
                 let lo = all.partition_point(|p| p.doc < doc);
                 let hi = all.partition_point(|p| p.doc <= doc);
-                PostingsRef::borrowed(&all[lo..hi])
+                PostingsRef::borrowed(all.get(lo..hi).unwrap_or(&[]))
             }
             InvRepr::Packed(p) => match p.find(token) {
                 Some(row) => PostingsRef::owned(p.doc_postings_of(row, doc)),

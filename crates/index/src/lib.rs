@@ -54,7 +54,10 @@ pub use fields::{content_value, field_value, field_value_sym, numeric_field, Fie
 pub use inverted::{InvertedIndex, Posting, PostingsRef};
 pub use parallel::{build_collection_parallel, effective_workers, resolve_threads};
 pub use persist::{crc32, load_collection, save_collection, PersistError, FORMAT_VERSION};
-pub use phrase::{count_in_element, ft_all, ft_contains, occurrences_in_element, phrase_occurrences, postings_in_element};
+pub use phrase::{
+    count_in_element, ft_all, ft_contains, occurrences_in_element, phrase_occurrences,
+    postings_in_element,
+};
 pub use score::Scorer;
 pub use stats::CorpusStats;
 pub use store::{Collection, DocId, ElemRef};

@@ -18,7 +18,9 @@ use pimento_xml::{parse_content, Document, SymbolId, SymbolTable, XmlError};
 pub fn effective_workers(requested: usize, jobs: usize) -> usize {
     // More workers than cores only adds scheduling overhead; clamp to the
     // machine (and never spawn more workers than units of work).
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     requested.max(1).min(cores).min(jobs.max(1))
 }
 
@@ -32,7 +34,9 @@ pub fn effective_workers(requested: usize, jobs: usize) -> usize {
 /// → server/CLI flag → `0` = machine parallelism.)
 pub fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         requested
     }
@@ -70,8 +74,10 @@ fn build_with_workers<S: AsRef<str> + Sync>(
     // Each worker owns one output vec and pushes exactly one result per
     // input, so the flattened merge below sees every document in order
     // without any "slot not filled" case to handle.
-    let mut parsed: Vec<Vec<Result<(Document, SymbolTable), XmlError>>> =
-        xmls.chunks(chunk).map(|c| Vec::with_capacity(c.len())).collect();
+    let mut parsed: Vec<Vec<Result<(Document, SymbolTable), XmlError>>> = xmls
+        .chunks(chunk)
+        .map(|c| Vec::with_capacity(c.len()))
+        .collect();
     std::thread::scope(|scope| {
         for (inputs, outputs) in xmls.chunks(chunk).zip(parsed.iter_mut()) {
             scope.spawn(move || {
@@ -104,14 +110,27 @@ mod tests {
 
     #[test]
     fn resolve_then_clamp_is_the_canonical_pipeline() {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        assert_eq!(resolve_threads(0), cores, "0 resolves to machine parallelism");
-        assert_eq!(resolve_threads(3), 3, "explicit counts pass through unclamped");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(
+            resolve_threads(0),
+            cores,
+            "0 resolves to machine parallelism"
+        );
+        assert_eq!(
+            resolve_threads(3),
+            3,
+            "explicit counts pass through unclamped"
+        );
         // The composition clamps exactly once: resolve interprets the `0`
         // convention, effective_workers applies the core/job bounds.
         assert_eq!(effective_workers(resolve_threads(0), usize::MAX), cores);
         assert_eq!(effective_workers(resolve_threads(1), usize::MAX), 1);
-        assert_eq!(effective_workers(resolve_threads(cores + 64), 2), 2.min(cores));
+        assert_eq!(
+            effective_workers(resolve_threads(cores + 64), 2),
+            2.min(cores)
+        );
     }
     use crate::tokenize::Tokenizer;
     use pimento_xml::to_string;
@@ -168,7 +187,9 @@ mod tests {
 
     #[test]
     fn effective_workers_clamps() {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         // 0 requested means one inline worker, regardless of jobs.
         assert_eq!(effective_workers(0, 0), 1);
         assert_eq!(effective_workers(0, 100), 1);

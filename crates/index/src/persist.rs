@@ -174,8 +174,13 @@ pub(crate) fn put_document<B: BufMut>(buf: &mut B, doc: &Document) {
 /// Decode one document encoded by [`put_document`]. `sym_count` bounds
 /// the symbol ids the arena may reference.
 pub(crate) fn read_document(buf: &mut &[u8], sym_count: u32) -> Result<Document, PersistError> {
-    let check_sym =
-        |id: u32| if id < sym_count { Ok(SymbolId(id)) } else { Err(PersistError::BadSymbol) };
+    let check_sym = |id: u32| {
+        if id < sym_count {
+            Ok(SymbolId(id))
+        } else {
+            Err(PersistError::BadSymbol)
+        }
+    };
     let input_len = buf.len();
     let root = NodeId(get_u32(buf)?);
     let n_nodes = get_u32(buf)?;
@@ -191,14 +196,21 @@ pub(crate) fn read_document(buf: &mut &[u8], sym_count: u32) -> Result<Document,
                     let v = get_str(buf)?;
                     attrs.push((a, v));
                 }
-                NodeKind::Element { tag, attrs: attrs.into_boxed_slice() }
+                NodeKind::Element {
+                    tag,
+                    attrs: attrs.into_boxed_slice(),
+                }
             }
             1 => NodeKind::Text(get_str(buf)?),
             2 => NodeKind::Comment(get_str(buf)?),
             _ => return Err(PersistError::BadArena("unknown node kind")),
         };
         let parent_raw = get_u32(buf)?;
-        let parent = if parent_raw == 0 { None } else { Some(NodeId(parent_raw - 1)) };
+        let parent = if parent_raw == 0 {
+            None
+        } else {
+            Some(NodeId(parent_raw - 1))
+        };
         let n_children = get_u32(buf)?;
         if n_children as usize > input_len {
             return Err(PersistError::Truncated);
@@ -210,7 +222,14 @@ pub(crate) fn read_document(buf: &mut &[u8], sym_count: u32) -> Result<Document,
         let start = get_u32(buf)?;
         let end = get_u32(buf)?;
         let level = get_u16(buf)?;
-        nodes.push(Node { kind, parent, children, start, end, level });
+        nodes.push(Node {
+            kind,
+            parent,
+            children,
+            start,
+            end,
+            level,
+        });
     }
     Document::from_parts(nodes, root).map_err(PersistError::BadArena)
 }
@@ -225,10 +244,16 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
     // corrupt instead of naming the real problem.
     if &data[..MAGIC.len()] == LEGACY_MAGIC {
         // Seed-era snapshot: same family, pre-versioning header.
-        return Err(PersistError::SnapshotVersion { found: 1, expected: FORMAT_VERSION });
+        return Err(PersistError::SnapshotVersion {
+            found: 1,
+            expected: FORMAT_VERSION,
+        });
     }
     if &data[..MAGIC.len()] == V2_MAGIC {
-        return Err(PersistError::SnapshotVersion { found: 2, expected: FORMAT_VERSION });
+        return Err(PersistError::SnapshotVersion {
+            found: 2,
+            expected: FORMAT_VERSION,
+        });
     }
     if &data[..MAGIC.len()] == crate::columnar::COLUMNAR_MAGIC {
         // A v4 columnar snapshot reached the legacy loader; point the
@@ -260,7 +285,10 @@ pub fn load_collection(data: &[u8]) -> Result<Collection, PersistError> {
     let mut buf = &body[MAGIC.len()..];
     let version = get_u32(&mut buf)?;
     if version != FORMAT_VERSION {
-        return Err(PersistError::SnapshotVersion { found: version, expected: FORMAT_VERSION });
+        return Err(PersistError::SnapshotVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
     }
 
     let mut symbols = SymbolTable::new();
@@ -309,10 +337,10 @@ pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
 
 pub(crate) fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len {
-        return Err(PersistError::Truncated);
-    }
-    let s = std::str::from_utf8(&buf[..len]).map_err(|_| PersistError::BadString)?.to_string();
+    let raw = buf.get(..len).ok_or(PersistError::Truncated)?;
+    let s = std::str::from_utf8(raw)
+        .map_err(|_| PersistError::BadString)?
+        .to_string();
     buf.advance(len);
     Ok(s)
 }
@@ -326,7 +354,11 @@ const CRC32_TABLE: [u32; 256] = {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -340,7 +372,10 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in data {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        // The mask keeps the index below the 256-entry table; `.get` lets
+        // the optimizer prove it too, with no panic path left behind.
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE.get(idx).copied().unwrap_or(0);
     }
     !crc
 }
@@ -357,7 +392,8 @@ mod tests {
         let mut c = Collection::new();
         c.add_xml(r#"<dealer><car color="red"><price>500</price><note>good &amp; cheap</note></car></dealer>"#)
             .unwrap();
-        c.add_xml("<dealer><car><!--traded--><price>900</price></car></dealer>").unwrap();
+        c.add_xml("<dealer><car><!--traded--><price>900</price></car></dealer>")
+            .unwrap();
         c
     }
 
@@ -418,14 +454,20 @@ mod tests {
             let mut bytes = snapshot.to_vec();
             bytes[pos] ^= 0x01;
             assert!(
-                matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt { .. })),
+                matches!(
+                    load_collection(&bytes),
+                    Err(PersistError::SnapshotCorrupt { .. })
+                ),
                 "flip at {pos} undetected"
             );
         }
         let mut bytes = snapshot.to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
-        assert!(matches!(load_collection(&bytes), Err(PersistError::SnapshotCorrupt { .. })));
+        assert!(matches!(
+            load_collection(&bytes),
+            Err(PersistError::SnapshotCorrupt { .. })
+        ));
     }
 
     #[test]
@@ -433,14 +475,20 @@ mod tests {
         // IEEE CRC32 check values (RFC 3720 appendix / zlib `crc32`).
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
     fn truncation_is_detected() {
         let coll = sample();
         let snapshot = save_collection(&coll);
-        assert!(matches!(load_collection(&snapshot[..10]), Err(PersistError::Truncated)));
+        assert!(matches!(
+            load_collection(&snapshot[..10]),
+            Err(PersistError::Truncated)
+        ));
         assert!(matches!(load_collection(&[]), Err(PersistError::Truncated)));
     }
 
@@ -451,7 +499,10 @@ mod tests {
         // Magic triage runs before the integrity check, so no checksum
         // fix-up is needed for this to be a BadMagic (not corruption).
         bytes[0] = b'X';
-        assert!(matches!(load_collection(&bytes), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            load_collection(&bytes),
+            Err(PersistError::BadMagic)
+        ));
     }
 
     /// Rewrite a current snapshot into the seed "PIMCOL1\0" layout (legacy
@@ -483,7 +534,10 @@ mod tests {
         let seed = as_seed_format(&save_collection(&sample()));
         assert!(matches!(
             load_collection(&seed),
-            Err(PersistError::SnapshotVersion { found: 1, expected: FORMAT_VERSION })
+            Err(PersistError::SnapshotVersion {
+                found: 1,
+                expected: FORMAT_VERSION
+            })
         ));
     }
 
@@ -492,7 +546,10 @@ mod tests {
         let v2 = as_v2_format(&save_collection(&sample()));
         assert!(matches!(
             load_collection(&v2),
-            Err(PersistError::SnapshotVersion { found: 2, expected: FORMAT_VERSION })
+            Err(PersistError::SnapshotVersion {
+                found: 2,
+                expected: FORMAT_VERSION
+            })
         ));
     }
 
@@ -505,13 +562,18 @@ mod tests {
         bytes[body_len..].copy_from_slice(&sum);
         assert!(matches!(
             load_collection(&bytes),
-            Err(PersistError::SnapshotVersion { found: 99, expected: FORMAT_VERSION })
+            Err(PersistError::SnapshotVersion {
+                found: 99,
+                expected: FORMAT_VERSION
+            })
         ));
     }
 
     #[test]
     fn error_display() {
-        assert!(PersistError::SnapshotCorrupt { section: "tags" }.to_string().contains("tags"));
+        assert!(PersistError::SnapshotCorrupt { section: "tags" }
+            .to_string()
+            .contains("tags"));
         assert!(PersistError::BadArena("why").to_string().contains("why"));
     }
 }

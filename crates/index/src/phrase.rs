@@ -24,8 +24,10 @@ pub fn phrase_occurrences(index: &InvertedIndex, doc: DocId, tokens: &[String]) 
             // candidate loop — on a packed index every doc_postings call
             // decodes a varint run, so this turns O(candidates × tokens)
             // decodes into O(tokens).
-            let rest_lists: Vec<PostingsRef<'_>> =
-                rest.iter().map(|tok| index.doc_postings(tok, doc)).collect();
+            let rest_lists: Vec<PostingsRef<'_>> = rest
+                .iter()
+                .map(|tok| index.doc_postings(tok, doc))
+                .collect();
             let mut hits = Vec::new();
             'outer: for p in firsts.iter() {
                 for (i, list) in rest_lists.iter().enumerate() {
@@ -52,7 +54,7 @@ pub fn postings_in_element<'a>(
     token: &str,
 ) -> PostingsRef<'a> {
     let in_doc = index.doc_postings(token, elem.doc);
-    debug_assert!(in_doc.windows(2).all(|w| w[0].label <= w[1].label));
+    debug_assert!(in_doc.is_sorted_by_key(|p| p.label));
     let lo = in_doc.partition_point(|p| p.label <= elem.start);
     let hi = in_doc.partition_point(|p| p.label < elem.end);
     in_doc.sliced(lo, hi)
@@ -71,12 +73,16 @@ pub fn occurrences_in_element(
     elem: &ElemEntry,
     tokens: &[String],
 ) -> Vec<PhraseHit> {
-    let [first, rest @ ..] = tokens else { return Vec::new() };
+    let [first, rest @ ..] = tokens else {
+        return Vec::new();
+    };
     let firsts = postings_in_element(index, elem, first);
     // One postings fetch per continuation token (not per candidate): on a
     // packed index each fetch decodes a varint run.
-    let rest_lists: Vec<PostingsRef<'_>> =
-        rest.iter().map(|tok| index.doc_postings(tok, elem.doc)).collect();
+    let rest_lists: Vec<PostingsRef<'_>> = rest
+        .iter()
+        .map(|tok| index.doc_postings(tok, elem.doc))
+        .collect();
     let mut hits = Vec::new();
     'outer: for p in firsts.iter() {
         for (i, list) in rest_lists.iter().enumerate() {
@@ -84,7 +90,7 @@ pub fn occurrences_in_element(
             match list.binary_search_by_key(&want, |q| q.pos) {
                 // The continuation must also fall inside the element — a
                 // phrase straddling the element boundary is not contained.
-                Ok(idx) if list[idx].label < elem.end => {}
+                Ok(idx) if list.get(idx).is_some_and(|q| q.label < elem.end) => {}
                 _ => continue 'outer,
             }
         }
@@ -133,14 +139,20 @@ mod tests {
     #[test]
     fn phrase_requires_adjacency() {
         let (_, inv, _) = setup("<a>good condition and good old condition</a>");
-        assert_eq!(phrase_occurrences(&inv, DocId(0), &toks(&inv, "good condition")).len(), 1);
+        assert_eq!(
+            phrase_occurrences(&inv, DocId(0), &toks(&inv, "good condition")).len(),
+            1
+        );
         assert!(phrase_occurrences(&inv, DocId(0), &toks(&inv, "condition good")).is_empty());
     }
 
     #[test]
     fn three_token_phrase() {
         let (_, inv, _) = setup("<a>it is in good condition as always</a>");
-        assert_eq!(phrase_occurrences(&inv, DocId(0), &toks(&inv, "in good condition")).len(), 1);
+        assert_eq!(
+            phrase_occurrences(&inv, DocId(0), &toks(&inv, "in good condition")).len(),
+            1
+        );
     }
 
     #[test]
@@ -165,7 +177,10 @@ mod tests {
         let elem = tags.elements(b).at(0);
         assert_eq!(count_in_element(&inv, &elem, &toks(&inv, "red")), 3);
         let a = c.tag("a").unwrap();
-        assert_eq!(count_in_element(&inv, &tags.elements(a).at(0), &toks(&inv, "red")), 4);
+        assert_eq!(
+            count_in_element(&inv, &tags.elements(a).at(0), &toks(&inv, "red")),
+            4
+        );
     }
 
     #[test]
@@ -189,8 +204,16 @@ mod tests {
     fn case_insensitive_matching() {
         let (c, inv, tags) = setup("<a>United States</a>");
         let a = c.tag("a").unwrap();
-        assert!(ft_contains(&inv, &tags.elements(a).at(0), &toks(&inv, "united states")));
-        assert!(ft_contains(&inv, &tags.elements(a).at(0), &toks(&inv, "UNITED STATES")));
+        assert!(ft_contains(
+            &inv,
+            &tags.elements(a).at(0),
+            &toks(&inv, "united states")
+        ));
+        assert!(ft_contains(
+            &inv,
+            &tags.elements(a).at(0),
+            &toks(&inv, "UNITED STATES")
+        ));
     }
 }
 
@@ -219,7 +242,11 @@ pub fn ft_all(
         if hits.is_empty() {
             return false;
         }
-        occs.push(hits.iter().map(|p| (p.pos, p.pos + t.len() as u32 - 1)).collect());
+        occs.push(
+            hits.iter()
+                .map(|p| (p.pos, p.pos + t.len() as u32 - 1))
+                .collect(),
+        );
     }
     match (window, ordered) {
         (None, false) => true,
@@ -233,8 +260,12 @@ pub fn ft_all(
 fn ordered_chain_within(occs: &[Vec<(u32, u32)>], window: Option<u32>) -> bool {
     // Greedy from each start of the first term: taking the earliest valid
     // continuation minimizes the chain end, so greedy is optimal per start.
-    'starts: for &(start, mut prev_end) in &occs[0] {
-        for term in &occs[1..] {
+    // (`ft_all` never passes an empty term list.)
+    let Some((first, rest)) = occs.split_first() else {
+        return false;
+    };
+    'starts: for &(start, mut prev_end) in first {
+        for term in rest {
             match term.iter().find(|&&(s, _)| s > prev_end) {
                 Some(&(_, e)) => prev_end = e,
                 None => continue 'starts,
@@ -255,9 +286,9 @@ fn unordered_cover_within(occs: &[Vec<(u32, u32)>], w: u32) -> bool {
     // "leftmost" occurrence and greedily check the others fit the window.
     let starts: Vec<(u32, u32)> = occs.iter().flatten().copied().collect();
     for &(left, _) in &starts {
-        let fits = occs.iter().all(|term| {
-            term.iter().any(|&(s, e)| s >= left && e < left + w)
-        });
+        let fits = occs
+            .iter()
+            .all(|term| term.iter().any(|&(s, e)| s >= left && e < left + w));
         if fits {
             return true;
         }
@@ -292,8 +323,20 @@ mod ft_all_tests {
     fn all_terms_must_occur() {
         let (c, inv, tags) = setup("<a>good cheap car</a>");
         let e = elem(&c, &tags, "a");
-        assert!(ft_all(&inv, &e, &terms(&inv, &["good", "car"]), None, false));
-        assert!(!ft_all(&inv, &e, &terms(&inv, &["good", "bike"]), None, false));
+        assert!(ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["good", "car"]),
+            None,
+            false
+        ));
+        assert!(!ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["good", "bike"]),
+            None,
+            false
+        ));
         assert!(!ft_all(&inv, &e, &[], None, false));
     }
 
@@ -312,9 +355,27 @@ mod ft_all_tests {
     fn ordered_requires_listed_order() {
         let (c, inv, tags) = setup("<a>cheap but good</a>");
         let e = elem(&c, &tags, "a");
-        assert!(ft_all(&inv, &e, &terms(&inv, &["cheap", "good"]), None, true));
-        assert!(!ft_all(&inv, &e, &terms(&inv, &["good", "cheap"]), None, true));
-        assert!(ft_all(&inv, &e, &terms(&inv, &["good", "cheap"]), None, false));
+        assert!(ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["cheap", "good"]),
+            None,
+            true
+        ));
+        assert!(!ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["good", "cheap"]),
+            None,
+            true
+        ));
+        assert!(ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["good", "cheap"]),
+            None,
+            false
+        ));
     }
 
     #[test]
@@ -335,16 +396,34 @@ mod ft_all_tests {
         assert!(ft_all(&inv, &e, &ts, Some(5), true));
         assert!(!ft_all(&inv, &e, &ts, Some(4), true));
         // "condition good" is not a phrase occurrence
-        assert!(!ft_all(&inv, &e, &terms(&inv, &["condition good"]), None, false));
+        assert!(!ft_all(
+            &inv,
+            &e,
+            &terms(&inv, &["condition good"]),
+            None,
+            false
+        ));
     }
 
     #[test]
     fn respects_element_boundaries() {
         let (c, inv, tags) = setup("<r><a>good</a><b>cheap</b></r>");
         let a = elem(&c, &tags, "a");
-        assert!(!ft_all(&inv, &a, &terms(&inv, &["good", "cheap"]), None, false));
+        assert!(!ft_all(
+            &inv,
+            &a,
+            &terms(&inv, &["good", "cheap"]),
+            None,
+            false
+        ));
         let r = elem(&c, &tags, "r");
-        assert!(ft_all(&inv, &r, &terms(&inv, &["good", "cheap"]), None, false));
+        assert!(ft_all(
+            &inv,
+            &r,
+            &terms(&inv, &["good", "cheap"]),
+            None,
+            false
+        ));
     }
 
     #[test]
@@ -358,6 +437,12 @@ mod ft_all_tests {
         // But a single occurrence cannot chain with itself.
         let (c2, inv2, tags2) = setup("<a>good</a>");
         let e2 = elem(&c2, &tags2, "a");
-        assert!(!ft_all(&inv2, &e2, &terms(&inv2, &["good", "good"]), None, true));
+        assert!(!ft_all(
+            &inv2,
+            &e2,
+            &terms(&inv2, &["good", "good"]),
+            None,
+            true
+        ));
     }
 }

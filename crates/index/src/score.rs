@@ -25,7 +25,10 @@ impl Scorer {
 
     /// Build a scorer over `index`.
     pub fn new(index: &InvertedIndex) -> Self {
-        Scorer { num_docs: index.num_docs().max(1), k1: Self::DEFAULT_K1 }
+        Scorer {
+            num_docs: index.num_docs().max(1),
+            k1: Self::DEFAULT_K1,
+        }
     }
 
     /// Override the saturation constant (must be positive).
@@ -89,7 +92,10 @@ mod tests {
     fn absent_phrase_scores_zero() {
         let (c, inv, tags, s) = setup(&["<a>hello world</a>"]);
         let a = c.tag("a").unwrap();
-        assert_eq!(s.ft_score(&inv, &tags.elements(a).at(0), &inv.analyze("absent")), 0.0);
+        assert_eq!(
+            s.ft_score(&inv, &tags.elements(a).at(0), &inv.analyze("absent")),
+            0.0
+        );
     }
 
     #[test]

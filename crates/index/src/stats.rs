@@ -68,13 +68,20 @@ impl CorpusStats {
         let mut out = format!(
             "collection: {} document(s), {} elements (max depth {}), {} tokens, \
              {} distinct names, vocabulary {}\n",
-            self.documents, self.elements, self.max_depth, self.tokens, self.distinct_names,
+            self.documents,
+            self.elements,
+            self.max_depth,
+            self.tokens,
+            self.distinct_names,
             self.vocabulary
         );
         if !self.top_tags.is_empty() {
             out.push_str("top tags: ");
-            let parts: Vec<String> =
-                self.top_tags.iter().map(|(t, c)| format!("{t}({c})")).collect();
+            let parts: Vec<String> = self
+                .top_tags
+                .iter()
+                .map(|(t, c)| format!("{t}({c})"))
+                .collect();
             out.push_str(&parts.join(", "));
             out.push('\n');
         }
@@ -89,8 +96,10 @@ mod tests {
 
     fn setup() -> (Collection, InvertedIndex, TagIndex) {
         let mut c = Collection::new();
-        c.add_xml("<dealer><car><price>one two</price></car><car><price>three</price></car></dealer>")
-            .unwrap();
+        c.add_xml(
+            "<dealer><car><price>one two</price></car><car><price>three</price></car></dealer>",
+        )
+        .unwrap();
         c.add_xml("<dealer><lot/></dealer>").unwrap();
         let inv = InvertedIndex::build(&c, Tokenizer::plain());
         let tags = TagIndex::build(&c);

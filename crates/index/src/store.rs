@@ -71,7 +71,10 @@ impl Collection {
 
     /// Iterate `(DocId, &Document)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
-        self.docs.iter().enumerate().map(|(i, d)| (DocId(i as u32), d))
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId(i as u32), d))
     }
 
     /// Intern a tag name (convenience passthrough).
@@ -121,7 +124,9 @@ mod tests {
         let count: usize = c
             .iter()
             .map(|(_, d)| {
-                d.node_ids().filter(|&n| d.node(n).tag() == Some(car)).count()
+                d.node_ids()
+                    .filter(|&n| d.node(n).tag() == Some(car))
+                    .count()
             })
             .sum();
         assert_eq!(count, 2);

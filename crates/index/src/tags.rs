@@ -34,7 +34,10 @@ pub struct ElemEntry {
 impl ElemEntry {
     /// Collection-wide address of this element.
     pub fn elem_ref(&self) -> ElemRef {
-        ElemRef { doc: self.doc, node: self.node }
+        ElemRef {
+            doc: self.doc,
+            node: self.node,
+        }
     }
 
     /// True iff `self` is a proper ancestor of `other` (same document).
@@ -52,20 +55,35 @@ impl ElemEntry {
 /// little-endian, unpadded).
 pub(crate) const ELEM_ROW: usize = 18;
 
-/// Little-endian field readers over packed rows. Plain indexing (bounds
-/// are validated when the snapshot opens) keeps this `forbid(unsafe_code)`
-/// clean — "zero-copy" here means no rebuild, not pointer casting.
+/// Little-endian field readers over packed rows. Bounds are validated when
+/// the snapshot opens, and the readers are total on top of that: a read
+/// past the window — impossible on a validated snapshot, asserted in debug
+/// builds — yields zero instead of a hot-path panic. `forbid(unsafe_code)`
+/// holds throughout: "zero-copy" means no rebuild, not pointer casting.
 pub(crate) fn u16_at(b: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes([b[off], b[off + 1]])
+    let mut raw = [0u8; 2];
+    match off.checked_add(2).and_then(|end| b.get(off..end)) {
+        Some(src) => raw.copy_from_slice(src),
+        None => debug_assert!(false, "u16_at past the validated window"),
+    }
+    u16::from_le_bytes(raw)
 }
 
 pub(crate) fn u32_at(b: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+    let mut raw = [0u8; 4];
+    match off.checked_add(4).and_then(|end| b.get(off..end)) {
+        Some(src) => raw.copy_from_slice(src),
+        None => debug_assert!(false, "u32_at past the validated window"),
+    }
+    u32::from_le_bytes(raw)
 }
 
 pub(crate) fn u64_at(b: &[u8], off: usize) -> u64 {
     let mut raw = [0u8; 8];
-    raw.copy_from_slice(&b[off..off + 8]);
+    match off.checked_add(8).and_then(|end| b.get(off..end)) {
+        Some(src) => raw.copy_from_slice(src),
+        None => debug_assert!(false, "u64_at past the validated window"),
+    }
     u64::from_le_bytes(raw)
 }
 
@@ -110,16 +128,22 @@ pub struct ElemsView<'a> {
 impl<'a> ElemsView<'a> {
     /// An empty view (unknown tag, empty region).
     pub fn empty() -> Self {
-        ElemsView { repr: ViewRepr::Slice(&[]) }
+        ElemsView {
+            repr: ViewRepr::Slice(&[]),
+        }
     }
 
     pub(crate) fn from_slice(entries: &'a [ElemEntry]) -> Self {
-        ElemsView { repr: ViewRepr::Slice(entries) }
+        ElemsView {
+            repr: ViewRepr::Slice(entries),
+        }
     }
 
     pub(crate) fn from_rows(rows: &'a [u8]) -> Self {
         debug_assert_eq!(rows.len() % ELEM_ROW, 0);
-        ElemsView { repr: ViewRepr::Packed(rows) }
+        ElemsView {
+            repr: ViewRepr::Packed(rows),
+        }
     }
 
     /// Number of entries.
@@ -137,15 +161,18 @@ impl<'a> ElemsView<'a> {
 
     /// Entry at `i`; panics when out of range (mirrors slice indexing).
     pub fn at(&self, i: usize) -> ElemEntry {
-        match self.repr {
-            ViewRepr::Slice(s) => s[i],
-            ViewRepr::Packed(b) => elem_row_at(b, i * ELEM_ROW),
-        }
+        self.get(i).expect("ElemView index out of range")
     }
 
     /// Entry at `i`, or `None` past the end.
     pub fn get(&self, i: usize) -> Option<ElemEntry> {
-        (i < self.len()).then(|| self.at(i))
+        match self.repr {
+            ViewRepr::Slice(s) => s.get(i).copied(),
+            ViewRepr::Packed(b) => {
+                let at = i.checked_mul(ELEM_ROW)?;
+                (at.checked_add(ELEM_ROW)? <= b.len()).then(|| elem_row_at(b, at))
+            }
+        }
     }
 
     /// First entry, if any.
@@ -156,7 +183,7 @@ impl<'a> ElemsView<'a> {
     /// Iterate the entries in order.
     pub fn iter(&self) -> impl Iterator<Item = ElemEntry> + 'a {
         let v = *self;
-        (0..v.len()).map(move |i| v.at(i))
+        (0..v.len()).filter_map(move |i| v.get(i))
     }
 
     /// Materialize the view.
@@ -174,10 +201,9 @@ impl<'a> ElemsView<'a> {
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if pred(&self.at(mid)) {
-                lo = mid + 1;
-            } else {
-                hi = mid;
+            match self.get(mid) {
+                Some(e) if pred(&e) => lo = mid + 1,
+                _ => hi = mid,
             }
         }
         lo
@@ -186,10 +212,12 @@ impl<'a> ElemsView<'a> {
     /// Sub-view over entry indexes `lo..hi`.
     pub fn slice(&self, lo: usize, hi: usize) -> ElemsView<'a> {
         match self.repr {
-            ViewRepr::Slice(s) => ElemsView { repr: ViewRepr::Slice(&s[lo..hi]) },
-            ViewRepr::Packed(b) => {
-                ElemsView { repr: ViewRepr::Packed(&b[lo * ELEM_ROW..hi * ELEM_ROW]) }
-            }
+            ViewRepr::Slice(s) => ElemsView {
+                repr: ViewRepr::Slice(&s[lo..hi]),
+            },
+            ViewRepr::Packed(b) => ElemsView {
+                repr: ViewRepr::Packed(&b[lo * ELEM_ROW..hi * ELEM_ROW]),
+            },
         }
     }
 }
@@ -246,7 +274,9 @@ pub struct TagIndex {
 
 impl Default for TagIndex {
     fn default() -> Self {
-        TagIndex { repr: TagsRepr::Heap(HashMap::new()) }
+        TagIndex {
+            repr: TagsRepr::Heap(HashMap::new()),
+        }
     }
 }
 
@@ -264,7 +294,9 @@ impl TagIndex {
     /// columnar snapshot). `dir` and `rows` are zero-copy slices of the
     /// snapshot buffer; bounds were checked by the opener.
     pub(crate) fn from_packed(dir: Bytes, rows: Bytes) -> Self {
-        TagIndex { repr: TagsRepr::Packed(PackedTags { dir, rows }) }
+        TagIndex {
+            repr: TagsRepr::Packed(PackedTags { dir, rows }),
+        }
     }
 
     /// True when backed by packed snapshot sections (no heap lists).
@@ -306,7 +338,9 @@ impl TagIndex {
             let node = doc.node(node_id);
             if let NodeKind::Element { tag, .. } = &node.kind {
                 let list = by_tag.entry(*tag).or_default();
-                debug_assert!(list.last().is_none_or(|l| (l.doc, l.start) < (doc_id, node.start)));
+                debug_assert!(list
+                    .last()
+                    .is_none_or(|l| (l.doc, l.start) < (doc_id, node.start)));
                 list.push(ElemEntry {
                     doc: doc_id,
                     node: node_id,
@@ -343,7 +377,13 @@ impl TagIndex {
 
     /// Elements with tag `tag` whose region lies strictly inside
     /// `(doc, start, end)` — the descendants step of a structural join.
-    pub fn elements_within(&self, tag: SymbolId, doc: DocId, start: u32, end: u32) -> ElemsView<'_> {
+    pub fn elements_within(
+        &self,
+        tag: SymbolId,
+        doc: DocId,
+        start: u32,
+        end: u32,
+    ) -> ElemsView<'_> {
         let in_doc = self.doc_elements(tag, doc);
         let lo = in_doc.partition_point(|e| e.start <= start);
         let hi = in_doc.partition_point(|e| e.start < end);
@@ -356,9 +396,9 @@ impl TagIndex {
     pub fn num_tags(&self) -> usize {
         match &self.repr {
             TagsRepr::Heap(m) => m.len(),
-            TagsRepr::Packed(p) => {
-                (0..p.dir.len() / 8).filter(|&s| u32_at(&p.dir, s * 8 + 4) > 0).count()
-            }
+            TagsRepr::Packed(p) => (0..p.dir.len() / 8)
+                .filter(|&s| u32_at(&p.dir, s * 8 + 4) > 0)
+                .count(),
         }
     }
 
@@ -450,10 +490,25 @@ mod tests {
 
     #[test]
     fn packed_rows_roundtrip() {
-        let e = ElemEntry { doc: DocId(7), node: NodeId(9), start: 3, end: 44, level: 2 };
+        let e = ElemEntry {
+            doc: DocId(7),
+            node: NodeId(9),
+            start: 3,
+            end: 44,
+            level: 2,
+        };
         let mut rows = Vec::new();
         put_elem_row(&mut rows, &e);
-        put_elem_row(&mut rows, &ElemEntry { doc: DocId(8), node: NodeId(0), start: 1, end: 2, level: 1 });
+        put_elem_row(
+            &mut rows,
+            &ElemEntry {
+                doc: DocId(8),
+                node: NodeId(0),
+                start: 1,
+                end: 2,
+                level: 1,
+            },
+        );
         assert_eq!(rows.len(), 2 * ELEM_ROW);
         let view = ElemsView::from_rows(&rows);
         assert_eq!(view.at(0), e);

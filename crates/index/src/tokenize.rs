@@ -94,13 +94,19 @@ mod tests {
     #[test]
     fn splits_on_non_alphanumerics_and_lowercases() {
         let t = Tokenizer::plain();
-        assert_eq!(t.tokenize("Good-Condition, LOW mileage!"), ["good", "condition", "low", "mileage"]);
+        assert_eq!(
+            t.tokenize("Good-Condition, LOW mileage!"),
+            ["good", "condition", "low", "mileage"]
+        );
     }
 
     #[test]
     fn keeps_digits() {
         let t = Tokenizer::plain();
-        assert_eq!(t.tokenize("bought on 11/2005"), ["bought", "on", "11", "2005"]);
+        assert_eq!(
+            t.tokenize("bought on 11/2005"),
+            ["bought", "on", "11", "2005"]
+        );
     }
 
     #[test]

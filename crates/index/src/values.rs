@@ -32,7 +32,10 @@ pub(crate) fn put_val_row(out: &mut Vec<u8>, v: f64, e: &ElemEntry) {
 
 fn val_row_at(rows: &[u8], i: usize) -> (f64, ElemEntry) {
     let off = i * VAL_ROW;
-    (f64::from_bits(u64_at(rows, off)), elem_row_at(rows, off + 8))
+    (
+        f64::from_bits(u64_at(rows, off)),
+        elem_row_at(rows, off + 8),
+    )
 }
 
 #[derive(Debug)]
@@ -80,7 +83,9 @@ pub struct ValueIndex {
 
 impl Default for ValueIndex {
     fn default() -> Self {
-        ValueIndex { repr: ValsRepr::Heap(HashMap::new()) }
+        ValueIndex {
+            repr: ValsRepr::Heap(HashMap::new()),
+        }
     }
 }
 
@@ -113,7 +118,9 @@ impl ValueIndex {
     /// Wrap pre-validated packed sections (the `vals` section of a
     /// columnar snapshot); zero-copy slices of the snapshot buffer.
     pub(crate) fn from_packed(dir: Bytes, rows: Bytes) -> Self {
-        ValueIndex { repr: ValsRepr::Packed(PackedValues { dir, rows }) }
+        ValueIndex {
+            repr: ValsRepr::Packed(PackedValues { dir, rows }),
+        }
     }
 
     /// True when backed by packed snapshot sections.
@@ -144,7 +151,9 @@ impl ValueIndex {
     /// document adds stay cheap. A packed index thaws to heap form first.
     pub fn index_document(&mut self, doc_id: DocId, doc: &pimento_xml::Document) {
         let touched = self.collect_document(doc_id, doc);
-        let ValsRepr::Heap(by_tag) = &mut self.repr else { return };
+        let ValsRepr::Heap(by_tag) = &mut self.repr else {
+            return;
+        };
         for tag in touched {
             if let Some(list) = by_tag.get_mut(&tag) {
                 list.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -155,14 +164,24 @@ impl ValueIndex {
     fn collect_document(&mut self, doc_id: DocId, doc: &pimento_xml::Document) -> Vec<SymbolId> {
         self.ensure_heap();
         let mut touched = Vec::new();
-        let ValsRepr::Heap(by_tag) = &mut self.repr else { return touched };
+        let ValsRepr::Heap(by_tag) = &mut self.repr else {
+            return touched;
+        };
         for node_id in doc.node_ids() {
             let node = doc.node(node_id);
-            let NodeKind::Element { tag, .. } = &node.kind else { continue };
+            let NodeKind::Element { tag, .. } = &node.kind else {
+                continue;
+            };
             // Leaf field: exactly one child, and it is a text node.
-            let [only_child] = node.children.as_slice() else { continue };
-            let Some(text) = doc.node(*only_child).text() else { continue };
-            let FieldValue::Num(v) = FieldValue::parse(text) else { continue };
+            let [only_child] = node.children.as_slice() else {
+                continue;
+            };
+            let Some(text) = doc.node(*only_child).text() else {
+                continue;
+            };
+            let FieldValue::Num(v) = FieldValue::parse(text) else {
+                continue;
+            };
             if v.is_nan() {
                 continue;
             }
@@ -182,7 +201,9 @@ impl ValueIndex {
     }
 
     fn sort_all(&mut self) {
-        let ValsRepr::Heap(by_tag) = &mut self.repr else { return };
+        let ValsRepr::Heap(by_tag) = &mut self.repr else {
+            return;
+        };
         for list in by_tag.values_mut() {
             list.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
@@ -194,7 +215,9 @@ impl ValueIndex {
     pub fn range(&self, tag: SymbolId, op: RangeOp, c: f64) -> Vec<ElemEntry> {
         match &self.repr {
             ValsRepr::Heap(by_tag) => {
-                let Some(list) = by_tag.get(&tag) else { return Vec::new() };
+                let Some(list) = by_tag.get(&tag) else {
+                    return Vec::new();
+                };
                 let lo = list.partition_point(|(v, _)| *v < c);
                 let hi = list.partition_point(|(v, _)| *v <= c);
                 let slice = match op {
@@ -247,7 +270,9 @@ impl ValueIndex {
             ValsRepr::Heap(by_tag) => by_tag.get(&tag).cloned().unwrap_or_default(),
             ValsRepr::Packed(p) => {
                 let rows = p.tag_rows(tag);
-                (0..rows.len() / VAL_ROW).map(|i| val_row_at(rows, i)).collect()
+                (0..rows.len() / VAL_ROW)
+                    .map(|i| val_row_at(rows, i))
+                    .collect()
             }
         }
     }
@@ -301,7 +326,11 @@ mod tests {
         let note = c.tag("note").unwrap();
         assert_eq!(v.count(note), 0);
         let car = c.tag("car").unwrap();
-        assert_eq!(v.count(car), 0, "cars have element children, not a single text leaf");
+        assert_eq!(
+            v.count(car),
+            0,
+            "cars have element children, not a single text leaf"
+        );
     }
 
     #[test]
@@ -313,7 +342,10 @@ mod tests {
         v.index_document(d1, c.doc(d1));
         let full = ValueIndex::build(&c);
         let p = c.tag("p").unwrap();
-        assert_eq!(v.range(p, RangeOp::Le, 100.0), full.range(p, RangeOp::Le, 100.0));
+        assert_eq!(
+            v.range(p, RangeOp::Le, 100.0),
+            full.range(p, RangeOp::Le, 100.0)
+        );
         assert_eq!(v.range(p, RangeOp::Lt, 10.0).len(), 1);
     }
 
@@ -327,7 +359,8 @@ mod tests {
     #[test]
     fn currency_and_thousands_values_indexed() {
         let mut c = Collection::new();
-        c.add_xml("<a><price>$500</price><mileage>50.000</mileage></a>").unwrap();
+        c.add_xml("<a><price>$500</price><mileage>50.000</mileage></a>")
+            .unwrap();
         let v = ValueIndex::build(&c);
         let price = c.tag("price").unwrap();
         let mileage = c.tag("mileage").unwrap();
@@ -357,16 +390,19 @@ mod tests {
         let packed = ValueIndex::from_packed(Bytes::from(dir), Bytes::from(rows));
         assert!(packed.is_packed());
         assert_eq!(packed.count(price), 3);
-        for op in [RangeOp::Lt, RangeOp::Le, RangeOp::Gt, RangeOp::Ge, RangeOp::Eq] {
+        for op in [
+            RangeOp::Lt,
+            RangeOp::Le,
+            RangeOp::Gt,
+            RangeOp::Ge,
+            RangeOp::Eq,
+        ] {
             assert_eq!(packed.range(price, op, 1500.0), v.range(price, op, 1500.0));
         }
         assert_eq!(packed.dump_tag(price), v.dump_tag(price));
         assert!(!packed.is_empty());
         // Thaw on incremental add keeps results identical.
-        let mut thawed = ValueIndex::from_packed(
-            Bytes::copy_from_slice(&[0; 64]),
-            Bytes::new(),
-        );
+        let mut thawed = ValueIndex::from_packed(Bytes::copy_from_slice(&[0; 64]), Bytes::new());
         let d = c.doc(DocId(0));
         thawed.index_document(DocId(0), d);
         assert!(!thawed.is_packed());

@@ -29,17 +29,21 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u32) {
 /// Decode one varint from the front of `buf`, returning the value and the
 /// remaining bytes. `None` on truncation, overlong encodings past 5
 /// bytes, or a final byte that overflows `u32`.
-pub fn get_varint(buf: &[u8]) -> Option<(u32, &[u8])> {
+pub fn get_varint(mut buf: &[u8]) -> Option<(u32, &[u8])> {
     let mut v: u32 = 0;
-    for (i, &b) in buf.iter().enumerate().take(MAX_VARINT_LEN) {
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        let (&b, rest) = buf.split_first()?;
+        buf = rest;
         let payload = (b & 0x7F) as u32;
         // The 5th byte may only carry the top 4 bits of a u32.
         if i == MAX_VARINT_LEN - 1 && payload > 0x0F {
             return None;
         }
-        v |= payload << (7 * i);
+        v |= payload << shift;
+        shift += 7;
         if b & 0x80 == 0 {
-            return Some((v, &buf[i + 1..]));
+            return Some((v, buf));
         }
     }
     None
@@ -111,12 +115,23 @@ mod tests {
     #[test]
     fn truncated_and_overlong_inputs_rejected() {
         assert_eq!(get_varint(&[]), None);
-        assert_eq!(get_varint(&[0x80]), None, "continuation bit with no next byte");
-        assert_eq!(get_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]), None, "6-byte varint");
+        assert_eq!(
+            get_varint(&[0x80]),
+            None,
+            "continuation bit with no next byte"
+        );
+        assert_eq!(
+            get_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]),
+            None,
+            "6-byte varint"
+        );
         // 5th byte carrying more than the top 4 bits of a u32 overflows.
         assert_eq!(get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x10]), None);
         // u32::MAX itself stays decodable.
-        assert_eq!(get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).map(|(v, _)| v), Some(u32::MAX));
+        assert_eq!(
+            get_varint(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]).map(|(v, _)| v),
+            Some(u32::MAX)
+        );
     }
 
     #[test]

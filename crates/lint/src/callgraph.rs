@@ -1,0 +1,924 @@
+//! Workspace call graph over the [`crate::parser`] item trees.
+//!
+//! Functions are keyed by `(crate, module-path, fn)`; call sites are
+//! resolved by *name + arity*, narrowed by the crate dependency closure
+//! (parsed from each `crates/*/Cargo.toml`) and, for unqualified calls,
+//! by module/crate proximity. This over-approximates (a call may resolve
+//! to several same-name/same-arity functions — all become edges) and
+//! never under-approximates within the parsed subset, which is the right
+//! bias for the reachability analyses built on top (DESIGN.md §14).
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::{parse_fns, FnDef, EXPR_KEYWORDS};
+use crate::rules::is_test_path;
+
+/// One lexed source file of the workspace.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Owning crate, by directory name (`algebra`, `index`, `serve`, …;
+    /// the root `src/` tree is crate `suite`).
+    pub crate_name: String,
+    /// Whole file is test scaffolding (`tests/`, `benches/`, `examples/`).
+    pub is_test: bool,
+    /// Token stream (positions survive into every diagnostic).
+    pub toks: Vec<Tok>,
+    /// Source lines, for excerpts.
+    pub lines: Vec<String>,
+}
+
+/// A function node: its parsed def plus the owning file.
+pub struct FnNode {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// Parsed definition.
+    pub def: FnDef,
+}
+
+/// One resolved call edge out of a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Callee function index.
+    pub callee: usize,
+    /// 1-based position of the call in the *caller's* file.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// What kind of panic a source site is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro(String),
+    /// `.unwrap()` (zero args).
+    Unwrap,
+    /// `.expect("…")` (exactly one arg — the workspace parsers define
+    /// two-arg `expect(&Tok, &str)` methods that are ordinary calls).
+    Expect,
+    /// Slice-index sugar `x[i]` / `&x[a..b]`.
+    Index,
+}
+
+impl PanicKind {
+    /// Short display form for traces and messages.
+    pub fn describe(&self) -> String {
+        match self {
+            PanicKind::Macro(m) => format!("`{m}!`"),
+            PanicKind::Unwrap => "`.unwrap()`".to_string(),
+            PanicKind::Expect => "`.expect(…)`".to_string(),
+            PanicKind::Index => "slice-index `[…]`".to_string(),
+        }
+    }
+}
+
+/// One potential panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub kind: PanicKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnNode>,
+    /// Resolved out-edges per function (parallel to `fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Panic sites per function (parallel to `fns`).
+    pub panics: Vec<Vec<PanicSite>>,
+    /// Crate-name → dependency closure (crate dir names, self included).
+    pub deps: HashMap<String, HashSet<String>>,
+}
+
+impl Graph {
+    /// Build the graph from `(workspace-relative path, source)` pairs.
+    /// `root` locates `crates/*/Cargo.toml` for the dependency closure;
+    /// pass a non-existent root to fall back to all-crates-see-all (the
+    /// fixture tests do this).
+    pub fn build(root: &Path, sources: &[(String, String)]) -> Graph {
+        let mut files = Vec::new();
+        for (rel, source) in sources {
+            let Some(crate_name) = crate_of(rel) else {
+                continue;
+            };
+            files.push(SourceFile {
+                path: rel.clone(),
+                crate_name,
+                is_test: is_test_path(rel),
+                toks: lex(source),
+                lines: source.lines().map(|l| l.to_string()).collect(),
+            });
+        }
+
+        let crate_names: HashSet<String> = files.iter().map(|f| f.crate_name.clone()).collect();
+        let deps = dep_closure(root, &crate_names);
+
+        let mut fns = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            let module = module_of(&file.path);
+            for def in parse_fns(&file.toks, &module, file.is_test) {
+                fns.push(FnNode { file: fi, def });
+            }
+        }
+
+        let mut graph = Graph {
+            files,
+            fns,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            deps,
+        };
+        graph.resolve();
+        graph
+    }
+
+    /// Fully-qualified display path of a function, `crate::mod::Type::fn`.
+    pub fn fn_path(&self, idx: usize) -> String {
+        let node = &self.fns[idx];
+        format!(
+            "{}::{}",
+            self.files[node.file].crate_name,
+            node.def.path_in_crate()
+        )
+    }
+
+    /// The file path / line of a function, for trace rendering.
+    pub fn fn_site(&self, idx: usize) -> (&str, u32) {
+        let node = &self.fns[idx];
+        (&self.files[node.file].path, node.def.line)
+    }
+
+    /// Trimmed source line of a file, for excerpts.
+    pub fn excerpt(&self, file: usize, line: u32) -> String {
+        self.files[file]
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+            .unwrap_or_default()
+    }
+
+    /// Indices of non-test functions matching `(crate, module, name)`.
+    /// An empty `names` slice matches every function in the module.
+    pub fn find_fns(&self, crate_name: &str, module: &[&str], names: &[&str]) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.def.in_test
+                    && !self.files[n.file].is_test
+                    && self.files[n.file].crate_name == crate_name
+                    && n.def.module.iter().map(|s| s.as_str()).collect::<Vec<_>>() == module
+                    && (names.is_empty() || names.contains(&n.def.name.as_str()))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Multi-source BFS. Returns, for each reachable function, the call
+    /// edge it was first discovered through: `(caller, line, col)` — the
+    /// roots map to `None`-parented entries. Unreachable functions are
+    /// absent from the map.
+    pub fn reach_from(&self, roots: &[usize]) -> HashMap<usize, Option<(usize, u32, u32)>> {
+        let mut seen: HashMap<usize, Option<(usize, u32, u32)>> = HashMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(r) {
+                e.insert(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for site in &self.calls[f] {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(site.callee) {
+                    e.insert(Some((f, site.line, site.col)));
+                    queue.push_back(site.callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render the shortest root→`f` call chain recorded by
+    /// [`Graph::reach_from`], one `path:line` hop per element.
+    pub fn trace_to(
+        &self,
+        reach: &HashMap<usize, Option<(usize, u32, u32)>>,
+        f: usize,
+    ) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = f;
+        while let Some(Some((parent, line, col))) = reach.get(&cur) {
+            let (ppath, _) = self.fn_site(*parent);
+            chain.push(format!("{} ({}:{}:{})", self.fn_path(*parent), ppath, line, col));
+            cur = *parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Resolve every call site in every non-test function body.
+    fn resolve(&mut self) {
+        // Name → candidate fn indices (non-test defs only: product code
+        // cannot call test scaffolding).
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, n) in self.fns.iter().enumerate() {
+            if !n.def.in_test && !self.files[n.file].is_test {
+                by_name.entry(n.def.name.as_str()).or_default().push(i);
+            }
+        }
+
+        let mut calls = vec![Vec::new(); self.fns.len()];
+        let mut panics = vec![Vec::new(); self.fns.len()];
+        for i in 0..self.fns.len() {
+            let node = &self.fns[i];
+            if node.def.in_test || self.files[node.file].is_test {
+                continue;
+            }
+            let Some((open, close)) = node.def.body else {
+                continue;
+            };
+            // Nested fns own their bodies: skip their spans while walking.
+            let nested: Vec<(usize, usize)> = self
+                .fns
+                .iter()
+                .filter(|m| m.file == node.file)
+                .filter_map(|m| m.def.body)
+                .filter(|&(o, c)| o > open && c < close)
+                .collect();
+            let raw = extract_sites(&self.files[node.file].toks, open, close, &nested);
+            for site in raw {
+                match site {
+                    RawSite::Panic(p) => panics[i].push(p),
+                    RawSite::Call(c) => {
+                        for callee in self.resolve_call(i, &c, &by_name) {
+                            calls[i].push(CallSite {
+                                callee,
+                                line: c.line,
+                                col: c.col,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.calls = calls;
+        self.panics = panics;
+    }
+
+    /// All plausible callees for one raw call from function `caller`.
+    fn resolve_call(
+        &self,
+        caller: usize,
+        call: &RawCall,
+        by_name: &HashMap<&str, Vec<usize>>,
+    ) -> Vec<usize> {
+        let caller_node = &self.fns[caller];
+        let caller_crate = &self.files[caller_node.file].crate_name;
+        let empty = HashSet::new();
+        let visible = self.deps.get(caller_crate).unwrap_or(&empty);
+        let Some(cands) = by_name.get(call.name.as_str()) else {
+            return Vec::new();
+        };
+
+        // Normalize the qualifier: drop `crate`/`super` heads, map
+        // `Self` to the caller's impl type, `pimento_x` → `x`.
+        let mut segs: Vec<String> = Vec::new();
+        for s in &call.qualifier {
+            match s.as_str() {
+                "crate" | "super" => {}
+                "Self" => {
+                    if let Some(ty) = &caller_node.def.self_ty {
+                        segs.push(ty.clone());
+                    }
+                }
+                other => segs.push(other.strip_prefix("pimento_").unwrap_or(other).to_string()),
+            }
+        }
+        // A `std::`/`core::`/`alloc::` qualifier is definitively external.
+        if matches!(
+            segs.first().map(|s| s.as_str()),
+            Some("std" | "core" | "alloc")
+        ) {
+            return Vec::new();
+        }
+
+        let matches_shape = |idx: usize| -> bool {
+            let n = &self.fns[idx];
+            let cand_crate = &self.files[n.file].crate_name;
+            if cand_crate != caller_crate && !visible.contains(cand_crate) {
+                return false;
+            }
+            match call.kind {
+                CallKind::Method => n.def.has_self && n.def.params == call.argc,
+                CallKind::Path => {
+                    // `Type::method(&x, …)` passes the receiver explicitly.
+                    let expected = n.def.params + usize::from(n.def.has_self);
+                    if call.argc != expected {
+                        return false;
+                    }
+                    // Qualifier must suffix-match crate::module::Type.
+                    let mut full: Vec<&str> = vec![cand_crate.as_str()];
+                    full.extend(n.def.module.iter().map(|s| s.as_str()));
+                    if let Some(ty) = &n.def.self_ty {
+                        full.push(ty.as_str());
+                    }
+                    segs.len() <= full.len()
+                        && segs
+                            .iter()
+                            .rev()
+                            .zip(full.iter().rev())
+                            .all(|(a, b)| a == b)
+                }
+                CallKind::Bare => {
+                    n.def.self_ty.is_none() && !n.def.has_self && n.def.params == call.argc
+                }
+            }
+        };
+
+        let mut hits: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| matches_shape(i))
+            .collect();
+        // Receiver types are unknown, so a method name like `len` or
+        // `insert` matches both std containers and unrelated workspace
+        // impls. A multi-candidate method set is kept only when every
+        // candidate implements the *same trait* — that is genuine dynamic
+        // dispatch (`Operator::next` fans out to every operator); a mixed
+        // bag of inherent impls is a std-name collision and resolving it
+        // would wire unrelated subsystems together.
+        if matches!(call.kind, CallKind::Method) && hits.len() > 1 {
+            let first_trait = self.fns[hits[0]].def.trait_of.as_deref();
+            let same_family = first_trait.is_some()
+                && hits
+                    .iter()
+                    .all(|&i| self.fns[i].def.trait_of.as_deref() == first_trait);
+            if !same_family {
+                return Vec::new();
+            }
+        }
+        // Unqualified calls prefer the nearest definition: same module
+        // (and file), then same crate, then anything visible.
+        if matches!(call.kind, CallKind::Bare) && hits.len() > 1 {
+            let same_module: Vec<usize> = hits
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.fns[i].file == caller_node.file
+                        && self.fns[i].def.module == caller_node.def.module
+                })
+                .collect();
+            if !same_module.is_empty() {
+                hits = same_module;
+            } else {
+                let same_crate: Vec<usize> = hits
+                    .iter()
+                    .copied()
+                    .filter(|&i| &self.files[self.fns[i].file].crate_name == caller_crate)
+                    .collect();
+                if !same_crate.is_empty() {
+                    hits = same_crate;
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// Crate directory name for a workspace path, `None` for unowned files.
+fn crate_of(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        return rest.split('/').next().map(|s| s.to_string());
+    }
+    if path.starts_with("src/") || path.starts_with("tests/") || path.starts_with("examples/") {
+        return Some("suite".to_string());
+    }
+    None
+}
+
+/// Crate-relative module path from a file path.
+fn module_of(path: &str) -> Vec<String> {
+    let in_src = path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .map(|(_, rest)| rest)
+        .unwrap_or(path);
+    let Some(rel) = in_src.strip_prefix("src/") else {
+        return Vec::new();
+    };
+    let mut parts: Vec<String> = rel
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(|s| s.to_string())
+        .collect();
+    match parts.last().map(|s| s.as_str()) {
+        Some("lib") | Some("main") | Some("mod") => {
+            parts.pop();
+        }
+        _ => {}
+    }
+    parts
+}
+
+/// Parse `crates/*/Cargo.toml` `[dependencies]` path entries into a
+/// transitive closure per crate. When no manifests are found every crate
+/// sees every other (sound fallback for synthetic fixture workspaces).
+fn dep_closure(root: &Path, crates: &HashSet<String>) -> HashMap<String, HashSet<String>> {
+    let mut direct: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut any_manifest = false;
+    for c in crates {
+        let manifest = if c == "suite" {
+            root.join("Cargo.toml")
+        } else {
+            root.join("crates").join(c).join("Cargo.toml")
+        };
+        let mut set = HashSet::new();
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            any_manifest = true;
+            set = parse_path_deps(&text);
+        }
+        set.insert(c.clone());
+        direct.insert(c.clone(), set);
+    }
+    if !any_manifest {
+        let all: HashSet<String> = crates.clone();
+        return crates.iter().map(|c| (c.clone(), all.clone())).collect();
+    }
+    // Transitive closure (the workspace is tiny; fixpoint is fine).
+    let mut closed = direct.clone();
+    loop {
+        let mut changed = false;
+        for c in crates {
+            let reach: Vec<String> = closed
+                .get(c)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            for d in reach {
+                let extra: Vec<String> = closed
+                    .get(&d)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                let set = closed.entry(c.clone()).or_default();
+                for e in extra {
+                    changed |= set.insert(e);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    closed
+}
+
+/// Extract `path = "../x"` crate-dir names from the `[dependencies]`
+/// section of a manifest (dev-dependencies are runtime-invisible).
+fn parse_path_deps(manifest: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(pos) = line.find("path") {
+            let rest = &line[pos..];
+            if let Some(q) = rest.find('"') {
+                let val = &rest[q + 1..];
+                if let Some(end) = val.find('"') {
+                    let dir = val[..end].rsplit('/').next().unwrap_or("");
+                    if !dir.is_empty() && dir != ".." {
+                        out.insert(dir.to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How a call names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallKind {
+    /// `recv.name(args)` — receiver type unknown; match by name + arity.
+    Method,
+    /// `a::b::name(args)` — qualifier suffix-matched.
+    Path,
+    /// `name(args)` — unqualified; nearest definition preferred.
+    Bare,
+}
+
+/// One syntactic call, pre-resolution.
+#[derive(Debug, Clone)]
+struct RawCall {
+    kind: CallKind,
+    qualifier: Vec<String>,
+    name: String,
+    argc: usize,
+    line: u32,
+    col: u32,
+}
+
+enum RawSite {
+    Call(RawCall),
+    Panic(PanicSite),
+}
+
+/// Walk a body token range collecting call sites and panic sources.
+/// `nested` are body spans of nested `fn` items, skipped wholesale.
+fn extract_sites(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    nested: &[(usize, usize)],
+) -> Vec<RawSite> {
+    let mut out = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // Skip a nested fn item: signature and body belong to it.
+        if toks[j].is_ident("fn")
+            && matches!(toks.get(j + 1).map(|t| &t.kind), Some(TokKind::Ident(_)))
+        {
+            if let Some(&(_, c)) = nested.iter().find(|&&(o, _)| o > j && o < close) {
+                j = c + 1;
+                continue;
+            }
+        }
+
+        // Method call / method-shaped panic: `.name(` or `.name::<…>(`.
+        if toks[j].is_punct(".") {
+            if let Some(TokKind::Ident(name)) = toks.get(j + 1).map(|t| &t.kind) {
+                let mut p = j + 2;
+                if toks.get(p).map(|t| t.is_punct("::")).unwrap_or(false) {
+                    // Turbofish: skip the angle group.
+                    p += 1;
+                    let mut angle = 0usize;
+                    while p < close {
+                        match toks[p].kind {
+                            TokKind::Punct("<") => angle += 1,
+                            TokKind::Punct(">") => angle = angle.saturating_sub(1),
+                            TokKind::Punct(">>") => angle = angle.saturating_sub(2),
+                            _ => {}
+                        }
+                        p += 1;
+                        if angle == 0 {
+                            break;
+                        }
+                    }
+                }
+                if toks.get(p).map(|t| t.is_punct("(")).unwrap_or(false) {
+                    let (argc, _) = scan_call_args(toks, p);
+                    let (line, col) = (toks[j + 1].line, toks[j + 1].col);
+                    match (name.as_str(), argc) {
+                        ("unwrap", 0) => out.push(RawSite::Panic(PanicSite {
+                            kind: PanicKind::Unwrap,
+                            line,
+                            col,
+                        })),
+                        ("expect", 1) => out.push(RawSite::Panic(PanicSite {
+                            kind: PanicKind::Expect,
+                            line,
+                            col,
+                        })),
+                        _ => out.push(RawSite::Call(RawCall {
+                            kind: CallKind::Method,
+                            qualifier: Vec::new(),
+                            name: name.clone(),
+                            argc,
+                            line,
+                            col,
+                        })),
+                    }
+                    j += 2;
+                    continue;
+                }
+            }
+        }
+
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        if let TokKind::Ident(name) = &toks[j].kind {
+            if toks.get(j + 1).map(|t| t.is_punct("!")).unwrap_or(false)
+                && toks
+                    .get(j + 2)
+                    .map(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+                    .unwrap_or(false)
+            {
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) {
+                    out.push(RawSite::Panic(PanicSite {
+                        kind: PanicKind::Macro(name.clone()),
+                        line: toks[j].line,
+                        col: toks[j].col,
+                    }));
+                }
+                j += 2; // walk into the macro args normally
+                continue;
+            }
+        }
+
+        // Free / path call: `[a::b::]name(` with a lowercase final segment
+        // (uppercase finals are tuple-struct/variant constructors).
+        if let TokKind::Ident(name) = &toks[j].kind {
+            let prev_dot = j > 0 && (toks[j - 1].is_punct(".") || toks[j - 1].is_ident("fn"));
+            let is_call = toks.get(j + 1).map(|t| t.is_punct("(")).unwrap_or(false);
+            let lowercase = name
+                .chars()
+                .next()
+                .map(|c| c.is_lowercase() || c == '_')
+                .unwrap_or(false);
+            if is_call && !prev_dot && lowercase && !EXPR_KEYWORDS.contains(&name.as_str()) {
+                // Collect the `::` qualifier backwards.
+                let mut qualifier = Vec::new();
+                let mut k = j;
+                while k >= 2
+                    && toks[k - 1].is_punct("::")
+                    && matches!(toks[k - 2].kind, TokKind::Ident(_))
+                {
+                    if let TokKind::Ident(s) = &toks[k - 2].kind {
+                        qualifier.push(s.clone());
+                    }
+                    k -= 2;
+                }
+                qualifier.reverse();
+                let (argc, _) = scan_call_args(toks, j + 1);
+                let kind = if qualifier.is_empty() {
+                    CallKind::Bare
+                } else {
+                    CallKind::Path
+                };
+                out.push(RawSite::Call(RawCall {
+                    kind,
+                    qualifier,
+                    name: name.clone(),
+                    argc,
+                    line: toks[j].line,
+                    col: toks[j].col,
+                }));
+                j += 1;
+                continue;
+            }
+        }
+
+        // Slice-index sugar: `expr[…]` — the previous token ends a value
+        // expression. (`#[attr]` and array types/literals don't match.)
+        if toks[j].is_punct("[") && j > 0 {
+            let prev_ends_value = matches!(
+                &toks[j - 1].kind,
+                TokKind::Ident(_)
+                    | TokKind::Int
+                    | TokKind::Punct(")")
+                    | TokKind::Punct("]")
+                    | TokKind::Punct("?")
+            ) && !toks[j - 1].is_ident("return")
+                && !EXPR_KEYWORDS.contains(&match &toks[j - 1].kind {
+                    TokKind::Ident(s) => s.as_str(),
+                    _ => "",
+                });
+            if prev_ends_value {
+                out.push(RawSite::Panic(PanicSite {
+                    kind: PanicKind::Index,
+                    line: toks[j].line,
+                    col: toks[j].col,
+                }));
+            }
+        }
+
+        j += 1;
+    }
+    out
+}
+
+/// Count top-level arguments of a call whose `(` is at `open`; returns
+/// `(argc, index of the matching `)`)`. Commas inside nested brackets or
+/// closure parameter pipes don't count.
+pub fn scan_call_args(toks: &[Tok], open: usize) -> (usize, usize) {
+    let mut depth = 0usize;
+    let mut pipe = false;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct("(") | TokKind::Punct("[") | TokKind::Punct("{") => depth += 1,
+            TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    let argc = if any { commas + 1 } else { 0 };
+                    return (argc, j);
+                }
+            }
+            TokKind::Punct("|") if depth == 1 => pipe = !pipe,
+            // A trailing comma right before the closer separates nothing.
+            TokKind::Punct(",")
+                if depth == 1
+                    && !pipe
+                    && !toks.get(j + 1).map(|t| t.is_punct(")")).unwrap_or(false) =>
+            {
+                commas += 1;
+            }
+            _ => {}
+        }
+        if j > open && depth >= 1 {
+            any = true;
+        }
+        j += 1;
+    }
+    (if any { commas + 1 } else { 0 }, j.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        // A root that exists but holds no manifests → all-see-all closure.
+        Graph::build(Path::new("/nonexistent-lint-fixture"), &sources)
+    }
+
+    fn fn_idx(g: &Graph, path: &str) -> usize {
+        (0..g.fns.len())
+            .find(|&i| g.fn_path(i) == path)
+            .unwrap_or_else(|| {
+                let all: Vec<String> = (0..g.fns.len()).map(|i| g.fn_path(i)).collect();
+                panic!("no fn {path}; have {all:?}")
+            })
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_the_module() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() { helper(1); } fn helper(x: u32) -> u32 { x }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        let helper = fn_idx(&g, "a::m::helper");
+        assert_eq!(g.calls[root].len(), 1);
+        assert_eq!(g.calls[root][0].callee, helper);
+    }
+
+    #[test]
+    fn arity_disambiguates_same_name_fns() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() { go(1); } fn go(x: u32) {} fn go2(x: u32, y: u32) {}",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert_eq!(g.calls[root].len(), 1);
+        assert_eq!(g.fn_path(g.calls[root][0].callee), "a::m::go");
+    }
+
+    #[test]
+    fn method_calls_match_workspace_impls_by_arity() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root(s: &St) { s.step(1); } pub struct St; impl St { pub fn step(&self, n: u32) {} pub fn step2(&self) {} }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert_eq!(g.calls[root].len(), 1);
+        assert_eq!(g.fn_path(g.calls[root][0].callee), "a::m::St::step");
+    }
+
+    #[test]
+    fn two_arg_expect_is_a_call_not_a_panic() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root(p: &mut P) { p.expect(1, 2); } pub struct P; impl P { pub fn expect(&mut self, a: u32, b: u32) {} }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert!(
+            g.panics[root].is_empty(),
+            "2-arg expect is the parser method"
+        );
+        assert_eq!(g.calls[root].len(), 1);
+    }
+
+    #[test]
+    fn trailing_commas_do_not_inflate_call_arity() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() { helper(\n    1,\n    2,\n); } fn helper(a: u32, b: u32) {}",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert_eq!(
+            g.calls[root].len(),
+            1,
+            "3-looking arity must still match the 2-param helper"
+        );
+    }
+
+    #[test]
+    fn one_arg_expect_and_zero_arg_unwrap_are_panics() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root(x: Option<u32>) -> u32 { x.expect(\"set\") + x.unwrap() }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        let kinds: Vec<&PanicKind> = g.panics[root].iter().map(|p| &p.kind).collect();
+        assert_eq!(kinds, vec![&PanicKind::Expect, &PanicKind::Unwrap]);
+    }
+
+    #[test]
+    fn constructors_and_macro_brackets_are_not_sites() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() -> Option<Vec<u32>> { let v = vec![1, 2]; Some(v) }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert!(g.calls[root].is_empty());
+        assert!(
+            g.panics[root].is_empty(),
+            "vec![…] is a macro bracket, not an index"
+        );
+    }
+
+    #[test]
+    fn indexing_is_a_panic_site() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root(v: &[u32], i: usize) -> u32 { v[i] }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert_eq!(g.panics[root].len(), 1);
+        assert_eq!(g.panics[root][0].kind, PanicKind::Index);
+    }
+
+    #[test]
+    fn qualified_calls_cross_files() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/m.rs",
+                "pub fn root(b: &[u8]) { crate::util::decode(b); }",
+            ),
+            (
+                "crates/a/src/util.rs",
+                "pub fn decode(b: &[u8]) -> u32 { 0 }",
+            ),
+        ]);
+        let root = fn_idx(&g, "a::m::root");
+        let decode = fn_idx(&g, "a::util::decode");
+        assert_eq!(g.calls[root].len(), 1);
+        assert_eq!(g.calls[root][0].callee, decode);
+    }
+
+    #[test]
+    fn test_functions_are_outside_the_graph() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() { helper(); } fn helper() {} #[cfg(test)] mod tests { fn helper() { panic!(); } }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        assert_eq!(
+            g.calls[root].len(),
+            1,
+            "resolves only to the non-test helper"
+        );
+        let callee = g.calls[root][0].callee;
+        assert!(g.panics[callee].is_empty());
+    }
+
+    #[test]
+    fn reachability_reports_a_parent_chain() {
+        let g = graph_of(&[(
+            "crates/a/src/m.rs",
+            "pub fn root() { mid(); } fn mid() { leaf(); } fn leaf() { panic!(\"boom\"); }",
+        )]);
+        let root = fn_idx(&g, "a::m::root");
+        let leaf = fn_idx(&g, "a::m::leaf");
+        let reach = g.reach_from(&[root]);
+        assert!(reach.contains_key(&leaf));
+        let trace = g.trace_to(&reach, leaf);
+        assert_eq!(trace.len(), 2, "root -> mid hops: {trace:?}");
+        assert!(trace[0].starts_with("a::m::root ("));
+        assert!(trace[1].starts_with("a::m::mid ("));
+    }
+
+    #[test]
+    fn closure_pipes_do_not_split_args() {
+        let toks = lex("f(|a, b| cmp(a, b), x)");
+        let (argc, _) = scan_call_args(&toks, 1);
+        assert_eq!(argc, 2, "closure + x");
+    }
+
+    #[test]
+    fn dep_parsing_reads_path_dependencies_only() {
+        let deps = parse_path_deps(
+            "[package]\nname = \"pimento-serve\"\n[dependencies]\npimento-core = { path = \"../core\" }\nbytes = { workspace = true }\n[dev-dependencies]\npimento-bench = { path = \"../bench\" }\n",
+        );
+        assert!(deps.contains("core"));
+        assert!(!deps.contains("bench"), "dev-deps are runtime-invisible");
+    }
+}

@@ -25,11 +25,13 @@ pub enum TokKind {
     Lit,
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based byte column the token starts on.
+    pub col: u32,
     /// Token payload.
     pub kind: TokKind,
 }
@@ -60,6 +62,8 @@ pub fn lex(source: &str) -> Vec<Tok> {
     let mut toks = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+    // Byte index where the current line starts (column = i - line_start + 1).
+    let mut line_start: usize = 0;
 
     // Advance over `n` bytes, counting newlines.
     macro_rules! bump {
@@ -67,10 +71,16 @@ pub fn lex(source: &str) -> Vec<Tok> {
             for k in 0..$n {
                 if bytes.get(i + k) == Some(&b'\n') {
                     line += 1;
+                    line_start = i + k + 1;
                 }
             }
             i += $n;
         }};
+    }
+    macro_rules! col {
+        () => {
+            (i - line_start + 1) as u32
+        };
     }
 
     while i < bytes.len() {
@@ -84,7 +94,11 @@ pub fn lex(source: &str) -> Vec<Tok> {
 
         // Line comment (also doc comments).
         if bytes[i..].starts_with(b"//") {
-            let end = bytes[i..].iter().position(|&b| b == b'\n').map(|p| i + p).unwrap_or(bytes.len());
+            let end = bytes[i..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| i + p)
+                .unwrap_or(bytes.len());
             bump!(end - i);
             continue;
         }
@@ -122,12 +136,20 @@ pub fn lex(source: &str) -> Vec<Tok> {
             }
             if bytes.get(j) == Some(&b'"') {
                 let open_line = line;
+                let open_col = col!();
                 // Find closing `"` followed by `hashes` hashes.
                 let mut k = j + 1;
                 loop {
                     match bytes.get(k) {
                         None => break,
-                        Some(&b'"') if bytes[k + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes => {
+                        Some(&b'"')
+                            if bytes[k + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&b| b == b'#')
+                                .count()
+                                == hashes =>
+                        {
                             k += 1 + hashes;
                             break;
                         }
@@ -135,7 +157,11 @@ pub fn lex(source: &str) -> Vec<Tok> {
                     }
                 }
                 bump!(k - i);
-                toks.push(Tok { line: open_line, kind: TokKind::Str });
+                toks.push(Tok {
+                    line: open_line,
+                    col: open_col,
+                    kind: TokKind::Str,
+                });
                 continue;
             }
             // Not a raw string: fall through to identifier handling.
@@ -144,6 +170,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
         // Plain / byte strings.
         if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&b'"')) {
             let open_line = line;
+            let open_col = col!();
             let mut j = if c == '"' { i + 1 } else { i + 2 };
             while j < bytes.len() {
                 match bytes[j] {
@@ -156,7 +183,11 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 }
             }
             bump!(j - i);
-            toks.push(Tok { line: open_line, kind: TokKind::Str });
+            toks.push(Tok {
+                line: open_line,
+                col: open_col,
+                kind: TokKind::Str,
+            });
             continue;
         }
 
@@ -166,11 +197,14 @@ pub fn lex(source: &str) -> Vec<Tok> {
             let next = bytes.get(i + 1).copied();
             let is_char = match next {
                 Some(b'\\') => true,
-                Some(n) => bytes.get(i + 2) == Some(&b'\'') || !(n.is_ascii_alphanumeric() || n == b'_'),
+                Some(n) => {
+                    bytes.get(i + 2) == Some(&b'\'') || !(n.is_ascii_alphanumeric() || n == b'_')
+                }
                 None => false,
             };
             if is_char {
                 let open_line = line;
+                let open_col = col!();
                 let mut j = i + 1;
                 while j < bytes.len() {
                     match bytes[j] {
@@ -183,11 +217,16 @@ pub fn lex(source: &str) -> Vec<Tok> {
                     }
                 }
                 bump!(j - i);
-                toks.push(Tok { line: open_line, kind: TokKind::Lit });
+                toks.push(Tok {
+                    line: open_line,
+                    col: open_col,
+                    kind: TokKind::Lit,
+                });
             } else {
                 // Lifetime: skip the quote and the identifier.
                 let mut j = i + 1;
-                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                {
                     j += 1;
                 }
                 bump!(j - i);
@@ -199,13 +238,17 @@ pub fn lex(source: &str) -> Vec<Tok> {
         // (so `0..n` stays a range and `a.0` stays a field access).
         if c.is_ascii_digit() {
             let open_line = line;
+            let open_col = col!();
             let mut j = i + 1;
             while j < bytes.len() {
                 let b = bytes[j] as char;
                 let continues = b.is_ascii_alphanumeric()
                     || b == '_'
                     || (b == '.'
-                        && bytes.get(j + 1).map(|&n| (n as char).is_ascii_digit()).unwrap_or(false))
+                        && bytes
+                            .get(j + 1)
+                            .map(|&n| (n as char).is_ascii_digit())
+                            .unwrap_or(false))
                     || ((b == '+' || b == '-')
                         && matches!(bytes.get(j - 1), Some(&b'e') | Some(&b'E')));
                 if !continues {
@@ -224,6 +267,7 @@ pub fn lex(source: &str) -> Vec<Tok> {
             bump!(j - i);
             toks.push(Tok {
                 line: open_line,
+                col: open_col,
                 kind: if is_int { TokKind::Int } else { TokKind::Lit },
             });
             continue;
@@ -232,12 +276,17 @@ pub fn lex(source: &str) -> Vec<Tok> {
         // Identifiers / keywords (incl. raw identifiers `r#foo`).
         if c.is_alphabetic() || c == '_' {
             let open_line = line;
+            let open_col = col!();
             let mut j = i;
             // `r#ident` raw identifier.
             if (c == 'r' || c == 'b') && bytes.get(i + 1) == Some(&b'#') {
                 // Only when what follows is an identifier char (raw strings
                 // were handled above).
-                if bytes.get(i + 2).map(|&n| (n as char).is_alphabetic() || n == b'_').unwrap_or(false) {
+                if bytes
+                    .get(i + 2)
+                    .map(|&n| (n as char).is_alphabetic() || n == b'_')
+                    .unwrap_or(false)
+                {
                     j = i + 2;
                 }
             }
@@ -247,7 +296,11 @@ pub fn lex(source: &str) -> Vec<Tok> {
             }
             let text = source[word_start..j].to_string();
             bump!(j - i);
-            toks.push(Tok { line: open_line, kind: TokKind::Ident(text) });
+            toks.push(Tok {
+                line: open_line,
+                col: open_col,
+                kind: TokKind::Ident(text),
+            });
             continue;
         }
 
@@ -255,8 +308,13 @@ pub fn lex(source: &str) -> Vec<Tok> {
         let rest = &source[i..];
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
             let open_line = line;
+            let open_col = col!();
             bump!(p.len());
-            toks.push(Tok { line: open_line, kind: TokKind::Punct(p) });
+            toks.push(Tok {
+                line: open_line,
+                col: open_col,
+                kind: TokKind::Punct(p),
+            });
             continue;
         }
 
@@ -292,7 +350,9 @@ mod tests {
         "##;
         let ids = idents(src);
         assert!(ids.contains(&"real_ident".to_string()));
-        assert!(!ids.iter().any(|s| s == "unwrap" || s == "panic" || s == "spawn"));
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "panic" || s == "spawn"));
         assert!(!ids.iter().any(|s| s == "mut"));
     }
 
@@ -301,7 +361,10 @@ mod tests {
         let toks = lex("a.weight != 1.0; let r = 0..n; t.0.partial_cmp(&u.0)");
         // `1.0` is one literal: no bare `.` between `1` and `0`.
         let dots = toks.iter().filter(|t| t.is_punct(".")).count();
-        assert_eq!(dots, 4, "a.weight, t.0, .partial_cmp, u.0 — not 1.0: {toks:?}");
+        assert_eq!(
+            dots, 4,
+            "a.weight, t.0, .partial_cmp, u.0 — not 1.0: {toks:?}"
+        );
         assert!(toks.iter().any(|t| t.is_punct("..")), "range survives");
     }
 
@@ -314,7 +377,8 @@ mod tests {
 
     #[test]
     fn string_literals_are_distinguished() {
-        let toks = lex(r##"let a = "s"; let b = r#"raw"#; let c = b"bytes"; let d = 'x'; let e = 1.5;"##);
+        let toks =
+            lex(r##"let a = "s"; let b = r#"raw"#; let c = b"bytes"; let d = 'x'; let e = 1.5;"##);
         let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
         assert_eq!(strs, 3, "plain, raw, byte strings: {toks:?}");
         let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
@@ -339,5 +403,24 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_track_byte_offsets() {
+        let toks = lex("ab cd\n  ef.gh()");
+        let pos: Vec<(u32, u32)> = toks.iter().map(|t| (t.line, t.col)).collect();
+        // ab@1:1 cd@1:4 ef@2:3 .@2:5 gh@2:6 (@2:8 )@2:9
+        assert_eq!(
+            pos,
+            vec![(1, 1), (1, 4), (2, 3), (2, 5), (2, 6), (2, 8), (2, 9)]
+        );
+    }
+
+    #[test]
+    fn columns_survive_strings_and_comments() {
+        let toks = lex("/* x */ \"s\" ident");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!((toks[0].line, toks[0].col), (1, 9));
+        assert_eq!((toks[1].line, toks[1].col), (1, 13));
     }
 }

@@ -14,7 +14,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod offsets;
+pub mod panic_free;
+pub mod parser;
 pub mod rules;
 
 pub use rules::{scan_source, Violation};
@@ -63,12 +68,10 @@ impl Allowlist {
             let mut parts = line.splitn(3, char::is_whitespace);
             let (rule, path_suffix, needle) = match (parts.next(), parts.next(), parts.next()) {
                 (Some(r), Some(p), Some(n)) if !n.trim().is_empty() => (r, p, n),
-                _ => {
-                    return Err(format!(
-                        "lint.allow:{}: expected `rule path-suffix excerpt-substring`, got `{line}`",
-                        idx + 1
-                    ))
-                }
+                _ => return Err(format!(
+                    "lint.allow:{}: expected `rule path-suffix excerpt-substring`, got `{line}`",
+                    idx + 1
+                )),
             };
             entries.push(AllowEntry {
                 rule: rule.to_string(),
@@ -142,13 +145,84 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty() && self.stale_entries.is_empty()
     }
+
+    /// Machine-readable report for CI (`--format json`). Hand-rolled
+    /// serialization: the lint gate stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(v.rule)));
+            s.push_str(&format!("\"path\": {}, ", json_str(&v.path)));
+            s.push_str(&format!("\"line\": {}, ", v.line));
+            s.push_str(&format!("\"col\": {}, ", v.col));
+            s.push_str(&format!("\"message\": {}, ", json_str(&v.message)));
+            s.push_str(&format!("\"excerpt\": {}, ", json_str(&v.excerpt)));
+            s.push_str("\"trace\": [");
+            for (j, hop) in v.trace.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_str(hop));
+            }
+            s.push_str("]}");
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"stale_allowlist_entries\": [");
+        for (i, e) in self.stale_entries.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(e));
+        }
+        s.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"allowed\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.allowed,
+            self.is_clean()
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for v in &self.violations {
-            writeln!(f, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.message)?;
-            writeln!(f, "    {}", v.excerpt)?;
+            writeln!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                v.path, v.line, v.col, v.rule, v.message
+            )?;
+            if !v.excerpt.is_empty() {
+                writeln!(f, "    {}", v.excerpt)?;
+            }
+            for hop in &v.trace {
+                writeln!(f, "    via {hop}")?;
+            }
         }
         for s in &self.stale_entries {
             writeln!(f, "lint.allow: stale entry (matches nothing): {s}")?;
@@ -160,13 +234,19 @@ impl fmt::Display for Report {
             self.violations.len(),
             self.allowed,
             self.stale_entries.len(),
-            if self.stale_entries.len() == 1 { "y" } else { "ies" }
+            if self.stale_entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
         )
     }
 }
 
 /// Scan the workspace rooted at `root` using the allowlist at
-/// `allow_path` (missing file = empty allowlist).
+/// `allow_path` (missing file = empty allowlist). Runs the token-level
+/// rules per file, then the three call-graph analyses (panic-path,
+/// lock-order, unchecked-offset) over the whole workspace.
 pub fn scan_workspace(root: &Path, allow_path: &Path) -> Result<Report, String> {
     let mut allow = Allowlist::load(allow_path)?;
     let mut files = Vec::new();
@@ -175,16 +255,35 @@ pub fn scan_workspace(root: &Path, allow_path: &Path) -> Result<Report, String> 
     }
     files.sort();
 
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in &files {
         let rel = rel_path(root, file);
         let source = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        for v in scan_source(&rel, &source) {
-            if allow.covers(&v) {
-                report.allowed += 1;
-            } else {
-                report.violations.push(v);
-            }
+        sources.push((rel, source));
+    }
+
+    let mut found: Vec<Violation> = Vec::new();
+    for (rel, source) in &sources {
+        found.extend(scan_source(rel, source));
+    }
+
+    let graph = callgraph::Graph::build(root, &sources);
+    found.extend(panic_free::check(&graph));
+    found.extend(locks::check(&graph));
+    found.extend(offsets::check(&graph));
+    found.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for v in found {
+        if allow.covers(&v) {
+            report.allowed += 1;
+        } else {
+            report.violations.push(v);
         }
     }
     report.stale_entries = allow
@@ -193,6 +292,27 @@ pub fn scan_workspace(root: &Path, allow_path: &Path) -> Result<Report, String> 
         .map(|e| format!("{} (line {})", e.raw, e.file_line))
         .collect();
     Ok(report)
+}
+
+/// Walk up from `start` to the outermost directory containing a
+/// `Cargo.toml` with a `[workspace]` table (so running from a member
+/// crate still scans the whole workspace). Any manifest is a fallback
+/// root; a `[workspace]` manifest keeps winning so the outermost
+/// workspace is preferred.
+pub fn find_workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    let mut found: Option<PathBuf> = None;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") || found.is_none() {
+                found = Some(dir.clone());
+            }
+        }
+        if !dir.pop() {
+            return found;
+        }
+    }
 }
 
 /// Workspace-relative path with forward slashes (rule predicates and the
@@ -239,8 +359,10 @@ mod tests {
             rule,
             path: path.to_string(),
             line: 1,
+            col: 1,
             message: String::new(),
             excerpt: excerpt.to_string(),
+            trace: Vec::new(),
         }
     }
 
@@ -249,7 +371,11 @@ mod tests {
         let mut allow =
             Allowlist::parse("float-cmp crates/algebra/src/topk.rs let k_win = m.k > a.k + kb;\n")
                 .unwrap();
-        let v = violation("float-cmp", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;");
+        let v = violation(
+            "float-cmp",
+            "crates/algebra/src/topk.rs",
+            "let k_win = m.k > a.k + kb;",
+        );
         assert!(allow.covers(&v));
         assert!(allow.stale().is_empty());
 
@@ -257,8 +383,16 @@ mod tests {
         let mut allow2 =
             Allowlist::parse("float-cmp crates/algebra/src/topk.rs let k_win = m.k > a.k + kb;\n")
                 .unwrap();
-        assert!(!allow2.covers(&violation("hot-path-panic", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;")));
-        assert!(!allow2.covers(&violation("float-cmp", "crates/index/src/values.rs", "let k_win = m.k > a.k + kb;")));
+        assert!(!allow2.covers(&violation(
+            "hot-path-panic",
+            "crates/algebra/src/topk.rs",
+            "let k_win = m.k > a.k + kb;"
+        )));
+        assert!(!allow2.covers(&violation(
+            "float-cmp",
+            "crates/index/src/values.rs",
+            "let k_win = m.k > a.k + kb;"
+        )));
         assert_eq!(allow2.stale().len(), 1);
     }
 
@@ -266,7 +400,11 @@ mod tests {
     fn allowlist_matching_is_whitespace_normalized() {
         let mut allow =
             Allowlist::parse("float-cmp topk.rs let  k_win =\tm.k > a.k + kb;\n").unwrap();
-        let v = violation("float-cmp", "crates/algebra/src/topk.rs", "let k_win = m.k > a.k + kb;");
+        let v = violation(
+            "float-cmp",
+            "crates/algebra/src/topk.rs",
+            "let k_win = m.k > a.k + kb;",
+        );
         assert!(allow.covers(&v));
     }
 
@@ -284,10 +422,14 @@ mod tests {
         r.stale_entries.push("x".into());
         assert!(!r.is_clean());
         let mut r2 = Report::default();
-        r2.violations.push(violation("static-mut", "src/lib.rs", "static mut X: u8 = 0;"));
+        r2.violations.push(violation(
+            "static-mut",
+            "src/lib.rs",
+            "static mut X: u8 = 0;",
+        ));
         assert!(!r2.is_clean());
         let text = r2.to_string();
         assert!(text.contains("[static-mut]"));
-        assert!(text.contains("src/lib.rs:1:"));
+        assert!(text.contains("src/lib.rs:1:1:"));
     }
 }

@@ -9,18 +9,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: lint --workspace [--root PATH] [--allowlist PATH]
+const USAGE: &str = "usage: lint --workspace [--root PATH] [--allowlist PATH] [--format text|json]
 
 Scans crates/, src/, tests/, examples/ under the workspace root for
-PIMENTO invariant violations (float-cmp, hot-path-panic, thread-spawn,
-static-mut, forbid-unsafe). --root defaults to the directory containing
-Cargo.toml (found by walking up from the current directory); --allowlist
-defaults to <root>/lint.allow.";
+PIMENTO invariant violations: the token rules (float-cmp, hot-path-panic,
+thread-spawn, static-mut, forbid-unsafe, lock-poison, hot-path-str-cmp)
+and the call-graph analyses (panic-path, lock-order, unchecked-offset).
+--root defaults to the directory containing Cargo.toml (found by walking
+up from the current directory); --allowlist defaults to <root>/lint.allow;
+--format json emits a machine-readable report for CI.";
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +37,11 @@ fn main() -> ExitCode {
                 Some(p) => allowlist = Some(PathBuf::from(p)),
                 None => return usage_error("--allowlist needs a path"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage_error("--format needs `text` or `json`"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -45,10 +53,16 @@ fn main() -> ExitCode {
         return usage_error("missing --workspace");
     }
 
-    let root = match root.or_else(find_workspace_root) {
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| lint::find_workspace_root_from(&d))
+    }) {
         Some(r) => r,
         None => {
-            eprintln!("lint: no Cargo.toml found walking up from the current directory; pass --root");
+            eprintln!(
+                "lint: no Cargo.toml found walking up from the current directory; pass --root"
+            );
             return ExitCode::from(2);
         }
     };
@@ -56,7 +70,11 @@ fn main() -> ExitCode {
 
     match lint::scan_workspace(&root, &allow_path) {
         Ok(report) => {
-            println!("{report}");
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
@@ -73,25 +91,4 @@ fn main() -> ExitCode {
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("lint: {msg}\n{USAGE}");
     ExitCode::from(2)
-}
-
-/// Walk up from the current directory to the outermost dir containing a
-/// `Cargo.toml` with a `[workspace]` table (so running from a member crate
-/// still scans the whole workspace).
-fn find_workspace_root() -> Option<PathBuf> {
-    let mut dir = std::env::current_dir().ok()?;
-    let mut found: Option<PathBuf> = None;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if let Ok(text) = std::fs::read_to_string(&manifest) {
-            // Any manifest is a fallback root; a `[workspace]` manifest
-            // keeps winning so the outermost workspace is preferred.
-            if text.contains("[workspace]") || found.is_none() {
-                found = Some(dir.clone());
-            }
-        }
-        if !dir.pop() {
-            return found;
-        }
-    }
 }

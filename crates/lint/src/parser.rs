@@ -1,0 +1,544 @@
+//! A lightweight recursive-descent *item* parser for the Rust subset the
+//! PIMENTO workspace actually uses (DESIGN.md §14).
+//!
+//! The parser walks the token stream from [`crate::lexer`] and recovers
+//! just enough structure for whole-workspace semantic analysis: module
+//! nesting (`mod x { … }`), `impl`/`trait` blocks (for method keying),
+//! and `fn` items with their signatures and brace-balanced body spans.
+//! Everything else — expressions, types, patterns — is skipped with
+//! balanced-bracket discipline; the *call-site* structure inside bodies
+//! is recovered later by [`crate::callgraph`].
+//!
+//! Deliberate non-goals (soundness caveats, also listed in DESIGN.md):
+//! macro-*generated* items are invisible (the workspace defines no such
+//! macros), `use` renames are not tracked (resolution is by name, arity,
+//! and crate dependency closure instead), and trait-object dispatch is
+//! approximated by matching every same-name/same-arity method. These
+//! caveats are also listed in DESIGN.md §14.5.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed `fn` item (free function, inherent/trait-impl method, or
+/// trait signature).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Crate-relative module path, e.g. `["eval"]` for
+    /// `crates/algebra/src/eval.rs`, inline `mod` names appended.
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name when this is a method.
+    pub self_ty: Option<String>,
+    /// Trait being implemented (`impl Operator for Scan` → `Operator`);
+    /// for a `trait` block, the trait's own name. Same-name/same-arity
+    /// methods sharing a trait are one dynamic-dispatch family.
+    pub trait_of: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Parameter count, *excluding* any `self` receiver.
+    pub params: usize,
+    /// Whether the signature starts with a `self` receiver.
+    pub has_self: bool,
+    /// Whether the return type mentions a `…Guard` type — such functions
+    /// are lock-*wrappers*: the acquisition belongs to their caller.
+    pub returns_guard: bool,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based byte column of the `fn` keyword.
+    pub col: u32,
+    /// Token index range of the body `{ … }` (inclusive of both braces),
+    /// `None` for bodiless trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]` item or module (excluded from the graph).
+    pub in_test: bool,
+}
+
+impl FnDef {
+    /// `module::Type::name`-style display path (without the crate).
+    pub fn path_in_crate(&self) -> String {
+        let mut parts: Vec<&str> = self.module.iter().map(|s| s.as_str()).collect();
+        if let Some(ty) = &self.self_ty {
+            parts.push(ty);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// Keywords that can directly precede `(` without being a call — used by
+/// the call-site scanner in [`crate::callgraph`], kept here beside the
+/// parser's own keyword knowledge.
+pub const EXPR_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "in", "as", "let", "mut", "ref",
+    "move", "break", "continue", "where", "unsafe", "dyn", "impl", "fn", "use", "pub", "mod",
+    "struct", "enum", "trait", "type", "const", "static",
+];
+
+/// Parse every `fn` item in `toks`. `base_module` is the crate-relative
+/// module path derived from the file path; `file_is_test` marks whole
+/// files under `tests/`/`benches/`/`examples/`.
+pub fn parse_fns(toks: &[Tok], base_module: &[String], file_is_test: bool) -> Vec<FnDef> {
+    let test_mask = cfg_test_mask(toks);
+    let mut out = Vec::new();
+    // Scope stack: (kind, brace depth *at which the scope closes*).
+    enum Scope {
+        Module(String),
+        Impl(Option<String>, Option<String>),
+    }
+    let mut scopes: Vec<(Scope, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            TokKind::Punct("{") => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct("}") => {
+                depth = depth.saturating_sub(1);
+                while matches!(scopes.last(), Some((_, d)) if *d == depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            // `mod name { … }` opens a module scope; `mod name;` is a file
+            // module (handled by per-file base paths).
+            TokKind::Ident(kw) if kw == "mod" => {
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    if toks.get(i + 2).map(|t| t.is_punct("{")).unwrap_or(false) {
+                        scopes.push((Scope::Module(name.clone()), depth));
+                        depth += 1;
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            // `impl … {` / `trait Name {`: key methods by the type name.
+            TokKind::Ident(kw) if kw == "impl" || kw == "trait" => {
+                let is_trait_decl = kw == "trait";
+                let (ty, tr, open) = impl_type_name(toks, i);
+                match open {
+                    Some(open_idx) => {
+                        let trait_of = if is_trait_decl { ty.clone() } else { tr };
+                        scopes.push((Scope::Impl(ty, trait_of), depth));
+                        depth += 1;
+                        i = open_idx + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            // `fn name` — `fn(` is a fn-pointer type, skipped by the
+            // ident requirement.
+            TokKind::Ident(kw) if kw == "fn" => {
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    let mut module: Vec<String> = base_module.to_vec();
+                    let mut self_ty = None;
+                    let mut trait_of = None;
+                    for (s, _) in &scopes {
+                        match s {
+                            Scope::Module(m) => module.push(m.clone()),
+                            Scope::Impl(ty, tr) => {
+                                self_ty = ty.clone();
+                                trait_of = tr.clone();
+                            }
+                        }
+                    }
+                    let (def, next) = parse_signature(
+                        toks,
+                        i,
+                        name.clone(),
+                        module,
+                        self_ty,
+                        trait_of,
+                        file_is_test || test_mask[i],
+                    );
+                    // Scan *into* the body (nested fns/mods are items
+                    // too); the body span is recorded on the def.
+                    out.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Extract the principal type name of an `impl`/`trait` header starting
+/// at `kw`, the trait name when there is a `for`, and the index of its
+/// opening `{`. For `impl Trait for Type` this is `(Type, Some(Trait))`;
+/// generics and lifetimes are skipped.
+fn impl_type_name(toks: &[Tok], kw: usize) -> (Option<String>, Option<String>, Option<usize>) {
+    let mut i = kw + 1;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut angle = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct("{") if angle == 0 => {
+                let (name, tr) = if saw_for {
+                    (after_for, last_ident)
+                } else {
+                    (last_ident, None)
+                };
+                return (name, tr, Some(i));
+            }
+            TokKind::Punct(";") if angle == 0 => return (None, None, None),
+            TokKind::Punct("<") => angle += 1,
+            TokKind::Punct(">") => angle = angle.saturating_sub(1),
+            // `Vec<Vec<u8>>` lexes the closer as one `>>` shift token.
+            TokKind::Punct(">>") => angle = angle.saturating_sub(2),
+            TokKind::Ident(w) if w == "for" && angle == 0 => saw_for = true,
+            TokKind::Ident(w) if w == "where" && angle == 0 => {
+                // `impl<T> Foo<T> where …` — the name is settled; find `{`.
+            }
+            TokKind::Ident(w) if angle == 0 => {
+                if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(w.clone());
+                    }
+                } else {
+                    last_ident = Some(w.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (None, None, None)
+}
+
+/// Parse a `fn` signature starting at the `fn` keyword index; returns the
+/// def and the index to resume scanning at (just *inside* the body so
+/// nested items are still found, or past the `;`).
+#[allow(clippy::too_many_arguments)]
+fn parse_signature(
+    toks: &[Tok],
+    fn_kw: usize,
+    name: String,
+    module: Vec<String>,
+    self_ty: Option<String>,
+    trait_of: Option<String>,
+    in_test: bool,
+) -> (FnDef, usize) {
+    let mut i = fn_kw + 2; // past `fn name`
+                           // Generics.
+    if toks.get(i).map(|t| t.is_punct("<")).unwrap_or(false) {
+        let mut angle = 0usize;
+        while i < toks.len() {
+            match toks[i].kind {
+                TokKind::Punct("<") => angle += 1,
+                TokKind::Punct(">") => angle = angle.saturating_sub(1),
+                TokKind::Punct(">>") => angle = angle.saturating_sub(2),
+                _ => {}
+            }
+            i += 1;
+            if angle == 0 {
+                break;
+            }
+        }
+    }
+    // Parameters.
+    let mut params = 0usize;
+    let mut has_self = false;
+    if toks.get(i).map(|t| t.is_punct("(")).unwrap_or(false) {
+        let open = i;
+        let mut depth = 0usize;
+        let mut angle = 0usize;
+        let mut any_tokens = false;
+        let mut j = i;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct("(") | TokKind::Punct("[") | TokKind::Punct("{") => depth += 1,
+                TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct("<") if depth == 1 => angle += 1,
+                TokKind::Punct(">") if depth == 1 => angle = angle.saturating_sub(1),
+                TokKind::Punct(">>") if depth == 1 => angle = angle.saturating_sub(2),
+                // A trailing comma right before `)` separates nothing.
+                TokKind::Punct(",")
+                    if depth == 1
+                        && angle == 0
+                        && !toks.get(j + 1).map(|t| t.is_punct(")")).unwrap_or(false) =>
+                {
+                    params += 1;
+                }
+                TokKind::Ident(w) if w == "self" && depth == 1 && params == 0 => has_self = true,
+                _ => {}
+            }
+            if j > open && depth >= 1 {
+                any_tokens = true;
+            }
+            j += 1;
+        }
+        if any_tokens {
+            params += 1; // N commas separate N+1 params
+        }
+        if has_self {
+            params = params.saturating_sub(1);
+        }
+        i = j + 1;
+    }
+    // Return type (until `{`, `;`, or `where`), watching for `…Guard`.
+    let mut returns_guard = false;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct("{") | TokKind::Punct(";") => break,
+            TokKind::Ident(w) if w == "where" => break,
+            TokKind::Ident(w) if w.ends_with("Guard") => {
+                returns_guard = true;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Skip a `where` clause.
+    while i < toks.len() && !toks[i].is_punct("{") && !toks[i].is_punct(";") {
+        i += 1;
+    }
+    let (body, resume) = if toks.get(i).map(|t| t.is_punct("{")).unwrap_or(false) {
+        let close = matching_brace(toks, i);
+        // Resume *inside* the body: parse_fns keeps walking and will see
+        // the `{` itself to track depth.
+        (Some((i, close)), i)
+    } else {
+        (None, i + 1)
+    };
+    let def = FnDef {
+        module,
+        self_ty,
+        trait_of,
+        name,
+        params,
+        has_self,
+        returns_guard,
+        line: toks[fn_kw].line,
+        col: toks[fn_kw].col,
+        body,
+        in_test,
+    };
+    (def, resume)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct("{") => depth += 1,
+            TokKind::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Mark every token inside a `#[cfg(test)]` item (attribute included).
+/// The item is whatever follows the attribute (plus any stacked
+/// attributes): skipped through its balanced `{ … }` block, or to the
+/// first `;` for block-less items.
+pub fn cfg_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).map(|t| t.is_punct("[")).unwrap_or(false) {
+            let attr_start = i;
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                // Swallow stacked attributes after the cfg(test) one.
+                let mut j = attr_end;
+                while toks.get(j).map(|t| t.is_punct("#")).unwrap_or(false)
+                    && toks.get(j + 1).map(|t| t.is_punct("[")).unwrap_or(false)
+                {
+                    let (e, _) = scan_attr(toks, j + 1);
+                    j = e;
+                }
+                // Skip the item: to the matching `}` of its first block, or
+                // to `;` if none opens first.
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct("{") {
+                        depth += 1;
+                    } else if toks[j].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    } else if toks[j].is_punct(";") && depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take(j).skip(attr_start) {
+                    *m = true;
+                }
+                i = j;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scan an attribute starting at its `[`; return (index past the matching
+/// `]`, whether it is exactly `cfg(test)` — not `cfg(not(test))`).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let mut is_test = false;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (j + 1, is_test);
+            }
+        } else if toks[j].is_ident("cfg")
+            && toks.get(j + 1).map(|t| t.is_punct("(")).unwrap_or(false)
+            && toks.get(j + 2).map(|t| t.is_ident("test")).unwrap_or(false)
+            && toks.get(j + 3).map(|t| t.is_punct(")")).unwrap_or(false)
+        {
+            is_test = true;
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_fns(&lex(src), &["m".to_string()], false)
+    }
+
+    #[test]
+    fn free_fn_with_params_and_body() {
+        let defs = fns("pub fn add(a: u32, b: u32) -> u32 { a + b }");
+        assert_eq!(defs.len(), 1);
+        let f = &defs[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params, 2);
+        assert!(!f.has_self);
+        assert!(f.body.is_some());
+        assert_eq!(f.path_in_crate(), "m::add");
+    }
+
+    #[test]
+    fn method_in_impl_is_keyed_by_type() {
+        let defs = fns("impl Foo { pub fn get(&self, i: usize) -> u32 { self.v[i] } }");
+        assert_eq!(defs.len(), 1);
+        let f = &defs[0];
+        assert_eq!(f.self_ty.as_deref(), Some("Foo"));
+        assert!(f.has_self);
+        assert_eq!(f.params, 1);
+    }
+
+    #[test]
+    fn trait_impl_keys_on_the_implementing_type() {
+        let defs =
+            fns("impl Operator for Scan { fn next(&mut self, db: &Db, s: &mut St) -> Option<A> { None } }");
+        assert_eq!(defs[0].self_ty.as_deref(), Some("Scan"));
+        assert_eq!(defs[0].params, 2);
+    }
+
+    #[test]
+    fn generic_params_do_not_split_on_type_commas() {
+        let defs = fns("fn f(m: HashMap<String, u32>, n: usize) {}");
+        assert_eq!(defs[0].params, 2, "HashMap<K, V> is one parameter");
+    }
+
+    #[test]
+    fn nested_modules_extend_the_path() {
+        let defs = fns("mod inner { pub fn g() {} } fn top() {}");
+        assert_eq!(defs[0].path_in_crate(), "m::inner::g");
+        assert_eq!(defs[1].path_in_crate(), "m::top");
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_scoped() {
+        let defs = fns("fn outer() { fn helper(x: u32) -> u32 { x } helper(1); }");
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].name, "outer");
+        assert_eq!(defs[1].name, "helper");
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let defs = fns("fn prod() {} #[cfg(test)] mod tests { fn t() { panic!(); } }");
+        assert!(!defs[0].in_test);
+        assert!(defs[1].in_test);
+    }
+
+    #[test]
+    fn guard_returning_fns_are_flagged() {
+        let defs = fns("fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap() }");
+        assert!(defs[0].returns_guard);
+        assert_eq!(defs[0].params, 1);
+        let plain = fns("fn f() -> u32 { 0 }");
+        assert!(!plain[0].returns_guard);
+    }
+
+    #[test]
+    fn bodiless_trait_signatures_parse() {
+        let defs = fns("trait Op { fn next(&mut self, db: &Db) -> Option<A>; fn done(&self) -> bool { true } }");
+        assert_eq!(defs.len(), 2);
+        assert!(defs[0].body.is_none());
+        assert_eq!(defs[0].self_ty.as_deref(), Some("Op"));
+        assert!(defs[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let defs = fns("fn takes(cb: fn(u32) -> u32) -> u32 { cb(1) }");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].params, 1);
+    }
+
+    #[test]
+    fn body_spans_are_brace_balanced() {
+        let src = "fn f() { if x { y(); } else { z(); } } fn g() {}";
+        let toks = lex(src);
+        let defs = parse_fns(&toks, &[], false);
+        let (open, close) = defs[0].body.unwrap();
+        assert!(toks[open].is_punct("{") && toks[close].is_punct("}"));
+        // g's body must not be inside f's span.
+        let (g_open, _) = defs[1].body.unwrap();
+        assert!(g_open > close);
+    }
+
+    #[test]
+    fn trailing_commas_do_not_inflate_param_counts() {
+        let defs = fns("fn f(\n    a: u32,\n    b: &'static str,\n) -> u32 { a }");
+        assert_eq!(defs[0].params, 2, "trailing comma separates nothing");
+    }
+
+    #[test]
+    fn where_clauses_are_skipped() {
+        let defs = fns("fn f<T>(x: T) -> bool where T: Clone { true }");
+        assert_eq!(defs[0].params, 1);
+        assert!(defs[0].body.is_some());
+    }
+}

@@ -17,6 +17,7 @@
 //! `unwrap()` freely while product code cannot.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::cfg_test_mask;
 
 /// One rule violation, with enough provenance to locate and allowlist it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,10 +28,15 @@ pub struct Violation {
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
     /// Human-readable explanation.
     pub message: String,
     /// The offending source line, trimmed (allowlist entries match on it).
     pub excerpt: String,
+    /// Root→site call chain, for the call-graph analyses (`panic-path`);
+    /// empty for single-site rules.
+    pub trace: Vec<String>,
 }
 
 /// Score fields whose raw comparison the `float-cmp` rule rejects: the
@@ -79,9 +85,7 @@ pub fn is_answer_cmp_module(path: &str) -> bool {
 pub fn may_spawn_threads(path: &str) -> bool {
     matches!(
         path,
-        "crates/algebra/src/par.rs"
-            | "crates/index/src/parallel.rs"
-            | "crates/serve/src/server.rs"
+        "crates/algebra/src/par.rs" | "crates/index/src/parallel.rs" | "crates/serve/src/server.rs"
     )
 }
 
@@ -102,8 +106,7 @@ pub fn is_test_path(path: &str) -> bool {
 
 /// Crate roots that must carry `#![forbid(unsafe_code)]`.
 pub fn needs_forbid_unsafe(path: &str) -> bool {
-    path == "src/lib.rs"
-        || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
 }
 
 /// Scan one file. `path` is workspace-relative with forward slashes.
@@ -120,8 +123,16 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     let test_mask = cfg_test_mask(&toks);
     let file_is_test = is_test_path(path);
 
-    let mut push = |rule: &'static str, line: u32, message: String| {
-        out.push(Violation { rule, path: path.to_string(), line, message, excerpt: excerpt(line) });
+    let mut push = |rule: &'static str, line: u32, col: u32, message: String| {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            message,
+            excerpt: excerpt(line),
+            trace: Vec::new(),
+        });
     };
 
     for (i, t) in toks.iter().enumerate() {
@@ -130,7 +141,13 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
         // static-mut: banned everywhere, tests included (a mutable global
         // breaks the determinism argument no matter who owns it).
         if t.is_ident("static") && toks.get(i + 1).map(|n| n.is_ident("mut")).unwrap_or(false) {
-            push("static-mut", t.line, "`static mut` is banned (shared-state mutation outside the clamped worker model)".into());
+            push(
+                "static-mut",
+                t.line,
+                t.col,
+                "`static mut` is banned (shared-state mutation outside the clamped worker model)"
+                    .into(),
+            );
         }
 
         if in_test {
@@ -145,19 +162,20 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                 .map(|n| n.is_ident("partial_cmp") || n.is_ident("total_cmp"))
                 .unwrap_or(false)
         {
-            let line = toks[i + 1].line;
             push(
                 "float-cmp",
-                line,
+                toks[i + 1].line,
+                toks[i + 1].col,
                 "raw f64 ordering outside algebra::rank — route through rank::cmp_f64_desc so parallel merges stay bit-identical".into(),
             );
         }
 
         // float-cmp (b): `.<score-field> <cmp-op>` — e.g. `a.s < b.s`.
         if !is_rank_module(path) && t.is_punct(".") {
-            if let (Some(TokKind::Ident(field)), Some(TokKind::Punct(op))) =
-                (toks.get(i + 1).map(|t| &t.kind), toks.get(i + 2).map(|t| &t.kind))
-            {
+            if let (Some(TokKind::Ident(field)), Some(TokKind::Punct(op))) = (
+                toks.get(i + 1).map(|t| &t.kind),
+                toks.get(i + 2).map(|t| &t.kind),
+            ) {
                 // Comparing against an integer literal proves the field is
                 // an integer (e.g. `opts.k == 0` counts results, not KOR
                 // score) — f64 comparisons need a float literal.
@@ -166,7 +184,10 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                     push(
                         "float-cmp",
                         toks[i + 1].line,
-                        format!("raw comparison on score field `.{field}` — use rank::cmp_f64_desc"),
+                        toks[i + 1].col,
+                        format!(
+                            "raw comparison on score field `.{field}` — use rank::cmp_f64_desc"
+                        ),
                     );
                 }
             }
@@ -192,6 +213,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                             push(
                                 "float-cmp",
                                 toks[i + 3].line,
+                                toks[i + 3].col,
                                 format!("raw comparison on score field `.{field}` — use rank::cmp_f64_desc"),
                             );
                         }
@@ -216,16 +238,20 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                 push(
                     "hot-path-panic",
                     toks[i + 1].line,
+                    toks[i + 1].col,
                     format!("`.{name}()` in a hot-path module — convert to the module's typed error enum"),
                 );
             }
             if let TokKind::Ident(name) = &t.kind {
-                if matches!(name.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
-                    && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
                 {
                     push(
                         "hot-path-panic",
                         t.line,
+                        t.col,
                         format!("`{name}!` in a hot-path module — hot paths must not abort"),
                     );
                 }
@@ -236,12 +262,16 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
         // answer-comparison module.
         if is_answer_cmp_module(path)
             && t.is_punct(".")
-            && toks.get(i + 1).map(|n| n.is_ident("eq_ignore_ascii_case")).unwrap_or(false)
+            && toks
+                .get(i + 1)
+                .map(|n| n.is_ident("eq_ignore_ascii_case"))
+                .unwrap_or(false)
             && toks.get(i + 2).map(|n| n.is_punct("(")).unwrap_or(false)
         {
             push(
                 "hot-path-str-cmp",
                 toks[i + 1].line,
+                toks[i + 1].col,
                 "case-insensitive string comparison in an answer-comparison module — resolve names to interned symbols / compiled VOR ids at plan build".into(),
             );
         }
@@ -255,6 +285,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                     push(
                         "hot-path-str-cmp",
                         t.line,
+                        t.col,
                         format!("string-literal `{op}` comparison in an answer-comparison module — intern the name and compare ids"),
                     );
                 }
@@ -283,6 +314,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                     push(
                         "lock-poison",
                         toks[i + 5].line,
+                        toks[i + 5].col,
                         format!("`.{acq}().unwrap()`-style lock acquisition — recover the poisoned guard with `into_inner()` instead of propagating panics across threads"),
                     );
                 }
@@ -302,6 +334,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
             push(
                 "thread-spawn",
                 t.line,
+                t.col,
                 "thread creation outside algebra::par / index::parallel — all parallelism must pass the effective_workers clamp".into(),
             );
         }
@@ -311,6 +344,7 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     if needs_forbid_unsafe(path) && !has_forbid_unsafe(&toks) {
         push(
             "forbid-unsafe",
+            1,
             1,
             "crate root is missing `#![forbid(unsafe_code)]`".into(),
         );
@@ -329,93 +363,13 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
         w[0].is_ident("forbid")
             && w[1].is_punct("(")
             && w[2..].iter().any(|t| t.is_ident("unsafe_code"))
-    }) && toks
-        .windows(8)
-        .any(|w| {
-            w[0].is_punct("#")
-                && w[1].is_punct("!")
-                && w[2].is_punct("[")
-                && w[3].is_ident("forbid")
-                && w.iter().any(|t| t.is_ident("unsafe_code"))
-        })
-}
-
-/// Mark every token inside a `#[cfg(test)]` item (attribute included).
-/// The item is whatever follows the attribute (plus any stacked
-/// attributes): skipped through its balanced `{ … }` block, or to the
-/// first `;` for block-less items.
-fn cfg_test_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].is_punct("#") && toks.get(i + 1).map(|t| t.is_punct("[")).unwrap_or(false) {
-            let attr_start = i;
-            let (attr_end, is_test) = scan_attr(toks, i + 1);
-            if is_test {
-                // Swallow stacked attributes after the cfg(test) one.
-                let mut j = attr_end;
-                while toks.get(j).map(|t| t.is_punct("#")).unwrap_or(false)
-                    && toks.get(j + 1).map(|t| t.is_punct("[")).unwrap_or(false)
-                {
-                    let (e, _) = scan_attr(toks, j + 1);
-                    j = e;
-                }
-                // Skip the item: to the matching `}` of its first block, or
-                // to `;` if none opens first.
-                let mut depth = 0usize;
-                while j < toks.len() {
-                    if toks[j].is_punct("{") {
-                        depth += 1;
-                    } else if toks[j].is_punct("}") {
-                        depth -= 1;
-                        if depth == 0 {
-                            j += 1;
-                            break;
-                        }
-                    } else if toks[j].is_punct(";") && depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                    j += 1;
-                }
-                for m in mask.iter_mut().take(j).skip(attr_start) {
-                    *m = true;
-                }
-                i = j;
-                continue;
-            }
-            i = attr_end;
-            continue;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Scan an attribute starting at its `[`; return (index past the matching
-/// `]`, whether it is exactly `cfg(test)` — not `cfg(not(test))`).
-fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
-    let mut depth = 0usize;
-    let mut j = open;
-    let mut is_test = false;
-    while j < toks.len() {
-        if toks[j].is_punct("[") {
-            depth += 1;
-        } else if toks[j].is_punct("]") {
-            depth -= 1;
-            if depth == 0 {
-                return (j + 1, is_test);
-            }
-        } else if toks[j].is_ident("cfg")
-            && toks.get(j + 1).map(|t| t.is_punct("(")).unwrap_or(false)
-            && toks.get(j + 2).map(|t| t.is_ident("test")).unwrap_or(false)
-            && toks.get(j + 3).map(|t| t.is_punct(")")).unwrap_or(false)
-        {
-            is_test = true;
-        }
-        j += 1;
-    }
-    (j, is_test)
+    }) && toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w.iter().any(|t| t.is_ident("unsafe_code"))
+    })
 }
 
 #[cfg(test)]
@@ -433,7 +387,10 @@ mod tests {
         // `a.s < b.s` matches both the `.s <` and `< b.s` patterns, but a
         // single comparison is a single finding.
         let src = "fn f(a: &Answer, b: &Answer) -> bool { a.s < b.s }";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["float-cmp"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", src),
+            vec!["float-cmp"]
+        );
         let src2 = "fn f() { xs.sort_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap()); }";
         assert!(rules_hit("crates/core/src/engine.rs", src2).contains(&"float-cmp"));
     }
@@ -458,7 +415,10 @@ mod tests {
         assert!(rules_hit("crates/core/src/engine.rs", src).is_empty());
         // …but float literals still trip the rule.
         let src2 = "fn f(a: &Answer) -> bool { a.k == 0.0 }";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", src2), vec!["float-cmp"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", src2),
+            vec!["float-cmp"]
+        );
     }
 
     #[test]
@@ -506,11 +466,20 @@ mod tests {
     #[test]
     fn seeded_hot_path_str_cmp_is_caught() {
         let src = r#"fn f(have: &str, want: &str) -> bool { have.eq_ignore_ascii_case(want) }"#;
-        assert_eq!(rules_hit("crates/algebra/src/eval.rs", src), vec!["hot-path-str-cmp"]);
+        assert_eq!(
+            rules_hit("crates/algebra/src/eval.rs", src),
+            vec!["hot-path-str-cmp"]
+        );
         let src2 = r#"fn f(tag: &str) -> bool { tag == "*" }"#;
-        assert_eq!(rules_hit("crates/algebra/src/ops.rs", src2), vec!["hot-path-str-cmp"]);
+        assert_eq!(
+            rules_hit("crates/algebra/src/ops.rs", src2),
+            vec!["hot-path-str-cmp"]
+        );
         let src3 = r#"fn f(tag: &str) -> bool { "car" != tag }"#;
-        assert_eq!(rules_hit("crates/algebra/src/topk.rs", src3), vec!["hot-path-str-cmp"]);
+        assert_eq!(
+            rules_hit("crates/algebra/src/topk.rs", src3),
+            vec!["hot-path-str-cmp"]
+        );
     }
 
     #[test]
@@ -541,9 +510,15 @@ mod tests {
     #[test]
     fn seeded_thread_spawn_is_caught() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["thread-spawn"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", src),
+            vec!["thread-spawn"]
+        );
         let src2 = "fn f() { std::thread::scope(|s| {}); }";
-        assert_eq!(rules_hit("crates/index/src/inverted.rs", src2), vec!["thread-spawn"]);
+        assert_eq!(
+            rules_hit("crates/index/src/inverted.rs", src2),
+            vec!["thread-spawn"]
+        );
     }
 
     #[test]
@@ -552,16 +527,28 @@ mod tests {
         // covered: an unwrap in the server is a worker-thread panic that
         // silently drops a request.
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
-        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["hot-path-panic"]);
-        assert_eq!(rules_hit("crates/serve/src/json.rs", src), vec!["hot-path-panic"]);
-        assert_eq!(rules_hit("crates/serve/src/cache.rs", src), vec!["hot-path-panic"]);
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", src),
+            vec!["hot-path-panic"]
+        );
+        assert_eq!(
+            rules_hit("crates/serve/src/json.rs", src),
+            vec!["hot-path-panic"]
+        );
+        assert_eq!(
+            rules_hit("crates/serve/src/cache.rs", src),
+            vec!["hot-path-panic"]
+        );
         // The CLI bin may exit loudly at startup; benches/tests are exempt.
         assert!(rules_hit("crates/serve/src/bin/pimento.rs", src).is_empty());
         assert!(rules_hit("crates/serve/tests/serve_integration.rs", src).is_empty());
         // The worker pool / reader spawns live in server.rs only.
         let spawn = "fn f() { std::thread::Builder::new() }";
         assert!(rules_hit("crates/serve/src/server.rs", spawn).is_empty());
-        assert_eq!(rules_hit("crates/serve/src/client.rs", spawn), vec!["thread-spawn"]);
+        assert_eq!(
+            rules_hit("crates/serve/src/client.rs", spawn),
+            vec!["thread-spawn"]
+        );
     }
 
     #[test]
@@ -581,11 +568,20 @@ mod tests {
     fn seeded_lock_unwrap_is_caught_workspace_wide() {
         // Mutex, RwLock read side, RwLock write side; expect too.
         let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["lock-poison"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", src),
+            vec!["lock-poison"]
+        );
         let src2 = "fn f(l: &RwLock<u32>) -> u32 { *l.read().expect(\"poisoned\") }";
-        assert_eq!(rules_hit("crates/profile/src/vor.rs", src2), vec!["lock-poison"]);
+        assert_eq!(
+            rules_hit("crates/profile/src/vor.rs", src2),
+            vec!["lock-poison"]
+        );
         let src3 = "fn f(l: &RwLock<u32>) { *l.write().unwrap() = 1; }";
-        assert_eq!(rules_hit("crates/tpq/src/parse.rs", src3), vec!["lock-poison"]);
+        assert_eq!(
+            rules_hit("crates/tpq/src/parse.rs", src3),
+            vec!["lock-poison"]
+        );
     }
 
     #[test]
@@ -598,21 +594,38 @@ mod tests {
         // Tests may unwrap locks freely.
         let test_src = "#[cfg(test)] mod tests { fn t(m: &Mutex<u32>) { m.lock().unwrap(); } }";
         assert!(rules_hit("crates/core/src/engine.rs", test_src).is_empty());
-        assert!(rules_hit("tests/end_to_end.rs", "fn t(m: &Mutex<u32>) { m.lock().unwrap(); }").is_empty());
+        assert!(rules_hit(
+            "tests/end_to_end.rs",
+            "fn t(m: &Mutex<u32>) { m.lock().unwrap(); }"
+        )
+        .is_empty());
     }
 
     #[test]
     fn seeded_static_mut_is_caught_even_in_tests() {
         let src = "static mut COUNTER: u32 = 0;";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", src), vec!["static-mut"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", src),
+            vec!["static-mut"]
+        );
         let test_src = "#[cfg(test)] mod tests { static mut X: u8 = 0; }";
-        assert_eq!(rules_hit("crates/core/src/engine.rs", test_src), vec!["static-mut"]);
+        assert_eq!(
+            rules_hit("crates/core/src/engine.rs", test_src),
+            vec!["static-mut"]
+        );
     }
 
     #[test]
     fn forbid_unsafe_presence_is_enforced_on_crate_roots() {
-        assert_eq!(rules_hit("crates/xml/src/lib.rs", "pub mod a;"), vec!["forbid-unsafe"]);
-        assert!(rules_hit("crates/xml/src/lib.rs", "#![forbid(unsafe_code)]\npub mod a;").is_empty());
+        assert_eq!(
+            rules_hit("crates/xml/src/lib.rs", "pub mod a;"),
+            vec!["forbid-unsafe"]
+        );
+        assert!(rules_hit(
+            "crates/xml/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod a;"
+        )
+        .is_empty());
         // Non-root files don't need it.
         assert!(rules_hit("crates/xml/src/parser.rs", "pub fn f() {}").is_empty());
     }
@@ -621,12 +634,18 @@ mod tests {
     fn test_directories_are_exempt_except_static_mut() {
         let src = "fn f(a: &A, b: &A) { assert!(a.s < b.s); Some(1).unwrap(); }";
         assert!(rules_hit("tests/end_to_end.rs", src).is_empty());
-        assert_eq!(rules_hit("tests/end_to_end.rs", "static mut X: u8 = 0;"), vec!["static-mut"]);
+        assert_eq!(
+            rules_hit("tests/end_to_end.rs", "static mut X: u8 = 0;"),
+            vec!["static-mut"]
+        );
     }
 
     #[test]
     fn violations_carry_provenance() {
-        let v = scan_source(HOT, "\n\nfn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n");
+        let v = scan_source(
+            HOT,
+            "\n\nfn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 4);
         assert_eq!(v[0].excerpt, "x.unwrap()");

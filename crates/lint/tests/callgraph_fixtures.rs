@@ -1,0 +1,169 @@
+//! Fixture-driven end-to-end runs of the three call-graph analyses
+//! (panic-path, lock-order, unchecked-offset): one positive and one
+//! negative workspace each, plus a JSON golden for the CI format.
+//!
+//! The fixture sources live under `tests/fixtures/callgraph/` with a
+//! `.fixture` extension so the workspace scan never lints them in place;
+//! each test materializes them into a throwaway tree under the target dir
+//! at the hot-path location the analysis keys on.
+
+use lint::{scan_workspace, Report};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const PANIC_POS_EVAL: &str = include_str!("fixtures/callgraph/panic_pos_eval.rs.fixture");
+const PANIC_POS_UTIL: &str = include_str!("fixtures/callgraph/panic_pos_util.rs.fixture");
+const PANIC_NEG_EVAL: &str = include_str!("fixtures/callgraph/panic_neg_eval.rs.fixture");
+const PANIC_NEG_UTIL: &str = include_str!("fixtures/callgraph/panic_neg_util.rs.fixture");
+const LOCK_POS: &str = include_str!("fixtures/callgraph/lock_pos_server.rs.fixture");
+const LOCK_NEG: &str = include_str!("fixtures/callgraph/lock_neg_server.rs.fixture");
+const OFFSET_POS: &str = include_str!("fixtures/callgraph/offset_pos_varint.rs.fixture");
+const OFFSET_NEG: &str = include_str!("fixtures/callgraph/offset_neg_varint.rs.fixture");
+
+/// Build a throwaway workspace tree under the target dir (kept out of the
+/// scanner's own roots) and return its path.
+fn workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, content).unwrap();
+    }
+    root
+}
+
+fn scan(root: &Path) -> Report {
+    scan_workspace(root, &root.join("lint.allow")).unwrap()
+}
+
+#[test]
+fn panic_path_positive_reports_the_full_call_chain() {
+    let root = workspace(
+        "cg-panic-pos",
+        &[
+            ("crates/algebra/src/eval.rs", PANIC_POS_EVAL),
+            ("crates/algebra/src/util.rs", PANIC_POS_UTIL),
+        ],
+    );
+    let report = scan(&root);
+    let v: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "panic-path")
+        .collect();
+    assert_eq!(v.len(), 1, "{report}");
+    let v = v[0];
+    // Anchored at the panic *site*, not the root.
+    assert_eq!(v.path, "crates/algebra/src/util.rs");
+    assert!(
+        v.message.contains("hot-path root `algebra::eval::step`"),
+        "{}",
+        v.message
+    );
+    assert!(v.message.contains("through 2 call(s)"), "{}", v.message);
+    // The trace walks root → helper → panicking fn, each hop with its
+    // definition site, so the reader can follow the whole chain.
+    assert_eq!(v.trace.len(), 3, "{:?}", v.trace);
+    assert!(
+        v.trace[0].starts_with("algebra::eval::step (crates/algebra/src/eval.rs:"),
+        "{:?}",
+        v.trace
+    );
+    assert!(
+        v.trace[1].starts_with("algebra::util::helper (crates/algebra/src/util.rs:"),
+        "{:?}",
+        v.trace
+    );
+    assert!(
+        v.trace[2].starts_with("algebra::util::deep (crates/algebra/src/util.rs:"),
+        "{:?}",
+        v.trace
+    );
+}
+
+#[test]
+fn panic_path_negative_total_chain_is_clean() {
+    let root = workspace(
+        "cg-panic-neg",
+        &[
+            ("crates/algebra/src/eval.rs", PANIC_NEG_EVAL),
+            ("crates/algebra/src/util.rs", PANIC_NEG_UTIL),
+        ],
+    );
+    let report = scan(&root);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn lock_order_positive_reports_the_cycle_with_both_sites() {
+    let root = workspace("cg-lock-pos", &[("crates/serve/src/server.rs", LOCK_POS)]);
+    let report = scan(&root);
+    let v: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "lock-order")
+        .collect();
+    assert_eq!(v.len(), 1, "{report}");
+    let msg = &v[0].message;
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    assert!(msg.contains("cache") && msg.contains("writer"), "{msg}");
+    // Both acquisition sites are named so either side can be reordered.
+    assert!(msg.contains("the reverse order"), "{msg}");
+}
+
+#[test]
+fn lock_order_negative_consistent_order_is_clean() {
+    let root = workspace("cg-lock-neg", &[("crates/serve/src/server.rs", LOCK_NEG)]);
+    let report = scan(&root);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn unchecked_offset_positive_flags_raw_add_and_indexing() {
+    let root = workspace(
+        "cg-offset-pos",
+        &[("crates/index/src/varint.rs", OFFSET_POS)],
+    );
+    let report = scan(&root);
+    let v: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "unchecked-offset")
+        .collect();
+    assert_eq!(v.len(), 2, "{report}");
+    assert!(
+        v.iter().any(|x| x.message.contains("checked_add")),
+        "{report}"
+    );
+    assert!(v.iter().any(|x| x.message.contains(".get(")), "{report}");
+}
+
+#[test]
+fn unchecked_offset_negative_checked_code_is_clean() {
+    let root = workspace(
+        "cg-offset-neg",
+        &[("crates/index/src/varint.rs", OFFSET_NEG)],
+    );
+    let report = scan(&root);
+    assert!(report.is_clean(), "{report}");
+}
+
+/// The `--format json` report for the panic-path positive workspace,
+/// byte-for-byte: CI consumers (scripts/lint-report.sh) parse this shape.
+#[test]
+fn json_report_matches_the_golden() {
+    let root = workspace(
+        "cg-json-golden",
+        &[
+            ("crates/algebra/src/eval.rs", PANIC_POS_EVAL),
+            ("crates/algebra/src/util.rs", PANIC_POS_UTIL),
+        ],
+    );
+    let report = scan(&root);
+    let actual = report.to_json();
+    let expected = include_str!("fixtures/callgraph/panic_path_report.golden.json");
+    assert_eq!(actual, expected, "--- actual ---\n{actual}");
+}

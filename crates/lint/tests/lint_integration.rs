@@ -70,7 +70,9 @@ fn hot_path_unwrap_found_only_in_hot_paths() {
     let report = scan(&root);
     assert_eq!(report.violations.len(), 1, "{report}");
     assert_eq!(report.violations[0].rule, "hot-path-panic");
-    assert!(report.violations[0].path.ends_with("crates/index/src/store.rs"));
+    assert!(report.violations[0]
+        .path
+        .ends_with("crates/index/src/store.rs"));
 }
 
 #[test]
@@ -87,7 +89,9 @@ fn thread_spawn_outside_par_modules_found() {
     let report = scan(&root);
     assert_eq!(report.violations.len(), 1, "{report}");
     assert_eq!(report.violations[0].rule, "thread-spawn");
-    assert!(report.violations[0].path.ends_with("crates/foo/src/work.rs"));
+    assert!(report.violations[0]
+        .path
+        .ends_with("crates/foo/src/work.rs"));
 }
 
 #[test]
@@ -140,7 +144,10 @@ fn allowlist_suppresses_and_reports_stale() {
 #[test]
 fn allowlist_rejects_malformed_lines() {
     assert!(Allowlist::parse("float-cmp missing-needle-field\n").is_err());
-    assert!(Allowlist::parse("# comment only\n\n").unwrap().stale().is_empty());
+    assert!(Allowlist::parse("# comment only\n\n")
+        .unwrap()
+        .stale()
+        .is_empty());
 }
 
 /// The shared car-sale fixtures drive the profile verifier from this

@@ -65,9 +65,9 @@ pub fn detect_ambiguity(rules: &[ValueOrderingRule]) -> AmbiguityReport {
     let mut report = AmbiguityReport::default();
     for cycle in enumerate_simple_cycles(&arcs, 1_000) {
         if cycle_satisfiable(rules, &cycle) {
-            report
-                .cycles
-                .push(AmbiguityCycle { rule_ids: cycle.iter().map(|&i| rules[i].id.clone()).collect() });
+            report.cycles.push(AmbiguityCycle {
+                rule_ids: cycle.iter().map(|&i| rules[i].id.clone()).collect(),
+            });
         }
     }
     report
@@ -82,8 +82,11 @@ pub fn detect_ambiguity_with_priorities(rules: &[ValueOrderingRule]) -> Ambiguit
     classes.dedup();
     let mut report = AmbiguityReport::default();
     for class in classes {
-        let group: Vec<ValueOrderingRule> =
-            rules.iter().filter(|r| r.priority == class).cloned().collect();
+        let group: Vec<ValueOrderingRule> = rules
+            .iter()
+            .filter(|r| r.priority == class)
+            .cloned()
+            .collect();
         report.cycles.extend(detect_ambiguity(&group).cycles);
     }
     report
@@ -212,8 +215,11 @@ mod tests {
     fn paper_pi1_pi2_is_ambiguous() {
         let report = detect_ambiguity(&[pi1(), pi2()]);
         assert!(report.is_ambiguous());
-        let ids: Vec<&str> =
-            report.cycles[0].rule_ids.iter().map(String::as_str).collect();
+        let ids: Vec<&str> = report.cycles[0]
+            .rule_ids
+            .iter()
+            .map(String::as_str)
+            .collect();
         assert!(ids.contains(&"pi1") && ids.contains(&"pi2"));
     }
 

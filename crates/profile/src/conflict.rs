@@ -83,7 +83,11 @@ pub fn analyze(rules: &[ScopingRule], query: &Tpq) -> Result<ConflictAnalysis, C
     if n > 0 && rules.iter().all(|r| r.priority.is_some()) {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (rules[i].priority.expect("checked"), i));
-        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Priorities });
+        return Ok(ConflictAnalysis {
+            arcs,
+            order,
+            resolution: Resolution::Priorities,
+        });
     }
 
     // Reverse topological sort: emit rules with no *incoming* reversed
@@ -112,7 +116,11 @@ pub fn analyze(rules: &[ScopingRule], query: &Tpq) -> Result<ConflictAnalysis, C
         }
     }
     if order.len() == n {
-        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Topological });
+        return Ok(ConflictAnalysis {
+            arcs,
+            order,
+            resolution: Resolution::Topological,
+        });
     }
 
     // A cycle exists. If every rule on some cycle has a priority we could
@@ -125,9 +133,15 @@ pub fn analyze(rules: &[ScopingRule], query: &Tpq) -> Result<ConflictAnalysis, C
         let mut rest = cyclic.clone();
         rest.sort_by_key(|&i| (rules[i].priority.expect("checked"), i));
         order.extend(rest);
-        return Ok(ConflictAnalysis { arcs, order, resolution: Resolution::Priorities });
+        return Ok(ConflictAnalysis {
+            arcs,
+            order,
+            resolution: Resolution::Priorities,
+        });
     }
-    Err(ConflictError { cycle: cyclic.into_iter().map(|i| rules[i].id.clone()).collect() })
+    Err(ConflictError {
+        cycle: cyclic.into_iter().map(|i| rules[i].id.clone()).collect(),
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +160,10 @@ mod tests {
     fn rho1() -> ScopingRule {
         ScopingRule::delete(
             "rho1",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "low mileage"),
+            ],
             vec![Atom::ft("description", "good condition")],
         )
     }
@@ -154,7 +171,10 @@ mod tests {
     fn rho2() -> ScopingRule {
         ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         )
     }
@@ -162,7 +182,10 @@ mod tests {
     fn rho3() -> ScopingRule {
         ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         )
     }
@@ -245,6 +268,10 @@ mod tests {
         // prefix.
         assert_eq!(a.resolution, Resolution::Priorities);
         let pos = |id: usize| a.order.iter().position(|&x| x == id).unwrap();
-        assert!(pos(2) < pos(0), "rho3 (prio 4) before rho1 (prio 5): {:?}", a.order);
+        assert!(
+            pos(2) < pos(0),
+            "rho3 (prio 4) before rho1 (prio 5): {:?}",
+            a.order
+        );
     }
 }

@@ -122,7 +122,9 @@ impl LocalSet {
     }
 
     fn check_attr(&self, attr: &str) -> Result<(), Inconsistency> {
-        let Some(slot) = self.per_attr.get(&attr.to_lowercase()) else { return Ok(()) };
+        let Some(slot) = self.per_attr.get(&attr.to_lowercase()) else {
+            return Ok(());
+        };
         if let Some(eq) = &slot.eq {
             if slot.ne.iter().any(|n| n.same(eq)) {
                 return Err(Inconsistency::EqNeClash(attr.to_string()));
@@ -162,10 +164,18 @@ impl LocalSet {
                 self.add(attr, RelOp::Ne, ne.clone())?;
             }
             if let Some((b, strict)) = oc.upper {
-                self.add(attr, if strict { RelOp::Lt } else { RelOp::Le }, Const::Num(b))?;
+                self.add(
+                    attr,
+                    if strict { RelOp::Lt } else { RelOp::Le },
+                    Const::Num(b),
+                )?;
             }
             if let Some((b, strict)) = oc.lower {
-                self.add(attr, if strict { RelOp::Gt } else { RelOp::Ge }, Const::Num(b))?;
+                self.add(
+                    attr,
+                    if strict { RelOp::Gt } else { RelOp::Ge },
+                    Const::Num(b),
+                )?;
             }
         }
         Ok(())
@@ -180,17 +190,23 @@ impl LocalSet {
 
     /// Upper bound on `attr`, if any: `(bound, strict)`.
     pub fn upper(&self, attr: &str) -> Option<(f64, bool)> {
-        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.upper)
+        self.per_attr
+            .get(&attr.to_lowercase())
+            .and_then(|s| s.upper)
     }
 
     /// Lower bound on `attr`, if any.
     pub fn lower(&self, attr: &str) -> Option<(f64, bool)> {
-        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.lower)
+        self.per_attr
+            .get(&attr.to_lowercase())
+            .and_then(|s| s.lower)
     }
 
     /// The `attr = c` constant, if any.
     pub fn eq_const(&self, attr: &str) -> Option<&Const> {
-        self.per_attr.get(&attr.to_lowercase()).and_then(|s| s.eq.as_ref())
+        self.per_attr
+            .get(&attr.to_lowercase())
+            .and_then(|s| s.eq.as_ref())
     }
 }
 
@@ -270,7 +286,10 @@ mod tests {
         let mut s = LocalSet::new();
         s.require_tag("car").unwrap();
         assert!(s.require_tag("Car").is_ok());
-        assert!(matches!(s.require_tag("person"), Err(Inconsistency::TagClash(..))));
+        assert!(matches!(
+            s.require_tag("person"),
+            Err(Inconsistency::TagClash(..))
+        ));
     }
 
     #[test]

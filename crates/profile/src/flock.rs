@@ -113,13 +113,18 @@ impl PersonalizedQuery {
     /// Weight of an optional predicate occurrence (1.0 unless the scoping
     /// rule that produced it carried a weight).
     pub fn pred_weight(&self, node: TpqNodeId, idx: usize) -> f64 {
-        self.optional_weights.get(&(node, idx)).copied().unwrap_or(1.0)
+        self.optional_weights
+            .get(&(node, idx))
+            .copied()
+            .unwrap_or(1.0)
     }
 
     /// Number of *optional* keyword predicates (SR-contributed score
     /// sources).
     pub fn optional_keyword_count(&self) -> usize {
-        self.keyword_preds().filter(|&(n, i, _)| self.pred_is_optional(n, i)).count()
+        self.keyword_preds()
+            .filter(|&(n, i, _)| self.pred_is_optional(n, i))
+            .count()
     }
 
     /// All keyword predicates as `(node, index, predicate)` — both
@@ -147,7 +152,11 @@ pub fn personalize(query: &Tpq, rules: &[ScopingRule]) -> Result<PersonalizedQue
 
 /// Build the flock applying `rules` in the given `order` (indices into
 /// `rules`). Rules inapplicable at their turn are skipped.
-pub fn personalize_ordered(query: &Tpq, rules: &[ScopingRule], order: &[usize]) -> PersonalizedQuery {
+pub fn personalize_ordered(
+    query: &Tpq,
+    rules: &[ScopingRule],
+    order: &[usize],
+) -> PersonalizedQuery {
     let mut literal = query.clone();
     let mut union = query.clone();
     let mut optional_nodes: HashSet<TpqNodeId> = HashSet::new();
@@ -183,7 +192,11 @@ pub fn personalize_ordered(query: &Tpq, rules: &[ScopingRule], order: &[usize]) 
         optional_nodes,
         optional_preds,
         optional_weights,
-        flock: QueryFlock { members, applied_rules, skipped_rules },
+        flock: QueryFlock {
+            members,
+            applied_rules,
+            skipped_rules,
+        },
     }
 }
 
@@ -199,7 +212,9 @@ fn mirror_edit(
 ) {
     match edit {
         Edit::AddedNode { tag, under, axis } => {
-            let anchor = union.find_by_tag(under).unwrap_or_else(|| union.distinguished());
+            let anchor = union
+                .find_by_tag(under)
+                .unwrap_or_else(|| union.distinguished());
             let id = union.add_child(anchor, *axis, tag.clone());
             optional_nodes.insert(id);
         }
@@ -269,7 +284,10 @@ mod tests {
     fn rho2() -> ScopingRule {
         ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         )
     }
@@ -277,7 +295,10 @@ mod tests {
     fn rho3() -> ScopingRule {
         ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         )
     }
@@ -331,7 +352,10 @@ mod tests {
         // ρ1 deletes "good condition", then ρ2's condition fails.
         let rho1 = ScopingRule::delete(
             "rho1",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "low mileage"),
+            ],
             vec![Atom::ft("description", "good condition")],
         );
         let pq = personalize_ordered(&query_q(), &[rho1, rho2()], &[0, 1]);
@@ -344,7 +368,10 @@ mod tests {
         // personalize() runs the conflict analysis: ρ2 applies before ρ1.
         let rho1 = ScopingRule::delete(
             "rho1",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "low mileage"),
+            ],
             vec![Atom::ft("description", "good condition")],
         );
         let pq = personalize(&query_q(), &[rho1, rho2()]).unwrap();

@@ -77,16 +77,18 @@ mod proptests {
     fn car(mileage: u32, red: bool, hp: u32) -> HashMap<String, AttrValue> {
         let mut m = HashMap::new();
         m.insert("mileage".to_string(), AttrValue::Num(mileage as f64));
-        m.insert("color".to_string(), AttrValue::Str(if red { "red" } else { "blue" }.into()));
+        m.insert(
+            "color".to_string(),
+            AttrValue::Str(if red { "red" } else { "blue" }.into()),
+        );
         m.insert("hp".to_string(), AttrValue::Num(hp as f64));
         m
     }
 
-    fn cmp(
-        a: &HashMap<String, AttrValue>,
-        b: &HashMap<String, AttrValue>,
-    ) -> VorOutcome {
-        compare_all(&rules(), "car", "car", &|k| a.get(k).cloned(), &|k| b.get(k).cloned())
+    fn cmp(a: &HashMap<String, AttrValue>, b: &HashMap<String, AttrValue>) -> VorOutcome {
+        compare_all(&rules(), "car", "car", &|k| a.get(k).cloned(), &|k| {
+            b.get(k).cloned()
+        })
     }
 
     proptest! {

@@ -43,7 +43,11 @@ pub struct RuleParseError {
 impl fmt::Display for RuleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "rule parse error on line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "rule parse error on line {}: {}",
+                self.line, self.message
+            )
         } else {
             write!(f, "rule parse error: {}", self.message)
         }
@@ -82,7 +86,10 @@ pub fn parse_rule(
 /// Parse a whole profile: one rule per line (`#` comments, blank lines
 /// skipped). Rules get ids `r1`, `r2`, … in file order unless the line
 /// starts with `NAME:`.
-pub fn parse_profile(input: &str, registry: &PrefRelRegistry) -> Result<UserProfile, RuleParseError> {
+pub fn parse_profile(
+    input: &str,
+    registry: &PrefRelRegistry,
+) -> Result<UserProfile, RuleParseError> {
     let mut profile = UserProfile::new();
     let mut counter = 0usize;
     for (lineno, raw) in input.lines().enumerate() {
@@ -233,14 +240,14 @@ fn lex(input: &str) -> Result<Vec<Tok>, String> {
                 while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
                     i += 1;
                 }
-                let n: f64 =
-                    input[start..i].parse().map_err(|_| format!("bad number {:?}", &input[start..i]))?;
+                let n: f64 = input[start..i]
+                    .parse()
+                    .map_err(|_| format!("bad number {:?}", &input[start..i]))?;
                 toks.push(Tok::Num(n));
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-')
                 {
                     i += 1;
                 }
@@ -275,13 +282,26 @@ struct OrParts {
 impl<'r> Parser<'r> {
     fn new(input: &str, registry: &'r PrefRelRegistry) -> Self {
         match lex(input) {
-            Ok(toks) => Parser { toks, pos: 0, registry, lex_error: None },
-            Err(e) => Parser { toks: Vec::new(), pos: 0, registry, lex_error: Some(e) },
+            Ok(toks) => Parser {
+                toks,
+                pos: 0,
+                registry,
+                lex_error: None,
+            },
+            Err(e) => Parser {
+                toks: Vec::new(),
+                pos: 0,
+                registry,
+                lex_error: Some(e),
+            },
         }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, RuleParseError> {
-        Err(RuleParseError { line: 0, message: message.into() })
+        Err(RuleParseError {
+            line: 0,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -400,7 +420,13 @@ impl<'r> Parser<'r> {
             }
             other => return self.err(format!("unknown action {other:?}")),
         };
-        Ok(ScopingRule { id: id.to_string(), condition, action, priority: None, weight: 1.0 })
+        Ok(ScopingRule {
+            id: id.to_string(),
+            condition,
+            action,
+            priority: None,
+            weight: 1.0,
+        })
     }
 
     /// Parse `atom (& atom)*`, stopping before any keyword in `stops` or a
@@ -427,7 +453,11 @@ impl<'r> Parser<'r> {
                 self.expect(&Tok::Comma, "','")?;
                 let b = self.name("tag")?;
                 self.expect(&Tok::RParen, "')'")?;
-                Ok(if head == "pc" { Atom::pc(&a, &b) } else { Atom::ad(&a, &b) })
+                Ok(if head == "pc" {
+                    Atom::pc(&a, &b)
+                } else {
+                    Atom::ad(&a, &b)
+                })
             }
             "ftcontains" => {
                 self.expect(&Tok::LParen, "'('")?;
@@ -444,7 +474,11 @@ impl<'r> Parser<'r> {
                 // cmp atom: TAG relop value
                 let op = match self.bump() {
                     Some(Tok::Op(op)) => op,
-                    other => return self.err(format!("expected comparison after {tag:?}, found {other:?}")),
+                    other => {
+                        return self.err(format!(
+                            "expected comparison after {tag:?}, found {other:?}"
+                        ))
+                    }
                 };
                 let value = match self.bump() {
                     Some(Tok::Num(n)) => Value::Num(n),
@@ -487,7 +521,9 @@ impl<'r> Parser<'r> {
             return Ok(ParsedRule::Kor(KeywordOrderingRule::new(id, &tag, &phrase)));
         }
         let Some(form) = parts.form else {
-            return self.err("ordering rule needs a preference head (x.a = c & y.a != c, x.a < y.a, or prefRel)");
+            return self.err(
+                "ordering rule needs a preference head (x.a = c & y.a != c, x.a < y.a, or prefRel)",
+            );
         };
         Ok(ParsedRule::Vor(ValueOrderingRule {
             id: id.to_string(),
@@ -566,7 +602,10 @@ impl<'r> Parser<'r> {
                 }
                 if parts
                     .form
-                    .replace(VorForm::Preference { attr: xa, order: order.clone() })
+                    .replace(VorForm::Preference {
+                        attr: xa,
+                        order: order.clone(),
+                    })
                     .is_some()
                 {
                     return self.err("only one preference head per rule");
@@ -601,10 +640,17 @@ impl<'r> Parser<'r> {
             RelOp::Lt | RelOp::Gt => {
                 // Normalize to x-relative direction.
                 let x_op = if lhs_var == "x" { op } else { op.flip() };
-                let pref = if x_op == RelOp::Lt { PrefOp::Lt } else { PrefOp::Gt };
+                let pref = if x_op == RelOp::Lt {
+                    PrefOp::Lt
+                } else {
+                    PrefOp::Gt
+                };
                 if parts
                     .form
-                    .replace(VorForm::AttrCompare { attr: lhs_attr.to_string(), op: pref })
+                    .replace(VorForm::AttrCompare {
+                        attr: lhs_attr.to_string(),
+                        op: pref,
+                    })
                     .is_some()
                 {
                     return self.err("only one preference head per rule");
@@ -629,7 +675,11 @@ impl<'r> Parser<'r> {
                 return self.err("tag conditions must use '='");
             }
             let tag = value.as_text().into_owned();
-            let slot = if var == "x" { &mut parts.x_tag } else { &mut parts.y_tag };
+            let slot = if var == "x" {
+                &mut parts.x_tag
+            } else {
+                &mut parts.y_tag
+            };
             if slot.replace(tag).is_some() {
                 return self.err(format!("duplicate {var}.tag condition"));
             }
@@ -647,10 +697,13 @@ impl<'r> Parser<'r> {
                     return self.err("y.attr != value must follow its x.attr = value conjunct");
                 };
                 if x_attr != attr || !x_val.same(&value) {
-                    return self.err("x.attr = v and y.attr != v must use the same attribute and value");
+                    return self
+                        .err("x.attr = v and y.attr != v must use the same attribute and value");
                 }
-                let head =
-                    VorForm::EqConst { attr: attr.to_string(), value: x_val.as_text().into_owned() };
+                let head = VorForm::EqConst {
+                    attr: attr.to_string(),
+                    value: x_val.as_text().into_owned(),
+                };
                 if parts.form.replace(head).is_some() {
                     return self.err("only one preference head per rule");
                 }
@@ -673,7 +726,10 @@ mod tests {
 
     fn reg() -> PrefRelRegistry {
         let mut r = PrefRelRegistry::new();
-        r.insert("colors".to_string(), PrefRel::chain(&["red", "black", "silver"]));
+        r.insert(
+            "colors".to_string(),
+            PrefRel::chain(&["red", "black", "silver"]),
+        );
         r
     }
 
@@ -686,7 +742,9 @@ mod tests {
         let r = rule(
             r#"if pc(car, description) & ftcontains(description, "low mileage") then remove ftcontains(description, "good condition")"#,
         );
-        let ParsedRule::Scoping(sr) = r else { panic!("expected SR") };
+        let ParsedRule::Scoping(sr) = r else {
+            panic!("expected SR")
+        };
         assert_eq!(sr.condition.len(), 2);
         assert!(matches!(&sr.action, SrAction::Delete(atoms) if atoms.len() == 1));
     }
@@ -705,7 +763,9 @@ mod tests {
         let r = rule(r#"if true then replace price < 2000 with price < 5000"#);
         let ParsedRule::Scoping(sr) = r else { panic!() };
         assert!(sr.condition.is_empty());
-        let SrAction::Replace { from, with } = &sr.action else { panic!() };
+        let SrAction::Replace { from, with } = &sr.action else {
+            panic!()
+        };
         assert!(matches!(&from[0], Atom::Cmp { tag, .. } if tag == "price"));
         assert!(matches!(&with[0], Atom::Cmp { tag, .. } if tag == "price"));
     }
@@ -721,16 +781,22 @@ mod tests {
     #[test]
     fn parses_fig2_pi1_eqconst() {
         let r = rule(r#"x.tag = car & y.tag = car & x.color = "red" & y.color != "red" -> x < y"#);
-        let ParsedRule::Vor(v) = r else { panic!("expected VOR") };
+        let ParsedRule::Vor(v) = r else {
+            panic!("expected VOR")
+        };
         assert_eq!(v.tag, "car");
-        assert!(matches!(&v.form, VorForm::EqConst { attr, value } if attr == "color" && value == "red"));
+        assert!(
+            matches!(&v.form, VorForm::EqConst { attr, value } if attr == "color" && value == "red")
+        );
     }
 
     #[test]
     fn parses_fig2_pi2_lower_mileage() {
         let r = rule("x.tag = car & y.tag = car & x.mileage < y.mileage -> x < y");
         let ParsedRule::Vor(v) = r else { panic!() };
-        assert!(matches!(&v.form, VorForm::AttrCompare { attr, op: PrefOp::Lt } if attr == "mileage"));
+        assert!(
+            matches!(&v.form, VorForm::AttrCompare { attr, op: PrefOp::Lt } if attr == "mileage")
+        );
     }
 
     #[test]
@@ -744,7 +810,9 @@ mod tests {
     #[test]
     fn parses_fig2_pi4_kor() {
         let r = rule(r#"x.tag = car & y.tag = car & ftcontains(x, "best bid") -> x < y"#);
-        let ParsedRule::Kor(k) = r else { panic!("expected KOR") };
+        let ParsedRule::Kor(k) = r else {
+            panic!("expected KOR")
+        };
         assert_eq!(k.tag, "car");
         assert_eq!(k.phrase, "best bid");
         assert_eq!(k.weight, 1.0);
@@ -754,14 +822,18 @@ mod tests {
     fn parses_fig5_pi5_numeric_eqconst() {
         let r = rule("x.tag = person & y.tag = person & x.age = 33 & y.age != 33 -> x < y");
         let ParsedRule::Vor(v) = r else { panic!() };
-        assert!(matches!(&v.form, VorForm::EqConst { attr, value } if attr == "age" && value == "33"));
+        assert!(
+            matches!(&v.form, VorForm::EqConst { attr, value } if attr == "age" && value == "33")
+        );
     }
 
     #[test]
     fn parses_prefrel_from_registry() {
         let r = rule("x.tag = car & y.tag = car & colors(x.color, y.color) -> x < y");
         let ParsedRule::Vor(v) = r else { panic!() };
-        let VorForm::Preference { attr, order } = &v.form else { panic!() };
+        let VorForm::Preference { attr, order } = &v.form else {
+            panic!()
+        };
         assert_eq!(attr, "color");
         assert!(order.prefers("red", "silver"));
     }
@@ -804,12 +876,8 @@ mod tests {
         else {
             panic!()
         };
-        let red = |k: &str| {
-            (k == "color").then(|| AttrValue::Str("red".into()))
-        };
-        let blue = |k: &str| {
-            (k == "color").then(|| AttrValue::Str("blue".into()))
-        };
+        let red = |k: &str| (k == "color").then(|| AttrValue::Str("red".into()));
+        let blue = |k: &str| (k == "color").then(|| AttrValue::Str("blue".into()));
         assert_eq!(parsed.compare("car", "car", &red, &blue), RuleCmp::PreferA);
     }
 
@@ -821,10 +889,22 @@ mod tests {
             ("if true then explode pc(a,b)", "unknown action"),
             ("x.tag = car -> x < y", "both x.tag"),
             ("x.tag = car & y.tag = truck & x.m < y.m -> x < y", "same"),
-            (r#"x.tag = c & y.tag = c & x.color = "red" -> x < y"#, "matching y"),
-            ("x.tag = c & y.tag = c & unknownrel(x.a, y.a) -> x < y", "unknown preference"),
-            ("x.tag = c & y.tag = c & x.a < y.b -> x < y", "same attribute"),
-            (r#"if true then add ftcontains(car, "x") trailing"#, "expected"),
+            (
+                r#"x.tag = c & y.tag = c & x.color = "red" -> x < y"#,
+                "matching y",
+            ),
+            (
+                "x.tag = c & y.tag = c & unknownrel(x.a, y.a) -> x < y",
+                "unknown preference",
+            ),
+            (
+                "x.tag = c & y.tag = c & x.a < y.b -> x < y",
+                "same attribute",
+            ),
+            (
+                r#"if true then add ftcontains(car, "x") trailing"#,
+                "expected",
+            ),
         ] {
             let err = parse_rule("t", src, &reg).unwrap_err();
             assert!(
@@ -852,7 +932,10 @@ pi5: x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y
         assert_eq!(profile.kors.len(), 2);
         assert_eq!(profile.scoping[0].id, "rho2");
         assert_eq!(profile.vors[0].priority, 2);
-        assert!(!profile.check_ambiguity().is_ambiguous(), "priorities separate π1/π2");
+        assert!(
+            !profile.check_ambiguity().is_ambiguous(),
+            "priorities separate π1/π2"
+        );
     }
 
     #[test]
@@ -865,7 +948,8 @@ pi5: x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y
 
     #[test]
     fn unnamed_rules_get_sequential_ids() {
-        let text = "if true then add ftcontains(car, \"a\")\nif true then add ftcontains(car, \"b\")";
+        let text =
+            "if true then add ftcontains(car, \"a\")\nif true then add ftcontains(car, \"b\")";
         let profile = parse_profile(text, &reg()).unwrap();
         assert_eq!(profile.scoping[0].id, "r1");
         assert_eq!(profile.scoping[1].id, "r2");
@@ -875,7 +959,9 @@ pi5: x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y
     fn comments_and_strings_interact_correctly() {
         let text = r##"if true then add ftcontains(car, "has # inside") # trailing comment"##;
         let profile = parse_profile(text, &reg()).unwrap();
-        let SrAction::Add(atoms) = &profile.scoping[0].action else { panic!() };
+        let SrAction::Add(atoms) = &profile.scoping[0].action else {
+            panic!()
+        };
         assert!(matches!(&atoms[0], Atom::Ft { phrase, .. } if phrase == "has # inside"));
     }
 }

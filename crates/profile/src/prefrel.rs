@@ -81,7 +81,9 @@ impl PrefRel {
 
     /// Is `a` strictly preferred to `b`?
     pub fn prefers(&self, a: &str, b: &str) -> bool {
-        self.below.get(&norm(a)).is_some_and(|w| w.contains(&norm(b)))
+        self.below
+            .get(&norm(a))
+            .is_some_and(|w| w.contains(&norm(b)))
     }
 
     /// Are `a` and `b` unrelated (neither preferred, not equal)?
@@ -112,8 +114,11 @@ impl PrefRel {
         let mut values: Vec<&str> = self.values().into_iter().collect();
         values.sort_unstable();
         let n = values.len();
-        let ids: HashMap<String, u32> =
-            values.iter().enumerate().map(|(i, v)| (v.to_string(), i as u32)).collect();
+        let ids: HashMap<String, u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.to_string(), i as u32))
+            .collect();
         let mut bits = vec![false; n * n].into_boxed_slice();
         for (i, a) in values.iter().enumerate() {
             for (j, b) in values.iter().enumerate() {
@@ -219,12 +224,7 @@ mod tests {
     fn compiled_table_agrees_on_full_domain() {
         // The paper's car-sale color ordering (§3.2): red ≻ black ≻ white,
         // with an extra branch red ≻ silver.
-        let r = PrefRel::new([
-            ("red", "black"),
-            ("black", "white"),
-            ("Red", "silver"),
-        ])
-        .unwrap();
+        let r = PrefRel::new([("red", "black"), ("black", "white"), ("Red", "silver")]).unwrap();
         let t = r.compile();
         let mut domain: Vec<&str> = r.values().into_iter().collect();
         domain.sort_unstable();

@@ -74,7 +74,10 @@ impl UserProfile {
 
     /// Static analysis of the scoping rules against a query: conflict
     /// graph + application order (§5.1).
-    pub fn check_conflicts(&self, query: &Tpq) -> Result<conflict::ConflictAnalysis, ConflictError> {
+    pub fn check_conflicts(
+        &self,
+        query: &Tpq,
+    ) -> Result<conflict::ConflictAnalysis, ConflictError> {
         conflict::analyze(&self.scoping, query)
     }
 
@@ -88,7 +91,9 @@ impl UserProfile {
         // must stay injection-free for the fallback to succeed.
         #[cfg(feature = "fault-injection")]
         if !self.scoping.is_empty() && pimento_faults::should_fire("profile.enforce_scoping") {
-            return Err(ConflictError { cycle: vec!["<fault-injected>".to_string()] });
+            return Err(ConflictError {
+                cycle: vec!["<fault-injected>".to_string()],
+            });
         }
         personalize(query, &self.scoping)
     }
@@ -148,7 +153,11 @@ mod tests {
         let p = p
             .with_kor(KeywordOrderingRule::new("k1", "car", "NYC"))
             .with_vor(Vor::prefer_value("v1", "car", "color", "red"))
-            .with_scoping(ScopingRule::add("s1", vec![], vec![Atom::ft("car", "clean")]))
+            .with_scoping(ScopingRule::add(
+                "s1",
+                vec![],
+                vec![Atom::ft("car", "clean")],
+            ))
             .with_rank_order(RankOrder::Vks);
         assert!(!p.is_empty());
         assert_eq!(p.rank_order, RankOrder::Vks);
@@ -170,8 +179,11 @@ mod tests {
     #[test]
     fn scoping_enforcement_through_profile() {
         let q = parse_tpq(r#"//car[ftcontains(., "good")]"#).unwrap();
-        let p = UserProfile::new()
-            .with_scoping(ScopingRule::add("s1", vec![], vec![Atom::ft("car", "american")]));
+        let p = UserProfile::new().with_scoping(ScopingRule::add(
+            "s1",
+            vec![],
+            vec![Atom::ft("car", "american")],
+        ));
         let pq = p.enforce_scoping(&q).unwrap();
         assert_eq!(pq.flock.applied_rules, vec!["s1"]);
         assert_eq!(pq.optional_keyword_count(), 1);
@@ -193,7 +205,10 @@ mod tests {
             .with_rank_order(RankOrder::Vks);
         let merged = base.merge(session);
         assert_eq!(merged.kors.len(), 2);
-        assert_eq!(merged.kors[0].phrase, "new", "session rule replaced the base rule");
+        assert_eq!(
+            merged.kors[0].phrase, "new",
+            "session rule replaced the base rule"
+        );
         assert_eq!(merged.kors[0].weight, 2.0);
         assert_eq!(merged.vors.len(), 1);
         assert_eq!(merged.rank_order, RankOrder::Vks);

@@ -34,7 +34,10 @@ impl fmt::Display for RenderError {
                 "rule {rule_id:?} uses a preference relation with no name in the registry"
             ),
             RenderError::Unrepresentable { rule_id } => {
-                write!(f, "rule {rule_id:?} cannot be expressed in the rule language")
+                write!(
+                    f,
+                    "rule {rule_id:?} cannot be expressed in the rule language"
+                )
             }
         }
     }
@@ -104,7 +107,11 @@ fn atom_text(atom: &Atom, rule_id: &str) -> Result<String, RenderError> {
         Atom::Ft { tag, phrase } => format!("ftcontains({tag}, {phrase:?})"),
         Atom::Cmp { tag, pred } => match pred {
             Predicate::Compare { op, value } => format!("{tag} {op} {}", value_text(value)),
-            _ => return Err(RenderError::Unrepresentable { rule_id: rule_id.to_string() }),
+            _ => {
+                return Err(RenderError::Unrepresentable {
+                    rule_id: rule_id.to_string(),
+                })
+            }
         },
     })
 }
@@ -135,7 +142,12 @@ pub fn render_vor(
         conds.push(format!("x.{attr} = y.{attr}"));
     }
     for g in &rule.guards {
-        conds.push(format!("x.{} {} {}", g.attr, relop_text(g.op), attr_value_text(&g.value)));
+        conds.push(format!(
+            "x.{} {} {}",
+            g.attr,
+            relop_text(g.op),
+            attr_value_text(&g.value)
+        ));
     }
     match &rule.form {
         VorForm::EqConst { attr, value } => {
@@ -154,7 +166,9 @@ pub fn render_vor(
                 .iter()
                 .find(|(_, rel)| *rel == order)
                 .map(|(n, _)| n.clone())
-                .ok_or_else(|| RenderError::UnregisteredPrefRel { rule_id: rule.id.clone() })?;
+                .ok_or_else(|| RenderError::UnregisteredPrefRel {
+                    rule_id: rule.id.clone(),
+                })?;
             conds.push(format!("{name}(x.{attr}, y.{attr})"));
         }
     }
@@ -219,7 +233,10 @@ mod tests {
         UserProfile::new()
             .with_scoping(ScopingRule::add(
                 "rho2",
-                vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+                vec![
+                    Atom::pc("car", "description"),
+                    Atom::ft("description", "good condition"),
+                ],
                 vec![Atom::ft("description", "american")],
             ))
             .with_scoping(
@@ -238,11 +255,11 @@ mod tests {
                 vec![Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 2000.0))],
                 vec![Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 5000.0))],
             ))
-            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red").with_priority(2))
-            .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage").with_priority(1))
             .with_vor(
-                ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"),
+                ValueOrderingRule::prefer_value("pi1", "car", "color", "red").with_priority(2),
             )
+            .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage").with_priority(1))
+            .with_vor(ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"))
             .with_vor(ValueOrderingRule::prefer_order(
                 "po",
                 "car",
@@ -307,7 +324,10 @@ mod tests {
             r#"if ftcontains(abs, "data mining") then remove ftcontains(abs, "data mining")"#
         );
         let kor = KeywordOrderingRule::new("k", "car", "NYC");
-        assert_eq!(render_kor(&kor), r#"x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y"#);
+        assert_eq!(
+            render_kor(&kor),
+            r#"x.tag = car & y.tag = car & ftcontains(x, "NYC") -> x < y"#
+        );
         let vor = ValueOrderingRule::prefer_smaller("v", "car", "mileage");
         assert_eq!(
             render_vor(&vor, &PrefRelRegistry::new()).unwrap(),
@@ -330,16 +350,12 @@ mod roundtrip_props {
 
     fn atom_strategy() -> impl Strategy<Value = Atom> {
         prop_oneof![
-            (0usize..TAGS.len(), 0usize..TAGS.len())
-                .prop_map(|(a, b)| Atom::pc(TAGS[a], TAGS[b])),
-            (0usize..TAGS.len(), 0usize..TAGS.len())
-                .prop_map(|(a, b)| Atom::ad(TAGS[a], TAGS[b])),
+            (0usize..TAGS.len(), 0usize..TAGS.len()).prop_map(|(a, b)| Atom::pc(TAGS[a], TAGS[b])),
+            (0usize..TAGS.len(), 0usize..TAGS.len()).prop_map(|(a, b)| Atom::ad(TAGS[a], TAGS[b])),
             (0usize..TAGS.len(), 0usize..PHRASES.len())
                 .prop_map(|(t, p)| Atom::ft(TAGS[t], PHRASES[p])),
-            (0usize..ATTRS.len(), 0u32..5000).prop_map(|(a, c)| Atom::cmp(
-                ATTRS[a],
-                Predicate::cmp_num(RelOp::Lt, c as f64)
-            )),
+            (0usize..ATTRS.len(), 0u32..5000)
+                .prop_map(|(a, c)| Atom::cmp(ATTRS[a], Predicate::cmp_num(RelOp::Lt, c as f64))),
         ]
     }
 

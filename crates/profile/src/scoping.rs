@@ -51,22 +51,34 @@ pub enum Atom {
 impl Atom {
     /// `pc(parent, child)`.
     pub fn pc(parent: &str, child: &str) -> Atom {
-        Atom::Pc { parent: parent.to_string(), child: child.to_string() }
+        Atom::Pc {
+            parent: parent.to_string(),
+            child: child.to_string(),
+        }
     }
 
     /// `ad(anc, desc)`.
     pub fn ad(anc: &str, desc: &str) -> Atom {
-        Atom::Ad { anc: anc.to_string(), desc: desc.to_string() }
+        Atom::Ad {
+            anc: anc.to_string(),
+            desc: desc.to_string(),
+        }
     }
 
     /// `ftcontains(tag, phrase)`.
     pub fn ft(tag: &str, phrase: &str) -> Atom {
-        Atom::Ft { tag: tag.to_string(), phrase: phrase.to_string() }
+        Atom::Ft {
+            tag: tag.to_string(),
+            phrase: phrase.to_string(),
+        }
     }
 
     /// `cmp(tag, op, value)`.
     pub fn cmp(tag: &str, pred: Predicate) -> Atom {
-        Atom::Cmp { tag: tag.to_string(), pred }
+        Atom::Cmp {
+            tag: tag.to_string(),
+            pred,
+        }
     }
 }
 
@@ -154,7 +166,10 @@ impl ScopingRule {
         ScopingRule {
             id: id.to_string(),
             condition,
-            action: SrAction::RelaxEdge { parent: parent.to_string(), child: child.to_string() },
+            action: SrAction::RelaxEdge {
+                parent: parent.to_string(),
+                child: child.to_string(),
+            },
             priority: None,
             weight: 1.0,
         }
@@ -262,23 +277,36 @@ pub fn atom_satisfied(query: &Tpq, atom: &Atom) -> bool {
     match atom {
         Atom::Pc { parent, child } => query.node_ids().any(|id| {
             query.node(id).tag.matches(parent)
-                && query.node(id).children.iter().any(|&c| {
-                    query.node(c).axis == Axis::Child && tag_is(query, c, child)
-                })
+                && query
+                    .node(id)
+                    .children
+                    .iter()
+                    .any(|&c| query.node(c).axis == Axis::Child && tag_is(query, c, child))
         }),
         Atom::Ad { anc, desc } => query.node_ids().any(|id| {
             query.node(id).tag.matches(anc)
-                && query.descendants(id).iter().any(|&d| tag_is(query, d, desc))
+                && query
+                    .descendants(id)
+                    .iter()
+                    .any(|&d| tag_is(query, d, desc))
         }),
         Atom::Ft { tag, phrase } => {
             let want = Predicate::ft(phrase.clone());
             nodes_with_tag(query, tag).iter().any(|&id| {
-                query.node(id).predicates.iter().any(|p| pred_implies(p, &want))
+                query
+                    .node(id)
+                    .predicates
+                    .iter()
+                    .any(|p| pred_implies(p, &want))
             })
         }
-        Atom::Cmp { tag, pred } => nodes_with_tag(query, tag)
-            .iter()
-            .any(|&id| query.node(id).predicates.iter().any(|p| pred_implies(p, pred))),
+        Atom::Cmp { tag, pred } => nodes_with_tag(query, tag).iter().any(|&id| {
+            query
+                .node(id)
+                .predicates
+                .iter()
+                .any(|p| pred_implies(p, pred))
+        }),
     }
 }
 
@@ -298,8 +326,16 @@ fn nodes_with_tag(query: &Tpq, tag: &str) -> Vec<TpqNodeId> {
 pub fn add_atom(query: &mut Tpq, atom: &Atom) -> Vec<Edit> {
     let mut edits = Vec::new();
     match atom {
-        Atom::Pc { parent, child } | Atom::Ad { anc: parent, desc: child } => {
-            let axis = if matches!(atom, Atom::Pc { .. }) { Axis::Child } else { Axis::Descendant };
+        Atom::Pc { parent, child }
+        | Atom::Ad {
+            anc: parent,
+            desc: child,
+        } => {
+            let axis = if matches!(atom, Atom::Pc { .. }) {
+                Axis::Child
+            } else {
+                Axis::Descendant
+            };
             if atom_satisfied(query, atom) {
                 return edits; // already present — adding is a no-op
             }
@@ -316,21 +352,31 @@ pub fn add_atom(query: &mut Tpq, atom: &Atom) -> Vec<Edit> {
                 }
             };
             query.add_child(anchor, axis, child);
-            edits.push(Edit::AddedNode { tag: child.clone(), under: parent.clone(), axis });
+            edits.push(Edit::AddedNode {
+                tag: child.clone(),
+                under: parent.clone(),
+                axis,
+            });
         }
         Atom::Ft { tag, phrase } => {
             let pred = Predicate::ft(phrase.clone());
             let target = ensure_node(query, tag, &mut edits);
             if !query.node(target).predicates.contains(&pred) {
                 query.add_predicate(target, pred.clone());
-                edits.push(Edit::AddedPredicate { tag: tag.clone(), pred });
+                edits.push(Edit::AddedPredicate {
+                    tag: tag.clone(),
+                    pred,
+                });
             }
         }
         Atom::Cmp { tag, pred } => {
             let target = ensure_node(query, tag, &mut edits);
             if !query.node(target).predicates.contains(pred) {
                 query.add_predicate(target, pred.clone());
-                edits.push(Edit::AddedPredicate { tag: tag.clone(), pred: pred.clone() });
+                edits.push(Edit::AddedPredicate {
+                    tag: tag.clone(),
+                    pred: pred.clone(),
+                });
             }
         }
     }
@@ -343,7 +389,11 @@ fn ensure_node(query: &mut Tpq, tag: &str, edits: &mut Vec<Edit>) -> TpqNodeId {
         None => {
             let under = tag_name(query, query.distinguished());
             let id = query.add_child(query.distinguished(), Axis::Descendant, tag);
-            edits.push(Edit::AddedNode { tag: tag.to_string(), under, axis: Axis::Descendant });
+            edits.push(Edit::AddedNode {
+                tag: tag.to_string(),
+                under,
+                axis: Axis::Descendant,
+            });
             id
         }
     }
@@ -367,7 +417,11 @@ pub fn delete_atom(query: &mut Tpq, atom: &Atom) -> Vec<Edit> {
         Atom::Cmp { tag, pred } => {
             remove_matching_preds(query, tag, pred, &mut edits);
         }
-        Atom::Pc { parent, child } | Atom::Ad { anc: parent, desc: child } => {
+        Atom::Pc { parent, child }
+        | Atom::Ad {
+            anc: parent,
+            desc: child,
+        } => {
             // Remove a bare leaf `child` attached under a `parent` node.
             let victim = query.node_ids().find(|&id| {
                 tag_is(query, id, child)
@@ -400,7 +454,10 @@ fn remove_matching_preds(query: &mut Tpq, tag: &str, want: &Predicate, edits: &m
             match pos {
                 Some(i) => {
                     let removed = query.remove_predicate(id, i);
-                    edits.push(Edit::RemovedPredicate { tag: tag.to_string(), pred: removed });
+                    edits.push(Edit::RemovedPredicate {
+                        tag: tag.to_string(),
+                        pred: removed,
+                    });
                 }
                 None => break,
             }
@@ -424,7 +481,10 @@ pub fn relax_edges(query: &mut Tpq, parent: &str, child: &str) -> Vec<Edit> {
         .collect();
     for id in targets {
         query.node_mut(id).axis = Axis::Descendant;
-        edits.push(Edit::RelaxedEdge { parent: parent.to_string(), child: child.to_string() });
+        edits.push(Edit::RelaxedEdge {
+            parent: parent.to_string(),
+            child: child.to_string(),
+        });
     }
     edits
 }
@@ -453,7 +513,10 @@ mod tests {
     fn rho1() -> ScopingRule {
         ScopingRule::delete(
             "rho1",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "low mileage"),
+            ],
             vec![Atom::ft("description", "good condition")],
         )
     }
@@ -463,7 +526,10 @@ mod tests {
     fn rho2() -> ScopingRule {
         ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         )
     }
@@ -473,7 +539,10 @@ mod tests {
     fn rho3() -> ScopingRule {
         ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         )
     }
@@ -504,10 +573,7 @@ mod tests {
         let q2 = rho2().applied(&q);
         let d = q2.find_by_tag("description").unwrap();
         assert_eq!(q2.node(d).predicates.len(), 3);
-        assert!(q2
-            .node(d)
-            .predicates
-            .contains(&Predicate::ft("american")));
+        assert!(q2.node(d).predicates.contains(&Predicate::ft("american")));
     }
 
     #[test]
@@ -516,7 +582,10 @@ mod tests {
         let q1 = rho3().applied(&q);
         let d = q1.find_by_tag("description").unwrap();
         assert_eq!(q1.node(d).predicates.len(), 1);
-        assert!(!q1.node(d).predicates.contains(&Predicate::ft("low mileage")));
+        assert!(!q1
+            .node(d)
+            .predicates
+            .contains(&Predicate::ft("low mileage")));
     }
 
     #[test]
@@ -532,7 +601,10 @@ mod tests {
         assert!(r.applicable(&q));
         let q2 = r.applied(&q);
         let p = q2.find_by_tag("price").unwrap();
-        assert_eq!(q2.node(p).predicates, vec![Predicate::cmp_num(RelOp::Lt, 5000.0)]);
+        assert_eq!(
+            q2.node(p).predicates,
+            vec![Predicate::cmp_num(RelOp::Lt, 5000.0)]
+        );
     }
 
     #[test]
@@ -572,8 +644,14 @@ mod tests {
     #[test]
     fn cmp_condition_uses_implication() {
         let q = query_q(); // price < 2000
-        assert!(atom_satisfied(&q, &Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 3000.0))));
-        assert!(!atom_satisfied(&q, &Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 1000.0))));
+        assert!(atom_satisfied(
+            &q,
+            &Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 3000.0))
+        ));
+        assert!(!atom_satisfied(
+            &q,
+            &Atom::cmp("price", Predicate::cmp_num(RelOp::Lt, 1000.0))
+        ));
     }
 
     #[test]
@@ -639,7 +717,13 @@ mod relax_tests {
         let r = ScopingRule::relax_edge("rel", vec![Atom::pc("car", "price")], "car", "price");
         assert!(r.applicable(&q));
         let edits = r.apply(&mut q);
-        assert_eq!(edits, vec![Edit::RelaxedEdge { parent: "car".into(), child: "price".into() }]);
+        assert_eq!(
+            edits,
+            vec![Edit::RelaxedEdge {
+                parent: "car".into(),
+                child: "price".into()
+            }]
+        );
         let p = q.find_by_tag("price").unwrap();
         assert_eq!(q.node(p).axis, Axis::Descendant);
     }
@@ -666,7 +750,10 @@ mod relax_tests {
         use pimento_tpq::contains;
         let q = parse_tpq("//car/price").unwrap();
         let relaxed = ScopingRule::relax_edge("rel", vec![], "car", "price").applied(&q);
-        assert!(contains(&relaxed, &q), "relaxation must contain the original");
+        assert!(
+            contains(&relaxed, &q),
+            "relaxation must contain the original"
+        );
         assert!(!contains(&q, &relaxed));
     }
 }

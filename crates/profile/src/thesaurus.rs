@@ -28,7 +28,10 @@ pub struct Thesaurus {
 impl Thesaurus {
     /// Empty thesaurus.
     pub fn new() -> Self {
-        Thesaurus { synonyms: HashMap::new(), weight: 0.5 }
+        Thesaurus {
+            synonyms: HashMap::new(),
+            weight: 0.5,
+        }
     }
 
     /// Builder: set the weight of generated rules (must be positive).
@@ -75,7 +78,9 @@ impl Thesaurus {
             let node = query.node(id);
             let Some(tag) = node.tag.name() else { continue };
             for pred in &node.predicates {
-                let Predicate::FtContains { phrase } = pred else { continue };
+                let Predicate::FtContains { phrase } = pred else {
+                    continue;
+                };
                 for (i, syn) in self.lookup(phrase).iter().enumerate() {
                     out.push(
                         ScopingRule::add(
@@ -95,7 +100,13 @@ impl Thesaurus {
 fn sanitize(phrase: &str) -> String {
     phrase
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect()
 }
 

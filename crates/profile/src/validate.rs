@@ -49,7 +49,10 @@ impl fmt::Display for Warning {
                 write!(f, "ordering rule {id:?} uses an empty preference relation")
             }
             Warning::SelfSatisfyingAdd(id) => {
-                write!(f, "scoping rule {id:?} adds what its condition already requires")
+                write!(
+                    f,
+                    "scoping rule {id:?} adds what its condition already requires"
+                )
             }
         }
     }
@@ -146,14 +149,18 @@ impl VerifyReport {
 
     /// The error-severity findings.
     pub fn errors(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.severity == Severity::Error)
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
     }
 
     /// Is there an SR conflict-cycle error? (The one condition
     /// [`UserProfile::enforce_scoping`] also rejects, so engine debug
     /// assertions can check the two agree.)
     pub fn has_sr_cycle(&self) -> bool {
-        self.findings.iter().any(|f| matches!(f.kind, FindingKind::SrConflictCycle { .. }))
+        self.findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::SrConflictCycle { .. }))
     }
 }
 
@@ -198,7 +205,8 @@ impl UserProfile {
                 let arcs: Vec<(usize, usize)> = (0..self.scoping.len())
                     .flat_map(|i| (0..self.scoping.len()).map(move |j| (i, j)))
                     .filter(|&(i, j)| {
-                        i != j && crate::conflict::conflicts(&self.scoping[i], &self.scoping[j], query)
+                        i != j
+                            && crate::conflict::conflicts(&self.scoping[i], &self.scoping[j], query)
                     })
                     .collect();
                 arc_findings(&arcs, &mut findings);
@@ -213,7 +221,9 @@ impl UserProfile {
         for cycle in detect_ambiguity_with_priorities(&self.vors).cycles {
             findings.push(Finding {
                 severity: Severity::Error,
-                kind: FindingKind::VorAlternatingCycle { cycle: cycle.rule_ids },
+                kind: FindingKind::VorAlternatingCycle {
+                    cycle: cycle.rule_ids,
+                },
             });
         }
 
@@ -223,7 +233,10 @@ impl UserProfile {
             if matches!(w, Warning::AmbiguousVors(_)) {
                 continue;
             }
-            findings.push(Finding { severity: Severity::Warning, kind: FindingKind::ProfileWarning(w) });
+            findings.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::ProfileWarning(w),
+            });
         }
 
         findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
@@ -324,7 +337,9 @@ mod tests {
             .with_vor(ValueOrderingRule::prefer_smaller("x", "car", "m"));
         let ws = validate(&p);
         assert_eq!(
-            ws.iter().filter(|w| matches!(w, Warning::DuplicateRuleId(_))).count(),
+            ws.iter()
+                .filter(|w| matches!(w, Warning::DuplicateRuleId(_)))
+                .count(),
             1
         );
     }
@@ -332,7 +347,9 @@ mod tests {
     #[test]
     fn ambiguity_flagged_with_cycle() {
         let p = UserProfile::new()
-            .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+            .with_vor(ValueOrderingRule::prefer_value(
+                "pi1", "car", "color", "red",
+            ))
             .with_vor(ValueOrderingRule::prefer_smaller("pi2", "car", "mileage"));
         let ws = validate(&p);
         assert!(ws.iter().any(|w| matches!(w, Warning::AmbiguousVors(_))));
@@ -347,7 +364,9 @@ mod tests {
             .with_scoping(ScopingRule::add("s", vec![], vec![]));
         let ws = validate(&p);
         assert!(ws.iter().any(|w| matches!(w, Warning::EmptyKorPhrase(_))));
-        assert!(ws.iter().any(|w| matches!(w, Warning::EmptyScopingAction(_))));
+        assert!(ws
+            .iter()
+            .any(|w| matches!(w, Warning::EmptyScopingAction(_))));
     }
 
     #[test]
@@ -357,7 +376,9 @@ mod tests {
             vec![Atom::ft("car", "good")],
             vec![Atom::ft("car", "good")],
         ));
-        assert!(validate(&p).iter().any(|w| matches!(w, Warning::SelfSatisfyingAdd(_))));
+        assert!(validate(&p)
+            .iter()
+            .any(|w| matches!(w, Warning::SelfSatisfyingAdd(_))));
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl ValueOrderingRule {
             tag: tag.to_string(),
             equal_attrs: Vec::new(),
             guards: Vec::new(),
-            form: VorForm::EqConst { attr: attr.to_string(), value: value.to_string() },
+            form: VorForm::EqConst {
+                attr: attr.to_string(),
+                value: value.to_string(),
+            },
             priority: 0,
         }
     }
@@ -143,7 +146,10 @@ impl ValueOrderingRule {
             tag: tag.to_string(),
             equal_attrs: Vec::new(),
             guards: Vec::new(),
-            form: VorForm::AttrCompare { attr: attr.to_string(), op: PrefOp::Lt },
+            form: VorForm::AttrCompare {
+                attr: attr.to_string(),
+                op: PrefOp::Lt,
+            },
             priority: 0,
         }
     }
@@ -155,7 +161,10 @@ impl ValueOrderingRule {
             tag: tag.to_string(),
             equal_attrs: Vec::new(),
             guards: Vec::new(),
-            form: VorForm::AttrCompare { attr: attr.to_string(), op: PrefOp::Gt },
+            form: VorForm::AttrCompare {
+                attr: attr.to_string(),
+                op: PrefOp::Gt,
+            },
             priority: 0,
         }
     }
@@ -167,7 +176,10 @@ impl ValueOrderingRule {
             tag: tag.to_string(),
             equal_attrs: Vec::new(),
             guards: Vec::new(),
-            form: VorForm::Preference { attr: attr.to_string(), order },
+            form: VorForm::Preference {
+                attr: attr.to_string(),
+                order,
+            },
             priority: 0,
         }
     }
@@ -180,7 +192,11 @@ impl ValueOrderingRule {
 
     /// Builder: add a symmetric local guard.
     pub fn with_guard(mut self, attr: &str, op: RelOp, value: AttrValue) -> Self {
-        self.guards.push(LocalGuard { attr: attr.to_string(), op, value });
+        self.guards.push(LocalGuard {
+            attr: attr.to_string(),
+            op,
+            value,
+        });
         self
     }
 
@@ -325,7 +341,9 @@ pub(crate) fn format_num(n: f64) -> String {
 }
 
 fn guard_holds(g: &LocalGuard, fields: &dyn Fn(&str) -> Option<AttrValue>) -> bool {
-    let Some(v) = fields(&g.attr) else { return false };
+    let Some(v) = fields(&g.attr) else {
+        return false;
+    };
     match g.op {
         RelOp::Eq => v.same(&g.value),
         RelOp::Ne => !v.same(&g.value),
@@ -430,7 +448,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn fields(pairs: &[(&str, AttrValue)]) -> HashMap<String, AttrValue> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn getter(m: &HashMap<String, AttrValue>) -> impl Fn(&str) -> Option<AttrValue> + '_ {
@@ -450,10 +471,22 @@ mod tests {
         let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
         let red = fields(&[("color", s("red"))]);
         let blue = fields(&[("color", s("blue"))]);
-        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&blue)), RuleCmp::PreferA);
-        assert_eq!(pi1.compare("car", "car", &getter(&blue), &getter(&red)), RuleCmp::PreferB);
-        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&red)), RuleCmp::Equal);
-        assert_eq!(pi1.compare("car", "car", &getter(&blue), &getter(&blue)), RuleCmp::Equal);
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&red), &getter(&blue)),
+            RuleCmp::PreferA
+        );
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&blue), &getter(&red)),
+            RuleCmp::PreferB
+        );
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&red), &getter(&red)),
+            RuleCmp::Equal
+        );
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&blue), &getter(&blue)),
+            RuleCmp::Equal
+        );
     }
 
     #[test]
@@ -461,8 +494,14 @@ mod tests {
         let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
         let red = fields(&[("color", s("red"))]);
         let none = fields(&[]);
-        assert_eq!(pi1.compare("car", "car", &getter(&red), &getter(&none)), RuleCmp::PreferA);
-        assert_eq!(pi1.compare("car", "car", &getter(&none), &getter(&none)), RuleCmp::Equal);
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&red), &getter(&none)),
+            RuleCmp::PreferA
+        );
+        assert_eq!(
+            pi1.compare("car", "car", &getter(&none), &getter(&none)),
+            RuleCmp::Equal
+        );
     }
 
     #[test]
@@ -470,11 +509,23 @@ mod tests {
         let pi2 = ValueOrderingRule::prefer_smaller("pi2", "car", "mileage");
         let lo = fields(&[("mileage", n(10_000.0))]);
         let hi = fields(&[("mileage", n(90_000.0))]);
-        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&hi)), RuleCmp::PreferA);
-        assert_eq!(pi2.compare("car", "car", &getter(&hi), &getter(&lo)), RuleCmp::PreferB);
-        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&lo)), RuleCmp::Equal);
+        assert_eq!(
+            pi2.compare("car", "car", &getter(&lo), &getter(&hi)),
+            RuleCmp::PreferA
+        );
+        assert_eq!(
+            pi2.compare("car", "car", &getter(&hi), &getter(&lo)),
+            RuleCmp::PreferB
+        );
+        assert_eq!(
+            pi2.compare("car", "car", &getter(&lo), &getter(&lo)),
+            RuleCmp::Equal
+        );
         let missing = fields(&[]);
-        assert_eq!(pi2.compare("car", "car", &getter(&lo), &getter(&missing)), RuleCmp::NoInfo);
+        assert_eq!(
+            pi2.compare("car", "car", &getter(&lo), &getter(&missing)),
+            RuleCmp::NoInfo
+        );
     }
 
     #[test]
@@ -483,16 +534,25 @@ mod tests {
         let strong = fields(&[("make", s("Honda")), ("hp", n(200.0))]);
         let weak = fields(&[("make", s("honda")), ("hp", n(120.0))]);
         let other = fields(&[("make", s("Ford")), ("hp", n(500.0))]);
-        assert_eq!(pi3.compare("car", "car", &getter(&strong), &getter(&weak)), RuleCmp::PreferA);
+        assert_eq!(
+            pi3.compare("car", "car", &getter(&strong), &getter(&weak)),
+            RuleCmp::PreferA
+        );
         // different make: common conditions fail
-        assert_eq!(pi3.compare("car", "car", &getter(&strong), &getter(&other)), RuleCmp::NoInfo);
+        assert_eq!(
+            pi3.compare("car", "car", &getter(&strong), &getter(&other)),
+            RuleCmp::NoInfo
+        );
     }
 
     #[test]
     fn tag_mismatch_is_noinfo() {
         let pi1 = ValueOrderingRule::prefer_value("pi1", "car", "color", "red");
         let red = fields(&[("color", s("red"))]);
-        assert_eq!(pi1.compare("truck", "car", &getter(&red), &getter(&red)), RuleCmp::NoInfo);
+        assert_eq!(
+            pi1.compare("truck", "car", &getter(&red), &getter(&red)),
+            RuleCmp::NoInfo
+        );
     }
 
     #[test]
@@ -502,10 +562,22 @@ mod tests {
         let red = fields(&[("color", s("red"))]);
         let black = fields(&[("color", s("black"))]);
         let green = fields(&[("color", s("green"))]);
-        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&black)), RuleCmp::PreferA);
-        assert_eq!(r.compare("car", "car", &getter(&black), &getter(&red)), RuleCmp::PreferB);
-        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&green)), RuleCmp::NoInfo);
-        assert_eq!(r.compare("car", "car", &getter(&red), &getter(&red)), RuleCmp::Equal);
+        assert_eq!(
+            r.compare("car", "car", &getter(&red), &getter(&black)),
+            RuleCmp::PreferA
+        );
+        assert_eq!(
+            r.compare("car", "car", &getter(&black), &getter(&red)),
+            RuleCmp::PreferB
+        );
+        assert_eq!(
+            r.compare("car", "car", &getter(&red), &getter(&green)),
+            RuleCmp::NoInfo
+        );
+        assert_eq!(
+            r.compare("car", "car", &getter(&red), &getter(&red)),
+            RuleCmp::Equal
+        );
     }
 
     #[test]
@@ -518,8 +590,14 @@ mod tests {
         let cheap_lo = fields(&[("price", n(500.0)), ("mileage", n(10.0))]);
         let cheap_hi = fields(&[("price", n(900.0)), ("mileage", n(90.0))]);
         let pricey = fields(&[("price", n(5000.0)), ("mileage", n(1.0))]);
-        assert_eq!(r.compare("car", "car", &getter(&cheap_lo), &getter(&cheap_hi)), RuleCmp::PreferA);
-        assert_eq!(r.compare("car", "car", &getter(&cheap_lo), &getter(&pricey)), RuleCmp::NoInfo);
+        assert_eq!(
+            r.compare("car", "car", &getter(&cheap_lo), &getter(&cheap_hi)),
+            RuleCmp::PreferA
+        );
+        assert_eq!(
+            r.compare("car", "car", &getter(&cheap_lo), &getter(&pricey)),
+            RuleCmp::NoInfo
+        );
     }
 
     #[test]
@@ -549,7 +627,10 @@ mod tests {
         let rules = vec![pi2];
         let a = fields(&[("mileage", n(10.0))]);
         let b = fields(&[("mileage", n(10.0))]);
-        assert_eq!(compare_all(&rules, "car", "car", &getter(&a), &getter(&b)), VorOutcome::Equal);
+        assert_eq!(
+            compare_all(&rules, "car", "car", &getter(&a), &getter(&b)),
+            VorOutcome::Equal
+        );
         let missing = fields(&[]);
         assert_eq!(
             compare_all(&rules, "car", "car", &getter(&a), &getter(&missing)),

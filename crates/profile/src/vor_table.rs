@@ -61,8 +61,7 @@ impl CVal {
         match (self, other) {
             (CVal::Num(a), CVal::Num(b)) => a == b,
             (CVal::Str { lower: a, .. }, CVal::Str { lower: b, .. }) => a == b,
-            (CVal::Num(n), CVal::Str { parsed, .. })
-            | (CVal::Str { parsed, .. }, CVal::Num(n)) => {
+            (CVal::Num(n), CVal::Str { parsed, .. }) | (CVal::Str { parsed, .. }, CVal::Num(n)) => {
                 parsed.map(|x| x == *n).unwrap_or(false)
             }
         }
@@ -104,7 +103,11 @@ enum CompiledHead {
     AttrCompare { slot: usize, op: PrefOp },
     /// Form (3): dense `prefRel` table; `pref_index` names the per-key
     /// slot carrying this rule's resolved operand.
-    Preference { slot: usize, pref_index: usize, table: PrefTable },
+    Preference {
+        slot: usize,
+        pref_index: usize,
+        table: PrefTable,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -170,12 +173,18 @@ impl CompiledVors {
     /// preserved exactly (they are semantically significant: within a
     /// class, rules are consulted in input order).
     pub fn compile(rules: &[ValueOrderingRule]) -> CompiledVors {
-        let mut attrs: Vec<String> =
-            rules.iter().flat_map(|r| r.attrs()).map(str::to_string).collect();
+        let mut attrs: Vec<String> = rules
+            .iter()
+            .flat_map(|r| r.attrs())
+            .map(str::to_string)
+            .collect();
         attrs.sort_unstable();
         attrs.dedup();
-        let attr_index: HashMap<String, usize> =
-            attrs.iter().enumerate().map(|(i, a)| (a.clone(), i)).collect();
+        let attr_index: HashMap<String, usize> = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
         let slot = |attr: &str| attr_index[attr];
 
         let mut pref_count = 0usize;
@@ -198,9 +207,10 @@ impl CompiledVors {
                         slot: slot(attr),
                         target: CVal::from_attr(&AttrValue::Str(value.clone())),
                     },
-                    VorForm::AttrCompare { attr, op } => {
-                        CompiledHead::AttrCompare { slot: slot(attr), op: *op }
-                    }
+                    VorForm::AttrCompare { attr, op } => CompiledHead::AttrCompare {
+                        slot: slot(attr),
+                        op: *op,
+                    },
                     VorForm::Preference { attr, order } => {
                         let pref_index = pref_count;
                         pref_count += 1;
@@ -247,7 +257,9 @@ impl CompiledVors {
     /// Does `key` carry a value for `attr`? (Introspection for tests and
     /// diagnostics; the hot path goes through slot indexes.)
     pub fn key_has(&self, key: &CompiledKey, attr: &str) -> bool {
-        self.attr_index.get(attr).is_some_and(|&i| key.slots[i].is_some())
+        self.attr_index
+            .get(attr)
+            .is_some_and(|&i| key.slots[i].is_some())
     }
 
     /// Build an answer's key. `get` resolves attribute names to values;
@@ -268,14 +280,16 @@ impl CompiledVors {
         let applicable: Box<[bool]> = self
             .rules
             .iter()
-            .map(|r| {
-                r.tag_lower == tag_lower
-                    && r.guards.iter().all(|g| guard_holds(g, &slots))
-            })
+            .map(|r| r.tag_lower == tag_lower && r.guards.iter().all(|g| guard_holds(g, &slots)))
             .collect();
         let mut prefs = vec![None; self.pref_count].into_boxed_slice();
         for r in self.rules.iter() {
-            if let CompiledHead::Preference { slot, pref_index, table } = &r.head {
+            if let CompiledHead::Preference {
+                slot,
+                pref_index,
+                table,
+            } = &r.head
+            {
                 prefs[*pref_index] = slots[*slot].as_ref().map(|v| {
                     let text_lower = v.text_lower();
                     let dom = table.id(&text_lower);
@@ -283,7 +297,12 @@ impl CompiledVors {
                 });
             }
         }
-        CompiledKey { tag_lower, slots, applicable, prefs }
+        CompiledKey {
+            tag_lower,
+            slots,
+            applicable,
+            prefs,
+        }
     }
 
     /// One rule on a pair of keys — the compiled [`ValueOrderingRule::compare`].
@@ -303,8 +322,14 @@ impl CompiledVors {
         }
         match &r.head {
             CompiledHead::EqConst { slot, target } => {
-                let a_has = a.slots[*slot].as_ref().map(|v| v.same(target)).unwrap_or(false);
-                let b_has = b.slots[*slot].as_ref().map(|v| v.same(target)).unwrap_or(false);
+                let a_has = a.slots[*slot]
+                    .as_ref()
+                    .map(|v| v.same(target))
+                    .unwrap_or(false);
+                let b_has = b.slots[*slot]
+                    .as_ref()
+                    .map(|v| v.same(target))
+                    .unwrap_or(false);
                 match (a_has, b_has) {
                     (true, false) => RuleCmp::PreferA,
                     (false, true) => RuleCmp::PreferB,
@@ -331,9 +356,10 @@ impl CompiledVors {
                     RuleCmp::PreferB
                 }
             }
-            CompiledHead::Preference { pref_index, table, .. } => {
-                let (Some(pa), Some(pb)) = (&a.prefs[*pref_index], &b.prefs[*pref_index])
-                else {
+            CompiledHead::Preference {
+                pref_index, table, ..
+            } => {
+                let (Some(pa), Some(pb)) = (&a.prefs[*pref_index], &b.prefs[*pref_index]) else {
                     return RuleCmp::NoInfo;
                 };
                 if pa.text_lower == pb.text_lower {
@@ -383,7 +409,9 @@ impl CompiledVors {
 }
 
 fn guard_holds(g: &CompiledGuard, slots: &[Option<CVal>]) -> bool {
-    let Some(v) = &slots[g.slot] else { return false };
+    let Some(v) = &slots[g.slot] else {
+        return false;
+    };
     match g.op {
         RelOp::Eq => v.same(&g.value),
         RelOp::Ne => !v.same(&g.value),
@@ -459,9 +487,16 @@ mod agreement {
                 }
                 fields.insert(
                     "make".to_string(),
-                    AttrValue::Str(if ci % 2 == 0 { "Honda".into() } else { "honda".into() }),
+                    AttrValue::Str(if ci % 2 == 0 {
+                        "Honda".into()
+                    } else {
+                        "honda".into()
+                    }),
                 );
-                fields.insert("hp".to_string(), AttrValue::Num(100.0 + (ci * 4 + mi) as f64));
+                fields.insert(
+                    "hp".to_string(),
+                    AttrValue::Num(100.0 + (ci * 4 + mi) as f64),
+                );
                 fields.insert(
                     "price".to_string(),
                     AttrValue::Num(if mi % 2 == 0 { 500.0 } else { 1500.0 }),
@@ -485,8 +520,9 @@ mod agreement {
         let mut checked = 0usize;
         for (i, (ta, fa)) in answers.iter().enumerate() {
             for (j, (tb, fb)) in answers.iter().enumerate() {
-                let want =
-                    compare_all(&rules, ta, tb, &|k| fa.get(k).cloned(), &|k| fb.get(k).cloned());
+                let want = compare_all(&rules, ta, tb, &|k| fa.get(k).cloned(), &|k| {
+                    fb.get(k).cloned()
+                });
                 let got = compiled.compare(&keys[i], &keys[j]);
                 assert_eq!(got, want, "pair {i}/{j}: {ta:?} vs {tb:?}");
                 checked += 1;
@@ -505,7 +541,9 @@ mod agreement {
 
     #[test]
     fn key_introspection() {
-        let rules = vec![ValueOrderingRule::prefer_value("pi1", "car", "color", "red")];
+        let rules = vec![ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        )];
         let compiled = CompiledVors::compile(&rules);
         let k = compiled.make_key("Car", |_, attr| {
             (attr == "color").then(|| AttrValue::Str("red".into()))

@@ -51,7 +51,10 @@ fn serve_usage() -> ! {
 fn run_serve(rest: Vec<String>) -> ExitCode {
     let mut docs: Vec<String> = Vec::new();
     let mut snapshot_path: Option<String> = None;
-    let mut cfg = ServeConfig { addr: "127.0.0.1:7654".to_string(), ..ServeConfig::default() };
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7654".to_string(),
+        ..ServeConfig::default()
+    };
     let mut it = rest.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,34 +69,45 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             "--snapshot" => snapshot_path = Some(it.next().unwrap_or_else(|| serve_usage())),
             "--addr" => cfg.addr = it.next().unwrap_or_else(|| serve_usage()),
             "--threads" => {
-                cfg.workers =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+                cfg.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
             }
             "--queue-capacity" => {
-                cfg.queue_capacity =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+                cfg.queue_capacity = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
             }
             "--cache-capacity" => {
-                cfg.cache_capacity =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+                cfg.cache_capacity = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
             }
             "--query-threads" => {
-                cfg.query_threads =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage())
+                cfg.query_threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
             }
             "--timeout-ms" => {
-                let ms: u64 =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage());
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage());
                 cfg.default_timeout = Some(Duration::from_millis(ms));
             }
             "--conn-timeout-ms" => {
-                let ms: u64 =
-                    it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| serve_usage());
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage());
                 cfg.conn_timeout = Duration::from_millis(ms.max(1));
             }
             "--profile-dir" => {
-                cfg.profile_dir =
-                    Some(it.next().unwrap_or_else(|| serve_usage()).into());
+                cfg.profile_dir = Some(it.next().unwrap_or_else(|| serve_usage()).into());
             }
             "--help" | "-h" => serve_usage(),
             other => {
@@ -214,7 +228,9 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                     _ => snapshot_usage(),
                 }
             }
-            let (Some(out), false) = (out, docs.is_empty()) else { snapshot_usage() };
+            let (Some(out), false) = (out, docs.is_empty()) else {
+                snapshot_usage()
+            };
             let mut xmls = Vec::new();
             for path in &docs {
                 match std::fs::read_to_string(path) {
@@ -232,22 +248,31 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let data =
-                if legacy { engine.save_snapshot_v3() } else { engine.save_snapshot() };
+            let data = if legacy {
+                engine.save_snapshot_v3()
+            } else {
+                engine.save_snapshot()
+            };
             if let Err(e) = std::fs::write(&out, &data) {
                 eprintln!("cannot write {out}: {e}");
                 return ExitCode::FAILURE;
             }
             println!(
                 "wrote {out}: format v{}, {} docs, {} bytes",
-                if legacy { pimento_index::FORMAT_VERSION } else { pimento_index::COLUMNAR_VERSION },
+                if legacy {
+                    pimento_index::FORMAT_VERSION
+                } else {
+                    pimento_index::COLUMNAR_VERSION
+                },
                 engine.db().coll.len(),
                 data.len()
             );
             ExitCode::SUCCESS
         }
         Some("inspect") => {
-            let Some(path) = it.next() else { snapshot_usage() };
+            let Some(path) = it.next() else {
+                snapshot_usage()
+            };
             let data = match std::fs::read(&path) {
                 Ok(d) => d,
                 Err(e) => {
@@ -268,7 +293,10 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                 report.file_len,
                 if report.directory_ok { "ok" } else { "BAD" }
             );
-            println!("{:<8} {:>10} {:>10} {:>10}  crc", "section", "offset", "len", "crc32");
+            println!(
+                "{:<8} {:>10} {:>10} {:>10}  crc",
+                "section", "offset", "len", "crc32"
+            );
             for s in &report.sections {
                 println!(
                     "{:<8} {:>10} {:>10} {:>10}  {}",
@@ -298,12 +326,77 @@ fn lint_usage() -> ! {
         "usage: pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
          Runs the static verifiers: Profile::verify (SR conflict graph, VOR\n\
          alternating cycles, validation warnings) and, with --docs, Plan::verify\n\
-         on each strategy's assembled plan. Exit 1 if any error finding."
+         on each strategy's assembled plan. Exit 1 if any error finding.\n\
+       pimento lint --workspace [--root PATH] [--allowlist PATH] [--format text|json]\n\
+         Runs the source-level static analyses over the workspace: the token\n\
+         rules plus the call-graph passes (panic-path, lock-order,\n\
+         unchecked-offset). Exit 1 on violations or stale lint.allow entries."
     );
     std::process::exit(2)
 }
 
+/// `pimento lint --workspace`: the source-level analyses, same engine as
+/// the standalone `lint` binary (crates/lint).
+fn run_lint_workspace(rest: Vec<String>) -> ExitCode {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut allowlist: Option<std::path::PathBuf> = None;
+    let mut json = false;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--root" => root = Some(it.next().unwrap_or_else(|| lint_usage()).into()),
+            "--allowlist" => allowlist = Some(it.next().unwrap_or_else(|| lint_usage()).into()),
+            "--format" => match it.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => lint_usage(),
+            },
+            "--help" | "-h" => lint_usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                lint_usage()
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| lint::find_workspace_root_from(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "lint: no Cargo.toml found walking up from the current directory; pass --root"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let allow_path = allowlist.unwrap_or_else(|| root.join("lint.allow"));
+    match lint::scan_workspace(&root, &allow_path) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_lint(rest: Vec<String>) -> ExitCode {
+    if rest.iter().any(|a| a == "--workspace") {
+        return run_lint_workspace(rest);
+    }
     let mut profile_path: Option<String> = None;
     let mut query = String::from(r#"//car[ftcontains(., "good condition")]"#);
     let mut docs: Vec<String> = Vec::new();
@@ -321,7 +414,12 @@ fn run_lint(rest: Vec<String>) -> ExitCode {
                     docs.push(it.next().expect("peeked"));
                 }
             }
-            "--k" => k = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| lint_usage()),
+            "--k" => {
+                k = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| lint_usage())
+            }
             "--help" | "-h" => lint_usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -329,7 +427,9 @@ fn run_lint(rest: Vec<String>) -> ExitCode {
             }
         }
     }
-    let Some(profile_path) = profile_path else { lint_usage() };
+    let Some(profile_path) = profile_path else {
+        lint_usage()
+    };
 
     let text = match std::fs::read_to_string(&profile_path) {
         Ok(t) => t,
@@ -429,6 +529,8 @@ fn usage() -> ! {
          --threads N   worker threads for query execution (0 = all cores, 1 = sequential)\n\
        pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
          static profile + plan soundness verification (see `pimento lint --help`)\n\
+       pimento lint --workspace [--format text|json]\n\
+         source-level static analyses: token rules + call-graph passes\n\
        pimento serve (--docs FILE... | --snapshot FILE) [--addr HOST:PORT] [--threads N] ...\n\
          resident TCP query service (see `pimento serve --help`)\n\
        pimento snapshot build|inspect ...\n\
@@ -463,7 +565,10 @@ fn parse_args() -> Args {
             "--query" => args.query = it.next().unwrap_or_else(|| usage()),
             "--profile" => args.profile = Some(it.next().unwrap_or_else(|| usage())),
             "--k" => {
-                args.k = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.k = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--strategy" => {
                 args.strategy = match it.next().as_deref() {
@@ -475,7 +580,10 @@ fn parse_args() -> Args {
                 }
             }
             "--threads" => {
-                args.threads = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                args.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--explain" => args.explain = true,
             "--analyze" => args.analyze = true,
@@ -550,7 +658,10 @@ fn main() -> ExitCode {
     if args.analyze {
         // Corpus summary.
         let db = engine.db();
-        print!("{}", pimento::index::CorpusStats::compute(&db.coll, &db.inverted, &db.tags).render());
+        print!(
+            "{}",
+            pimento::index::CorpusStats::compute(&db.coll, &db.inverted, &db.tags).render()
+        );
         // Profile lint.
         for warning in pimento::profile::validate(&profile) {
             println!("profile warning: {warning}");
@@ -601,7 +712,10 @@ fn main() -> ExitCode {
         );
     }
     for hit in &results.hits {
-        println!("#{:<3} K={:<6.2} S={:<6.3} doc{} {}", hit.rank, hit.k, hit.s, hit.elem.doc.0, hit.text);
+        println!(
+            "#{:<3} K={:<6.2} S={:<6.3} doc{} {}",
+            hit.rank, hit.k, hit.s, hit.elem.doc.0, hit.text
+        );
         if !hit.satisfied_kors.is_empty() || !hit.satisfied_optional.is_empty() {
             println!(
                 "     because: kors={:?} optional={:?}",

@@ -50,7 +50,11 @@ impl PreparedCache {
     /// Cache holding at most `capacity` entries (`0` disables caching:
     /// every lookup misses and inserts are dropped).
     pub fn new(capacity: usize) -> PreparedCache {
-        PreparedCache { capacity, clock: 0, map: HashMap::new() }
+        PreparedCache {
+            capacity,
+            clock: 0,
+            map: HashMap::new(),
+        }
     }
 
     /// Look up a compiled entry, refreshing its recency on hit.
@@ -82,7 +86,13 @@ impl PreparedCache {
                 evicted = 1;
             }
         }
-        self.map.insert(key, Entry { prepared, last_used: self.clock });
+        self.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: self.clock,
+            },
+        );
         evicted
     }
 
@@ -116,7 +126,11 @@ mod tests {
     }
 
     fn key(user: &str, generation: u64, query: &str) -> CacheKey {
-        CacheKey { user: user.into(), generation, query: query.into() }
+        CacheKey {
+            user: user.into(),
+            generation,
+            query: query.into(),
+        }
     }
 
     #[test]
@@ -130,7 +144,10 @@ mod tests {
         assert!(cache.lookup(&key("u", 1, "//b")).is_some());
         assert_eq!(cache.insert(key("u", 1, "//a"), prepared(&e, "//a")), 1);
         assert!(cache.lookup(&key("u", 1, "//b")).is_some());
-        assert!(cache.lookup(&key("u", 1, "//c")).is_none(), "LRU entry gone");
+        assert!(
+            cache.lookup(&key("u", 1, "//c")).is_none(),
+            "LRU entry gone"
+        );
         assert_eq!(cache.len(), 2);
     }
 
@@ -145,7 +162,10 @@ mod tests {
         assert!(cache.lookup(&key("u1", 2, "//b")).is_none());
         assert_eq!(cache.invalidate_user("u1"), 2);
         assert!(cache.lookup(&key("u1", 1, "//b")).is_none());
-        assert!(cache.lookup(&key("u2", 1, "//b")).is_some(), "other users untouched");
+        assert!(
+            cache.lookup(&key("u2", 1, "//b")).is_some(),
+            "other users untouched"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A policy that never retries.
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
     }
 
     /// The sleep before retry number `attempt` (0-based):
@@ -173,7 +176,11 @@ impl Client {
         // One small request frame per round trip: Nagle only hurts here.
         let _ = stream.set_nodelay(true);
         let peer = stream.peer_addr().ok();
-        Ok(Client { stream, peer, timeout: None })
+        Ok(Client {
+            stream,
+            peer,
+            timeout: None,
+        })
     }
 
     /// Connect with a connect/read/write timeout (`None` blocks forever).
@@ -189,7 +196,11 @@ impl Client {
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Client { stream, peer: Some(resolved), timeout: Some(timeout) })
+        Ok(Client {
+            stream,
+            peer: Some(resolved),
+            timeout: Some(timeout),
+        })
     }
 
     /// Drop the current stream and dial the remembered peer again.
@@ -218,18 +229,28 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("server closed before replying".to_string()))?;
         let text = std::str::from_utf8(&payload)
             .map_err(|_| ClientError::Protocol("reply is not UTF-8".to_string()))?;
-        let reply =
-            Value::parse(text).map_err(|e| ClientError::Protocol(format!("bad reply JSON: {e}")))?;
+        let reply = Value::parse(text)
+            .map_err(|e| ClientError::Protocol(format!("bad reply JSON: {e}")))?;
         if let Some(body) = reply.get("ok") {
             return Ok(body.clone());
         }
         if let Some(err) = reply.get("err") {
             return Err(ClientError::Server {
-                kind: err.get("kind").and_then(Value::as_str).unwrap_or("internal").to_string(),
-                msg: err.get("msg").and_then(Value::as_str).unwrap_or("").to_string(),
+                kind: err
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("internal")
+                    .to_string(),
+                msg: err
+                    .get("msg")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             });
         }
-        Err(ClientError::Protocol("reply has neither `ok` nor `err`".to_string()))
+        Err(ClientError::Protocol(
+            "reply has neither `ok` nor `err`".to_string(),
+        ))
     }
 
     /// [`Client::request`] under a [`RetryPolicy`]: `overloaded`
@@ -272,7 +293,12 @@ impl Client {
     }
 
     /// Top-`k` search as `user` (`None` = unpersonalized).
-    pub fn search(&mut self, user: Option<&str>, query: &str, k: usize) -> Result<Value, ClientError> {
+    pub fn search(
+        &mut self,
+        user: Option<&str>,
+        query: &str,
+        k: usize,
+    ) -> Result<Value, ClientError> {
         let mut fields = vec![
             ("cmd".to_string(), Value::from("search")),
             ("query".to_string(), Value::from(query)),
@@ -312,11 +338,17 @@ mod tests {
             assert_eq!(d, p.backoff(attempt), "same (seed, attempt) → same delay");
             assert!(d <= p.max_delay, "attempt {attempt}: {d:?} over cap");
             // Jitter floor: at least half the uncapped exponential.
-            let exp = p.base_delay.saturating_mul(1u32 << attempt.min(16)).min(p.max_delay);
+            let exp = p
+                .base_delay
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(p.max_delay);
             assert!(d >= exp / 2, "attempt {attempt}: {d:?} under jitter floor");
         }
         // A different seed shifts the schedule somewhere.
-        let q = RetryPolicy { seed: 43, ..p.clone() };
+        let q = RetryPolicy {
+            seed: 43,
+            ..p.clone()
+        };
         assert!((0..10).any(|a| p.backoff(a) != q.backoff(a)));
         // Huge attempt numbers don't overflow.
         let _ = p.backoff(u32::MAX);
@@ -329,8 +361,10 @@ mod tests {
             msg: "queue full".to_string(),
         };
         assert_eq!(retry_action(&overloaded), RetryAction::SameConn);
-        let query_err =
-            ClientError::Server { kind: "query".to_string(), msg: "bad".to_string() };
+        let query_err = ClientError::Server {
+            kind: "query".to_string(),
+            msg: "bad".to_string(),
+        };
         assert_eq!(retry_action(&query_err), RetryAction::No);
         let reset = ClientError::Io(io::Error::from(io::ErrorKind::ConnectionReset));
         assert_eq!(retry_action(&reset), RetryAction::Reconnect);

@@ -84,7 +84,10 @@ impl Value {
 
     /// Parse a JSON document (must consume the whole input).
     pub fn parse(text: &str) -> Result<Value, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value(0)?;
         p.skip_ws();
@@ -172,7 +175,12 @@ impl From<bool> for Value {
 
 /// Build an object value: `obj([("cmd", "search".into()), …])`.
 pub fn obj<const N: usize>(fields: [(&str, Value); N]) -> Value {
-    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn write_num(n: f64, out: &mut String) {
@@ -180,8 +188,7 @@ fn write_num(n: f64, out: &mut String) {
         // Integer-valued floats print without the fraction; both forms
         // parse back to the identical f64 (exact integers round-trip).
         // Negative zero takes the `{n}` path so its sign bit survives.
-        if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 && (n != 0.0 || n.is_sign_positive())
-        {
+        if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 && (n != 0.0 || n.is_sign_positive()) {
             let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
         } else {
             let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
@@ -232,7 +239,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { pos: self.pos, msg: msg.to_string() }
+        JsonError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -255,7 +265,11 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_lit(&mut self, lit: &str) -> Result<(), JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+        {
             self.pos += lit.len();
             Ok(())
         } else {
@@ -342,9 +356,9 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
-            match std::str::from_utf8(&self.bytes[start..self.pos]) {
-                Ok(chunk) => out.push_str(chunk),
-                Err(_) => return Err(self.err("invalid UTF-8 in string")),
+            match self.bytes.get(start..self.pos).map(std::str::from_utf8) {
+                Some(Ok(chunk)) => out.push_str(chunk),
+                _ => return Err(self.err("invalid UTF-8 in string")),
             }
             match self.peek() {
                 Some(b'"') => {
@@ -423,12 +437,15 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
-        let text = match std::str::from_utf8(&self.bytes[start..self.pos]) {
-            Ok(t) => t,
-            Err(_) => return Err(self.err("invalid number")),
+        let text = match self.bytes.get(start..self.pos).map(std::str::from_utf8) {
+            Some(Ok(t)) => t,
+            _ => return Err(self.err("invalid number")),
         };
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Value::Num(n)),
@@ -477,7 +494,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["", "{", "[1,", r#"{"a"}"#, "tru", "1 2", "\"\\u12\"", "nan", "--1"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "1 2",
+            "\"\\u12\"",
+            "nan",
+            "--1",
+        ] {
             assert!(Value::parse(bad).is_err(), "{bad}");
         }
         // Depth cap holds.
@@ -491,7 +518,10 @@ mod tests {
         assert_eq!(v.get("k").and_then(Value::as_u64), Some(10));
         assert_eq!(v.get("q").and_then(Value::as_str), Some("//car"));
         assert_eq!(v.get("flag").and_then(Value::as_bool), Some(true));
-        assert_eq!(v.get("xs").and_then(Value::as_arr).map(|a| a.len()), Some(1));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_arr).map(|a| a.len()),
+            Some(1)
+        );
         assert!(v.get("missing").is_none());
         assert_eq!(Value::Num(-1.0).as_u64(), None);
         assert_eq!(Value::Num(1.5).as_u64(), None);

@@ -16,8 +16,9 @@ use std::time::Instant;
 
 /// Upper bounds (µs) of the fixed latency histogram buckets; one
 /// implicit `+Inf` bucket follows.
-pub const LATENCY_BUCKETS_US: [u64; 12] =
-    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000];
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000,
+];
 
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
@@ -128,8 +129,13 @@ impl Metrics {
 
     /// Record one request latency (decode → response written).
     pub fn observe_latency_us(&self, us: u64) {
-        let idx = LATENCY_BUCKETS_US.iter().position(|&le| us <= le).unwrap_or(LATENCY_BUCKETS_US.len());
-        self.lat_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        if let Some(bucket) = self.lat_buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.lat_sum_us.fetch_add(us, Ordering::Relaxed);
         self.lat_count.fetch_add(1, Ordering::Relaxed);
     }
@@ -169,7 +175,10 @@ impl Metrics {
             })
             .collect();
         obj([
-            ("uptime_ms", (self.start.elapsed().as_millis() as u64).into()),
+            (
+                "uptime_ms",
+                (self.start.elapsed().as_millis() as u64).into(),
+            ),
             (
                 "startup",
                 obj([
@@ -243,9 +252,15 @@ mod tests {
         m.observe_latency_us(2_000_000); // -> +Inf
         assert_eq!(m.lat_buckets[0].load(Ordering::Relaxed), 2);
         assert_eq!(m.lat_buckets[1].load(Ordering::Relaxed), 1);
-        assert_eq!(m.lat_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed), 1);
+        assert_eq!(
+            m.lat_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed),
+            1
+        );
         assert_eq!(m.lat_count.load(Ordering::Relaxed), 4);
-        assert_eq!(m.lat_sum_us.load(Ordering::Relaxed), 10 + 50 + 51 + 2_000_000);
+        assert_eq!(
+            m.lat_sum_us.load(Ordering::Relaxed),
+            10 + 50 + 51 + 2_000_000
+        );
     }
 
     #[test]
@@ -253,13 +268,20 @@ mod tests {
         let m = Metrics::new();
         m.inc(&m.requests);
         m.inc(&m.responses_ok);
-        m.absorb_exec(&ExecStats { base_answers: 4, emitted: 2, ..Default::default() });
+        m.absorb_exec(&ExecStats {
+            base_answers: 4,
+            emitted: 2,
+            ..Default::default()
+        });
         m.set_startup(17, Some(4));
         let snap = m.snapshot(3, 1);
         assert_eq!(snap.get("requests").and_then(Value::as_u64), Some(1));
         let startup = snap.get("startup").expect("startup block");
         assert_eq!(startup.get("load_ms").and_then(Value::as_u64), Some(17));
-        assert_eq!(startup.get("snapshot_format").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            startup.get("snapshot_format").and_then(Value::as_u64),
+            Some(4)
+        );
         let cache = snap.get("cache").expect("cache block");
         assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(3));
         let exec = snap.get("exec").expect("exec block");

@@ -169,7 +169,10 @@ fn req_str(v: &Value, key: &str) -> Result<String, String> {
 fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
-        Some(n) => n.as_u64().map(Some).ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
     }
 }
 
@@ -178,7 +181,9 @@ fn query_spec(v: &Value) -> Result<QuerySpec, String> {
     let user = match v.get("user") {
         None | Some(Value::Null) => None,
         Some(u) => Some(
-            u.as_str().map(str::to_string).ok_or_else(|| "field `user` must be a string".to_string())?,
+            u.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "field `user` must be a string".to_string())?,
         ),
     };
     let strategy = match v.get("strategy").and_then(Value::as_str) {
@@ -207,7 +212,9 @@ pub fn ok_payload(body: Value) -> Vec<u8> {
 
 /// Encode a typed error response frame payload.
 pub fn err_payload(kind: &str, msg: &str) -> Vec<u8> {
-    obj([("err", obj([("kind", kind.into()), ("msg", msg.into())]))]).render().into_bytes()
+    obj([("err", obj([("kind", kind.into()), ("msg", msg.into())]))])
+        .render()
+        .into_bytes()
 }
 
 #[cfg(test)]
@@ -220,7 +227,10 @@ mod tests {
         write_frame(&mut buf, b"{\"cmd\":\"stats\"}").unwrap();
         write_frame(&mut buf, b"").unwrap();
         let mut r = io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"{\"cmd\":\"stats\"}");
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap().unwrap(),
+            b"{\"cmd\":\"stats\"}"
+        );
         assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
         assert!(read_frame(&mut r, 1024).unwrap().is_none());
     }
@@ -229,10 +239,19 @@ mod tests {
     fn frame_limits_and_truncation() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &[0u8; 100]).unwrap();
-        assert!(matches!(read_frame(&mut io::Cursor::new(&buf), 10), Err(FrameError::TooLarge(100))));
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&buf), 10),
+            Err(FrameError::TooLarge(100))
+        ));
         // EOF mid-frame is an I/O error, not a clean close.
-        assert!(matches!(read_frame(&mut io::Cursor::new(&buf[..50]), 1024), Err(FrameError::Io(_))));
-        assert!(matches!(read_frame(&mut io::Cursor::new(&buf[..2]), 1024), Err(FrameError::Io(_))));
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&buf[..50]), 1024),
+            Err(FrameError::Io(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&buf[..2]), 1024),
+            Err(FrameError::Io(_))
+        ));
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl ProfileRegistry {
     /// Install (or replace) `user`'s profile; returns the new generation.
     pub fn register(&self, user: &str, profile: UserProfile) -> u64 {
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
-        let session = ProfileSession { profile: Arc::new(profile), generation, degraded: None };
+        let session = ProfileSession {
+            profile: Arc::new(profile),
+            generation,
+            degraded: None,
+        };
         write_guard(&self.sessions).insert(user.to_string(), session);
         generation
     }
@@ -108,8 +112,7 @@ mod tests {
         assert!(r.get("u1").is_none());
         let g1 = r.register("u1", UserProfile::new());
         let s1 = r.get("u1").expect("registered");
-        let profile2 =
-            UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
+        let profile2 = UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
         let g2 = r.register("u1", profile2);
         assert!(g2 > g1);
         // The old snapshot is unaffected by re-registration.
@@ -127,7 +130,10 @@ mod tests {
         let s = r.get("victim").expect("registered");
         assert_eq!(s.generation, g1);
         assert_eq!(s.degraded.as_deref(), Some("profile snapshot corrupt"));
-        assert!(s.profile.is_empty(), "degraded placeholder is the empty profile");
+        assert!(
+            s.profile.is_empty(),
+            "degraded placeholder is the empty profile"
+        );
         let g2 = r.register("victim", UserProfile::new());
         assert!(g2 > g1);
         assert!(r.get("victim").expect("registered").degraded.is_none());

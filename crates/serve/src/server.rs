@@ -215,8 +215,10 @@ impl Server {
     /// degraded sessions; only filesystem-level store failures abort the
     /// bind. The server starts serving when [`Server::run`] is called.
     pub fn bind(engine: Arc<Engine>, cfg: ServeConfig) -> Result<Server, ServeError> {
-        let listener = TcpListener::bind(&cfg.addr)
-            .map_err(|err| ServeError::Bind { addr: cfg.addr.clone(), err })?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|err| ServeError::Bind {
+            addr: cfg.addr.clone(),
+            err,
+        })?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
         let store = match &cfg.profile_dir {
             Some(dir) => Some(ProfileStore::open(dir.clone()).map_err(ServeError::Store)?),
@@ -235,15 +237,20 @@ impl Server {
             engine,
             cfg,
         });
-        shared
-            .metrics
-            .set_startup(shared.cfg.startup_load_ms, shared.cfg.startup_snapshot_format);
+        shared.metrics.set_startup(
+            shared.cfg.startup_load_ms,
+            shared.cfg.startup_snapshot_format,
+        );
         if let Some(store) = &shared.store {
             for outcome in store.recover().map_err(ServeError::Store)? {
                 recover_one(&shared, outcome);
             }
         }
-        Ok(Server { listener, addr, shared })
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
     }
 
     /// The bound address (resolves port `0`).
@@ -257,8 +264,7 @@ impl Server {
     /// background).
     pub fn run(self) -> Result<Value, ServeError> {
         let shared = self.shared;
-        let pool_size =
-            effective_workers(resolve_threads(shared.cfg.workers), usize::MAX);
+        let pool_size = effective_workers(resolve_threads(shared.cfg.workers), usize::MAX);
         let mut workers = Vec::with_capacity(pool_size);
         for i in 0..pool_size {
             let s = Arc::clone(&shared);
@@ -331,7 +337,9 @@ impl Server {
             let _ = h.join();
         }
         let cache_entries = lock(&shared.cache).len();
-        Ok(shared.metrics.snapshot(cache_entries, shared.registry.len()))
+        Ok(shared
+            .metrics
+            .snapshot(cache_entries, shared.registry.len()))
     }
 }
 
@@ -359,10 +367,9 @@ fn recover_one(shared: &Shared, outcome: Recovered) {
             }
         }
         Recovered::CorruptRules { user, detail, .. } => {
-            shared.registry.register_degraded(
-                &user,
-                &format!("persisted profile corrupt: {detail}"),
-            );
+            shared
+                .registry
+                .register_degraded(&user, &format!("persisted profile corrupt: {detail}"));
             metrics.inc(&metrics.profiles_quarantined);
         }
         Recovered::CorruptFile { .. } => metrics.inc(&metrics.profiles_quarantined),
@@ -399,7 +406,10 @@ struct QueueState<T> {
 impl<T> BoundedQueue<T> {
     fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
-            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
             capacity,
         }
@@ -460,7 +470,10 @@ fn read_frame_ticking(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
         if shared.shutdown.load(Ordering::SeqCst) {
             return ReadOutcome::Closed;
         }
-        match stream.read(&mut header[filled..]) {
+        let Some(window) = header.get_mut(filled..) else {
+            return ReadOutcome::Closed;
+        };
+        match stream.read(window) {
             Ok(0) => return ReadOutcome::Closed,
             Ok(n) => filled += n,
             Err(e) if is_timeout(&e) => {
@@ -478,12 +491,13 @@ fn read_frame_ticking(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
     let mut payload = vec![0u8; len];
     let mut got = 0;
     while got < len {
-        if shared.shutdown.load(Ordering::SeqCst)
-            || started.elapsed() >= shared.cfg.idle_timeout
-        {
+        if shared.shutdown.load(Ordering::SeqCst) || started.elapsed() >= shared.cfg.idle_timeout {
             return ReadOutcome::Closed;
         }
-        match stream.read(&mut payload[got..]) {
+        let Some(window) = payload.get_mut(got..) else {
+            return ReadOutcome::Closed;
+        };
+        match stream.read(window) {
             Ok(0) => return ReadOutcome::Closed,
             Ok(n) => got += n,
             Err(e) if is_timeout(&e) => {}
@@ -494,7 +508,10 @@ fn read_frame_ticking(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
 }
 
 fn is_timeout(e: &io::Error) -> bool {
-    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Per-connection loop: decode frames, admit them to the queue, reject
@@ -512,7 +529,9 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     };
     // A client that stops reading must not wedge a worker forever.
     let _ = writer.set_write_timeout(Some(shared.cfg.conn_timeout));
-    let conn = Arc::new(Conn { writer: Mutex::new(writer) });
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+    });
     let metrics = &shared.metrics;
     loop {
         match read_frame_ticking(&mut stream, shared) {
@@ -545,7 +564,12 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     }
                 };
                 let budget = request_budget(&req, &shared.cfg);
-                let job = Job { req, conn: Arc::clone(&conn), arrival, budget };
+                let job = Job {
+                    req,
+                    conn: Arc::clone(&conn),
+                    arrival,
+                    budget,
+                };
                 if shared.queue.try_push(job).is_err() {
                     metrics.inc(&metrics.rejected_overload);
                     let (kind, msg) = if shared.shutdown.load(Ordering::SeqCst) {
@@ -564,9 +588,10 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// present, else the server default. Control commands carry no deadline.
 fn request_budget(req: &Request, cfg: &ServeConfig) -> Option<Duration> {
     match req {
-        Request::Search(spec) | Request::Explain(spec) => {
-            spec.timeout_ms.map(Duration::from_millis).or(cfg.default_timeout)
-        }
+        Request::Search(spec) | Request::Explain(spec) => spec
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(cfg.default_timeout),
         _ => None,
     }
 }
@@ -584,7 +609,9 @@ fn worker_loop(shared: &Arc<Shared>) {
         if pimento_faults::should_fire("serve.worker.loop") {
             panic!("fault injected: serve.worker.loop");
         }
-        let Some(job) = shared.queue.pop() else { return };
+        let Some(job) = shared.queue.pop() else {
+            return;
+        };
         if let Some(delay) = shared.cfg.worker_delay {
             thread::sleep(delay);
         }
@@ -682,9 +709,15 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Result<Value, RequestE
 fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Value, RequestError> {
     let profile = parse_profile(rules, &PrefRelRegistry::new())
         .map_err(|e| (err_kind::PROFILE, e.to_string()))?;
-    let warnings: Vec<Value> =
-        validate(&profile).into_iter().map(|w| w.to_string().into()).collect();
-    let counts = (profile.scoping.len(), profile.vors.len(), profile.kors.len());
+    let warnings: Vec<Value> = validate(&profile)
+        .into_iter()
+        .map(|w| w.to_string().into())
+        .collect();
+    let counts = (
+        profile.scoping.len(),
+        profile.vors.len(),
+        profile.kors.len(),
+    );
     let generation = shared.registry.register(user, profile);
     let invalidated = lock(&shared.cache).invalidate_user(user);
     let metrics = &shared.metrics;
@@ -725,7 +758,11 @@ fn fetch_or_prepare(
     query: &str,
 ) -> Result<(Arc<pimento::PreparedSearch>, &'static str), Error> {
     let metrics = &shared.metrics;
-    let key = CacheKey { user: user_key, generation, query: query.to_string() };
+    let key = CacheKey {
+        user: user_key,
+        generation,
+        query: query.to_string(),
+    };
     metrics.inc(&metrics.cache_lookups);
     let cached = lock(&shared.cache).lookup(&key);
     match cached {
@@ -752,19 +789,31 @@ fn fetch_or_prepare(
 /// startup recovery, or a scoping conflict at prepare time — fall back
 /// to the unpersonalized base query and stamp `degraded: true` plus a
 /// reason on the response instead of failing.
-fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Result<Value, RequestError> {
+fn run_query(
+    shared: &Arc<Shared>,
+    spec: &QuerySpec,
+    explain_only: bool,
+) -> Result<Value, RequestError> {
     let metrics = &shared.metrics;
     let (profile, user_key, generation, mut degraded) = match &spec.user {
         None => (Arc::clone(&shared.empty_profile), String::new(), 0, None),
         Some(user) => {
             let session = shared.registry.get(user).ok_or_else(|| {
-                (err_kind::UNKNOWN_USER, format!("no profile registered for `{user}`"))
+                (
+                    err_kind::UNKNOWN_USER,
+                    format!("no profile registered for `{user}`"),
+                )
             })?;
             match session.degraded {
                 // A degraded session runs under the anonymous cache slot:
                 // its placeholder profile IS the empty profile, so the
                 // compiled state is shared with anonymous queries.
-                Some(reason) => (Arc::clone(&shared.empty_profile), String::new(), 0, Some(reason)),
+                Some(reason) => (
+                    Arc::clone(&shared.empty_profile),
+                    String::new(),
+                    0,
+                    Some(reason),
+                ),
                 None => (session.profile, user.clone(), session.generation, None),
             }
         }
@@ -803,10 +852,16 @@ fn run_query(shared: &Arc<Shared>, spec: &QuerySpec, explain_only: bool) -> Resu
         ]);
         return Ok(stamp_degraded(body, &degraded, metrics));
     }
-    let results =
-        shared.engine.run_prepared(&prepared, &opts).map_err(map_engine_err)?;
+    let results = shared
+        .engine
+        .run_prepared(&prepared, &opts)
+        .map_err(map_engine_err)?;
     metrics.absorb_exec(&results.stats);
-    Ok(stamp_degraded(results_body(&results, cache_state), &degraded, metrics))
+    Ok(stamp_degraded(
+        results_body(&results, cache_state),
+        &degraded,
+        metrics,
+    ))
 }
 
 /// Mark a successful response as degraded (and count it) when the
@@ -902,7 +957,10 @@ mod tests {
 
     #[test]
     fn budget_resolution() {
-        let cfg = ServeConfig { default_timeout: Some(Duration::from_millis(7)), ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            default_timeout: Some(Duration::from_millis(7)),
+            ..ServeConfig::default()
+        };
         let spec = QuerySpec {
             user: None,
             query: "//a".into(),
@@ -912,9 +970,18 @@ mod tests {
             threads: None,
             timeout_ms: Some(3),
         };
-        assert_eq!(request_budget(&Request::Search(spec.clone()), &cfg), Some(Duration::from_millis(3)));
-        let spec_no = QuerySpec { timeout_ms: None, ..spec };
-        assert_eq!(request_budget(&Request::Search(spec_no), &cfg), Some(Duration::from_millis(7)));
+        assert_eq!(
+            request_budget(&Request::Search(spec.clone()), &cfg),
+            Some(Duration::from_millis(3))
+        );
+        let spec_no = QuerySpec {
+            timeout_ms: None,
+            ..spec
+        };
+        assert_eq!(
+            request_budget(&Request::Search(spec_no), &cfg),
+            Some(Duration::from_millis(7))
+        );
         assert_eq!(request_budget(&Request::Stats, &cfg), None);
     }
 }

@@ -94,7 +94,10 @@ impl ProfileStore {
     /// Open (creating if needed) the store directory.
     pub fn open(dir: impl Into<PathBuf>) -> Result<ProfileStore, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|err| StoreError::Io { path: dir.clone(), err })?;
+        fs::create_dir_all(&dir).map_err(|err| StoreError::Io {
+            path: dir.clone(),
+            err,
+        })?;
         Ok(ProfileStore { dir })
     }
 
@@ -110,7 +113,13 @@ impl ProfileStore {
         let sanitized: String = user
             .chars()
             .take(40)
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let mut h: u64 = 0xcbf29ce484222325;
         for &b in user.as_bytes() {
@@ -127,23 +136,35 @@ impl ProfileStore {
         let path = self.path_for(user);
         let tmp = path.with_extension("tmp");
         let bytes = encode(user, rules);
-        let io_err = |path: &Path, err: io::Error| StoreError::Io { path: path.to_path_buf(), err };
+        let io_err = |path: &Path, err: io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            err,
+        };
 
         #[cfg(feature = "fault-injection")]
         if pimento_faults::should_fire("serve.store.write") {
-            return Err(io_err(&tmp, io::Error::other("fault injected: serve.store.write")));
+            return Err(io_err(
+                &tmp,
+                io::Error::other("fault injected: serve.store.write"),
+            ));
         }
         let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
         f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
         #[cfg(feature = "fault-injection")]
         if pimento_faults::should_fire("serve.store.fsync") {
-            return Err(io_err(&tmp, io::Error::other("fault injected: serve.store.fsync")));
+            return Err(io_err(
+                &tmp,
+                io::Error::other("fault injected: serve.store.fsync"),
+            ));
         }
         f.sync_all().map_err(|e| io_err(&tmp, e))?;
         drop(f);
         #[cfg(feature = "fault-injection")]
         if pimento_faults::should_fire("serve.store.rename") {
-            return Err(io_err(&path, io::Error::other("fault injected: serve.store.rename")));
+            return Err(io_err(
+                &path,
+                io::Error::other("fault injected: serve.store.rename"),
+            ));
         }
         fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
         // Make the rename durable. Directory fsync is best-effort: some
@@ -160,11 +181,16 @@ impl ProfileStore {
     /// ignored. Files are visited in name order, so recovery (and the
     /// chaos suite) is deterministic.
     pub fn recover(&self) -> Result<Vec<Recovered>, StoreError> {
-        let entries = fs::read_dir(&self.dir)
-            .map_err(|err| StoreError::Io { path: self.dir.clone(), err })?;
+        let entries = fs::read_dir(&self.dir).map_err(|err| StoreError::Io {
+            path: self.dir.clone(),
+            err,
+        })?;
         let mut files: Vec<PathBuf> = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|err| StoreError::Io { path: self.dir.clone(), err })?;
+            let entry = entry.map_err(|err| StoreError::Io {
+                path: self.dir.clone(),
+                err,
+            })?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) == Some("profile") {
                 files.push(path);
@@ -201,11 +227,18 @@ impl ProfileStore {
                 }
                 Err(DecodeFail::Rules { user, detail }) => {
                     let quarantined = self.quarantine(&path)?;
-                    out.push(Recovered::CorruptRules { user, quarantined, detail });
+                    out.push(Recovered::CorruptRules {
+                        user,
+                        quarantined,
+                        detail,
+                    });
                 }
                 Err(DecodeFail::Header(detail)) => {
                     let quarantined = self.quarantine(&path)?;
-                    out.push(Recovered::CorruptFile { quarantined, detail });
+                    out.push(Recovered::CorruptFile {
+                        quarantined,
+                        detail,
+                    });
                 }
             }
         }
@@ -217,8 +250,10 @@ impl ProfileStore {
         let mut name = path.as_os_str().to_owned();
         name.push(".quarantined");
         let target = PathBuf::from(name);
-        fs::rename(path, &target)
-            .map_err(|err| StoreError::Io { path: path.to_path_buf(), err })?;
+        fs::rename(path, &target).map_err(|err| StoreError::Io {
+            path: path.to_path_buf(),
+            err,
+        })?;
         Ok(target)
     }
 }
@@ -317,8 +352,8 @@ mod tests {
 
     /// A unique scratch directory per test (no tempfile crate offline).
     fn scratch(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("pimento-store-test-{}-{name}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("pimento-store-test-{}-{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -327,12 +362,18 @@ mod tests {
     fn round_trip_persist_and_recover() {
         let dir = scratch("roundtrip");
         let store = ProfileStore::open(&dir).expect("open");
-        store.persist("alice", "pi1: x.tag = car -> x < y\n").expect("persist");
+        store
+            .persist("alice", "pi1: x.tag = car -> x < y\n")
+            .expect("persist");
         store.persist("bob", "").expect("empty rules persist");
-        store.persist("weird user/../name", "rule text").expect("hostile name persists");
+        store
+            .persist("weird user/../name", "rule text")
+            .expect("hostile name persists");
         let recovered = store.recover().expect("recover");
         assert_eq!(recovered.len(), 3);
-        assert!(recovered.iter().all(|r| matches!(r, Recovered::Profile { .. })));
+        assert!(recovered
+            .iter()
+            .all(|r| matches!(r, Recovered::Profile { .. })));
         assert!(recovered.contains(&Recovered::Profile {
             user: "alice".to_string(),
             rules: "pi1: x.tag = car -> x < y\n".to_string(),
@@ -365,7 +406,9 @@ mod tests {
     fn corrupt_rules_keep_the_user_and_quarantine_the_file() {
         let dir = scratch("corrupt-rules");
         let store = ProfileStore::open(&dir).expect("open");
-        let path = store.persist("victim", "pi1: x.tag = car -> x < y\n").expect("persist");
+        let path = store
+            .persist("victim", "pi1: x.tag = car -> x < y\n")
+            .expect("persist");
         let mut bytes = fs::read(&path).expect("read");
         let n = bytes.len();
         bytes[n - 6] ^= 0xff; // inside the rules region, before the footer
@@ -374,7 +417,11 @@ mod tests {
         let recovered = store.recover().expect("recover");
         assert_eq!(recovered.len(), 1);
         match &recovered[0] {
-            Recovered::CorruptRules { user, quarantined, detail } => {
+            Recovered::CorruptRules {
+                user,
+                quarantined,
+                detail,
+            } => {
                 assert_eq!(user, "victim");
                 assert!(quarantined.exists(), "quarantined file kept");
                 assert!(detail.contains("checksum"), "{detail}");

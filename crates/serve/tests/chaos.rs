@@ -74,7 +74,10 @@ fn cars_engine() -> Arc<Engine> {
     Arc::new(Engine::from_xml_docs(&docs).expect("corpus parses"))
 }
 
-fn start(engine: Arc<Engine>, cfg: ServeConfig) -> (SocketAddr, thread::JoinHandle<Result<Value, ServeError>>) {
+fn start(
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+) -> (SocketAddr, thread::JoinHandle<Result<Value, ServeError>>) {
     let server = Server::bind(engine, cfg).expect("bind");
     let addr = server.local_addr();
     let handle = thread::spawn(move || server.run());
@@ -96,25 +99,53 @@ fn fingerprint(hits: &Value) -> Vec<(u64, u64, u64, u64)> {
         .collect()
 }
 
-fn serial_fingerprint(engine: &Engine, profile: &UserProfile, query: &str, k: usize) -> Vec<(u64, u64, u64, u64)> {
-    let results = engine.search(query, profile, &SearchOptions::top(k)).expect("serial search");
+fn serial_fingerprint(
+    engine: &Engine,
+    profile: &UserProfile,
+    query: &str,
+    k: usize,
+) -> Vec<(u64, u64, u64, u64)> {
+    let results = engine
+        .search(query, profile, &SearchOptions::top(k))
+        .expect("serial search");
     results
         .hits
         .iter()
-        .map(|h| (u64::from(h.elem.doc.0), u64::from(h.elem.node.0), h.s.to_bits(), h.k.to_bits()))
+        .map(|h| {
+            (
+                u64::from(h.elem.doc.0),
+                u64::from(h.elem.node.0),
+                h.s.to_bits(),
+                h.k.to_bits(),
+            )
+        })
         .collect()
 }
 
 fn assert_stats_identities(stats: &Value) {
-    let g = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("counter {k}"));
+    let g = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("counter {k}"))
+    };
     assert_eq!(
         g("requests"),
         g("responses_ok") + g("responses_err") + g("rejected_overload") + g("rejected_deadline"),
         "every decoded request answered exactly once: {stats:?}"
     );
     let cache = stats.get("cache").expect("cache block");
-    let c = |k: &str| cache.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("cache {k}"));
-    assert_eq!(c("lookups"), c("hits") + c("misses"), "cache identity: {stats:?}");
+    let c = |k: &str| {
+        cache
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("cache {k}"))
+    };
+    assert_eq!(
+        c("lookups"),
+        c("hits") + c("misses"),
+        "cache identity: {stats:?}"
+    );
 }
 
 /// Retry a search past injected worker panics: the schedule may hit any
@@ -130,7 +161,10 @@ fn search_riding_out_panics(
         match c.search(user, query, 10) {
             Ok(body) => return body,
             Err(ClientError::Server { kind, msg }) if kind == "internal" => {
-                assert!(msg.contains("panicked"), "internal error names the panic: {msg}");
+                assert!(
+                    msg.contains("panicked"),
+                    "internal error names the panic: {msg}"
+                );
                 panics_seen.fetch_add(1, Ordering::SeqCst);
             }
             Err(e) => panic!("unexpected failure under chaos: {e}"),
@@ -165,8 +199,11 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
     std::fs::write(&victim_path, &bytes).expect("corrupt victim snapshot");
 
     let engine = cars_engine();
-    let cfg =
-        ServeConfig { workers: 2, profile_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        workers: 2,
+        profile_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(Arc::clone(&engine), cfg);
 
     // Stalled client: half a frame header, then silence. It may occupy a
@@ -181,7 +218,10 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
     let profile = parse_profile(FIG2_RULES, &PrefRelRegistry::new()).expect("fig2 parses");
     let expected_personalized = serial_fingerprint(&engine, &profile, CARS_QUERY, 10);
     let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
-    assert_ne!(expected_personalized, expected_plain, "personalization changes the ranking");
+    assert_ne!(
+        expected_personalized, expected_plain,
+        "personalization changes the ranking"
+    );
 
     let panics_seen = Arc::new(AtomicUsize::new(0));
 
@@ -190,8 +230,15 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
     // stamped with a reason.
     let mut c = Client::connect(addr).expect("connect");
     let body = search_riding_out_panics(&mut c, Some("good"), CARS_QUERY, &panics_seen);
-    assert_eq!(fingerprint(body.get("hits").expect("hits")), expected_personalized);
-    assert_eq!(body.get("degraded"), None, "intact profile is not degraded: {body:?}");
+    assert_eq!(
+        fingerprint(body.get("hits").expect("hits")),
+        expected_personalized
+    );
+    assert_eq!(
+        body.get("degraded"),
+        None,
+        "intact profile is not degraded: {body:?}"
+    );
 
     let body = search_riding_out_panics(&mut c, Some("victim"), CARS_QUERY, &panics_seen);
     assert_eq!(
@@ -199,8 +246,14 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
         Some(true),
         "corrupted profile degrades: {body:?}"
     );
-    let reason = body.get("degraded_reason").and_then(Value::as_str).expect("degraded_reason");
-    assert!(reason.contains("corrupt"), "reason names the corruption: {reason}");
+    let reason = body
+        .get("degraded_reason")
+        .and_then(Value::as_str)
+        .expect("degraded_reason");
+    assert!(
+        reason.contains("corrupt"),
+        "reason names the corruption: {reason}"
+    );
     assert_eq!(
         fingerprint(body.get("hits").expect("hits")),
         expected_plain,
@@ -248,7 +301,11 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
 
     for s in [&stats, &final_stats] {
         assert_stats_identities(s);
-        let g = |k: &str| s.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("counter {k}"));
+        let g = |k: &str| {
+            s.get(k)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("counter {k}"))
+        };
         assert_eq!(
             g("panics") as usize,
             panics_seen.load(Ordering::SeqCst),
@@ -257,11 +314,27 @@ fn seeded_chaos_schedule_leaves_the_server_serving() {
         assert!(g("panics") > 0, "the 1-in-8 schedule actually fired: {s:?}");
         assert!(g("degraded") >= 1, "victim searches were stamped: {s:?}");
         let store_stats = s.get("store").expect("store block");
-        let sc = |k: &str| store_stats.get(k).and_then(Value::as_u64).expect("store counter");
-        assert_eq!(sc("profiles_recovered"), 1, "intact profile recovered: {s:?}");
-        assert_eq!(sc("profiles_quarantined"), 1, "corrupt snapshot quarantined: {s:?}");
+        let sc = |k: &str| {
+            store_stats
+                .get(k)
+                .and_then(Value::as_u64)
+                .expect("store counter")
+        };
+        assert_eq!(
+            sc("profiles_recovered"),
+            1,
+            "intact profile recovered: {s:?}"
+        );
+        assert_eq!(
+            sc("profiles_quarantined"),
+            1,
+            "corrupt snapshot quarantined: {s:?}"
+        );
     }
-    assert_eq!(faults::fired("serve.worker.job") as usize, panics_seen.load(Ordering::SeqCst));
+    assert_eq!(
+        faults::fired("serve.worker.job") as usize,
+        panics_seen.load(Ordering::SeqCst)
+    );
 
     drop(session);
     let _ = std::fs::remove_dir_all(&dir);
@@ -275,14 +348,29 @@ fn store_fsync_faults_mark_the_profile_unpersisted() {
 
     let dir = temp_dir("fsync");
     let engine = cars_engine();
-    let cfg = ServeConfig { profile_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        profile_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(Arc::clone(&engine), cfg);
 
     let mut c = Client::connect(addr).expect("connect");
-    let body = c.register_profile("u1", FIG2_RULES).expect("register succeeds in memory");
-    assert_eq!(body.get("persisted").and_then(Value::as_bool), Some(false), "{body:?}");
-    let err = body.get("persist_error").and_then(Value::as_str).expect("persist_error");
-    assert!(err.contains("fault injected"), "error names the fault: {err}");
+    let body = c
+        .register_profile("u1", FIG2_RULES)
+        .expect("register succeeds in memory");
+    assert_eq!(
+        body.get("persisted").and_then(Value::as_bool),
+        Some(false),
+        "{body:?}"
+    );
+    let err = body
+        .get("persist_error")
+        .and_then(Value::as_str)
+        .expect("persist_error");
+    assert!(
+        err.contains("fault injected"),
+        "error names the fault: {err}"
+    );
 
     // The session exists regardless: searches personalize from memory.
     let profile = parse_profile(FIG2_RULES, &PrefRelRegistry::new()).expect("fig2 parses");
@@ -295,13 +383,21 @@ fn store_fsync_faults_mark_the_profile_unpersisted() {
     // With the fault lifted, the same registration durably persists.
     faults::clear();
     let body = c.register_profile("u1", FIG2_RULES).expect("re-register");
-    assert_eq!(body.get("persisted").and_then(Value::as_bool), Some(true), "{body:?}");
+    assert_eq!(
+        body.get("persisted").and_then(Value::as_bool),
+        Some(true),
+        "{body:?}"
+    );
 
     let stats = c.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("server ran");
     assert_stats_identities(&stats);
     let store_stats = stats.get("store").expect("store block");
-    assert_eq!(store_stats.get("errors").and_then(Value::as_u64), Some(1), "{stats:?}");
+    assert_eq!(
+        store_stats.get("errors").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
 
     drop(session);
     let _ = std::fs::remove_dir_all(&dir);
@@ -315,22 +411,37 @@ fn worker_loop_panics_respawn_without_losing_requests() {
     let session = FaultSession::install(FaultPlan::new(11).every("serve.worker.loop", 2));
 
     let engine = cars_engine();
-    let cfg = ServeConfig { workers: 2, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(Arc::clone(&engine), cfg);
 
     let expected = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
     let mut c = Client::connect(addr).expect("connect");
     for _ in 0..12 {
-        let body = c.search(None, CARS_QUERY, 10).expect("search survives loop panics");
+        let body = c
+            .search(None, CARS_QUERY, 10)
+            .expect("search survives loop panics");
         assert_eq!(fingerprint(body.get("hits").expect("hits")), expected);
     }
 
     let stats = c.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("server ran");
     assert_stats_identities(&stats);
-    let respawns = stats.get("worker_respawns").and_then(Value::as_u64).expect("worker_respawns");
-    assert!(respawns >= 1, "the loop fault fired and the pool healed: {stats:?}");
-    assert_eq!(stats.get("panics").and_then(Value::as_u64), Some(0), "no request-path panics");
+    let respawns = stats
+        .get("worker_respawns")
+        .and_then(Value::as_u64)
+        .expect("worker_respawns");
+    assert!(
+        respawns >= 1,
+        "the loop fault fired and the pool healed: {stats:?}"
+    );
+    assert_eq!(
+        stats.get("panics").and_then(Value::as_u64),
+        Some(0),
+        "no request-path panics"
+    );
 
     drop(session);
 }
@@ -353,9 +464,19 @@ fn scoping_faults_degrade_to_unpersonalized_answers() {
     // A query not yet in the compiled cache, so prepare must run — and
     // hit the fault — rather than reuse a pre-fault plan.
     let body = c.search(Some("u1"), MILEAGE_QUERY, 10).expect("search");
-    assert_eq!(body.get("degraded").and_then(Value::as_bool), Some(true), "{body:?}");
-    let reason = body.get("degraded_reason").and_then(Value::as_str).expect("degraded_reason");
-    assert!(reason.contains("not applicable"), "reason explains the fallback: {reason}");
+    assert_eq!(
+        body.get("degraded").and_then(Value::as_bool),
+        Some(true),
+        "{body:?}"
+    );
+    let reason = body
+        .get("degraded_reason")
+        .and_then(Value::as_str)
+        .expect("degraded_reason");
+    assert!(
+        reason.contains("not applicable"),
+        "reason explains the fallback: {reason}"
+    );
     let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), MILEAGE_QUERY, 10);
     assert_eq!(fingerprint(body.get("hits").expect("hits")), expected_plain);
 
@@ -369,7 +490,11 @@ fn scoping_faults_degrade_to_unpersonalized_answers() {
     handle.join().expect("server thread").expect("server ran");
     assert_stats_identities(&stats);
     assert!(
-        stats.get("degraded").and_then(Value::as_u64).expect("degraded") >= 1,
+        stats
+            .get("degraded")
+            .and_then(Value::as_u64)
+            .expect("degraded")
+            >= 1,
         "degradations are counted: {stats:?}"
     );
 

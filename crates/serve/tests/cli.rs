@@ -40,7 +40,11 @@ fn cli_searches_with_profile() {
         .args(["--k", "5", "--explain", "--analyze"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("#1"), "{stdout}");
     assert!(stdout.contains("NYC"), "NYC car first: {stdout}");

@@ -23,7 +23,10 @@ fn server_addr() -> SocketAddr {
     *ADDR.get_or_init(|| {
         let docs = vec![pimento_datagen::paper_figure1().to_string()];
         let engine = Arc::new(pimento::Engine::from_xml_docs(&docs).expect("corpus parses"));
-        let cfg = ServeConfig { max_frame_bytes: 64 * 1024, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            max_frame_bytes: 64 * 1024,
+            ..ServeConfig::default()
+        };
         let server = Server::bind(engine, cfg).expect("bind");
         let addr = server.local_addr();
         std::thread::spawn(move || server.run());
@@ -33,30 +36,46 @@ fn server_addr() -> SocketAddr {
 
 fn raw_connect() -> TcpStream {
     let s = TcpStream::connect(server_addr()).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
-    s.set_write_timeout(Some(Duration::from_secs(10))).expect("write timeout");
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    s.set_write_timeout(Some(Duration::from_secs(10)))
+        .expect("write timeout");
     s
 }
 
 /// Send one framed payload and decode the single reply frame.
 fn roundtrip(stream: &mut TcpStream, payload: &[u8]) -> Value {
     write_frame(stream, payload).expect("send frame");
-    let reply = read_frame(stream, usize::MAX).expect("read reply").expect("server replied");
+    let reply = read_frame(stream, usize::MAX)
+        .expect("read reply")
+        .expect("server replied");
     Value::parse(std::str::from_utf8(&reply).expect("reply is UTF-8")).expect("reply is JSON")
 }
 
 fn assert_err_kind(reply: &Value, kind: &str) {
-    let err = reply.get("err").unwrap_or_else(|| panic!("expected err reply, got {reply:?}"));
-    assert_eq!(err.get("kind").and_then(Value::as_str), Some(kind), "reply: {reply:?}");
+    let err = reply
+        .get("err")
+        .unwrap_or_else(|| panic!("expected err reply, got {reply:?}"));
+    assert_eq!(
+        err.get("kind").and_then(Value::as_str),
+        Some(kind),
+        "reply: {reply:?}"
+    );
 }
 
 /// The server must still answer a well-formed search — proof the hostile
 /// traffic left it serving, not merely alive.
 fn assert_still_serving() {
     let mut c = Client::connect(server_addr()).expect("connect");
-    let body = c.search(None, CARS_QUERY, 10).expect("search after hostile traffic");
+    let body = c
+        .search(None, CARS_QUERY, 10)
+        .expect("search after hostile traffic");
     assert!(
-        !body.get("hits").and_then(Value::as_arr).expect("hits").is_empty(),
+        !body
+            .get("hits")
+            .and_then(Value::as_arr)
+            .expect("hits")
+            .is_empty(),
         "paper corpus yields hits"
     );
 }
@@ -71,11 +90,20 @@ fn hostile_frames_get_typed_errors_on_a_surviving_connection() {
     assert_err_kind(&roundtrip(&mut s, b"not json"), "bad_request"); // not JSON
     assert_err_kind(&roundtrip(&mut s, b"[1,2,3]"), "bad_request"); // not an object
     assert_err_kind(&roundtrip(&mut s, b"{}"), "bad_request"); // no cmd
-    assert_err_kind(&roundtrip(&mut s, br#"{"cmd":"frobnicate"}"#), "bad_request");
+    assert_err_kind(
+        &roundtrip(&mut s, br#"{"cmd":"frobnicate"}"#),
+        "bad_request",
+    );
     assert_err_kind(&roundtrip(&mut s, br#"{"cmd":"search"}"#), "bad_request"); // no query
-    // The connection survived all of it: a valid request still works.
-    let ok = roundtrip(&mut s, format!(r#"{{"cmd":"search","query":{:?}}}"#, CARS_QUERY).as_bytes());
-    assert!(ok.get("ok").is_some(), "valid request after hostile ones: {ok:?}");
+                                                                                // The connection survived all of it: a valid request still works.
+    let ok = roundtrip(
+        &mut s,
+        format!(r#"{{"cmd":"search","query":{:?}}}"#, CARS_QUERY).as_bytes(),
+    );
+    assert!(
+        ok.get("ok").is_some(),
+        "valid request after hostile ones: {ok:?}"
+    );
 }
 
 #[test]
@@ -83,12 +111,17 @@ fn oversized_declared_length_is_rejected_then_closed() {
     let mut s = raw_connect();
     // A 3 GiB declared length: the server must reply bad_request without
     // allocating, then close (the stream can't be resynchronized).
-    s.write_all(&(3u32 << 30).to_be_bytes()).expect("send header");
-    let reply = read_frame(&mut s, usize::MAX).expect("read reply").expect("server replied");
+    s.write_all(&(3u32 << 30).to_be_bytes())
+        .expect("send header");
+    let reply = read_frame(&mut s, usize::MAX)
+        .expect("read reply")
+        .expect("server replied");
     let reply = Value::parse(std::str::from_utf8(&reply).expect("utf8")).expect("json");
     assert_err_kind(&reply, "bad_request");
     assert!(
-        read_frame(&mut s, usize::MAX).expect("clean close").is_none(),
+        read_frame(&mut s, usize::MAX)
+            .expect("clean close")
+            .is_none(),
         "connection closes after an unresynchronizable frame"
     );
     assert_still_serving();

@@ -31,7 +31,10 @@ fn fig2_profile() -> UserProfile {
 
 /// Start a server on a free port; returns its address and the handle
 /// that yields the final metrics snapshot after shutdown.
-fn start(engine: Arc<Engine>, cfg: ServeConfig) -> (SocketAddr, thread::JoinHandle<Result<Value, ServeError>>) {
+fn start(
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+) -> (SocketAddr, thread::JoinHandle<Result<Value, ServeError>>) {
     let server = Server::bind(engine, cfg).expect("bind");
     let addr = server.local_addr();
     let handle = thread::spawn(move || server.run());
@@ -57,30 +60,64 @@ fn fingerprint(hits: &Value) -> Vec<(u64, u64, u64, u64)> {
 }
 
 /// The same fingerprint computed engine-side, bypassing the server.
-fn serial_fingerprint(engine: &Engine, profile: &UserProfile, query: &str, k: usize) -> Vec<(u64, u64, u64, u64)> {
-    let results = engine.search(query, profile, &SearchOptions::top(k)).expect("serial search");
+fn serial_fingerprint(
+    engine: &Engine,
+    profile: &UserProfile,
+    query: &str,
+    k: usize,
+) -> Vec<(u64, u64, u64, u64)> {
+    let results = engine
+        .search(query, profile, &SearchOptions::top(k))
+        .expect("serial search");
     results
         .hits
         .iter()
-        .map(|h| (u64::from(h.elem.doc.0), u64::from(h.elem.node.0), h.s.to_bits(), h.k.to_bits()))
+        .map(|h| {
+            (
+                u64::from(h.elem.doc.0),
+                u64::from(h.elem.node.0),
+                h.s.to_bits(),
+                h.k.to_bits(),
+            )
+        })
         .collect()
 }
 
 fn assert_stats_identities(stats: &Value) {
-    let g = |k: &str| stats.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("counter {k}"));
+    let g = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("counter {k}"))
+    };
     assert_eq!(
         g("requests"),
         g("responses_ok") + g("responses_err") + g("rejected_overload") + g("rejected_deadline"),
         "every decoded request answered exactly once: {stats:?}"
     );
     let cache = stats.get("cache").expect("cache block");
-    let c = |k: &str| cache.get(k).and_then(Value::as_u64).unwrap_or_else(|| panic!("cache {k}"));
-    assert_eq!(c("lookups"), c("hits") + c("misses"), "cache identity: {stats:?}");
+    let c = |k: &str| {
+        cache
+            .get(k)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("cache {k}"))
+    };
+    assert_eq!(
+        c("lookups"),
+        c("hits") + c("misses"),
+        "cache identity: {stats:?}"
+    );
     // Startup gauges are always present and well-formed: the snapshot
     // format is 0 (built from XML), 3 (legacy), or 4 (columnar).
     let startup = stats.get("startup").expect("startup block");
-    startup.get("load_ms").and_then(Value::as_u64).expect("startup.load_ms");
-    let fmt = startup.get("snapshot_format").and_then(Value::as_u64).expect("startup.snapshot_format");
+    startup
+        .get("load_ms")
+        .and_then(Value::as_u64)
+        .expect("startup.load_ms");
+    let fmt = startup
+        .get("snapshot_format")
+        .and_then(Value::as_u64)
+        .expect("startup.snapshot_format");
     assert!(fmt == 0 || fmt == 3 || fmt == 4, "snapshot_format {fmt}");
 }
 
@@ -94,7 +131,10 @@ fn concurrent_clients_bit_identical_to_serial_search() {
     let profile = fig2_profile();
     let expected_personalized = serial_fingerprint(&engine, &profile, CARS_QUERY, 10);
     let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
-    assert_ne!(expected_personalized, expected_plain, "personalization changes the ranking");
+    assert_ne!(
+        expected_personalized, expected_plain,
+        "personalization changes the ranking"
+    );
 
     let clients: Vec<_> = (0..8)
         .map(|i| {
@@ -103,10 +143,17 @@ fn concurrent_clients_bit_identical_to_serial_search() {
             thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
                 for round in 0..10 {
-                    let user = if (i + round) % 2 == 0 { Some("u1") } else { None };
+                    let user = if (i + round) % 2 == 0 {
+                        Some("u1")
+                    } else {
+                        None
+                    };
                     let body = c.search(user, CARS_QUERY, 10).expect("search");
-                    let expected =
-                        if user.is_some() { &expected_personalized } else { &expected_plain };
+                    let expected = if user.is_some() {
+                        &expected_personalized
+                    } else {
+                        &expected_plain
+                    };
                     assert_eq!(&fingerprint(body.get("hits").expect("hits")), expected);
                 }
             })
@@ -132,10 +179,16 @@ fn concurrent_clients_bit_identical_under_cache_eviction() {
     // capacity 1 → every alternation between (user, plain) evicts; the
     // recompiled state must still produce identical bits.
     let engine = cars_engine();
-    let cfg = ServeConfig { cache_capacity: 1, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        cache_capacity: 1,
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(Arc::clone(&engine), cfg);
 
-    Client::connect(addr).expect("connect").register_profile("u1", FIG2_RULES).expect("register");
+    Client::connect(addr)
+        .expect("connect")
+        .register_profile("u1", FIG2_RULES)
+        .expect("register");
     let expected_personalized = serial_fingerprint(&engine, &fig2_profile(), CARS_QUERY, 10);
     let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
 
@@ -146,10 +199,17 @@ fn concurrent_clients_bit_identical_under_cache_eviction() {
             thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
                 for round in 0..6 {
-                    let user = if (i + round) % 2 == 0 { Some("u1") } else { None };
+                    let user = if (i + round) % 2 == 0 {
+                        Some("u1")
+                    } else {
+                        None
+                    };
                     let body = c.search(user, CARS_QUERY, 10).expect("search");
-                    let expected =
-                        if user.is_some() { &expected_personalized } else { &expected_plain };
+                    let expected = if user.is_some() {
+                        &expected_personalized
+                    } else {
+                        &expected_plain
+                    };
                     assert_eq!(&fingerprint(body.get("hits").expect("hits")), expected);
                 }
             })
@@ -164,7 +224,11 @@ fn concurrent_clients_bit_identical_under_cache_eviction() {
     assert_stats_identities(&stats);
     let cache = stats.get("cache").expect("cache");
     assert!(
-        cache.get("evictions").and_then(Value::as_u64).expect("evictions") > 0,
+        cache
+            .get("evictions")
+            .and_then(Value::as_u64)
+            .expect("evictions")
+            > 0,
         "capacity-1 cache must have churned: {stats:?}"
     );
     handle.join().expect("server thread").expect("server ran");
@@ -212,7 +276,10 @@ kor2: x.tag = person & y.tag = person & ftcontains(x, "College") -> x < y
 fn overload_is_a_typed_error() {
     // queue_capacity 0: every request is rejected with `overloaded`.
     let engine = cars_engine();
-    let cfg = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        queue_capacity: 0,
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(engine, cfg);
     let mut c = Client::connect(addr).expect("connect");
     let err = c.search(None, "//car", 5).expect_err("must overload");
@@ -231,7 +298,10 @@ fn expired_deadline_is_rejected_before_evaluation() {
     let engine = cars_engine();
     // A small worker delay guarantees the deadline check observes an
     // expired budget even on a fast machine.
-    let cfg = ServeConfig { worker_delay: Some(Duration::from_millis(20)), ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        worker_delay: Some(Duration::from_millis(20)),
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(engine, cfg);
     let mut c = Client::connect(addr).expect("connect");
     let req = obj([
@@ -248,7 +318,11 @@ fn expired_deadline_is_rejected_before_evaluation() {
     let body = c.search(None, "//car", 5).expect("search");
     assert!(!fingerprint(body.get("hits").expect("hits")).is_empty());
     let stats = c.shutdown().expect("shutdown");
-    assert_eq!(stats.get("rejected_deadline").and_then(Value::as_u64), Some(1), "{stats:?}");
+    assert_eq!(
+        stats.get("rejected_deadline").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
     assert_stats_identities(&stats);
     handle.join().expect("server thread").expect("server ran");
 }
@@ -266,8 +340,19 @@ fn register_profile_invalidates_cached_plans() {
     assert_eq!(second.get("cache").and_then(Value::as_str), Some("hit"));
 
     // Re-registering bumps the generation: the cached plan is stale.
-    let reg = c.register_profile("u1", "pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n").expect("re-register");
-    assert!(reg.get("invalidated").and_then(Value::as_u64).expect("invalidated") >= 1, "{reg:?}");
+    let reg = c
+        .register_profile(
+            "u1",
+            "pi5: x.tag = car & y.tag = car & ftcontains(x, \"NYC\") -> x < y\n",
+        )
+        .expect("re-register");
+    assert!(
+        reg.get("invalidated")
+            .and_then(Value::as_u64)
+            .expect("invalidated")
+            >= 1,
+        "{reg:?}"
+    );
     let third = c.search(Some("u1"), CARS_QUERY, 5).expect("search");
     assert_eq!(third.get("cache").and_then(Value::as_str), Some("miss"));
     assert_ne!(
@@ -278,7 +363,12 @@ fn register_profile_invalidates_cached_plans() {
 
     let stats = c.shutdown().expect("shutdown");
     assert!(
-        stats.get("cache").and_then(|c| c.get("invalidations")).and_then(Value::as_u64).expect("invalidations") >= 1
+        stats
+            .get("cache")
+            .and_then(|c| c.get("invalidations"))
+            .and_then(Value::as_u64)
+            .expect("invalidations")
+            >= 1
     );
     assert_stats_identities(&stats);
     handle.join().expect("server thread").expect("server ran");
@@ -303,7 +393,11 @@ fn graceful_shutdown_drains_queued_requests() {
     let pipeliner = thread::spawn(move || {
         use pimento_serve::protocol::{read_frame, write_frame, FRAME_HARD_CAP};
         let mut raw = std::net::TcpStream::connect(addr).expect("connect");
-        let req = obj([("cmd", "search".into()), ("query", CARS_QUERY.into()), ("k", 5u64.into())]);
+        let req = obj([
+            ("cmd", "search".into()),
+            ("query", CARS_QUERY.into()),
+            ("k", 5u64.into()),
+        ]);
         for _ in 0..6 {
             write_frame(&mut raw, req.render().as_bytes()).expect("pipelined write");
         }
@@ -326,8 +420,14 @@ fn graceful_shutdown_drains_queued_requests() {
 
     let fingerprints = pipeliner.join().expect("pipeliner");
     assert_eq!(fingerprints.len(), 6, "every pre-shutdown request answered");
-    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "answers identical");
-    let final_stats = handle.join().expect("server thread").expect("run() returned");
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "answers identical"
+    );
+    let final_stats = handle
+        .join()
+        .expect("server thread")
+        .expect("run() returned");
     assert_stats_identities(&final_stats);
     // After run() returns, the port no longer accepts work.
     assert!(
@@ -344,16 +444,24 @@ fn malformed_and_unknown_inputs_get_typed_errors() {
     let (addr, handle) = start(engine, ServeConfig::default());
     let mut c = Client::connect(addr).expect("connect");
 
-    let err = c.request(&obj([("cmd", "warp".into())])).expect_err("unknown cmd");
+    let err = c
+        .request(&obj([("cmd", "warp".into())]))
+        .expect_err("unknown cmd");
     assert_eq!(err.kind(), Some("bad_request"), "{err}");
-    let err = c.search(Some("nobody"), "//car", 5).expect_err("unknown user");
+    let err = c
+        .search(Some("nobody"), "//car", 5)
+        .expect_err("unknown user");
     assert_eq!(err.kind(), Some("unknown_user"), "{err}");
     let err = c.search(None, "//car[", 5).expect_err("bad query");
     assert_eq!(err.kind(), Some("query"), "{err}");
     let err = c.search(None, "//car", 0).expect_err("k = 0");
     assert_eq!(err.kind(), Some("bad_request"), "{err}");
     let err = c
-        .request(&obj([("cmd", "register_profile".into()), ("user", "u".into()), ("rules", "gibberish\n".into())]))
+        .request(&obj([
+            ("cmd", "register_profile".into()),
+            ("user", "u".into()),
+            ("rules", "gibberish\n".into()),
+        ]))
         .expect_err("bad rules");
     assert_eq!(err.kind(), Some("profile"), "{err}");
 
@@ -362,17 +470,25 @@ fn malformed_and_unknown_inputs_get_typed_errors() {
         use pimento_serve::protocol::{read_frame, write_frame, FRAME_HARD_CAP};
         let mut raw = std::net::TcpStream::connect(addr).expect("connect");
         write_frame(&mut raw, b"not json at all").expect("write");
-        let reply = read_frame(&mut raw, FRAME_HARD_CAP).expect("read").expect("reply");
+        let reply = read_frame(&mut raw, FRAME_HARD_CAP)
+            .expect("read")
+            .expect("reply");
         let v = Value::parse(std::str::from_utf8(&reply).expect("utf8")).expect("json");
         assert_eq!(
-            v.get("err").and_then(|e| e.get("kind")).and_then(Value::as_str),
+            v.get("err")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
             Some("bad_request")
         );
     }
 
     let stats = c.stats().expect("stats");
     assert_stats_identities(&stats);
-    assert_eq!(stats.get("responses_err").and_then(Value::as_u64), Some(6), "{stats:?}");
+    assert_eq!(
+        stats.get("responses_err").and_then(Value::as_u64),
+        Some(6),
+        "{stats:?}"
+    );
     c.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("server ran");
 }
@@ -386,21 +502,37 @@ fn conflicting_profile_degrades_to_unpersonalized_answers() {
     let conflict_rules = include_str!("../../../tests/fixtures/sr_conflict_cycle.rules");
     // The §5.1 shape: both phrases asked of the description child, so
     // each rule's trigger matches and each deletes the other's condition.
-    let both_query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")]]"#;
+    let both_query =
+        r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")]]"#;
     let engine = cars_engine();
     let (addr, handle) = start(Arc::clone(&engine), ServeConfig::default());
     let mut c = Client::connect(addr).expect("connect");
-    c.register_profile("picky", conflict_rules).expect("conflict pair registers fine");
+    c.register_profile("picky", conflict_rules)
+        .expect("conflict pair registers fine");
 
     // A one-phrase query applies cleanly — personalized, not degraded.
-    let one = c.search(Some("picky"), CARS_QUERY, 10).expect("one-phrase search");
+    let one = c
+        .search(Some("picky"), CARS_QUERY, 10)
+        .expect("one-phrase search");
     assert_eq!(one.get("degraded"), None, "{one:?}");
 
     // The both-phrases query degrades to the unpersonalized base answers.
-    let body = c.search(Some("picky"), both_query, 10).expect("degraded search succeeds");
-    assert_eq!(body.get("degraded").and_then(Value::as_bool), Some(true), "{body:?}");
-    let reason = body.get("degraded_reason").and_then(Value::as_str).expect("reason");
-    assert!(reason.contains("conflict") || reason.contains("not applicable"), "{reason}");
+    let body = c
+        .search(Some("picky"), both_query, 10)
+        .expect("degraded search succeeds");
+    assert_eq!(
+        body.get("degraded").and_then(Value::as_bool),
+        Some(true),
+        "{body:?}"
+    );
+    let reason = body
+        .get("degraded_reason")
+        .and_then(Value::as_str)
+        .expect("reason");
+    assert!(
+        reason.contains("conflict") || reason.contains("not applicable"),
+        "{reason}"
+    );
     let expected_plain = serial_fingerprint(&engine, &UserProfile::new(), both_query, 10);
     assert_eq!(fingerprint(body.get("hits").expect("hits")), expected_plain);
 
@@ -411,38 +543,58 @@ fn conflicting_profile_degrades_to_unpersonalized_answers() {
 
     let stats = c.shutdown().expect("shutdown");
     assert_stats_identities(&stats);
-    assert_eq!(stats.get("degraded").and_then(Value::as_u64), Some(1), "{stats:?}");
+    assert_eq!(
+        stats.get("degraded").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
     handle.join().expect("server thread").expect("server ran");
 }
 
 #[test]
 fn profiles_persist_across_restart_via_profile_dir() {
-    let dir = std::env::temp_dir()
-        .join(format!("pimento-serve-persist-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("pimento-serve-persist-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let engine = cars_engine();
     let expected = serial_fingerprint(&engine, &fig2_profile(), CARS_QUERY, 10);
 
     // First server life: register, search, shut down.
-    let cfg = ServeConfig { profile_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        profile_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
     let (addr, handle) = start(Arc::clone(&engine), cfg.clone());
     let mut c = Client::connect(addr).expect("connect");
     let reg = c.register_profile("u1", FIG2_RULES).expect("register");
-    assert_eq!(reg.get("persisted").and_then(Value::as_bool), Some(true), "{reg:?}");
+    assert_eq!(
+        reg.get("persisted").and_then(Value::as_bool),
+        Some(true),
+        "{reg:?}"
+    );
     c.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("server ran");
 
     // Second life, same directory: the profile is already there.
     let (addr, handle) = start(Arc::clone(&engine), cfg);
     let mut c = Client::connect(addr).expect("connect");
-    let body = c.search(Some("u1"), CARS_QUERY, 10).expect("recovered-profile search");
+    let body = c
+        .search(Some("u1"), CARS_QUERY, 10)
+        .expect("recovered-profile search");
     assert_eq!(body.get("degraded"), None, "{body:?}");
     assert_eq!(fingerprint(body.get("hits").expect("hits")), expected);
     let stats = c.shutdown().expect("shutdown");
     assert_stats_identities(&stats);
     let store = stats.get("store").expect("store block");
-    assert_eq!(store.get("profiles_recovered").and_then(Value::as_u64), Some(1), "{stats:?}");
-    assert_eq!(store.get("profiles_quarantined").and_then(Value::as_u64), Some(0), "{stats:?}");
+    assert_eq!(
+        store.get("profiles_recovered").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
+    assert_eq!(
+        store.get("profiles_quarantined").and_then(Value::as_u64),
+        Some(0),
+        "{stats:?}"
+    );
     handle.join().expect("server thread").expect("server ran");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -459,7 +611,10 @@ fn explain_reports_the_plan_without_executing() {
             ("k", 5u64.into()),
         ]))
         .expect("explain");
-    let plan = body.get("plan").and_then(Value::as_str).expect("plan string");
+    let plan = body
+        .get("plan")
+        .and_then(Value::as_str)
+        .expect("plan string");
     assert!(plan.contains("QueryEval"), "{plan}");
     // Explain compiles (and caches) but does not execute: a subsequent
     // search hits the cache.
@@ -490,6 +645,10 @@ fn snapshot_backed_server_is_bit_identical_and_reports_format() {
     let stats = c.shutdown().expect("shutdown");
     assert_stats_identities(&stats);
     let startup = stats.get("startup").expect("startup block");
-    assert_eq!(startup.get("snapshot_format").and_then(Value::as_u64), Some(4), "{stats:?}");
+    assert_eq!(
+        startup.get("snapshot_format").and_then(Value::as_u64),
+        Some(4),
+        "{stats:?}"
+    );
     handle.join().expect("server thread").expect("server ran");
 }

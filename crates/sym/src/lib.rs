@@ -117,7 +117,10 @@ impl SymbolTable {
         };
         let count = read_u32(0)? as usize;
         let heap_base = 4 * (count + 2);
-        let heap_len = data.len().checked_sub(heap_base).ok_or("symbol column truncated")?;
+        let heap_len = data
+            .len()
+            .checked_sub(heap_base)
+            .ok_or("symbol column truncated")?;
         let mut table = SymbolTable::new();
         let mut prev = 0u32;
         for i in 0..count {
@@ -195,8 +198,14 @@ mod tests {
         st.intern("ab");
         st.intern("cd");
         let col = st.column_bytes();
-        assert!(SymbolTable::from_column_bytes(&col[..col.len() - 1]).is_err(), "short heap");
-        assert!(SymbolTable::from_column_bytes(&col[..6]).is_err(), "short offsets");
+        assert!(
+            SymbolTable::from_column_bytes(&col[..col.len() - 1]).is_err(),
+            "short heap"
+        );
+        assert!(
+            SymbolTable::from_column_bytes(&col[..6]).is_err(),
+            "short offsets"
+        );
         assert!(SymbolTable::from_column_bytes(&[]).is_err(), "empty input");
         // Non-monotone offsets: swap the two name offsets.
         let mut bad = col.clone();

@@ -192,17 +192,25 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience constructor for keyword predicates.
     pub fn ft(phrase: impl Into<String>) -> Predicate {
-        Predicate::FtContains { phrase: phrase.into() }
+        Predicate::FtContains {
+            phrase: phrase.into(),
+        }
     }
 
     /// Convenience constructor for numeric comparisons.
     pub fn cmp_num(op: RelOp, n: f64) -> Predicate {
-        Predicate::Compare { op, value: Value::Num(n) }
+        Predicate::Compare {
+            op,
+            value: Value::Num(n),
+        }
     }
 
     /// Convenience constructor for string comparisons.
     pub fn cmp_str(op: RelOp, s: impl Into<String>) -> Predicate {
-        Predicate::Compare { op, value: Value::Str(s.into()) }
+        Predicate::Compare {
+            op,
+            value: Value::Str(s.into()),
+        }
     }
 
     /// Convenience constructor for proximity/order predicates.
@@ -225,7 +233,11 @@ impl fmt::Display for Predicate {
         match self {
             Predicate::Compare { op, value } => write!(f, ". {op} {value}"),
             Predicate::FtContains { phrase } => write!(f, "ftcontains(., {phrase:?})"),
-            Predicate::FtAll { terms, window, ordered } => {
+            Predicate::FtAll {
+                terms,
+                window,
+                ordered,
+            } => {
                 write!(f, "ftall(.")?;
                 for t in terms {
                     write!(f, ", {t:?}")?;
@@ -277,7 +289,10 @@ impl Tpq {
             children: Vec::new(),
             predicates: Vec::new(),
         };
-        Tpq { nodes: vec![root], distinguished: TpqNodeId(0) }
+        Tpq {
+            nodes: vec![root],
+            distinguished: TpqNodeId(0),
+        }
     }
 
     /// Create a single-node star pattern.
@@ -330,10 +345,19 @@ impl Tpq {
 
     /// Add a child with the given tag under `parent`, returning its id.
     /// The tag `"*"` creates a wildcard node.
-    pub fn add_child(&mut self, parent: TpqNodeId, axis: Axis, tag: impl Into<String>) -> TpqNodeId {
+    pub fn add_child(
+        &mut self,
+        parent: TpqNodeId,
+        axis: Axis,
+        tag: impl Into<String>,
+    ) -> TpqNodeId {
         let id = TpqNodeId(self.nodes.len() as u32);
         let tag = tag.into();
-        let tag = if tag == "*" { TagTest::Star } else { TagTest::Name(tag) };
+        let tag = if tag == "*" {
+            TagTest::Star
+        } else {
+            TagTest::Name(tag)
+        };
         self.nodes.push(TpqNode {
             tag,
             axis,
@@ -358,12 +382,15 @@ impl Tpq {
 
     /// First node (in id order) whose tag test equals `tag`, if any.
     pub fn find_by_tag(&self, tag: &str) -> Option<TpqNodeId> {
-        self.node_ids().find(|&id| self.node(id).tag.name() == Some(tag))
+        self.node_ids()
+            .find(|&id| self.node(id).tag.name() == Some(tag))
     }
 
     /// All nodes whose tag test equals `tag`.
     pub fn find_all_by_tag(&self, tag: &str) -> Vec<TpqNodeId> {
-        self.node_ids().filter(|&id| self.node(id).tag.name() == Some(tag)).collect()
+        self.node_ids()
+            .filter(|&id| self.node(id).tag.name() == Some(tag))
+            .collect()
     }
 
     /// Remove the predicate at `index` on `node`, returning it.
@@ -416,7 +443,10 @@ impl Tpq {
     /// Total number of keyword predicates across all nodes (these are the
     /// score contributors in a plan for this query).
     pub fn keyword_predicate_count(&self) -> usize {
-        self.nodes.iter().map(|n| n.predicates.iter().filter(|p| p.is_keyword()).count()).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.predicates.iter().filter(|p| p.is_keyword()).count())
+            .sum()
     }
 
     /// A canonical string key: children sorted recursively, predicates

@@ -39,7 +39,14 @@ pub fn implies(q: &Predicate, p: &Predicate) -> bool {
         // A phrase guarantees each of its contiguous sub-sequences occurs
         // adjacently and in order — so it implies an `ftall` over a term
         // subset whose window the phrase length already satisfies.
-        (Predicate::FtContains { phrase: qp }, Predicate::FtAll { terms, window, ordered }) => {
+        (
+            Predicate::FtContains { phrase: qp },
+            Predicate::FtAll {
+                terms,
+                window,
+                ordered,
+            },
+        ) => {
             let qt = tokens(qp);
             let span_ok = window.is_none_or(|w| qt.len() as u32 <= w);
             span_ok
@@ -51,8 +58,16 @@ pub fn implies(q: &Predicate, p: &Predicate) -> bool {
                 && (!ordered || ordered_as_subsequence(&qt, terms))
         }
         (
-            Predicate::FtAll { terms: qt, window: qw, ordered: qo },
-            Predicate::FtAll { terms: pt, window: pw, ordered: po },
+            Predicate::FtAll {
+                terms: qt,
+                window: qw,
+                ordered: qo,
+            },
+            Predicate::FtAll {
+                terms: pt,
+                window: pw,
+                ordered: po,
+            },
         ) => {
             // Same-or-tighter window, every required term present, and an
             // order requirement only satisfied by an ordered guarantee
@@ -73,20 +88,37 @@ pub fn implies(q: &Predicate, p: &Predicate) -> bool {
         }
         // An `ftall` of a single term with no window is exactly a
         // containment requirement for that term.
-        (Predicate::FtAll { terms, window: None, .. }, Predicate::FtContains { phrase })
-            if terms.len() == 1 =>
-        {
+        (
+            Predicate::FtAll {
+                terms,
+                window: None,
+                ..
+            },
+            Predicate::FtContains { phrase },
+        ) if terms.len() == 1 => {
             let qt = tokens(&terms[0]);
             let pt = tokens(phrase);
             !pt.is_empty() && contains_contiguous(&qt, &pt)
         }
         (
-            Predicate::Compare { op: qo, value: Value::Num(qc) },
-            Predicate::Compare { op: po, value: Value::Num(pc) },
+            Predicate::Compare {
+                op: qo,
+                value: Value::Num(qc),
+            },
+            Predicate::Compare {
+                op: po,
+                value: Value::Num(pc),
+            },
         ) => num_implies(*qo, *qc, *po, *pc),
         (
-            Predicate::Compare { op: qo, value: Value::Str(qs) },
-            Predicate::Compare { op: po, value: Value::Str(ps) },
+            Predicate::Compare {
+                op: qo,
+                value: Value::Str(qs),
+            },
+            Predicate::Compare {
+                op: po,
+                value: Value::Str(ps),
+            },
         ) => match (qo, po) {
             (RelOp::Eq, RelOp::Eq) => qs.eq_ignore_ascii_case(ps),
             (RelOp::Eq, RelOp::Ne) => !qs.eq_ignore_ascii_case(ps),
@@ -167,7 +199,12 @@ fn num_implies(qo: RelOp, qc: f64, po: RelOp, pc: f64) -> bool {
 /// Is there a homomorphism from `p` into `q`? I.e., does `q ⊆ p` hold
 /// (soundly; see module docs)?
 pub fn contains(p: &Tpq, q: &Tpq) -> bool {
-    Matcher { p, q, memo: HashMap::new() }.root_feasible()
+    Matcher {
+        p,
+        q,
+        memo: HashMap::new(),
+    }
+    .root_feasible()
 }
 
 /// Two patterns are equivalent when each contains the other.
@@ -197,7 +234,9 @@ impl Matcher<'_> {
             }
             Axis::Descendant => self.q.node_ids().collect(),
         };
-        q_nodes.into_iter().any(|qn| self.can_map_distinguished(p_root, qn))
+        q_nodes
+            .into_iter()
+            .any(|qn| self.can_map_distinguished(p_root, qn))
     }
 
     /// Like [`Self::can_map`], but additionally requires that within the
@@ -239,7 +278,9 @@ impl Matcher<'_> {
                 Axis::Descendant => self.q.descendants(qn),
             };
             if pc == on_path {
-                candidates.into_iter().any(|qc| self.can_map_distinguished(pc, qc))
+                candidates
+                    .into_iter()
+                    .any(|qc| self.can_map_distinguished(pc, qc))
             } else {
                 candidates.into_iter().any(|qc| self.can_map(pc, qc))
             }
@@ -393,7 +434,8 @@ mod tests {
     #[test]
     fn branching_pattern_containment() {
         let general = q(r#"//car[.//description]"#);
-        let specific = q(r#"//car[.//description[ftcontains(., "good condition")] and price < 2000]"#);
+        let specific =
+            q(r#"//car[.//description[ftcontains(., "good condition")] and price < 2000]"#);
         assert!(contains(&general, &specific));
         assert!(!contains(&specific, &general));
     }
@@ -418,18 +460,51 @@ mod tests {
     fn predicate_implication_table() {
         use Predicate as P;
         // numeric
-        assert!(implies(&P::cmp_num(RelOp::Lt, 1500.0), &P::cmp_num(RelOp::Lt, 2000.0)));
-        assert!(implies(&P::cmp_num(RelOp::Eq, 5.0), &P::cmp_num(RelOp::Ge, 5.0)));
-        assert!(implies(&P::cmp_num(RelOp::Eq, 5.0), &P::cmp_num(RelOp::Ne, 6.0)));
-        assert!(implies(&P::cmp_num(RelOp::Gt, 10.0), &P::cmp_num(RelOp::Ge, 10.0)));
-        assert!(implies(&P::cmp_num(RelOp::Le, 9.0), &P::cmp_num(RelOp::Lt, 10.0)));
-        assert!(!implies(&P::cmp_num(RelOp::Le, 10.0), &P::cmp_num(RelOp::Lt, 10.0)));
-        assert!(implies(&P::cmp_num(RelOp::Lt, 10.0), &P::cmp_num(RelOp::Ne, 10.0)));
-        assert!(!implies(&P::cmp_num(RelOp::Lt, 11.0), &P::cmp_num(RelOp::Ne, 10.0)));
+        assert!(implies(
+            &P::cmp_num(RelOp::Lt, 1500.0),
+            &P::cmp_num(RelOp::Lt, 2000.0)
+        ));
+        assert!(implies(
+            &P::cmp_num(RelOp::Eq, 5.0),
+            &P::cmp_num(RelOp::Ge, 5.0)
+        ));
+        assert!(implies(
+            &P::cmp_num(RelOp::Eq, 5.0),
+            &P::cmp_num(RelOp::Ne, 6.0)
+        ));
+        assert!(implies(
+            &P::cmp_num(RelOp::Gt, 10.0),
+            &P::cmp_num(RelOp::Ge, 10.0)
+        ));
+        assert!(implies(
+            &P::cmp_num(RelOp::Le, 9.0),
+            &P::cmp_num(RelOp::Lt, 10.0)
+        ));
+        assert!(!implies(
+            &P::cmp_num(RelOp::Le, 10.0),
+            &P::cmp_num(RelOp::Lt, 10.0)
+        ));
+        assert!(implies(
+            &P::cmp_num(RelOp::Lt, 10.0),
+            &P::cmp_num(RelOp::Ne, 10.0)
+        ));
+        assert!(!implies(
+            &P::cmp_num(RelOp::Lt, 11.0),
+            &P::cmp_num(RelOp::Ne, 10.0)
+        ));
         // strings
-        assert!(implies(&P::cmp_str(RelOp::Eq, "Red"), &P::cmp_str(RelOp::Eq, "red")));
-        assert!(implies(&P::cmp_str(RelOp::Eq, "red"), &P::cmp_str(RelOp::Ne, "blue")));
-        assert!(!implies(&P::cmp_str(RelOp::Eq, "red"), &P::cmp_str(RelOp::Ne, "red")));
+        assert!(implies(
+            &P::cmp_str(RelOp::Eq, "Red"),
+            &P::cmp_str(RelOp::Eq, "red")
+        ));
+        assert!(implies(
+            &P::cmp_str(RelOp::Eq, "red"),
+            &P::cmp_str(RelOp::Ne, "blue")
+        ));
+        assert!(!implies(
+            &P::cmp_str(RelOp::Eq, "red"),
+            &P::cmp_str(RelOp::Ne, "red")
+        ));
         // keyword vs compare never imply each other
         assert!(!implies(&P::ft("red"), &P::cmp_str(RelOp::Eq, "red")));
         assert!(!implies(&P::cmp_str(RelOp::Eq, "red"), &P::ft("red")));
@@ -442,21 +517,60 @@ mod tests {
         use Predicate as P;
         let all = |t: &[&str], w: Option<u32>, o: bool| P::ft_all(t, w, o);
         // phrase implies ftall over its words
-        assert!(implies(&P::ft("good condition"), &all(&["good", "condition"], None, false)));
-        assert!(implies(&P::ft("good condition"), &all(&["good", "condition"], Some(2), true)));
-        assert!(implies(&P::ft("good condition"), &all(&["condition", "good"], None, false)));
-        assert!(!implies(&P::ft("good condition"), &all(&["condition", "good"], None, true)));
-        assert!(!implies(&P::ft("good condition"), &all(&["good", "cheap"], None, false)));
-        assert!(!implies(&P::ft("good old condition"), &all(&["good", "condition"], Some(2), false)));
+        assert!(implies(
+            &P::ft("good condition"),
+            &all(&["good", "condition"], None, false)
+        ));
+        assert!(implies(
+            &P::ft("good condition"),
+            &all(&["good", "condition"], Some(2), true)
+        ));
+        assert!(implies(
+            &P::ft("good condition"),
+            &all(&["condition", "good"], None, false)
+        ));
+        assert!(!implies(
+            &P::ft("good condition"),
+            &all(&["condition", "good"], None, true)
+        ));
+        assert!(!implies(
+            &P::ft("good condition"),
+            &all(&["good", "cheap"], None, false)
+        ));
+        assert!(!implies(
+            &P::ft("good old condition"),
+            &all(&["good", "condition"], Some(2), false)
+        ));
         // ftall implies weaker ftall
-        assert!(implies(&all(&["a", "b"], Some(3), true), &all(&["a", "b"], Some(5), true)));
-        assert!(implies(&all(&["a", "b"], Some(3), true), &all(&["b"], None, false)));
-        assert!(!implies(&all(&["a", "b"], Some(5), true), &all(&["a", "b"], Some(3), true)));
-        assert!(!implies(&all(&["a", "b"], None, false), &all(&["a", "b"], None, true)));
-        assert!(implies(&all(&["a", "b"], None, true), &all(&["a", "b"], None, false)));
+        assert!(implies(
+            &all(&["a", "b"], Some(3), true),
+            &all(&["a", "b"], Some(5), true)
+        ));
+        assert!(implies(
+            &all(&["a", "b"], Some(3), true),
+            &all(&["b"], None, false)
+        ));
+        assert!(!implies(
+            &all(&["a", "b"], Some(5), true),
+            &all(&["a", "b"], Some(3), true)
+        ));
+        assert!(!implies(
+            &all(&["a", "b"], None, false),
+            &all(&["a", "b"], None, true)
+        ));
+        assert!(implies(
+            &all(&["a", "b"], None, true),
+            &all(&["a", "b"], None, false)
+        ));
         // single-term windowless ftall == ftcontains
-        assert!(implies(&all(&["good condition"], None, false), &P::ft("condition")));
-        assert!(!implies(&all(&["good", "condition"], None, false), &P::ft("condition")));
+        assert!(implies(
+            &all(&["good condition"], None, false),
+            &P::ft("condition")
+        ));
+        assert!(!implies(
+            &all(&["good", "condition"], None, false),
+            &P::ft("condition")
+        ));
     }
 
     #[test]

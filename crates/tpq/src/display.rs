@@ -81,7 +81,8 @@ mod tests {
 
     #[test]
     fn renders_main_path_to_distinguished() {
-        let q = parse_tpq(r#"//article[about(.//au, "Han")]//abs[about(., "data mining")]"#).unwrap();
+        let q =
+            parse_tpq(r#"//article[about(.//au, "Han")]//abs[about(., "data mining")]"#).unwrap();
         let s = q.to_string();
         assert!(s.starts_with("//article"), "{s}");
         assert!(s.contains("//abs"), "{s}");

@@ -73,7 +73,12 @@ mod proptests {
 
     fn recipe_strategy() -> impl Strategy<Value = Vec<NodeRecipe>> {
         proptest::collection::vec(
-            (0usize..8, any::<bool>(), 0usize..TAGS.len(), proptest::option::of((any::<bool>(), 0usize..8))),
+            (
+                0usize..8,
+                any::<bool>(),
+                0usize..TAGS.len(),
+                proptest::option::of((any::<bool>(), 0usize..8)),
+            ),
             0..6,
         )
     }

@@ -192,7 +192,10 @@ mod simplify_tests {
         assert_eq!(removed, 1);
         let p = q.find_by_tag("price").unwrap();
         assert_eq!(q.node(p).predicates.len(), 2);
-        assert!(q.node(p).predicates.contains(&Predicate::cmp_num(RelOp::Lt, 2000.0)));
+        assert!(q
+            .node(p)
+            .predicates
+            .contains(&Predicate::cmp_num(RelOp::Lt, 2000.0)));
         assert!(equivalent(&before, &q));
     }
 

@@ -73,7 +73,11 @@ struct Parser {
 
 impl Parser {
     fn new(input: &str) -> Self {
-        Parser { toks: lex(input), pos: 0, input_len: input.len() }
+        Parser {
+            toks: lex(input),
+            pos: 0,
+            input_len: input.len(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -81,7 +85,10 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len)
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -93,7 +100,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.offset(), message: message.into() })
+        Err(ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
@@ -133,7 +143,11 @@ impl Parser {
             None => Axis::Descendant, // allow "car[...]" meaning "//car[...]"
         };
         let name = self.step_name()?;
-        let mut tpq = if name == "*" { Tpq::star(axis) } else { Tpq::new(name, axis) };
+        let mut tpq = if name == "*" {
+            Tpq::star(axis)
+        } else {
+            Tpq::new(name, axis)
+        };
         let mut current = tpq.root();
         self.maybe_predicates(&mut tpq, current)?;
         while let Some(axis) = self.axis() {
@@ -211,7 +225,14 @@ impl Parser {
                     }
                 }
                 self.expect(&Tok::RParen, "')'")?;
-                tpq.add_predicate(target, Predicate::FtAll { terms, window, ordered });
+                tpq.add_predicate(
+                    target,
+                    Predicate::FtAll {
+                        terms,
+                        window,
+                        ordered,
+                    },
+                );
                 Ok(())
             }
             _ => {
@@ -261,9 +282,7 @@ impl Parser {
                 None if first && !saw_dot => {
                     // bare name: implicit child step
                     match self.peek() {
-                        Some(Tok::Name(n))
-                            if n != "ftcontains" && n != "about" && n != "ftall" =>
-                        {
+                        Some(Tok::Name(n)) if n != "ftcontains" && n != "about" && n != "ftall" => {
                             Axis::Child
                         }
                         _ => break,
@@ -384,7 +403,9 @@ fn lex(input: &str) -> Vec<(usize, Tok)> {
                 toks.push((i, Tok::Dot));
                 i += 1;
             }
-            _ if c.is_ascii_digit() || (c == b'-' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) => {
+            _ if c.is_ascii_digit()
+                || (c == b'-' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
                 let start = i;
                 i += 1;
                 while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
@@ -396,14 +417,21 @@ fn lex(input: &str) -> Vec<(usize, Tok)> {
             _ => {
                 let start = i;
                 while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'-' || b[i] == b':')
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'-'
+                        || b[i] == b':')
                 {
                     i += 1;
                 }
                 if i == start {
                     // Unknown character: emit it whole (full UTF-8 width)
                     // as a name so the parser reports it with its position.
-                    let width = input[start..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    let width = input[start..]
+                        .chars()
+                        .next()
+                        .map(char::len_utf8)
+                        .unwrap_or(1);
                     i += width;
                 }
                 let word = &input[start..i];
@@ -437,7 +465,10 @@ mod tests {
         assert_eq!(q.node(d).predicates.len(), 2);
         let p = q.find_by_tag("price").unwrap();
         assert_eq!(q.node(p).axis, Axis::Child);
-        assert!(matches!(q.node(p).predicates[0], Predicate::Compare { op: RelOp::Lt, .. }));
+        assert!(matches!(
+            q.node(p).predicates[0],
+            Predicate::Compare { op: RelOp::Lt, .. }
+        ));
     }
 
     #[test]
@@ -448,7 +479,9 @@ mod tests {
         let abs = q.find_by_tag("abs").unwrap();
         assert_eq!(q.distinguished(), abs);
         assert_eq!(q.node(abs).axis, Axis::Descendant);
-        assert!(matches!(&q.node(abs).predicates[0], Predicate::FtContains { phrase } if phrase == "data mining"));
+        assert!(
+            matches!(&q.node(abs).predicates[0], Predicate::FtContains { phrase } if phrase == "data mining")
+        );
         let au = q.find_by_tag("au").unwrap();
         assert_eq!(q.node(au).axis, Axis::Descendant);
         assert!(!q.node(au).predicates.is_empty());
@@ -459,13 +492,18 @@ mod tests {
         let q = parse_tpq(r#"//person[business ftcontains "Yes"]"#).unwrap();
         let b = q.find_by_tag("business").unwrap();
         assert_eq!(q.node(b).axis, Axis::Child);
-        assert!(matches!(&q.node(b).predicates[0], Predicate::FtContains { phrase } if phrase == "Yes"));
+        assert!(
+            matches!(&q.node(b).predicates[0], Predicate::FtContains { phrase } if phrase == "Yes")
+        );
     }
 
     #[test]
     fn dot_comparison_attaches_to_step() {
         let q = parse_tpq(r#"//price[. < 2000]"#).unwrap();
-        assert!(matches!(q.node(q.root()).predicates[0], Predicate::Compare { op: RelOp::Lt, .. }));
+        assert!(matches!(
+            q.node(q.root()).predicates[0],
+            Predicate::Compare { op: RelOp::Lt, .. }
+        ));
     }
 
     #[test]
@@ -491,9 +529,15 @@ mod tests {
         let q = parse_tpq(r#"//a[./b[ftcontains(., "x")]/c > 5]"#).unwrap();
         assert_eq!(q.len(), 3);
         let b = q.find_by_tag("b").unwrap();
-        assert!(matches!(&q.node(b).predicates[0], Predicate::FtContains { .. }));
+        assert!(matches!(
+            &q.node(b).predicates[0],
+            Predicate::FtContains { .. }
+        ));
         let c = q.find_by_tag("c").unwrap();
-        assert!(matches!(&q.node(c).predicates[0], Predicate::Compare { op: RelOp::Gt, .. }));
+        assert!(matches!(
+            &q.node(c).predicates[0],
+            Predicate::Compare { op: RelOp::Gt, .. }
+        ));
         assert_eq!(q.node(c).parent, Some(b));
     }
 
@@ -581,7 +625,11 @@ mod tests {
         let q = parse_tpq(r#"//car[ftall(., "good", "cheap" window 5 ordered)]"#).unwrap();
         assert!(matches!(
             &q.node(q.root()).predicates[0],
-            Predicate::FtAll { window: Some(5), ordered: true, .. }
+            Predicate::FtAll {
+                window: Some(5),
+                ordered: true,
+                ..
+            }
         ));
     }
 

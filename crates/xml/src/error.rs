@@ -16,7 +16,11 @@ pub struct Pos {
 impl Pos {
     /// Position at the very start of an input.
     pub const fn start() -> Self {
-        Pos { offset: 0, line: 1, col: 1 }
+        Pos {
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
     }
 }
 
@@ -133,11 +137,25 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { pos, context } => {
                 write!(f, "{pos}: unexpected end of input while parsing {context}")
             }
-            XmlError::UnexpectedChar { pos, found, context } => {
-                write!(f, "{pos}: unexpected character {found:?} while parsing {context}")
+            XmlError::UnexpectedChar {
+                pos,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "{pos}: unexpected character {found:?} while parsing {context}"
+                )
             }
-            XmlError::MismatchedTag { pos, expected, found } => {
-                write!(f, "{pos}: mismatched close tag: expected </{expected}>, found </{found}>")
+            XmlError::MismatchedTag {
+                pos,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{pos}: mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::UnmatchedClose { pos, tag } => {
                 write!(f, "{pos}: close tag </{tag}> has no matching open tag")
@@ -174,14 +192,22 @@ mod tests {
 
     #[test]
     fn pos_display() {
-        let p = Pos { offset: 10, line: 2, col: 5 };
+        let p = Pos {
+            offset: 10,
+            line: 2,
+            col: 5,
+        };
         assert_eq!(p.to_string(), "2:5");
     }
 
     #[test]
     fn error_display_mentions_position_and_detail() {
         let e = XmlError::MismatchedTag {
-            pos: Pos { offset: 3, line: 1, col: 4 },
+            pos: Pos {
+                offset: 3,
+                line: 1,
+                col: 4,
+            },
             expected: "a".into(),
             found: "b".into(),
         };
@@ -193,10 +219,20 @@ mod tests {
 
     #[test]
     fn error_pos_accessor_covers_variants() {
-        let pos = Pos { offset: 1, line: 1, col: 2 };
+        let pos = Pos {
+            offset: 1,
+            line: 1,
+            col: 2,
+        };
         let errs = [
-            XmlError::UnexpectedEof { pos, context: "tag" },
-            XmlError::UnknownEntity { pos, entity: "x".into() },
+            XmlError::UnexpectedEof {
+                pos,
+                context: "tag",
+            },
+            XmlError::UnknownEntity {
+                pos,
+                entity: "x".into(),
+            },
             XmlError::NoRootElement { pos },
         ];
         for e in errs {

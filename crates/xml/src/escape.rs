@@ -58,10 +58,16 @@ pub fn resolve_entity(body: &str, pos: Pos) -> Result<char> {
         };
         return match code.ok().and_then(char::from_u32) {
             Some(c) => Ok(c),
-            None => Err(XmlError::InvalidCharRef { pos, raw: body.to_string() }),
+            None => Err(XmlError::InvalidCharRef {
+                pos,
+                raw: body.to_string(),
+            }),
         };
     }
-    Err(XmlError::UnknownEntity { pos, entity: body.to_string() })
+    Err(XmlError::UnknownEntity {
+        pos,
+        entity: body.to_string(),
+    })
 }
 
 /// Unescape all entities in `s`, reporting errors at `pos` (the start of the
@@ -75,9 +81,10 @@ pub fn unescape(s: &str, pos: Pos) -> Result<Cow<'_, str>> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let semi = after
-            .find(';')
-            .ok_or(XmlError::UnexpectedEof { pos, context: "entity reference" })?;
+        let semi = after.find(';').ok_or(XmlError::UnexpectedEof {
+            pos,
+            context: "entity reference",
+        })?;
         out.push(resolve_entity(&after[..semi], pos)?);
         rest = &after[semi + 1..];
     }
@@ -105,7 +112,10 @@ mod tests {
 
     #[test]
     fn escape_attr_escapes_quotes() {
-        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
     }
 
     #[test]
@@ -115,7 +125,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;", p()).unwrap(), "<x> & \"y\" 'z'");
+        assert_eq!(
+            unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;", p()).unwrap(),
+            "<x> & \"y\" 'z'"
+        );
     }
 
     #[test]
@@ -125,18 +138,30 @@ mod tests {
 
     #[test]
     fn unescape_unknown_entity_errors() {
-        assert!(matches!(unescape("&nope;", p()), Err(XmlError::UnknownEntity { .. })));
+        assert!(matches!(
+            unescape("&nope;", p()),
+            Err(XmlError::UnknownEntity { .. })
+        ));
     }
 
     #[test]
     fn unescape_invalid_char_ref_errors() {
-        assert!(matches!(unescape("&#xD800;", p()), Err(XmlError::InvalidCharRef { .. })));
-        assert!(matches!(unescape("&#99999999;", p()), Err(XmlError::InvalidCharRef { .. })));
+        assert!(matches!(
+            unescape("&#xD800;", p()),
+            Err(XmlError::InvalidCharRef { .. })
+        ));
+        assert!(matches!(
+            unescape("&#99999999;", p()),
+            Err(XmlError::InvalidCharRef { .. })
+        ));
     }
 
     #[test]
     fn unescape_missing_semicolon_errors() {
-        assert!(matches!(unescape("a &amp b", p()), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            unescape("a &amp b", p()),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -80,11 +80,21 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Lexer { input, bytes: input.as_bytes(), offset: 0, line: 1, col: 1 }
+        Lexer {
+            input,
+            bytes: input.as_bytes(),
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { offset: self.offset, line: self.line, col: self.col }
+        Pos {
+            offset: self.offset,
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -137,7 +147,10 @@ impl<'a> Lexer<'a> {
                 }
                 Ok(&self.input[start..end])
             }
-            None => Err(XmlError::UnexpectedEof { pos: self.pos(), context }),
+            None => Err(XmlError::UnexpectedEof {
+                pos: self.pos(),
+                context,
+            }),
         }
     }
 
@@ -157,7 +170,11 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             Some(b) => {
-                return Err(XmlError::UnexpectedChar { pos, found: b as char, context });
+                return Err(XmlError::UnexpectedChar {
+                    pos,
+                    found: b as char,
+                    context,
+                });
             }
             None => return Err(XmlError::UnexpectedEof { pos, context }),
         }
@@ -197,7 +214,10 @@ impl<'a> Lexer<'a> {
                     let attr_pos = self.pos();
                     let name = self.read_name("attribute name")?;
                     if attrs.iter().any(|(n, _)| *n == name) {
-                        return Err(XmlError::DuplicateAttribute { pos: attr_pos, name });
+                        return Err(XmlError::DuplicateAttribute {
+                            pos: attr_pos,
+                            name,
+                        });
                     }
                     self.skip_ws();
                     match self.peek() {
@@ -227,15 +247,16 @@ impl<'a> Lexer<'a> {
                         }
                     };
                     let vpos = self.pos();
-                    let raw = self.take_until(
-                        if quote == b'"' { "\"" } else { "'" },
-                        "attribute value",
-                    )?;
+                    let raw =
+                        self.take_until(if quote == b'"' { "\"" } else { "'" }, "attribute value")?;
                     let value = unescape(raw, vpos)?.into_owned();
                     attrs.push((name, value));
                 }
                 None => {
-                    return Err(XmlError::UnexpectedEof { pos: self.pos(), context: "start tag" })
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos(),
+                        context: "start tag",
+                    })
                 }
             }
         }
@@ -261,9 +282,10 @@ impl<'a> Lexer<'a> {
                             found: c as char,
                             context: "close tag",
                         }),
-                        None => {
-                            Err(XmlError::UnexpectedEof { pos: self.pos(), context: "close tag" })
-                        }
+                        None => Err(XmlError::UnexpectedEof {
+                            pos: self.pos(),
+                            context: "close tag",
+                        }),
                     }
                 }
                 Some(b'!') => {
@@ -306,14 +328,22 @@ impl<'a> Lexer<'a> {
                 Some(b'?') => {
                     self.advance_str("<?");
                     let target = self.read_name("processing instruction target")?;
-                    let data = self.take_until("?>", "processing instruction")?.trim().to_string();
+                    let data = self
+                        .take_until("?>", "processing instruction")?
+                        .trim()
+                        .to_string();
                     Ok(Some(Token::Pi { target, data, pos }))
                 }
                 _ => {
                     self.bump();
                     let name = self.read_name("tag name")?;
                     let (attrs, self_closing) = self.read_attrs()?;
-                    Ok(Some(Token::StartTag { name, attrs, self_closing, pos }))
+                    Ok(Some(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing,
+                        pos,
+                    }))
                 }
             }
         } else {
@@ -353,7 +383,9 @@ mod tests {
     fn simple_element() {
         let toks = lex("<a>hi</a>");
         assert_eq!(toks.len(), 3);
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: false, .. } if name == "a"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: false, .. } if name == "a")
+        );
         assert!(matches!(&toks[1], Token::Text { text, .. } if text == "hi"));
         assert!(matches!(&toks[2], Token::EndTag { name, .. } if name == "a"));
     }
@@ -362,7 +394,12 @@ mod tests {
     fn attributes_both_quote_styles() {
         let toks = lex(r#"<car color="red" make='honda'/>"#);
         match &toks[0] {
-            Token::StartTag { name, attrs, self_closing, .. } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+                ..
+            } => {
                 assert_eq!(name, "car");
                 assert!(*self_closing);
                 assert_eq!(attrs[0], ("color".to_string(), "red".to_string()));
@@ -412,7 +449,13 @@ mod tests {
     #[test]
     fn unterminated_comment_is_eof_error() {
         let err = Lexer::new("<!-- oops").tokenize().unwrap_err();
-        assert!(matches!(err, XmlError::UnexpectedEof { context: "comment", .. }));
+        assert!(matches!(
+            err,
+            XmlError::UnexpectedEof {
+                context: "comment",
+                ..
+            }
+        ));
     }
 
     #[test]

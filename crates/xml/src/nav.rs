@@ -47,9 +47,14 @@ pub fn ancestor_or_self_with_tag(doc: &Document, id: NodeId, tag: SymbolId) -> O
 
 /// Following siblings of `id` (elements only), document order.
 pub fn following_sibling_elements(doc: &Document, id: NodeId) -> Vec<NodeId> {
-    let Some(parent) = doc.node(id).parent else { return Vec::new() };
+    let Some(parent) = doc.node(id).parent else {
+        return Vec::new();
+    };
     let kids = &doc.node(parent).children;
-    let pos = kids.iter().position(|&k| k == id).expect("child listed under parent");
+    let pos = kids
+        .iter()
+        .position(|&k| k == id)
+        .expect("child listed under parent");
     kids[pos + 1..]
         .iter()
         .copied()

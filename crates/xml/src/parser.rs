@@ -31,14 +31,29 @@ struct Builder<'s> {
 
 impl<'s> Builder<'s> {
     fn new(symbols: &'s mut SymbolTable) -> Self {
-        Builder { symbols, nodes: Vec::new(), open: Vec::new(), counter: 0, root: None }
+        Builder {
+            symbols,
+            nodes: Vec::new(),
+            open: Vec::new(),
+            counter: 0,
+            root: None,
+        }
     }
 
     fn push_node(&mut self, kind: NodeKind, start: u32, end: u32) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         let parent = self.open.last().copied();
-        let level = parent.map(|p| self.nodes[p.0 as usize].level + 1).unwrap_or(1);
-        self.nodes.push(Node { kind, parent, children: Vec::new(), start, end, level });
+        let level = parent
+            .map(|p| self.nodes[p.0 as usize].level + 1)
+            .unwrap_or(1);
+        self.nodes.push(Node {
+            kind,
+            parent,
+            children: Vec::new(),
+            start,
+            end,
+            level,
+        });
         if let Some(p) = parent {
             self.nodes[p.0 as usize].children.push(id);
         }
@@ -50,7 +65,12 @@ impl<'s> Builder<'s> {
         self.counter
     }
 
-    fn open_element(&mut self, name: &str, attrs: Vec<(String, String)>, pos: Pos) -> Result<NodeId> {
+    fn open_element(
+        &mut self,
+        name: &str,
+        attrs: Vec<(String, String)>,
+        pos: Pos,
+    ) -> Result<NodeId> {
         if self.open.is_empty() && self.root.is_some() {
             return Err(XmlError::MultipleRoots { pos });
         }
@@ -81,7 +101,12 @@ impl<'s> Builder<'s> {
         while let Some(tok) = lexer.next_token()? {
             last_pos = tok.pos();
             match tok {
-                Token::StartTag { name, attrs, self_closing, pos } => {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                    pos,
+                } => {
                     let id = self.open_element(&name, attrs, pos)?;
                     if self_closing {
                         self.close_element(id);

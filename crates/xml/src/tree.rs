@@ -71,9 +71,10 @@ impl Node {
     /// Attribute value by symbol, if this is an element carrying it.
     pub fn attr(&self, name: SymbolId) -> Option<&str> {
         match &self.kind {
-            NodeKind::Element { attrs, .. } => {
-                attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
-            }
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str()),
             _ => None,
         }
     }
@@ -231,7 +232,11 @@ impl Document {
 
     /// First child element of `id` with tag `tag`.
     pub fn child_element(&self, id: NodeId, tag: SymbolId) -> Option<NodeId> {
-        self.node(id).children.iter().copied().find(|&c| self.node(c).tag() == Some(tag))
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.node(c).tag() == Some(tag))
     }
 
     /// All element descendants of `id` (not including `id`), document order.
@@ -332,8 +337,10 @@ mod tests {
         let mut st = SymbolTable::new();
         let doc = parse_with("<a><b><c/></b><d/></a>", &mut st).unwrap();
         let descs = doc.descendant_elements(doc.root());
-        let tags: Vec<&str> =
-            descs.iter().map(|&n| st.name(doc.node(n).tag().unwrap())).collect();
+        let tags: Vec<&str> = descs
+            .iter()
+            .map(|&n| st.name(doc.node(n).tag().unwrap()))
+            .collect();
         assert_eq!(tags, ["b", "c", "d"]);
     }
 
@@ -359,10 +366,14 @@ mod remap_tests {
         // Shared table with different id assignment.
         let mut shared = SymbolTable::new();
         shared.intern("unrelated");
-        let mapping: Vec<SymbolId> =
-            (0..local.len() as u32).map(|i| shared.intern(local.name(SymbolId(i)))).collect();
+        let mapping: Vec<SymbolId> = (0..local.len() as u32)
+            .map(|i| shared.intern(local.name(SymbolId(i))))
+            .collect();
         doc.remap_symbols(&mapping);
-        assert_eq!(to_string(&doc, &shared), r#"<car color="red"><price>5</price></car>"#);
+        assert_eq!(
+            to_string(&doc, &shared),
+            r#"<car color="red"><price>5</price></car>"#
+        );
         let car = shared.get("car").unwrap();
         assert_eq!(doc.node(doc.root()).tag(), Some(car));
     }

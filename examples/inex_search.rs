@@ -16,7 +16,11 @@ use pimento_datagen::inex;
 fn main() {
     let corpus = inex::generate(2007);
     let engine = Engine::from_xml_docs(&corpus.xml_docs).expect("corpus parses");
-    let topic = corpus.topics.iter().find(|t| t.id == 131).expect("topic 131 exists");
+    let topic = corpus
+        .topics
+        .iter()
+        .find(|t| t.id == 131)
+        .expect("topic 131 exists");
     let relevant = &corpus.relevant[&topic.id];
     println!(
         "topic {}: query phrase {:?}, narrative terms {:?}",
@@ -42,7 +46,9 @@ fn main() {
     for kor in KeywordOrderingRule::multi("narrative", "abs", topic.related, 1.0) {
         profile = profile.with_kor(kor);
     }
-    let personalized = engine.search(&query, &profile, &SearchOptions::top(5)).expect("query runs");
+    let personalized = engine
+        .search(&query, &profile, &SearchOptions::top(5))
+        .expect("query runs");
     report("personalized", &engine, &personalized, relevant);
 }
 
@@ -72,5 +78,8 @@ fn report(
             &h.text[..h.text.len().min(60)]
         );
     }
-    println!("  -> {hits_rel}/{} retrieved are assessed relevant\n", res.hits.len());
+    println!(
+        "  -> {hits_rel}/{} retrieved are assessed relevant\n",
+        res.hits.len()
+    );
 }

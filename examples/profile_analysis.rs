@@ -25,12 +25,18 @@ fn conflict_demo() {
     .unwrap();
     let rho1 = ScopingRule::delete(
         "rho1",
-        vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+        vec![
+            Atom::pc("car", "description"),
+            Atom::ft("description", "low mileage"),
+        ],
         vec![Atom::ft("description", "good condition")],
     );
     let rho3 = ScopingRule::delete(
         "rho3",
-        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![
+            Atom::pc("car", "description"),
+            Atom::ft("description", "good condition"),
+        ],
         vec![Atom::ft("description", "low mileage")],
     );
 
@@ -43,7 +49,11 @@ fn conflict_demo() {
     println!(
         "with priorities: resolution {:?}, application order {:?}\n",
         analysis.resolution,
-        analysis.order.iter().map(|&i| fixed[i].id.clone()).collect::<Vec<_>>()
+        analysis
+            .order
+            .iter()
+            .map(|&i| fixed[i].id.clone())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -71,15 +81,24 @@ fn ambiguity_demo() {
         ValueOrderingRule::prefer_smaller("a", "car", "mileage"),
         ValueOrderingRule::prefer_smaller("b", "car", "mileage"),
     ];
-    println!("two identical mileage rules ambiguous: {}\n", detect_ambiguity(&dup).is_ambiguous());
+    println!(
+        "two identical mileage rules ambiguous: {}\n",
+        detect_ambiguity(&dup).is_ambiguous()
+    );
 }
 
 /// §3.2 form (3): a user-defined partial order on colors.
 fn prefrel_demo() {
     println!("=== partial-order preferences (paper §3.2, form 3) ===");
     let order = PrefRel::new([("red", "black"), ("black", "silver"), ("red", "white")]).unwrap();
-    println!("red over silver (transitive): {}", order.prefers("red", "silver"));
-    println!("white vs silver incomparable: {}", order.incomparable("white", "silver"));
+    println!(
+        "red over silver (transitive): {}",
+        order.prefers("red", "silver")
+    );
+    println!(
+        "white vs silver incomparable: {}",
+        order.incomparable("white", "silver")
+    );
     match PrefRel::new([("a", "b"), ("b", "a")]) {
         Err(e) => println!("cyclic preference rejected: {e}"),
         Ok(_) => unreachable!(),

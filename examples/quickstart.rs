@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pimento::profile::{
-    Atom, KeywordOrderingRule, ScopingRule, UserProfile, ValueOrderingRule,
-};
+use pimento::profile::{Atom, KeywordOrderingRule, ScopingRule, UserProfile, ValueOrderingRule};
 use pimento::{Engine, SearchOptions};
 use pimento_datagen::carsale;
 
@@ -30,18 +28,26 @@ fn main() {
         // "american" descriptions.
         .with_scoping(ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         ))
         // ρ3: drop the hard "low mileage" requirement (it becomes an
         // optional score contributor).
         .with_scoping(ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         ))
         // π1: prefer red cars.
-        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+        .with_vor(ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        ))
         // π4/π5: among all cars, prefer "best bid" offers and NYC listings.
         .with_kor(KeywordOrderingRule::new("pi4", "car", "best bid"))
         .with_kor(KeywordOrderingRule::new("pi5", "car", "NYC"));
@@ -60,9 +66,14 @@ fn main() {
     }
 
     // Personalized search.
-    let res = engine.search(query, &profile, &SearchOptions::top(5)).expect("search runs");
+    let res = engine
+        .search(query, &profile, &SearchOptions::top(5))
+        .expect("search runs");
     println!("\n=== with profile: {} answer(s) ===", res.hits.len());
-    println!("applied scoping rules: {:?}; flock of {}", res.applied_rules, res.flock_size);
+    println!(
+        "applied scoping rules: {:?}; flock of {}",
+        res.applied_rules, res.flock_size
+    );
     for h in &res.hits {
         println!("  #{} K={:.1} S={:.3} {}", h.rank, h.k, h.s, h.text);
     }

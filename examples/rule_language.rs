@@ -28,15 +28,17 @@ fn main() {
         "colors".to_string(),
         PrefRel::chain(&["red", "black", "silver", "white", "blue", "green"]),
     );
-    let mut profile: UserProfile =
-        parse_profile(PROFILE_TEXT, &registry).expect("profile parses");
+    let mut profile: UserProfile = parse_profile(PROFILE_TEXT, &registry).expect("profile parses");
     println!(
         "parsed profile: {} scoping rules, {} VORs, {} KORs",
         profile.scoping.len(),
         profile.vors.len(),
         profile.kors.len()
     );
-    println!("ambiguous after priorities: {}\n", profile.check_ambiguity().is_ambiguous());
+    println!(
+        "ambiguous after priorities: {}\n",
+        profile.check_ambiguity().is_ambiguous()
+    );
 
     let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2500]"#;
 
@@ -51,7 +53,9 @@ fn main() {
     // Build once, snapshot, reload — the reloaded engine answers
     // identically without re-parsing the XML.
     let engine = Engine::from_xml_docs_parallel(
-        &(0..6).map(|i| carsale::generate_dealer(i, 40)).collect::<Vec<_>>(),
+        &(0..6)
+            .map(|i| carsale::generate_dealer(i, 40))
+            .collect::<Vec<_>>(),
         4,
     )
     .expect("corpus parses");
@@ -59,7 +63,9 @@ fn main() {
     println!("\nsnapshot: {} KiB", snapshot.len() / 1024);
     let engine = Engine::from_snapshot(&snapshot).expect("snapshot loads");
 
-    let res = engine.search(query, &profile, &SearchOptions::top(5)).expect("search runs");
+    let res = engine
+        .search(query, &profile, &SearchOptions::top(5))
+        .expect("search runs");
     println!(
         "applied rules: {:?} (flock of {})\n",
         res.applied_rules, res.flock_size

@@ -15,22 +15,42 @@ fn main() {
     let xml = xmark::generate(2007, bytes);
     let t0 = Instant::now();
     let engine = Engine::from_xml_docs(&[&xml]).expect("xmark parses");
-    println!("parsed + indexed in {:.1} ms\n", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "parsed + indexed in {:.1} ms\n",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     // Fig. 5 profile: 4 KORs + the π5 VOR (age = 33).
     let profile = pimento::profile::UserProfile::new()
-        .with_kor(pimento::profile::KeywordOrderingRule::new("pi1", "person", "male"))
-        .with_kor(pimento::profile::KeywordOrderingRule::new("pi2", "person", "United States"))
-        .with_kor(pimento::profile::KeywordOrderingRule::new("pi3", "person", "College"))
-        .with_kor(pimento::profile::KeywordOrderingRule::new("pi4", "person", "Phoenix"))
-        .with_vor(pimento::profile::ValueOrderingRule::prefer_value("pi5", "person", "age", "33"));
+        .with_kor(pimento::profile::KeywordOrderingRule::new(
+            "pi1", "person", "male",
+        ))
+        .with_kor(pimento::profile::KeywordOrderingRule::new(
+            "pi2",
+            "person",
+            "United States",
+        ))
+        .with_kor(pimento::profile::KeywordOrderingRule::new(
+            "pi3", "person", "College",
+        ))
+        .with_kor(pimento::profile::KeywordOrderingRule::new(
+            "pi4", "person", "Phoenix",
+        ))
+        .with_vor(pimento::profile::ValueOrderingRule::prefer_value(
+            "pi5", "person", "age", "33",
+        ));
 
-    println!("{:<12} {:>9} {:>12} {:>12}", "Plan", "time(ms)", "base answers", "pruned");
+    println!(
+        "{:<12} {:>9} {:>12} {:>12}",
+        "Plan", "time(ms)", "base answers", "pruned"
+    );
     let mut reference: Option<Vec<(u32, u32)>> = None;
     for strategy in PlanStrategy::all() {
         let opts = SearchOptions::top(10).with_strategy(strategy);
         let t0 = Instant::now();
-        let res = engine.search(FIG5_QUERY, &profile, &opts).expect("query runs");
+        let res = engine
+            .search(FIG5_QUERY, &profile, &opts)
+            .expect("query runs");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
             "{:<12} {:>9.2} {:>12} {:>12}",
@@ -40,7 +60,11 @@ fn main() {
             res.stats.pruned
         );
         // All strategies must return the same top-k.
-        let key: Vec<(u32, u32)> = res.hits.iter().map(|h| (h.elem.doc.0, h.elem.node.0)).collect();
+        let key: Vec<(u32, u32)> = res
+            .hits
+            .iter()
+            .map(|h| (h.elem.doc.0, h.elem.node.0))
+            .collect();
         match &reference {
             Some(r) => assert_eq!(&key, r, "{} disagrees", strategy.paper_name()),
             None => reference = Some(key),
@@ -52,6 +76,12 @@ fn main() {
         .expect("query runs");
     println!("\ntop-10 under PushTopkPrune (K = #KORs satisfied; π5 prefers age 33):");
     for h in &res.hits {
-        println!("  #{} K={:.0} S={:.3} {}", h.rank, h.k, h.s, &h.text[..h.text.len().min(70)]);
+        println!(
+            "  #{} K={:.0} S={:.3} {}",
+            h.rank,
+            h.k,
+            h.s,
+            &h.text[..h.text.len().min(70)]
+        );
     }
 }

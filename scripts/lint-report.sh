@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Group a `lint --workspace --format json` report by rule.
+#
+# Usage:
+#   cargo run -p lint -- --workspace --format json | scripts/lint-report.sh
+#   scripts/lint-report.sh report.json
+#
+# Prints a per-rule violation count with the offending sites, then the
+# stale-allowlist entries and the summary line. Exits 0 iff the report is
+# clean, so piping the lint run through this script preserves the gate
+# (with pipefail the lint exit code is carried through as well).
+#
+# The lint JSON places one violation object per line and keeps the
+# summary fields on lines of their own, so plain awk/sed suffice — the
+# gate stays dependency-free (no jq in the image).
+set -euo pipefail
+
+json="$(cat "${1:-/dev/stdin}")"
+
+findings="$(printf '%s\n' "$json" | awk '
+  /"rule": "/ {
+    rule = $0;  sub(/.*"rule": "/, "", rule);  sub(/".*/, "", rule)
+    path = $0;  sub(/.*"path": "/, "", path);  sub(/".*/, "", path)
+    line = $0;  sub(/.*"line": /, "", line);   sub(/[^0-9].*/, "", line)
+    print rule, path ":" line
+  }
+')"
+
+if [ -n "$findings" ]; then
+  printf '%s\n' "$findings" | cut -d' ' -f1 | sort | uniq -c | sort -rn |
+    while read -r count rule; do
+      echo "[$rule] $count finding(s):"
+      printf '%s\n' "$findings" | awk -v r="$rule" '$1 == r { print "    " $2 }'
+    done
+fi
+
+stale="$(printf '%s\n' "$json" | sed -n 's/.*"stale_allowlist_entries": \[\(..*\)\].*/\1/p')"
+if [ -n "$stale" ]; then
+  echo "stale allowlist entries (match nothing — delete them): $stale"
+fi
+
+files="$(printf '%s\n' "$json" | sed -n 's/.*"files_scanned": \([0-9]*\).*/\1/p')"
+allowed="$(printf '%s\n' "$json" | sed -n 's/.*"allowed": \([0-9]*\).*/\1/p')"
+clean="$(printf '%s\n' "$json" | sed -n 's/.*"clean": \(true\|false\).*/\1/p')"
+echo "lint-report: ${files:-?} file(s) scanned, ${allowed:-?} allowlisted, clean=${clean:-?}"
+[ "$clean" = "true" ]

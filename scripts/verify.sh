@@ -16,8 +16,8 @@ cargo bench --no-run
 echo "==> lint gate: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> lint gate: pimento-lint workspace invariants"
-cargo run -p lint --release -- --workspace
+echo "==> lint gate: pimento-lint workspace invariants (JSON report)"
+cargo run -p lint --release -- --workspace --format json | scripts/lint-report.sh
 
 echo "==> lint gate: cargo test -q -p lint"
 cargo test -q -p lint

@@ -20,13 +20,17 @@ const QUERY_Q: &str = r#"//car[./description[ftcontains(., "good condition") and
 #[test]
 fn personalization_expands_the_answer_set() {
     let e = engine();
-    let plain = e.search(QUERY_Q, &UserProfile::new(), &SearchOptions::top(20)).unwrap();
+    let plain = e
+        .search(QUERY_Q, &UserProfile::new(), &SearchOptions::top(20))
+        .unwrap();
     let profile = UserProfile::new().with_scoping(ScopingRule::delete(
         "rho3",
         vec![Atom::ft("description", "good condition")],
         vec![Atom::ft("description", "low mileage")],
     ));
-    let personalized = e.search(QUERY_Q, &profile, &SearchOptions::top(20)).unwrap();
+    let personalized = e
+        .search(QUERY_Q, &profile, &SearchOptions::top(20))
+        .unwrap();
     assert!(
         personalized.hits.len() > plain.hits.len(),
         "dropping the low-mileage requirement must widen the result: {} vs {}",
@@ -35,12 +39,16 @@ fn personalization_expands_the_answer_set() {
     );
     // Every plain answer is still an answer after broadening (the paper's
     // "user should not be penalized" guarantee), within the larger k.
-    let p_set: std::collections::HashSet<_> =
-        personalized.hits.iter().map(|h| h.elem).collect();
-    let widened = e.search(QUERY_Q, &profile, &SearchOptions::top(200)).unwrap();
+    let p_set: std::collections::HashSet<_> = personalized.hits.iter().map(|h| h.elem).collect();
+    let widened = e
+        .search(QUERY_Q, &profile, &SearchOptions::top(200))
+        .unwrap();
     let w_set: std::collections::HashSet<_> = widened.hits.iter().map(|h| h.elem).collect();
     for h in &plain.hits {
-        assert!(w_set.contains(&h.elem), "original answer lost by personalization");
+        assert!(
+            w_set.contains(&h.elem),
+            "original answer lost by personalization"
+        );
     }
     let _ = p_set;
 }
@@ -53,19 +61,31 @@ fn narrowing_rule_only_reranks_never_filters() {
         vec![Atom::ft("description", "good condition")],
         vec![Atom::ft("description", "american")],
     ));
-    let plain = e.search(QUERY_Q, &UserProfile::new(), &SearchOptions::top(100)).unwrap();
-    let narrowed = e.search(QUERY_Q, &profile, &SearchOptions::top(100)).unwrap();
+    let plain = e
+        .search(QUERY_Q, &UserProfile::new(), &SearchOptions::top(100))
+        .unwrap();
+    let narrowed = e
+        .search(QUERY_Q, &profile, &SearchOptions::top(100))
+        .unwrap();
     assert_eq!(
         plain.hits.len(),
         narrowed.hits.len(),
         "added predicates are optional — the answer set is unchanged"
     );
     // But american cars must gain score.
-    let american: Vec<_> =
-        narrowed.hits.iter().filter(|h| h.text.contains("american")).collect();
+    let american: Vec<_> = narrowed
+        .hits
+        .iter()
+        .filter(|h| h.text.contains("american"))
+        .collect();
     if let Some(a) = american.first() {
         let plain_s = plain.hits.iter().find(|h| h.elem == a.elem).unwrap().s;
-        assert!(a.s > plain_s, "american car gains score: {} vs {}", a.s, plain_s);
+        assert!(
+            a.s > plain_s,
+            "american car gains score: {} vs {}",
+            a.s,
+            plain_s
+        );
     }
 }
 
@@ -74,7 +94,11 @@ fn kor_dominates_s_in_kvs_order() {
     let e = engine();
     let profile = UserProfile::new().with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"));
     let res = e
-        .search(r#"//car[ftcontains(., "good condition")]"#, &profile, &SearchOptions::top(10))
+        .search(
+            r#"//car[ftcontains(., "good condition")]"#,
+            &profile,
+            &SearchOptions::top(10),
+        )
         .unwrap();
     // All NYC answers must precede all non-NYC answers.
     let ks: Vec<f64> = res.hits.iter().map(|h| h.k).collect();
@@ -89,7 +113,9 @@ fn vks_rank_order_puts_vor_first() {
     let order = PrefRel::chain(&["red", "black", "silver", "blue", "white", "green"]);
     let base = UserProfile::new()
         .with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"))
-        .with_vor(ValueOrderingRule::prefer_order("col", "car", "color", order));
+        .with_vor(ValueOrderingRule::prefer_order(
+            "col", "car", "color", order,
+        ));
     let kvs = base.clone().with_rank_order(RankOrder::Kvs);
     let vks = base.with_rank_order(RankOrder::Vks);
     let q = "//car[./color]";
@@ -100,8 +126,11 @@ fn vks_rank_order_puts_vor_first() {
     let max_k = res_kvs.hits.iter().map(|h| h.k).fold(f64::MIN, f64::max);
     assert_eq!(res_kvs.hits[0].k, max_k);
     let top_vks_color = &res_vks.hits[0];
-    assert!(top_vks_color.xml.contains("red") || !res_vks.hits.iter().any(|h| h.xml.contains("<color>red")),
-        "V,K,S must surface a red car first when one exists");
+    assert!(
+        top_vks_color.xml.contains("red")
+            || !res_vks.hits.iter().any(|h| h.xml.contains("<color>red")),
+        "V,K,S must surface a red car first when one exists"
+    );
 }
 
 #[test]
@@ -110,7 +139,9 @@ fn all_strategies_agree_on_dealer_corpus() {
     let profile = UserProfile::new()
         .with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"))
         .with_kor(KeywordOrderingRule::weighted("bid", "car", "best bid", 2.0))
-        .with_vor(ValueOrderingRule::prefer_value("red", "car", "color", "red"));
+        .with_vor(ValueOrderingRule::prefer_value(
+            "red", "car", "color", "red",
+        ));
     let mut reference: Option<Vec<_>> = None;
     for strategy in PlanStrategy::all() {
         let res = e
@@ -133,18 +164,26 @@ fn multi_document_collection_search() {
     let docs: Vec<String> = (0..5).map(|i| carsale::generate_dealer(i, 20)).collect();
     let e = Engine::from_xml_docs(&docs).unwrap();
     let res = e
-        .search(r#"//car[./price < 1000]"#, &UserProfile::new(), &SearchOptions::top(50))
+        .search(
+            r#"//car[./price < 1000]"#,
+            &UserProfile::new(),
+            &SearchOptions::top(50),
+        )
         .unwrap();
     assert!(!res.hits.is_empty());
-    let distinct_docs: std::collections::HashSet<_> =
-        res.hits.iter().map(|h| h.elem.doc).collect();
-    assert!(distinct_docs.len() > 1, "answers should come from several documents");
+    let distinct_docs: std::collections::HashSet<_> = res.hits.iter().map(|h| h.elem.doc).collect();
+    assert!(
+        distinct_docs.len() > 1,
+        "answers should come from several documents"
+    );
 }
 
 #[test]
 fn k_larger_than_answer_count() {
     let e = Engine::from_xml_docs(&[carsale::paper_figure1()]).unwrap();
-    let res = e.search("//car", &UserProfile::new(), &SearchOptions::top(100)).unwrap();
+    let res = e
+        .search("//car", &UserProfile::new(), &SearchOptions::top(100))
+        .unwrap();
     assert_eq!(res.hits.len(), 3);
 }
 
@@ -152,7 +191,11 @@ fn k_larger_than_answer_count() {
 fn no_matches_is_empty_not_error() {
     let e = Engine::from_xml_docs(&[carsale::paper_figure1()]).unwrap();
     let res = e
-        .search(r#"//car[ftcontains(., "nonexistent-keyword")]"#, &UserProfile::new(), &SearchOptions::top(5))
+        .search(
+            r#"//car[ftcontains(., "nonexistent-keyword")]"#,
+            &UserProfile::new(),
+            &SearchOptions::top(5),
+        )
         .unwrap();
     assert!(res.hits.is_empty());
 }
@@ -169,9 +212,22 @@ fn weighted_sr_extension_scales_scores() {
     let q = r#"//car[ftcontains(., "good condition")]"#;
     let res_l = e.search(q, &light, &SearchOptions::top(50)).unwrap();
     let res_h = e.search(q, &heavy, &SearchOptions::top(50)).unwrap();
-    let s_l: f64 = res_l.hits.iter().filter(|h| h.text.contains("american")).map(|h| h.s).sum();
-    let s_h: f64 = res_h.hits.iter().filter(|h| h.text.contains("american")).map(|h| h.s).sum();
-    assert!(s_h > s_l, "heavier SR weight must contribute more score: {s_h} vs {s_l}");
+    let s_l: f64 = res_l
+        .hits
+        .iter()
+        .filter(|h| h.text.contains("american"))
+        .map(|h| h.s)
+        .sum();
+    let s_h: f64 = res_h
+        .hits
+        .iter()
+        .filter(|h| h.text.contains("american"))
+        .map(|h| h.s)
+        .sum();
+    assert!(
+        s_h > s_l,
+        "heavier SR weight must contribute more score: {s_h} vs {s_l}"
+    );
 }
 
 #[test]
@@ -184,7 +240,11 @@ fn ftall_proximity_and_order_predicates() {
     .unwrap();
     // Unordered, windowless: both cars with both words.
     let both = e
-        .search(r#"//car[ftall(., "good", "cheap")]"#, &UserProfile::new(), &SearchOptions::top(10))
+        .search(
+            r#"//car[ftall(., "good", "cheap")]"#,
+            &UserProfile::new(),
+            &SearchOptions::top(10),
+        )
         .unwrap();
     assert_eq!(both.hits.len(), 2);
     // Tight window: only the first car has them adjacent.
@@ -221,7 +281,9 @@ fn thesaurus_expansion_recovers_synonym_matches() {
     .unwrap();
     let query = r#"//car[ftcontains(./description, "good condition")]"#;
     // Raw query: one answer.
-    let plain = e.search(query, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+    let plain = e
+        .search(query, &UserProfile::new(), &SearchOptions::top(10))
+        .unwrap();
     assert_eq!(plain.hits.len(), 1);
     // With thesaurus expansion the synonym match surfaces, ranked below
     // the exact match... with a relaxing rule. Expansion alone only adds
@@ -239,8 +301,14 @@ fn thesaurus_expansion_recovers_synonym_matches() {
     }
     let expanded = e.search(query, &profile, &SearchOptions::top(10)).unwrap();
     assert_eq!(expanded.hits.len(), 3, "broadened: all cars are candidates");
-    assert!(expanded.hits[0].text.contains("good condition"), "exact match first");
-    assert!(expanded.hits[1].text.contains("well maintained"), "synonym second");
+    assert!(
+        expanded.hits[0].text.contains("good condition"),
+        "exact match first"
+    );
+    assert!(
+        expanded.hits[1].text.contains("well maintained"),
+        "synonym second"
+    );
     assert!(expanded.hits[1].s > expanded.hits[2].s);
 }
 
@@ -249,7 +317,9 @@ fn structural_join_mode_agrees_with_default() {
     let e = engine();
     let profile = UserProfile::new()
         .with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"))
-        .with_vor(ValueOrderingRule::prefer_value("red", "car", "color", "red"));
+        .with_vor(ValueOrderingRule::prefer_value(
+            "red", "car", "color", "red",
+        ));
     let q = r#"//car[ftcontains(., "good condition") and ./price < 3000]"#;
     let a = e.search(q, &profile, &SearchOptions::top(8)).unwrap();
     let b = e
@@ -267,13 +337,25 @@ fn structural_join_mode_agrees_with_default() {
 fn pagination_pages_are_consistent() {
     let e = engine();
     let q = r#"//car[ftcontains(., "good condition")]"#;
-    let all = e.search(q, &UserProfile::new(), &SearchOptions::top(9)).unwrap();
-    let page1 = e.search(q, &UserProfile::new(), &SearchOptions::top(3)).unwrap();
+    let all = e
+        .search(q, &UserProfile::new(), &SearchOptions::top(9))
+        .unwrap();
+    let page1 = e
+        .search(q, &UserProfile::new(), &SearchOptions::top(3))
+        .unwrap();
     let page2 = e
-        .search(q, &UserProfile::new(), &SearchOptions::top(3).with_offset(3))
+        .search(
+            q,
+            &UserProfile::new(),
+            &SearchOptions::top(3).with_offset(3),
+        )
         .unwrap();
     let page3 = e
-        .search(q, &UserProfile::new(), &SearchOptions::top(3).with_offset(6))
+        .search(
+            q,
+            &UserProfile::new(),
+            &SearchOptions::top(3).with_offset(6),
+        )
         .unwrap();
     let paged: Vec<_> = page1
         .hits
@@ -282,7 +364,11 @@ fn pagination_pages_are_consistent() {
         .chain(&page3.hits)
         .map(|h| h.elem)
         .collect();
-    assert_eq!(paged, all.elem_refs(), "pages concatenate to the full top-9");
+    assert_eq!(
+        paged,
+        all.elem_refs(),
+        "pages concatenate to the full top-9"
+    );
     // Ranks continue across pages.
     assert_eq!(page2.hits[0].rank, 4);
     assert_eq!(page3.hits[2].rank, 9);
@@ -293,7 +379,9 @@ fn auto_options_match_explicit_results() {
     let e = engine();
     let profile = UserProfile::new()
         .with_kor(KeywordOrderingRule::new("nyc", "car", "NYC"))
-        .with_vor(ValueOrderingRule::prefer_value("red", "car", "color", "red"));
+        .with_vor(ValueOrderingRule::prefer_value(
+            "red", "car", "color", "red",
+        ));
     let q = r#"//car[./description[ftcontains(., "good condition")] and ./price < 3000]"#;
     let explicit = e.search(q, &profile, &SearchOptions::top(6)).unwrap();
     let auto = e.search(q, &profile, &SearchOptions::auto(6)).unwrap();
@@ -309,7 +397,10 @@ fn shipped_profile_files_parse_and_run() {
     assert_eq!(profile.scoping.len(), 3);
     assert_eq!(profile.vors.len(), 3);
     assert_eq!(profile.kors.len(), 2);
-    assert!(!profile.check_ambiguity().is_ambiguous(), "priorities separate pi1/pi2");
+    assert!(
+        !profile.check_ambiguity().is_ambiguous(),
+        "priorities separate pi1/pi2"
+    );
     assert!(pimento::profile::validate(&profile).is_empty());
     let e = engine();
     let res = e
@@ -353,13 +444,23 @@ fn engine_is_shareable_across_threads() {
 
 #[test]
 fn engine_add_xml_extends_a_live_engine() {
-    let mut e = Engine::from_xml_docs(&["<dealer><car><d>good condition</d><price>100</price></car></dealer>"])
-        .unwrap();
+    let mut e = Engine::from_xml_docs(&[
+        "<dealer><car><d>good condition</d><price>100</price></car></dealer>",
+    ])
+    .unwrap();
     let q = r#"//car[ftcontains(., "good condition")]"#;
-    assert_eq!(e.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap().hits.len(), 1);
+    assert_eq!(
+        e.search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap()
+            .hits
+            .len(),
+        1
+    );
     e.add_xml("<dealer><car><d>also good condition</d><price>300</price></car></dealer>")
         .unwrap();
-    let res = e.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap();
+    let res = e
+        .search(q, &UserProfile::new(), &SearchOptions::top(10))
+        .unwrap();
     assert_eq!(res.hits.len(), 2);
     // The value index also grew: the range-seeded structural join sees
     // both prices.
@@ -373,15 +474,30 @@ fn engine_add_xml_extends_a_live_engine() {
     assert_eq!(cheap.hits.len(), 2);
     // Snapshots taken after the incremental add round-trip everything.
     let restored = Engine::from_snapshot(&e.save_snapshot()).unwrap();
-    assert_eq!(restored.search(q, &UserProfile::new(), &SearchOptions::top(10)).unwrap().hits.len(), 2);
+    assert_eq!(
+        restored
+            .search(q, &UserProfile::new(), &SearchOptions::top(10))
+            .unwrap()
+            .hits
+            .len(),
+        2
+    );
 }
 
 #[test]
 fn auto_picks_structural_join_for_twigs() {
     let e = engine();
     let twig = r#"//car[./description[ftcontains(., "good condition")] and ./price < 3000]"#;
-    let res = e.search(twig, &UserProfile::new(), &SearchOptions::auto(3)).unwrap();
+    let res = e
+        .search(twig, &UserProfile::new(), &SearchOptions::auto(3))
+        .unwrap();
     assert!(res.explain.contains("structural-join"), "{}", res.explain);
-    let single = e.search("//car", &UserProfile::new(), &SearchOptions::auto(3)).unwrap();
-    assert!(!single.explain.contains("structural-join"), "{}", single.explain);
+    let single = e
+        .search("//car", &UserProfile::new(), &SearchOptions::auto(3))
+        .unwrap();
+    assert!(
+        !single.explain.contains("structural-join"),
+        "{}",
+        single.explain
+    );
 }

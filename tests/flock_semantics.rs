@@ -13,11 +13,23 @@ use std::collections::BTreeSet;
 
 const QUERY: &str = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 4000]"#;
 
-const PHRASES: &[&str] = &["good condition", "low mileage", "best bid", "american", "NYC"];
+const PHRASES: &[&str] = &[
+    "good condition",
+    "low mileage",
+    "best bid",
+    "american",
+    "NYC",
+];
 
 fn rule(i: usize, is_add: bool, cond_phrase: usize, target_phrase: usize) -> ScopingRule {
-    let cond = vec![Atom::ft("description", PHRASES[cond_phrase % PHRASES.len()])];
-    let concl = vec![Atom::ft("description", PHRASES[target_phrase % PHRASES.len()])];
+    let cond = vec![Atom::ft(
+        "description",
+        PHRASES[cond_phrase % PHRASES.len()],
+    )];
+    let concl = vec![Atom::ft(
+        "description",
+        PHRASES[target_phrase % PHRASES.len()],
+    )];
     if is_add {
         ScopingRule::add(&format!("r{i}"), cond, concl)
     } else {
@@ -43,7 +55,10 @@ fn matches_of(db: &Database, pq: PersonalizedQuery) -> BTreeSet<(u32, u32)> {
 fn union_of_members(db: &Database, pq: &PersonalizedQuery) -> BTreeSet<(u32, u32)> {
     let mut union = BTreeSet::new();
     for member in &pq.flock.members {
-        union.extend(matches_of(db, PersonalizedQuery::unpersonalized(member.clone())));
+        union.extend(matches_of(
+            db,
+            PersonalizedQuery::unpersonalized(member.clone()),
+        ));
     }
     union
 }

@@ -21,7 +21,10 @@ fn query_q() -> pimento::tpq::Tpq {
 fn rho1() -> ScopingRule {
     ScopingRule::delete(
         "rho1",
-        vec![Atom::pc("car", "description"), Atom::ft("description", "low mileage")],
+        vec![
+            Atom::pc("car", "description"),
+            Atom::ft("description", "low mileage"),
+        ],
         vec![Atom::ft("description", "good condition")],
     )
 }
@@ -29,7 +32,10 @@ fn rho1() -> ScopingRule {
 fn rho2() -> ScopingRule {
     ScopingRule::add(
         "rho2",
-        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![
+            Atom::pc("car", "description"),
+            Atom::ft("description", "good condition"),
+        ],
         vec![Atom::ft("description", "american")],
     )
 }
@@ -37,7 +43,10 @@ fn rho2() -> ScopingRule {
 fn rho3() -> ScopingRule {
     ScopingRule::delete(
         "rho3",
-        vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+        vec![
+            Atom::pc("car", "description"),
+            Atom::ft("description", "good condition"),
+        ],
         vec![Atom::ft("description", "low mileage")],
     )
 }
@@ -86,9 +95,8 @@ fn section_3_2_pi3_same_make_comparison() {
         <car><make>Mustang</make><hp>500</hp><price>3</price></car>
     </dealer>"#])
     .unwrap();
-    let profile = UserProfile::new().with_vor(
-        ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"),
-    );
+    let profile = UserProfile::new()
+        .with_vor(ValueOrderingRule::prefer_larger("pi3", "car", "hp").with_equal_attr("make"));
     let res = e.search("//car", &profile, &SearchOptions::top(3)).unwrap();
     // The 200hp Honda must precede the 120hp Honda; the Mustang is
     // incomparable to both (different make) and falls to the same top
@@ -110,8 +118,9 @@ fn section_3_2_pi3_same_make_comparison() {
 fn fig5_workload_on_xmark_all_plans_agree() {
     let xml = xmark::generate(77, 200 * 1024);
     let e = Engine::from_xml_docs(&[&xml]).unwrap();
-    let mut profile = UserProfile::new()
-        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"));
+    let mut profile = UserProfile::new().with_vor(ValueOrderingRule::prefer_value(
+        "pi5", "person", "age", "33",
+    ));
     for (id, kw, w) in [
         ("pi1", "male", 0.7),
         ("pi2", "United States", 2.3),
@@ -123,8 +132,13 @@ fn fig5_workload_on_xmark_all_plans_agree() {
     let query = r#"//person[ftcontains(.//business, "Yes")]"#;
     let mut reference: Option<Vec<_>> = None;
     for strategy in PlanStrategy::all() {
-        let res =
-            e.search(query, &profile, &SearchOptions::top(10).with_strategy(strategy)).unwrap();
+        let res = e
+            .search(
+                query,
+                &profile,
+                &SearchOptions::top(10).with_strategy(strategy),
+            )
+            .unwrap();
         assert_eq!(res.hits.len(), 10);
         // Top answers satisfy as many KORs as possible.
         assert!(res.hits[0].k >= res.hits[9].k);
@@ -140,12 +154,19 @@ fn fig5_workload_on_xmark_all_plans_agree() {
 fn fig5_vor_pi5_prefers_age_33() {
     let xml = xmark::generate(31, 150 * 1024);
     let e = Engine::from_xml_docs(&[&xml]).unwrap();
-    let profile = UserProfile::new()
-        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"));
-    let res = e.search("//person", &profile, &SearchOptions::top(5)).unwrap();
+    let profile = UserProfile::new().with_vor(ValueOrderingRule::prefer_value(
+        "pi5", "person", "age", "33",
+    ));
+    let res = e
+        .search("//person", &profile, &SearchOptions::top(5))
+        .unwrap();
     // If any 33-year-old exists, the top hit must be one.
     let any33 = e
-        .search("//person[.//age = 33]", &UserProfile::new(), &SearchOptions::top(1))
+        .search(
+            "//person[.//age = 33]",
+            &UserProfile::new(),
+            &SearchOptions::top(1),
+        )
         .unwrap();
     if !any33.hits.is_empty() {
         assert!(
@@ -198,7 +219,9 @@ fn inex_topic_documents_drive_personalization_end_to_end() {
         vec![Atom::ft("abs", topic.query_phrase)],
         vec![Atom::ft("abs", topic.query_phrase)],
     ));
-    let res = engine.search(&parsed.title, &profile, &SearchOptions::top(5)).unwrap();
+    let res = engine
+        .search(&parsed.title, &profile, &SearchOptions::top(5))
+        .unwrap();
     assert!(!res.hits.is_empty());
     // At least one hit satisfies a narrative KOR (the ranking worked).
     assert!(res.hits.iter().any(|h| !h.satisfied_kors.is_empty()));
@@ -235,13 +258,11 @@ fn relax_rule_widens_results_end_to_end() {
         .search("//dealer/car", &UserProfile::new(), &SearchOptions::top(10))
         .unwrap();
     assert_eq!(strict.hits.len(), 1, "only the direct child matches pc");
-    let relaxing = UserProfile::new().with_scoping(ScopingRule::relax_edge(
-        "rel",
-        vec![],
-        "dealer",
-        "car",
-    ));
-    let relaxed = e.search("//dealer/car", &relaxing, &SearchOptions::top(10)).unwrap();
+    let relaxing =
+        UserProfile::new().with_scoping(ScopingRule::relax_edge("rel", vec![], "dealer", "car"));
+    let relaxed = e
+        .search("//dealer/car", &relaxing, &SearchOptions::top(10))
+        .unwrap();
     assert_eq!(relaxed.hits.len(), 2, "ad edge reaches the nested car");
     assert_eq!(relaxed.applied_rules, vec!["rel"]);
 }
@@ -255,13 +276,20 @@ fn vks_rank_order_via_fig5_vor() {
     </people>"#])
     .unwrap();
     let mut profile = UserProfile::new()
-        .with_vor(ValueOrderingRule::prefer_value("pi5", "person", "age", "33"))
+        .with_vor(ValueOrderingRule::prefer_value(
+            "pi5", "person", "age", "33",
+        ))
         .with_rank_order(pimento::profile::RankOrder::Vks);
     for kw in ["male", "United States", "College", "Phoenix"] {
         profile = profile.with_kor(KeywordOrderingRule::new(kw, "person", kw));
     }
-    let res = e.search("//person", &profile, &SearchOptions::top(2)).unwrap();
-    assert!(res.hits[0].xml.contains("<age>33</age>"), "V beats K under V,K,S");
+    let res = e
+        .search("//person", &profile, &SearchOptions::top(2))
+        .unwrap();
+    assert!(
+        res.hits[0].xml.contains("<age>33</age>"),
+        "V beats K under V,K,S"
+    );
     assert!(res.hits[1].k >= 4.0 - 1e-9);
     // Under K,V,S the 4-KOR person wins instead.
     let kvs = profile.with_rank_order(pimento::profile::RankOrder::Kvs);
@@ -276,11 +304,8 @@ fn full_fig2_rules_file_resolves_conflicts_as_the_paper_describes() {
     // resolution: ρ2 applies (topological prefix), ρ3 applies, and ρ1 is
     // skipped because ρ3 consumed its "low mileage" condition.
     use pimento::profile::{parse_profile, PrefRelRegistry};
-    let text = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/profiles/fig2.rules"
-    ))
-    .unwrap();
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/profiles/fig2.rules"))
+        .unwrap();
     let profile = parse_profile(&text, &PrefRelRegistry::new()).unwrap();
     let e = Engine::from_xml_docs(&[paper_figure1()]).unwrap();
     let res = e

@@ -30,15 +30,23 @@ fn paper_profile(order: RankOrder) -> UserProfile {
         .with_rank_order(order)
         .with_scoping(ScopingRule::add(
             "rho2",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "american")],
         ))
         .with_scoping(ScopingRule::delete(
             "rho3",
-            vec![Atom::pc("car", "description"), Atom::ft("description", "good condition")],
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
             vec![Atom::ft("description", "low mileage")],
         ))
-        .with_vor(ValueOrderingRule::prefer_value("pi1", "car", "color", "red"))
+        .with_vor(ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        ))
         .with_kor(KeywordOrderingRule::weighted("pi4", "car", "best bid", 2.0))
         .with_kor(KeywordOrderingRule::weighted("pi5", "car", "NYC", 1.0))
 }
@@ -60,10 +68,15 @@ fn assert_equivalent(engine: &Engine, query: &str, profile: &UserProfile, k: usi
     let matcher = Arc::new(Matcher::new(engine.db(), pq));
     let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
     for strategy in PlanStrategy::all() {
-        for kor_order in
-            [KorOrder::AsGiven, KorOrder::HighestWeightFirst, KorOrder::LowestWeightFirst]
-        {
-            let spec = PlanSpec { kor_order, ..PlanSpec::new(k, strategy) };
+        for kor_order in [
+            KorOrder::AsGiven,
+            KorOrder::HighestWeightFirst,
+            KorOrder::LowestWeightFirst,
+        ] {
+            let spec = PlanSpec {
+                kor_order,
+                ..PlanSpec::new(k, strategy)
+            };
             let (seq, _) = build_plan(
                 engine.db(),
                 Arc::clone(&matcher),
@@ -111,7 +124,12 @@ fn xmark_parallel_equals_sequential() {
         let profile = UserProfile::new()
             .with_rank_order(order)
             .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
-            .with_kor(KeywordOrderingRule::weighted("c", "person", "United States", 2.0))
+            .with_kor(KeywordOrderingRule::weighted(
+                "c",
+                "person",
+                "United States",
+                2.0,
+            ))
             .with_kor(KeywordOrderingRule::weighted("e", "person", "College", 0.5))
             .with_kor(KeywordOrderingRule::weighted("t", "person", "Phoenix", 1.5))
             .with_vor(ValueOrderingRule::prefer_value("a", "person", "age", "33"));
@@ -129,8 +147,12 @@ fn incomparable_vor_frontier_survives_sharding() {
         let profile = UserProfile::new()
             .with_rank_order(order)
             .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
-            .with_vor(ValueOrderingRule::prefer_value("a33", "person", "age", "33"))
-            .with_vor(ValueOrderingRule::prefer_smaller("inc", "profile", "income"));
+            .with_vor(ValueOrderingRule::prefer_value(
+                "a33", "person", "age", "33",
+            ))
+            .with_vor(ValueOrderingRule::prefer_smaller(
+                "inc", "profile", "income",
+            ));
         assert_equivalent(&engine, "//person", &profile, 8);
     }
 }
@@ -152,7 +174,11 @@ fn engine_threads_option_is_transparent() {
     assert_eq!(sequential.worker_stats.len(), 1);
     for threads in [0usize, 2, 4, 8] {
         let par = engine
-            .search(query, &profile, &SearchOptions::top(10).with_threads(threads))
+            .search(
+                query,
+                &profile,
+                &SearchOptions::top(10).with_threads(threads),
+            )
             .unwrap();
         assert_eq!(sequential.elem_refs(), par.elem_refs(), "threads={threads}");
         let ks: Vec<u64> = sequential.hits.iter().map(|h| h.k.to_bits()).collect();

@@ -19,8 +19,16 @@ const STRATEGIES: [PlanStrategy; 4] = [
 
 /// (doc, node, S-bits, K-bits) per hit: equality means the float path is
 /// identical, not merely close.
-fn fingerprint(engine: &Engine, profile: &UserProfile, query: &str, strategy: PlanStrategy) -> Vec<(u32, u32, u64, u64)> {
-    let opts = SearchOptions { strategy, ..SearchOptions::top(10) };
+fn fingerprint(
+    engine: &Engine,
+    profile: &UserProfile,
+    query: &str,
+    strategy: PlanStrategy,
+) -> Vec<(u32, u32, u64, u64)> {
+    let opts = SearchOptions {
+        strategy,
+        ..SearchOptions::top(10)
+    };
     let results = engine.search(query, profile, &opts).expect("search");
     results
         .hits
@@ -37,16 +45,31 @@ fn assert_equivalent(original: &Engine, corpus: &str, queries: &[&str], profile:
     assert_eq!(from_v4.snapshot_format(), Some(4));
     assert_eq!(from_v3.snapshot_format(), Some(3));
     // The v4 open path must be backed by packed views, not a heap rebuild.
-    assert!(from_v4.db().tags.is_packed(), "{corpus}: v4 tags not packed");
-    assert!(from_v4.db().values.is_packed(), "{corpus}: v4 values not packed");
-    assert!(from_v4.db().inverted.is_packed(), "{corpus}: v4 inverted not packed");
+    assert!(
+        from_v4.db().tags.is_packed(),
+        "{corpus}: v4 tags not packed"
+    );
+    assert!(
+        from_v4.db().values.is_packed(),
+        "{corpus}: v4 values not packed"
+    );
+    assert!(
+        from_v4.db().inverted.is_packed(),
+        "{corpus}: v4 inverted not packed"
+    );
     for query in queries {
         for strategy in STRATEGIES {
             let want = fingerprint(original, profile, query, strategy);
             let got4 = fingerprint(&from_v4, profile, query, strategy);
             let got3 = fingerprint(&from_v3, profile, query, strategy);
-            assert_eq!(want, got4, "{corpus}: v4 mismatch for {query} under {strategy:?}");
-            assert_eq!(want, got3, "{corpus}: v3 mismatch for {query} under {strategy:?}");
+            assert_eq!(
+                want, got4,
+                "{corpus}: v4 mismatch for {query} under {strategy:?}"
+            );
+            assert_eq!(
+                want, got3,
+                "{corpus}: v3 mismatch for {query} under {strategy:?}"
+            );
         }
     }
 }
@@ -69,7 +92,9 @@ fn paper_example_is_bit_identical_across_formats() {
 
 #[test]
 fn xmark_corpus_is_bit_identical_across_formats() {
-    let docs: Vec<String> = (0..3).map(|i| pimento_datagen::generate_xmark(i, 20_000)).collect();
+    let docs: Vec<String> = (0..3)
+        .map(|i| pimento_datagen::generate_xmark(i, 20_000))
+        .collect();
     let engine = Engine::from_xml_docs(&docs).expect("xmark parses");
     let queries = [
         r#"//person[ftcontains(., "the")]"#,
@@ -86,7 +111,10 @@ fn version_and_corruption_matrix() {
 
     // Truncation anywhere fails with a typed error, never a panic.
     for cut in [0, 5, 7, 23, v4.len() / 2, v4.len() - 1] {
-        assert!(Engine::from_snapshot(&v4[..cut]).is_err(), "truncated at {cut}");
+        assert!(
+            Engine::from_snapshot(&v4[..cut]).is_err(),
+            "truncated at {cut}"
+        );
     }
     // A flipped bit in the body is caught by a section CRC.
     let mut bad = v4.to_vec();
@@ -107,7 +135,10 @@ fn version_and_corruption_matrix() {
     let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(names, ["meta", "symtab", "docs", "tags", "vals", "inv"]);
     let bad_report = pimento::index::inspect(&bad).expect("inspect corrupt v4");
-    assert!(bad_report.sections.iter().any(|s| !s.crc_ok), "{bad_report:?}");
+    assert!(
+        bad_report.sections.iter().any(|s| !s.crc_ok),
+        "{bad_report:?}"
+    );
 
     // v3 snapshots inspect too: one body section, footer CRC verified.
     let v3 = engine.save_snapshot_v3();

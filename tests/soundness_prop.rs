@@ -17,21 +17,33 @@ fn profile_from(recipe: &ProfileRecipe) -> UserProfile {
     } else {
         RankOrder::Kvs
     });
-    let kor_pool: [(&str, f64); 4] =
-        [("NYC", 1.0), ("best bid", 2.0), ("american", 0.5), ("low mileage", 1.5)];
+    let kor_pool: [(&str, f64); 4] = [
+        ("NYC", 1.0),
+        ("best bid", 2.0),
+        ("american", 0.5),
+        ("low mileage", 1.5),
+    ];
     for &i in &recipe.kors {
         let (kw, w) = kor_pool[i % kor_pool.len()];
-        p = p.with_kor(KeywordOrderingRule::weighted(&format!("k{i}"), "car", kw, w));
+        p = p.with_kor(KeywordOrderingRule::weighted(
+            &format!("k{i}"),
+            "car",
+            kw,
+            w,
+        ));
     }
     if recipe.vor_red {
-        p = p.with_vor(ValueOrderingRule::prefer_value("red", "car", "color", "red").with_priority(0));
+        p = p.with_vor(
+            ValueOrderingRule::prefer_value("red", "car", "color", "red").with_priority(0),
+        );
     }
     if recipe.vor_mileage {
         p = p.with_vor(ValueOrderingRule::prefer_smaller("m", "car", "mileage").with_priority(1));
     }
     if recipe.vor_colors {
         let order = PrefRel::chain(&["red", "black", "silver"]);
-        p = p.with_vor(ValueOrderingRule::prefer_order("c", "car", "color", order).with_priority(2));
+        p = p
+            .with_vor(ValueOrderingRule::prefer_order("c", "car", "color", order).with_priority(2));
     }
     if recipe.sr_relax {
         p = p.with_scoping(ScopingRule::delete(
@@ -71,15 +83,17 @@ fn recipe_strategy() -> impl Strategy<Value = ProfileRecipe> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(kors, vor_red, vor_mileage, vor_colors, sr_relax, sr_add, vks)| ProfileRecipe {
-            kors,
-            vor_red,
-            vor_mileage,
-            vor_colors,
-            sr_relax,
-            sr_add,
-            vks,
-        })
+        .prop_map(
+            |(kors, vor_red, vor_mileage, vor_colors, sr_relax, sr_add, vks)| ProfileRecipe {
+                kors,
+                vor_red,
+                vor_mileage,
+                vor_colors,
+                sr_relax,
+                sr_add,
+                vks,
+            },
+        )
 }
 
 proptest! {

@@ -3,9 +3,7 @@
 //! and `PlanShape::verify` on hand-built malformed shapes as well as on
 //! every plan the engine actually assembles.
 
-use pimento::profile::{
-    parse_profile, FindingKind, PrefRelRegistry, Severity, UserProfile,
-};
+use pimento::profile::{parse_profile, FindingKind, PrefRelRegistry, Severity, UserProfile};
 use pimento::tpq::parse_tpq;
 use pimento::{Engine, PlanStrategy, SearchOptions};
 use pimento_algebra::{PlanShape, PlanVerifyError, Stage, TopkConfig};
@@ -50,7 +48,10 @@ fn sr_conflict_cycle_reported_with_provenance() {
             _ => None,
         })
         .expect("cycle finding");
-    assert!(cycle.contains(&"rho1".to_string()) && cycle.contains(&"rho3".to_string()), "{cycle:?}");
+    assert!(
+        cycle.contains(&"rho1".to_string()) && cycle.contains(&"rho3".to_string()),
+        "{cycle:?}"
+    );
     // Edge provenance: both conflict arcs appear as info findings.
     let arcs: Vec<(String, String)> = report
         .findings
@@ -90,7 +91,10 @@ fn vor_alternating_cycle_reported_with_provenance() {
             _ => None,
         })
         .expect("alternating-cycle finding");
-    assert!(cycle.contains(&"pi1".to_string()) && cycle.contains(&"pi2".to_string()), "{cycle:?}");
+    assert!(
+        cycle.contains(&"pi1".to_string()) && cycle.contains(&"pi2".to_string()),
+        "{cycle:?}"
+    );
     let text = report.to_string();
     assert!(text.contains("error"), "{text}");
     assert!(text.contains("priority"), "{text}");
@@ -149,7 +153,13 @@ fn worker_plan_missing_survivor_prune_rejected() {
     assert_eq!(bad.verify(), Err(PlanVerifyError::MissingSurvivorPrune));
 
     // Same defect, other axis: the cut keeps `last` unset but ignores ≺_V.
-    let bad = worker_shape(3, TopkConfig { use_v: false, ..survivor(3) });
+    let bad = worker_shape(
+        3,
+        TopkConfig {
+            use_v: false,
+            ..survivor(3)
+        },
+    );
     assert_eq!(bad.verify(), Err(PlanVerifyError::MissingSurvivorPrune));
 
     // The correct survivor prune verifies.
@@ -161,7 +171,11 @@ fn malformed_shapes_rejected() {
     let ok = worker_shape(3, survivor(3));
 
     assert_eq!(
-        PlanShape { stages: vec![], ..ok.clone() }.verify(),
+        PlanShape {
+            stages: vec![],
+            ..ok.clone()
+        }
+        .verify(),
         Err(PlanVerifyError::Empty)
     );
 
@@ -179,14 +193,27 @@ fn malformed_shapes_rejected() {
     let wrong_k = worker_shape(3, survivor(4));
     assert_eq!(
         wrong_k.verify(),
-        Err(PlanVerifyError::WrongK { index: 4, found: 4, expected: 3 })
+        Err(PlanVerifyError::WrongK {
+            index: 4,
+            found: 4,
+            expected: 3
+        })
     );
 
     // A mid-plan prune whose kor_scorebound claims all K is known while a
     // KOR join above still adds weight (Algorithm-3 placement).
     let mut early_k = ok.clone();
-    early_k.stages.insert(2, Stage::Prune(TopkConfig { sorted_input: false, ..survivor(3) }));
-    assert_eq!(early_k.verify(), Err(PlanVerifyError::KPruneBeforeAllKors { index: 2 }));
+    early_k.stages.insert(
+        2,
+        Stage::Prune(TopkConfig {
+            sorted_input: false,
+            ..survivor(3)
+        }),
+    );
+    assert_eq!(
+        early_k.verify(),
+        Err(PlanVerifyError::KPruneBeforeAllKors { index: 2 })
+    );
 
     // Same position, correct kor bound but understated query bound.
     let mut low_bound = ok.clone();
@@ -223,7 +250,10 @@ fn malformed_shapes_rejected() {
     no_fetch.stages.remove(1);
     assert_eq!(
         no_fetch.verify(),
-        Err(PlanVerifyError::VorFetchCount { expected: 1, found: 0 })
+        Err(PlanVerifyError::VorFetchCount {
+            expected: 1,
+            found: 0
+        })
     );
 }
 
@@ -251,9 +281,7 @@ fn every_assembled_plan_verifies() {
 #[test]
 fn all_strategies_verify_across_rank_orders() {
     use pimento::algebra::{build_plan, Matcher, PlanSpec, RankContext};
-    use pimento::profile::{
-        KeywordOrderingRule, PersonalizedQuery, RankOrder, ValueOrderingRule,
-    };
+    use pimento::profile::{KeywordOrderingRule, PersonalizedQuery, RankOrder, ValueOrderingRule};
     use std::sync::Arc;
 
     let engine = Engine::from_xml_docs(&[CARS]).unwrap();
@@ -269,11 +297,18 @@ fn all_strategies_verify_across_rank_orders() {
     ];
     for order in [RankOrder::Kvs, RankOrder::Vks] {
         for strategy in PlanStrategy::all() {
-            let matcher =
-                Arc::new(Matcher::new(db, PersonalizedQuery::unpersonalized(query.clone())));
+            let matcher = Arc::new(Matcher::new(
+                db,
+                PersonalizedQuery::unpersonalized(query.clone()),
+            ));
             let rank = RankContext::new(vors.clone(), order);
             let plan = build_plan(db, matcher, &kors, rank, PlanSpec::new(3, strategy));
-            assert_eq!(plan.verify(), Ok(()), "{} under {order:?}", strategy.paper_name());
+            assert_eq!(
+                plan.verify(),
+                Ok(()),
+                "{} under {order:?}",
+                strategy.paper_name()
+            );
             assert!(plan.shape().stages.len() >= 2);
         }
     }

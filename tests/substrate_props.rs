@@ -158,13 +158,23 @@ proptest! {
 #[test]
 fn field_resolution_descendant_fallback() {
     // XMark nests age inside person/profile; `x.age` must still resolve.
-    use pimento::index::{field_value, FieldValue, ElemRef, DocId};
+    use pimento::index::{field_value, DocId, ElemRef, FieldValue};
     let mut coll = Collection::new();
-    coll.add_xml(r#"<person income="99"><profile><age>33</age></profile></person>"#).unwrap();
+    coll.add_xml(r#"<person income="99"><profile><age>33</age></profile></person>"#)
+        .unwrap();
     let doc = coll.doc(DocId(0));
-    let person = ElemRef { doc: DocId(0), node: doc.root() };
-    assert_eq!(field_value(&coll, person, "income"), Some(FieldValue::Num(99.0)));
-    assert_eq!(field_value(&coll, person, "age"), Some(FieldValue::Num(33.0)));
+    let person = ElemRef {
+        doc: DocId(0),
+        node: doc.root(),
+    };
+    assert_eq!(
+        field_value(&coll, person, "income"),
+        Some(FieldValue::Num(99.0))
+    );
+    assert_eq!(
+        field_value(&coll, person, "age"),
+        Some(FieldValue::Num(33.0))
+    );
     assert_eq!(field_value(&coll, person, "missing"), None);
 }
 
@@ -207,9 +217,15 @@ fn lexer_edge_cases_error_cleanly() {
     let cases: &[(&str, Check)] = &[
         ("<a", |e| matches!(e, XmlError::UnexpectedEof { .. })),
         ("<a x=>", |e| matches!(e, XmlError::UnexpectedChar { .. })),
-        ("<a x='1' x='2'/>", |e| matches!(e, XmlError::DuplicateAttribute { .. })),
-        ("<a>&unknown;</a>", |e| matches!(e, XmlError::UnknownEntity { .. })),
-        ("<a>&#xFFFFFF;</a>", |e| matches!(e, XmlError::InvalidCharRef { .. })),
+        ("<a x='1' x='2'/>", |e| {
+            matches!(e, XmlError::DuplicateAttribute { .. })
+        }),
+        ("<a>&unknown;</a>", |e| {
+            matches!(e, XmlError::UnknownEntity { .. })
+        }),
+        ("<a>&#xFFFFFF;</a>", |e| {
+            matches!(e, XmlError::InvalidCharRef { .. })
+        }),
         ("text only", |e| matches!(e, XmlError::NoRootElement { .. })),
         ("<a/><b/>", |e| matches!(e, XmlError::MultipleRoots { .. })),
         ("<a></b>", |e| matches!(e, XmlError::MismatchedTag { .. })),

@@ -25,13 +25,21 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), offset: 0, len: 0 }
+        Bytes {
+            data: Arc::from(&[][..]),
+            offset: 0,
+            len: 0,
+        }
     }
 
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         let len = data.len();
-        Bytes { data: Arc::from(data), offset: 0, len }
+        Bytes {
+            data: Arc::from(data),
+            offset: 0,
+            len,
+        }
     }
 
     /// A zero-copy sub-view of this buffer: the returned `Bytes` shares
@@ -48,8 +56,16 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len,
         };
-        assert!(lo <= hi && hi <= self.len, "slice {lo}..{hi} out of range for len {}", self.len);
-        Bytes { data: Arc::clone(&self.data), offset: self.offset + lo, len: hi - lo }
+        assert!(
+            lo <= hi && hi <= self.len,
+            "slice {lo}..{hi} out of range for len {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + lo,
+            len: hi - lo,
+        }
     }
 }
 
@@ -77,7 +93,11 @@ impl Eq for Bytes {}
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Bytes { data: Arc::from(v.into_boxed_slice()), offset: 0, len }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -101,7 +121,9 @@ impl BytesMut {
 
     /// An empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Convert into an immutable [`Bytes`] without copying.

@@ -25,12 +25,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A `function_name/parameter` id.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id that is just the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -76,8 +80,7 @@ impl Bencher {
         let warm = Instant::now();
         black_box(f());
         let once = warm.elapsed().max(Duration::from_nanos(1));
-        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1)
-            as usize)
+        let per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos()).max(1) as usize)
             .min(1_000_000);
 
         let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
@@ -123,7 +126,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         println!("{}/{}", self.name, id.into_label());
-        let mut b = Bencher { samples: self.sample_size };
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
         f(&mut b);
         self
     }
@@ -136,7 +141,9 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         println!("{}/{}", self.name, id.into_label());
-        let mut b = Bencher { samples: self.sample_size };
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
         f(&mut b, input);
         self
     }
@@ -165,7 +172,11 @@ impl Criterion {
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 20, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
     }
 }
 

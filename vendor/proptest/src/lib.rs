@@ -22,7 +22,10 @@ pub mod collection {
     /// Strategy producing a `Vec` whose length is drawn from `size` and
     /// whose elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 

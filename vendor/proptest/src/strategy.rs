@@ -30,7 +30,9 @@ pub trait Strategy {
         Self: Sized + 'static,
     {
         let inner = self;
-        BoxedStrategy { gen: Rc::new(move |rng| inner.generate(rng)) }
+        BoxedStrategy {
+            gen: Rc::new(move |rng| inner.generate(rng)),
+        }
     }
 }
 
@@ -231,13 +233,19 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 

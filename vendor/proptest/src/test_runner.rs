@@ -14,14 +14,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
     }
 }
 
 impl ProptestConfig {
     /// Default configuration overriding only the case count.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
@@ -43,7 +49,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next 64 uniformly random bits.

@@ -119,19 +119,66 @@ fn execute_sharded(
         }
     });
 
-    // Merge: rank the union of shard survivors under the exact final
-    // order and cut at k — the same order and cut the sequential final
-    // sort + topkPrune(final) apply.
+    merge_survivors(shards, &rank, spec.k)
+}
+
+/// Run `tasks` in waves of at most `lanes` scoped threads, returning each
+/// task's result in task order. `lanes <= 1` runs them sequentially on
+/// the calling thread. Slots are pre-filled with `T::default()`, so a
+/// task that somehow never ran contributes the empty result instead of a
+/// panic (scope joins every thread, so in practice each slot is written
+/// exactly once). The scatter-gather segment executor uses this; it lives
+/// here because all thread creation is confined to this module.
+pub fn run_in_lanes<'a, T>(tasks: Vec<Box<dyn FnOnce() -> T + Send + 'a>>, lanes: usize) -> Vec<T>
+where
+    T: Default + Send,
+{
+    let mut slots: Vec<T> = tasks.iter().map(|_| T::default()).collect();
+    if lanes <= 1 {
+        for (task, slot) in tasks.into_iter().zip(slots.iter_mut()) {
+            *slot = task();
+        }
+        return slots;
+    }
+    let mut tasks = tasks.into_iter();
+    for slot_wave in slots.chunks_mut(lanes) {
+        std::thread::scope(|scope| {
+            for slot in slot_wave.iter_mut() {
+                if let Some(task) = tasks.next() {
+                    scope.spawn(move || {
+                        *slot = task();
+                    });
+                }
+            }
+        });
+    }
+    slots
+}
+
+/// Merge per-shard survivor sets into the exact global top-`k`: rank the
+/// union under the exact final `K, V, S` order and cut at `k` — the same
+/// order and cut the sequential final sort + `topkPrune(final)` apply.
+/// Exact for *any* partition of the answer space across shards (candidate
+/// chunks or doc-range segments), provided each shard ran a merge-safe
+/// plan ([`crate::plan::build_merge_safe_plan`]); see the module docs for
+/// the soundness argument. Returns the merged answers, the aggregated
+/// counters (`emitted` reset to the merged length), and the per-shard
+/// counter breakdown.
+pub fn merge_survivors(
+    shards: Vec<(Vec<Answer>, ExecStats)>,
+    rank: &RankContext,
+    k: usize,
+) -> (Vec<Answer>, ExecStats, Vec<ExecStats>) {
     let mut merged: Vec<Answer> = Vec::new();
     let mut agg = ExecStats::default();
-    let mut worker_stats = Vec::with_capacity(shard_count);
+    let mut worker_stats = Vec::with_capacity(shards.len());
     for (answers, stats) in shards {
         merged.extend(answers);
         agg.absorb(&stats);
         worker_stats.push(stats);
     }
     rank.rank(&mut merged, &mut agg);
-    merged.truncate(spec.k);
+    merged.truncate(k);
     agg.emitted = merged.len() as u64;
     (merged, agg, worker_stats)
 }

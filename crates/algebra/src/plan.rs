@@ -513,6 +513,23 @@ pub fn build_plan(
     assemble(db, source, matcher, kors, rank, spec, false)
 }
 
+/// Build the merge-safe (per-shard) variant of `spec`'s plan: identical to
+/// [`build_plan`] except that, when VORs are in play, the final stage is a
+/// *survivor* prune instead of a positional top-k cut — the form whose
+/// shard-local outputs [`crate::par::merge_survivors`] can recombine into
+/// the exact global top-k (see [`crate::par`] for the soundness argument).
+/// This is the plan a sharded engine runs against each doc-range segment.
+pub fn build_merge_safe_plan(
+    db: &Database,
+    matcher: Arc<Matcher>,
+    kors: &[KeywordOrderingRule],
+    rank: Arc<RankContext>,
+    spec: PlanSpec,
+) -> Plan {
+    let source: BoxedOp = Box::new(QueryEval::with_mode(Arc::clone(&matcher), spec.eval_mode));
+    assemble(db, source, matcher, kors, rank, spec, true)
+}
+
 /// Assemble the operator tree above an arbitrary `source` scan.
 ///
 /// `merge_safe` builds the per-shard variant of the plan for parallel

@@ -9,6 +9,9 @@
 //! Modes: default (full corpus), `--quick` (smaller corpus, fewer
 //! repeats), `--smoke` (tiny corpus; register → search → stats-identity
 //! check → shutdown; nonzero exit on any failure — used by verify.sh).
+//! `--shards N` reshards the corpus into N doc-range segments before
+//! binding, exercising the scatter-gather path end to end; the full run
+//! also appends a shard-count sweep to `BENCH_serve.json`.
 
 use pimento::Engine;
 use pimento_serve::json::Value;
@@ -90,10 +93,16 @@ fn timed_search(c: &mut Client, user: &str, query: &str) -> Result<u64, String> 
 /// `--smoke`: start a tiny server, register, search, check the stats
 /// identities, shut down. Exercises the full loopback path in well under
 /// a second; any failure is a nonzero exit for verify.sh.
-fn smoke() -> Result<(), String> {
-    let docs = vec![pimento_datagen::generate_dealer(1, 30)];
-    let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
-    let server = Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+fn smoke(shards: usize) -> Result<(), String> {
+    let docs: Vec<String> = (0..shards.max(1))
+        .map(|i| pimento_datagen::generate_dealer(i as u64 + 1, 30))
+        .collect();
+    let mut engine = Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?;
+    if shards > 1 {
+        engine = engine.reshard(shards).map_err(|e| e.to_string())?;
+        eprintln!("serve smoke: sharded into {} segments", engine.shard_count());
+    }
+    let server = Server::bind(Arc::new(engine), ServeConfig::default()).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
 
@@ -112,12 +121,71 @@ fn smoke() -> Result<(), String> {
     }
     let stats = c.shutdown().map_err(|e| e.to_string())?;
     check_identities(&stats)?;
+    if shards > 1 {
+        // The shards gauge and per-shard scan times must reflect the
+        // sharded engine the server actually ran.
+        let block = stats.get("shards").ok_or("stats missing `shards`")?;
+        let count = block.get("count").and_then(Value::as_u64).unwrap_or(0);
+        if count as usize != shards {
+            return Err(format!("stats shards.count {count} != {shards}"));
+        }
+        let scan = block
+            .get("scan_us")
+            .and_then(Value::as_arr)
+            .ok_or("stats missing `shards.scan_us`")?;
+        if scan.len() != shards {
+            return Err(format!("shards.scan_us has {} slots, want {shards}", scan.len()));
+        }
+    }
     server_thread
         .join()
         .map_err(|_| "server thread panicked".to_string())?
         .map_err(|e| e.to_string())?;
     eprintln!("serve smoke: ok ({} hits, identities hold)", hits.len());
     Ok(())
+}
+
+/// Shard-count sweep over the loopback protocol: bind a fresh server per
+/// shard count, replay the warm (cached) workload serially, and report
+/// per-count latency phases. Bit-identity is covered by the engine tests;
+/// this measures what segmentation costs or buys end to end.
+fn shard_sweep(engine: &Engine, users: usize) -> Result<Vec<(usize, Phase)>, String> {
+    let mut out = Vec::new();
+    for &n in &[1usize, 2, 4] {
+        let sharded = Arc::new(engine.reshard(n).map_err(|e| e.to_string())?);
+        let count = sharded.shard_count();
+        let server = Server::bind(sharded, ServeConfig::default()).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+        let server_thread = std::thread::spawn(move || server.run());
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        for u in 0..users {
+            c.register_profile(&format!("u{u}"), &rules_for(u))
+                .map_err(|e| e.to_string())?;
+        }
+        let mut phase = Phase {
+            label: "shard",
+            latencies_us: Vec::new(),
+        };
+        for round in 0..3 {
+            for u in 0..users {
+                for q in QUERIES {
+                    let lat = timed_search(&mut c, &format!("u{u}"), q)?;
+                    // Round 0 warms the plan cache; measure the rest.
+                    if round > 0 {
+                        phase.latencies_us.push(lat);
+                    }
+                }
+            }
+        }
+        let stats = c.shutdown().map_err(|e| e.to_string())?;
+        check_identities(&stats)?;
+        server_thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| e.to_string())?;
+        out.push((count, phase));
+    }
+    Ok(out)
 }
 
 fn check_identities(stats: &Value) -> Result<(), String> {
@@ -181,7 +249,7 @@ fn run_clients(
     Ok(all)
 }
 
-fn run(quick: bool) -> Result<(), String> {
+fn run(quick: bool, shards: usize) -> Result<(), String> {
     let (dealers, cars, users, clients, repeats) = if quick {
         (4, 100, 4, 4, 25)
     } else {
@@ -191,8 +259,15 @@ fn run(quick: bool) -> Result<(), String> {
     let docs: Vec<String> = (0..dealers)
         .map(|i| pimento_datagen::generate_dealer(i as u64 + 1, cars))
         .collect();
-    let engine = Arc::new(Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?);
-    let server = Server::bind(engine, ServeConfig::default()).map_err(|e| e.to_string())?;
+    let engine = Engine::from_xml_docs(&docs).map_err(|e| e.to_string())?;
+    let main_engine = if shards > 1 {
+        let sharded = engine.reshard(shards).map_err(|e| e.to_string())?;
+        eprintln!("loadgen: sharded into {} segments", sharded.shard_count());
+        Arc::new(sharded)
+    } else {
+        Arc::new(engine.reshard(1).map_err(|e| e.to_string())?)
+    };
+    let server = Server::bind(main_engine, ServeConfig::default()).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
 
@@ -259,6 +334,15 @@ fn run(quick: bool) -> Result<(), String> {
     let cache = stats.get("cache").ok_or("stats missing cache")?;
     let hits = cache.get("hits").and_then(Value::as_u64).unwrap_or(0);
     let misses = cache.get("misses").and_then(Value::as_u64).unwrap_or(0);
+    // Shard-count sweep on fresh servers (same corpus, same workload):
+    // what doc-range segmentation costs or buys over the wire.
+    eprintln!("loadgen: shard sweep (1/2/4 segments, warm serial)...");
+    let sweep = shard_sweep(&engine, users)?;
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(n, p)| format!("    {{\"shards\": {n}, \"warm\": {}}}", p.json()))
+        .collect();
+
     let cold_p50 = cold.p50().max(1);
     let warm_p50 = warm.p50();
     let throughput = concurrent.latencies_us.len() as f64 / concurrent_wall.as_secs_f64();
@@ -267,16 +351,21 @@ fn run(quick: bool) -> Result<(), String> {
          \"users\": {users},\n  \"queries\": {},\n  \"clients\": {clients},\n  \
          \"cold\": {},\n  \"warm\": {},\n  \"warm_speedup_p50\": {:.2},\n  \
          \"concurrent\": {},\n  \"concurrent_rps\": {:.0},\n  \
-         \"cache_hits\": {hits},\n  \"cache_misses\": {misses}\n}}\n",
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \
+         \"shard_sweep\": [\n{}\n  ]\n}}\n",
         QUERIES.len(),
         cold.json(),
         warm.json(),
         cold_p50 as f64 / warm_p50.max(1) as f64,
         concurrent.json(),
         throughput,
+        sweep_json.join(",\n"),
     );
     for phase in [&cold, &warm, &concurrent] {
         eprintln!("  {}: {}", phase.label, phase.json());
+    }
+    for (n, p) in &sweep {
+        eprintln!("  shard sweep x{n}: {}", p.json());
     }
     eprintln!(
         "  warm p50 speedup over cold: {:.2}x (cache {hits} hits / {misses} misses); \
@@ -291,7 +380,24 @@ fn run(quick: bool) -> Result<(), String> {
 fn main() -> ExitCode {
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
     let quick = std::env::args().any(|a| a == "--quick");
-    let outcome = if smoke_mode { smoke() } else { run(quick) };
+    let mut shards = 0usize;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            shards = match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("--shards needs a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+        }
+    }
+    let outcome = if smoke_mode {
+        smoke(shards)
+    } else {
+        run(quick, shards)
+    };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

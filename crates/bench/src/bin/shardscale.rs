@@ -1,0 +1,31 @@
+//! Shard-count scaling of the scatter-gather engine: reshard a multi-doc
+//! XMark corpus into 1/2/4/8 segments and measure the Fig. 5 workload end
+//! to end (p50/p95 latency, throughput, and per-segment scan times).
+//! Writes `BENCH_shard.json`. Pass `--quick` for a smaller corpus and
+//! fewer iterations.
+
+use pimento_bench::perf;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (docs, bytes_per_doc, iters) = if quick {
+        (8, 32 * 1024, 10)
+    } else {
+        (16, 128 * 1024, 40)
+    };
+    eprintln!(
+        "running shard sweep over {docs} x {} KB documents, {iters} iters per shard count...",
+        bytes_per_doc / 1024
+    );
+    let rows = perf::run_shard_sweep(2007, docs, bytes_per_doc, 10, iters, &[1, 2, 4, 8]);
+    print!("{}", perf::render_shard_sweep(&rows, docs, bytes_per_doc));
+    if rows.windows(2).any(|w| w[0].answers != w[1].answers) {
+        eprintln!("WARNING: answer count varied with the shard count — equivalence bug");
+        std::process::exit(1);
+    }
+    let json = perf::shard_sweep_json(&rows, docs, bytes_per_doc, 10);
+    match std::fs::write("BENCH_shard.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_shard.json"),
+        Err(e) => eprintln!("cannot write BENCH_shard.json: {e}"),
+    }
+}

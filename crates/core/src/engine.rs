@@ -3,17 +3,33 @@
 
 use crate::error::Error;
 use crate::result::{SearchOptions, SearchResult, SearchResults};
-use pimento_algebra::{build_plan, Database, Matcher, PlanSpec, RankContext};
+use crate::segment::{execute_scatter, Segment};
+use pimento_algebra::{
+    build_merge_safe_plan, build_plan, Answer, Database, Matcher, PlanSpec, RankContext,
+};
 use pimento_index::ft_contains;
-use pimento_index::{Collection, Tokenizer};
+use pimento_index::{
+    global_doc_freqs, split_ranges, Collection, DocId, ManifestEntry, Scorer, ShardManifest,
+    Tokenizer, MANIFEST_FILE,
+};
 use pimento_profile::{PersonalizedQuery, UserProfile};
 use pimento_tpq::{minimized, parse_tpq, simplify_predicates, Tpq};
+use std::ops::Range;
+use std::path::Path;
 use std::sync::Arc;
 
-/// The search engine: an indexed collection plus query-time machinery.
+/// The search engine: an indexed corpus plus query-time machinery.
+///
+/// The corpus lives in one or more doc-range [`Segment`]s. Every
+/// constructor builds the monolithic case — exactly one segment with doc
+/// base 0 — and [`Engine::reshard`] splits it into `n` self-contained
+/// segments whose scatter-gather execution is bit-identical to the
+/// monolithic scan (see [`crate::segment`] / DESIGN.md §15).
 #[derive(Debug)]
 pub struct Engine {
-    db: Database,
+    /// Doc-range segments in corpus order. Invariant: never empty, bases
+    /// are the prefix sums of segment sizes starting at 0.
+    segments: Vec<Arc<Segment>>,
     /// Snapshot format version this engine was opened from (`Some(3)` for
     /// a legacy rebuild-on-load snapshot, `Some(4)` for a zero-copy
     /// columnar one), or `None` when built by parsing XML.
@@ -21,20 +37,46 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// Wrap one monolithic database as a single segment with doc base 0.
+    fn monolithic(db: Database, snapshot_format: Option<u32>) -> Self {
+        Engine {
+            segments: vec![Arc::new(Segment::new(db, 0))],
+            snapshot_format,
+        }
+    }
+
+    /// Assemble an engine from pre-built segments (the reshard and
+    /// sharded-snapshot-load paths); rejects an empty segment list.
+    fn from_segments(
+        segments: Vec<Arc<Segment>>,
+        snapshot_format: Option<u32>,
+    ) -> Result<Self, Error> {
+        if segments.is_empty() {
+            return Err(Error::Shard("engine needs at least one segment"));
+        }
+        Ok(Engine {
+            segments,
+            snapshot_format,
+        })
+    }
+
+    /// The first segment — the whole corpus in the monolithic case. All
+    /// search paths go through this fallible accessor so the serving path
+    /// stays panic-free even if the non-empty invariant were ever broken.
+    fn seg0(&self) -> Result<&Arc<Segment>, Error> {
+        self.segments
+            .first()
+            .ok_or(Error::Shard("engine has no segments"))
+    }
+
     /// Index an existing collection (plain tokenizer).
     pub fn new(coll: Collection) -> Self {
-        Engine {
-            db: Database::index_plain(coll),
-            snapshot_format: None,
-        }
+        Engine::monolithic(Database::index_plain(coll), None)
     }
 
     /// Index with an explicit tokenizer (e.g. stemming, §7.1).
     pub fn with_tokenizer(coll: Collection, tokenizer: Tokenizer) -> Self {
-        Engine {
-            db: Database::index(coll, tokenizer),
-            snapshot_format: None,
-        }
+        Engine::monolithic(Database::index(coll, tokenizer), None)
     }
 
     /// Convenience: parse and index XML documents.
@@ -58,20 +100,93 @@ impl Engine {
     /// Serialize the engine to a columnar (v4) binary snapshot: documents
     /// plus the already-built indexes, laid out so that
     /// [`Engine::from_snapshot`] opens them as zero-copy views instead of
-    /// rebuilding them.
+    /// rebuilding them. A sharded engine flattens back to one monolithic
+    /// snapshot; use [`Engine::save_sharded_snapshot`] to keep the
+    /// per-segment layout.
     pub fn save_snapshot(&self) -> bytes::Bytes {
-        pimento_index::save_index(
-            &self.db.coll,
-            &self.db.inverted,
-            &self.db.tags,
-            &self.db.values,
-        )
+        if self.segments.len() > 1 {
+            let tokenizer = self.db().inverted.tokenizer();
+            let db = Database::index(self.collapse_collection(), tokenizer);
+            return pimento_index::save_index(&db.coll, &db.inverted, &db.tags, &db.values);
+        }
+        let db = self.db();
+        pimento_index::save_index(&db.coll, &db.inverted, &db.tags, &db.values)
     }
 
     /// Serialize only the collection in the legacy v3 format (indexes are
     /// rebuilt on load). Kept for format-migration tests and benchmarks.
     pub fn save_snapshot_v3(&self) -> bytes::Bytes {
-        pimento_index::save_collection(&self.db.coll)
+        if self.segments.len() > 1 {
+            return pimento_index::save_collection(&self.collapse_collection());
+        }
+        pimento_index::save_collection(&self.db().coll)
+    }
+
+    /// Write a sharded snapshot directory: one v4 columnar file per
+    /// segment plus a [`ShardManifest`]. [`Engine::from_sharded_dir`]
+    /// reopens each segment through the zero-copy columnar path.
+    pub fn save_sharded_snapshot(&self, dir: &Path) -> Result<(), Error> {
+        std::fs::create_dir_all(dir).map_err(|e| Error::Io(e.to_string()))?;
+        let mut manifest = ShardManifest::default();
+        for (i, seg) in self.segments.iter().enumerate() {
+            let file = ShardManifest::segment_file_name(i);
+            let db = seg.db();
+            let data = pimento_index::save_index(&db.coll, &db.inverted, &db.tags, &db.values);
+            std::fs::write(dir.join(&file), &data).map_err(|e| Error::Io(e.to_string()))?;
+            manifest.segments.push(ManifestEntry {
+                file,
+                doc_base: seg.doc_base(),
+                docs: seg.doc_count() as u32,
+            });
+        }
+        std::fs::write(dir.join(MANIFEST_FILE), manifest.render())
+            .map_err(|e| Error::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Reopen a sharded snapshot directory written by
+    /// [`Engine::save_sharded_snapshot`]: each segment opens through the
+    /// zero-copy columnar path, and corpus-wide scoring statistics are
+    /// recomputed by exact integer summation across segments — so search
+    /// results are bit-identical to the engine that was saved.
+    pub fn from_sharded_dir(dir: &Path) -> Result<Self, Error> {
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))
+            .map_err(|e| Error::Io(format!("{}: {e}", dir.join(MANIFEST_FILE).display())))?;
+        let manifest = ShardManifest::parse(&text)?;
+        let mut dbs = Vec::with_capacity(manifest.segments.len());
+        for entry in &manifest.segments {
+            let path = dir.join(&entry.file);
+            let data =
+                std::fs::read(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+            let opened = pimento_index::open_index(bytes::Bytes::from(data))?;
+            let db = Database::from_parts(
+                opened.collection,
+                opened.inverted,
+                opened.tags,
+                opened.values,
+            );
+            if db.coll.len() as u32 != entry.docs {
+                return Err(Error::Snapshot(pimento_index::PersistError::BadManifest(
+                    "segment document count disagrees with its file",
+                )));
+            }
+            dbs.push(db);
+        }
+        if dbs.len() > 1 {
+            let num_docs = manifest.num_docs();
+            let df = Arc::new(global_doc_freqs(
+                &dbs.iter().map(|d| &d.inverted).collect::<Vec<_>>(),
+            ));
+            for db in &mut dbs {
+                db.scorer = Scorer::with_corpus_stats(num_docs, Arc::clone(&df));
+            }
+        }
+        let segments = dbs
+            .into_iter()
+            .zip(&manifest.segments)
+            .map(|(db, entry)| Arc::new(Segment::new(db, entry.doc_base)))
+            .collect();
+        Engine::from_segments(segments, Some(pimento_index::COLUMNAR_VERSION))
     }
 
     /// Reopen an engine from a snapshot. Columnar (v4) snapshots back the
@@ -92,10 +207,10 @@ impl Engine {
                 opened.tags,
                 opened.values,
             );
-            Ok(Engine {
+            Ok(Engine::monolithic(
                 db,
-                snapshot_format: Some(pimento_index::COLUMNAR_VERSION),
-            })
+                Some(pimento_index::COLUMNAR_VERSION),
+            ))
         } else {
             let coll = pimento_index::load_collection(&data)?;
             let mut engine = Engine::new(coll);
@@ -109,14 +224,135 @@ impl Engine {
         self.snapshot_format
     }
 
-    /// The underlying indexed database.
+    /// The primary (first) segment's indexed database — the whole corpus
+    /// unless the engine was resharded. Panics only if the non-empty
+    /// segment invariant is broken, which every constructor enforces;
+    /// internal search paths use the fallible accessor instead.
     pub fn db(&self) -> &Database {
-        &self.db
+        self.segments[0].db()
+    }
+
+    /// The doc-range segments in corpus order (one segment, base 0, for
+    /// a monolithic engine).
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Number of segments (1 = monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total documents across all segments.
+    pub fn num_docs(&self) -> usize {
+        self.segments.iter().map(|s| s.doc_count()).sum()
+    }
+
+    /// Resolve a corpus-global doc id to its owning segment and the
+    /// segment-local doc id. `None` when the id is outside every segment.
+    fn locate(&self, doc: DocId) -> Option<(&Arc<Segment>, DocId)> {
+        for seg in &self.segments {
+            let base = seg.doc_base();
+            if doc.0 >= base && ((doc.0 - base) as usize) < seg.doc_count() {
+                return Some((seg, DocId(doc.0 - base)));
+            }
+        }
+        None
+    }
+
+    /// Flatten every segment back into one collection in corpus order,
+    /// carrying the full symbol table (every segment already holds a
+    /// complete copy, so segment 0's is the corpus table).
+    fn collapse_collection(&self) -> Collection {
+        let symbols = self.db().coll.symbols().clone();
+        let mut docs = Vec::with_capacity(self.num_docs());
+        for seg in &self.segments {
+            for (_, doc) in seg.db().coll.iter() {
+                docs.push(doc.clone());
+            }
+        }
+        Collection::from_parts(symbols, docs)
+    }
+
+    /// Rebuild this engine's corpus as `shards` doc-range segments (the
+    /// sharded builder). Each segment is indexed independently over its
+    /// slice but carries the full corpus symbol table and a corpus-stats
+    /// scorer, so prepared plans remain valid across segments and
+    /// scatter-gather results are bit-identical to the monolithic scan.
+    /// `shards <= 1` (or a corpus of at most one document) rebuilds the
+    /// monolithic engine.
+    pub fn reshard(&self, shards: usize) -> Result<Engine, Error> {
+        self.reshard_ranges(split_ranges(self.num_docs(), shards))
+    }
+
+    /// Like [`Engine::reshard`], but with explicit interior split points
+    /// (document indexes). Out-of-range and duplicate boundaries are
+    /// ignored. Exists so equivalence tests can drive *arbitrary*
+    /// doc-range partitions, not just the even ones.
+    pub fn reshard_at(&self, boundaries: &[usize]) -> Result<Engine, Error> {
+        let n = self.num_docs();
+        let mut cuts: Vec<usize> = boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b > 0 && b < n)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut ranges = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0usize;
+        for cut in cuts {
+            ranges.push(start..cut);
+            start = cut;
+        }
+        ranges.push(start..n);
+        self.reshard_ranges(ranges)
+    }
+
+    fn reshard_ranges(&self, ranges: Vec<Range<usize>>) -> Result<Engine, Error> {
+        let tokenizer = self.seg0()?.db().inverted.tokenizer();
+        let full = self.collapse_collection();
+        if ranges.len() <= 1 {
+            return Ok(Engine::monolithic(Database::index(full, tokenizer), None));
+        }
+        let mut dbs: Vec<Database> = ranges
+            .iter()
+            .map(|r| Database::index(full.subset(r.clone()), tokenizer))
+            .collect();
+        // Corpus-wide scoring statistics by exact integer summation: the
+        // ranges partition the corpus, so every `idf` input equals what
+        // the monolithic index reports.
+        let num_docs = full.len() as u32;
+        let df = Arc::new(global_doc_freqs(
+            &dbs.iter().map(|d| &d.inverted).collect::<Vec<_>>(),
+        ));
+        for db in &mut dbs {
+            db.scorer = Scorer::with_corpus_stats(num_docs, Arc::clone(&df));
+        }
+        let segments = dbs
+            .into_iter()
+            .zip(&ranges)
+            .map(|(db, r)| Arc::new(Segment::new(db, r.start as u32)))
+            .collect();
+        Engine::from_segments(segments, None)
     }
 
     /// Add a document to a live engine; indexes update incrementally.
+    /// Only valid on a monolithic (single-segment) engine — a sharded
+    /// corpus is immutable (rebuild or [`Engine::reshard`] instead).
     pub fn add_xml(&mut self, xml: &str) -> Result<(), Error> {
-        self.db.add_xml(xml)?;
+        if self.segments.len() > 1 {
+            return Err(Error::Shard(
+                "cannot add documents to a sharded engine; rebuild it monolithic first",
+            ));
+        }
+        let seg = self
+            .segments
+            .first_mut()
+            .ok_or(Error::Shard("engine has no segments"))?;
+        let seg = Arc::get_mut(seg).ok_or(Error::Shard(
+            "engine segment is shared; cannot mutate in place",
+        ))?;
+        seg.db_mut().add_xml(xml)?;
         Ok(())
     }
 
@@ -191,8 +427,13 @@ impl Engine {
                 "enforce_scoping succeeded but Profile::verify reports an SR conflict cycle:\n{report}"
             );
         }
+        // The matcher compiles against segment 0's database, but it is
+        // valid for *every* segment: symbol ids are corpus-global (each
+        // segment carries the full table) and scoring bounds read the
+        // corpus-stats scorer — which is why prepared-plan cache keys
+        // need no shard component.
         Ok(PreparedSearch {
-            matcher: Arc::new(Matcher::new(&self.db, pq)),
+            matcher: Arc::new(Matcher::new(self.seg0()?.db(), pq)),
             kors: profile.kors.clone(),
             rank: RankContext::new(profile.vors.clone(), profile.rank_order),
             profile: profile.clone(),
@@ -215,10 +456,46 @@ impl Engine {
         // `0` = machine parallelism, via the same knob resolution as
         // ingest and the serve worker pool (see `index::resolve_threads`).
         let threads = pimento_index::resolve_threads(opts.threads);
+        let db = self.seg0()?.db();
         // Tracing registries are single-threaded, so a trace request pins
-        // execution to the sequential plan.
-        let (answers, stats, worker_stats, explain, trace) = if opts.trace || threads <= 1 {
-            let plan = build_plan(&self.db, Arc::clone(&matcher), &prepared.kors, rank, spec);
+        // execution to the sequential plan (scatter-gather runs its
+        // segments sequentially under trace for the same reason).
+        let (answers, stats, worker_stats, explain, trace, shard_times_us) = if self
+            .segments
+            .len()
+            > 1
+        {
+            let lanes = if opts.shards > 0 { opts.shards } else { threads };
+            let run = execute_scatter(
+                &self.segments,
+                &matcher,
+                &prepared.kors,
+                &rank,
+                spec,
+                lanes,
+            );
+            let per_segment = build_merge_safe_plan(
+                db,
+                Arc::clone(&matcher),
+                &prepared.kors,
+                Arc::clone(&rank),
+                PlanSpec {
+                    trace: false,
+                    ..spec
+                },
+            )
+            .explain();
+            let explain = format!("scatter(shards={}) over {per_segment}", self.segments.len());
+            (
+                run.answers,
+                run.stats,
+                run.shard_stats,
+                explain,
+                run.traces,
+                run.shard_times_us,
+            )
+        } else if opts.trace || threads <= 1 {
+            let plan = build_plan(db, Arc::clone(&matcher), &prepared.kors, rank, spec);
             // Static plan verification (debug builds): every plan about to
             // execute must pass its shape verifier.
             if cfg!(debug_assertions) {
@@ -227,11 +504,11 @@ impl Engine {
                 }
             }
             let explain = plan.explain();
-            let (answers, stats, trace) = plan.execute_analyzed(&self.db);
-            (answers, stats, vec![stats], explain, trace)
+            let (answers, stats, trace) = plan.execute_analyzed(db);
+            (answers, stats, vec![stats], explain, trace, Vec::new())
         } else {
             let explain = build_plan(
-                &self.db,
+                db,
                 Arc::clone(&matcher),
                 &prepared.kors,
                 Arc::clone(&rank),
@@ -239,7 +516,7 @@ impl Engine {
             )
             .explain();
             let (answers, stats, worker_stats) = pimento_algebra::execute_parallel(
-                &self.db,
+                db,
                 Arc::clone(&matcher),
                 &prepared.kors,
                 rank,
@@ -251,28 +528,48 @@ impl Engine {
             } else {
                 explain
             };
-            (answers, stats, worker_stats, explain, String::new())
+            (answers, stats, worker_stats, explain, String::new(), Vec::new())
         };
         let hits = answers
             .into_iter()
             .skip(opts.offset)
             .enumerate()
-            .map(|(i, a)| {
-                let mut hit = SearchResult::from_answer(&self.db, opts.offset + i + 1, a);
-                self.annotate_hit(&matcher, profile, &mut hit);
-                hit
-            })
-            .collect();
+            .map(|(i, a)| self.materialize_hit(&matcher, profile, opts.offset + i + 1, a))
+            .collect::<Result<Vec<_>, Error>>()?;
         Ok(SearchResults {
             hits,
             stats,
             worker_stats,
+            shard_times_us,
             explain,
             trace,
             applied_rules: matcher.personalized().flock.applied_rules.clone(),
             skipped_rules: matcher.personalized().flock.skipped_rules.clone(),
             flock_size: matcher.personalized().flock.members.len(),
         })
+    }
+
+    /// Turn a ranked answer (global doc ids) into a display hit: resolve
+    /// the owning segment, materialize snippet/XML against that segment's
+    /// database with the segment-local doc id, annotate provenance, then
+    /// restore the global id. On a monolithic engine this is the identity
+    /// mapping (one segment, base 0).
+    fn materialize_hit(
+        &self,
+        matcher: &Matcher,
+        profile: &UserProfile,
+        rank: usize,
+        mut a: Answer,
+    ) -> Result<SearchResult, Error> {
+        let (seg, local) = self
+            .locate(a.elem.doc)
+            .ok_or(Error::Shard("answer references a document outside every segment"))?;
+        let global = a.elem.doc;
+        a.elem.doc = local;
+        let mut hit = SearchResult::from_answer(seg.db(), rank, a);
+        Self::annotate_hit(seg.db(), matcher, profile, &mut hit);
+        hit.elem.doc = global;
+        Ok(hit)
     }
     /// The plan spec `opts` selects for `prepared`: either the heuristic
     /// choice (`opts.auto`) or the explicit settings, always targeting
@@ -313,8 +610,26 @@ impl Engine {
             return Err(Error::InvalidK);
         }
         let spec = Self::plan_spec(prepared, opts);
+        let db = self.seg0()?.db();
+        if self.segments.len() > 1 {
+            let per_segment = build_merge_safe_plan(
+                db,
+                Arc::clone(&prepared.matcher),
+                &prepared.kors,
+                Arc::clone(&prepared.rank),
+                PlanSpec {
+                    trace: false,
+                    ..spec
+                },
+            )
+            .explain();
+            return Ok(format!(
+                "scatter(shards={}) over {per_segment}",
+                self.segments.len()
+            ));
+        }
         let explain = build_plan(
-            &self.db,
+            db,
             Arc::clone(&prepared.matcher),
             &prepared.kors,
             Arc::clone(&prepared.rank),
@@ -345,7 +660,7 @@ impl Engine {
             .into_iter()
             .map(|strategy| {
                 let plan = build_plan(
-                    &self.db,
+                    self.db(),
                     Arc::clone(&prepared.matcher),
                     &prepared.kors,
                     Arc::clone(&prepared.rank),
@@ -366,32 +681,38 @@ impl Engine {
         profile: &UserProfile,
         limit: usize,
     ) -> Result<SearchResults, Error> {
-        use pimento_algebra::{Answer, ExecStats, VorFetch};
+        use pimento_algebra::{ExecStats, VorFetch};
         use pimento_algebra::{BoxedOp, QueryEval};
         let tpq = pimento_tpq::parse_tpq(query)?;
         let pq = profile.enforce_scoping(&tpq)?;
-        let matcher = Arc::new(Matcher::new(&self.db, pq));
+        let matcher = Arc::new(Matcher::new(self.seg0()?.db(), pq));
         let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
         // Materialize all personalized answers (no pruning — winnow needs
-        // the full dominance picture), then layer-0 filter.
+        // the full dominance picture) from every segment, then layer-0
+        // filter the union. Winnow is a set operation over the complete
+        // answer set, so draining segments sequentially and globalizing
+        // doc ids reproduces the monolithic input exactly.
         let mut stats = ExecStats::default();
-        let mut op: BoxedOp = Box::new(QueryEval::new(Arc::clone(&matcher)));
-        for phrase in matcher.optional_keywords() {
-            op = Box::new(pimento_algebra::SrPredJoin::new(
-                op,
-                Arc::clone(&matcher),
-                phrase,
-            ));
-        }
-        for kor in profile.kors.clone() {
-            op = Box::new(pimento_algebra::KorJoin::new(op, &self.db, kor));
-        }
-        if !rank.vors.is_empty() {
-            op = Box::new(VorFetch::new(op, &self.db, &rank));
-        }
         let mut answers: Vec<Answer> = Vec::new();
-        while let Some(a) = op.next(&self.db, &mut stats) {
-            answers.push(a);
+        for seg in &self.segments {
+            let db = seg.db();
+            let mut op: BoxedOp = Box::new(QueryEval::new(Arc::clone(&matcher)));
+            for phrase in matcher.optional_keywords() {
+                op = Box::new(pimento_algebra::SrPredJoin::new(
+                    op,
+                    Arc::clone(&matcher),
+                    phrase,
+                ));
+            }
+            for kor in profile.kors.clone() {
+                op = Box::new(pimento_algebra::KorJoin::new(op, db, kor));
+            }
+            if !rank.vors.is_empty() {
+                op = Box::new(VorFetch::new(op, db, &rank));
+            }
+            while let Some(a) = op.next(db, &mut stats) {
+                answers.push(seg.globalize(a));
+            }
         }
         let winnowed = rank.winnow(answers, &mut stats);
         stats.emitted = winnowed.len().min(limit) as u64;
@@ -399,16 +720,13 @@ impl Engine {
             .into_iter()
             .take(limit)
             .enumerate()
-            .map(|(i, a)| {
-                let mut hit = SearchResult::from_answer(&self.db, i + 1, a);
-                self.annotate_hit(&matcher, profile, &mut hit);
-                hit
-            })
-            .collect();
+            .map(|(i, a)| self.materialize_hit(&matcher, profile, i + 1, a))
+            .collect::<Result<Vec<_>, Error>>()?;
         Ok(SearchResults {
             hits,
             stats,
             worker_stats: vec![stats],
+            shard_times_us: Vec::new(),
             explain: "winnow(≺_V-maximal) -> kor* -> SrPredJoin* -> QueryEval".to_string(),
             trace: String::new(),
             applied_rules: matcher.personalized().flock.applied_rules.clone(),
@@ -420,27 +738,28 @@ impl Engine {
     /// Post-hoc provenance: which KORs and which SR-contributed optional
     /// predicates this hit satisfies. Re-evaluating over the top k only is
     /// far cheaper than threading provenance through every operator.
-    fn annotate_hit(&self, matcher: &Matcher, profile: &UserProfile, hit: &mut SearchResult) {
-        let elem = pimento_algebra::entry_of(&self.db, hit.elem.doc, hit.elem.node);
-        let tag = self
-            .db
+    /// `db` is the owning segment's database and `hit.elem` is addressed
+    /// segment-locally at this point.
+    fn annotate_hit(db: &Database, matcher: &Matcher, profile: &UserProfile, hit: &mut SearchResult) {
+        let elem = pimento_algebra::entry_of(db, hit.elem.doc, hit.elem.node);
+        let tag = db
             .coll
             .node(hit.elem)
             .tag()
-            .map(|t| self.db.coll.symbols().name(t))
+            .map(|t| db.coll.symbols().name(t))
             .unwrap_or("");
         for kor in &profile.kors {
             if kor.tag != "*" && !kor.tag.eq_ignore_ascii_case(tag) {
                 continue;
             }
-            let tokens = self.db.inverted.analyze(&kor.phrase);
-            if ft_contains(&self.db.inverted, &elem, &tokens) {
+            let tokens = db.inverted.analyze(&kor.phrase);
+            if ft_contains(&db.inverted, &elem, &tokens) {
                 hit.satisfied_kors.push(kor.id.clone());
             }
         }
         let mut probes = 0u64;
         for pred in matcher.optional_keywords() {
-            if matcher.eval_pred_near(&self.db, &pred, &elem, &mut probes) > 0.0 {
+            if matcher.eval_pred_near(db, &pred, &elem, &mut probes) > 0.0 {
                 hit.satisfied_optional.push(pred.describe());
             }
         }

@@ -19,6 +19,11 @@ pub enum Error {
     Snapshot(PersistError),
     /// `k` must be positive.
     InvalidK,
+    /// A sharded-engine invariant was violated (e.g. mutating a
+    /// multi-segment engine, or an answer outside every segment).
+    Shard(&'static str),
+    /// A filesystem operation on a sharded snapshot directory failed.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -29,6 +34,8 @@ impl fmt::Display for Error {
             Error::Conflict(e) => write!(f, "profile error: {e}"),
             Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
             Error::InvalidK => write!(f, "k must be at least 1"),
+            Error::Shard(why) => write!(f, "shard error: {why}"),
+            Error::Io(why) => write!(f, "io error: {why}"),
         }
     }
 }
@@ -40,7 +47,7 @@ impl std::error::Error for Error {
             Error::Query(e) => Some(e),
             Error::Conflict(e) => Some(e),
             Error::Snapshot(e) => Some(e),
-            Error::InvalidK => None,
+            Error::InvalidK | Error::Shard(_) | Error::Io(_) => None,
         }
     }
 }

@@ -45,11 +45,13 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod result;
+pub mod segment;
 
 pub use engine::{Engine, PreparedSearch};
 pub use error::Error;
 pub use explain::{analyze, AnalysisReport};
 pub use result::{SearchOptions, SearchResult, SearchResults};
+pub use segment::Segment;
 
 pub use pimento_algebra as algebra;
 pub use pimento_index as index;

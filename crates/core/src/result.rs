@@ -31,6 +31,11 @@ pub struct SearchOptions {
     /// uses the machine's available parallelism, clamped like ingest;
     /// `1` forces sequential execution. Results are identical either way.
     pub threads: usize,
+    /// On a sharded (multi-segment) engine: how many segments execute
+    /// concurrently during scatter-gather. `0` (the default) uses one
+    /// lane per resolved worker thread. Has no effect on a monolithic
+    /// engine, and never affects results — only scheduling.
+    pub shards: usize,
 }
 
 impl SearchOptions {
@@ -46,6 +51,7 @@ impl SearchOptions {
             trace: false,
             auto: false,
             threads: 0,
+            shards: 0,
         }
     }
 
@@ -79,6 +85,13 @@ impl SearchOptions {
     /// Builder: set the worker-thread count (`0` = machine parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder: cap concurrent segment lanes during scatter-gather on a
+    /// sharded engine (`0` = one lane per resolved worker thread).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -144,8 +157,12 @@ pub struct SearchResults {
     /// Execution counters, summed across workers on the parallel path.
     pub stats: ExecStats,
     /// Per-worker counter breakdown: one entry per worker the sharded
-    /// scan spawned, a single entry when execution was sequential.
+    /// scan spawned — or, on a multi-segment engine, one entry per
+    /// segment — and a single entry when execution was sequential.
     pub worker_stats: Vec<ExecStats>,
+    /// Per-segment wall time (µs) of the scatter-gather execution, in
+    /// segment order. Empty on a monolithic engine.
+    pub shard_times_us: Vec<u64>,
     /// Operator-tree description of the executed plan.
     pub explain: String,
     /// Per-operator row/time trace (empty unless `SearchOptions::trace`).

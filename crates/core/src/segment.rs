@@ -1,0 +1,173 @@
+//! Doc-range segments and the scatter-gather executor (DESIGN.md §15).
+//!
+//! A sharded [`crate::Engine`] owns a list of [`Segment`]s: each is a
+//! self-contained [`Database`] (tag/value/inverted indexes plus a full
+//! copy of the corpus symbol table) over a contiguous document range,
+//! plus the global doc id of its first document. A prepared plan is
+//! segment-agnostic — symbol ids and scoring statistics are corpus-global
+//! by construction — so [`execute_scatter`] fans the *same* compiled
+//! matcher/spec across every segment, runs the merge-safe per-shard plan
+//! (mid-plan and final `topkPrune`s are survivor prunes), remaps answers
+//! to global doc ids, and recombines with the exact `≺_V`-sound
+//! [`merge_survivors`] stage. The result is bit-identical to the
+//! monolithic scan for every strategy, KOR order, and rank order; the
+//! soundness argument is DESIGN.md §8 verbatim, because a doc-range
+//! segment is just one particular partition of the candidate space.
+//!
+//! Everything in this module is a `panic-path` lint root: malformed
+//! state surfaces as empty results or typed errors upstream, never as a
+//! panic on the serving path.
+
+use pimento_algebra::{
+    build_merge_safe_plan, merge_survivors, run_in_lanes, Answer, Database, ExecStats, Matcher,
+    PlanSpec, RankContext,
+};
+use pimento_index::DocId;
+use pimento_profile::KeywordOrderingRule;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A self-contained doc-range slice of the corpus: its own indexes over
+/// `doc_count` documents, addressed locally as `DocId(0..doc_count)` and
+/// globally as `DocId(doc_base..doc_base + doc_count)`.
+#[derive(Debug)]
+pub struct Segment {
+    db: Database,
+    doc_base: u32,
+}
+
+impl Segment {
+    /// Wrap an indexed doc-range slice. `db`'s collection must carry the
+    /// full corpus symbol table, and — when the segment is one of many —
+    /// a corpus-stats scorer, so compiled plans stay segment-agnostic.
+    pub(crate) fn new(db: Database, doc_base: u32) -> Self {
+        Segment { db, doc_base }
+    }
+
+    /// The segment's indexed database (documents addressed locally).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access for the monolithic single-segment case
+    /// (incremental `add_xml`).
+    pub(crate) fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Global doc id of the segment's first document.
+    pub fn doc_base(&self) -> u32 {
+        self.doc_base
+    }
+
+    /// Number of documents in the segment.
+    pub fn doc_count(&self) -> usize {
+        self.db.coll.len()
+    }
+
+    /// Rewrite a segment-local answer to corpus-global doc ids. Adding a
+    /// constant base preserves within-segment document order, and bases
+    /// are the prefix sums of segment sizes, so globalized answers carry
+    /// exactly the doc ids the monolithic scan would assign.
+    pub(crate) fn globalize(&self, mut a: Answer) -> Answer {
+        a.elem.doc = DocId(a.elem.doc.0.wrapping_add(self.doc_base));
+        a
+    }
+}
+
+/// Outcome of one scatter-gather execution across all segments.
+pub(crate) struct ScatterRun {
+    /// The exact global top-k, in final rank order, with global doc ids.
+    pub answers: Vec<Answer>,
+    /// Aggregated counters (`emitted` = final answer count).
+    pub stats: ExecStats,
+    /// Per-segment counter breakdown, in segment order.
+    pub shard_stats: Vec<ExecStats>,
+    /// Per-segment wall time (µs), in segment order.
+    pub shard_times_us: Vec<u64>,
+    /// Concatenated per-segment traces (trace mode only, else empty).
+    pub traces: String,
+}
+
+/// Fan `spec` across `segments` and merge: each segment runs the
+/// merge-safe plan against its own database, answers come back with
+/// global doc ids, and [`merge_survivors`] re-ranks the union and cuts at
+/// `spec.k` — bit-identical to the monolithic scan (module docs).
+///
+/// `lanes` caps how many segments execute concurrently; `<= 1` (or trace
+/// mode, whose registries are single-threaded) runs them sequentially.
+/// Scheduling never affects results: per-segment outputs are merged in
+/// segment order either way.
+pub(crate) fn execute_scatter(
+    segments: &[Arc<Segment>],
+    matcher: &Arc<Matcher>,
+    kors: &[KeywordOrderingRule],
+    rank: &Arc<RankContext>,
+    spec: PlanSpec,
+    lanes: usize,
+) -> ScatterRun {
+    // Trace registries are single-threaded, so trace mode forces one lane
+    // (sequential execution); scheduling never affects results either way.
+    let lanes = if spec.trace { 1 } else { lanes };
+    type SegmentRun = (Vec<Answer>, ExecStats, u64, String);
+    let tasks: Vec<Box<dyn FnOnce() -> SegmentRun + Send + '_>> = segments
+        .iter()
+        .map(|seg| {
+            let matcher = Arc::clone(matcher);
+            let rank = Arc::clone(rank);
+            Box::new(move || run_segment(seg, &matcher, kors, &rank, spec))
+                as Box<dyn FnOnce() -> SegmentRun + Send + '_>
+        })
+        .collect();
+    let slots = run_in_lanes(tasks, lanes);
+    let mut shards = Vec::with_capacity(slots.len());
+    let mut shard_times_us = Vec::with_capacity(slots.len());
+    let mut traces = String::new();
+    for (answers, stats, micros, trace) in slots {
+        shards.push((answers, stats));
+        shard_times_us.push(micros);
+        traces.push_str(&trace);
+    }
+    let (answers, stats, shard_stats) = merge_survivors(shards, rank, spec.k);
+    ScatterRun {
+        answers,
+        stats,
+        shard_stats,
+        shard_times_us,
+        traces,
+    }
+}
+
+/// Run the merge-safe plan over one segment, returning globalized
+/// survivor answers, the segment's counters, its wall time in µs, and
+/// (trace mode only) its labeled trace.
+fn run_segment(
+    seg: &Segment,
+    matcher: &Arc<Matcher>,
+    kors: &[KeywordOrderingRule],
+    rank: &Arc<RankContext>,
+    spec: PlanSpec,
+) -> (Vec<Answer>, ExecStats, u64, String) {
+    let started = Instant::now();
+    let plan = build_merge_safe_plan(
+        &seg.db,
+        Arc::clone(matcher),
+        kors,
+        Arc::clone(rank),
+        spec,
+    );
+    let (answers, stats, trace) = if spec.trace {
+        let (answers, stats, trace) = plan.execute_analyzed(&seg.db);
+        let labeled = format!(
+            "segment(base={}, docs={}):\n{trace}\n",
+            seg.doc_base,
+            seg.doc_count()
+        );
+        (answers, stats, labeled)
+    } else {
+        let (answers, stats) = plan.execute(&seg.db);
+        (answers, stats, String::new())
+    };
+    let answers = answers.into_iter().map(|a| seg.globalize(a)).collect();
+    (answers, stats, started.elapsed().as_micros() as u64, trace)
+}

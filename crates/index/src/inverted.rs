@@ -470,6 +470,21 @@ impl InvertedIndex {
         self.tokenizer.tokenize(phrase)
     }
 
+    /// Every distinct token paired with its document frequency, in name
+    /// (byte) order. This is the aggregation input for sharded engines:
+    /// summing these tables across doc-range segments reproduces the
+    /// monolithic corpus statistics exactly (segments partition the
+    /// documents, so per-token frequencies are disjoint integer counts).
+    pub fn token_doc_freqs(&self) -> Vec<(String, u32)> {
+        self.dump_token_names()
+            .into_iter()
+            .map(|name| {
+                let df = self.doc_freq(&name);
+                (name, df)
+            })
+            .collect()
+    }
+
     /// All distinct tokens in name (byte) order — the snapshot writer's
     /// directory order, uniform over both backings.
     pub(crate) fn dump_token_names(&self) -> Vec<String> {

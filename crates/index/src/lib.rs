@@ -39,6 +39,7 @@ pub mod parallel;
 pub mod persist;
 pub mod phrase;
 pub mod score;
+pub mod segment;
 pub mod stats;
 pub mod store;
 pub mod tags;
@@ -59,6 +60,9 @@ pub use phrase::{
     postings_in_element,
 };
 pub use score::Scorer;
+pub use segment::{
+    global_doc_freqs, split_ranges, ManifestEntry, ShardManifest, MANIFEST_FILE, MANIFEST_HEADER,
+};
 pub use stats::CorpusStats;
 pub use store::{Collection, DocId, ElemRef};
 pub use tags::{ElemEntry, ElemsView, TagIndex};

@@ -77,6 +77,9 @@ pub enum PersistError {
     },
     /// A string was not valid UTF-8.
     BadString,
+    /// A sharded-snapshot manifest violated its format (bad header,
+    /// non-contiguous doc ranges, unsafe segment file name, …).
+    BadManifest(&'static str),
     /// Arena invariants failed on reconstruction.
     BadArena(&'static str),
     /// A symbol id pointed outside the table.
@@ -103,6 +106,9 @@ impl fmt::Display for PersistError {
                 )
             }
             PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
+            PersistError::BadManifest(why) => {
+                write!(f, "sharded snapshot manifest invalid: {why}")
+            }
             PersistError::BadArena(why) => write!(f, "snapshot arena invalid: {why}"),
             PersistError::BadSymbol => write!(f, "snapshot references an unknown symbol"),
             PersistError::SnapshotVersion { found, expected } => write!(

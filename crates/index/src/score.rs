@@ -9,14 +9,27 @@
 use crate::inverted::InvertedIndex;
 use crate::phrase::count_in_element;
 use crate::tags::ElemEntry;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Scores keyword predicates against elements.
-#[derive(Debug, Clone, Copy)]
+///
+/// In the monolithic case the scorer reads document frequencies straight
+/// from the index it was built over. A doc-range segment of a sharded
+/// engine instead carries the *corpus-wide* statistics (total document
+/// count plus a summed per-token document-frequency table), so segment
+/// scores are bit-identical to what the monolithic scan would compute —
+/// `idf` inputs are exact integer sums over the partition.
+#[derive(Debug, Clone)]
 pub struct Scorer {
-    /// Total number of documents, cached from the index.
+    /// Total number of documents, cached from the index (or, for a
+    /// segment of a sharded engine, the corpus-wide total).
     num_docs: u32,
     /// `tf` saturation constant: score grows as `tf / (tf + k1)`.
     k1: f64,
+    /// Corpus-wide per-token document frequencies; `None` means "read
+    /// them from the index at hand" (the monolithic case).
+    global_df: Option<Arc<HashMap<String, u32>>>,
 }
 
 impl Scorer {
@@ -28,6 +41,20 @@ impl Scorer {
         Scorer {
             num_docs: index.num_docs().max(1),
             k1: Self::DEFAULT_K1,
+            global_df: None,
+        }
+    }
+
+    /// Build a scorer that scores against corpus-wide statistics instead
+    /// of the local index: `num_docs` is the total document count across
+    /// every segment and `df` maps each token to its summed document
+    /// frequency. Used by doc-range segments so sharded scoring matches
+    /// the monolithic scan bit for bit.
+    pub fn with_corpus_stats(num_docs: u32, df: Arc<HashMap<String, u32>>) -> Self {
+        Scorer {
+            num_docs: num_docs.max(1),
+            k1: Self::DEFAULT_K1,
+            global_df: Some(df),
         }
     }
 
@@ -45,9 +72,22 @@ impl Scorer {
     pub fn nidf(&self, index: &InvertedIndex, tokens: &[String]) -> f64 {
         let n = self.num_docs as f64;
         let max_idf = (1.0 + n).ln();
-        let df = tokens.iter().map(|t| index.doc_freq(t)).max().unwrap_or(0) as f64;
+        let df = tokens
+            .iter()
+            .map(|t| self.doc_freq(index, t))
+            .max()
+            .unwrap_or(0) as f64;
         let idf = (1.0 + n / (df + 1.0)).ln();
         (idf / max_idf).clamp(0.0, 1.0)
+    }
+
+    /// Document frequency of one token: corpus-wide when the scorer
+    /// carries global statistics, otherwise from the local index.
+    fn doc_freq(&self, index: &InvertedIndex, token: &str) -> u32 {
+        match &self.global_df {
+            Some(df) => df.get(token).copied().unwrap_or(0),
+            None => index.doc_freq(token),
+        }
     }
 
     /// Saturating term-frequency component in [0, 1).
@@ -151,5 +191,22 @@ mod tests {
     fn zero_k1_rejected() {
         let (_, inv, _, _) = setup(&["<a>x</a>"]);
         let _ = Scorer::new(&inv).with_k1(0.0);
+    }
+
+    /// A corpus-stats scorer fed the index's own totals must reproduce the
+    /// local scorer bit for bit — the sharded-engine identity in miniature.
+    #[test]
+    fn corpus_stats_scorer_matches_local() {
+        let (_, inv, _, local) = setup(&["<a>x y</a>", "<a>x</a>", "<a>z z</a>"]);
+        let df: HashMap<String, u32> = inv.token_doc_freqs().into_iter().collect();
+        let global = Scorer::with_corpus_stats(inv.num_docs(), Arc::new(df));
+        for kw in ["x", "y", "z", "never-seen"] {
+            let tokens = inv.analyze(kw);
+            assert_eq!(
+                local.nidf(&inv, &tokens).to_bits(),
+                global.nidf(&inv, &tokens).to_bits(),
+                "{kw}"
+            );
+        }
     }
 }

@@ -1,0 +1,281 @@
+//! Sharded-corpus building blocks: doc-range splitting, corpus-wide
+//! statistics aggregation, and the sharded-snapshot manifest.
+//!
+//! A sharded engine slices its collection into contiguous document
+//! ranges ("segments"), each indexed independently. Three invariants make
+//! the per-segment scans recombine bit-identically with the monolithic
+//! scan (DESIGN.md §15):
+//!
+//! 1. **Ranges partition the corpus** — [`split_ranges`] yields contiguous,
+//!    disjoint, covering ranges, so a global doc id maps to exactly one
+//!    segment and `global = segment base + local`.
+//! 2. **Symbol ids are corpus-global** — every segment carries a full copy
+//!    of the corpus symbol table ([`crate::Collection::subset`]), so one
+//!    compiled plan is valid against every segment.
+//! 3. **Scoring statistics are corpus-global** — [`global_doc_freqs`] sums
+//!    exact per-token document counts across segments; a
+//!    [`crate::Scorer::with_corpus_stats`] scorer then feeds `idf` the same
+//!    integers the monolithic index would.
+//!
+//! On disk, a sharded snapshot is a directory: one v4 columnar file per
+//! segment plus a [`ShardManifest`] listing each file with its doc-id
+//! base, decoded by [`ShardManifest::parse`] (a `panic-path` lint root —
+//! malformed manifests surface as [`PersistError`], never a panic).
+
+use crate::inverted::InvertedIndex;
+use crate::persist::PersistError;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// File name of the manifest inside a sharded snapshot directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Header line identifying a sharded-snapshot manifest.
+pub const MANIFEST_HEADER: &str = "pimento-shards v1";
+
+/// Split `num_docs` documents into at most `shards` contiguous, disjoint,
+/// covering ranges of near-equal size (the first `num_docs % shards`
+/// ranges get one extra document). Fewer documents than shards yields one
+/// singleton range per document; `shards == 0` is treated as 1. Empty
+/// ranges are never produced (an empty corpus yields no ranges).
+pub fn split_ranges(num_docs: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(num_docs.max(1));
+    if num_docs == 0 {
+        return Vec::new();
+    }
+    let base = num_docs / shards;
+    let extra = num_docs % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Sum per-token document frequencies across segment indexes. Because the
+/// segments partition the corpus, each document is counted exactly once
+/// and the sums equal the monolithic index's `doc_freq` for every token.
+pub fn global_doc_freqs(indexes: &[&InvertedIndex]) -> HashMap<String, u32> {
+    let mut df = HashMap::new();
+    for index in indexes {
+        for (token, freq) in index.token_doc_freqs() {
+            *df.entry(token).or_insert(0) += freq;
+        }
+    }
+    df
+}
+
+/// One segment entry in a [`ShardManifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Segment file name, relative to the snapshot directory. Plain file
+    /// names only — no path separators.
+    pub file: String,
+    /// Global doc id of the segment's first document.
+    pub doc_base: u32,
+    /// Number of documents in the segment.
+    pub docs: u32,
+}
+
+/// The manifest of a sharded snapshot directory: the segment files in
+/// doc-range order, with their doc-id bases and counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardManifest {
+    /// Segments in doc-range order (`doc_base` strictly increasing from 0,
+    /// ranges contiguous).
+    pub segments: Vec<ManifestEntry>,
+}
+
+impl ShardManifest {
+    /// Canonical file name for segment `i` of a sharded snapshot.
+    pub fn segment_file_name(i: usize) -> String {
+        format!("segment-{i:03}.v4.snap")
+    }
+
+    /// Render the manifest text: a header line, then one
+    /// `<file> <doc_base> <docs>` line per segment.
+    pub fn render(&self) -> String {
+        let mut out = String::from(MANIFEST_HEADER);
+        out.push('\n');
+        for seg in &self.segments {
+            out.push_str(&format!("{} {} {}\n", seg.file, seg.doc_base, seg.docs));
+        }
+        out
+    }
+
+    /// Parse and validate manifest text. Beyond the line grammar this
+    /// checks the structural invariants the scatter-gather executor
+    /// relies on: at least one segment, doc ranges contiguous from 0,
+    /// every segment non-empty, and segment file names free of path
+    /// separators (a manifest must not escape its own directory).
+    pub fn parse(text: &str) -> Result<ShardManifest, PersistError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MANIFEST_HEADER) {
+            return Err(PersistError::BadManifest("missing header"));
+        }
+        let mut segments = Vec::new();
+        let mut next_base = 0u32;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let file = fields
+                .next()
+                .ok_or(PersistError::BadManifest("missing file name"))?;
+            let doc_base: u32 = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(PersistError::BadManifest("bad doc base"))?;
+            let docs: u32 = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(PersistError::BadManifest("bad doc count"))?;
+            if fields.next().is_some() {
+                return Err(PersistError::BadManifest("trailing fields"));
+            }
+            if file.contains('/') || file.contains('\\') || file == ".." {
+                return Err(PersistError::BadManifest("unsafe segment file name"));
+            }
+            if doc_base != next_base {
+                return Err(PersistError::BadManifest("doc ranges not contiguous"));
+            }
+            if docs == 0 {
+                return Err(PersistError::BadManifest("empty segment"));
+            }
+            next_base = doc_base
+                .checked_add(docs)
+                .ok_or(PersistError::BadManifest("doc range overflows u32"))?;
+            segments.push(ManifestEntry {
+                file: file.to_string(),
+                doc_base,
+                docs,
+            });
+        }
+        if segments.is_empty() {
+            return Err(PersistError::BadManifest("no segments"));
+        }
+        Ok(ShardManifest { segments })
+    }
+
+    /// Total documents across all segments.
+    pub fn num_docs(&self) -> u32 {
+        self.segments.last().map(|s| s.doc_base + s.docs).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Collection;
+    use crate::tokenize::Tokenizer;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_ranges_partition_the_corpus() {
+        for (docs, shards) in [(10, 4), (4, 4), (3, 8), (1, 1), (100, 7)] {
+            let ranges = split_ranges(docs, shards);
+            assert!(ranges.len() <= shards.max(1));
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "{docs}/{shards}");
+            }
+            assert_eq!(ranges.last().map(|r| r.end), Some(docs));
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        assert!(split_ranges(0, 4).is_empty());
+        assert_eq!(split_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn global_doc_freqs_sum_to_monolithic() {
+        let xmls = [
+            "<a>x y</a>",
+            "<a>x</a>",
+            "<a>y z</a>",
+            "<a>z z z</a>",
+            "<a>q</a>",
+        ];
+        let mut full = Collection::new();
+        for x in &xmls {
+            full.add_xml(x).unwrap();
+        }
+        let mono = InvertedIndex::build(&full, Tokenizer::plain());
+        let head = full.subset(0..2);
+        let tail = full.subset(2..5);
+        let ih = InvertedIndex::build(&head, Tokenizer::plain());
+        let it = InvertedIndex::build(&tail, Tokenizer::plain());
+        let df = global_doc_freqs(&[&ih, &it]);
+        for (token, freq) in mono.token_doc_freqs() {
+            assert_eq!(df.get(&token).copied(), Some(freq), "{token}");
+        }
+        assert_eq!(df.len(), mono.vocabulary_size());
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = ShardManifest {
+            segments: vec![
+                ManifestEntry {
+                    file: ShardManifest::segment_file_name(0),
+                    doc_base: 0,
+                    docs: 3,
+                },
+                ManifestEntry {
+                    file: ShardManifest::segment_file_name(1),
+                    doc_base: 3,
+                    docs: 2,
+                },
+            ],
+        };
+        let back = ShardManifest::parse(&m.render()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.num_docs(), 5);
+    }
+
+    #[test]
+    fn malformed_manifests_rejected() {
+        let bad = [
+            "",
+            "not-a-manifest\nsegment-000.v4.snap 0 3\n",
+            "pimento-shards v1\n",
+            "pimento-shards v1\nseg.snap zero 3\n",
+            "pimento-shards v1\nseg.snap 0 none\n",
+            "pimento-shards v1\nseg.snap 0 3 extra\n",
+            "pimento-shards v1\nseg.snap 1 3\n",
+            "pimento-shards v1\na.snap 0 3\nb.snap 5 1\n",
+            "pimento-shards v1\nseg.snap 0 0\n",
+            "pimento-shards v1\n../evil.snap 0 3\n",
+            "pimento-shards v1\nsub/evil.snap 0 3\n",
+        ];
+        for text in bad {
+            assert!(
+                matches!(
+                    ShardManifest::parse(text),
+                    Err(PersistError::BadManifest(_))
+                ),
+                "{text:?}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Any (num_docs, shards) pair yields contiguous disjoint covering
+        /// non-empty ranges.
+        #[test]
+        fn split_ranges_always_partition(num_docs in 0usize..500, shards in 0usize..32) {
+            let ranges = split_ranges(num_docs, shards);
+            let mut cursor = 0usize;
+            for r in &ranges {
+                prop_assert_eq!(r.start, cursor);
+                prop_assert!(r.end > r.start);
+                cursor = r.end;
+            }
+            prop_assert_eq!(cursor, num_docs);
+        }
+    }
+}

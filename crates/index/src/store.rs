@@ -29,6 +29,31 @@ impl Collection {
         Self::default()
     }
 
+    /// Assemble a collection from a symbol table and documents that were
+    /// parsed (or generated) against it — the sharded-engine collapse and
+    /// split path.
+    pub fn from_parts(symbols: SymbolTable, docs: Vec<Document>) -> Self {
+        Collection { symbols, docs }
+    }
+
+    /// Clone the documents in `range` into a new collection that carries a
+    /// full copy of this collection's symbol table. Keeping the *entire*
+    /// table (not just the symbols the slice uses) is what keeps symbol
+    /// ids — and therefore compiled plans and matchers — valid across
+    /// every segment of a sharded engine. Out-of-bounds portions of the
+    /// range are ignored.
+    pub fn subset(&self, range: std::ops::Range<usize>) -> Collection {
+        let docs = self
+            .docs
+            .get(range.start.min(self.docs.len())..range.end.min(self.docs.len()))
+            .unwrap_or(&[])
+            .to_vec();
+        Collection {
+            symbols: self.symbols.clone(),
+            docs,
+        }
+    }
+
     /// Parse `input` and add it, returning its id.
     pub fn add_xml(&mut self, input: &str) -> Result<DocId, XmlError> {
         let doc = parse_content(input, &mut self.symbols)?;
@@ -130,6 +155,30 @@ mod tests {
             })
             .sum();
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn subset_keeps_full_symbol_table() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b>x</b></a>").unwrap();
+        c.add_xml("<c>y</c>").unwrap();
+        let tail = c.subset(1..2);
+        assert_eq!(tail.len(), 1);
+        // Symbols interned only while parsing the first document are still
+        // resolvable — segments share the full corpus table.
+        assert_eq!(tail.tag("b"), c.tag("b"));
+        assert_eq!(tail.tag("a"), c.tag("a"));
+        let root = tail.doc(DocId(0)).root();
+        assert_eq!(
+            tail.text_content(ElemRef {
+                doc: DocId(0),
+                node: root
+            }),
+            "y"
+        );
+        // Ranges past the end are clamped, not a panic.
+        assert!(c.subset(5..9).is_empty());
+        assert_eq!(c.subset(0..99).len(), 2);
     }
 
     #[test]

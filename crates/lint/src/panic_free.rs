@@ -43,6 +43,11 @@ const ROOTS: &[(&str, &[&str], RootFns)] = &[
         RootFns::Only(&["get_varint", "get_delta_run"]),
     ),
     ("index", &["phrase"], RootFns::All),
+    // Sharded-snapshot manifest decoding: parses untrusted on-disk text.
+    ("index", &["segment"], RootFns::Only(&["parse"])),
+    // Scatter-gather segment execution: runs on the serving path for
+    // every query against a sharded engine.
+    ("core", &["segment"], RootFns::All),
     // Serve request dispatch: everything a worker or reader thread runs
     // between accept and the response frame.
     (

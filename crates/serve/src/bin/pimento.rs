@@ -26,11 +26,15 @@ use std::time::Duration;
 /// (length-delimited JSON frames — see `pimento_serve::protocol`).
 fn serve_usage() -> ! {
     eprintln!(
-        "usage: pimento serve (--docs FILE... | --snapshot FILE) [--addr HOST:PORT] [--threads N]\n\
-         \x20        [--queue-capacity N] [--cache-capacity N] [--query-threads N] [--timeout-ms N]\n\
-         \x20        [--conn-timeout-ms N] [--profile-dir DIR]\n\
-         --snapshot FILE  open a binary index snapshot instead of parsing XML\n\
-         \x20                (columnar v4 opens zero-copy; legacy v3 rebuilds indexes)\n\
+        "usage: pimento serve (--docs FILE... | --snapshot PATH) [--addr HOST:PORT] [--threads N]\n\
+         \x20        [--shards N] [--queue-capacity N] [--cache-capacity N] [--query-threads N]\n\
+         \x20        [--timeout-ms N] [--conn-timeout-ms N] [--profile-dir DIR]\n\
+         --snapshot PATH  open a binary index snapshot instead of parsing XML\n\
+         \x20                (columnar v4 opens zero-copy; legacy v3 rebuilds indexes;\n\
+         \x20                a directory opens as a sharded snapshot — see `snapshot build --shards`)\n\
+         --shards N       reshard the corpus into N doc-range segments served by\n\
+         \x20                scatter-gather (bit-identical results; ignored if a sharded\n\
+         \x20                snapshot directory already fixes the segmentation)\n\
          --addr           listen address (default 127.0.0.1:7654; port 0 = pick a free port)\n\
          --threads N      worker pool size (0 = all cores; same clamp as search --threads)\n\
          --queue-capacity bounded request queue; full = typed `overloaded` error (default 64)\n\
@@ -51,6 +55,7 @@ fn serve_usage() -> ! {
 fn run_serve(rest: Vec<String>) -> ExitCode {
     let mut docs: Vec<String> = Vec::new();
     let mut snapshot_path: Option<String> = None;
+    let mut shards = 0usize;
     let mut cfg = ServeConfig {
         addr: "127.0.0.1:7654".to_string(),
         ..ServeConfig::default()
@@ -67,6 +72,12 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
                 }
             }
             "--snapshot" => snapshot_path = Some(it.next().unwrap_or_else(|| serve_usage())),
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
+            }
             "--addr" => cfg.addr = it.next().unwrap_or_else(|| serve_usage()),
             "--threads" => {
                 cfg.workers = it
@@ -121,19 +132,33 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
         serve_usage()
     }
     let started = std::time::Instant::now();
-    let engine = if let Some(path) = &snapshot_path {
-        let data = match std::fs::read(path) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+    let mut engine = if let Some(path) = &snapshot_path {
+        if std::path::Path::new(path).is_dir() {
+            // A directory is a sharded snapshot (MANIFEST + one v4 file
+            // per segment); it fixes the segmentation, so --shards is
+            // ignored here.
+            shards = 0;
+            match Engine::from_sharded_dir(std::path::Path::new(path)) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot open sharded snapshot {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        };
-        match Engine::from_snapshot_bytes(bytes::Bytes::from(data)) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("cannot open snapshot {path}: {e}");
-                return ExitCode::FAILURE;
+        } else {
+            let data = match std::fs::read(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Engine::from_snapshot_bytes(bytes::Bytes::from(data)) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot open snapshot {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     } else {
@@ -155,17 +180,31 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             }
         }
     };
+    if shards > 1 {
+        engine = match engine.reshard(shards) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot shard corpus: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     cfg.startup_load_ms = started.elapsed().as_millis() as u64;
     cfg.startup_snapshot_format = engine.snapshot_format();
+    let shard_note = if engine.shard_count() > 1 {
+        format!(", {} shards", engine.shard_count())
+    } else {
+        String::new()
+    };
     match cfg.startup_snapshot_format {
         Some(v) => eprintln!(
-            "opened snapshot format v{v} in {} ms ({} docs)",
+            "opened snapshot format v{v} in {} ms ({} docs{shard_note})",
             cfg.startup_load_ms,
-            engine.db().coll.len()
+            engine.num_docs()
         ),
         None => eprintln!(
-            "indexed {} document(s) in {} ms",
-            engine.db().coll.len(),
+            "indexed {} document(s) in {} ms{shard_note}",
+            engine.num_docs(),
             cfg.startup_load_ms
         ),
     }
@@ -196,14 +235,97 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
 /// `pimento snapshot`: build and inspect binary index snapshots.
 fn snapshot_usage() -> ! {
     eprintln!(
-        "usage: pimento snapshot build --docs FILE... --out FILE [--v3]\n\
-         \x20      pimento snapshot inspect FILE\n\
+        "usage: pimento snapshot build --docs FILE... --out PATH [--v3 | --shards N]\n\
+         \x20      pimento snapshot inspect PATH\n\
          build    parse + index the documents, write a snapshot (columnar v4 by\n\
-         \x20        default; --v3 writes the legacy collection-only format)\n\
+         \x20        default; --v3 writes the legacy collection-only format;\n\
+         \x20        --shards N writes a sharded snapshot DIRECTORY at PATH: one\n\
+         \x20        v4 file per doc-range segment plus a MANIFEST)\n\
          inspect  print the header, section directory, and per-section CRC\n\
-         \x20        verdicts of a v3 or v4 snapshot; exit 1 if any check fails"
+         \x20        verdicts of a v3 or v4 snapshot — or, for a sharded snapshot\n\
+         \x20        directory, the manifest plus per-segment verdicts; exit 1 if\n\
+         \x20        any check fails"
     );
     std::process::exit(2)
+}
+
+/// `pimento snapshot inspect DIR`: validate a sharded snapshot directory
+/// — manifest grammar/contiguity, then every segment file's directory and
+/// per-section CRCs. One verdict line per segment; exit 1 if anything is
+/// BAD or unreadable.
+fn inspect_sharded(dir: &std::path::Path) -> ExitCode {
+    let manifest_path = dir.join(pimento::index::MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match pimento::index::ShardManifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: {e}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: sharded snapshot, {} segments, {} docs",
+        dir.display(),
+        manifest.segments.len(),
+        manifest.num_docs()
+    );
+    println!(
+        "{:<22} {:>9} {:>7} {:>12}  verdict",
+        "segment", "doc_base", "docs", "bytes"
+    );
+    let mut failed = false;
+    for entry in &manifest.segments {
+        let path = dir.join(&entry.file);
+        let verdict = match std::fs::read(&path) {
+            Err(e) => {
+                failed = true;
+                format!("BAD (cannot read: {e})")
+            }
+            Ok(data) => match pimento::index::inspect(&data) {
+                Err(e) => {
+                    failed = true;
+                    format!("BAD ({e})")
+                }
+                Ok(report) => {
+                    let crc_ok = report.directory_ok && report.sections.iter().all(|s| s.crc_ok);
+                    if crc_ok {
+                        format!("ok (v{}, {} bytes)", report.version, report.file_len)
+                    } else {
+                        failed = true;
+                        let bad: Vec<&str> = report
+                            .sections
+                            .iter()
+                            .filter(|s| !s.crc_ok)
+                            .map(|s| s.name.as_str())
+                            .collect();
+                        format!(
+                            "BAD (directory {}, bad sections: [{}])",
+                            if report.directory_ok { "ok" } else { "BAD" },
+                            bad.join(", ")
+                        )
+                    }
+                }
+            },
+        };
+        println!(
+            "{:<22} {:>9} {:>7} {:>12}  {verdict}",
+            entry.file,
+            entry.doc_base,
+            entry.docs,
+            std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn run_snapshot(rest: Vec<String>) -> ExitCode {
@@ -213,6 +335,7 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
             let mut docs: Vec<String> = Vec::new();
             let mut out: Option<String> = None;
             let mut legacy = false;
+            let mut shards = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--docs" => {
@@ -225,8 +348,18 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                     }
                     "--out" => out = Some(it.next().unwrap_or_else(|| snapshot_usage())),
                     "--v3" => legacy = true,
+                    "--shards" => {
+                        shards = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| snapshot_usage())
+                    }
                     _ => snapshot_usage(),
                 }
+            }
+            if legacy && shards > 1 {
+                eprintln!("--v3 and --shards are mutually exclusive");
+                return ExitCode::FAILURE;
             }
             let (Some(out), false) = (out, docs.is_empty()) else {
                 snapshot_usage()
@@ -248,6 +381,26 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if shards > 1 {
+                let sharded = match engine.reshard(shards) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("cannot shard corpus: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let dir = std::path::Path::new(&out);
+                if let Err(e) = sharded.save_sharded_snapshot(dir) {
+                    eprintln!("cannot write sharded snapshot {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "wrote {out}: sharded snapshot, {} segments, {} docs",
+                    sharded.shard_count(),
+                    sharded.num_docs()
+                );
+                return ExitCode::SUCCESS;
+            }
             let data = if legacy {
                 engine.save_snapshot_v3()
             } else {
@@ -264,7 +417,7 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
                 } else {
                     pimento_index::COLUMNAR_VERSION
                 },
-                engine.db().coll.len(),
+                engine.num_docs(),
                 data.len()
             );
             ExitCode::SUCCESS
@@ -273,6 +426,9 @@ fn run_snapshot(rest: Vec<String>) -> ExitCode {
             let Some(path) = it.next() else {
                 snapshot_usage()
             };
+            if std::path::Path::new(&path).is_dir() {
+                return inspect_sharded(std::path::Path::new(&path));
+            }
             let data = match std::fs::read(&path) {
                 Ok(d) => d,
                 Err(e) => {
@@ -520,13 +676,16 @@ struct Args {
     analyze: bool,
     winnow: bool,
     threads: usize,
+    shards: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pimento --docs FILE... --query QUERY [--profile RULES_FILE] \
-         [--k N] [--strategy naive|il|sil|push] [--threads N] [--explain] [--analyze] [--winnow]\n\
+         [--k N] [--strategy naive|il|sil|push] [--threads N] [--shards N] [--explain] [--analyze] [--winnow]\n\
          --threads N   worker threads for query execution (0 = all cores, 1 = sequential)\n\
+         --shards N    split the corpus into N doc-range segments and answer by\n\
+         \x20             scatter-gather (bit-identical results; see DESIGN.md §15)\n\
        pimento lint --profile RULES_FILE [--query QUERY] [--docs FILE...] [--k N]\n\
          static profile + plan soundness verification (see `pimento lint --help`)\n\
        pimento lint --workspace [--format text|json]\n\
@@ -550,6 +709,7 @@ fn parse_args() -> Args {
         analyze: false,
         winnow: false,
         threads: 0,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -581,6 +741,12 @@ fn parse_args() -> Args {
             }
             "--threads" => {
                 args.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                args.shards = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -627,13 +793,22 @@ fn main() -> ExitCode {
             }
         }
     }
-    let engine = match Engine::from_xml_docs(&xmls) {
+    let mut engine = match Engine::from_xml_docs(&xmls) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("cannot parse documents: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if args.shards > 1 {
+        engine = match engine.reshard(args.shards) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot shard corpus: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
 
     let profile = match &args.profile {
         None => UserProfile::new(),
@@ -740,9 +915,16 @@ fn main() -> ExitCode {
             results.stats.vor_comparisons
         );
         if results.worker_stats.len() > 1 {
+            let shard_breakdown = !results.shard_times_us.is_empty();
             for (i, w) in results.worker_stats.iter().enumerate() {
+                let label = if shard_breakdown { "shard" } else { "worker" };
+                let time = results
+                    .shard_times_us
+                    .get(i)
+                    .map(|us| format!(" time={us}µs"))
+                    .unwrap_or_default();
                 println!(
-                    "  worker {i}: base={} pruned={} bulk={} ft_probes={} vor_cmps={}",
+                    "  {label} {i}: base={} pruned={} bulk={} ft_probes={} vor_cmps={}{time}",
                     w.base_answers, w.pruned, w.bulk_pruned, w.ft_probes, w.vor_comparisons
                 );
             }

@@ -20,6 +20,10 @@ pub const LATENCY_BUCKETS_US: [u64; 12] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 100_000, 250_000, 1_000_000,
 ];
 
+/// Per-shard scan-time slots in the registry. Engines with more segments
+/// fold the excess into the last slot.
+pub const MAX_SHARD_SLOTS: usize = 16;
+
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
         /// The service metrics registry.
@@ -33,6 +37,10 @@ macro_rules! counters {
             pub lat_sum_us: AtomicU64,
             /// Observations in the histogram.
             pub lat_count: AtomicU64,
+            /// Cumulative per-shard scan wall time, µs; slot `i` holds
+            /// segment `i` (segments past `MAX_SHARD_SLOTS` fold into the
+            /// last slot).
+            pub shard_scan_us: [AtomicU64; MAX_SHARD_SLOTS],
         }
 
         impl Metrics {
@@ -44,6 +52,7 @@ macro_rules! counters {
                     lat_buckets: Default::default(),
                     lat_sum_us: AtomicU64::new(0),
                     lat_count: AtomicU64::new(0),
+                    shard_scan_us: Default::default(),
                 }
             }
         }
@@ -96,6 +105,9 @@ counters! {
     /// Snapshot format version the engine was opened from (`3` legacy,
     /// `4` columnar, `0` = built from XML; set once at startup).
     startup_snapshot_format,
+    /// Segment count of the served engine (a gauge, set once at startup;
+    /// `1` = monolithic).
+    shards,
     /// Sum of `ExecStats::base_answers` across served searches.
     exec_base_answers,
     /// Sum of `ExecStats::pruned`.
@@ -146,6 +158,23 @@ impl Metrics {
         self.startup_load_ms.store(load_ms, Ordering::Relaxed);
         self.startup_snapshot_format
             .store(u64::from(snapshot_format.unwrap_or(0)), Ordering::Relaxed);
+    }
+
+    /// Record the served engine's segment count (a startup gauge).
+    pub fn set_shards(&self, shards: usize) {
+        self.shards.store(shards as u64, Ordering::Relaxed);
+    }
+
+    /// Fold one search's per-segment scan times into the cumulative
+    /// per-shard slots. No-op on monolithic results (empty slice);
+    /// segments past `MAX_SHARD_SLOTS` fold into the last slot.
+    pub fn absorb_shard_times(&self, times_us: &[u64]) {
+        for (i, &us) in times_us.iter().enumerate() {
+            let idx = i.min(MAX_SHARD_SLOTS - 1);
+            if let Some(slot) = self.shard_scan_us.get(idx) {
+                slot.fetch_add(us, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Fold one search's execution counters into the aggregates.
@@ -225,6 +254,17 @@ impl Metrics {
                 ]),
             ),
             (
+                "shards",
+                obj([
+                    ("count", g(&self.shards)),
+                    ("scan_us", {
+                        let live = (self.shards.load(Ordering::Relaxed) as usize)
+                            .min(MAX_SHARD_SLOTS);
+                        Value::Arr(self.shard_scan_us.iter().take(live).map(g).collect())
+                    }),
+                ]),
+            ),
+            (
                 "exec",
                 obj([
                     ("base_answers", g(&self.exec_base_answers)),
@@ -288,5 +328,30 @@ mod tests {
         assert_eq!(exec.get("base_answers").and_then(Value::as_u64), Some(4));
         // Renders as valid JSON.
         assert!(Value::parse(&snap.render()).is_ok());
+    }
+
+    #[test]
+    fn shard_slots_accumulate_and_fold() {
+        let m = Metrics::new();
+        m.set_shards(4);
+        m.absorb_shard_times(&[10, 20, 30, 40]);
+        m.absorb_shard_times(&[1, 2, 3, 4]);
+        m.absorb_shard_times(&[]); // monolithic search: no-op
+        let snap = m.snapshot(0, 0);
+        let shards = snap.get("shards").expect("shards block");
+        assert_eq!(shards.get("count").and_then(Value::as_u64), Some(4));
+        let Some(Value::Arr(scan)) = shards.get("scan_us") else {
+            panic!("scan_us array");
+        };
+        let vals: Vec<u64> = scan.iter().filter_map(Value::as_u64).collect();
+        assert_eq!(vals, vec![11, 22, 33, 44]);
+        // Past-capacity segments fold into the last slot instead of
+        // being dropped.
+        let big: Vec<u64> = (0..MAX_SHARD_SLOTS as u64 + 4).map(|_| 1).collect();
+        m.absorb_shard_times(&big);
+        assert_eq!(
+            m.shard_scan_us[MAX_SHARD_SLOTS - 1].load(Ordering::Relaxed),
+            5
+        );
     }
 }

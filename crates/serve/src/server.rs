@@ -241,6 +241,7 @@ impl Server {
             shared.cfg.startup_load_ms,
             shared.cfg.startup_snapshot_format,
         );
+        shared.metrics.set_shards(shared.engine.shard_count());
         if let Some(store) = &shared.store {
             for outcome in store.recover().map_err(ServeError::Store)? {
                 recover_one(&shared, outcome);
@@ -857,6 +858,7 @@ fn run_query(
         .run_prepared(&prepared, &opts)
         .map_err(map_engine_err)?;
     metrics.absorb_exec(&results.stats);
+    metrics.absorb_shard_times(&results.shard_times_us);
     Ok(stamp_degraded(
         results_body(&results, cache_state),
         &degraded,
@@ -884,7 +886,9 @@ fn map_engine_err(e: Error) -> RequestError {
         Error::Query(_) => (err_kind::QUERY, e.to_string()),
         Error::Conflict(_) => (err_kind::PROFILE, e.to_string()),
         Error::InvalidK => (err_kind::BAD_REQUEST, e.to_string()),
-        Error::Xml(_) | Error::Snapshot(_) => (err_kind::INTERNAL, e.to_string()),
+        Error::Xml(_) | Error::Snapshot(_) | Error::Shard(_) | Error::Io(_) => {
+            (err_kind::INTERNAL, e.to_string())
+        }
     }
 }
 

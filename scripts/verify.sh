@@ -49,4 +49,19 @@ cargo run -q -p pimento-serve --release --bin pimento -- \
 cargo run -q -p pimento-serve --release --bin pimento -- \
   snapshot inspect "$SNAP_DIR/fixture.v4.snap"
 
+echo "==> shard gate: scatter-gather bit-identity tests"
+cargo test -q -p pimento-suite --test shard_equivalence
+
+echo "==> shard gate: loadgen --smoke --shards 4 (sharded serving end to end)"
+cargo run -q -p pimento-bench --release --bin loadgen -- --smoke --shards 4
+
+echo "==> shard gate: sharded snapshot build + inspect round-trip"
+for i in 1 2 3; do
+  cp "$SNAP_DIR/fixture.xml" "$SNAP_DIR/fixture$i.xml"
+done
+cargo run -q -p pimento-serve --release --bin pimento -- \
+  snapshot build --docs "$SNAP_DIR"/fixture?.xml --out "$SNAP_DIR/sharded" --shards 3
+cargo run -q -p pimento-serve --release --bin pimento -- \
+  snapshot inspect "$SNAP_DIR/sharded"
+
 echo "==> verify OK"

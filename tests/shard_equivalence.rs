@@ -1,0 +1,241 @@
+//! Sharded-engine equivalence: scatter-gather over doc-range segments
+//! must return hits, scores, and order **bit-identical** to the
+//! monolithic engine — for every plan strategy, both rank orders, and
+//! shard counts {1, 2, 4, 8}, on the paper's running example and on
+//! XMark-like corpora. A property test additionally drives `reshard_at`
+//! with random segment boundaries: no partition of the corpus may change
+//! the survivor set.
+
+use pimento::profile::{
+    Atom, KeywordOrderingRule, RankOrder, ScopingRule, UserProfile, ValueOrderingRule,
+};
+use pimento::{Engine, PlanStrategy, SearchOptions, SearchResults};
+use proptest::prelude::*;
+
+/// The paper's dealer corpus, one car per document so doc-range splits
+/// have something to split.
+fn cars_docs() -> Vec<String> {
+    [
+        "<car><description>Powerful car. I am selling my 2001 car at the best bid. It is in good condition as I was the only driver. I used it to go to work in NYC.</description><date>2001</date><price>500</price><owner>John Smith</owner><horsepower>200</horsepower></car>",
+        "<car><description>Low mileage. Bought on 11/2005. Eager seller. good condition</description><color>red</color><horsepower>120</horsepower><mileage>50.000</mileage><price>500</price><location>NYC</location></car>",
+        "<car><description>american classic in good condition</description><price>1500</price><color>blue</color><mileage>90000</mileage></car>",
+        "<car><description>rusty</description><price>200</price></car>",
+        "<car><description>good condition, best bid accepted, garaged in NYC</description><price>900</price><color>red</color></car>",
+        "<car><description>fixer-upper, low mileage</description><price>300</price><color>red</color></car>",
+    ]
+    .iter()
+    .map(|car| format!("<dealer>{car}</dealer>"))
+    .collect()
+}
+
+/// The paper's running-example profile: ρ2/ρ3 scoping, π1 VOR, π4/π5 KORs.
+fn paper_profile(order: RankOrder) -> UserProfile {
+    UserProfile::new()
+        .with_rank_order(order)
+        .with_scoping(ScopingRule::add(
+            "rho2",
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
+            vec![Atom::ft("description", "american")],
+        ))
+        .with_scoping(ScopingRule::delete(
+            "rho3",
+            vec![
+                Atom::pc("car", "description"),
+                Atom::ft("description", "good condition"),
+            ],
+            vec![Atom::ft("description", "low mileage")],
+        ))
+        .with_vor(ValueOrderingRule::prefer_value(
+            "pi1", "car", "color", "red",
+        ))
+        .with_kor(KeywordOrderingRule::weighted("pi4", "car", "best bid", 2.0))
+        .with_kor(KeywordOrderingRule::weighted("pi5", "car", "NYC", 1.0))
+}
+
+fn xmark_docs() -> Vec<String> {
+    (0..12)
+        .map(|seed| pimento_datagen::xmark::generate(seed, 24 * 1024))
+        .collect()
+}
+
+fn xmark_profile(order: RankOrder) -> UserProfile {
+    UserProfile::new()
+        .with_rank_order(order)
+        .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
+        .with_kor(KeywordOrderingRule::weighted(
+            "c",
+            "person",
+            "United States",
+            2.0,
+        ))
+        .with_kor(KeywordOrderingRule::weighted("e", "person", "College", 0.5))
+        .with_kor(KeywordOrderingRule::weighted("t", "person", "Phoenix", 1.5))
+        .with_vor(ValueOrderingRule::prefer_value("a", "person", "age", "33"))
+}
+
+/// Everything the equivalence claim covers: identity, both scores (as
+/// bits — "close" is not "equal"), and position.
+fn full_key(results: &SearchResults) -> Vec<(u32, u32, u64, u64)> {
+    results
+        .hits
+        .iter()
+        .map(|h| (h.elem.doc.0, h.elem.node.0, h.k.to_bits(), h.s.to_bits()))
+        .collect()
+}
+
+fn assert_shard_equivalent(engine: &Engine, query: &str, profile: &UserProfile, k: usize) {
+    for order in [RankOrder::Kvs, RankOrder::Vks] {
+        let profile = profile.clone().with_rank_order(order);
+        for strategy in PlanStrategy::all() {
+            let opts = SearchOptions::top(k).with_strategy(strategy).with_threads(1);
+            let mono = engine.search(query, &profile, &opts).unwrap();
+            for shards in [1usize, 2, 4, 8] {
+                let sharded = engine.reshard(shards).unwrap();
+                let res = sharded.search(query, &profile, &opts).unwrap();
+                let label = format!(
+                    "{} / {order:?} / {shards} shards ({} segments)",
+                    strategy.paper_name(),
+                    sharded.shard_count()
+                );
+                assert_eq!(full_key(&mono), full_key(&res), "{label}");
+                assert_eq!(mono.stats.emitted, res.stats.emitted, "{label}");
+                if sharded.shard_count() > 1 {
+                    // The per-shard breakdown is a genuine partition of the
+                    // candidate scan: base answers sum to the monolithic count.
+                    assert_eq!(res.worker_stats.len(), sharded.shard_count(), "{label}");
+                    assert_eq!(res.shard_times_us.len(), sharded.shard_count(), "{label}");
+                    let base: u64 = res.worker_stats.iter().map(|w| w.base_answers).sum();
+                    assert_eq!(mono.stats.base_answers, base, "{label}");
+                    assert!(
+                        res.explain.starts_with("scatter(shards="),
+                        "{label}: explain = {}",
+                        res.explain
+                    );
+                } else {
+                    assert!(res.shard_times_us.is_empty(), "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn running_example_sharded_equals_monolithic() {
+    let docs = cars_docs();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let engine = Engine::from_xml_docs(&refs).unwrap();
+    let query = r#"//car[./description[ftcontains(., "good condition") and ftcontains(., "low mileage")] and ./price < 2000]"#;
+    assert_shard_equivalent(&engine, query, &paper_profile(RankOrder::Kvs), 3);
+}
+
+#[test]
+fn xmark_sharded_equals_monolithic() {
+    let docs = xmark_docs();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let engine = Engine::from_xml_docs(&refs).unwrap();
+    let query = r#"//person[ftcontains(./profile/business, "Yes")]"#;
+    assert_shard_equivalent(&engine, query, &xmark_profile(RankOrder::Kvs), 10);
+}
+
+/// Multiple same-priority VORs make many answers `≺_V`-incomparable; the
+/// segment merge must not prune across incomparability.
+#[test]
+fn incomparable_vor_frontier_survives_segmenting() {
+    let docs = xmark_docs();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let engine = Engine::from_xml_docs(&refs).unwrap();
+    let profile = UserProfile::new()
+        .with_kor(KeywordOrderingRule::weighted("g", "person", "male", 1.0))
+        .with_vor(ValueOrderingRule::prefer_value(
+            "a33", "person", "age", "33",
+        ))
+        .with_vor(ValueOrderingRule::prefer_smaller(
+            "inc", "profile", "income",
+        ));
+    assert_shard_equivalent(&engine, "//person", &profile, 8);
+}
+
+/// A sharded snapshot directory round-trips: save, reopen with
+/// [`Engine::from_sharded_dir`], and get bit-identical answers (the
+/// reopened engine rebuilds corpus-global scoring stats from the
+/// per-segment indexes).
+#[test]
+fn sharded_snapshot_roundtrip_is_bit_identical() {
+    let docs = xmark_docs();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let engine = Engine::from_xml_docs(&refs).unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "pimento-shard-roundtrip-{}",
+        std::process::id()
+    ));
+    let sharded = engine.reshard(4).unwrap();
+    sharded.save_sharded_snapshot(&dir).unwrap();
+    let reopened = Engine::from_sharded_dir(&dir).unwrap();
+    assert_eq!(reopened.shard_count(), sharded.shard_count());
+    assert_eq!(reopened.num_docs(), engine.num_docs());
+    let query = r#"//person[ftcontains(./profile/business, "Yes")]"#;
+    let profile = xmark_profile(RankOrder::Kvs);
+    let opts = SearchOptions::top(10);
+    let mono = engine.search(query, &profile, &opts).unwrap();
+    let reloaded = reopened.search(query, &profile, &opts).unwrap();
+    assert_eq!(full_key(&mono), full_key(&reloaded));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--shards` through the whole stack also composes with the other knobs:
+/// pagination offsets and the lane cap never change answers.
+#[test]
+fn shard_lanes_and_offset_are_transparent() {
+    let docs = xmark_docs();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let engine = Engine::from_xml_docs(&refs).unwrap();
+    let sharded = engine.reshard(4).unwrap();
+    let query = r#"//person[ftcontains(./profile/business, "Yes")]"#;
+    let profile = xmark_profile(RankOrder::Vks);
+    let base = engine
+        .search(query, &profile, &SearchOptions::top(5).with_offset(3))
+        .unwrap();
+    for lanes in [0usize, 1, 2, 7] {
+        let res = sharded
+            .search(
+                query,
+                &profile,
+                &SearchOptions::top(5).with_offset(3).with_shards(lanes),
+            )
+            .unwrap();
+        assert_eq!(full_key(&base), full_key(&res), "lanes={lanes}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No partition of the corpus changes the survivor set: random
+    /// interior boundaries (including duplicates and out-of-range cuts,
+    /// which `reshard_at` filters) yield bit-identical top-k.
+    #[test]
+    fn random_doc_range_splits_never_change_survivors(
+        cuts in proptest::collection::vec(0usize..16, 0..6),
+        order in prop_oneof![Just(RankOrder::Kvs), Just(RankOrder::Vks)],
+    ) {
+        let docs = cars_docs();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let engine = Engine::from_xml_docs(&refs).unwrap();
+        let query = r#"//car[ftcontains(., "good condition") and ./price < 2000]"#;
+        let profile = paper_profile(order);
+        let opts = SearchOptions::top(4);
+        let mono = engine.search(query, &profile, &opts).unwrap();
+        let sharded = engine.reshard_at(&cuts).unwrap();
+        let res = sharded.search(query, &profile, &opts).unwrap();
+        prop_assert_eq!(
+            full_key(&mono),
+            full_key(&res),
+            "cuts {:?} -> {} segments",
+            cuts,
+            sharded.shard_count()
+        );
+    }
+}

@@ -1,11 +1,15 @@
 //! Execution context: the indexes every operator reads, plus run counters.
 
-use pimento_index::{Collection, InvertedIndex, Scorer, TagIndex, Tokenizer, ValueIndex};
+use pimento_index::{
+    Collection, DocId, InvertedIndex, Scorer, TagIndex, Tokenizer, TombstoneSet, ValueIndex,
+};
+use std::sync::Arc;
 
-/// The indexed collection a plan executes against (paper §6.4: "we rely on
-/// inverted indices on keywords and on an index per distinct tag").
+/// The four index structures of one indexed collection, always built and
+/// shared together. Segment republication (a live ingest publishing a new
+/// generation) clones the `Arc` around this block instead of reindexing.
 #[derive(Debug)]
-pub struct Database {
+pub struct Indexes {
     /// The document store.
     pub coll: Collection,
     /// Positional keyword index.
@@ -14,8 +18,59 @@ pub struct Database {
     pub tags: TagIndex,
     /// Numeric leaf-value index (range scans for constraint predicates).
     pub values: ValueIndex,
+}
+
+/// The indexed collection a plan executes against (paper §6.4: "we rely on
+/// inverted indices on keywords and on an index per distinct tag").
+///
+/// The index structures sit behind an `Arc` so a `Database` clone is
+/// cheap: the live ingest path republishes every existing segment with a
+/// refreshed corpus-stats [`Scorer`] (and possibly a new [`TombstoneSet`])
+/// on each generation without touching the indexes themselves. `Deref`
+/// exposes the index fields, so operators keep reading `db.coll`,
+/// `db.inverted`, `db.tags`, and `db.values` directly.
+#[derive(Debug, Clone)]
+pub struct Database {
+    indexes: Arc<Indexes>,
     /// Keyword-predicate scorer.
     pub scorer: Scorer,
+    /// Deleted local doc ids, when any (see [`Database::is_deleted`]).
+    tombstones: Option<Arc<TombstoneSet>>,
+}
+
+impl std::ops::Deref for Database {
+    type Target = Indexes;
+
+    fn deref(&self) -> &Indexes {
+        &self.indexes
+    }
+}
+
+/// Why an in-place index mutation was refused or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutateError {
+    /// The document's XML failed to parse.
+    Xml(pimento_xml::XmlError),
+    /// The index block is shared (another engine generation still reads
+    /// it); in-place mutation would change published results.
+    Shared,
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::Xml(e) => write!(f, "{e}"),
+            MutateError::Shared => write!(f, "indexes are shared; cannot mutate in place"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl From<pimento_xml::XmlError> for MutateError {
+    fn from(e: pimento_xml::XmlError) -> Self {
+        MutateError::Xml(e)
+    }
 }
 
 impl Database {
@@ -26,11 +81,14 @@ impl Database {
         let values = ValueIndex::build(&coll);
         let scorer = Scorer::new(&inverted);
         Database {
-            coll,
-            inverted,
-            tags,
-            values,
+            indexes: Arc::new(Indexes {
+                coll,
+                inverted,
+                tags,
+                values,
+            }),
             scorer,
+            tombstones: None,
         }
     }
 
@@ -51,25 +109,75 @@ impl Database {
     ) -> Self {
         let scorer = Scorer::new(&inverted);
         Database {
-            coll,
-            inverted,
-            tags,
-            values,
+            indexes: Arc::new(Indexes {
+                coll,
+                inverted,
+                tags,
+                values,
+            }),
             scorer,
+            tombstones: None,
         }
+    }
+
+    /// The same indexes under a different scorer — the cheap segment
+    /// republication step (an `Arc` clone, no reindexing).
+    pub fn with_scorer(&self, scorer: Scorer) -> Database {
+        Database {
+            indexes: Arc::clone(&self.indexes),
+            scorer,
+            tombstones: self.tombstones.clone(),
+        }
+    }
+
+    /// The same indexes and scorer under a different tombstone set.
+    pub fn with_tombstones(&self, tombstones: Option<Arc<TombstoneSet>>) -> Database {
+        Database {
+            indexes: Arc::clone(&self.indexes),
+            scorer: self.scorer.clone(),
+            tombstones,
+        }
+    }
+
+    /// The tombstone set, when any document is deleted.
+    pub fn tombstones(&self) -> Option<&Arc<TombstoneSet>> {
+        self.tombstones.as_ref()
+    }
+
+    /// Is `doc` (a local doc id) tombstoned? Deleted documents are
+    /// filtered out of the candidate scan at the base of every plan —
+    /// before any pruning, so removing them only relaxes top-k bounds.
+    pub fn is_deleted(&self, doc: DocId) -> bool {
+        self.tombstones.as_ref().is_some_and(|t| t.contains(doc))
+    }
+
+    /// Number of deleted (tombstoned) documents.
+    pub fn deleted_count(&self) -> u32 {
+        self.tombstones
+            .as_ref()
+            .map(|t| t.deleted_count())
+            .unwrap_or(0)
+    }
+
+    /// Documents that are present and not tombstoned.
+    pub fn live_docs(&self) -> usize {
+        self.coll.len() - self.deleted_count() as usize
     }
 
     /// Add one more document, updating the indexes incrementally — new
     /// postings and element entries append in `(doc, …)` order, so no
     /// rebuild or re-sort happens; only the scorer's document count
-    /// refreshes.
-    pub fn add_xml(&mut self, xml: &str) -> Result<pimento_index::DocId, pimento_xml::XmlError> {
-        let doc_id = self.coll.add_xml(xml)?;
-        let doc = self.coll.doc(doc_id);
-        self.inverted.index_document(doc_id, doc);
-        self.tags.index_document(doc_id, doc);
-        self.values.index_document(doc_id, doc);
-        self.scorer = Scorer::new(&self.inverted);
+    /// refreshes. Fails with [`MutateError::Shared`] when the index block
+    /// is still referenced by another generation (published segments are
+    /// immutable; build a delta segment instead).
+    pub fn add_xml(&mut self, xml: &str) -> Result<pimento_index::DocId, MutateError> {
+        let indexes = Arc::get_mut(&mut self.indexes).ok_or(MutateError::Shared)?;
+        let doc_id = indexes.coll.add_xml(xml)?;
+        let doc = indexes.coll.doc(doc_id);
+        indexes.inverted.index_document(doc_id, doc);
+        indexes.tags.index_document(doc_id, doc);
+        indexes.values.index_document(doc_id, doc);
+        self.scorer = Scorer::new(&self.indexes.inverted);
         Ok(doc_id)
     }
 }

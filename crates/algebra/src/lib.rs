@@ -42,7 +42,7 @@ pub mod topk;
 pub mod trace;
 
 pub use answer::{Answer, VorKey};
-pub use context::{Database, ExecStats};
+pub use context::{Database, ExecStats, Indexes, MutateError};
 pub use eval::{compare_content, entry_of, Matcher, PreparedKind, PreparedPhrase};
 pub use ops::{
     gather_candidates, BoxedOp, KorJoin, Operator, QueryEval, Sort, SrPredJoin, VorFetch,

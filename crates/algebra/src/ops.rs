@@ -73,8 +73,21 @@ impl QueryEval {
 }
 
 /// The candidate bindings of `matcher`'s distinguished node that
-/// [`QueryEval`] scans under `mode`, in document order.
+/// [`QueryEval`] scans under `mode`, in document order. Tombstoned
+/// documents are filtered out here, at the base of the plan — before any
+/// prune sees an answer — so deleting candidates only ever *relaxes*
+/// top-k bounds and every pruning strategy stays sound.
 pub fn gather_candidates(db: &Database, matcher: &Matcher, mode: EvalMode) -> Vec<ElemEntry> {
+    let mut candidates = raw_candidates(db, matcher, mode);
+    if let Some(tombs) = db.tombstones() {
+        if !tombs.is_empty() {
+            candidates.retain(|e| !tombs.contains(e.doc));
+        }
+    }
+    candidates
+}
+
+fn raw_candidates(db: &Database, matcher: &Matcher, mode: EvalMode) -> Vec<ElemEntry> {
     match mode {
         EvalMode::StructuralJoin => crate::structural::prefilter_candidates(db, matcher),
         EvalMode::IndexedNestedLoop => match matcher.distinguished_tag() {

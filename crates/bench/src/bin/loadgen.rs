@@ -8,7 +8,10 @@
 //!
 //! Modes: default (full corpus), `--quick` (smaller corpus, fewer
 //! repeats), `--smoke` (tiny corpus; register → search → stats-identity
-//! check → shutdown; nonzero exit on any failure — used by verify.sh).
+//! check → shutdown; nonzero exit on any failure — used by verify.sh),
+//! `--ingest-mix` (the write-path benchmark: sustained `add_documents`
+//! rate vs query p95, pre- vs post-merge latency; writes
+//! `BENCH_ingest.json`).
 //! `--shards N` reshards the corpus into N doc-range segments before
 //! binding, exercising the scatter-gather path end to end; the full run
 //! also appends a shard-count sweep to `BENCH_serve.json`.
@@ -249,6 +252,205 @@ fn run_clients(
     Ok(all)
 }
 
+/// `--ingest-mix`: the write-path benchmark (BENCH_ingest.json). One
+/// server with a durable data dir and the background merger disabled, so
+/// delta segments accumulate visibly:
+///
+///  1. baseline — warm serial query latency against the static corpus;
+///  2. mixed    — a single writer streams `add_documents` batches (with
+///     periodic deletes) while concurrent clients keep querying: reports
+///     the sustained ingest rate and what it does to query p95 (every
+///     publish invalidates the plan cache, so the cost is honest);
+///  3. pre-merge vs post-merge — the same grown corpus queried first
+///     across all its delta segments, then compacted back into doc-range
+///     layout: the latency gap is what compaction buys.
+fn run_ingest(quick: bool) -> Result<(), String> {
+    let (dealers, cars, batches, batch_docs, clients, repeats) = if quick {
+        (4, 60, 8, 4, 2, 40)
+    } else {
+        (8, 150, 24, 8, 4, 120)
+    };
+    let users = 4;
+    eprintln!("loadgen: ingest mix — {dealers} dealer docs x {cars} cars, {batches} batches x {batch_docs} docs");
+    let docs: Vec<String> = (0..dealers)
+        .map(|i| pimento_datagen::generate_dealer(i as u64 + 1, cars))
+        .collect();
+    let engine = Engine::from_xml_docs(&docs)
+        .and_then(|e| e.reshard(2))
+        .map_err(|e| e.to_string())?;
+    let boot_shards = engine.shard_count();
+
+    let dir = std::env::temp_dir().join(format!("pimento-loadgen-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig {
+        data_dir: Some(dir.clone()),
+        merge_threshold: 0, // deltas accumulate; compaction measured explicitly below
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(Arc::new(engine), cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    for u in 0..users {
+        c.register_profile(&format!("u{u}"), &rules_for(u))
+            .map_err(|e| e.to_string())?;
+    }
+
+    // Phase 1: baseline query latency, warmed (round 0 discarded).
+    let mut baseline = Phase {
+        label: "baseline",
+        latencies_us: Vec::new(),
+    };
+    for round in 0..3 {
+        for u in 0..users {
+            for q in QUERIES {
+                let lat = timed_search(&mut c, &format!("u{u}"), q)?;
+                if round > 0 {
+                    baseline.latencies_us.push(lat);
+                }
+            }
+        }
+    }
+
+    // Phase 2: sustained writes under concurrent query load.
+    eprintln!("loadgen: mixed phase ({batches} write batches vs {clients} query clients)...");
+    let queriers = std::thread::spawn(move || run_clients(addr, clients, users, repeats));
+    let mut write_lat = Phase {
+        label: "write",
+        latencies_us: Vec::new(),
+    };
+    let ingest_start = Instant::now();
+    let mut next_doc = dealers as u64 + 1;
+    for b in 0..batches {
+        let batch: Vec<String> = (0..batch_docs)
+            .map(|_| {
+                let d = pimento_datagen::generate_dealer(next_doc, 10);
+                next_doc += 1;
+                d
+            })
+            .collect();
+        let t = Instant::now();
+        c.add_documents(&batch).map_err(|e| e.to_string())?;
+        write_lat.latencies_us.push(t.elapsed().as_micros() as u64);
+        if b % 4 == 3 {
+            // Periodic deletes keep tombstones on the scatter path.
+            let victim = (b as u32 - 3) * batch_docs as u32 + dealers as u32;
+            c.delete_documents(&[victim]).map_err(|e| e.to_string())?;
+        }
+    }
+    let ingest_wall = ingest_start.elapsed();
+    let under_ingest = Phase {
+        label: "queries-under-ingest",
+        latencies_us: queriers
+            .join()
+            .map_err(|_| "query thread panicked".to_string())??,
+    };
+    let docs_written = batches * batch_docs;
+    let ingest_rate = docs_written as f64 / ingest_wall.as_secs_f64();
+
+    // Phase 3a: pre-merge — the grown corpus, one delta segment per batch.
+    let mut pre_merge = Phase {
+        label: "pre-merge",
+        latencies_us: Vec::new(),
+    };
+    for round in 0..3 {
+        for u in 0..users {
+            for q in QUERIES {
+                let lat = timed_search(&mut c, &format!("u{u}"), q)?;
+                if round > 0 {
+                    pre_merge.latencies_us.push(lat);
+                }
+            }
+        }
+    }
+    let stats = c.shutdown().map_err(|e| e.to_string())?;
+    check_identities(&stats)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    let ingest_block = stats.get("ingest").ok_or("stats missing `ingest`")?;
+    let ib = |k: &str| {
+        ingest_block
+            .get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("ingest stats missing `{k}`"))
+    };
+    if ib("docs_added")? != docs_written as u64 {
+        return Err(format!(
+            "ingest identity broken: docs_added {} != {docs_written}",
+            ib("docs_added")?
+        ));
+    }
+    let generation = ib("generation")?;
+    let final_docs = ib("docs")?;
+
+    // Phase 3b: post-merge — recover the durable corpus and compact it
+    // back into doc-range layout, then serve and measure the same load.
+    let merged = Engine::from_sharded_dir(&dir)
+        .and_then(|e| e.compacted(boot_shards))
+        .map_err(|e| e.to_string())?;
+    // One delta segment per add batch; delete publishes only rewrite
+    // tombstone sidecars and add no segment.
+    let delta_segments = batches;
+    let server = Server::bind(Arc::new(merged), ServeConfig::default()).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    for u in 0..users {
+        c.register_profile(&format!("u{u}"), &rules_for(u))
+            .map_err(|e| e.to_string())?;
+    }
+    let mut post_merge = Phase {
+        label: "post-merge",
+        latencies_us: Vec::new(),
+    };
+    for round in 0..3 {
+        for u in 0..users {
+            for q in QUERIES {
+                let lat = timed_search(&mut c, &format!("u{u}"), q)?;
+                if round > 0 {
+                    post_merge.latencies_us.push(lat);
+                }
+            }
+        }
+    }
+    let stats = c.shutdown().map_err(|e| e.to_string())?;
+    check_identities(&stats)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+
+    let json = format!(
+        "{{\n  \"workload\": \"serve-ingest-mix\",\n  \"dealers\": {dealers},\n  \
+         \"cars_per_dealer\": {cars},\n  \"batches\": {batches},\n  \"batch_docs\": {batch_docs},\n  \
+         \"docs_written\": {docs_written},\n  \"ingest_docs_per_s\": {ingest_rate:.0},\n  \
+         \"final_generation\": {generation},\n  \"final_docs\": {final_docs},\n  \
+         \"delta_segments\": {delta_segments},\n  \
+         \"write\": {},\n  \"baseline\": {},\n  \"under_ingest\": {},\n  \
+         \"pre_merge\": {},\n  \"post_merge\": {}\n}}\n",
+        write_lat.json(),
+        baseline.json(),
+        under_ingest.json(),
+        pre_merge.json(),
+        post_merge.json(),
+    );
+    for phase in [&write_lat, &baseline, &under_ingest, &pre_merge, &post_merge] {
+        eprintln!("  {}: {}", phase.label, phase.json());
+    }
+    eprintln!(
+        "  sustained ingest: {ingest_rate:.0} docs/s across {batches} publishes; \
+         post-merge p50 {} us vs pre-merge {} us ({delta_segments} delta segments)",
+        post_merge.p50(),
+        pre_merge.p50()
+    );
+    std::fs::write("BENCH_ingest.json", &json).map_err(|e| e.to_string())?;
+    eprintln!("wrote BENCH_ingest.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 fn run(quick: bool, shards: usize) -> Result<(), String> {
     let (dealers, cars, users, clients, repeats) = if quick {
         (4, 100, 4, 4, 25)
@@ -379,6 +581,7 @@ fn run(quick: bool, shards: usize) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let ingest_mix = std::env::args().any(|a| a == "--ingest-mix");
     let quick = std::env::args().any(|a| a == "--quick");
     let mut shards = 0usize;
     let mut args = std::env::args();
@@ -395,6 +598,8 @@ fn main() -> ExitCode {
     }
     let outcome = if smoke_mode {
         smoke(shards)
+    } else if ingest_mix {
+        run_ingest(quick)
     } else {
         run(quick, shards)
     };

@@ -10,7 +10,7 @@ use pimento_algebra::{
 use pimento_index::ft_contains;
 use pimento_index::{
     global_doc_freqs, split_ranges, Collection, DocId, ManifestEntry, Scorer, ShardManifest,
-    Tokenizer, MANIFEST_FILE,
+    Tokenizer, TombstoneSet, MANIFEST_FILE,
 };
 use pimento_profile::{PersonalizedQuery, UserProfile};
 use pimento_tpq::{minimized, parse_tpq, simplify_predicates, Tpq};
@@ -34,6 +34,10 @@ pub struct Engine {
     /// a legacy rebuild-on-load snapshot, `Some(4)` for a zero-copy
     /// columnar one), or `None` when built by parsing XML.
     snapshot_format: Option<u32>,
+    /// Corpus generation: 0 for a freshly built corpus, bumped by every
+    /// published write (ingest, delete, merge compaction). Prepared-plan
+    /// caches key on this exactly as they key on profile generations.
+    generation: u64,
 }
 
 impl Engine {
@@ -42,6 +46,7 @@ impl Engine {
         Engine {
             segments: vec![Arc::new(Segment::new(db, 0))],
             snapshot_format,
+            generation: 0,
         }
     }
 
@@ -57,7 +62,21 @@ impl Engine {
         Ok(Engine {
             segments,
             snapshot_format,
+            generation: 0,
         })
+    }
+
+    /// The same engine stamped with `generation` (builder-style; used by
+    /// the write path when publishing a new corpus generation).
+    #[must_use]
+    pub fn at_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Corpus generation this engine serves (see the `generation` field).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The first segment — the whole corpus in the monolithic case. All
@@ -66,6 +85,17 @@ impl Engine {
     fn seg0(&self) -> Result<&Arc<Segment>, Error> {
         self.segments
             .first()
+            .ok_or(Error::Shard("engine has no segments"))
+    }
+
+    /// The newest (last) segment. Its collection carries the corpus
+    /// symbol table *including* symbols interned by delta segments —
+    /// symbol-table extension is append-only, so the newest table is a
+    /// superset of every older segment's and ids agree on the shared
+    /// prefix. Matchers compile against this segment.
+    fn seg_newest(&self) -> Result<&Arc<Segment>, Error> {
+        self.segments
+            .last()
             .ok_or(Error::Shard("engine has no segments"))
     }
 
@@ -106,7 +136,10 @@ impl Engine {
     pub fn save_snapshot(&self) -> bytes::Bytes {
         if self.segments.len() > 1 {
             let tokenizer = self.db().inverted.tokenizer();
-            let db = Database::index(self.collapse_collection(), tokenizer);
+            let Ok(full) = self.collapse_collection(false) else {
+                return bytes::Bytes::new();
+            };
+            let db = Database::index(full, tokenizer);
             return pimento_index::save_index(&db.coll, &db.inverted, &db.tags, &db.values);
         }
         let db = self.db();
@@ -117,27 +150,76 @@ impl Engine {
     /// rebuilt on load). Kept for format-migration tests and benchmarks.
     pub fn save_snapshot_v3(&self) -> bytes::Bytes {
         if self.segments.len() > 1 {
-            return pimento_index::save_collection(&self.collapse_collection());
+            return match self.collapse_collection(false) {
+                Ok(full) => pimento_index::save_collection(&full),
+                Err(_) => bytes::Bytes::new(),
+            };
         }
         pimento_index::save_collection(&self.db().coll)
     }
 
-    /// Write a sharded snapshot directory: one v4 columnar file per
-    /// segment plus a [`ShardManifest`]. [`Engine::from_sharded_dir`]
-    /// reopens each segment through the zero-copy columnar path.
-    pub fn save_sharded_snapshot(&self, dir: &Path) -> Result<(), Error> {
-        std::fs::create_dir_all(dir).map_err(|e| Error::Io(e.to_string()))?;
-        let mut manifest = ShardManifest::default();
-        for (i, seg) in self.segments.iter().enumerate() {
-            let file = ShardManifest::segment_file_name(i);
-            let db = seg.db();
-            let data = pimento_index::save_index(&db.coll, &db.inverted, &db.tags, &db.values);
-            std::fs::write(dir.join(&file), &data).map_err(|e| Error::Io(e.to_string()))?;
+    /// Serialize segment `i` to its v4 columnar byte image (the unit the
+    /// durable ingest store writes with its temp+fsync+rename discipline).
+    pub fn segment_bytes(&self, i: usize) -> Result<bytes::Bytes, Error> {
+        let seg = self
+            .segments
+            .get(i)
+            .ok_or(Error::Shard("segment index out of range"))?;
+        let db = seg.db();
+        Ok(pimento_index::save_index(
+            &db.coll,
+            &db.inverted,
+            &db.tags,
+            &db.values,
+        ))
+    }
+
+    /// The manifest describing this engine's segment layout, using the
+    /// given per-segment file names (one per segment). Tombstone sidecar
+    /// names are filled in for segments with deletions.
+    pub fn manifest_for(&self, files: &[String]) -> Result<ShardManifest, Error> {
+        if files.len() != self.segments.len() {
+            return Err(Error::Shard("one file name per segment required"));
+        }
+        let mut manifest = ShardManifest {
+            generation: self.generation,
+            ..ShardManifest::default()
+        };
+        for (seg, file) in self.segments.iter().zip(files) {
+            let tombstones = seg
+                .db()
+                .tombstones()
+                .filter(|t| !t.is_empty())
+                .map(|_| ShardManifest::tombstone_file_name(file, self.generation));
             manifest.segments.push(ManifestEntry {
-                file,
+                file: file.clone(),
                 doc_base: seg.doc_base(),
                 docs: seg.doc_count() as u32,
+                tombstones,
             });
+        }
+        Ok(manifest)
+    }
+
+    /// Write a sharded snapshot directory: one v4 columnar file per
+    /// segment plus a [`ShardManifest`] (v2 when the engine carries a
+    /// nonzero generation or tombstones, v1 otherwise).
+    /// [`Engine::from_sharded_dir`] reopens each segment through the
+    /// zero-copy columnar path.
+    pub fn save_sharded_snapshot(&self, dir: &Path) -> Result<(), Error> {
+        std::fs::create_dir_all(dir).map_err(|e| Error::Io(e.to_string()))?;
+        let files: Vec<String> = (0..self.segments.len())
+            .map(ShardManifest::segment_file_name)
+            .collect();
+        let manifest = self.manifest_for(&files)?;
+        for (i, entry) in manifest.segments.iter().enumerate() {
+            let data = self.segment_bytes(i)?;
+            std::fs::write(dir.join(&entry.file), &data).map_err(|e| Error::Io(e.to_string()))?;
+            if let (Some(t), Some(tombs)) = (&entry.tombstones, self.segments[i].db().tombstones())
+            {
+                std::fs::write(dir.join(t), tombs.render())
+                    .map_err(|e| Error::Io(e.to_string()))?;
+            }
         }
         std::fs::write(dir.join(MANIFEST_FILE), manifest.render())
             .map_err(|e| Error::Io(e.to_string()))?;
@@ -159,7 +241,7 @@ impl Engine {
             let data =
                 std::fs::read(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
             let opened = pimento_index::open_index(bytes::Bytes::from(data))?;
-            let db = Database::from_parts(
+            let mut db = Database::from_parts(
                 opened.collection,
                 opened.inverted,
                 opened.tags,
@@ -169,6 +251,18 @@ impl Engine {
                 return Err(Error::Snapshot(pimento_index::PersistError::BadManifest(
                     "segment document count disagrees with its file",
                 )));
+            }
+            if let Some(t) = &entry.tombstones {
+                let tpath = dir.join(t);
+                let ttext = std::fs::read_to_string(&tpath)
+                    .map_err(|e| Error::Io(format!("{}: {e}", tpath.display())))?;
+                let tombs = TombstoneSet::parse(&ttext)?;
+                if tombs.iter().any(|d| d.0 >= entry.docs) {
+                    return Err(Error::Snapshot(pimento_index::PersistError::BadManifest(
+                        "tombstone doc id outside its segment",
+                    )));
+                }
+                db = db.with_tombstones(Some(Arc::new(tombs)));
             }
             dbs.push(db);
         }
@@ -186,7 +280,8 @@ impl Engine {
             .zip(&manifest.segments)
             .map(|(db, entry)| Arc::new(Segment::new(db, entry.doc_base)))
             .collect();
-        Engine::from_segments(segments, Some(pimento_index::COLUMNAR_VERSION))
+        Ok(Engine::from_segments(segments, Some(pimento_index::COLUMNAR_VERSION))?
+            .at_generation(manifest.generation))
     }
 
     /// Reopen an engine from a snapshot. Columnar (v4) snapshots back the
@@ -261,17 +356,24 @@ impl Engine {
     }
 
     /// Flatten every segment back into one collection in corpus order,
-    /// carrying the full symbol table (every segment already holds a
-    /// complete copy, so segment 0's is the corpus table).
-    fn collapse_collection(&self) -> Collection {
-        let symbols = self.db().coll.symbols().clone();
+    /// carrying the full symbol table. The *newest* segment's table is
+    /// the corpus table: delta segments extend it append-only, so it is
+    /// a superset of every older segment's copy with identical ids on
+    /// the shared prefix. `live_only` skips tombstoned documents (the
+    /// merge-compaction input).
+    fn collapse_collection(&self, live_only: bool) -> Result<Collection, Error> {
+        let symbols = self.seg_newest()?.db().coll.symbols().clone();
         let mut docs = Vec::with_capacity(self.num_docs());
         for seg in &self.segments {
-            for (_, doc) in seg.db().coll.iter() {
+            let db = seg.db();
+            for (doc_id, doc) in db.coll.iter() {
+                if live_only && db.is_deleted(doc_id) {
+                    continue;
+                }
                 docs.push(doc.clone());
             }
         }
-        Collection::from_parts(symbols, docs)
+        Ok(Collection::from_parts(symbols, docs))
     }
 
     /// Rebuild this engine's corpus as `shards` doc-range segments (the
@@ -310,7 +412,18 @@ impl Engine {
 
     fn reshard_ranges(&self, ranges: Vec<Range<usize>>) -> Result<Engine, Error> {
         let tokenizer = self.seg0()?.db().inverted.tokenizer();
-        let full = self.collapse_collection();
+        let full = self.collapse_collection(false)?;
+        Self::build_sharded(full, tokenizer, ranges)
+    }
+
+    /// Index `full` as one segment per range (monolithic when `ranges`
+    /// has at most one) with corpus-global scoring statistics — the
+    /// common tail of [`Engine::reshard`] and [`Engine::compacted`].
+    fn build_sharded(
+        full: Collection,
+        tokenizer: Tokenizer,
+        ranges: Vec<Range<usize>>,
+    ) -> Result<Engine, Error> {
         if ranges.len() <= 1 {
             return Ok(Engine::monolithic(Database::index(full, tokenizer), None));
         }
@@ -334,6 +447,145 @@ impl Engine {
             .map(|(db, r)| Arc::new(Segment::new(db, r.start as u32)))
             .collect();
         Engine::from_segments(segments, None)
+    }
+
+    // ------------------------------------------------------------------
+    // The write path (DESIGN.md §16): pure transforms producing the next
+    // corpus generation. The engine itself is immutable — `pimento-ingest`
+    // owns the swap cell and the durability protocol around these.
+    // ------------------------------------------------------------------
+
+    /// A new engine with `docs` appended as one immutable delta segment,
+    /// at generation `generation() + 1`.
+    ///
+    /// The delta's collection starts from the newest segment's symbol
+    /// table (append-only extension: existing ids keep their meaning,
+    /// new tags intern past the old ceiling), and *every* segment —
+    /// existing ones by a cheap `Arc` republication, the delta by
+    /// construction — gets a scorer over the grown corpus statistics, so
+    /// scatter-gather results stay bit-identical to a monolithic rebuild
+    /// of the whole corpus.
+    pub fn with_ingested<S: AsRef<str>>(&self, docs: &[S]) -> Result<Engine, Error> {
+        if docs.is_empty() {
+            return Err(Error::Ingest("empty document batch".to_string()));
+        }
+        let newest = self.seg_newest()?;
+        let tokenizer = newest.db().inverted.tokenizer();
+        let mut delta_coll = Collection::from_parts(newest.db().coll.symbols().clone(), Vec::new());
+        for doc in docs {
+            delta_coll.add_xml(doc.as_ref())?;
+        }
+        let delta_db = Database::index(delta_coll, tokenizer);
+        let num_docs = (self.num_docs() + docs.len()) as u32;
+        let mut inverteds: Vec<_> = self.segments.iter().map(|s| &s.db().inverted).collect();
+        inverteds.push(&delta_db.inverted);
+        let df = Arc::new(global_doc_freqs(&inverteds));
+        let scorer = Scorer::with_corpus_stats(num_docs, Arc::clone(&df));
+        let mut segments: Vec<Arc<Segment>> = self
+            .segments
+            .iter()
+            .map(|seg| {
+                Arc::new(Segment::new(
+                    seg.db().with_scorer(scorer.clone()),
+                    seg.doc_base(),
+                ))
+            })
+            .collect();
+        segments.push(Arc::new(Segment::new(
+            delta_db.with_scorer(scorer),
+            self.num_docs() as u32,
+        )));
+        Ok(Engine::from_segments(segments, None)?.at_generation(self.generation + 1))
+    }
+
+    /// A new engine with the given corpus-global doc ids tombstoned, at
+    /// generation `generation() + 1`, plus the count of documents that
+    /// were live before this call.
+    ///
+    /// Tombstoned documents vanish from query results immediately (they
+    /// are dropped at the base of every per-segment scan), but scoring
+    /// statistics keep counting them until the next merge compaction
+    /// rebuilds the corpus without them — Lucene's delete semantics,
+    /// documented in DESIGN.md §16. Unknown ids are a typed error;
+    /// deleting an already-deleted document is a no-op.
+    pub fn with_deletes(&self, ids: &[u32]) -> Result<(Engine, usize), Error> {
+        if ids.is_empty() {
+            return Err(Error::Ingest("empty delete batch".to_string()));
+        }
+        let num_docs = self.num_docs() as u32;
+        // Per-segment new tombstone sets, cloned lazily from the current.
+        let mut sets: Vec<Option<TombstoneSet>> = vec![None; self.segments.len()];
+        let mut newly = 0usize;
+        for &id in ids {
+            if id >= num_docs {
+                return Err(Error::Ingest(format!(
+                    "document id {id} outside the corpus (0..{num_docs})"
+                )));
+            }
+            let (index, local) = self
+                .segments
+                .iter()
+                .position(|seg| {
+                    id >= seg.doc_base() && ((id - seg.doc_base()) as usize) < seg.doc_count()
+                })
+                .map(|i| (i, DocId(id - self.segments[i].doc_base())))
+                .ok_or(Error::Shard("doc id outside every segment"))?;
+            let set = sets[index].get_or_insert_with(|| {
+                self.segments[index]
+                    .db()
+                    .tombstones()
+                    .map(|t| (**t).clone())
+                    .unwrap_or_default()
+            });
+            if set.insert(local) {
+                newly += 1;
+            }
+        }
+        let segments = self
+            .segments
+            .iter()
+            .zip(sets)
+            .map(|(seg, set)| match set {
+                Some(set) => Arc::new(Segment::new(
+                    seg.db().with_tombstones(Some(Arc::new(set))),
+                    seg.doc_base(),
+                )),
+                None => Arc::clone(seg),
+            })
+            .collect();
+        Ok((
+            Engine::from_segments(segments, None)?.at_generation(self.generation + 1),
+            newly,
+        ))
+    }
+
+    /// Merge compaction: rebuild the live corpus (tombstoned documents
+    /// dropped, surviving documents renumbered in corpus order — exactly
+    /// the ids a monolithic rebuild would assign) as `shards` doc-range
+    /// segments, at generation `generation() + 1`.
+    pub fn compacted(&self, shards: usize) -> Result<Engine, Error> {
+        let tokenizer = self.seg0()?.db().inverted.tokenizer();
+        let live = self.collapse_collection(true)?;
+        if live.is_empty() {
+            return Err(Error::Ingest(
+                "compaction would empty the corpus entirely".to_string(),
+            ));
+        }
+        let ranges = split_ranges(live.len(), shards);
+        Ok(Self::build_sharded(live, tokenizer, ranges)?.at_generation(self.generation + 1))
+    }
+
+    /// Number of tombstoned (deleted but not yet merged away) documents.
+    pub fn deleted_docs(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.db().deleted_count() as usize)
+            .sum()
+    }
+
+    /// Documents visible to queries: total minus tombstoned.
+    pub fn live_docs(&self) -> usize {
+        self.num_docs() - self.deleted_docs()
     }
 
     /// Add a document to a live engine; indexes update incrementally.
@@ -427,13 +679,14 @@ impl Engine {
                 "enforce_scoping succeeded but Profile::verify reports an SR conflict cycle:\n{report}"
             );
         }
-        // The matcher compiles against segment 0's database, but it is
-        // valid for *every* segment: symbol ids are corpus-global (each
-        // segment carries the full table) and scoring bounds read the
+        // The matcher compiles against the *newest* segment's database,
+        // but it is valid for *every* segment: symbol ids are
+        // corpus-global (the newest table is the append-only superset of
+        // every older segment's copy) and scoring bounds read the
         // corpus-stats scorer — which is why prepared-plan cache keys
-        // need no shard component.
+        // need no shard component, only the corpus generation.
         Ok(PreparedSearch {
-            matcher: Arc::new(Matcher::new(self.seg0()?.db(), pq)),
+            matcher: Arc::new(Matcher::new(self.seg_newest()?.db(), pq)),
             kors: profile.kors.clone(),
             rank: RankContext::new(profile.vors.clone(), profile.rank_order),
             profile: profile.clone(),
@@ -685,7 +938,7 @@ impl Engine {
         use pimento_algebra::{BoxedOp, QueryEval};
         let tpq = pimento_tpq::parse_tpq(query)?;
         let pq = profile.enforce_scoping(&tpq)?;
-        let matcher = Arc::new(Matcher::new(self.seg0()?.db(), pq));
+        let matcher = Arc::new(Matcher::new(self.seg_newest()?.db(), pq));
         let rank = RankContext::new(profile.vors.clone(), profile.rank_order);
         // Materialize all personalized answers (no pruning — winnow needs
         // the full dominance picture) from every segment, then layer-0
@@ -1166,5 +1419,107 @@ mod prepared_tests {
                 }
             )
             .is_err());
+    }
+}
+
+#[cfg(test)]
+mod mutate_tests {
+    //! Corpus transforms behind the ingest write path: every derived
+    //! engine must answer queries bit-identically to a monolithic rebuild
+    //! of the same live documents, and the sharded v2 snapshot round-trip
+    //! must preserve tombstones and the corpus generation.
+    use super::*;
+
+    fn dealer(i: u64) -> String {
+        pimento_datagen::generate_dealer(i, 12)
+    }
+
+    fn bits(e: &Engine, query: &str) -> Vec<(u32, u32, u64, u64)> {
+        let res = e
+            .search(query, &UserProfile::new(), &SearchOptions::top(32))
+            .unwrap();
+        res.hits
+            .iter()
+            .map(|h| (h.elem.doc.0, h.elem.node.0, h.s.to_bits(), h.k.to_bits()))
+            .collect()
+    }
+
+    const Q: &str = r#"//car[ftcontains(., "good condition") and ./price < 9000]"#;
+
+    #[test]
+    fn ingested_engine_matches_monolithic_rebuild() {
+        let base: Vec<String> = (0..3).map(dealer).collect();
+        let extra: Vec<String> = (3..5).map(dealer).collect();
+        let grown = Engine::from_xml_docs(&base)
+            .unwrap()
+            .with_ingested(&extra)
+            .unwrap();
+        assert_eq!(grown.generation(), 1);
+        assert_eq!(grown.num_docs(), 5);
+        let all: Vec<String> = base.iter().chain(&extra).cloned().collect();
+        let monolithic = Engine::from_xml_docs(&all).unwrap();
+        assert_eq!(bits(&grown, Q), bits(&monolithic, Q));
+    }
+
+    #[test]
+    fn deletes_then_compaction_match_a_rebuild_without_the_victims() {
+        let docs: Vec<String> = (0..5).map(dealer).collect();
+        let (engine, n) = Engine::from_xml_docs(&docs)
+            .unwrap()
+            .with_ingested(&[dealer(5)])
+            .unwrap()
+            .with_deletes(&[1, 4])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.live_docs(), 4);
+        assert_eq!(engine.deleted_docs(), 2);
+
+        // Tombstoned docs never appear in results...
+        let hits = bits(&engine, Q);
+        assert!(hits.iter().all(|h| h.0 != 1 && h.0 != 4), "{hits:?}");
+        // ...and deleting the same ids again changes nothing (idempotent).
+        let (again, n2) = engine.with_deletes(&[1, 4]).unwrap();
+        assert_eq!(n2, 0);
+        assert_eq!(again.deleted_docs(), 2);
+
+        // Compaction drops the tombstoned docs physically; surviving docs
+        // are renumbered densely, so compare score multisets rather than
+        // ids against a rebuild of only the survivors.
+        let compacted = engine.compacted(2).unwrap();
+        assert_eq!(compacted.num_docs(), 4);
+        assert_eq!(compacted.deleted_docs(), 0);
+        assert_eq!(compacted.generation(), 3);
+        let survivors = vec![docs[0].clone(), docs[2].clone(), docs[3].clone(), dealer(5)];
+        let rebuilt = Engine::from_xml_docs(&survivors).unwrap();
+        let mut a: Vec<(u64, u64)> = bits(&compacted, Q).iter().map(|h| (h.2, h.3)).collect();
+        let mut b: Vec<(u64, u64)> = bits(&rebuilt, Q).iter().map(|h| (h.2, h.3)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "scores survive compaction bit-for-bit");
+    }
+
+    #[test]
+    fn sharded_v2_roundtrip_preserves_tombstones_and_generation() {
+        let docs: Vec<String> = (0..4).map(dealer).collect();
+        let (engine, _) = Engine::from_xml_docs(&docs)
+            .unwrap()
+            .with_ingested(&[dealer(4)])
+            .unwrap()
+            .with_deletes(&[2])
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "pimento-core-v2-roundtrip-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        engine.save_sharded_snapshot(&dir).unwrap();
+        let reopened = Engine::from_sharded_dir(&dir).unwrap();
+        assert_eq!(reopened.generation(), engine.generation());
+        assert_eq!(reopened.num_docs(), engine.num_docs());
+        assert_eq!(reopened.live_docs(), engine.live_docs());
+        assert_eq!(reopened.deleted_docs(), 1);
+        assert_eq!(bits(&reopened, Q), bits(&engine, Q));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

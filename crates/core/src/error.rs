@@ -24,6 +24,8 @@ pub enum Error {
     Shard(&'static str),
     /// A filesystem operation on a sharded snapshot directory failed.
     Io(String),
+    /// An ingest request was invalid (empty batch, unknown doc id, …).
+    Ingest(String),
 }
 
 impl fmt::Display for Error {
@@ -36,6 +38,7 @@ impl fmt::Display for Error {
             Error::InvalidK => write!(f, "k must be at least 1"),
             Error::Shard(why) => write!(f, "shard error: {why}"),
             Error::Io(why) => write!(f, "io error: {why}"),
+            Error::Ingest(why) => write!(f, "ingest error: {why}"),
         }
     }
 }
@@ -47,7 +50,18 @@ impl std::error::Error for Error {
             Error::Query(e) => Some(e),
             Error::Conflict(e) => Some(e),
             Error::Snapshot(e) => Some(e),
-            Error::InvalidK | Error::Shard(_) | Error::Io(_) => None,
+            Error::InvalidK | Error::Shard(_) | Error::Io(_) | Error::Ingest(_) => None,
+        }
+    }
+}
+
+impl From<pimento_algebra::MutateError> for Error {
+    fn from(e: pimento_algebra::MutateError) -> Self {
+        match e {
+            pimento_algebra::MutateError::Xml(e) => Error::Xml(e),
+            pimento_algebra::MutateError::Shared => {
+                Error::Shard("engine indexes are shared; cannot mutate in place")
+            }
         }
     }
 }

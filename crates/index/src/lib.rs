@@ -44,6 +44,7 @@ pub mod stats;
 pub mod store;
 pub mod tags;
 pub mod tokenize;
+pub mod tombstone;
 pub mod values;
 pub mod varint;
 
@@ -62,9 +63,11 @@ pub use phrase::{
 pub use score::Scorer;
 pub use segment::{
     global_doc_freqs, split_ranges, ManifestEntry, ShardManifest, MANIFEST_FILE, MANIFEST_HEADER,
+    MANIFEST_HEADER_V2,
 };
 pub use stats::CorpusStats;
 pub use store::{Collection, DocId, ElemRef};
 pub use tags::{ElemEntry, ElemsView, TagIndex};
 pub use tokenize::{stem, Tokenizer};
+pub use tombstone::{TombstoneSet, TOMBSTONE_HEADER};
 pub use values::{RangeOp, ValueIndex};

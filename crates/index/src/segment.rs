@@ -30,8 +30,13 @@ use std::ops::Range;
 /// File name of the manifest inside a sharded snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
-/// Header line identifying a sharded-snapshot manifest.
+/// Header line identifying a v1 sharded-snapshot manifest.
 pub const MANIFEST_HEADER: &str = "pimento-shards v1";
+
+/// Header line identifying a v2 manifest: adds a corpus `generation`
+/// line and optional per-segment tombstone sidecar files (the live
+/// ingest write path, DESIGN.md §16).
+pub const MANIFEST_HEADER_V2: &str = "pimento-shards v2";
 
 /// Split `num_docs` documents into at most `shards` contiguous, disjoint,
 /// covering ranges of near-equal size (the first `num_docs % shards`
@@ -78,15 +83,31 @@ pub struct ManifestEntry {
     pub doc_base: u32,
     /// Number of documents in the segment.
     pub docs: u32,
+    /// Tombstone sidecar file name (v2 manifests), when the segment has
+    /// deleted documents.
+    pub tombstones: Option<String>,
 }
 
 /// The manifest of a sharded snapshot directory: the segment files in
-/// doc-range order, with their doc-id bases and counts.
+/// doc-range order, with their doc-id bases and counts, plus (v2) the
+/// corpus generation the directory captures.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardManifest {
     /// Segments in doc-range order (`doc_base` strictly increasing from 0,
     /// ranges contiguous).
     pub segments: Vec<ManifestEntry>,
+    /// Corpus generation at the time the manifest was written (0 for v1
+    /// manifests, which predate the generation protocol).
+    pub generation: u64,
+}
+
+/// Reject file names that could escape the snapshot directory or
+/// collide with the manifest itself.
+fn check_file_name(file: &str) -> Result<(), PersistError> {
+    if file.contains('/') || file.contains('\\') || file == ".." || file == MANIFEST_FILE {
+        return Err(PersistError::BadManifest("unsafe segment file name"));
+    }
+    Ok(())
 }
 
 impl ShardManifest {
@@ -95,28 +116,76 @@ impl ShardManifest {
         format!("segment-{i:03}.v4.snap")
     }
 
-    /// Render the manifest text: a header line, then one
-    /// `<file> <doc_base> <docs>` line per segment.
+    /// Canonical file name for a delta segment published at `generation`
+    /// (delta files are generation-stamped so a compaction can never
+    /// reuse a live file name).
+    pub fn delta_file_name(generation: u64) -> String {
+        format!("delta-{generation:06}.v4.snap")
+    }
+
+    /// Canonical file name for segment `i` of the corpus persisted at
+    /// `generation` (compactions use these so a new layout never
+    /// overwrites a file the previous manifest still references).
+    pub fn generation_file_name(generation: u64, i: usize) -> String {
+        format!("segment-g{generation:06}-{i:03}.v4.snap")
+    }
+
+    /// Canonical tombstone sidecar name for segment file `file` as of
+    /// `generation`. Sidecars are generation-stamped so publishing new
+    /// deletes never rewrites a file an older manifest references: a
+    /// crash between sidecar write and manifest rename leaves the old
+    /// generation exactly as it was published.
+    pub fn tombstone_file_name(file: &str, generation: u64) -> String {
+        format!("{file}.g{generation:06}.tomb")
+    }
+
+    /// Render the manifest text. A manifest with generation 0 and no
+    /// tombstones renders in the v1 format (one `<file> <doc_base>
+    /// <docs>` line per segment) for back-compatibility; otherwise the
+    /// v2 format adds a `generation <n>` line and an optional fourth
+    /// per-segment field naming the tombstone sidecar.
     pub fn render(&self) -> String {
-        let mut out = String::from(MANIFEST_HEADER);
+        let v2 = self.generation > 0 || self.segments.iter().any(|s| s.tombstones.is_some());
+        let mut out = String::from(if v2 { MANIFEST_HEADER_V2 } else { MANIFEST_HEADER });
         out.push('\n');
+        if v2 {
+            out.push_str(&format!("generation {}\n", self.generation));
+        }
         for seg in &self.segments {
-            out.push_str(&format!("{} {} {}\n", seg.file, seg.doc_base, seg.docs));
+            out.push_str(&format!("{} {} {}", seg.file, seg.doc_base, seg.docs));
+            if let Some(t) = &seg.tombstones {
+                out.push_str(&format!(" {t}"));
+            }
+            out.push('\n');
         }
         out
     }
 
-    /// Parse and validate manifest text. Beyond the line grammar this
-    /// checks the structural invariants the scatter-gather executor
-    /// relies on: at least one segment, doc ranges contiguous from 0,
-    /// every segment non-empty, and segment file names free of path
-    /// separators (a manifest must not escape its own directory).
+    /// Parse and validate manifest text (v1 or v2). Beyond the line
+    /// grammar this checks the structural invariants the scatter-gather
+    /// executor relies on: at least one segment, doc ranges contiguous
+    /// from 0 (so no duplicate or overlapping ranges can slip through),
+    /// every segment non-empty, no file listed twice, and file names
+    /// free of path separators (a manifest must not escape its own
+    /// directory).
     pub fn parse(text: &str) -> Result<ShardManifest, PersistError> {
-        let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(MANIFEST_HEADER) {
-            return Err(PersistError::BadManifest("missing header"));
+        let mut lines = text.lines().peekable();
+        let header = lines.next().map(str::trim);
+        let v2 = match header {
+            Some(h) if h == MANIFEST_HEADER => false,
+            Some(h) if h == MANIFEST_HEADER_V2 => true,
+            _ => return Err(PersistError::BadManifest("missing header")),
+        };
+        let mut generation = 0u64;
+        if v2 {
+            generation = lines
+                .next()
+                .map(str::trim)
+                .and_then(|l| l.strip_prefix("generation "))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or(PersistError::BadManifest("missing generation line"))?;
         }
-        let mut segments = Vec::new();
+        let mut segments: Vec<ManifestEntry> = Vec::new();
         let mut next_base = 0u32;
         for line in lines {
             let line = line.trim();
@@ -135,14 +204,32 @@ impl ShardManifest {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .ok_or(PersistError::BadManifest("bad doc count"))?;
+            let tombstones = match fields.next() {
+                Some(t) if v2 => {
+                    check_file_name(t)?;
+                    Some(t.to_string())
+                }
+                Some(_) => return Err(PersistError::BadManifest("trailing fields")),
+                None => None,
+            };
             if fields.next().is_some() {
                 return Err(PersistError::BadManifest("trailing fields"));
             }
-            if file.contains('/') || file.contains('\\') || file == ".." {
-                return Err(PersistError::BadManifest("unsafe segment file name"));
+            check_file_name(file)?;
+            let dup = segments.iter().any(|s| {
+                s.file == file
+                    || s.tombstones.as_deref() == Some(file)
+                    || tombstones
+                        .as_deref()
+                        .is_some_and(|t| t == s.file || Some(t) == s.tombstones.as_deref())
+            });
+            if dup || tombstones.as_deref() == Some(file) {
+                return Err(PersistError::BadManifest("duplicate file in manifest"));
             }
             if doc_base != next_base {
-                return Err(PersistError::BadManifest("doc ranges not contiguous"));
+                return Err(PersistError::BadManifest(
+                    "doc ranges overlap or are not contiguous",
+                ));
             }
             if docs == 0 {
                 return Err(PersistError::BadManifest("empty segment"));
@@ -154,15 +241,20 @@ impl ShardManifest {
                 file: file.to_string(),
                 doc_base,
                 docs,
+                tombstones,
             });
         }
         if segments.is_empty() {
             return Err(PersistError::BadManifest("no segments"));
         }
-        Ok(ShardManifest { segments })
+        Ok(ShardManifest {
+            segments,
+            generation,
+        })
     }
 
-    /// Total documents across all segments.
+    /// Total documents across all segments (deleted documents included —
+    /// tombstones hide documents, they do not renumber them).
     pub fn num_docs(&self) -> u32 {
         self.segments.last().map(|s| s.doc_base + s.docs).unwrap_or(0)
     }
@@ -224,16 +316,50 @@ mod tests {
                     file: ShardManifest::segment_file_name(0),
                     doc_base: 0,
                     docs: 3,
+                    tombstones: None,
                 },
                 ManifestEntry {
                     file: ShardManifest::segment_file_name(1),
                     doc_base: 3,
                     docs: 2,
+                    tombstones: None,
                 },
             ],
+            generation: 0,
         };
+        assert!(m.render().starts_with(MANIFEST_HEADER), "v1 back-compat");
         let back = ShardManifest::parse(&m.render()).unwrap();
         assert_eq!(back, m);
+        assert_eq!(back.num_docs(), 5);
+        assert_eq!(back.generation, 0);
+    }
+
+    #[test]
+    fn manifest_v2_roundtrip_with_generation_and_tombstones() {
+        let seg0 = ShardManifest::segment_file_name(0);
+        let m = ShardManifest {
+            segments: vec![
+                ManifestEntry {
+                    tombstones: Some(ShardManifest::tombstone_file_name(&seg0, 7)),
+                    file: seg0,
+                    doc_base: 0,
+                    docs: 3,
+                },
+                ManifestEntry {
+                    file: ShardManifest::delta_file_name(7),
+                    doc_base: 3,
+                    docs: 2,
+                    tombstones: None,
+                },
+            ],
+            generation: 7,
+        };
+        let text = m.render();
+        assert!(text.starts_with(MANIFEST_HEADER_V2), "{text}");
+        assert!(text.contains("generation 7"), "{text}");
+        let back = ShardManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.generation, 7);
         assert_eq!(back.num_docs(), 5);
     }
 
@@ -251,6 +377,11 @@ mod tests {
             "pimento-shards v1\nseg.snap 0 0\n",
             "pimento-shards v1\n../evil.snap 0 3\n",
             "pimento-shards v1\nsub/evil.snap 0 3\n",
+            "pimento-shards v1\nMANIFEST 0 3\n",
+            "pimento-shards v2\na.snap 0 3\n",
+            "pimento-shards v2\ngeneration x\na.snap 0 3\n",
+            "pimento-shards v2\ngeneration 1\na.snap 0 3 ../t\n",
+            "pimento-shards v2\ngeneration 1\na.snap 0 3 t extra\n",
         ];
         for text in bad {
             assert!(
@@ -261,6 +392,40 @@ mod tests {
                 "{text:?}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_entries_rejected() {
+        // Same file listed twice (ranges contiguous, so only the
+        // duplicate-file check can catch it).
+        let dup = "pimento-shards v1\na.snap 0 3\na.snap 3 2\n";
+        assert!(matches!(
+            ShardManifest::parse(dup),
+            Err(PersistError::BadManifest("duplicate file in manifest"))
+        ));
+        // A tombstone sidecar colliding with a segment file.
+        let collide = "pimento-shards v2\ngeneration 1\na.snap 0 3\nb.snap 3 2 a.snap\n";
+        assert!(matches!(
+            ShardManifest::parse(collide),
+            Err(PersistError::BadManifest("duplicate file in manifest"))
+        ));
+        // A segment naming itself as its tombstone sidecar.
+        let self_ref = "pimento-shards v2\ngeneration 1\na.snap 0 3 a.snap\n";
+        assert!(matches!(
+            ShardManifest::parse(self_ref),
+            Err(PersistError::BadManifest("duplicate file in manifest"))
+        ));
+        // Overlapping ranges: second segment starts inside the first.
+        let overlap = "pimento-shards v1\na.snap 0 3\nb.snap 2 2\n";
+        assert!(matches!(
+            ShardManifest::parse(overlap),
+            Err(PersistError::BadManifest(
+                "doc ranges overlap or are not contiguous"
+            ))
+        ));
+        // Duplicate range: both segments claim base 0.
+        let same = "pimento-shards v1\na.snap 0 3\nb.snap 0 3\n";
+        assert!(ShardManifest::parse(same).is_err());
     }
 
     proptest! {

@@ -1,0 +1,181 @@
+//! Tombstone bitmaps: segment-local delete markers (DESIGN.md §16).
+//!
+//! A delete never rewrites an immutable segment. Instead the owning
+//! segment gains a [`TombstoneSet`] — a bitmap over its local doc ids —
+//! consulted at the base of every per-segment scan, so deleted documents
+//! vanish from results immediately while the segment's files and scoring
+//! statistics stay untouched until the next merge compaction rebuilds
+//! the doc-range layout without them (Lucene's delete semantics).
+//!
+//! On disk a tombstone set is a text sidecar next to its segment file:
+//! a header, a `count` line, then the deleted local doc ids in strictly
+//! increasing order. [`TombstoneSet::parse`] is a `panic-path` lint
+//! root: malformed sidecars surface as [`PersistError`], never a panic.
+
+use crate::persist::PersistError;
+use crate::store::DocId;
+
+/// Header line identifying a tombstone sidecar file.
+pub const TOMBSTONE_HEADER: &str = "pimento-tombstones v1";
+
+/// A set of deleted local doc ids within one segment, stored as a
+/// bitmap (`u64` words) plus a running count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TombstoneSet {
+    words: Vec<u64>,
+    deleted: u32,
+}
+
+impl TombstoneSet {
+    /// An empty set (nothing deleted).
+    pub fn new() -> TombstoneSet {
+        TombstoneSet::default()
+    }
+
+    /// Mark `doc` deleted. Returns `true` if it was live before.
+    pub fn insert(&mut self, doc: DocId) -> bool {
+        let (word, bit) = (doc.0 as usize / 64, doc.0 % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            return false;
+        }
+        self.words[word] |= mask;
+        self.deleted += 1;
+        true
+    }
+
+    /// Is `doc` deleted?
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.words
+            .get(doc.0 as usize / 64)
+            .is_some_and(|w| w & (1u64 << (doc.0 % 64)) != 0)
+    }
+
+    /// Number of deleted documents.
+    pub fn deleted_count(&self) -> u32 {
+        self.deleted
+    }
+
+    /// `true` when nothing is deleted.
+    pub fn is_empty(&self) -> bool {
+        self.deleted == 0
+    }
+
+    /// The deleted local doc ids, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            (0..64)
+                .filter(move |bit| w & (1u64 << bit) != 0)
+                .map(move |bit| DocId(i as u32 * 64 + bit))
+        })
+    }
+
+    /// Render the sidecar text: header, `count` line, one id per line in
+    /// increasing order.
+    pub fn render(&self) -> String {
+        let mut out = String::from(TOMBSTONE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("count {}\n", self.deleted));
+        for doc in self.iter() {
+            out.push_str(&format!("{}\n", doc.0));
+        }
+        out
+    }
+
+    /// Parse and validate sidecar text: the header, a `count` line that
+    /// must match the number of id lines, and strictly increasing ids
+    /// (the canonical order [`TombstoneSet::render`] writes).
+    pub fn parse(text: &str) -> Result<TombstoneSet, PersistError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(TOMBSTONE_HEADER) {
+            return Err(PersistError::BadManifest("missing tombstone header"));
+        }
+        let count: u32 = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("count "))
+            .and_then(|v| v.parse().ok())
+            .ok_or(PersistError::BadManifest("bad tombstone count"))?;
+        let mut set = TombstoneSet::new();
+        let mut prev: Option<u32> = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let id: u32 = line
+                .parse()
+                .map_err(|_| PersistError::BadManifest("bad tombstone doc id"))?;
+            if prev.is_some_and(|p| id <= p) {
+                return Err(PersistError::BadManifest(
+                    "tombstone ids not strictly increasing",
+                ));
+            }
+            prev = Some(id);
+            set.insert(DocId(id));
+        }
+        if set.deleted != count {
+            return Err(PersistError::BadManifest(
+                "tombstone count disagrees with id lines",
+            ));
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut t = TombstoneSet::new();
+        assert!(t.is_empty());
+        assert!(t.insert(DocId(3)));
+        assert!(t.insert(DocId(70)));
+        assert!(!t.insert(DocId(3)), "second delete is a no-op");
+        assert!(t.contains(DocId(3)));
+        assert!(t.contains(DocId(70)));
+        assert!(!t.contains(DocId(4)));
+        assert!(!t.contains(DocId(1000)), "past the bitmap is live");
+        assert_eq!(t.deleted_count(), 2);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![DocId(3), DocId(70)]);
+    }
+
+    #[test]
+    fn sidecar_roundtrip() {
+        let mut t = TombstoneSet::new();
+        for id in [0, 5, 63, 64, 200] {
+            t.insert(DocId(id));
+        }
+        let back = TombstoneSet::parse(&t.render()).unwrap();
+        assert_eq!(back, t);
+        let empty = TombstoneSet::new();
+        assert_eq!(TombstoneSet::parse(&empty.render()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_sidecars_rejected() {
+        let bad = [
+            "",
+            "wrong-header\ncount 0\n",
+            "pimento-tombstones v1\n",
+            "pimento-tombstones v1\ncount x\n",
+            "pimento-tombstones v1\ncount 2\n1\n",
+            "pimento-tombstones v1\ncount 2\n2\n1\n",
+            "pimento-tombstones v1\ncount 2\n1\n1\n",
+            "pimento-tombstones v1\ncount 1\nnope\n",
+        ];
+        for text in bad {
+            assert!(
+                matches!(
+                    TombstoneSet::parse(text),
+                    Err(PersistError::BadManifest(_))
+                ),
+                "{text:?}"
+            );
+        }
+    }
+}

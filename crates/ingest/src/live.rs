@@ -1,0 +1,78 @@
+//! The live-engine swap cell: readers load one `Arc<Engine>` per
+//! request and keep it for the request's whole lifetime, so a publish
+//! mid-request can never mix two generations in one answer.
+
+use pimento::Engine;
+use std::sync::{Arc, RwLock};
+
+/// A shared cell holding the currently published [`Engine`].
+///
+/// Publication is an atomic pointer swap: the writer builds the next
+/// generation off to the side (segment construction, durable
+/// persistence) and only then calls [`LiveEngine::swap`]. Readers that
+/// loaded the previous `Arc` finish their request against it unharmed;
+/// new requests observe the new generation. The lock is held only for
+/// the clone/store itself — never across indexing or I/O.
+#[derive(Debug)]
+pub struct LiveEngine {
+    inner: RwLock<Arc<Engine>>,
+}
+
+impl LiveEngine {
+    /// Wrap an engine as the initial published generation.
+    pub fn new(engine: Engine) -> LiveEngine {
+        LiveEngine::from_arc(Arc::new(engine))
+    }
+
+    /// Wrap an already-shared engine as the initial published generation.
+    pub fn from_arc(engine: Arc<Engine>) -> LiveEngine {
+        LiveEngine {
+            inner: RwLock::new(engine),
+        }
+    }
+
+    /// The currently published engine. A poisoned lock is recovered —
+    /// the cell only ever holds a fully published `Arc`, so the value is
+    /// valid even if some reader panicked while holding the guard.
+    pub fn load(&self) -> Arc<Engine> {
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(&guard)
+    }
+
+    /// Publish `next` as the live engine, returning the previous one.
+    pub fn swap(&self, next: Arc<Engine>) -> Arc<Engine> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *guard, next)
+    }
+
+    /// Generation of the currently published engine.
+    pub fn generation(&self) -> u64 {
+        self.load().generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+
+    fn engine(xml: &str) -> Engine {
+        let mut coll = Collection::new();
+        coll.add_xml(xml).unwrap();
+        Engine::new(coll)
+    }
+
+    #[test]
+    fn swap_publishes_and_returns_previous() {
+        let live = LiveEngine::new(engine("<a><b>one</b></a>"));
+        assert_eq!(live.generation(), 0);
+        let before = live.load();
+        let next = Arc::new(engine("<a><b>two</b></a>").at_generation(1));
+        let prev = live.swap(Arc::clone(&next));
+        assert!(Arc::ptr_eq(&prev, &before), "swap returns the old engine");
+        assert!(Arc::ptr_eq(&live.load(), &next));
+        assert_eq!(live.generation(), 1);
+        // The old Arc is still fully usable by in-flight requests.
+        assert_eq!(before.num_docs(), 1);
+    }
+}

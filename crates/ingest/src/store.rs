@@ -1,0 +1,214 @@
+//! Durable segment store: the crash-safety half of the write path
+//! (DESIGN.md §16).
+//!
+//! Every publish persists **before** the in-memory swap, with the same
+//! discipline as the profile store: write each file to a `.tmp`
+//! sibling, fsync, atomically rename into place, fsync the directory;
+//! the `MANIFEST` rename comes last and is the commit point. File
+//! names are generation-stamped ([`ShardManifest::delta_file_name`],
+//! [`ShardManifest::generation_file_name`], generation-suffixed
+//! tombstone sidecars), so no publish ever rewrites a file the
+//! previous manifest references — whatever manifest a restart finds,
+//! every file it names is exactly as it was when that manifest was
+//! committed. Superseded files are garbage-collected only *after* a
+//! successful swap.
+
+use pimento::{Engine, Error};
+use pimento_index::segment::{ShardManifest, MANIFEST_FILE};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A snapshot directory owned by the ingest pipeline.
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: PathBuf,
+}
+
+impl SegmentStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SegmentStore, Error> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| Error::Io(format!("{}: {e}", dir.display())))?;
+        Ok(SegmentStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether a committed manifest exists (i.e. recovery has something
+    /// to recover).
+    pub fn has_manifest(&self) -> bool {
+        self.dir.join(MANIFEST_FILE).is_file()
+    }
+
+    /// Parse the committed manifest.
+    pub fn manifest(&self) -> Result<ShardManifest, Error> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text =
+            fs::read_to_string(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        Ok(ShardManifest::parse(&text)?)
+    }
+
+    /// Reopen the last committed generation.
+    pub fn recover(&self) -> Result<Engine, Error> {
+        Engine::from_sharded_dir(&self.dir)
+    }
+
+    /// Durably write one file: temp → fsync → atomic rename → directory
+    /// fsync. Under the `fault-injection` feature the three I/O steps
+    /// are named fault points (`ingest.persist.write` / `.fsync` /
+    /// `.rename`).
+    fn write_durable(&self, name: &str, bytes: &[u8]) -> Result<(), Error> {
+        let path = self.dir.join(name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("ingest.persist.write") {
+            return Err(Error::Io(format!(
+                "fault injected: ingest.persist.write ({name})"
+            )));
+        }
+        let mut f =
+            File::create(&tmp).map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+        f.write_all(bytes)
+            .map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("ingest.persist.fsync") {
+            return Err(Error::Io(format!(
+                "fault injected: ingest.persist.fsync ({name})"
+            )));
+        }
+        f.sync_all()
+            .map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+        drop(f);
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("ingest.persist.rename") {
+            return Err(Error::Io(format!(
+                "fault injected: ingest.persist.rename ({name})"
+            )));
+        }
+        fs::rename(&tmp, &path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        // Make the rename durable. Directory fsync is best-effort: some
+        // filesystems refuse to open a directory for reading, and the
+        // data file itself is already safe on disk.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Durably persist `engine` under the given per-segment `files`.
+    /// Only the segments listed in `write_segments` have their columnar
+    /// files written (the rest are already on disk under the same
+    /// names); tombstone sidecars and the manifest are always
+    /// rewritten. Write order is the commit protocol: segment files,
+    /// then sidecars, then `MANIFEST` last — an interruption anywhere
+    /// leaves the previous manifest (and every file it names) intact.
+    pub fn publish(
+        &self,
+        engine: &Engine,
+        files: &[String],
+        write_segments: &[usize],
+    ) -> Result<ShardManifest, Error> {
+        let manifest = engine.manifest_for(files)?;
+        for &i in write_segments {
+            let entry = manifest
+                .segments
+                .get(i)
+                .ok_or(Error::Shard("segment index out of range"))?;
+            let data = engine.segment_bytes(i)?;
+            self.write_durable(&entry.file, &data)?;
+        }
+        for (entry, seg) in manifest.segments.iter().zip(engine.segments()) {
+            if let (Some(name), Some(tombs)) = (&entry.tombstones, seg.db().tombstones()) {
+                self.write_durable(name, tombs.render().as_bytes())?;
+            }
+        }
+        self.write_durable(MANIFEST_FILE, manifest.render().as_bytes())?;
+        Ok(manifest)
+    }
+
+    /// Best-effort removal of snapshot artifacts no longer referenced
+    /// by `manifest` (superseded segments, old tombstone sidecars,
+    /// stale `.tmp` leftovers). Returns how many files were removed.
+    /// Errors are swallowed: gc must never compromise a committed
+    /// generation, and an unreferenced file left behind is only wasted
+    /// space.
+    pub fn gc(&self, manifest: &ShardManifest) -> usize {
+        let mut keep: Vec<&str> = vec![MANIFEST_FILE];
+        for entry in &manifest.segments {
+            keep.push(&entry.file);
+            if let Some(t) = &entry.tombstones {
+                keep.push(t);
+            }
+        }
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let ours = name.ends_with(".snap")
+                || name.ends_with(".tomb")
+                || name.ends_with(".tmp")
+                || name == MANIFEST_FILE;
+            if ours && !keep.contains(&name) && fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimento_index::Collection;
+
+    fn engine(n: usize) -> Engine {
+        let mut coll = Collection::new();
+        for i in 0..n {
+            coll.add_xml(&format!("<doc><t>word{i} shared</t></doc>"))
+                .unwrap();
+        }
+        Engine::new(coll)
+    }
+
+    #[test]
+    fn publish_then_recover_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("pimento-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = SegmentStore::open(&dir).unwrap();
+        assert!(!store.has_manifest());
+        let eng = engine(4).at_generation(3);
+        let files = vec![ShardManifest::generation_file_name(3, 0)];
+        let manifest = store.publish(&eng, &files, &[0]).unwrap();
+        assert!(store.has_manifest());
+        assert_eq!(store.manifest().unwrap(), manifest);
+        let back = store.recover().unwrap();
+        assert_eq!(back.generation(), 3);
+        assert_eq!(back.num_docs(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced_artifacts() {
+        let dir = std::env::temp_dir().join(format!("pimento-store-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = SegmentStore::open(&dir).unwrap();
+        let eng = engine(2);
+        let files = vec![ShardManifest::generation_file_name(0, 0)];
+        let manifest = store.publish(&eng, &files, &[0]).unwrap();
+        fs::write(dir.join("delta-000009.v4.snap"), b"stale").unwrap();
+        fs::write(dir.join("something.tmp"), b"stale").unwrap();
+        fs::write(dir.join("notes.txt"), b"not ours").unwrap();
+        assert_eq!(store.gc(&manifest), 2);
+        assert!(dir.join("notes.txt").exists(), "foreign files untouched");
+        assert!(dir.join(&files[0]).exists());
+        assert!(store.has_manifest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

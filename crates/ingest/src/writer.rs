@@ -1,0 +1,378 @@
+//! The single-writer ingest pipeline (DESIGN.md §16).
+//!
+//! One [`Ingestor`] owns the write path for a [`LiveEngine`]: every
+//! mutation — add batch, delete batch, compaction — runs under one
+//! writer mutex, builds the next generation as a pure transform of the
+//! current engine ([`pimento::Engine::with_ingested`] /
+//! [`pimento::Engine::with_deletes`] / [`pimento::Engine::compacted`]),
+//! durably persists it when a data directory is configured, and only
+//! then publishes it with an atomic swap.
+//! Readers never wait on the writer; the writer never blocks a query.
+//!
+//! Crash matrix (persist-then-publish):
+//!
+//! | interrupted at            | disk state on restart                |
+//! |---------------------------|--------------------------------------|
+//! | building the next engine  | previous generation, fully intact    |
+//! | writing segments/sidecars | previous manifest + orphan new files |
+//! | `MANIFEST` rename         | previous manifest + orphan new files |
+//! | after commit, before swap | **new** generation (never acked —    |
+//! |                           | recovering it is a completed write)  |
+//!
+//! Orphans are swept by [`SegmentStore::gc`] after the next successful
+//! publish; recovery itself never deletes anything.
+
+use crate::live::LiveEngine;
+use crate::store::SegmentStore;
+use pimento::Error;
+use pimento_index::segment::ShardManifest;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Configuration for an [`Ingestor`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestConfig {
+    /// Where to durably persist published generations. `None` keeps the
+    /// corpus memory-only (a restart reverts to the boot-time corpus).
+    pub data_dir: Option<PathBuf>,
+    /// Compact once this many delta segments have accumulated
+    /// (0 disables automatic merging; [`Ingestor::merge_now`] still
+    /// works).
+    pub merge_threshold: usize,
+    /// How many doc-range segments a compaction rebuilds into
+    /// (0 or 1 → monolithic).
+    pub compact_shards: usize,
+}
+
+/// What a successful write published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The corpus generation this write created.
+    pub generation: u64,
+    /// Documents added (for adds), newly deleted (for deletes — ids
+    /// already deleted or repeated in the batch don't count), or live
+    /// documents (for compactions).
+    pub docs: usize,
+}
+
+/// Writer-side bookkeeping, guarded by the single writer mutex.
+#[derive(Debug)]
+struct WriterState {
+    /// Per-segment file names aligned with the live engine's segments.
+    /// Maintained only when a [`SegmentStore`] is configured.
+    files: Vec<String>,
+    /// Delta segments published since the last compaction.
+    deltas: usize,
+    /// Tells the background merger to exit.
+    shutdown: bool,
+}
+
+type PublishHook = Box<dyn Fn(u64) + Send + Sync>;
+
+/// The single-writer back office: serializes all mutations, persists
+/// before publishing, and wakes the background merger when enough
+/// deltas accumulate.
+pub struct Ingestor {
+    live: Arc<LiveEngine>,
+    store: Option<SegmentStore>,
+    merge_threshold: usize,
+    compact_shards: usize,
+    state: Mutex<WriterState>,
+    wake: Condvar,
+    on_publish: Mutex<Option<PublishHook>>,
+    merges: AtomicU64,
+    merge_failures: AtomicU64,
+}
+
+impl std::fmt::Debug for Ingestor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ingestor")
+            .field("store", &self.store)
+            .field("merge_threshold", &self.merge_threshold)
+            .field("compact_shards", &self.compact_shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ingestor {
+    /// Attach a writer to a live engine. With a data directory
+    /// configured this also brings the disk in line with the live
+    /// engine: if the committed manifest already describes exactly this
+    /// engine (same generation, layout, and doc count — the recovery
+    /// path), it is adopted as-is; anything else (fresh directory, or a
+    /// boot that ignored the directory's contents) is overwritten by a
+    /// full bootstrap publish so a restart recovers what is being
+    /// served.
+    pub fn new(live: Arc<LiveEngine>, cfg: IngestConfig) -> Result<Ingestor, Error> {
+        let store = cfg.data_dir.map(SegmentStore::open).transpose()?;
+        let mut files = Vec::new();
+        if let Some(store) = &store {
+            let engine = live.load();
+            let adopted = store
+                .manifest()
+                .ok()
+                .filter(|m| {
+                    m.generation == engine.generation()
+                        && m.segments.len() == engine.shard_count()
+                        && m.num_docs() as usize == engine.num_docs()
+                })
+                .map(|m| m.segments.into_iter().map(|e| e.file).collect::<Vec<_>>());
+            files = match adopted {
+                Some(files) => files,
+                None => {
+                    let files: Vec<String> = (0..engine.shard_count())
+                        .map(|i| ShardManifest::generation_file_name(engine.generation(), i))
+                        .collect();
+                    let all: Vec<usize> = (0..engine.shard_count()).collect();
+                    let manifest = store.publish(&engine, &files, &all)?;
+                    store.gc(&manifest);
+                    files
+                }
+            };
+        }
+        Ok(Ingestor {
+            live,
+            store,
+            merge_threshold: cfg.merge_threshold,
+            compact_shards: cfg.compact_shards,
+            state: Mutex::new(WriterState {
+                files,
+                deltas: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            on_publish: Mutex::new(None),
+            merges: AtomicU64::new(0),
+            merge_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The engine cell this writer publishes to.
+    pub fn live(&self) -> &Arc<LiveEngine> {
+        &self.live
+    }
+
+    /// Register a callback invoked (under the writer lock) after every
+    /// successful publish with the new generation — the serving layer
+    /// uses this to invalidate prepared-plan caches, including for
+    /// publishes the background merger makes on its own.
+    pub fn set_on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        let mut slot = self.on_publish.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(Box::new(hook));
+    }
+
+    /// Compactions performed (including by the background merger).
+    pub fn merges(&self) -> u64 {
+        self.merges.load(Ordering::Relaxed)
+    }
+
+    /// Background compactions that failed (retried on the next wake).
+    pub fn merge_failures(&self) -> u64 {
+        self.merge_failures.load(Ordering::Relaxed)
+    }
+
+    /// Take the writer lock. Poisoning is recovered: a writer panic can
+    /// only happen before any state mutation (the transform + persist
+    /// phases), so the state is still the last published one.
+    fn lock_state(&self) -> MutexGuard<'_, WriterState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Named panic fault point for the chaos suite: dies *inside* the
+    /// writer, after taking the lock, to prove writer panics neither
+    /// corrupt the served corpus nor wedge later writes.
+    fn fault_panic_point(&self) {
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("ingest.writer.panic") {
+            panic!("fault injected: ingest.writer.panic");
+        }
+    }
+
+    /// Named crash fault point between durable commit and in-memory
+    /// publish: the generation is on disk but was never acked or
+    /// served. Restart recovers it — a completed durable write.
+    fn fault_crash_point(&self) -> Result<(), Error> {
+        #[cfg(feature = "fault-injection")]
+        if pimento_faults::should_fire("ingest.publish.crash") {
+            return Err(Error::Io(
+                "fault injected: ingest.publish.crash (committed but not published)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn notify_published(&self, generation: u64) {
+        let slot = self.on_publish.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hook) = slot.as_ref() {
+            hook(generation);
+        }
+    }
+
+    /// Parse, index, and publish a batch of XML documents as one delta
+    /// segment. Returns the receipt once the new generation is durable
+    /// (when persistence is configured) *and* visible to readers.
+    pub fn add_documents<S: AsRef<str>>(&self, docs: &[S]) -> Result<IngestReceipt, Error> {
+        let mut state = self.lock_state();
+        self.fault_panic_point();
+        let engine = self.live.load();
+        let next = engine.with_ingested(docs)?;
+        let mut files = state.files.clone();
+        let manifest = match &self.store {
+            Some(store) => {
+                files.push(ShardManifest::delta_file_name(next.generation()));
+                Some(store.publish(&next, &files, &[next.shard_count() - 1])?)
+            }
+            None => None,
+        };
+        self.fault_crash_point()?;
+        let next = Arc::new(next);
+        let generation = next.generation();
+        self.live.swap(next);
+        state.files = files;
+        state.deltas += 1;
+        let due = self.merge_threshold > 0 && state.deltas >= self.merge_threshold;
+        self.notify_published(generation);
+        if let (Some(store), Some(m)) = (&self.store, &manifest) {
+            store.gc(m);
+        }
+        if due {
+            self.wake.notify_all();
+        }
+        Ok(IngestReceipt {
+            generation,
+            docs: docs.len(),
+        })
+    }
+
+    /// Tombstone a batch of document ids and publish the new
+    /// generation. Ids take effect immediately at scatter time; the
+    /// documents physically disappear at the next compaction.
+    pub fn delete_documents(&self, ids: &[u32]) -> Result<IngestReceipt, Error> {
+        let state = self.lock_state();
+        self.fault_panic_point();
+        let engine = self.live.load();
+        let (next, newly) = engine.with_deletes(ids)?;
+        let manifest = match &self.store {
+            Some(store) => Some(store.publish(&next, &state.files, &[])?),
+            None => None,
+        };
+        self.fault_crash_point()?;
+        let next = Arc::new(next);
+        let generation = next.generation();
+        self.live.swap(next);
+        // Segment layout unchanged — state.files stays as-is; only the
+        // sidecars moved to new generation-stamped names.
+        self.notify_published(generation);
+        if let (Some(store), Some(m)) = (&self.store, &manifest) {
+            store.gc(m);
+        }
+        drop(state);
+        Ok(IngestReceipt {
+            generation,
+            docs: newly,
+        })
+    }
+
+    /// Compact delta segments and tombstones into a fresh doc-range
+    /// layout now. Returns `Ok(None)` when there is nothing to do
+    /// (no deltas, no deletions — or every document is deleted, in
+    /// which case compaction waits for new documents rather than
+    /// publish an empty corpus).
+    pub fn merge_now(&self) -> Result<Option<IngestReceipt>, Error> {
+        let mut state = self.lock_state();
+        let engine = self.live.load();
+        if (state.deltas == 0 && engine.deleted_docs() == 0) || engine.live_docs() == 0 {
+            return Ok(None);
+        }
+        let next = engine.compacted(self.compact_shards)?;
+        let files: Vec<String> = (0..next.shard_count())
+            .map(|i| ShardManifest::generation_file_name(next.generation(), i))
+            .collect();
+        let manifest = match &self.store {
+            Some(store) => {
+                let all: Vec<usize> = (0..next.shard_count()).collect();
+                Some(store.publish(&next, &files, &all)?)
+            }
+            None => None,
+        };
+        self.fault_crash_point()?;
+        let next = Arc::new(next);
+        let generation = next.generation();
+        let live_docs = next.num_docs();
+        self.live.swap(next);
+        state.files = files;
+        state.deltas = 0;
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.notify_published(generation);
+        if let (Some(store), Some(m)) = (&self.store, &manifest) {
+            store.gc(m);
+        }
+        Ok(Some(IngestReceipt {
+            generation,
+            docs: live_docs,
+        }))
+    }
+
+    /// Ask the background merger (if any) to exit. Idempotent.
+    pub fn shutdown(&self) {
+        let mut state = self.lock_state();
+        state.shutdown = true;
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Run the merge loop until [`Ingestor::shutdown`]: sleep on the
+    /// condvar, compact whenever the delta count reaches the threshold.
+    /// A failed compaction is counted and retried on the next wake —
+    /// the merger never dies on an error.
+    fn merger_loop(&self) {
+        loop {
+            let mut state = self.lock_state();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if self.merge_threshold > 0 && state.deltas >= self.merge_threshold {
+                    break;
+                }
+                let (next, _) = self
+                    .wake
+                    .wait_timeout(state, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+            }
+            drop(state);
+            if self.merge_now().is_err() {
+                self.merge_failures.fetch_add(1, Ordering::Relaxed);
+                // Back off so a persistently failing disk doesn't spin.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Handle to a background merger thread; join it after
+/// [`Ingestor::shutdown`].
+#[derive(Debug)]
+pub struct MergerHandle {
+    join: std::thread::JoinHandle<()>,
+}
+
+impl MergerHandle {
+    /// Wait for the merger to exit (call [`Ingestor::shutdown`] first).
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// Spawn the background merge task for an ingestor.
+pub fn spawn_merger(ingestor: &Arc<Ingestor>) -> Result<MergerHandle, Error> {
+    let ing = Arc::clone(ingestor);
+    let join = std::thread::Builder::new()
+        .name("pimento-merger".into())
+        .spawn(move || ing.merger_loop())
+        .map_err(|e| Error::Io(format!("spawn merger: {e}")))?;
+    Ok(MergerHandle { join })
+}

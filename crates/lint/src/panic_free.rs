@@ -55,6 +55,16 @@ const ROOTS: &[(&str, &[&str], RootFns)] = &[
         &["server"],
         RootFns::Only(&["worker_loop", "reader_loop", "handle_request"]),
     ),
+    // Online ingestion: the live swap cell sits on every query's path,
+    // and the write verbs run on worker threads where a stray panic would
+    // poison the single-writer lock. The merger loop must never die to a
+    // panic either — a dead merger silently stops compaction.
+    ("ingest", &["live"], RootFns::All),
+    (
+        "ingest",
+        &["writer"],
+        RootFns::Only(&["add_documents", "delete_documents", "merger_loop"]),
+    ),
 ];
 
 /// Run the analysis over a built call graph.

@@ -79,13 +79,17 @@ pub fn is_answer_cmp_module(path: &str) -> bool {
     )
 }
 
-/// Modules allowed to spawn threads (all sit behind the
-/// `resolve_threads` + `effective_workers` clamp: the sharded scan, the
-/// parallel ingest, and the serve worker pool / per-connection readers).
+/// Modules allowed to spawn threads: the sharded scan, the parallel
+/// ingest, and the serve worker pool / per-connection readers all sit
+/// behind the `resolve_threads` + `effective_workers` clamp; the ingest
+/// writer spawns exactly one named background merger, not a pool.
 pub fn may_spawn_threads(path: &str) -> bool {
     matches!(
         path,
-        "crates/algebra/src/par.rs" | "crates/index/src/parallel.rs" | "crates/serve/src/server.rs"
+        "crates/algebra/src/par.rs"
+            | "crates/index/src/parallel.rs"
+            | "crates/serve/src/server.rs"
+            | "crates/ingest/src/writer.rs"
     )
 }
 

@@ -45,6 +45,13 @@ fn serve_usage() -> ! {
          \x20                cannot wedge a worker or the acceptor (default 5000)\n\
          --profile-dir    durable profile store: registrations persist here and\n\
          \x20                are recovered on restart; corrupt files are quarantined\n\
+         --data-dir       durable corpus store: every generation published by\n\
+         \x20                add_documents / delete_documents persists here before it\n\
+         \x20                is served; on restart the directory's last published\n\
+         \x20                generation is recovered (--docs/--snapshot then only\n\
+         \x20                seed an empty directory)\n\
+         --merge-threshold  compact after this many delta segments accumulate\n\
+         \x20                (default 8; 0 disables the background merger)\n\
          The server prints `listening on ADDR` once ready and runs until a\n\
          `shutdown` command arrives, then drains in-flight requests and\n\
          prints the final metrics snapshot."
@@ -120,6 +127,15 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             "--profile-dir" => {
                 cfg.profile_dir = Some(it.next().unwrap_or_else(|| serve_usage()).into());
             }
+            "--data-dir" => {
+                cfg.data_dir = Some(it.next().unwrap_or_else(|| serve_usage()).into());
+            }
+            "--merge-threshold" => {
+                cfg.merge_threshold = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage())
+            }
             "--help" | "-h" => serve_usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -127,12 +143,36 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             }
         }
     }
-    if docs.is_empty() == snapshot_path.is_none() {
+    // A data dir that already holds a published generation takes precedence
+    // over --docs/--snapshot: the live corpus (including online ingests) is
+    // what the operator expects back after a restart. The flags then only
+    // matter for seeding a brand-new directory.
+    let recover_from = cfg
+        .data_dir
+        .as_ref()
+        .filter(|d| d.join("MANIFEST").is_file())
+        .cloned();
+    if recover_from.is_none() && docs.is_empty() == snapshot_path.is_none() {
         // Exactly one source: either XML documents or a snapshot.
         serve_usage()
     }
     let started = std::time::Instant::now();
-    let mut engine = if let Some(path) = &snapshot_path {
+    let mut engine = if let Some(dir) = &recover_from {
+        shards = 0;
+        if !docs.is_empty() || snapshot_path.is_some() {
+            eprintln!(
+                "data dir {} holds a published corpus; ignoring --docs/--snapshot",
+                dir.display()
+            );
+        }
+        match Engine::from_sharded_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot recover corpus from {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(path) = &snapshot_path {
         if std::path::Path::new(path).is_dir() {
             // A directory is a sharded snapshot (MANIFEST + one v4 file
             // per segment); it fixes the segmentation, so --shards is
@@ -270,8 +310,9 @@ fn inspect_sharded(dir: &std::path::Path) -> ExitCode {
         }
     };
     println!(
-        "{}: sharded snapshot, {} segments, {} docs",
+        "{}: sharded snapshot, generation {}, {} segments, {} docs",
         dir.display(),
+        manifest.generation,
         manifest.segments.len(),
         manifest.num_docs()
     );
@@ -282,7 +323,7 @@ fn inspect_sharded(dir: &std::path::Path) -> ExitCode {
     let mut failed = false;
     for entry in &manifest.segments {
         let path = dir.join(&entry.file);
-        let verdict = match std::fs::read(&path) {
+        let mut verdict = match std::fs::read(&path) {
             Err(e) => {
                 failed = true;
                 format!("BAD (cannot read: {e})")
@@ -313,6 +354,29 @@ fn inspect_sharded(dir: &std::path::Path) -> ExitCode {
                 }
             },
         };
+        if let Some(tomb) = &entry.tombstones {
+            // The sidecar must parse and its ids must fit the segment;
+            // a bad sidecar is as fatal as a bad segment (recovery
+            // would refuse the directory).
+            let checked = std::fs::read_to_string(dir.join(tomb))
+                .map_err(|e| e.to_string())
+                .and_then(|t| {
+                    pimento::index::TombstoneSet::parse(&t).map_err(|e| e.to_string())
+                });
+            match checked {
+                Ok(t) if t.iter().all(|d| d.0 < entry.docs) => {
+                    verdict.push_str(&format!(", {} deleted", t.deleted_count()));
+                }
+                Ok(_) => {
+                    failed = true;
+                    verdict.push_str(", tombstones BAD (id outside segment)");
+                }
+                Err(e) => {
+                    failed = true;
+                    verdict.push_str(&format!(", tombstones BAD ({e})"));
+                }
+            }
+        }
         println!(
             "{:<22} {:>9} {:>7} {:>12}  {verdict}",
             entry.file,

@@ -7,10 +7,19 @@
 //! per-user state reused across many queries, so this work is paid once
 //! per pair instead of per request.
 //!
-//! Keys carry the profile **generation** ([`crate::registry`]): a
-//! `register_profile` bumps the user's generation, so entries compiled
-//! against the old profile can never be returned again. The server also
-//! purges them eagerly via [`PreparedCache::invalidate_user`].
+//! Keys carry two independent generations, and each write path purges
+//! exactly its own entries:
+//!
+//! * the profile **generation** ([`crate::registry`]): a
+//!   `register_profile` bumps the user's generation, so entries
+//!   compiled against the old profile can never be returned again. The
+//!   server also purges them eagerly via
+//!   [`PreparedCache::invalidate_user`];
+//! * the **corpus generation** ([`pimento::Engine::generation`]): an
+//!   ingest publish bumps it, so plans compiled against the previous
+//!   corpus (stale symbol tables, stale scoring stats) can never be
+//!   returned again. The publish hook purges them eagerly via
+//!   [`PreparedCache::purge_stale_corpus`].
 //!
 //! The cache itself is a plain `HashMap` + logical clock; eviction
 //! scans for the least-recently-used entry, which is O(capacity) but
@@ -22,13 +31,15 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Cache key: one compiled plan per (user session, profile generation,
-/// query text) triple.
+/// corpus generation, query text) tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Session key (empty string for the unpersonalized profile).
     pub user: String,
     /// Profile generation the entry was compiled against.
     pub generation: u64,
+    /// Corpus generation the entry was compiled against.
+    pub corpus: u64,
     /// Verbatim query text.
     pub query: String,
 }
@@ -97,10 +108,21 @@ impl PreparedCache {
     }
 
     /// Drop every entry belonging to `user` (all generations); returns
-    /// how many were purged.
+    /// how many were purged. Entries of other users — and anonymous
+    /// entries — are untouched regardless of corpus generation.
     pub fn invalidate_user(&mut self, user: &str) -> usize {
         let before = self.map.len();
         self.map.retain(|k, _| k.user != user);
+        before - self.map.len()
+    }
+
+    /// Drop every entry compiled against a corpus generation other than
+    /// `current` (the ingest publish hook calls this with each newly
+    /// published generation); returns how many were purged. Entries at
+    /// the current generation — whoever owns them — are untouched.
+    pub fn purge_stale_corpus(&mut self, current: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.corpus == current);
         before - self.map.len()
     }
 
@@ -126,9 +148,14 @@ mod tests {
     }
 
     fn key(user: &str, generation: u64, query: &str) -> CacheKey {
+        corpus_key(user, generation, 0, query)
+    }
+
+    fn corpus_key(user: &str, generation: u64, corpus: u64, query: &str) -> CacheKey {
         CacheKey {
             user: user.into(),
             generation,
+            corpus,
             query: query.into(),
         }
     }
@@ -166,6 +193,99 @@ mod tests {
             cache.lookup(&key("u2", 1, "//b")).is_some(),
             "other users untouched"
         );
+    }
+
+    /// Corpus-generation bumps and profile-generation bumps must each
+    /// purge exactly their own entries: an ingest publish may not evict
+    /// another corpus-current user's plans, a profile re-registration
+    /// may not evict other users or anonymous plans, and neither purge
+    /// may leave an entry that a stale key could still hit.
+    #[test]
+    fn purges_are_isolated_per_generation_axis() {
+        struct Case {
+            name: &'static str,
+            // (user, profile_gen, corpus_gen) entries seeded before the purge.
+            seeded: &'static [(&'static str, u64, u64)],
+            // The purge to run: Some(user) = profile bump, None = corpus
+            // publish at `corpus_now`.
+            bump_user: Option<&'static str>,
+            corpus_now: u64,
+            expect_purged: usize,
+            // Keys that must still hit / must now miss.
+            survivors: &'static [(&'static str, u64, u64)],
+            gone: &'static [(&'static str, u64, u64)],
+        }
+        let cases = [
+            Case {
+                name: "corpus publish purges only stale-corpus entries",
+                seeded: &[("u1", 1, 0), ("u2", 1, 1), ("", 0, 0), ("", 0, 1)],
+                bump_user: None,
+                corpus_now: 1,
+                expect_purged: 2,
+                survivors: &[("u2", 1, 1), ("", 0, 1)],
+                gone: &[("u1", 1, 0), ("", 0, 0)],
+            },
+            Case {
+                name: "profile bump purges only that user",
+                seeded: &[("u1", 1, 0), ("u1", 1, 1), ("u2", 1, 1), ("", 0, 1)],
+                bump_user: Some("u1"),
+                corpus_now: 1,
+                expect_purged: 2,
+                survivors: &[("u2", 1, 1), ("", 0, 1)],
+                gone: &[("u1", 1, 0), ("u1", 1, 1)],
+            },
+            Case {
+                name: "corpus publish with nothing stale purges nothing",
+                seeded: &[("u1", 3, 2), ("", 0, 2)],
+                bump_user: None,
+                corpus_now: 2,
+                expect_purged: 0,
+                survivors: &[("u1", 3, 2), ("", 0, 2)],
+                gone: &[],
+            },
+            Case {
+                name: "profile bump of unknown user purges nothing",
+                seeded: &[("u1", 1, 0), ("", 0, 0)],
+                bump_user: Some("ghost"),
+                corpus_now: 0,
+                expect_purged: 0,
+                survivors: &[("u1", 1, 0), ("", 0, 0)],
+                gone: &[],
+            },
+        ];
+        let e = Engine::from_xml_docs(&["<a><b>x</b></a>"]).unwrap();
+        let p = prepared(&e, "//b");
+        for case in &cases {
+            let mut cache = PreparedCache::new(64);
+            for &(user, pg, cg) in case.seeded {
+                cache.insert(corpus_key(user, pg, cg, "//b"), Arc::clone(&p));
+            }
+            let purged = match case.bump_user {
+                Some(user) => cache.invalidate_user(user),
+                None => cache.purge_stale_corpus(case.corpus_now),
+            };
+            assert_eq!(purged, case.expect_purged, "{}: purge count", case.name);
+            for &(user, pg, cg) in case.survivors {
+                assert!(
+                    cache.lookup(&corpus_key(user, pg, cg, "//b")).is_some(),
+                    "{}: ({user},{pg},{cg}) must survive",
+                    case.name
+                );
+            }
+            for &(user, pg, cg) in case.gone {
+                assert!(
+                    cache.lookup(&corpus_key(user, pg, cg, "//b")).is_none(),
+                    "{}: ({user},{pg},{cg}) must be purged",
+                    case.name
+                );
+            }
+            assert_eq!(
+                cache.len(),
+                case.survivors.len(),
+                "{}: no other entries remain",
+                case.name
+            );
+        }
     }
 
     #[test]

@@ -310,6 +310,26 @@ impl Client {
         self.request(&Value::Obj(fields))
     }
 
+    /// `add_documents`: ingest a batch of XML documents. The response's
+    /// `generation` is already visible to every later search (and
+    /// durable, when the server persists its corpus).
+    pub fn add_documents(&mut self, docs: &[String]) -> Result<Value, ClientError> {
+        let docs: Vec<Value> = docs.iter().map(|d| d.as_str().into()).collect();
+        self.request(&obj([
+            ("cmd", "add_documents".into()),
+            ("docs", Value::Arr(docs)),
+        ]))
+    }
+
+    /// `delete_documents`: tombstone a batch of document ids.
+    pub fn delete_documents(&mut self, ids: &[u32]) -> Result<Value, ClientError> {
+        let ids: Vec<Value> = ids.iter().map(|&i| u64::from(i).into()).collect();
+        self.request(&obj([
+            ("cmd", "delete_documents".into()),
+            ("ids", Value::Arr(ids)),
+        ]))
+    }
+
     /// Metrics snapshot.
     pub fn stats(&mut self) -> Result<Value, ClientError> {
         self.request(&obj([("cmd", "stats".into())]))

@@ -120,6 +120,29 @@ counters! {
     exec_vor_comparisons,
     /// Sum of `ExecStats::emitted`.
     exec_emitted,
+    /// Ingest requests admitted (`add_documents` + `delete_documents`).
+    ingest_requests,
+    /// Ingest requests that failed with a typed error (bad XML, unknown
+    /// doc id, persistence failure — the live corpus is unchanged).
+    ingest_errors,
+    /// Documents added across all accepted ingest batches.
+    docs_added,
+    /// Documents newly tombstoned across all accepted delete batches.
+    docs_deleted,
+    /// Compactions performed, including by the background merger
+    /// (a gauge mirrored from the ingestor at `stats` time).
+    merges,
+    /// Background compactions that failed and will be retried
+    /// (a gauge mirrored from the ingestor at `stats` time).
+    merge_failures,
+    /// Corpus generation currently being served (a gauge).
+    corpus_generation,
+    /// Total documents in the served corpus, tombstoned included
+    /// (a gauge refreshed at `stats` time).
+    corpus_docs,
+    /// Live (non-tombstoned) documents in the served corpus
+    /// (a gauge refreshed at `stats` time).
+    corpus_live_docs,
 }
 
 impl Default for Metrics {
@@ -163,6 +186,25 @@ impl Metrics {
     /// Record the served engine's segment count (a startup gauge).
     pub fn set_shards(&self, shards: usize) {
         self.shards.store(shards as u64, Ordering::Relaxed);
+    }
+
+    /// Refresh the write-path gauges (called with the live engine's
+    /// point-in-time state whenever a `stats` snapshot is taken, and by
+    /// the publish hook as generations advance).
+    pub fn set_ingest_gauges(
+        &self,
+        generation: u64,
+        docs: usize,
+        live_docs: usize,
+        merges: u64,
+        merge_failures: u64,
+    ) {
+        self.corpus_generation.store(generation, Ordering::Relaxed);
+        self.corpus_docs.store(docs as u64, Ordering::Relaxed);
+        self.corpus_live_docs
+            .store(live_docs as u64, Ordering::Relaxed);
+        self.merges.store(merges, Ordering::Relaxed);
+        self.merge_failures.store(merge_failures, Ordering::Relaxed);
     }
 
     /// Fold one search's per-segment scan times into the cumulative
@@ -262,6 +304,20 @@ impl Metrics {
                             .min(MAX_SHARD_SLOTS);
                         Value::Arr(self.shard_scan_us.iter().take(live).map(g).collect())
                     }),
+                ]),
+            ),
+            (
+                "ingest",
+                obj([
+                    ("requests", g(&self.ingest_requests)),
+                    ("errors", g(&self.ingest_errors)),
+                    ("docs_added", g(&self.docs_added)),
+                    ("docs_deleted", g(&self.docs_deleted)),
+                    ("merges", g(&self.merges)),
+                    ("merge_failures", g(&self.merge_failures)),
+                    ("generation", g(&self.corpus_generation)),
+                    ("docs", g(&self.corpus_docs)),
+                    ("live_docs", g(&self.corpus_live_docs)),
                 ]),
             ),
             (

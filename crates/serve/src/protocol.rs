@@ -30,6 +30,9 @@ pub mod err_kind {
     pub const UNKNOWN_USER: &str = "unknown_user";
     /// The server is draining and no longer admits connections.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// An ingest write was invalid (bad XML, unknown doc id, empty
+    /// batch) or the server has no write path configured.
+    pub const INGEST: &str = "ingest";
     /// Anything else (I/O mid-response, poisoned state, …).
     pub const INTERNAL: &str = "internal";
 }
@@ -133,6 +136,20 @@ pub enum Request {
     Search(QuerySpec),
     /// Return the plan the engine would run, without executing it.
     Explain(QuerySpec),
+    /// Ingest XML documents into the live corpus (back-office write
+    /// path): published as an immutable delta segment at the next
+    /// corpus generation.
+    AddDocuments {
+        /// The documents, one XML string each.
+        docs: Vec<String>,
+    },
+    /// Tombstone documents by corpus-global doc id: they vanish from
+    /// results at the next corpus generation and are reclaimed by the
+    /// background merge.
+    DeleteDocuments {
+        /// Corpus-global doc ids to delete.
+        ids: Vec<u32>,
+    },
     /// Metrics snapshot.
     Stats,
     /// Drain in-flight requests and stop the server.
@@ -153,6 +170,41 @@ pub fn parse_request(v: &Value) -> Result<Request, String> {
         }
         "search" => Ok(Request::Search(query_spec(v)?)),
         "explain" => Ok(Request::Explain(query_spec(v)?)),
+        "add_documents" => {
+            let docs = v
+                .get("docs")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| "missing array field `docs`".to_string())?
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "field `docs` must contain strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if docs.is_empty() {
+                return Err("field `docs` must not be empty".to_string());
+            }
+            Ok(Request::AddDocuments { docs })
+        }
+        "delete_documents" => {
+            let ids = v
+                .get("ids")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| "missing array field `ids`".to_string())?
+                .iter()
+                .map(|d| {
+                    d.as_u64()
+                        .filter(|&n| n <= u32::MAX as u64)
+                        .map(|n| n as u32)
+                        .ok_or_else(|| "field `ids` must contain doc ids (u32)".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if ids.is_empty() {
+                return Err("field `ids` must not be empty".to_string());
+            }
+            Ok(Request::DeleteDocuments { ids })
+        }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd `{other}`")),
@@ -294,10 +346,33 @@ mod tests {
             r#"{"cmd":"search","query":"//a","k":-1}"#,
             r#"{"cmd":"search","query":"//a","strategy":"quantum"}"#,
             r#"{"cmd":"register_profile","user":"u"}"#,
+            r#"{"cmd":"add_documents"}"#,
+            r#"{"cmd":"add_documents","docs":[]}"#,
+            r#"{"cmd":"add_documents","docs":"<a/>"}"#,
+            r#"{"cmd":"add_documents","docs":[7]}"#,
+            r#"{"cmd":"delete_documents"}"#,
+            r#"{"cmd":"delete_documents","ids":[]}"#,
+            r#"{"cmd":"delete_documents","ids":["0"]}"#,
+            r#"{"cmd":"delete_documents","ids":[1.5]}"#,
+            r#"{"cmd":"delete_documents","ids":[4294967296]}"#,
         ] {
             let v = Value::parse(bad).unwrap();
             assert!(parse_request(&v).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn parses_ingest_requests() {
+        let v = Value::parse(r#"{"cmd":"add_documents","docs":["<a/>","<b>x</b>"]}"#).unwrap();
+        let Ok(Request::AddDocuments { docs }) = parse_request(&v) else {
+            panic!("add_documents should parse");
+        };
+        assert_eq!(docs, vec!["<a/>".to_string(), "<b>x</b>".to_string()]);
+        let v = Value::parse(r#"{"cmd":"delete_documents","ids":[0,7,4294967295]}"#).unwrap();
+        let Ok(Request::DeleteDocuments { ids }) = parse_request(&v) else {
+            panic!("delete_documents should parse");
+        };
+        assert_eq!(ids, vec![0, 7, u32::MAX]);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::store::{ProfileStore, Recovered, StoreError};
 use pimento::profile::{parse_profile, validate, PrefRelRegistry, UserProfile};
 use pimento::{Engine, Error, SearchOptions, SearchResults};
 use pimento_index::{effective_workers, resolve_threads};
+use pimento_ingest::{spawn_merger, IngestConfig, Ingestor, LiveEngine, MergerHandle};
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -99,6 +100,14 @@ pub struct ServeConfig {
     /// Directory for the durable profile store. `None` disables
     /// persistence; profiles live only in memory.
     pub profile_dir: Option<PathBuf>,
+    /// Directory for the durable segment store: every published corpus
+    /// generation is persisted there before it becomes visible, and a
+    /// restarted server recovers the last published generation from it.
+    /// `None` keeps ingested documents memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Compact once this many delta segments have accumulated; `0`
+    /// disables the background merger entirely.
+    pub merge_threshold: usize,
     /// How long the engine took to build or open before `bind`, in
     /// milliseconds — reported in the `stats` startup block.
     pub startup_load_ms: u64,
@@ -123,6 +132,8 @@ impl Default for ServeConfig {
             worker_delay: None,
             conn_timeout: Duration::from_secs(5),
             profile_dir: None,
+            data_dir: None,
+            merge_threshold: 8,
             startup_load_ms: 0,
             startup_snapshot_format: None,
         }
@@ -146,6 +157,9 @@ pub enum ServeError {
     /// The durable profile store failed at the filesystem level
     /// (corrupt *files* never produce this — they are quarantined).
     Store(StoreError),
+    /// The ingest pipeline could not be attached (segment store I/O at
+    /// startup, or the bootstrap persist of the boot corpus failed).
+    Ingest(Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -155,6 +169,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Spawn(e) => write!(f, "cannot spawn server thread: {e}"),
             ServeError::Io(e) => write!(f, "server I/O error: {e}"),
             ServeError::Store(e) => write!(f, "profile store: {e}"),
+            ServeError::Ingest(e) => write!(f, "ingest pipeline: {e}"),
         }
     }
 }
@@ -166,16 +181,26 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    merger: Option<MergerHandle>,
 }
 
 /// State shared by the acceptor, readers, and workers.
 struct Shared {
-    engine: Arc<Engine>,
+    /// The live engine cell. Each request loads one `Arc<Engine>` and
+    /// uses it for its whole lifetime (prepare + execute), so a publish
+    /// mid-request can never mix corpus generations in one answer.
+    live: Arc<LiveEngine>,
+    /// The single-writer ingest pipeline behind `add_documents` /
+    /// `delete_documents` (its writer mutex serializes concurrent
+    /// ingest jobs across the worker pool).
+    ingest: Arc<Ingestor>,
     cfg: ServeConfig,
     registry: ProfileRegistry,
-    cache: Mutex<PreparedCache>,
+    /// Shared with the ingest publish hook, which purges corpus-stale
+    /// entries the instant a new generation goes live.
+    cache: Arc<Mutex<PreparedCache>>,
     queue: BoundedQueue<Job>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     live_conns: AtomicUsize,
     addr: SocketAddr,
@@ -224,24 +249,68 @@ impl Server {
             Some(dir) => Some(ProfileStore::open(dir.clone()).map_err(ServeError::Store)?),
             None => None,
         };
+        let live = Arc::new(LiveEngine::from_arc(engine));
+        let ingest = Arc::new(
+            Ingestor::new(
+                Arc::clone(&live),
+                IngestConfig {
+                    data_dir: cfg.data_dir.clone(),
+                    merge_threshold: cfg.merge_threshold,
+                    // Compaction rebuilds into the layout the corpus
+                    // booted with.
+                    compact_shards: live.load().shard_count(),
+                },
+            )
+            .map_err(ServeError::Ingest)?,
+        );
+        let cache = Arc::new(Mutex::new(PreparedCache::new(cfg.cache_capacity)));
+        let metrics = Arc::new(Metrics::new());
+        {
+            // Publish hook: the moment any write path (request or
+            // background merge) publishes a generation, plans compiled
+            // against older corpora become unreachable and are purged.
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            ingest.set_on_publish(move |generation| {
+                let purged = lock(&cache).purge_stale_corpus(generation);
+                metrics.add(&metrics.cache_invalidations, purged as u64);
+                metrics
+                    .corpus_generation
+                    .store(generation, Ordering::Relaxed);
+            });
+        }
+        let merger = if cfg.merge_threshold > 0 {
+            Some(spawn_merger(&ingest).map_err(ServeError::Ingest)?)
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
-            cache: Mutex::new(PreparedCache::new(cfg.cache_capacity)),
+            cache,
             queue: BoundedQueue::new(cfg.queue_capacity),
             registry: ProfileRegistry::new(),
-            metrics: Metrics::new(),
+            metrics,
             shutdown: AtomicBool::new(false),
             live_conns: AtomicUsize::new(0),
             addr,
             empty_profile: Arc::new(UserProfile::new()),
             store,
-            engine,
+            live,
+            ingest,
             cfg,
         });
         shared.metrics.set_startup(
             shared.cfg.startup_load_ms,
             shared.cfg.startup_snapshot_format,
         );
-        shared.metrics.set_shards(shared.engine.shard_count());
+        let engine = shared.live.load();
+        shared.metrics.set_shards(engine.shard_count());
+        shared.metrics.set_ingest_gauges(
+            engine.generation(),
+            engine.num_docs(),
+            engine.live_docs(),
+            0,
+            0,
+        );
         if let Some(store) = &shared.store {
             for outcome in store.recover().map_err(ServeError::Store)? {
                 recover_one(&shared, outcome);
@@ -251,6 +320,7 @@ impl Server {
             listener,
             addr,
             shared,
+            merger,
         })
     }
 
@@ -265,6 +335,7 @@ impl Server {
     /// background).
     pub fn run(self) -> Result<Value, ServeError> {
         let shared = self.shared;
+        let merger = self.merger;
         let pool_size = effective_workers(resolve_threads(shared.cfg.workers), usize::MAX);
         let mut workers = Vec::with_capacity(pool_size);
         for i in 0..pool_size {
@@ -336,6 +407,13 @@ impl Server {
         shared.queue.close();
         for h in workers {
             let _ = h.join();
+        }
+        // Stop the background merger after the drain: every admitted
+        // ingest request has been answered, so its last published
+        // generation is final (and durable when a data dir is set).
+        shared.ingest.shutdown();
+        if let Some(m) = merger {
+            m.join();
         }
         let cache_entries = lock(&shared.cache).len();
         Ok(shared
@@ -634,6 +712,15 @@ fn worker_loop(shared: &Arc<Shared>) {
             // so the snapshot they return already satisfies the
             // `requests == responses + rejections` identity.
             metrics.inc(&metrics.responses_ok);
+            let engine = shared.live.load();
+            metrics.set_shards(engine.shard_count());
+            metrics.set_ingest_gauges(
+                engine.generation(),
+                engine.num_docs(),
+                engine.live_docs(),
+                shared.ingest.merges(),
+                shared.ingest.merge_failures(),
+            );
             let cache_entries = lock(&shared.cache).len();
             let snapshot = metrics.snapshot(cache_entries, shared.registry.len());
             job.conn.respond(&ok_payload(snapshot));
@@ -702,9 +789,54 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Result<Value, RequestE
         Request::RegisterProfile { user, rules } => register_profile(shared, user, rules),
         Request::Search(spec) => run_query(shared, spec, false),
         Request::Explain(spec) => run_query(shared, spec, true),
+        Request::AddDocuments { docs } => ingest_add(shared, docs),
+        Request::DeleteDocuments { ids } => ingest_delete(shared, ids),
         // Handled in `worker_loop` (self-counting snapshots + drain).
         Request::Stats | Request::Shutdown => Ok(Value::Null),
     }
+}
+
+/// `add_documents`: hand the batch to the single-writer pipeline. On
+/// success the response's generation is already durable (when a data
+/// dir is configured) and already visible to every later search.
+fn ingest_add(shared: &Arc<Shared>, docs: &[String]) -> Result<Value, RequestError> {
+    let metrics = &shared.metrics;
+    metrics.inc(&metrics.ingest_requests);
+    let receipt = shared.ingest.add_documents(docs).map_err(|e| {
+        metrics.inc(&metrics.ingest_errors);
+        map_engine_err(e)
+    })?;
+    metrics.add(&metrics.docs_added, receipt.docs as u64);
+    let engine = shared.live.load();
+    Ok(obj([
+        ("added", receipt.docs.into()),
+        ("generation", receipt.generation.into()),
+        ("num_docs", engine.num_docs().into()),
+        ("live_docs", engine.live_docs().into()),
+        ("segments", engine.shard_count().into()),
+    ]))
+}
+
+/// `delete_documents`: tombstone the ids and publish. Ids already
+/// deleted (or repeated in the batch) are idempotent no-ops; an id
+/// outside the corpus fails the whole batch with a typed error and
+/// publishes nothing.
+fn ingest_delete(shared: &Arc<Shared>, ids: &[u32]) -> Result<Value, RequestError> {
+    let metrics = &shared.metrics;
+    metrics.inc(&metrics.ingest_requests);
+    let receipt = shared.ingest.delete_documents(ids).map_err(|e| {
+        metrics.inc(&metrics.ingest_errors);
+        map_engine_err(e)
+    })?;
+    metrics.add(&metrics.docs_deleted, receipt.docs as u64);
+    let engine = shared.live.load();
+    Ok(obj([
+        ("deleted", receipt.docs.into()),
+        ("generation", receipt.generation.into()),
+        ("num_docs", engine.num_docs().into()),
+        ("live_docs", engine.live_docs().into()),
+        ("segments", engine.shard_count().into()),
+    ]))
 }
 
 fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Value, RequestError> {
@@ -753,6 +885,7 @@ fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Val
 /// between propagating and degrading.
 fn fetch_or_prepare(
     shared: &Arc<Shared>,
+    engine: &Arc<Engine>,
     profile: &Arc<UserProfile>,
     user_key: String,
     generation: u64,
@@ -762,6 +895,7 @@ fn fetch_or_prepare(
     let key = CacheKey {
         user: user_key,
         generation,
+        corpus: engine.generation(),
         query: query.to_string(),
     };
     metrics.inc(&metrics.cache_lookups);
@@ -775,8 +909,11 @@ fn fetch_or_prepare(
             metrics.inc(&metrics.cache_misses);
             // `prepare` runs outside the cache lock: compilation is the
             // expensive part, and a racing duplicate insert is harmless
-            // (both compile identical state).
-            let prepared = Arc::new(shared.engine.prepare(query, profile)?);
+            // (both compile identical state). The key's corpus
+            // generation is the loaded engine's, so a publish racing
+            // this insert leaves only an unreachable entry behind — the
+            // publish hook (or a later purge) sweeps it.
+            let prepared = Arc::new(engine.prepare(query, profile)?);
             let evicted = lock(&shared.cache).insert(key, Arc::clone(&prepared));
             metrics.add(&metrics.cache_evictions, evicted as u64);
             Ok((prepared, "miss"))
@@ -796,6 +933,9 @@ fn run_query(
     explain_only: bool,
 ) -> Result<Value, RequestError> {
     let metrics = &shared.metrics;
+    // One engine load per request: prepare and execute run against the
+    // same corpus generation even if a publish lands mid-request.
+    let engine = shared.live.load();
     let (profile, user_key, generation, mut degraded) = match &spec.user {
         None => (Arc::clone(&shared.empty_profile), String::new(), 0, None),
         Some(user) => {
@@ -819,7 +959,7 @@ fn run_query(
             }
         }
     };
-    let attempt = fetch_or_prepare(shared, &profile, user_key, generation, &spec.query);
+    let attempt = fetch_or_prepare(shared, &engine, &profile, user_key, generation, &spec.query);
     let (prepared, cache_state) = match attempt {
         Ok(ready) => ready,
         Err(Error::Conflict(e)) if degraded.is_none() && spec.user.is_some() => {
@@ -829,7 +969,7 @@ fn run_query(
             // point is gated on a non-empty rule set).
             degraded = Some(format!("profile not applicable to this query: {e}"));
             let empty = Arc::clone(&shared.empty_profile);
-            fetch_or_prepare(shared, &empty, String::new(), 0, &spec.query)
+            fetch_or_prepare(shared, &engine, &empty, String::new(), 0, &spec.query)
                 .map_err(map_engine_err)?
         }
         Err(e) => return Err(map_engine_err(e)),
@@ -842,8 +982,7 @@ fn run_query(
         opts.strategy = strategy;
     }
     if explain_only {
-        let plan = shared
-            .engine
+        let plan = engine
             .explain_prepared(&prepared, &opts)
             .map_err(map_engine_err)?;
         let body = obj([
@@ -853,8 +992,7 @@ fn run_query(
         ]);
         return Ok(stamp_degraded(body, &degraded, metrics));
     }
-    let results = shared
-        .engine
+    let results = engine
         .run_prepared(&prepared, &opts)
         .map_err(map_engine_err)?;
     metrics.absorb_exec(&results.stats);
@@ -886,7 +1024,8 @@ fn map_engine_err(e: Error) -> RequestError {
         Error::Query(_) => (err_kind::QUERY, e.to_string()),
         Error::Conflict(_) => (err_kind::PROFILE, e.to_string()),
         Error::InvalidK => (err_kind::BAD_REQUEST, e.to_string()),
-        Error::Xml(_) | Error::Snapshot(_) | Error::Shard(_) | Error::Io(_) => {
+        Error::Ingest(_) | Error::Xml(_) => (err_kind::INGEST, e.to_string()),
+        Error::Snapshot(_) | Error::Shard(_) | Error::Io(_) => {
             (err_kind::INTERNAL, e.to_string())
         }
     }

@@ -500,3 +500,215 @@ fn scoping_faults_degrade_to_unpersonalized_answers() {
 
     drop(session);
 }
+
+// ---------------------------------------------------------------------------
+// Write-path chaos (ISSUE 9 acceptance): under seeded persist faults,
+// writer panics, and a crash between durable commit and publish, queries
+// against *published* documents stay bit-identical to a monolithic
+// rebuild, no served segment is ever corrupt, and a restart recovers the
+// last published generation.
+// ---------------------------------------------------------------------------
+
+const ZEPHYR_DOC: &str = "<dealer><car><model>Zephyr</model><price>1500</price>\
+     <description>rare zephyr roadster in good condition</description></car></dealer>";
+const ZEPHYR_QUERY: &str = r#"//car[ftcontains(., "zephyr")]"#;
+
+fn cars_docs() -> Vec<String> {
+    vec![
+        pimento_datagen::paper_figure1().to_string(),
+        pimento_datagen::generate_dealer(7, 120),
+        pimento_datagen::generate_dealer(13, 120),
+    ]
+}
+
+/// Every persist-path fault (write, fsync, rename) fails the write with a
+/// typed error, leaves the served corpus bit-identical to a monolithic
+/// rebuild of the pre-write documents, and clears cleanly: the retry
+/// after the fault lifts publishes the exact same generation it would
+/// have the first time.
+#[test]
+fn ingest_persist_faults_leave_the_served_corpus_unchanged() {
+    let session = FaultSession::install(FaultPlan::new(3));
+
+    let dir = temp_dir("ingest-persist");
+    let docs = cars_docs();
+    let engine = Arc::new(Engine::from_xml_docs(&docs).expect("corpus parses"));
+    let cfg = ServeConfig {
+        data_dir: Some(dir.clone()),
+        merge_threshold: 0,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(Arc::clone(&engine), cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let expected_base = serial_fingerprint(&engine, &UserProfile::new(), CARS_QUERY, 10);
+
+    for point in [
+        "ingest.persist.write",
+        "ingest.persist.fsync",
+        "ingest.persist.rename",
+    ] {
+        faults::install(FaultPlan::new(3).always(point));
+        let err = c.add_documents(&[ZEPHYR_DOC.to_string()]);
+        match err {
+            Err(ClientError::Server { kind, msg }) => {
+                assert_eq!(kind, "internal", "{point}: {msg}");
+                assert!(msg.contains(point), "{point}: {msg}");
+            }
+            other => panic!("{point}: expected a typed error, got {other:?}"),
+        }
+        // The served corpus never saw the failed write.
+        let body = c.search(None, CARS_QUERY, 10).expect("search");
+        assert_eq!(fingerprint(body.get("hits").expect("hits")), expected_base);
+        let body = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+        assert_eq!(
+            body.get("hits").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(0),
+            "{point}: failed add must not publish"
+        );
+    }
+    faults::clear();
+
+    // With the faults lifted the same batch goes through, and the live
+    // answer matches a monolithic rebuild of base + new documents.
+    let added = c
+        .add_documents(&[ZEPHYR_DOC.to_string()])
+        .expect("post-fault add");
+    assert_eq!(added.get("generation").and_then(Value::as_u64), Some(1));
+    let mut all_docs = docs.clone();
+    all_docs.push(ZEPHYR_DOC.to_string());
+    let monolithic = Engine::from_xml_docs(&all_docs).expect("monolithic rebuild");
+    let body = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(
+        fingerprint(body.get("hits").expect("hits")),
+        serial_fingerprint(&monolithic, &UserProfile::new(), ZEPHYR_QUERY, 5)
+    );
+
+    let stats = c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+    assert_stats_identities(&stats);
+    let ingest = stats.get("ingest").expect("ingest block");
+    assert_eq!(
+        ingest.get("errors").and_then(Value::as_u64),
+        Some(3),
+        "{stats:?}"
+    );
+    assert_eq!(ingest.get("generation").and_then(Value::as_u64), Some(1));
+
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A panic inside the single-writer pipeline surfaces as one typed
+/// `internal` error, poisons nothing observable, and the very next write
+/// on the same connection succeeds and is served.
+#[test]
+fn ingest_writer_panic_is_isolated_and_the_next_write_succeeds() {
+    let session = FaultSession::install(FaultPlan::new(5).at("ingest.writer.panic", 1));
+
+    let dir = temp_dir("ingest-panic");
+    let engine = Arc::new(Engine::from_xml_docs(&cars_docs()).expect("corpus parses"));
+    let cfg = ServeConfig {
+        data_dir: Some(dir.clone()),
+        merge_threshold: 0,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(Arc::clone(&engine), cfg);
+    let mut c = Client::connect(addr).expect("connect");
+
+    let err = c.add_documents(&[ZEPHYR_DOC.to_string()]);
+    match err {
+        Err(ClientError::Server { kind, msg }) => {
+            assert_eq!(kind, "internal", "{msg}");
+            assert!(msg.contains("panicked"), "{msg}");
+        }
+        other => panic!("expected the injected panic, got {other:?}"),
+    }
+
+    // Same connection, same batch: the writer lock recovered.
+    let added = c
+        .add_documents(&[ZEPHYR_DOC.to_string()])
+        .expect("write after writer panic");
+    assert_eq!(added.get("generation").and_then(Value::as_u64), Some(1));
+    let body = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(
+        body.get("hits").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(1),
+        "{body:?}"
+    );
+
+    let stats = c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+    assert_stats_identities(&stats);
+    assert_eq!(stats.get("panics").and_then(Value::as_u64), Some(1));
+
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash between durable commit and in-memory publish: the client gets an
+/// error and the running server keeps serving the old generation — but
+/// the commit is durable, so a restart recovers the newer generation,
+/// bit-identical to a monolithic rebuild that includes the batch.
+#[test]
+fn publish_crash_recovers_the_committed_generation_on_restart() {
+    let session = FaultSession::install(FaultPlan::new(9).always("ingest.publish.crash"));
+
+    let dir = temp_dir("ingest-crash");
+    let docs = cars_docs();
+    let engine = Arc::new(Engine::from_xml_docs(&docs).expect("corpus parses"));
+    let cfg = ServeConfig {
+        data_dir: Some(dir.clone()),
+        merge_threshold: 0,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(Arc::clone(&engine), cfg.clone());
+    let mut c = Client::connect(addr).expect("connect");
+
+    let err = c.add_documents(&[ZEPHYR_DOC.to_string()]);
+    assert!(
+        matches!(&err, Err(ClientError::Server { kind, msg })
+            if kind == "internal" && msg.contains("ingest.publish.crash")),
+        "{err:?}"
+    );
+    // The running server still serves generation 0: the batch was never
+    // acknowledged and never published.
+    let body = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(
+        body.get("hits").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(0)
+    );
+    let stats = c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+    assert_eq!(
+        stats
+            .get("ingest")
+            .and_then(|i| i.get("generation"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "{stats:?}"
+    );
+    faults::clear();
+
+    // Restart from the data dir: the committed-but-unacked generation 1
+    // is a completed durable write and comes back whole.
+    let recovered = Arc::new(Engine::from_sharded_dir(&dir).expect("recover"));
+    assert_eq!(recovered.generation(), 1, "last committed generation");
+    let mut all_docs = docs.clone();
+    all_docs.push(ZEPHYR_DOC.to_string());
+    let monolithic = Engine::from_xml_docs(&all_docs).expect("monolithic rebuild");
+    let (addr, handle) = start(recovered, cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    for query in [CARS_QUERY, ZEPHYR_QUERY] {
+        let body = c.search(None, query, 10).expect("post-recovery search");
+        assert_eq!(
+            fingerprint(body.get("hits").expect("hits")),
+            serial_fingerprint(&monolithic, &UserProfile::new(), query, 10),
+            "recovered corpus is bit-identical to the monolithic rebuild ({query})"
+        );
+    }
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+}

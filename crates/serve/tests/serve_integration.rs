@@ -652,3 +652,145 @@ fn snapshot_backed_server_is_bit_identical_and_reports_format() {
     );
     handle.join().expect("server thread").expect("server ran");
 }
+
+const ZEPHYR_DOC: &str = "<dealer><car><model>Zephyr</model><price>1500</price>\
+     <description>rare zephyr roadster in good condition</description></car></dealer>";
+const ZEPHYR_QUERY: &str = r#"//car[ftcontains(., "zephyr")]"#;
+
+#[test]
+fn ingest_verbs_update_the_live_corpus() {
+    let engine = cars_engine();
+    let base_docs = engine.num_docs() as u64;
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Nothing matches before the write, and the plan gets cached.
+    let before = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(before.get("hits").and_then(Value::as_arr).map(<[Value]>::len), Some(0));
+    let warmed = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(warmed.get("cache").and_then(Value::as_str), Some("hit"));
+
+    // The add is visible to the very next search — and because the corpus
+    // generation moved, the cached plan for this query is stale.
+    let added = c
+        .add_documents(&[ZEPHYR_DOC.to_string()])
+        .expect("add_documents");
+    assert_eq!(added.get("added").and_then(Value::as_u64), Some(1));
+    assert_eq!(added.get("generation").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        added.get("num_docs").and_then(Value::as_u64),
+        Some(base_docs + 1),
+        "{added:?}"
+    );
+    let after = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(after.get("cache").and_then(Value::as_str), Some("miss"));
+    let hits = after.get("hits").and_then(Value::as_arr).expect("hits");
+    assert_eq!(hits.len(), 1, "{after:?}");
+    let doc_id = hits[0].get("doc").and_then(Value::as_u64).expect("doc") as u32;
+    assert_eq!(u64::from(doc_id), base_docs, "appended at the end");
+
+    // Deleting hides the document immediately (tombstone, no compaction).
+    let deleted = c.delete_documents(&[doc_id]).expect("delete_documents");
+    assert_eq!(deleted.get("deleted").and_then(Value::as_u64), Some(1));
+    assert_eq!(deleted.get("generation").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        deleted.get("live_docs").and_then(Value::as_u64),
+        Some(base_docs),
+        "{deleted:?}"
+    );
+    let gone = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(
+        gone.get("hits").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(0),
+        "{gone:?}"
+    );
+
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let ingest = stats.get("ingest").expect("ingest block");
+    let i = |k: &str| ingest.get(k).and_then(Value::as_u64).expect(k);
+    assert_eq!(i("requests"), 2);
+    assert_eq!(i("errors"), 0);
+    assert_eq!(i("docs_added"), 1);
+    assert_eq!(i("docs_deleted"), 1);
+    assert_eq!(i("generation"), 2);
+    assert_eq!(i("live_docs"), base_docs);
+    assert!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("invalidations"))
+            .and_then(Value::as_u64)
+            .expect("invalidations")
+            >= 1,
+        "corpus generation bump purged the stale plan: {stats:?}"
+    );
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn ingest_rejects_bad_batches_without_changing_the_corpus() {
+    let engine = cars_engine();
+    let num_docs = engine.num_docs() as u64;
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+
+    let malformed = c.add_documents(&["<dealer><car></dealer>".to_string()]);
+    assert!(
+        matches!(&malformed, Err(ClientError::Server { kind, .. }) if kind == "ingest"),
+        "{malformed:?}"
+    );
+    let out_of_range = c.delete_documents(&[u32::MAX]);
+    assert!(
+        matches!(&out_of_range, Err(ClientError::Server { kind, .. }) if kind == "ingest"),
+        "{out_of_range:?}"
+    );
+
+    let stats = c.shutdown().expect("shutdown");
+    assert_stats_identities(&stats);
+    let ingest = stats.get("ingest").expect("ingest block");
+    let i = |k: &str| ingest.get(k).and_then(Value::as_u64).expect(k);
+    assert_eq!(i("errors"), 2, "{stats:?}");
+    assert_eq!(i("generation"), 0, "failed writes publish nothing");
+    assert_eq!(i("docs"), num_docs);
+    handle.join().expect("server thread").expect("server ran");
+}
+
+#[test]
+fn ingested_corpus_recovers_across_restart_via_data_dir() {
+    let dir = std::env::temp_dir().join(format!("pimento-serve-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig {
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First life: ingest a document online, record the served answer.
+    let (addr, handle) = start(cars_engine(), cfg.clone());
+    let mut c = Client::connect(addr).expect("connect");
+    c.add_documents(&[ZEPHYR_DOC.to_string()])
+        .expect("add_documents");
+    let first = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    let expected = fingerprint(first.get("hits").expect("hits"));
+    assert_eq!(expected.len(), 1);
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+
+    // Second life: recover the live corpus from the data dir (as the CLI
+    // does when the directory already holds a MANIFEST) — the online
+    // ingest survives the restart bit-identically.
+    let recovered = Arc::new(Engine::from_sharded_dir(&dir).expect("recover corpus"));
+    assert_eq!(recovered.generation(), 1, "last published generation");
+    let (addr, handle) = start(recovered, cfg);
+    let mut c = Client::connect(addr).expect("connect");
+    let second = c.search(None, ZEPHYR_QUERY, 5).expect("search");
+    assert_eq!(fingerprint(second.get("hits").expect("hits")), expected);
+    let stats = c.shutdown().expect("shutdown");
+    let ingest = stats.get("ingest").expect("ingest block");
+    assert_eq!(
+        ingest.get("generation").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
+    handle.join().expect("server thread").expect("server ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}

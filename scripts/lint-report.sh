@@ -32,6 +32,18 @@ if [ -n "$findings" ]; then
       echo "[$rule] $count finding(s):"
       printf '%s\n' "$findings" | awk -v r="$rule" '$1 == r { print "    " $2 }'
     done
+  # Per-crate rollup: panic-path roots span several crates (algebra,
+  # index, core, serve, ingest), so attribute findings to the crate that
+  # owns the panic site.
+  echo "findings by crate:"
+  printf '%s\n' "$findings" | awk '{
+    crate = $2
+    sub(/^crates\//, "", crate); sub(/\/.*/, "", crate)
+    print crate
+  }' | sort | uniq -c | sort -rn |
+    while read -r count crate; do
+      echo "    $crate: $count"
+    done
 fi
 
 stale="$(printf '%s\n' "$json" | sed -n 's/.*"stale_allowlist_entries": \[\(..*\)\].*/\1/p')"

@@ -64,4 +64,17 @@ cargo run -q -p pimento-serve --release --bin pimento -- \
 cargo run -q -p pimento-serve --release --bin pimento -- \
   snapshot inspect "$SNAP_DIR/sharded"
 
+echo "==> ingest gate: write-path pipeline tests"
+cargo test -q -p pimento-ingest
+
+echo "==> ingest gate: chaos suite with write-path faults"
+cargo test -q -p pimento-ingest --features fault-injection
+cargo test -q -p pimento-serve --features fault-injection --test chaos -- ingest publish_crash
+
+echo "==> ingest gate: clippy over the ingest fault-injection configuration"
+cargo clippy -p pimento-ingest --features fault-injection --all-targets -- -D warnings
+
+echo "==> ingest gate: loadgen --ingest-mix --quick (writes vs queries end to end)"
+cargo run -q -p pimento-bench --release --bin loadgen -- --ingest-mix --quick
+
 echo "==> verify OK"

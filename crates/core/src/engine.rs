@@ -8,6 +8,7 @@ use pimento_algebra::{
     build_merge_safe_plan, build_plan, Answer, Database, Matcher, PlanSpec, RankContext,
 };
 use pimento_index::ft_contains;
+use pimento_faults::vfs::Vfs;
 use pimento_index::{
     global_doc_freqs, split_ranges, Collection, DocId, ManifestEntry, Scorer, ShardManifest,
     Tokenizer, TombstoneSet, MANIFEST_FILE,
@@ -207,23 +208,35 @@ impl Engine {
     /// [`Engine::from_sharded_dir`] reopens each segment through the
     /// zero-copy columnar path.
     pub fn save_sharded_snapshot(&self, dir: &Path) -> Result<(), Error> {
-        std::fs::create_dir_all(dir).map_err(|e| Error::Io(e.to_string()))?;
+        self.save_sharded_snapshot_vfs(&pimento_faults::vfs::StdVfs, dir)
+    }
+
+    /// [`Engine::save_sharded_snapshot`] against an explicit [`Vfs`].
+    /// Every artifact is published durably (temp file → fsync → rename
+    /// → directory fsync) and the manifest is written last, so the
+    /// rename of `MANIFEST` is the commit point: a crash anywhere in
+    /// here leaves either the previous manifest (pointing at the
+    /// previous, untouched artifacts) or the complete new snapshot.
+    pub fn save_sharded_snapshot_vfs(&self, vfs: &dyn Vfs, dir: &Path) -> Result<(), Error> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| crate::error::classify_io(dir, &e))?;
         let files: Vec<String> = (0..self.segments.len())
             .map(ShardManifest::segment_file_name)
             .collect();
         let manifest = self.manifest_for(&files)?;
+        let durable = |name: &str, bytes: &[u8]| {
+            pimento_faults::vfs::write_durable(vfs, dir, name, bytes)
+                .map_err(|e| crate::error::classify_io(&dir.join(name), &e))
+        };
         for (i, entry) in manifest.segments.iter().enumerate() {
             let data = self.segment_bytes(i)?;
-            std::fs::write(dir.join(&entry.file), &data).map_err(|e| Error::Io(e.to_string()))?;
+            durable(&entry.file, &data)?;
             if let (Some(t), Some(tombs)) = (&entry.tombstones, self.segments[i].db().tombstones())
             {
-                std::fs::write(dir.join(t), tombs.render())
-                    .map_err(|e| Error::Io(e.to_string()))?;
+                durable(t, tombs.render().as_bytes())?;
             }
         }
-        std::fs::write(dir.join(MANIFEST_FILE), manifest.render())
-            .map_err(|e| Error::Io(e.to_string()))?;
-        Ok(())
+        durable(MANIFEST_FILE, manifest.render().as_bytes())
     }
 
     /// Reopen a sharded snapshot directory written by
@@ -232,14 +245,32 @@ impl Engine {
     /// recomputed by exact integer summation across segments — so search
     /// results are bit-identical to the engine that was saved.
     pub fn from_sharded_dir(dir: &Path) -> Result<Self, Error> {
-        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))
-            .map_err(|e| Error::Io(format!("{}: {e}", dir.join(MANIFEST_FILE).display())))?;
+        Self::from_sharded_dir_vfs(&pimento_faults::vfs::StdVfs, dir)
+    }
+
+    /// [`Engine::from_sharded_dir`] against an explicit [`Vfs`] — the
+    /// recovery path the crash harness drives through [`SimVfs`]. Every
+    /// decode failure surfaces as a typed error; nothing here panics on
+    /// torn or truncated artifacts.
+    ///
+    /// [`SimVfs`]: pimento_faults::vfs
+    pub fn from_sharded_dir_vfs(vfs: &dyn Vfs, dir: &Path) -> Result<Self, Error> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let raw = vfs
+            .read(&manifest_path)
+            .map_err(|e| crate::error::classify_io(&manifest_path, &e))?;
+        let text = String::from_utf8(raw).map_err(|_| {
+            Error::Snapshot(pimento_index::PersistError::BadManifest(
+                "manifest is not UTF-8",
+            ))
+        })?;
         let manifest = ShardManifest::parse(&text)?;
         let mut dbs = Vec::with_capacity(manifest.segments.len());
         for entry in &manifest.segments {
             let path = dir.join(&entry.file);
-            let data =
-                std::fs::read(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+            let data = vfs
+                .read(&path)
+                .map_err(|e| crate::error::classify_io(&path, &e))?;
             let opened = pimento_index::open_index(bytes::Bytes::from(data))?;
             let mut db = Database::from_parts(
                 opened.collection,
@@ -254,8 +285,14 @@ impl Engine {
             }
             if let Some(t) = &entry.tombstones {
                 let tpath = dir.join(t);
-                let ttext = std::fs::read_to_string(&tpath)
-                    .map_err(|e| Error::Io(format!("{}: {e}", tpath.display())))?;
+                let traw = vfs
+                    .read(&tpath)
+                    .map_err(|e| crate::error::classify_io(&tpath, &e))?;
+                let ttext = String::from_utf8(traw).map_err(|_| {
+                    Error::Snapshot(pimento_index::PersistError::BadManifest(
+                        "tombstone sidecar is not UTF-8",
+                    ))
+                })?;
                 let tombs = TombstoneSet::parse(&ttext)?;
                 if tombs.iter().any(|d| d.0 >= entry.docs) {
                     return Err(Error::Snapshot(pimento_index::PersistError::BadManifest(

@@ -24,8 +24,22 @@ pub enum Error {
     Shard(&'static str),
     /// A filesystem operation on a sharded snapshot directory failed.
     Io(String),
+    /// The disk is full (`ENOSPC`). Distinguished from [`Error::Io`] so
+    /// callers can report it as retryable — the previous generation is
+    /// still served and the write can be retried after space frees.
+    DiskFull(String),
     /// An ingest request was invalid (empty batch, unknown doc id, …).
     Ingest(String),
+}
+
+/// Wrap an I/O error for `path`, classifying `ENOSPC` as
+/// [`Error::DiskFull`] and everything else as [`Error::Io`].
+pub(crate) fn classify_io(path: &std::path::Path, e: &std::io::Error) -> Error {
+    if pimento_faults::vfs::is_disk_full(e) {
+        Error::DiskFull(format!("{}: {e}", path.display()))
+    } else {
+        Error::Io(format!("{}: {e}", path.display()))
+    }
 }
 
 impl fmt::Display for Error {
@@ -38,6 +52,7 @@ impl fmt::Display for Error {
             Error::InvalidK => write!(f, "k must be at least 1"),
             Error::Shard(why) => write!(f, "shard error: {why}"),
             Error::Io(why) => write!(f, "io error: {why}"),
+            Error::DiskFull(why) => write!(f, "disk full: {why}"),
             Error::Ingest(why) => write!(f, "ingest error: {why}"),
         }
     }
@@ -50,7 +65,11 @@ impl std::error::Error for Error {
             Error::Query(e) => Some(e),
             Error::Conflict(e) => Some(e),
             Error::Snapshot(e) => Some(e),
-            Error::InvalidK | Error::Shard(_) | Error::Io(_) | Error::Ingest(_) => None,
+            Error::InvalidK
+            | Error::Shard(_)
+            | Error::Io(_)
+            | Error::DiskFull(_)
+            | Error::Ingest(_) => None,
         }
     }
 }

@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod vfs;
+
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 

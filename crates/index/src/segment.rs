@@ -142,8 +142,12 @@ impl ShardManifest {
     /// Render the manifest text. A manifest with generation 0 and no
     /// tombstones renders in the v1 format (one `<file> <doc_base>
     /// <docs>` line per segment) for back-compatibility; otherwise the
-    /// v2 format adds a `generation <n>` line and an optional fourth
-    /// per-segment field naming the tombstone sidecar.
+    /// v2 format adds a `generation <n>` line, an optional fourth
+    /// per-segment field naming the tombstone sidecar, and a final
+    /// `crc <hex>` trailer over everything above it — without the
+    /// trailer a torn (prefix-truncated) manifest could parse as a
+    /// valid manifest with fewer segments, which is exactly the silent
+    /// third state the crash harness exists to rule out.
     pub fn render(&self) -> String {
         let v2 = self.generation > 0 || self.segments.iter().any(|s| s.tombstones.is_some());
         let mut out = String::from(if v2 { MANIFEST_HEADER_V2 } else { MANIFEST_HEADER });
@@ -158,6 +162,10 @@ impl ShardManifest {
             }
             out.push('\n');
         }
+        if v2 {
+            let crc = crate::persist::crc32(out.as_bytes());
+            out.push_str(&format!("crc {crc:08x}\n"));
+        }
         out
     }
 
@@ -169,7 +177,32 @@ impl ShardManifest {
     /// free of path separators (a manifest must not escape its own
     /// directory).
     pub fn parse(text: &str) -> Result<ShardManifest, PersistError> {
-        let mut lines = text.lines().peekable();
+        // A v2 manifest must end with a `crc <hex>` trailer covering
+        // everything above it. Verify (and strip) it before the line
+        // grammar: a torn prefix that cuts cleanly at a line boundary
+        // would otherwise parse as a valid, smaller manifest.
+        let mut body = text;
+        if text.lines().next().map(str::trim) == Some(MANIFEST_HEADER_V2) {
+            let trimmed = text.trim_end();
+            let covered_len = trimmed
+                .rfind('\n')
+                .map(|i| i + 1)
+                .ok_or(PersistError::BadManifest("missing crc trailer"))?;
+            let stored = trimmed
+                .get(covered_len..)
+                .map(str::trim)
+                .and_then(|l| l.strip_prefix("crc "))
+                .and_then(|v| u32::from_str_radix(v.trim(), 16).ok())
+                .ok_or(PersistError::BadManifest("missing crc trailer"))?;
+            let covered = text
+                .get(..covered_len)
+                .ok_or(PersistError::BadManifest("missing crc trailer"))?;
+            if crate::persist::crc32(covered.as_bytes()) != stored {
+                return Err(PersistError::BadManifest("manifest checksum mismatch"));
+            }
+            body = covered;
+        }
+        let mut lines = body.lines().peekable();
         let header = lines.next().map(str::trim);
         let v2 = match header {
             Some(h) if h == MANIFEST_HEADER => false,
@@ -384,13 +417,45 @@ mod tests {
             "pimento-shards v2\ngeneration 1\na.snap 0 3 t extra\n",
         ];
         for text in bad {
-            assert!(
-                matches!(
-                    ShardManifest::parse(text),
-                    Err(PersistError::BadManifest(_))
-                ),
-                "{text:?}"
-            );
+            let texts = [text.to_string(), with_crc(text)];
+            for text in &texts {
+                assert!(
+                    matches!(
+                        ShardManifest::parse(text),
+                        Err(PersistError::BadManifest(_))
+                    ),
+                    "{text:?}"
+                );
+            }
+        }
+    }
+
+    /// Append the v2 `crc` trailer to hand-written manifest text.
+    fn with_crc(body: &str) -> String {
+        format!("{body}crc {:08x}\n", crate::persist::crc32(body.as_bytes()))
+    }
+
+    #[test]
+    fn v2_manifest_without_or_with_wrong_crc_rejected() {
+        let good = with_crc("pimento-shards v2\ngeneration 1\na.snap 0 3\n");
+        assert!(ShardManifest::parse(&good).is_ok());
+        // Missing trailer (a torn prefix at a line boundary).
+        assert!(matches!(
+            ShardManifest::parse("pimento-shards v2\ngeneration 1\na.snap 0 3\n"),
+            Err(PersistError::BadManifest("missing crc trailer"))
+        ));
+        // A torn prefix that keeps the trailer-less body plus garbage.
+        let bad = good.replace("a.snap 0 3", "a.snap 0 4");
+        assert!(matches!(
+            ShardManifest::parse(&bad),
+            Err(PersistError::BadManifest("manifest checksum mismatch"))
+        ));
+        // Every line-boundary prefix of a valid v2 manifest is rejected.
+        for (i, _) in good.char_indices().filter(|(_, c)| *c == '\n') {
+            let prefix = &good[..=i];
+            if prefix.len() < good.len() {
+                assert!(ShardManifest::parse(prefix).is_err(), "prefix {i} accepted");
+            }
         }
     }
 
@@ -404,15 +469,15 @@ mod tests {
             Err(PersistError::BadManifest("duplicate file in manifest"))
         ));
         // A tombstone sidecar colliding with a segment file.
-        let collide = "pimento-shards v2\ngeneration 1\na.snap 0 3\nb.snap 3 2 a.snap\n";
+        let collide = with_crc("pimento-shards v2\ngeneration 1\na.snap 0 3\nb.snap 3 2 a.snap\n");
         assert!(matches!(
-            ShardManifest::parse(collide),
+            ShardManifest::parse(&collide),
             Err(PersistError::BadManifest("duplicate file in manifest"))
         ));
         // A segment naming itself as its tombstone sidecar.
-        let self_ref = "pimento-shards v2\ngeneration 1\na.snap 0 3 a.snap\n";
+        let self_ref = with_crc("pimento-shards v2\ngeneration 1\na.snap 0 3 a.snap\n");
         assert!(matches!(
-            ShardManifest::parse(self_ref),
+            ShardManifest::parse(&self_ref),
             Err(PersistError::BadManifest("duplicate file in manifest"))
         ));
         // Overlapping ranges: second segment starts inside the first.

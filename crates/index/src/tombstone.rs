@@ -74,7 +74,11 @@ impl TombstoneSet {
     }
 
     /// Render the sidecar text: header, `count` line, one id per line in
-    /// increasing order.
+    /// increasing order, and a final `crc <hex>` trailer over everything
+    /// above it. Without the trailer a single flipped bit in an id digit
+    /// would silently delete a *different* document — the count still
+    /// matches and the ids still increase, so only a checksum can catch
+    /// it (the scrubber relies on this, DESIGN.md §17).
     pub fn render(&self) -> String {
         let mut out = String::from(TOMBSTONE_HEADER);
         out.push('\n');
@@ -82,14 +86,34 @@ impl TombstoneSet {
         for doc in self.iter() {
             out.push_str(&format!("{}\n", doc.0));
         }
+        let crc = crate::persist::crc32(out.as_bytes());
+        out.push_str(&format!("crc {crc:08x}\n"));
         out
     }
 
-    /// Parse and validate sidecar text: the header, a `count` line that
-    /// must match the number of id lines, and strictly increasing ids
-    /// (the canonical order [`TombstoneSet::render`] writes).
+    /// Parse and validate sidecar text: the `crc` trailer first (it also
+    /// rules out torn prefixes that cut at a line boundary), then the
+    /// header, a `count` line that must match the number of id lines,
+    /// and strictly increasing ids (the canonical order
+    /// [`TombstoneSet::render`] writes).
     pub fn parse(text: &str) -> Result<TombstoneSet, PersistError> {
-        let mut lines = text.lines();
+        let trimmed = text.trim_end();
+        let covered_len = trimmed
+            .rfind('\n')
+            .map(|i| i + 1)
+            .ok_or(PersistError::BadManifest("missing tombstone crc trailer"))?;
+        let stored = trimmed
+            .get(covered_len..)
+            .and_then(|l| l.trim().strip_prefix("crc "))
+            .and_then(|v| u32::from_str_radix(v.trim(), 16).ok())
+            .ok_or(PersistError::BadManifest("missing tombstone crc trailer"))?;
+        let covered = text
+            .get(..covered_len)
+            .ok_or(PersistError::BadManifest("missing tombstone crc trailer"))?;
+        if crate::persist::crc32(covered.as_bytes()) != stored {
+            return Err(PersistError::BadManifest("tombstone checksum mismatch"));
+        }
+        let mut lines = covered.lines();
         if lines.next().map(str::trim) != Some(TOMBSTONE_HEADER) {
             return Err(PersistError::BadManifest("missing tombstone header"));
         }
@@ -156,6 +180,11 @@ mod tests {
         assert_eq!(TombstoneSet::parse(&empty.render()).unwrap(), empty);
     }
 
+    /// Append the `crc` trailer to hand-written sidecar text.
+    fn with_crc(body: &str) -> String {
+        format!("{body}crc {:08x}\n", crate::persist::crc32(body.as_bytes()))
+    }
+
     #[test]
     fn malformed_sidecars_rejected() {
         let bad = [
@@ -169,13 +198,54 @@ mod tests {
             "pimento-tombstones v1\ncount 1\nnope\n",
         ];
         for text in bad {
-            assert!(
-                matches!(
-                    TombstoneSet::parse(text),
-                    Err(PersistError::BadManifest(_))
-                ),
-                "{text:?}"
-            );
+            // Each bad body fails both bare (missing trailer) and with a
+            // correct trailer appended (inner grammar rejection).
+            let texts = [text.to_string(), with_crc(text)];
+            for text in &texts {
+                assert!(
+                    matches!(
+                        TombstoneSet::parse(text),
+                        Err(PersistError::BadManifest(_))
+                    ),
+                    "{text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sidecar_without_or_with_wrong_crc_rejected() {
+        let mut t = TombstoneSet::new();
+        t.insert(DocId(1));
+        t.insert(DocId(7));
+        let good = t.render();
+        assert_eq!(TombstoneSet::parse(&good).unwrap(), t);
+
+        // Strip the trailer: rejected, not parsed as the untrailed format.
+        let body = good.rsplit_once("crc ").unwrap().0;
+        assert!(matches!(
+            TombstoneSet::parse(body),
+            Err(PersistError::BadManifest("missing tombstone crc trailer"))
+        ));
+
+        // A single flipped id digit (1 → 3) keeps the grammar valid —
+        // count matches, ids still increase — so only the crc catches it.
+        let tampered = good.replace("\n1\n", "\n3\n");
+        assert_ne!(tampered, good);
+        assert!(matches!(
+            TombstoneSet::parse(&tampered),
+            Err(PersistError::BadManifest("tombstone checksum mismatch"))
+        ));
+
+        // Every line-boundary prefix of a valid sidecar is rejected.
+        for (i, ch) in good.char_indices().skip(1) {
+            if ch == '\n' && i + 1 < good.len() {
+                let prefix = &good[..=i];
+                assert!(
+                    TombstoneSet::parse(prefix).is_err(),
+                    "torn prefix parsed: {prefix:?}"
+                );
+            }
         }
     }
 }

@@ -12,25 +12,49 @@
 //! every file it names is exactly as it was when that manifest was
 //! committed. Superseded files are garbage-collected only *after* a
 //! successful swap.
+//!
+//! All I/O goes through a [`Vfs`] handle (DESIGN.md §17): [`StdVfs`]
+//! in production, `SimVfs` in the crash-enumeration harness. `ENOSPC`
+//! surfaces as the typed [`Error::DiskFull`] with the temp file
+//! cleaned up, so the old generation keeps serving and a retry after
+//! space frees can succeed.
 
 use pimento::{Engine, Error};
+use pimento_faults::vfs::{self, StdVfs, Vfs};
 use pimento_index::segment::{ShardManifest, MANIFEST_FILE};
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A snapshot directory owned by the ingest pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SegmentStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+/// Wrap an I/O error for `path`, classifying `ENOSPC` as the typed
+/// [`Error::DiskFull`].
+fn classify(path: &Path, e: &std::io::Error) -> Error {
+    if vfs::is_disk_full(e) {
+        Error::DiskFull(format!("{}: {e}", path.display()))
+    } else {
+        Error::Io(format!("{}: {e}", path.display()))
+    }
 }
 
 impl SegmentStore {
-    /// Open (creating if needed) the store directory.
+    /// Open (creating if needed) the store directory on the real
+    /// filesystem.
     pub fn open(dir: impl Into<PathBuf>) -> Result<SegmentStore, Error> {
+        SegmentStore::open_with(Arc::new(StdVfs), dir)
+    }
+
+    /// Open the store against an explicit [`Vfs`] — the entry point the
+    /// crash harness uses to run the whole commit protocol on `SimVfs`.
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: impl Into<PathBuf>) -> Result<SegmentStore, Error> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| Error::Io(format!("{}: {e}", dir.display())))?;
-        Ok(SegmentStore { dir })
+        vfs.create_dir_all(&dir).map_err(|e| classify(&dir, &e))?;
+        Ok(SegmentStore { dir, vfs })
     }
 
     /// The store directory.
@@ -38,65 +62,78 @@ impl SegmentStore {
         &self.dir
     }
 
+    /// The filesystem this store talks to.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
     /// Whether a committed manifest exists (i.e. recovery has something
     /// to recover).
     pub fn has_manifest(&self) -> bool {
-        self.dir.join(MANIFEST_FILE).is_file()
+        self.vfs.exists(&self.dir.join(MANIFEST_FILE))
     }
 
     /// Parse the committed manifest.
     pub fn manifest(&self) -> Result<ShardManifest, Error> {
         let path = self.dir.join(MANIFEST_FILE);
-        let text =
-            fs::read_to_string(&path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        let raw = self.vfs.read(&path).map_err(|e| classify(&path, &e))?;
+        let text = String::from_utf8(raw).map_err(|_| {
+            Error::Snapshot(pimento_index::PersistError::BadManifest(
+                "manifest is not UTF-8",
+            ))
+        })?;
         Ok(ShardManifest::parse(&text)?)
     }
 
-    /// Reopen the last committed generation.
+    /// Reopen the last committed generation. Torn or truncated
+    /// artifacts surface as typed errors — never a panic — so callers
+    /// can quarantine and fall back (see
+    /// [`SegmentStore::quarantine_corrupt`]).
     pub fn recover(&self) -> Result<Engine, Error> {
-        Engine::from_sharded_dir(&self.dir)
+        Engine::from_sharded_dir_vfs(&*self.vfs, &self.dir)
+    }
+
+    /// After [`SegmentStore::recover`] fails, move every artifact of
+    /// the damaged generation (`MANIFEST`, segment files, sidecars)
+    /// aside as `*.quarantined` so a fresh bootstrap can proceed and an
+    /// operator can still inspect the wreckage. Quarantine-not-crash:
+    /// this is best-effort and never fails — it returns how many
+    /// artifacts were moved.
+    pub fn quarantine_corrupt(&self, cap: vfs::QuarantineCap) -> usize {
+        let Ok(files) = self.vfs.list(&self.dir) else {
+            return 0;
+        };
+        let mut moved = 0;
+        for path in files {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let ours = name == MANIFEST_FILE
+                || name.ends_with(".snap")
+                || name.ends_with(".tomb")
+                || name.ends_with(".tmp");
+            if ours && vfs::quarantine_file(&*self.vfs, &path, cap).is_ok() {
+                moved += 1;
+            }
+        }
+        moved
     }
 
     /// Durably write one file: temp → fsync → atomic rename → directory
-    /// fsync. Under the `fault-injection` feature the three I/O steps
-    /// are named fault points (`ingest.persist.write` / `.fsync` /
-    /// `.rename`).
+    /// fsync, with the temp removed on failure. Under the
+    /// `fault-injection` feature the three I/O steps are named fault
+    /// points (`ingest.persist.write` / `.fsync` / `.rename`).
     fn write_durable(&self, name: &str, bytes: &[u8]) -> Result<(), Error> {
-        let path = self.dir.join(name);
-        let tmp = self.dir.join(format!("{name}.tmp"));
         #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("ingest.persist.write") {
-            return Err(Error::Io(format!(
-                "fault injected: ingest.persist.write ({name})"
-            )));
+        for step in ["write", "fsync", "rename"] {
+            if pimento_faults::should_fire(&format!("ingest.persist.{step}")) {
+                return Err(Error::Io(format!(
+                    "fault injected: ingest.persist.{step} ({name})"
+                )));
+            }
         }
-        let mut f =
-            File::create(&tmp).map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
-        f.write_all(bytes)
-            .map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
-        #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("ingest.persist.fsync") {
-            return Err(Error::Io(format!(
-                "fault injected: ingest.persist.fsync ({name})"
-            )));
-        }
-        f.sync_all()
-            .map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
-        drop(f);
-        #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("ingest.persist.rename") {
-            return Err(Error::Io(format!(
-                "fault injected: ingest.persist.rename ({name})"
-            )));
-        }
-        fs::rename(&tmp, &path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
-        // Make the rename durable. Directory fsync is best-effort: some
-        // filesystems refuse to open a directory for reading, and the
-        // data file itself is already safe on disk.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
-        Ok(())
+        vfs::write_durable(&*self.vfs, &self.dir, name, bytes)
+            .map_err(|e| classify(&self.dir.join(name), &e))
     }
 
     /// Durably persist `engine` under the given per-segment `files`.
@@ -135,7 +172,8 @@ impl SegmentStore {
     /// stale `.tmp` leftovers). Returns how many files were removed.
     /// Errors are swallowed: gc must never compromise a committed
     /// generation, and an unreferenced file left behind is only wasted
-    /// space.
+    /// space. `*.quarantined` files are not gc'd here; they age out
+    /// under the quarantine cap instead.
     pub fn gc(&self, manifest: &ShardManifest) -> usize {
         let mut keep: Vec<&str> = vec![MANIFEST_FILE];
         for entry in &manifest.segments {
@@ -144,18 +182,19 @@ impl SegmentStore {
                 keep.push(t);
             }
         }
-        let Ok(entries) = fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.vfs.list(&self.dir) else {
             return 0;
         };
         let mut removed = 0;
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
             let ours = name.ends_with(".snap")
                 || name.ends_with(".tomb")
                 || name.ends_with(".tmp")
                 || name == MANIFEST_FILE;
-            if ours && !keep.contains(&name) && fs::remove_file(entry.path()).is_ok() {
+            if ours && !keep.contains(&name) && self.vfs.remove_file(&path).is_ok() {
                 removed += 1;
             }
         }
@@ -167,6 +206,7 @@ impl SegmentStore {
 mod tests {
     use super::*;
     use pimento_index::Collection;
+    use std::fs;
 
     fn engine(n: usize) -> Engine {
         let mut coll = Collection::new();
@@ -209,6 +249,23 @@ mod tests {
         assert!(dir.join("notes.txt").exists(), "foreign files untouched");
         assert!(dir.join(&files[0]).exists());
         assert!(store.has_manifest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_typed_and_quarantinable() {
+        let dir = std::env::temp_dir().join(format!("pimento-store-qc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = SegmentStore::open(&dir).unwrap();
+        let eng = engine(2);
+        let files = vec![ShardManifest::generation_file_name(0, 0)];
+        store.publish(&eng, &files, &[0]).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), b"pimento-shards v9\ngarbage").unwrap();
+        let err = store.recover().unwrap_err();
+        assert!(matches!(err, Error::Snapshot(_)), "typed: {err:?}");
+        let moved = store.quarantine_corrupt(vfs::QuarantineCap::default());
+        assert!(moved >= 2, "manifest + segment moved aside: {moved}");
+        assert!(!store.has_manifest(), "dir ready for a fresh bootstrap");
         let _ = fs::remove_dir_all(&dir);
     }
 }

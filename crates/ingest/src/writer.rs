@@ -44,6 +44,9 @@ pub struct IngestConfig {
     /// How many doc-range segments a compaction rebuilds into
     /// (0 or 1 → monolithic).
     pub compact_shards: usize,
+    /// Filesystem the store talks to. `None` uses the real filesystem;
+    /// the crash-enumeration harness points this at a `SimVfs`.
+    pub vfs: Option<Arc<dyn pimento_faults::vfs::Vfs>>,
 }
 
 /// What a successful write published.
@@ -106,7 +109,13 @@ impl Ingestor {
     /// full bootstrap publish so a restart recovers what is being
     /// served.
     pub fn new(live: Arc<LiveEngine>, cfg: IngestConfig) -> Result<Ingestor, Error> {
-        let store = cfg.data_dir.map(SegmentStore::open).transpose()?;
+        let store = cfg
+            .data_dir
+            .map(|dir| match cfg.vfs {
+                Some(vfs) => SegmentStore::open_with(vfs, dir),
+                None => SegmentStore::open(dir),
+            })
+            .transpose()?;
         let mut files = Vec::new();
         if let Some(store) = &store {
             let engine = live.load();
@@ -152,6 +161,39 @@ impl Ingestor {
     /// The engine cell this writer publishes to.
     pub fn live(&self) -> &Arc<LiveEngine> {
         &self.live
+    }
+
+    /// The durable store, when persistence is configured. The scrubber
+    /// reads (and quarantines) on-disk artifacts through this.
+    pub fn store(&self) -> Option<&SegmentStore> {
+        self.store.as_ref()
+    }
+
+    /// Re-persist the entire live generation to disk — the scrubber's
+    /// repair path after quarantining a damaged artifact. Takes the
+    /// writer lock so it cannot interleave with a publish, then
+    /// rewrites every segment file, sidecar and the manifest from the
+    /// in-memory engine (which *is* the last good generation: publishes
+    /// swap it in only after a durable commit). Returns `false` when no
+    /// store is configured.
+    pub fn repair_persist(&self) -> Result<bool, Error> {
+        let Some(store) = &self.store else {
+            return Ok(false);
+        };
+        let mut state = self.lock_state();
+        let engine = self.live.load();
+        let files = if state.files.len() == engine.shard_count() {
+            state.files.clone()
+        } else {
+            (0..engine.shard_count())
+                .map(|i| ShardManifest::generation_file_name(engine.generation(), i))
+                .collect()
+        };
+        let all: Vec<usize> = (0..engine.shard_count()).collect();
+        let manifest = store.publish(&engine, &files, &all)?;
+        state.files = files;
+        store.gc(&manifest);
+        Ok(true)
     }
 
     /// Register a callback invoked (under the writer lock) after every

@@ -65,6 +65,31 @@ const ROOTS: &[(&str, &[&str], RootFns)] = &[
         &["writer"],
         RootFns::Only(&["add_documents", "delete_documents", "merger_loop"]),
     ),
+    // Crash recovery and scrubbing (DESIGN.md §17): everything that runs
+    // between "the disk holds whatever a crash left" and "the engine is
+    // serving" must degrade to typed errors — a panic during recovery or
+    // on the scrubber thread turns a survivable fault into an outage.
+    ("serve", &["scrub"], RootFns::All),
+    (
+        "core",
+        &["engine"],
+        RootFns::Only(&["from_sharded_dir", "from_sharded_dir_vfs"]),
+    ),
+    (
+        "ingest",
+        &["store"],
+        RootFns::Only(&["recover", "manifest", "quarantine_corrupt"]),
+    ),
+    (
+        "faults",
+        &["vfs"],
+        RootFns::Only(&[
+            "write_durable",
+            "quarantine_file",
+            "quarantine_stats",
+            "enforce_quarantine_cap",
+        ]),
+    ),
 ];
 
 /// Run the analysis over a built call graph.

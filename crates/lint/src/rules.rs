@@ -82,13 +82,15 @@ pub fn is_answer_cmp_module(path: &str) -> bool {
 /// Modules allowed to spawn threads: the sharded scan, the parallel
 /// ingest, and the serve worker pool / per-connection readers all sit
 /// behind the `resolve_threads` + `effective_workers` clamp; the ingest
-/// writer spawns exactly one named background merger, not a pool.
+/// writer spawns exactly one named background merger, not a pool, and
+/// the scrubber spawns exactly one named `pimento-scrub` thread.
 pub fn may_spawn_threads(path: &str) -> bool {
     matches!(
         path,
         "crates/algebra/src/par.rs"
             | "crates/index/src/parallel.rs"
             | "crates/serve/src/server.rs"
+            | "crates/serve/src/scrub.rs"
             | "crates/ingest/src/writer.rs"
     )
 }

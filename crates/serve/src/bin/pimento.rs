@@ -52,6 +52,11 @@ fn serve_usage() -> ! {
          \x20                seed an empty directory)\n\
          --merge-threshold  compact after this many delta segments accumulate\n\
          \x20                (default 8; 0 disables the background merger)\n\
+         --scrub-interval-ms  online integrity scrubber period: every interval the\n\
+         \x20                manifest, segment section CRCs, tombstone sidecars and\n\
+         \x20                stored profiles are re-verified; damage is quarantined\n\
+         \x20                and repaired from the live state, surfaced via the\n\
+         \x20                `health` verb and `scrub.*` stats (0 = off, the default)\n\
          The server prints `listening on ADDR` once ready and runs until a\n\
          `shutdown` command arrives, then drains in-flight requests and\n\
          prints the final metrics snapshot."
@@ -135,6 +140,13 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| serve_usage())
+            }
+            "--scrub-interval-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| serve_usage());
+                cfg.scrub_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--help" | "-h" => serve_usage(),
             other => {
@@ -269,6 +281,121 @@ fn run_serve(rest: Vec<String>) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `pimento scrub`: one-shot offline integrity pass over the durable
+/// stores — the same verify → quarantine → repair cycle the online
+/// scrubber (`serve --scrub-interval-ms`) runs periodically.
+fn scrub_usage() -> ! {
+    eprintln!(
+        "usage: pimento scrub [--data-dir DIR] [--profile-dir DIR]\n\
+         Run one synchronous scrubber pass: re-verify the manifest, every\n\
+         segment section CRC, tombstone sidecars and stored profiles;\n\
+         quarantine damaged artifacts (bounded `*.quarantined` retention)\n\
+         and repair from the recovered state; print the health report as\n\
+         JSON. Exit 0 when everything verified (`ok`), 1 when damage was\n\
+         found (`degraded`: quarantined and repaired; `corrupt`: a repair\n\
+         failed or the corpus could not be recovered)."
+    );
+    std::process::exit(2)
+}
+
+fn run_scrub(rest: Vec<String>) -> ExitCode {
+    use pimento_serve::{HealthLevel, Metrics, ProfileRegistry, ProfileStore, Scrubber};
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut profile_dir: Option<std::path::PathBuf> = None;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data-dir" => data_dir = Some(it.next().unwrap_or_else(|| scrub_usage()).into()),
+            "--profile-dir" => {
+                profile_dir = Some(it.next().unwrap_or_else(|| scrub_usage()).into())
+            }
+            "--help" | "-h" => scrub_usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                scrub_usage()
+            }
+        }
+    }
+    if data_dir.is_none() && profile_dir.is_none() {
+        scrub_usage()
+    }
+    // Corpus side: recover the last published generation — it is both
+    // what a server would serve and the scrubber's repair source. When
+    // the directory is damaged beyond recovery there is nothing to
+    // repair from offline: quarantine the wreckage so the next boot
+    // starts clean, and report corrupt via the exit code.
+    let engine = match &data_dir {
+        Some(dir) => match Engine::from_sharded_dir(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot recover corpus from {}: {e}", dir.display());
+                if let Ok(store) = pimento_ingest::SegmentStore::open(dir.clone()) {
+                    let moved = store.quarantine_corrupt(Default::default());
+                    eprintln!(
+                        "quarantined {moved} artifact(s); restore from a replica or re-seed"
+                    );
+                }
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Engine::new(pimento::index::Collection::new()),
+    };
+    let live = Arc::new(pimento_ingest::LiveEngine::new(engine));
+    let ingest = match pimento_ingest::Ingestor::new(
+        Arc::clone(&live),
+        pimento_ingest::IngestConfig {
+            data_dir: data_dir.clone(),
+            merge_threshold: 0,
+            compact_shards: live.load().shard_count(),
+            vfs: None,
+        },
+    ) {
+        Ok(i) => Arc::new(i),
+        Err(e) => {
+            eprintln!("cannot attach segment store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match &profile_dir {
+        Some(dir) => match ProfileStore::open(dir.clone()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot open profile store: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // Pre-load intact profiles into the registry (without quarantining
+    // anything yet — that is the pass's job) so the scrubber can
+    // re-persist a profile whose file it quarantines.
+    let registry = Arc::new(ProfileRegistry::new());
+    if let Some(store) = &store {
+        let vfs = store.vfs();
+        for path in vfs.list(store.dir()).unwrap_or_default() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.ends_with(".profile") {
+                continue;
+            }
+            if let Ok(bytes) = vfs.read(&path) {
+                if let Ok((user, rules)) = ProfileStore::verify_bytes(&bytes) {
+                    if let Ok(profile) = parse_profile(&rules, &PrefRelRegistry::new()) {
+                        registry.register_with_rules(&user, profile, &rules);
+                    }
+                }
+            }
+        }
+    }
+    let scrubber = Scrubber::new(ingest, store, registry, Arc::new(Metrics::new()));
+    scrubber.run_pass();
+    println!("{}", scrubber.health_body().render());
+    if scrubber.health().overall() == HealthLevel::Ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -757,7 +884,9 @@ fn usage() -> ! {
        pimento serve (--docs FILE... | --snapshot FILE) [--addr HOST:PORT] [--threads N] ...\n\
          resident TCP query service (see `pimento serve --help`)\n\
        pimento snapshot build|inspect ...\n\
-         build and inspect binary index snapshots (see `pimento snapshot --help`)"
+         build and inspect binary index snapshots (see `pimento snapshot --help`)\n\
+       pimento scrub [--data-dir DIR] [--profile-dir DIR]\n\
+         one-shot integrity scrub of the durable stores (see `pimento scrub --help`)"
     );
     std::process::exit(2)
 }
@@ -844,6 +973,10 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("snapshot") {
         argv.remove(0);
         return run_snapshot(argv);
+    }
+    if argv.first().map(String::as_str) == Some("scrub") {
+        argv.remove(0);
+        return run_scrub(argv);
     }
     let args = parse_args();
 

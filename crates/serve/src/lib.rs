@@ -20,6 +20,9 @@
 //!   shutdown;
 //! * [`store`] — crash-safe durable profile persistence (write-temp +
 //!   fsync + atomic rename, checksummed, quarantine-on-corrupt);
+//! * [`scrub`] — online integrity scrubber: periodic re-verification of
+//!   every durable artifact with quarantine-and-repair and the `health`
+//!   verb (DESIGN.md §17);
 //! * [`client`] — a small blocking client with bounded-backoff retry for
 //!   tests and tooling.
 //!
@@ -35,6 +38,7 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
+pub mod scrub;
 pub mod server;
 pub mod store;
 
@@ -50,5 +54,9 @@ pub use json::Value;
 pub use metrics::Metrics;
 pub use protocol::{err_kind, Request};
 pub use registry::ProfileRegistry;
+pub use scrub::{
+    spawn_scrubber, ComponentHealth, HealthLevel, HealthReport, PassSummary, Scrubber,
+    ScrubberHandle,
+};
 pub use server::{ServeConfig, ServeError, Server};
 pub use store::{ProfileStore, Recovered, StoreError};

@@ -143,6 +143,34 @@ counters! {
     /// Live (non-tombstoned) documents in the served corpus
     /// (a gauge refreshed at `stats` time).
     corpus_live_docs,
+    /// Write-path requests that failed with the typed disk-full error
+    /// (the previous generation kept serving; the client may retry).
+    disk_full,
+    /// Completed scrub passes (DESIGN.md §17).
+    scrub_passes,
+    /// Checksummed units the scrubber verified (manifest, v4 sections,
+    /// tombstone sidecars, profile files).
+    scrub_sections,
+    /// Artifacts the scrubber found damaged.
+    scrub_corruptions,
+    /// Successful scrubber repairs (corpus re-publishes + re-persisted
+    /// profiles).
+    scrub_repairs,
+    /// Scrubber repairs that failed (drives the `corrupt` health level).
+    scrub_repair_failures,
+    /// Wall time of the most recent scrub pass, µs (a gauge).
+    scrub_last_pass_us,
+    /// Corpus health from the last scrub pass: 0 ok, 1 degraded,
+    /// 2 corrupt (a gauge).
+    health_corpus,
+    /// Profile-store health from the last scrub pass (same encoding;
+    /// a gauge).
+    health_profiles,
+    /// `*.quarantined` files currently retained across both stores
+    /// (a gauge refreshed by the scrubber).
+    quarantined_files,
+    /// Total bytes of retained `*.quarantined` files (a gauge).
+    quarantined_bytes,
 }
 
 impl Default for Metrics {
@@ -267,12 +295,33 @@ impl Metrics {
             ("panics", g(&self.panics)),
             ("worker_respawns", g(&self.worker_respawns)),
             ("degraded", g(&self.degraded)),
+            ("disk_full", g(&self.disk_full)),
             (
                 "store",
                 obj([
                     ("errors", g(&self.store_errors)),
                     ("profiles_recovered", g(&self.profiles_recovered)),
                     ("profiles_quarantined", g(&self.profiles_quarantined)),
+                    ("quarantined_files", g(&self.quarantined_files)),
+                    ("quarantined_bytes", g(&self.quarantined_bytes)),
+                ]),
+            ),
+            (
+                "scrub",
+                obj([
+                    ("passes", g(&self.scrub_passes)),
+                    ("sections", g(&self.scrub_sections)),
+                    ("corruptions", g(&self.scrub_corruptions)),
+                    ("repairs", g(&self.scrub_repairs)),
+                    ("repair_failures", g(&self.scrub_repair_failures)),
+                    ("last_pass_us", g(&self.scrub_last_pass_us)),
+                ]),
+            ),
+            (
+                "health",
+                obj([
+                    ("corpus", g(&self.health_corpus)),
+                    ("profiles", g(&self.health_profiles)),
                 ]),
             ),
             (

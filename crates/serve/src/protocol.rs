@@ -33,6 +33,10 @@ pub mod err_kind {
     /// An ingest write was invalid (bad XML, unknown doc id, empty
     /// batch) or the server has no write path configured.
     pub const INGEST: &str = "ingest";
+    /// The disk is full (`ENOSPC`): the write was rejected, the
+    /// previous generation is still served, and the request is
+    /// retryable once space frees.
+    pub const DISK_FULL: &str = "disk_full";
     /// Anything else (I/O mid-response, poisoned state, …).
     pub const INTERNAL: &str = "internal";
 }
@@ -152,6 +156,9 @@ pub enum Request {
     },
     /// Metrics snapshot.
     Stats,
+    /// Scrubber health report (`ok` / `degraded` / `corrupt` with
+    /// per-component detail — DESIGN.md §17).
+    Health,
     /// Drain in-flight requests and stop the server.
     Shutdown,
 }
@@ -206,6 +213,7 @@ pub fn parse_request(v: &Value) -> Result<Request, String> {
             Ok(Request::DeleteDocuments { ids })
         }
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd `{other}`")),
     }
@@ -334,6 +342,10 @@ mod tests {
         assert!(matches!(
             parse_request(&Value::parse(r#"{"cmd":"shutdown"}"#).unwrap()).unwrap(),
             Request::Shutdown
+        ));
+        assert!(matches!(
+            parse_request(&Value::parse(r#"{"cmd":"health"}"#).unwrap()).unwrap(),
+            Request::Health
         ));
     }
 

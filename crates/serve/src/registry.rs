@@ -25,6 +25,11 @@ pub struct ProfileSession {
     /// (DESIGN.md §12), so searches run unpersonalized and stamp
     /// `degraded: true`. A fresh `register_profile` clears it.
     pub degraded: Option<String>,
+    /// The rule text the profile was registered from, when known. The
+    /// in-memory registry is the durable store's source of truth for
+    /// repair: the scrubber re-persists from here after quarantining a
+    /// damaged profile file (DESIGN.md §17).
+    pub rules: Option<Arc<String>>,
 }
 
 /// Thread-safe user → profile map.
@@ -42,14 +47,49 @@ impl ProfileRegistry {
 
     /// Install (or replace) `user`'s profile; returns the new generation.
     pub fn register(&self, user: &str, profile: UserProfile) -> u64 {
+        self.install(user, profile, None, None)
+    }
+
+    /// Like [`ProfileRegistry::register`], also remembering the rule
+    /// text the profile was parsed from so the scrubber can re-persist
+    /// it if the on-disk copy is damaged.
+    pub fn register_with_rules(&self, user: &str, profile: UserProfile, rules: &str) -> u64 {
+        self.install(user, profile, None, Some(Arc::new(rules.to_string())))
+    }
+
+    fn install(
+        &self,
+        user: &str,
+        profile: UserProfile,
+        degraded: Option<String>,
+        rules: Option<Arc<String>>,
+    ) -> u64 {
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
         let session = ProfileSession {
             profile: Arc::new(profile),
             generation,
-            degraded: None,
+            degraded,
+            rules,
         };
         write_guard(&self.sessions).insert(user.to_string(), session);
         generation
+    }
+
+    /// Every `(user, rules)` pair the registry can vouch for — the
+    /// repair set the scrubber re-persists from. Degraded placeholders
+    /// and sessions registered without rule text are excluded.
+    pub fn persisted_rules(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = read_guard(&self.sessions)
+            .iter()
+            .filter(|(_, s)| s.degraded.is_none())
+            .filter_map(|(user, s)| {
+                s.rules
+                    .as_ref()
+                    .map(|r| (user.clone(), r.as_ref().clone()))
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Install a degraded placeholder for `user`: an empty profile marked
@@ -57,14 +97,7 @@ impl ProfileRegistry {
     /// is corrupt — the user keeps getting (unpersonalized, explicitly
     /// flagged) answers instead of `unknown_user` errors.
     pub fn register_degraded(&self, user: &str, reason: &str) -> u64 {
-        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
-        let session = ProfileSession {
-            profile: Arc::new(UserProfile::new()),
-            generation,
-            degraded: Some(reason.to_string()),
-        };
-        write_guard(&self.sessions).insert(user.to_string(), session);
-        generation
+        self.install(user, UserProfile::new(), Some(reason.to_string()), None)
     }
 
     /// Resolve a session key to its current profile snapshot.

@@ -40,6 +40,7 @@ use crate::protocol::{
     FRAME_HARD_CAP,
 };
 use crate::registry::ProfileRegistry;
+use crate::scrub::{spawn_scrubber, Scrubber};
 use crate::store::{ProfileStore, Recovered, StoreError};
 use pimento::profile::{parse_profile, validate, PrefRelRegistry, UserProfile};
 use pimento::{Engine, Error, SearchOptions, SearchResults};
@@ -108,6 +109,11 @@ pub struct ServeConfig {
     /// Compact once this many delta segments have accumulated; `0`
     /// disables the background merger entirely.
     pub merge_threshold: usize,
+    /// Period of the online integrity scrubber (DESIGN.md §17): every
+    /// interval it re-verifies all durable artifacts, quarantining and
+    /// repairing damage. `None` disables the background thread (the
+    /// `health` verb then reports the never-scrubbed initial state).
+    pub scrub_interval: Option<Duration>,
     /// How long the engine took to build or open before `bind`, in
     /// milliseconds — reported in the `stats` startup block.
     pub startup_load_ms: u64,
@@ -134,6 +140,7 @@ impl Default for ServeConfig {
             profile_dir: None,
             data_dir: None,
             merge_threshold: 8,
+            scrub_interval: None,
             startup_load_ms: 0,
             startup_snapshot_format: None,
         }
@@ -195,7 +202,7 @@ struct Shared {
     /// ingest jobs across the worker pool).
     ingest: Arc<Ingestor>,
     cfg: ServeConfig,
-    registry: ProfileRegistry,
+    registry: Arc<ProfileRegistry>,
     /// Shared with the ingest publish hook, which purges corpus-stale
     /// entries the instant a new generation goes live.
     cache: Arc<Mutex<PreparedCache>>,
@@ -206,6 +213,10 @@ struct Shared {
     addr: SocketAddr,
     empty_profile: Arc<UserProfile>,
     store: Option<ProfileStore>,
+    /// The online integrity scrubber. Always constructed (the `health`
+    /// verb needs it); the periodic thread only runs when
+    /// `cfg.scrub_interval` is set.
+    scrub: Arc<Scrubber>,
 }
 
 /// One admitted request, waiting in the queue.
@@ -259,6 +270,7 @@ impl Server {
                     // Compaction rebuilds into the layout the corpus
                     // booted with.
                     compact_shards: live.load().shard_count(),
+                    vfs: None,
                 },
             )
             .map_err(ServeError::Ingest)?,
@@ -284,16 +296,24 @@ impl Server {
         } else {
             None
         };
+        let registry = Arc::new(ProfileRegistry::new());
+        let scrub = Arc::new(Scrubber::new(
+            Arc::clone(&ingest),
+            store.clone(),
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+        ));
         let shared = Arc::new(Shared {
             cache,
             queue: BoundedQueue::new(cfg.queue_capacity),
-            registry: ProfileRegistry::new(),
+            registry,
             metrics,
             shutdown: AtomicBool::new(false),
             live_conns: AtomicUsize::new(0),
             addr,
             empty_profile: Arc::new(UserProfile::new()),
             store,
+            scrub,
             live,
             ingest,
             cfg,
@@ -336,6 +356,12 @@ impl Server {
     pub fn run(self) -> Result<Value, ServeError> {
         let shared = self.shared;
         let merger = self.merger;
+        let scrub_thread = match shared.cfg.scrub_interval {
+            Some(interval) => {
+                Some(spawn_scrubber(&shared.scrub, interval).map_err(ServeError::Spawn)?)
+            }
+            None => None,
+        };
         let pool_size = effective_workers(resolve_threads(shared.cfg.workers), usize::MAX);
         let mut workers = Vec::with_capacity(pool_size);
         for i in 0..pool_size {
@@ -415,6 +441,9 @@ impl Server {
         if let Some(m) = merger {
             m.join();
         }
+        if let Some(s) = scrub_thread {
+            s.stop();
+        }
         let cache_entries = lock(&shared.cache).len();
         Ok(shared
             .metrics
@@ -432,7 +461,7 @@ fn recover_one(shared: &Shared, outcome: Recovered) {
         Recovered::Profile { user, rules } => {
             match parse_profile(&rules, &PrefRelRegistry::new()) {
                 Ok(profile) => {
-                    shared.registry.register(&user, profile);
+                    shared.registry.register_with_rules(&user, profile, &rules);
                     metrics.inc(&metrics.profiles_recovered);
                 }
                 Err(e) => {
@@ -707,6 +736,14 @@ fn worker_loop(shared: &Arc<Shared>) {
                 continue;
             }
         }
+        if matches!(job.req, Request::Health) {
+            // Control request, same self-counting discipline as `stats`:
+            // the response is counted before the body is built.
+            metrics.inc(&metrics.responses_ok);
+            job.conn.respond(&ok_payload(shared.scrub.health_body()));
+            metrics.observe_latency_us(job.arrival.elapsed().as_micros() as u64);
+            continue;
+        }
         if matches!(job.req, Request::Stats | Request::Shutdown) {
             // Snapshot-answering requests count their own response first,
             // so the snapshot they return already satisfies the
@@ -792,7 +829,7 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> Result<Value, RequestE
         Request::AddDocuments { docs } => ingest_add(shared, docs),
         Request::DeleteDocuments { ids } => ingest_delete(shared, ids),
         // Handled in `worker_loop` (self-counting snapshots + drain).
-        Request::Stats | Request::Shutdown => Ok(Value::Null),
+        Request::Stats | Request::Health | Request::Shutdown => Ok(Value::Null),
     }
 }
 
@@ -804,6 +841,9 @@ fn ingest_add(shared: &Arc<Shared>, docs: &[String]) -> Result<Value, RequestErr
     metrics.inc(&metrics.ingest_requests);
     let receipt = shared.ingest.add_documents(docs).map_err(|e| {
         metrics.inc(&metrics.ingest_errors);
+        if matches!(e, Error::DiskFull(_)) {
+            metrics.inc(&metrics.disk_full);
+        }
         map_engine_err(e)
     })?;
     metrics.add(&metrics.docs_added, receipt.docs as u64);
@@ -826,6 +866,9 @@ fn ingest_delete(shared: &Arc<Shared>, ids: &[u32]) -> Result<Value, RequestErro
     metrics.inc(&metrics.ingest_requests);
     let receipt = shared.ingest.delete_documents(ids).map_err(|e| {
         metrics.inc(&metrics.ingest_errors);
+        if matches!(e, Error::DiskFull(_)) {
+            metrics.inc(&metrics.disk_full);
+        }
         map_engine_err(e)
     })?;
     metrics.add(&metrics.docs_deleted, receipt.docs as u64);
@@ -851,7 +894,9 @@ fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Val
         profile.vors.len(),
         profile.kors.len(),
     );
-    let generation = shared.registry.register(user, profile);
+    // The rule text rides along in the session so the scrubber can
+    // re-persist it if the on-disk copy is later damaged.
+    let generation = shared.registry.register_with_rules(user, profile, rules);
     let invalidated = lock(&shared.cache).invalidate_user(user);
     let metrics = &shared.metrics;
     metrics.add(&metrics.cache_invalidations, invalidated as u64);
@@ -872,6 +917,9 @@ fn register_profile(shared: &Arc<Shared>, user: &str, rules: &str) -> Result<Val
             Ok(_) => fields.push(("persisted".to_string(), true.into())),
             Err(e) => {
                 metrics.inc(&metrics.store_errors);
+                if matches!(e, StoreError::DiskFull { .. }) {
+                    metrics.inc(&metrics.disk_full);
+                }
                 fields.push(("persisted".to_string(), false.into()));
                 fields.push(("persist_error".to_string(), e.to_string().into()));
             }
@@ -1025,6 +1073,9 @@ fn map_engine_err(e: Error) -> RequestError {
         Error::Conflict(_) => (err_kind::PROFILE, e.to_string()),
         Error::InvalidK => (err_kind::BAD_REQUEST, e.to_string()),
         Error::Ingest(_) | Error::Xml(_) => (err_kind::INGEST, e.to_string()),
+        // Retryable: the previous generation is still served; the
+        // client can retry once space frees.
+        Error::DiskFull(_) => (err_kind::DISK_FULL, e.to_string()),
         Error::Snapshot(_) | Error::Shard(_) | Error::Io(_) => {
             (err_kind::INTERNAL, e.to_string())
         }

@@ -12,8 +12,18 @@
 //!   knows *which user* lost their profile and can register a degraded
 //!   session for them instead of silently forgetting the user;
 //! * **quarantine, don't abort** — a corrupt file is renamed to
-//!   `<name>.quarantined` and reported as a typed [`Recovered`] outcome;
-//!   startup recovery never panics and never deletes evidence.
+//!   `<name>.q<seq>.quarantined` and reported as a typed [`Recovered`]
+//!   outcome; startup recovery never panics and never deletes evidence.
+//!   Quarantined files are bounded (count + total bytes, oldest-first
+//!   eviction — [`QuarantineCap`]) so a flapping disk cannot fill the
+//!   profile dir;
+//! * **typed disk-full** — `ENOSPC` surfaces as
+//!   [`StoreError::DiskFull`] with the temp file cleaned up, so the
+//!   in-memory session stays live and a retry after space frees can
+//!   succeed.
+//!
+//! All I/O goes through a [`Vfs`] handle (DESIGN.md §17): [`StdVfs`] in
+//! production, `SimVfs` in the crash-enumeration harness.
 //!
 //! ```text
 //! magic   "PIMPROF1"                        8 bytes
@@ -23,10 +33,11 @@
 //! u32le   CRC32 of everything above         — body checksum
 //! ```
 
+use pimento_faults::vfs::{self, QuarantineCap, StdVfs, Vfs};
 use pimento_index::crc32;
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"PIMPROF1";
 
@@ -40,6 +51,31 @@ pub enum StoreError {
         /// The underlying error.
         err: io::Error,
     },
+    /// The disk is full (`ENOSPC`). The temp file was cleaned up, the
+    /// in-memory session is unaffected, and a retry can succeed once
+    /// space frees.
+    DiskFull {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        err: io::Error,
+    },
+}
+
+impl StoreError {
+    fn classify(path: &Path, err: io::Error) -> StoreError {
+        if vfs::is_disk_full(&err) {
+            StoreError::DiskFull {
+                path: path.to_path_buf(),
+                err,
+            }
+        } else {
+            StoreError::Io {
+                path: path.to_path_buf(),
+                err,
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -47,6 +83,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io { path, err } => {
                 write!(f, "profile store I/O error at {}: {err}", path.display())
+            }
+            StoreError::DiskFull { path, err } => {
+                write!(f, "profile store disk full at {}: {err}", path.display())
             }
         }
     }
@@ -85,20 +124,39 @@ pub enum Recovered {
 }
 
 /// A directory of durably persisted profiles, one file per user.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProfileStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    cap: QuarantineCap,
 }
 
 impl ProfileStore {
-    /// Open (creating if needed) the store directory.
+    /// Open (creating if needed) the store directory on the real
+    /// filesystem.
     pub fn open(dir: impl Into<PathBuf>) -> Result<ProfileStore, StoreError> {
+        ProfileStore::open_with(Arc::new(StdVfs), dir)
+    }
+
+    /// Open the store against an explicit [`Vfs`] — the entry point the
+    /// crash harness uses to run persistence on `SimVfs`.
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<ProfileStore, StoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|err| StoreError::Io {
-            path: dir.clone(),
-            err,
-        })?;
-        Ok(ProfileStore { dir })
+        vfs.create_dir_all(&dir)
+            .map_err(|err| StoreError::classify(&dir, err))?;
+        Ok(ProfileStore {
+            dir,
+            vfs,
+            cap: QuarantineCap::default(),
+        })
+    }
+
+    /// Replace the default quarantine cap (64 files / 64 MiB).
+    pub fn set_quarantine_cap(&mut self, cap: QuarantineCap) {
+        self.cap = cap;
     }
 
     /// The store directory.
@@ -106,10 +164,28 @@ impl ProfileStore {
         &self.dir
     }
 
+    /// The filesystem this store talks to.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// Count and total bytes of `*.quarantined` files currently held —
+    /// the `store.quarantined` gauge.
+    pub fn quarantined_stats(&self) -> (usize, u64) {
+        let q = vfs::quarantine_stats(&*self.vfs, &self.dir);
+        let bytes = q.iter().map(|f| f.len).sum();
+        (q.len(), bytes)
+    }
+
     /// The file a user's profile persists to. The name embeds a sanitized
     /// prefix (readability) and an FNV-1a hash of the exact user string
     /// (uniqueness: distinct users never share a file).
     pub fn path_for(&self, user: &str) -> PathBuf {
+        self.dir.join(Self::name_for(user))
+    }
+
+    /// The file name (no directory) for a user's profile.
+    fn name_for(user: &str) -> String {
         let sanitized: String = user
             .chars()
             .take(40)
@@ -126,53 +202,29 @@ impl ProfileStore {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        self.dir.join(format!("u-{sanitized}-{h:016x}.profile"))
+        format!("u-{sanitized}-{h:016x}.profile")
     }
 
     /// Durably persist one (user, rules) pair: encode, write to a temp
     /// file, fsync, atomically rename into place, then fsync the
-    /// directory so the rename itself survives a crash.
+    /// directory so the rename itself survives a crash. On failure the
+    /// temp file is removed so a full disk is not further burdened.
     pub fn persist(&self, user: &str, rules: &str) -> Result<PathBuf, StoreError> {
         let path = self.path_for(user);
-        let tmp = path.with_extension("tmp");
+        let name = Self::name_for(user);
         let bytes = encode(user, rules);
-        let io_err = |path: &Path, err: io::Error| StoreError::Io {
-            path: path.to_path_buf(),
-            err,
-        };
 
         #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("serve.store.write") {
-            return Err(io_err(
-                &tmp,
-                io::Error::other("fault injected: serve.store.write"),
-            ));
+        for step in ["write", "fsync", "rename"] {
+            if pimento_faults::should_fire(&format!("serve.store.{step}")) {
+                return Err(StoreError::Io {
+                    path: path.clone(),
+                    err: io::Error::other(format!("fault injected: serve.store.{step}")),
+                });
+            }
         }
-        let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
-        #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("serve.store.fsync") {
-            return Err(io_err(
-                &tmp,
-                io::Error::other("fault injected: serve.store.fsync"),
-            ));
-        }
-        f.sync_all().map_err(|e| io_err(&tmp, e))?;
-        drop(f);
-        #[cfg(feature = "fault-injection")]
-        if pimento_faults::should_fire("serve.store.rename") {
-            return Err(io_err(
-                &path,
-                io::Error::other("fault injected: serve.store.rename"),
-            ));
-        }
-        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
-        // Make the rename durable. Directory fsync is best-effort: some
-        // filesystems refuse to open a directory for reading, and the
-        // data file itself is already safe on disk.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        vfs::write_durable(&*self.vfs, &self.dir, &name, &bytes)
+            .map_err(|err| StoreError::classify(&path, err))?;
         Ok(path)
     }
 
@@ -181,26 +233,18 @@ impl ProfileStore {
     /// ignored. Files are visited in name order, so recovery (and the
     /// chaos suite) is deterministic.
     pub fn recover(&self) -> Result<Vec<Recovered>, StoreError> {
-        let entries = fs::read_dir(&self.dir).map_err(|err| StoreError::Io {
-            path: self.dir.clone(),
-            err,
-        })?;
-        let mut files: Vec<PathBuf> = Vec::new();
-        for entry in entries {
-            let entry = entry.map_err(|err| StoreError::Io {
-                path: self.dir.clone(),
-                err,
-            })?;
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("profile") {
-                files.push(path);
-            }
-        }
+        let mut files: Vec<PathBuf> = self
+            .vfs
+            .list(&self.dir)
+            .map_err(|err| StoreError::classify(&self.dir, err))?
+            .into_iter()
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("profile"))
+            .collect();
         files.sort();
 
         let mut out = Vec::with_capacity(files.len());
         for path in files {
-            let bytes = match fs::read(&path) {
+            let bytes = match self.vfs.read(&path) {
                 Ok(b) => b,
                 Err(e) => {
                     let quarantined = self.quarantine(&path)?;
@@ -245,16 +289,23 @@ impl ProfileStore {
         Ok(out)
     }
 
-    /// Move a corrupt file out of the scan set, keeping it for forensics.
-    fn quarantine(&self, path: &Path) -> Result<PathBuf, StoreError> {
-        let mut name = path.as_os_str().to_owned();
-        name.push(".quarantined");
-        let target = PathBuf::from(name);
-        fs::rename(path, &target).map_err(|err| StoreError::Io {
-            path: path.to_path_buf(),
-            err,
-        })?;
-        Ok(target)
+    /// Move a corrupt file out of the scan set, keeping it for
+    /// forensics, then age out the oldest quarantined files if the cap
+    /// is exceeded.
+    pub fn quarantine(&self, path: &Path) -> Result<PathBuf, StoreError> {
+        vfs::quarantine_file(&*self.vfs, path, self.cap)
+            .map_err(|err| StoreError::classify(path, err))
+    }
+
+    /// Decode one profile file's raw bytes — the scrubber's
+    /// verification primitive. Success returns `(user, rules)`;
+    /// failure tells (typed) whether the header survived.
+    pub fn verify_bytes(bytes: &[u8]) -> Result<(String, String), (Option<String>, String)> {
+        match decode(bytes) {
+            Ok(ok) => Ok(ok),
+            Err(DecodeFail::Rules { user, detail }) => Err((Some(user), detail)),
+            Err(DecodeFail::Header(detail)) => Err((None, detail)),
+        }
     }
 }
 
@@ -284,28 +335,32 @@ fn encode(user: &str, rules: &str) -> Vec<u8> {
 }
 
 fn decode(bytes: &[u8]) -> Result<(String, String), DecodeFail> {
+    // Every region read goes through `get` — `decode` is reachable from
+    // the scrubber's `panic-path` root, so whatever truncation or rot a
+    // disk hands us must be a typed failure, never a slice panic.
+    let le32 = |off: usize| -> Option<u32> {
+        bytes
+            .get(off..off.checked_add(4)?)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_le_bytes)
+    };
+    let region = |from: usize, to: usize| bytes.get(from..to);
     let header = |d: &str| DecodeFail::Header(d.to_string());
     if bytes.len() < MAGIC.len() + 4 {
         return Err(header("truncated header"));
     }
-    if &bytes[..MAGIC.len()] != MAGIC {
+    if region(0, MAGIC.len()) != Some(MAGIC.as_slice()) {
         return Err(header("bad magic"));
     }
-    let ulen = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let ulen = le32(MAGIC.len()).ok_or_else(|| header("truncated header"))? as usize;
     let user_end = 12usize.saturating_add(ulen);
-    if bytes.len() < user_end.saturating_add(4) {
-        return Err(header("truncated user record"));
-    }
-    let hcrc = u32::from_le_bytes([
-        bytes[user_end],
-        bytes[user_end + 1],
-        bytes[user_end + 2],
-        bytes[user_end + 3],
-    ]);
-    if crc32(&bytes[..user_end]) != hcrc {
+    let hcrc = le32(user_end).ok_or_else(|| header("truncated user record"))?;
+    let covered = region(0, user_end).ok_or_else(|| header("truncated user record"))?;
+    if crc32(covered) != hcrc {
         return Err(header("header checksum mismatch"));
     }
-    let user = match std::str::from_utf8(&bytes[12..user_end]) {
+    let user_bytes = region(12, user_end).ok_or_else(|| header("truncated user record"))?;
+    let user = match std::str::from_utf8(user_bytes) {
         Ok(u) => u.to_string(),
         Err(_) => return Err(header("user is not valid UTF-8")),
     };
@@ -314,33 +369,20 @@ fn decode(bytes: &[u8]) -> Result<(String, String), DecodeFail> {
         user: user.to_string(),
         detail: d.to_string(),
     };
-    let rl_off = user_end + 4;
-    if bytes.len() < rl_off + 4 {
-        return Err(rules_fail(&user, "truncated rules length"));
-    }
-    let rlen = u32::from_le_bytes([
-        bytes[rl_off],
-        bytes[rl_off + 1],
-        bytes[rl_off + 2],
-        bytes[rl_off + 3],
-    ]) as usize;
-    let rules_end = (rl_off + 4).saturating_add(rlen);
-    if bytes.len() < rules_end.saturating_add(4) {
-        return Err(rules_fail(&user, "truncated rules record"));
-    }
-    if bytes.len() != rules_end + 4 {
+    let rl_off = user_end.saturating_add(4);
+    let rlen = le32(rl_off).ok_or_else(|| rules_fail(&user, "truncated rules length"))? as usize;
+    let rules_end = rl_off.saturating_add(4).saturating_add(rlen);
+    let footer = le32(rules_end).ok_or_else(|| rules_fail(&user, "truncated rules record"))?;
+    if bytes.len() != rules_end.saturating_add(4) {
         return Err(rules_fail(&user, "trailing bytes after footer"));
     }
-    let footer = u32::from_le_bytes([
-        bytes[rules_end],
-        bytes[rules_end + 1],
-        bytes[rules_end + 2],
-        bytes[rules_end + 3],
-    ]);
-    if crc32(&bytes[..rules_end]) != footer {
+    let covered = region(0, rules_end).ok_or_else(|| rules_fail(&user, "truncated rules record"))?;
+    if crc32(covered) != footer {
         return Err(rules_fail(&user, "body checksum mismatch"));
     }
-    match std::str::from_utf8(&bytes[rl_off + 4..rules_end]) {
+    let rules_bytes = region(rl_off.saturating_add(4), rules_end)
+        .ok_or_else(|| rules_fail(&user, "truncated rules record"))?;
+    match std::str::from_utf8(rules_bytes) {
         Ok(r) => Ok((user, r.to_string())),
         Err(_) => Err(rules_fail(&user, "rules are not valid UTF-8")),
     }
@@ -349,6 +391,7 @@ fn decode(bytes: &[u8]) -> Result<(String, String), DecodeFail> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     /// A unique scratch directory per test (no tempfile crate offline).
     fn scratch(name: &str) -> PathBuf {
@@ -429,6 +472,7 @@ mod tests {
             other => panic!("wrong outcome: {other:?}"),
         }
         assert!(!path.exists(), "corrupt file moved out of the scan set");
+        assert_eq!(store.quarantined_stats().0, 1, "gauge sees the file");
         // A second recovery pass sees a clean (empty) store.
         assert!(store.recover().expect("recover again").is_empty());
         let _ = fs::remove_dir_all(&dir);
@@ -452,6 +496,25 @@ mod tests {
             store.recover().expect("recover")[0],
             Recovered::CorruptFile { .. }
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_cap_evicts_oldest_first() {
+        let dir = scratch("qcap");
+        let mut store = ProfileStore::open(&dir).expect("open");
+        store.set_quarantine_cap(QuarantineCap {
+            max_files: 2,
+            max_bytes: 1 << 20,
+        });
+        for user in ["a", "b", "c", "d"] {
+            let path = store.persist(user, "rules\n").expect("persist");
+            fs::write(&path, b"garbage").expect("corrupt");
+            store.recover().expect("recover quarantines");
+        }
+        let (count, bytes) = store.quarantined_stats();
+        assert_eq!(count, 2, "count cap holds");
+        assert!(bytes > 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,144 @@
+//! Exhaustive crash-point enumeration for profile persistence
+//! (DESIGN.md §17): the serve-side twin of the ingest crash matrix.
+//!
+//! A reference run of a fixed persistence script (alice v1 → alice v2 →
+//! bob) on a clean `SimVfs` counts every mutating filesystem operation;
+//! then, for every crash point and every reboot style, the script
+//! re-runs with that operation failing, reboots, and recovery must see
+//! exactly one of the committed checkpoints — never a torn profile,
+//! never a lost committed write, never a panic.
+
+#![cfg(feature = "fault-injection")]
+
+use pimento_serve::faults::vfs::{CrashStyle, SimVfs, Vfs};
+use pimento_serve::{ProfileStore, Recovered, StoreError};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const STEPS: usize = 3;
+
+const ALICE_V1: &str = "pi1: x.tag = car -> x < y\n";
+const ALICE_V2: &str = "pi1: x.tag = car -> x < y\npi2: x.tag = ad -> y < x\n";
+const BOB: &str = "pi9: x.tag = apartment -> x < y\n";
+
+/// The recovered state as a canonical, comparable value. Honest-fsync
+/// crashes must never surface a corrupt file, so any quarantine outcome
+/// fails the harness on the spot.
+fn recovered_state(store: &ProfileStore) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = store
+        .recover()
+        .expect("recover scans")
+        .into_iter()
+        .map(|r| match r {
+            Recovered::Profile { user, rules } => (user, rules),
+            corrupt => panic!("honest fsyncs produced a torn profile: {corrupt:?}"),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// One full run of the persistence script, stopping at the first
+/// failure. Returns how many persists committed (0..=STEPS); every
+/// failure must be a typed [`StoreError`].
+fn run_script(vfs: &Arc<SimVfs>, dir: &Path, mut on_ok: impl FnMut(usize)) -> usize {
+    let Ok(store) = ProfileStore::open_with(vfs.clone() as Arc<dyn Vfs>, dir) else {
+        return 0;
+    };
+    let script: [(&str, &str); STEPS] =
+        [("alice", ALICE_V1), ("alice", ALICE_V2), ("bob", BOB)];
+    for (i, (user, rules)) in script.iter().enumerate() {
+        match store.persist(user, rules) {
+            Ok(_) => on_ok(i + 1),
+            Err(e @ StoreError::DiskFull { .. }) => {
+                panic!("crash harness injected no ENOSPC: {e}")
+            }
+            Err(_) => return i,
+        }
+    }
+    STEPS
+}
+
+#[test]
+fn crash_at_every_point_recovers_a_committed_profile_set() {
+    let dir = PathBuf::from("/sim/profiles");
+
+    // Counting pass: a clean run with the exact op sequence the crash
+    // runs will replay — nothing extra may touch the vfs here.
+    let vfs = Arc::new(SimVfs::new(13));
+    let m = run_script(&vfs, &dir, |_| {});
+    assert_eq!(m, STEPS, "clean run must commit every persist");
+    let total = vfs.mutations();
+    assert!(total > 10, "script too small to be interesting: {total} ops");
+
+    // Checkpoint pass (op numbering is irrelevant on a run that never
+    // crashes): C[0] (empty) .. C[3], recorded via a probe store whose
+    // recovery scan is read-only on a clean directory.
+    let vfs = Arc::new(SimVfs::new(13));
+    let mut checkpoints: Vec<Vec<(String, String)>> = vec![Vec::new()];
+    let probe = ProfileStore::open_with(vfs.clone() as Arc<dyn Vfs>, &dir).expect("open");
+    let m = run_script(&vfs, &dir, |_| {
+        checkpoints.push(recovered_state(&probe));
+    });
+    assert_eq!(m, STEPS);
+    assert_eq!(checkpoints[STEPS].len(), 2, "alice + bob");
+
+    for style in [CrashStyle::Lose, CrashStyle::Keep, CrashStyle::Torn] {
+        for k in 1..=total {
+            let vfs = Arc::new(SimVfs::new(13));
+            vfs.set_crash_at(Some(k));
+            let m = run_script(&vfs, &dir, |_| {});
+            assert!(vfs.crashed(), "{style:?}/{k}: crash point never fired");
+
+            vfs.reboot(style);
+            let store = ProfileStore::open_with(vfs.clone() as Arc<dyn Vfs>, &dir)
+                .expect("reopen after reboot");
+            let state = recovered_state(&store);
+            let at_prev = state == checkpoints[m];
+            let at_next = m < STEPS && state == checkpoints[m + 1];
+            assert!(
+                at_prev || at_next,
+                "{style:?}/{k}: recovered a third state after {m} committed \
+                 persists:\n{state:#?}"
+            );
+
+            // Stale temp files from the interrupted persist must be
+            // invisible to recovery (asserted above) and flagged for
+            // cleanup only — never promoted to profiles.
+            for path in vfs.list(&dir).expect("list") {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                assert!(
+                    name.ends_with(".profile") || name.ends_with(".tmp"),
+                    "{style:?}/{k}: unexpected artifact {name}"
+                );
+            }
+        }
+    }
+}
+
+/// ENOSPC survival for profiles: typed error, temp cleaned up, every
+/// previously committed profile still recoverable, retry succeeds.
+#[test]
+fn disk_full_profile_persist_is_retryable() {
+    let dir = PathBuf::from("/sim/profiles-enospc");
+    let vfs = Arc::new(SimVfs::new(17));
+    let store = ProfileStore::open_with(vfs.clone() as Arc<dyn Vfs>, &dir).expect("open");
+    store.persist("alice", ALICE_V1).expect("first persist");
+    let committed = recovered_state(&store);
+
+    vfs.set_budget(Some(4));
+    let err = store.persist("bob", BOB).expect_err("disk is full");
+    assert!(matches!(err, StoreError::DiskFull { .. }), "typed: {err}");
+    assert_eq!(recovered_state(&store), committed, "alice survives");
+    let tmps = vfs
+        .list(&dir)
+        .expect("list")
+        .into_iter()
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tmp"))
+        .count();
+    assert_eq!(tmps, 0, "temp cleaned up on a full disk");
+
+    vfs.set_budget(None);
+    store.persist("bob", BOB).expect("retry succeeds");
+    assert_eq!(recovered_state(&store).len(), 2);
+}

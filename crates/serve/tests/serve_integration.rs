@@ -794,3 +794,40 @@ fn ingested_corpus_recovers_across_restart_via_data_dir() {
     handle.join().expect("server thread").expect("server ran");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn health_verb_reports_scrubber_status() {
+    let engine = cars_engine();
+    let (addr, handle) = start(engine, ServeConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+
+    let body = c
+        .request(&obj([("cmd", "health".into())]))
+        .expect("health verb answers");
+    assert_eq!(
+        body.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "{body:?}"
+    );
+    let corpus = body.get("corpus").expect("corpus component");
+    assert_eq!(corpus.get("status").and_then(Value::as_str), Some("ok"));
+    corpus
+        .get("detail")
+        .and_then(Value::as_str)
+        .expect("corpus detail");
+    let profiles = body.get("profiles").expect("profiles component");
+    assert_eq!(profiles.get("status").and_then(Value::as_str), Some("ok"));
+    body.get("passes").and_then(Value::as_u64).expect("passes");
+
+    // `health` is a counted request like any other: the stats identities
+    // still balance, and the scrub/health blocks are present.
+    let stats = c.stats().expect("stats");
+    assert_stats_identities(&stats);
+    let scrub = stats.get("scrub").expect("scrub block");
+    scrub.get("passes").and_then(Value::as_u64).expect("passes");
+    let health = stats.get("health").expect("health block");
+    assert_eq!(health.get("corpus").and_then(Value::as_u64), Some(0));
+    assert_eq!(health.get("profiles").and_then(Value::as_u64), Some(0));
+    c.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server ran");
+}

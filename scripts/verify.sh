@@ -77,4 +77,15 @@ cargo clippy -p pimento-ingest --features fault-injection --all-targets -- -D wa
 echo "==> ingest gate: loadgen --ingest-mix --quick (writes vs queries end to end)"
 cargo run -q -p pimento-bench --release --bin loadgen -- --ingest-mix --quick
 
+echo "==> crash gate: exhaustive crash-point matrices (kill at every VFS mutation)"
+cargo test -q -p pimento-ingest --features fault-injection --test crash_matrix
+cargo test -q -p pimento-serve --features fault-injection --test crash_matrix
+
+echo "==> scrub gate: single-bit-flip detection/quarantine/repair + storage fuzz"
+cargo test -q -p pimento-serve --features fault-injection --test scrub_integrity
+cargo test -q -p pimento-index --test storage_fuzz
+
+echo "==> scrub gate: one-shot pimento scrub over a fresh sharded snapshot"
+cargo run -q -p pimento-serve --release --bin pimento -- scrub --data-dir "$SNAP_DIR/sharded"
+
 echo "==> verify OK"
